@@ -1,0 +1,68 @@
+//! Criterion microbenches for the contextual bandit: rank and reward
+//! throughput at the feature sizes the pipeline produces.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use personalizer::{CbConfig, ContextualBandit, FeatureVector};
+use std::hint::black_box;
+
+fn context(span: usize) -> FeatureVector {
+    let mut fv = FeatureVector::new();
+    for i in 0..11 {
+        fv.log_bucket("job", &format!("f{i}"), 10f64.powi(i));
+    }
+    let rules: Vec<String> = (0..span).map(|i| format!("R{i:03}")).collect();
+    for r in &rules {
+        fv.flag("span", r);
+    }
+    for i in 0..rules.len() {
+        for j in (i + 1)..rules.len() {
+            fv.pair_weighted("span2", &rules[i], &rules[j], 0.25);
+        }
+    }
+    fv
+}
+
+fn actions(n: usize) -> Vec<FeatureVector> {
+    (0..n)
+        .map(|i| {
+            let mut fv = FeatureVector::new();
+            fv.flag("action", &format!("R{i:03}"));
+            fv.flag("action", "cat:off-by-default");
+            fv.flag("action", "dir:on");
+            fv
+        })
+        .collect()
+}
+
+fn bench_bandit(c: &mut Criterion) {
+    let ctx = context(10);
+    let slate = actions(11);
+
+    let cb = ContextualBandit::new(CbConfig::default());
+    c.bench_function("rank_slate_11_actions", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(cb.rank(black_box(&ctx), black_box(&slate), seed).chosen)
+        })
+    });
+
+    c.bench_function("reward_update", |b| {
+        let mut cb = ContextualBandit::new(CbConfig::default());
+        b.iter(|| {
+            cb.reward(black_box(&ctx), black_box(&slate[3]), 1.3, 0.09);
+            black_box(cb.events)
+        })
+    });
+
+    c.bench_function("joint_featurization", |b| {
+        b.iter(|| black_box(ContextualBandit::joint(&ctx, &slate[0]).len()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_bandit
+}
+criterion_main!(benches);

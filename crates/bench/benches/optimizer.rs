@@ -1,0 +1,53 @@
+//! Criterion microbenches for the optimizer: compilation throughput, span
+//! computation, and single-flip recompilation (the pipeline's hot path).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use scope_lang::{bind_script, Catalog};
+use scope_opt::{compute_span, Optimizer, RuleFlip, RuleId};
+use std::hint::black_box;
+
+const JOIN_AGG: &str = r#"
+    fact = EXTRACT k:int, m:int, v:float FROM "store/fact";
+    d1   = EXTRACT k:int, g:int FROM "store/d1";
+    d2   = EXTRACT m:int, region:string FROM "store/d2";
+    flt  = SELECT k, m, v FROM fact WHERE v > 100;
+    j1   = SELECT * FROM flt AS f JOIN d1 ON f.k == d1.k;
+    j2   = SELECT * FROM j1 JOIN d2 ON j1.m == d2.m;
+    rpt  = SELECT g, SUM(v) AS total FROM j2 GROUP BY g;
+    OUTPUT rpt TO "out/cube";
+"#;
+
+fn bench_optimizer(c: &mut Criterion) {
+    let plan = bind_script(JOIN_AGG, &Catalog::default()).unwrap();
+    let optimizer = Optimizer::default();
+    let default = optimizer.default_config();
+
+    c.bench_function("compile_default_tri_join", |b| {
+        b.iter(|| black_box(optimizer.compile(black_box(&plan), &default).unwrap().est_cost))
+    });
+
+    let flip = RuleFlip { rule: RuleId(21), enable: true };
+    let flipped = default.with_flip(flip);
+    c.bench_function("recompile_single_flip", |b| {
+        b.iter(|| black_box(optimizer.compile(black_box(&plan), &flipped).map(|c| c.est_cost).ok()))
+    });
+
+    c.bench_function("compute_span_fixpoint", |b| {
+        b.iter_batched(
+            || plan.clone(),
+            |p| black_box(compute_span(&optimizer, &p, 6).unwrap().len()),
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("bind_script_tri_join", |b| {
+        b.iter(|| black_box(bind_script(JOIN_AGG, &Catalog::default()).unwrap().len()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_optimizer
+}
+criterion_main!(benches);

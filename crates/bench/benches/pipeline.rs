@@ -1,0 +1,51 @@
+//! Criterion macrobench: one full QO-Advisor pipeline day (feature
+//! generation + recommendation + flighting + validation + hint generation)
+//! over a small workload.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use flighting::{FlightBudget, FlightingService};
+use qo_advisor::{PipelineConfig, QoAdvisor};
+use scope_opt::Optimizer;
+use scope_runtime::Cluster;
+use scope_workload::{build_view, Workload, WorkloadConfig};
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let optimizer = Optimizer::default();
+    let workload = Workload::new(WorkloadConfig {
+        seed: 99,
+        num_templates: 10,
+        adhoc_per_day: 2,
+        max_instances_per_day: 1,
+    });
+    let cluster = Cluster::default();
+    let jobs = workload.jobs_for_day(0);
+
+    c.bench_function("build_daily_view_12_jobs", |b| {
+        b.iter(|| {
+            black_box(build_view(&jobs, &optimizer, &Default::default(), &cluster).len())
+        })
+    });
+
+    let view = build_view(&jobs, &optimizer, &Default::default(), &cluster);
+    c.bench_function("pipeline_run_day_12_jobs", |b| {
+        b.iter_batched(
+            || {
+                QoAdvisor::new(
+                    optimizer.clone(),
+                    FlightingService::new(Cluster::preproduction(), FlightBudget::default()),
+                    PipelineConfig::default(),
+                )
+            },
+            |mut qa| black_box(qa.run_day(&view, 0).hints_published),
+            BatchSize::PerIteration,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pipeline
+}
+criterion_main!(benches);

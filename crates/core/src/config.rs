@@ -1,0 +1,80 @@
+//! Pipeline configuration.
+
+use flighting::FlightBudget;
+use personalizer::CbConfig;
+use serde::{Deserialize, Serialize};
+
+/// How the Recommendation task chooses flips (Table 3 compares these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RecommendStrategy {
+    /// Contextual bandit (production QO-Advisor).
+    ContextualBandit,
+    /// Uniform-at-random flip from the span (the paper's baseline).
+    UniformRandom,
+}
+
+/// Knobs of the daily pipeline.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    pub strategy: RecommendStrategy,
+    /// Contextual bandit hyper-parameters.
+    pub cb: CbConfig,
+    /// Flighting budget per daily batch.
+    pub flight_budget: FlightBudget,
+    /// Validation threshold on predicted PNhours delta: only jobs whose
+    /// predicted delta is below this pass (§4.3; paper uses −0.1).
+    pub validation_threshold: f64,
+    /// Reward clipping bound (§4.2; paper clips the cost ratio at 2.0).
+    pub reward_clip: f64,
+    /// Maximum span-fixpoint recompilation passes.
+    pub span_max_iterations: usize,
+    /// Prune recommendations whose recompiled estimated cost is not better
+    /// than the default. Disabling this reproduces the §5.2 ablation where
+    /// flighting drowns in orders-of-magnitude-worse plans.
+    pub est_cost_gate: bool,
+    /// Cap on flights per day (one representative job per template).
+    pub max_flights_per_day: usize,
+    /// Maximum span size used for third-order interaction features (keeps
+    /// the feature count bounded on long-tail spans).
+    pub max_span_for_triples: usize,
+    /// §8 stateful mode: skip jobs whose template was already flighted on a
+    /// previous day (it will be re-examined only if its plan changes, i.e.
+    /// its template id changes). Off by default, as in the paper.
+    pub skip_explored: bool,
+    /// Include the job span (and its co-occurrence interactions) in the CB
+    /// context. The paper found these features "critical to our success"
+    /// (§6); disabling them is the span-features ablation.
+    pub span_features: bool,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            strategy: RecommendStrategy::ContextualBandit,
+            cb: CbConfig::default(),
+            flight_budget: FlightBudget::default(),
+            validation_threshold: -0.1,
+            reward_clip: 2.0,
+            span_max_iterations: 6,
+            est_cost_gate: true,
+            max_flights_per_day: 48,
+            max_span_for_triples: 12,
+            skip_explored: false,
+            span_features: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_settings() {
+        let c = PipelineConfig::default();
+        assert_eq!(c.strategy, RecommendStrategy::ContextualBandit);
+        assert!((c.validation_threshold + 0.1).abs() < 1e-12, "paper threshold is -0.1");
+        assert!((c.reward_clip - 2.0).abs() < 1e-12, "paper clips at 2.0");
+        assert!(c.est_cost_gate, "cost gate on by default (§5.2)");
+    }
+}

@@ -1,0 +1,194 @@
+//! CB featurization (paper §3.2, §4.2, §6).
+//!
+//! * **Context** = Table-1 job features (log-bucketed: the dynamic ranges of
+//!   costs and cardinalities span many decades) + the complete job span as
+//!   indicator features, *"especially when interacted to create second and
+//!   third order co-occurrence indicators"* (§3.2) — the paper calls these
+//!   span features "critical to our success" (§6).
+//! * **Actions** = the no-op plus one flip per span rule, featurized by rule
+//!   id and rule category (§4.2).
+
+use personalizer::FeatureVector;
+use scope_opt::{RuleFlip, RuleId, RuleSet, SpanResult};
+use scope_workload::Table1Features;
+
+/// Build the CB context vector for one job.
+#[must_use]
+pub fn context_features(
+    table1: &Table1Features,
+    span: &SpanResult,
+    max_span_for_triples: usize,
+) -> FeatureVector {
+    context_features_opt(table1, span, max_span_for_triples, true)
+}
+
+/// [`context_features`] with the span block optional (the §6 ablation).
+#[must_use]
+pub fn context_features_opt(
+    table1: &Table1Features,
+    span: &SpanResult,
+    max_span_for_triples: usize,
+    include_span: bool,
+) -> FeatureVector {
+    let mut fv = FeatureVector::new();
+    // Table-1 numeric features, log-bucketed.
+    fv.log_bucket("job", "est_cost", table1.estimated_cost);
+    fv.log_bucket("job", "est_cards", table1.estimated_cardinalities);
+    fv.log_bucket("job", "bytes_read", table1.bytes_read);
+    fv.log_bucket("job", "row_count", table1.row_count);
+    fv.log_bucket("job", "latency", table1.latency);
+    fv.log_bucket("job", "pn_hours", table1.pn_hours);
+    fv.log_bucket("job", "vertices", table1.total_vertices);
+    fv.log_bucket("job", "max_memory", table1.max_memory);
+    fv.log_bucket("job", "avg_row_len", table1.avg_row_length);
+    fv.flag("job", &format!("name:{}", table1.normalized_name));
+    fv.flag("job", &format!("qtpl:{:x}", table1.query_template));
+
+    if !include_span {
+        return fv;
+    }
+    // The complete span as indicators + co-occurrence interactions. The
+    // higher-order indicators are down-weighted: under normalized SGD the
+    // correction is distributed by value², and with C(S,2)+C(S,3) of them
+    // they would otherwise drown the action main effects that our (much
+    // smaller than SCOPE's) event volume can actually estimate.
+    let rules: Vec<String> = span.span.iter().map(|r| r.to_string()).collect();
+    for r in &rules {
+        fv.flag("span", r);
+    }
+    for i in 0..rules.len() {
+        for j in (i + 1)..rules.len() {
+            fv.pair_weighted("span2", &rules[i], &rules[j], 0.25);
+        }
+    }
+    if rules.len() <= max_span_for_triples {
+        for i in 0..rules.len() {
+            for j in (i + 1)..rules.len() {
+                for k in (j + 1)..rules.len() {
+                    fv.triple_weighted("span3", &rules[i], &rules[j], &rules[k], 0.1);
+                }
+            }
+        }
+    }
+    fv
+}
+
+/// The action slate for a job: index 0 is the no-op ("changing nothing"),
+/// followed by one flip per span rule (§3.2: the action count is `1 + S`).
+#[must_use]
+pub fn action_slate(span: &SpanResult, rules: &RuleSet) -> (Vec<FeatureVector>, Vec<Option<RuleFlip>>) {
+    let default = rules.default_config();
+    let mut features = Vec::with_capacity(1 + span.span.len());
+    let mut flips = Vec::with_capacity(1 + span.span.len());
+
+    let mut noop = FeatureVector::new();
+    noop.flag("action", "noop");
+    features.push(noop);
+    flips.push(None);
+
+    for rule_id in span.span.iter() {
+        let def = rules.rule(rule_id);
+        let enable = !default.enabled(rule_id);
+        let mut fv = FeatureVector::new();
+        fv.flag("action", &rule_id.to_string());
+        fv.flag("action", &format!("cat:{}", def.category.name()));
+        fv.flag("action", if enable { "dir:on" } else { "dir:off" });
+        features.push(fv);
+        flips.push(Some(RuleFlip { rule: rule_id, enable }));
+    }
+    (features, flips)
+}
+
+/// Clipped reward (§4.2): ratio of default estimated cost over the
+/// recompiled estimated cost, clipped at `clip` (paper: 2.0). Failures pay 0.
+#[must_use]
+pub fn reward_from_costs(default_cost: f64, new_cost: Option<f64>, clip: f64) -> f64 {
+    match new_cost {
+        Some(new) if new > 0.0 => (default_cost / new).min(clip),
+        _ => 0.0,
+    }
+}
+
+/// Rule id of an action index in the slate, for diagnostics.
+#[must_use]
+pub fn action_rule(flips: &[Option<RuleFlip>], index: usize) -> Option<RuleId> {
+    flips.get(index).and_then(|f| f.map(|f| f.rule))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scope_opt::{compute_span, Optimizer};
+    use scope_lang::{bind_script, Catalog};
+
+    fn sample_span() -> (Optimizer, SpanResult, Table1Features) {
+        let opt = Optimizer::default();
+        let plan = bind_script(
+            r#"
+            a = EXTRACT k:int, v:float FROM "t1";
+            b = EXTRACT k:int, g:int FROM "t2";
+            j = SELECT * FROM a JOIN b ON a.k == b.k;
+            r = SELECT g, SUM(v) AS s FROM j GROUP BY g;
+            OUTPUT r TO "o";
+        "#,
+            &Catalog::default(),
+        )
+        .unwrap();
+        let span = compute_span(&opt, &plan, 6).unwrap();
+        let t1 = Table1Features {
+            normalized_name: "JoinAgg_x".into(),
+            latency: 120.0,
+            estimated_cost: 1e9,
+            query_template: 42,
+            total_vertices: 64.0,
+            estimated_cardinalities: 2e6,
+            bytes_read: 4e10,
+            max_memory: 1e8,
+            avg_memory: 5e7,
+            avg_row_length: 24.0,
+            row_count: 2e6,
+            pn_hours: 3.4,
+        };
+        (opt, span, t1)
+    }
+
+    #[test]
+    fn context_contains_span_and_interactions() {
+        let (_, span, t1) = sample_span();
+        let s = span.len();
+        let fv = context_features(&t1, &span, 12);
+        // 11 job features + S span flags + C(S,2) pairs (+ triples when small).
+        let pairs = s * (s - 1) / 2;
+        assert!(fv.len() >= 11 + s + pairs, "len {} for span {s}", fv.len());
+    }
+
+    #[test]
+    fn triples_are_capped_by_span_size() {
+        let (_, span, t1) = sample_span();
+        let with = context_features(&t1, &span, 64);
+        let without = context_features(&t1, &span, 0);
+        assert!(with.len() > without.len(), "triples add features");
+    }
+
+    #[test]
+    fn action_slate_is_one_plus_span() {
+        let (opt, span, _) = sample_span();
+        let (features, flips) = action_slate(&span, opt.rules());
+        assert_eq!(features.len(), 1 + span.len());
+        assert_eq!(flips.len(), features.len());
+        assert!(flips[0].is_none(), "index 0 is the no-op");
+        // Every flip toggles the rule's default state.
+        let default = opt.rules().default_config();
+        for f in flips.iter().flatten() {
+            assert_eq!(f.enable, !default.enabled(f.rule));
+        }
+    }
+
+    #[test]
+    fn reward_follows_paper_clipping() {
+        assert!((reward_from_costs(100.0, Some(50.0), 2.0) - 2.0).abs() < 1e-12, "clipped at 2");
+        assert!((reward_from_costs(100.0, Some(80.0), 2.0) - 1.25).abs() < 1e-12);
+        assert!((reward_from_costs(100.0, Some(200.0), 2.0) - 0.5).abs() < 1e-12);
+        assert_eq!(reward_from_costs(100.0, None, 2.0), 0.0, "failures pay zero");
+    }
+}

@@ -1,0 +1,57 @@
+//! **QO-Advisor**: a steered query optimizer pipeline — the Rust
+//! reproduction of *"Deploying a Steered Query Optimizer in Production at
+//! Microsoft"* (SIGMOD 2022).
+//!
+//! QO-Advisor externalizes the query planner: a daily offline pipeline mines
+//! production telemetry to find, per recurring job template, **one rule
+//! flip** (enable/disable a single optimizer rule relative to the default
+//! configuration) that steers the engine toward a better plan — safely:
+//!
+//! 1. **Feature Generation** — job spans (which rules *can* change the plan)
+//!    and Table-1 features from the denormalized view;
+//! 2. **Recommendation** — a contextual bandit picks a flip per job; reward
+//!    is the clipped estimated-cost ratio after recompilation;
+//! 3. **Flighting** — one representative job per template A/B-tests the flip
+//!    in pre-production under a strict budget;
+//! 4. **Validation** — a linear model predicts the PNhours delta from the
+//!    flight's DataRead/DataWritten deltas; only predicted wins below the
+//!    −0.1 safety threshold survive;
+//! 5. **Hint Generation** — accepted (template, flip) pairs publish to SIS
+//!    and steer every future occurrence of the template.
+//!
+//! # Quick start
+//!
+//! ```no_run
+//! use qo_advisor::{PipelineConfig, ProductionSim};
+//! use scope_workload::WorkloadConfig;
+//!
+//! let mut sim = ProductionSim::new(WorkloadConfig::default(), PipelineConfig::default());
+//! sim.bootstrap_validation_model(3, 16); // paper: 14 days of random flights
+//! let outcomes = sim.run(7);
+//! for day in &outcomes {
+//!     println!(
+//!         "day {}: {} hints published, {} jobs steered",
+//!         day.report.day,
+//!         day.report.hints_published,
+//!         day.comparisons.len()
+//!     );
+//! }
+//! ```
+
+pub mod baselines;
+pub mod config;
+pub mod monitoring;
+pub mod features;
+pub mod pipeline;
+pub mod simulation;
+pub mod validation_model;
+
+pub use baselines::{random_flip, Negi2021, Negi2021Outcome};
+pub use monitoring::{MonitorConfig, RegressionMonitor};
+pub use config::{PipelineConfig, RecommendStrategy};
+pub use features::{action_slate, context_features, context_features_opt, reward_from_costs};
+pub use pipeline::{DailyReport, QoAdvisor, Recommendation};
+pub use simulation::{
+    aggregate_impact, AggregateImpact, DayOutcome, HintedComparison, ProductionSim,
+};
+pub use validation_model::{ValidationModel, ValidationSample};

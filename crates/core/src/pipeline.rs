@@ -1,0 +1,547 @@
+//! The QO-Advisor daily pipeline (paper §2.5, Figure 1): Feature Generation
+//! → Recommendation (+ Recompilation) → Flighting → Validation → Hint
+//! Generation, publishing (template, flip) pairs into SIS for the next
+//! occurrences of each template.
+
+use crate::config::{PipelineConfig, RecommendStrategy};
+use crate::features::{action_slate, context_features_opt, reward_from_costs};
+use crate::validation_model::{ValidationModel, ValidationSample};
+use flighting::{FlightOutcome, FlightRequest, FlightingService};
+use personalizer::{Personalizer, RankRequest};
+use rustc_hash::FxHashMap;
+use scope_ir::ids::mix64;
+use scope_ir::logical::LogicalPlan;
+use scope_ir::{JobId, TemplateId};
+use scope_opt::{compute_span, Hint, Optimizer, RuleFlip, SpanResult};
+use scope_workload::ViewRow;
+use sis::{HintFile, SisStore};
+
+/// One candidate produced by the Recommendation task.
+#[derive(Debug, Clone)]
+pub struct Recommendation {
+    pub template: TemplateId,
+    pub job_id: JobId,
+    pub job_seed: u64,
+    pub plan: LogicalPlan,
+    pub flip: RuleFlip,
+    pub default_cost: f64,
+    pub new_cost: f64,
+}
+
+impl Recommendation {
+    /// Estimated-cost delta (`new/old − 1`; negative = predicted win).
+    #[must_use]
+    pub fn cost_delta(&self) -> f64 {
+        if self.default_cost <= 0.0 {
+            return 0.0;
+        }
+        self.new_cost / self.default_cost - 1.0
+    }
+}
+
+/// Telemetry of one pipeline day.
+#[derive(Debug, Clone, Default)]
+pub struct DailyReport {
+    pub day: u32,
+    pub jobs_total: usize,
+    pub recurring_jobs: usize,
+    pub jobs_with_span: usize,
+    /// Table 3 counters over the acting-policy recompilations.
+    pub lower_cost: usize,
+    pub equal_cost: usize,
+    pub higher_cost: usize,
+    pub recompile_failures: usize,
+    pub noop_chosen: usize,
+    /// Jobs skipped because their template was already explored (§8
+    /// stateful mode; 0 unless `skip_explored` is on).
+    pub skipped_explored: usize,
+    /// Σ default estimated cost over jobs entering Recommendation.
+    pub total_default_cost: f64,
+    /// Σ chosen-configuration estimated cost over the same jobs (failures
+    /// and no-ops fall back to the default cost).
+    pub total_chosen_cost: f64,
+    pub flighted: usize,
+    pub flight_success: usize,
+    pub flight_timeout: usize,
+    pub flight_failure: usize,
+    pub flight_filtered: usize,
+    pub flight_seconds_used: f64,
+    pub validated: usize,
+    pub hints_published: usize,
+    pub sis_version: u32,
+}
+
+/// The QO-Advisor system: pipeline state that persists across days.
+pub struct QoAdvisor {
+    optimizer: Optimizer,
+    flighting: FlightingService,
+    personalizer: Personalizer,
+    validation: Option<ValidationModel>,
+    sis: SisStore,
+    config: PipelineConfig,
+    /// Spans are template-stable (catalog estimates do not drift), so cache
+    /// them across days: the dominant cost of Feature Generation.
+    span_cache: FxHashMap<TemplateId, Option<(SpanResult, f64)>>,
+    /// Templates already flighted on a previous day (§8 stateful mode).
+    explored: rustc_hash::FxHashSet<TemplateId>,
+}
+
+impl QoAdvisor {
+    #[must_use]
+    pub fn new(optimizer: Optimizer, flighting: FlightingService, config: PipelineConfig) -> Self {
+        Self {
+            optimizer,
+            flighting,
+            personalizer: Personalizer::new(config.cb.clone()),
+            validation: None,
+            sis: SisStore::in_memory(),
+            config,
+            span_cache: FxHashMap::default(),
+            explored: rustc_hash::FxHashSet::default(),
+        }
+    }
+
+    /// Revert a deployed hint (the §8 optimistic-monitoring loop): removes
+    /// the template's entry and publishes a new SIS version. Returns false
+    /// when no hint was live for the template.
+    pub fn revert_hint(&mut self, template: TemplateId) -> bool {
+        let mut hints = self.sis.snapshot();
+        if hints.remove(template).is_none() {
+            return false;
+        }
+        let version = self.sis.version() + 1;
+        self.sis
+            .publish(HintFile { version, source_day: u32::MAX, hints: hints.hints() })
+            .expect("revert file always validates");
+        // Allow the pipeline to re-explore the template later.
+        self.explored.remove(&template);
+        true
+    }
+
+    #[must_use]
+    pub fn sis(&self) -> &SisStore {
+        &self.sis
+    }
+
+    #[must_use]
+    pub fn optimizer(&self) -> &Optimizer {
+        &self.optimizer
+    }
+
+    #[must_use]
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    #[must_use]
+    pub fn validation_model(&self) -> Option<&ValidationModel> {
+        self.validation.as_ref()
+    }
+
+    /// Install a trained validation model (paper: trained on 14 days of
+    /// randomly flighted jobs before enabling the pipeline).
+    pub fn set_validation_model(&mut self, model: ValidationModel) {
+        self.validation = Some(model);
+    }
+
+    #[must_use]
+    pub fn personalizer(&self) -> &Personalizer {
+        &self.personalizer
+    }
+
+    /// Task 1 — Feature Generation: span (cached per template) plus the
+    /// default-configuration estimated cost.
+    fn span_for(&mut self, template: TemplateId, plan: &LogicalPlan) -> Option<(SpanResult, f64)> {
+        let optimizer = &self.optimizer;
+        let iterations = self.config.span_max_iterations;
+        self.span_cache
+            .entry(template)
+            .or_insert_with(|| {
+                let default_cost =
+                    optimizer.compile(plan, &optimizer.default_config()).ok()?.est_cost;
+                let span = compute_span(optimizer, plan, iterations).ok()?;
+                if span.is_empty() {
+                    return None;
+                }
+                Some((span, default_cost))
+            })
+            .clone()
+    }
+
+    /// Run the full pipeline over one day's view. Returns the day's report;
+    /// side effects: CB model updates and a new SIS hint file version.
+    pub fn run_day(&mut self, view: &[ViewRow], day: u32) -> DailyReport {
+        let mut report = DailyReport { day, jobs_total: view.len(), ..DailyReport::default() };
+        let default_config = self.optimizer.default_config();
+
+        // ---- Task 1: Feature Generation -------------------------------
+        let mut jobs: Vec<(&ViewRow, SpanResult, f64)> = Vec::new();
+        for row in view {
+            if !row.recurring {
+                continue;
+            }
+            report.recurring_jobs += 1;
+            if self.config.skip_explored && self.explored.contains(&row.template) {
+                report.skipped_explored += 1;
+                continue;
+            }
+            if let Some((span, default_cost)) = self.span_for(row.template, &row.plan) {
+                jobs.push((row, span, default_cost));
+            }
+        }
+        report.jobs_with_span = jobs.len();
+
+        // ---- Task 2: Recommendation + Recompilation --------------------
+        let mut candidates: Vec<Recommendation> = Vec::new();
+        for (row, span, default_cost) in &jobs {
+            let context = context_features_opt(
+                &row.features,
+                span,
+                self.config.max_span_for_triples,
+                self.config.span_features,
+            );
+            let (action_fvs, flips) = action_slate(span, self.optimizer.rules());
+
+            // Off-policy training pass: uniform logging policy (§4.2). This
+            // doubles the recompilations, "an acceptable trade-off".
+            if self.config.strategy == RecommendStrategy::ContextualBandit {
+                let resp = self.personalizer.rank(&RankRequest {
+                    context: context.clone(),
+                    actions: action_fvs.clone(),
+                    seed: mix64(row.job_id.0, mix64(u64::from(day), 0x7821)),
+                    log_uniform: true,
+                });
+                let reward = match flips[resp.decision.chosen] {
+                    None => 1.0, // no-op: cost ratio is exactly 1
+                    Some(flip) => {
+                        let cfg = default_config.with_flip(flip);
+                        let cost = self.optimizer.compile(&row.plan, &cfg).ok().map(|c| c.est_cost);
+                        reward_from_costs(*default_cost, cost, self.config.reward_clip)
+                    }
+                };
+                self.personalizer.reward(resp.event_id, reward);
+            }
+
+            // Acting pass.
+            let chosen_flip = match self.config.strategy {
+                RecommendStrategy::ContextualBandit => {
+                    let resp = self.personalizer.rank(&RankRequest {
+                        context,
+                        actions: action_fvs,
+                        seed: mix64(row.job_id.0, mix64(u64::from(day), 0xAC7)),
+                        log_uniform: false,
+                    });
+                    let flip = flips[resp.decision.chosen];
+                    // Reward the acting decision as well (its observed cost
+                    // ratio is computed below); Azure Personalizer learns
+                    // from every ranked event.
+                    let event = resp.event_id;
+                    match flip {
+                        None => {
+                            self.personalizer.reward(event, 1.0);
+                            None
+                        }
+                        Some(f) => Some((f, Some(event))),
+                    }
+                }
+                RecommendStrategy::UniformRandom => {
+                    // Uniform baseline always flips a span rule (Table 3).
+                    let idx = 1 + (mix64(row.job_id.0, mix64(u64::from(day), 0x9A9)) as usize
+                        % span.len());
+                    flips[idx].map(|f| (f, None))
+                }
+            };
+
+            let Some((flip, event)) = chosen_flip else {
+                report.noop_chosen += 1;
+                report.total_default_cost += default_cost;
+                report.total_chosen_cost += default_cost;
+                continue;
+            };
+
+            let cfg = default_config.with_flip(flip);
+            report.total_default_cost += default_cost;
+            match self.optimizer.compile(&row.plan, &cfg) {
+                Ok(compiled) => {
+                    let new_cost = compiled.est_cost;
+                    report.total_chosen_cost += new_cost;
+                    if let Some(event) = event {
+                        self.personalizer.reward(
+                            event,
+                            reward_from_costs(*default_cost, Some(new_cost), self.config.reward_clip),
+                        );
+                    }
+                    let rel = (new_cost - default_cost) / default_cost.max(1e-12);
+                    // Table-3 classification: deltas within 0.3% count as
+                    // "equal" (SCOPE cost units are coarse at plan scale).
+                    if rel < -0.003 {
+                        report.lower_cost += 1;
+                    } else if rel > 0.003 {
+                        report.higher_cost += 1;
+                    } else {
+                        report.equal_cost += 1;
+                    }
+                    // Short-circuit when the estimate did not improve (§5.6).
+                    if self.config.est_cost_gate && rel >= -1e-9 {
+                        continue;
+                    }
+                    candidates.push(Recommendation {
+                        template: row.template,
+                        job_id: row.job_id,
+                        job_seed: row.job_seed,
+                        plan: row.plan.clone(),
+                        flip,
+                        default_cost: *default_cost,
+                        new_cost,
+                    });
+                }
+                Err(_) => {
+                    report.recompile_failures += 1;
+                    report.total_chosen_cost += default_cost;
+                    if let Some(event) = event {
+                        self.personalizer.reward(event, 0.0);
+                    }
+                }
+            }
+        }
+
+        // ---- Task 3: Flighting -----------------------------------------
+        // One representative job per template (picked deterministically),
+        // most-promising estimated-cost deltas first (§4.3).
+        let mut by_template: FxHashMap<TemplateId, Recommendation> = FxHashMap::default();
+        for cand in candidates {
+            by_template.entry(cand.template).or_insert(cand);
+        }
+        let mut reps: Vec<Recommendation> = by_template.into_values().collect();
+        reps.sort_by(|a, b| {
+            a.cost_delta().total_cmp(&b.cost_delta()).then(a.template.cmp(&b.template))
+        });
+        reps.truncate(self.config.max_flights_per_day);
+        let requests: Vec<FlightRequest> = reps
+            .iter()
+            .map(|r| FlightRequest {
+                template: r.template,
+                plan: r.plan.clone(),
+                job_seed: r.job_seed,
+                baseline: default_config,
+                treatment: default_config.with_flip(r.flip),
+            })
+            .collect();
+        let (outcomes, tracker) = self.flighting.flight_batch(&self.optimizer, &requests);
+        report.flighted = requests.len();
+        report.flight_seconds_used = tracker.used_seconds;
+        for r in &reps {
+            self.explored.insert(r.template);
+        }
+
+        // ---- Task 4: Validation ----------------------------------------
+        let mut accepted: Vec<Hint> = Vec::new();
+        for (rec, outcome) in reps.iter().zip(outcomes.iter()) {
+            match outcome {
+                FlightOutcome::Success(m) => {
+                    report.flight_success += 1;
+                    let ok = match &self.validation {
+                        Some(model) => model.accepts(
+                            m.data_read_delta(),
+                            m.data_written_delta(),
+                            self.config.validation_threshold,
+                        ),
+                        // Without a trained model, fall back to the raw
+                        // (noisy) single-flight measurement.
+                        None => m.pn_delta() < self.config.validation_threshold,
+                    };
+                    if ok {
+                        report.validated += 1;
+                        accepted.push(Hint { template: rec.template, flip: rec.flip });
+                    }
+                }
+                FlightOutcome::Timeout => report.flight_timeout += 1,
+                FlightOutcome::Failure(_) => report.flight_failure += 1,
+                FlightOutcome::Filtered => report.flight_filtered += 1,
+            }
+        }
+
+        // ---- Task 5: Hint Generation ------------------------------------
+        // Merge with the live hints: templates validated today replace any
+        // previous entry; everything else persists.
+        let mut merged = self.sis.snapshot();
+        for h in &accepted {
+            merged.insert(*h);
+        }
+        report.hints_published = accepted.len();
+        if !accepted.is_empty() {
+            let version = self.sis.version() + 1;
+            self.sis
+                .publish(HintFile { version, source_day: day, hints: merged.hints() })
+                .expect("pipeline-generated hints always validate");
+        }
+        report.sis_version = self.sis.version();
+        report
+    }
+
+    /// Gather validation-model training data by flighting random span flips
+    /// (the paper's 14-day bootstrap, §4.3). Returns the collected samples.
+    pub fn gather_validation_samples(
+        &mut self,
+        view: &[ViewRow],
+        day: u32,
+        max_flights: usize,
+    ) -> Vec<ValidationSample> {
+        let default_config = self.optimizer.default_config();
+        let mut requests = Vec::new();
+        for row in view.iter().filter(|r| r.recurring) {
+            if requests.len() >= max_flights {
+                break;
+            }
+            let Some((span, _)) = self.span_for(row.template, &row.plan) else { continue };
+            let rules: Vec<_> = span.span.iter().collect();
+            let pick = rules[mix64(row.job_id.0, u64::from(day)) as usize % rules.len()];
+            let enable = !default_config.enabled(pick);
+            requests.push(FlightRequest {
+                template: row.template,
+                plan: row.plan.clone(),
+                job_seed: row.job_seed,
+                baseline: default_config,
+                treatment: default_config.with_flip(RuleFlip { rule: pick, enable }),
+            });
+        }
+        let (outcomes, _) = self.flighting.flight_batch(&self.optimizer, &requests);
+        outcomes
+            .iter()
+            .filter_map(|o| o.measurement())
+            .map(|m| ValidationSample {
+                data_read_delta: m.data_read_delta(),
+                data_written_delta: m.data_written_delta(),
+                pn_delta: m.pn_delta(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flighting::FlightBudget;
+    use scope_runtime::Cluster;
+    use scope_workload::{build_view, Workload, WorkloadConfig};
+
+    fn advisor(strategy: RecommendStrategy) -> QoAdvisor {
+        let optimizer = Optimizer::default();
+        let flighting = FlightingService::new(Cluster::default(), FlightBudget::default());
+        QoAdvisor::new(
+            optimizer,
+            flighting,
+            PipelineConfig { strategy, ..PipelineConfig::default() },
+        )
+    }
+
+    fn day_view(advisor: &QoAdvisor, seed: u64, day: u32) -> Vec<ViewRow> {
+        let w = Workload::new(WorkloadConfig {
+            seed,
+            num_templates: 10,
+            adhoc_per_day: 3,
+            max_instances_per_day: 1,
+        });
+        build_view(
+            &w.jobs_for_day(day),
+            advisor.optimizer(),
+            &advisor.sis().snapshot(),
+            &Cluster::default(),
+        )
+    }
+
+    #[test]
+    fn run_day_produces_consistent_report() {
+        let mut qa = advisor(RecommendStrategy::ContextualBandit);
+        let view = day_view(&qa, 5, 0);
+        let report = qa.run_day(&view, 0);
+        assert_eq!(report.jobs_total, view.len());
+        assert!(report.recurring_jobs > 0);
+        assert!(report.jobs_with_span <= report.recurring_jobs);
+        let outcomes = report.flight_success
+            + report.flight_timeout
+            + report.flight_failure
+            + report.flight_filtered;
+        assert_eq!(outcomes, report.flighted);
+        assert!(report.validated <= report.flight_success);
+        assert_eq!(report.hints_published, report.validated);
+    }
+
+    #[test]
+    fn table3_counters_partition_recompiles() {
+        let mut qa = advisor(RecommendStrategy::UniformRandom);
+        let view = day_view(&qa, 5, 0);
+        let report = qa.run_day(&view, 0);
+        let total = report.lower_cost
+            + report.equal_cost
+            + report.higher_cost
+            + report.recompile_failures
+            + report.noop_chosen;
+        assert_eq!(total, report.jobs_with_span, "every spanned job is classified");
+    }
+
+    #[test]
+    fn hints_persist_and_accumulate_in_sis() {
+        let mut qa = advisor(RecommendStrategy::ContextualBandit);
+        let mut published = 0;
+        for day in 0..4 {
+            let view = day_view(&qa, 5, day);
+            let report = qa.run_day(&view, day);
+            published += report.hints_published;
+        }
+        assert!(qa.sis().len() <= published.max(1));
+        if published > 0 {
+            assert!(qa.sis().version() > 0);
+        }
+    }
+
+    #[test]
+    fn bandit_absorbs_training_events() {
+        let mut qa = advisor(RecommendStrategy::ContextualBandit);
+        let view = day_view(&qa, 5, 0);
+        let report = qa.run_day(&view, 0);
+        // Every spanned job trains the CB at least once (uniform pass).
+        assert!(qa.personalizer().events() >= report.jobs_with_span as u64);
+    }
+
+    #[test]
+    fn validation_model_gates_acceptance() {
+        // A model that rejects everything -> no hints.
+        let mut qa = advisor(RecommendStrategy::ContextualBandit);
+        qa.set_validation_model(ValidationModel {
+            intercept: 10.0, // predicted +1000% regression for everything
+            w_read: 0.0,
+            w_written: 0.0,
+        });
+        let view = day_view(&qa, 5, 0);
+        let report = qa.run_day(&view, 0);
+        assert_eq!(report.validated, 0);
+        assert_eq!(report.hints_published, 0);
+        assert_eq!(qa.sis().version(), 0, "nothing published");
+    }
+
+    #[test]
+    fn gather_validation_samples_returns_deltas() {
+        let mut qa = advisor(RecommendStrategy::ContextualBandit);
+        let view = day_view(&qa, 6, 0);
+        let samples = qa.gather_validation_samples(&view, 0, 10);
+        for s in &samples {
+            assert!(s.data_read_delta.is_finite());
+            assert!(s.pn_delta.is_finite());
+        }
+    }
+
+    #[test]
+    fn span_cache_avoids_recomputation_across_days() {
+        let mut qa = advisor(RecommendStrategy::ContextualBandit);
+        let v0 = day_view(&qa, 5, 0);
+        qa.run_day(&v0, 0);
+        let cached = qa.span_cache.len();
+        assert!(cached > 0);
+        // Day 1 re-sees daily templates; the cache should not shrink and
+        // mostly not grow for them.
+        let v1 = day_view(&qa, 5, 1);
+        qa.run_day(&v1, 1);
+        assert!(qa.span_cache.len() >= cached);
+    }
+}

@@ -1,0 +1,272 @@
+//! End-to-end production simulation: the SCOPE engine + workload + the
+//! QO-Advisor pipeline advancing day by day, with counterfactual
+//! (default-vs-steered) measurement of every hinted job — the machinery
+//! behind Table 2 and Figures 10-12.
+
+use crate::config::PipelineConfig;
+use crate::monitoring::{MonitorConfig, RegressionMonitor};
+use crate::pipeline::{DailyReport, QoAdvisor};
+use crate::validation_model::{ValidationModel, ValidationSample};
+use flighting::FlightingService;
+use scope_ir::ids::mix64;
+use scope_ir::{JobId, TemplateId};
+use scope_opt::Optimizer;
+use scope_runtime::{execute, Cluster, ExecutionMetrics};
+use scope_workload::{build_view, Workload, WorkloadConfig};
+
+/// Default-vs-steered measurement of one hinted production job (both runs
+/// share the run seed, isolating the plan effect under identical cluster
+/// conditions).
+#[derive(Debug, Clone, Copy)]
+pub struct HintedComparison {
+    pub template: TemplateId,
+    pub job_id: JobId,
+    pub default: ExecutionMetrics,
+    pub steered: ExecutionMetrics,
+}
+
+impl HintedComparison {
+    #[must_use]
+    pub fn pn_delta(&self) -> f64 {
+        self.steered.pn_delta(&self.default)
+    }
+
+    #[must_use]
+    pub fn latency_delta(&self) -> f64 {
+        self.steered.latency_delta(&self.default)
+    }
+
+    #[must_use]
+    pub fn vertices_delta(&self) -> f64 {
+        self.steered.vertices_delta(&self.default)
+    }
+}
+
+/// One simulated production day.
+#[derive(Debug, Clone)]
+pub struct DayOutcome {
+    pub report: DailyReport,
+    /// Counterfactual measurements for every job that ran with a hint.
+    pub comparisons: Vec<HintedComparison>,
+    /// Hints reverted today by the optimistic-monitoring loop (§8).
+    pub reverted: Vec<TemplateId>,
+}
+
+/// Table 2 aggregate: percentage reduction over the hint-matched jobs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AggregateImpact {
+    pub jobs: usize,
+    /// `Σ steered / Σ default − 1`, as percentages (negative = reduction).
+    pub pn_hours_pct: f64,
+    pub latency_pct: f64,
+    pub vertices_pct: f64,
+}
+
+/// Aggregate Table-2 style totals over hinted-job comparisons.
+#[must_use]
+pub fn aggregate_impact(comparisons: &[HintedComparison]) -> AggregateImpact {
+    if comparisons.is_empty() {
+        return AggregateImpact::default();
+    }
+    let sum = |f: &dyn Fn(&HintedComparison) -> (f64, f64)| -> f64 {
+        let (steered, default): (Vec<f64>, Vec<f64>) = comparisons.iter().map(f).unzip();
+        let (s, d): (f64, f64) = (steered.iter().sum(), default.iter().sum());
+        (s / d - 1.0) * 100.0
+    };
+    AggregateImpact {
+        jobs: comparisons.len(),
+        pn_hours_pct: sum(&|c| (c.steered.pn_hours, c.default.pn_hours)),
+        latency_pct: sum(&|c| (c.steered.latency_sec, c.default.latency_sec)),
+        vertices_pct: sum(&|c| (c.steered.vertices as f64, c.default.vertices as f64)),
+    }
+}
+
+/// The full closed loop.
+pub struct ProductionSim {
+    pub workload: Workload,
+    pub optimizer: Optimizer,
+    pub prod_cluster: Cluster,
+    pub advisor: QoAdvisor,
+    pub day: u32,
+    /// §8 post-deployment monitor; hints that regress in production are
+    /// automatically reverted when enabled.
+    pub monitor: Option<RegressionMonitor>,
+}
+
+impl ProductionSim {
+    /// Build a simulation: production and pre-production clusters share the
+    /// hardware model but see independent noise.
+    #[must_use]
+    pub fn new(workload: WorkloadConfig, pipeline: PipelineConfig) -> Self {
+        let optimizer = Optimizer::default();
+        let flighting =
+            FlightingService::new(Cluster::preproduction(), pipeline.flight_budget.clone());
+        let advisor = QoAdvisor::new(optimizer.clone(), flighting, pipeline);
+        Self {
+            workload: Workload::new(workload),
+            optimizer,
+            prod_cluster: Cluster::default(),
+            advisor,
+            day: 0,
+            monitor: None,
+        }
+    }
+
+    /// Enable the §8 optimistic-monitoring loop: production telemetry of
+    /// hinted jobs is compared against per-template baselines, and hints
+    /// that regress repeatedly are reverted from SIS.
+    #[must_use]
+    pub fn with_monitoring(mut self, config: MonitorConfig) -> Self {
+        self.monitor = Some(RegressionMonitor::new(config));
+        self
+    }
+
+    /// The paper's validation-model bootstrap: flight random flips for
+    /// `days` days, fit the regression, install it. Returns the samples.
+    pub fn bootstrap_validation_model(
+        &mut self,
+        days: u32,
+        flights_per_day: usize,
+    ) -> Vec<ValidationSample> {
+        let mut samples = Vec::new();
+        for _ in 0..days {
+            let jobs = self.workload.jobs_for_day(self.day);
+            let hints = self.advisor.sis().snapshot();
+            let view = build_view(&jobs, &self.optimizer, &hints, &self.prod_cluster);
+            samples.extend(self.advisor.gather_validation_samples(
+                &view,
+                self.day,
+                flights_per_day,
+            ));
+            self.day += 1;
+        }
+        if let Some(model) = ValidationModel::fit(&samples) {
+            self.advisor.set_validation_model(model);
+        }
+        samples
+    }
+
+    /// Advance one production day: run the workload (with live hints), feed
+    /// the view to the pipeline, and measure hinted jobs counterfactually.
+    pub fn advance_day(&mut self) -> DayOutcome {
+        let day = self.day;
+        let jobs = self.workload.jobs_for_day(day);
+        let hints = self.advisor.sis().snapshot();
+        let view = build_view(&jobs, &self.optimizer, &hints, &self.prod_cluster);
+
+        // Counterfactual default runs for hinted jobs (same run seed).
+        let default_config = self.optimizer.default_config();
+        let mut comparisons = Vec::new();
+        for row in view.iter().filter(|r| r.hint_applied) {
+            let Ok(default_compiled) = self.optimizer.compile(&row.plan, &default_config) else {
+                continue;
+            };
+            let run_seed = mix64(u64::from(day), 0x9806_0d0d);
+            let default_metrics =
+                execute(&default_compiled.physical, &self.prod_cluster, row.job_seed, run_seed);
+            comparisons.push(HintedComparison {
+                template: row.template,
+                job_id: row.job_id,
+                default: default_metrics,
+                steered: row.metrics,
+            });
+        }
+
+        // §8 monitoring: revert hints that regress in production.
+        let mut reverted = Vec::new();
+        if let Some(monitor) = &mut self.monitor {
+            for template in monitor.observe_day(&view) {
+                if self.advisor.revert_hint(template) {
+                    reverted.push(template);
+                }
+            }
+        }
+
+        let report = self.advisor.run_day(&view, day);
+        self.day += 1;
+        DayOutcome { report, comparisons, reverted }
+    }
+
+    /// Run `days` production days, returning all outcomes.
+    pub fn run(&mut self, days: u32) -> Vec<DayOutcome> {
+        (0..days).map(|_| self.advance_day()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_sim() -> ProductionSim {
+        ProductionSim::new(
+            WorkloadConfig {
+                seed: 41,
+                num_templates: 12,
+                adhoc_per_day: 3,
+                max_instances_per_day: 1,
+            },
+            PipelineConfig::default(),
+        )
+    }
+
+    #[test]
+    fn bootstrap_gathers_samples_and_fits_model() {
+        let mut sim = small_sim();
+        let samples = sim.bootstrap_validation_model(3, 8);
+        assert!(!samples.is_empty(), "bootstrap collected flighting data");
+        // With enough non-degenerate samples the model installs.
+        if samples.len() >= 3 {
+            assert!(sim.advisor.validation_model().is_some());
+        }
+        assert_eq!(sim.day, 3);
+    }
+
+    #[test]
+    fn steering_loop_eventually_hints_jobs() {
+        let mut sim = small_sim();
+        sim.bootstrap_validation_model(3, 10);
+        let outcomes = sim.run(6);
+        let total_hints: usize = outcomes.iter().map(|o| o.report.hints_published).sum();
+        let total_comparisons: usize = outcomes.iter().map(|o| o.comparisons.len()).sum();
+        // Hints published on some day must eventually produce hinted runs.
+        if total_hints > 0 {
+            assert!(
+                total_comparisons > 0,
+                "published hints must match future recurring instances"
+            );
+        }
+    }
+
+    #[test]
+    fn aggregate_impact_totals_are_weighted() {
+        let mk = |dpn: f64, spn: f64| HintedComparison {
+            template: TemplateId(1),
+            job_id: JobId(1),
+            default: ExecutionMetrics {
+                pn_hours: dpn,
+                latency_sec: 100.0,
+                vertices: 10,
+                ..Default::default()
+            },
+            steered: ExecutionMetrics {
+                pn_hours: spn,
+                latency_sec: 90.0,
+                vertices: 5,
+                ..Default::default()
+            },
+        };
+        let agg = aggregate_impact(&[mk(10.0, 9.0), mk(90.0, 72.0)]);
+        // Total PN: 100 -> 81, i.e. -19%.
+        assert!((agg.pn_hours_pct + 19.0).abs() < 1e-9);
+        assert!((agg.latency_pct + 10.0).abs() < 1e-9);
+        assert!((agg.vertices_pct + 50.0).abs() < 1e-9);
+        assert_eq!(agg.jobs, 2);
+    }
+
+    #[test]
+    fn empty_comparisons_are_safe() {
+        let agg = aggregate_impact(&[]);
+        assert_eq!(agg.jobs, 0);
+        assert_eq!(agg.pn_hours_pct, 0.0);
+    }
+}

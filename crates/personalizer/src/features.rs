@@ -1,0 +1,172 @@
+//! Sparse feature vectors with the hashing trick.
+
+use scope_ir::ids::{mix64, stable_hash64};
+use serde::{Deserialize, Serialize};
+
+/// A sparse feature vector: (hashed id, value) pairs. Feature identity is a
+/// 64-bit hash of `namespace|name`; models fold it into their table size.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FeatureVector {
+    items: Vec<(u64, f64)>,
+}
+
+impl FeatureVector {
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[must_use]
+    pub fn items(&self) -> &[(u64, f64)] {
+        &self.items
+    }
+
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    fn key(namespace: &str, name: &str) -> u64 {
+        mix64(stable_hash64(namespace.as_bytes()), stable_hash64(name.as_bytes()))
+    }
+
+    /// Add a named numeric feature.
+    pub fn push(&mut self, namespace: &str, name: &str, value: f64) {
+        self.items.push((Self::key(namespace, name), value));
+    }
+
+    /// Add an indicator feature (value 1.0).
+    pub fn flag(&mut self, namespace: &str, name: &str) {
+        self.push(namespace, name, 1.0);
+    }
+
+    /// Add a second-order co-occurrence indicator `a × b`.
+    pub fn pair(&mut self, namespace: &str, a: &str, b: &str) {
+        self.pair_weighted(namespace, a, b, 1.0);
+    }
+
+    /// Weighted second-order indicator: normalized SGD distributes updates
+    /// by `value²`, so co-occurrence features are typically down-weighted
+    /// relative to main effects.
+    pub fn pair_weighted(&mut self, namespace: &str, a: &str, b: &str, value: f64) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        self.push(namespace, &format!("{lo}&{hi}"), value);
+    }
+
+    /// Add a third-order co-occurrence indicator `a × b × c`.
+    pub fn triple(&mut self, namespace: &str, a: &str, b: &str, c: &str) {
+        self.triple_weighted(namespace, a, b, c, 1.0);
+    }
+
+    /// Weighted third-order indicator (see [`FeatureVector::pair_weighted`]).
+    pub fn triple_weighted(&mut self, namespace: &str, a: &str, b: &str, c: &str, value: f64) {
+        let mut parts = [a, b, c];
+        parts.sort_unstable();
+        self.push(namespace, &format!("{}&{}&{}", parts[0], parts[1], parts[2]), value);
+    }
+
+    /// A log-bucketed numeric feature: emits an indicator for the magnitude
+    /// bucket of `value` (robust to the enormous dynamic ranges of costs and
+    /// cardinalities).
+    pub fn log_bucket(&mut self, namespace: &str, name: &str, value: f64) {
+        let bucket = if value <= 0.0 { -1 } else { value.log10().floor() as i64 };
+        self.flag(namespace, &format!("{name}@e{bucket}"));
+    }
+
+    /// Concatenate another vector (e.g. context ⧺ action).
+    pub fn extend_from(&mut self, other: &FeatureVector) {
+        self.items.extend_from_slice(&other.items);
+    }
+
+    /// Cross every feature of `self` with every feature of `other` into a
+    /// new vector (the VW `-q` quadratic namespace interaction). Values
+    /// multiply.
+    #[must_use]
+    pub fn quadratic(&self, other: &FeatureVector) -> FeatureVector {
+        self.quadratic_weighted(other, 1.0)
+    }
+
+    /// Quadratic interaction with an extra scale applied to every crossed
+    /// value (down-weights the whole interaction block at once).
+    #[must_use]
+    pub fn quadratic_weighted(&self, other: &FeatureVector, scale: f64) -> FeatureVector {
+        let mut out = FeatureVector::new();
+        out.items.reserve(self.items.len() * other.items.len());
+        for &(ka, va) in &self.items {
+            for &(kb, vb) in &other.items {
+                out.items.push((mix64(ka, kb), va * vb * scale));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_stable_and_distinct() {
+        let mut a = FeatureVector::new();
+        a.flag("ctx", "x");
+        let mut b = FeatureVector::new();
+        b.flag("ctx", "x");
+        assert_eq!(a.items()[0].0, b.items()[0].0);
+        let mut c = FeatureVector::new();
+        c.flag("ctx", "y");
+        assert_ne!(a.items()[0].0, c.items()[0].0);
+        // Namespace participates in identity.
+        let mut d = FeatureVector::new();
+        d.flag("other", "x");
+        assert_ne!(a.items()[0].0, d.items()[0].0);
+    }
+
+    #[test]
+    fn pair_is_order_invariant() {
+        let mut a = FeatureVector::new();
+        a.pair("s", "r1", "r2");
+        let mut b = FeatureVector::new();
+        b.pair("s", "r2", "r1");
+        assert_eq!(a.items()[0].0, b.items()[0].0);
+    }
+
+    #[test]
+    fn triple_is_order_invariant() {
+        let mut a = FeatureVector::new();
+        a.triple("s", "r1", "r2", "r3");
+        let mut b = FeatureVector::new();
+        b.triple("s", "r3", "r1", "r2");
+        assert_eq!(a.items()[0].0, b.items()[0].0);
+    }
+
+    #[test]
+    fn log_buckets_group_magnitudes() {
+        let bucket_key = |v: f64| {
+            let mut f = FeatureVector::new();
+            f.log_bucket("n", "cost", v);
+            f.items()[0].0
+        };
+        assert_eq!(bucket_key(150.0), bucket_key(900.0), "same decade");
+        assert_ne!(bucket_key(150.0), bucket_key(1500.0), "different decade");
+        // Non-positive values fall into a sentinel bucket.
+        assert_eq!(bucket_key(0.0), bucket_key(-3.0));
+    }
+
+    #[test]
+    fn quadratic_crosses_all_pairs() {
+        let mut a = FeatureVector::new();
+        a.push("x", "f1", 2.0);
+        a.push("x", "f2", 3.0);
+        let mut b = FeatureVector::new();
+        b.push("y", "g1", 5.0);
+        let q = a.quadratic(&b);
+        assert_eq!(q.len(), 2);
+        let values: Vec<f64> = q.items().iter().map(|(_, v)| *v).collect();
+        assert!(values.contains(&10.0) && values.contains(&15.0));
+    }
+}

@@ -1,0 +1,30 @@
+//! A contextual-bandit decision service — the reproduction's substitute for
+//! Azure Personalizer (paper §4.2, [1]).
+//!
+//! Azure Personalizer wraps Vowpal Wabbit-style contextual bandit learning
+//! behind a *rank / reward* API with durable event logging. This crate
+//! implements the same abstraction:
+//!
+//! * [`features`] — sparse feature vectors with the hashing trick and
+//!   explicit second/third-order interaction features (the paper found span
+//!   co-occurrence indicators "critical to our success", §6);
+//! * [`model`] — a linear scorer over hashed (context × action) features
+//!   trained by importance-weighted regression;
+//! * [`bandit`] — epsilon-greedy exploration, uniform logging policy, and
+//!   IPS-corrected off-policy updates;
+//! * [`counterfactual`] — IPS/SNIPS estimators for offline policy evaluation
+//!   ("we use counter-factual evaluations where we can rely on past
+//!   telemetry offline", §6);
+//! * [`service`] — the rank/reward facade with an event log.
+
+pub mod bandit;
+pub mod counterfactual;
+pub mod features;
+pub mod model;
+pub mod service;
+
+pub use bandit::{CbConfig, ContextualBandit, RankDecision};
+pub use counterfactual::{ips_estimate, snips_estimate, LoggedOutcome};
+pub use features::FeatureVector;
+pub use model::LinearModel;
+pub use service::{Personalizer, RankRequest, RankResponse};

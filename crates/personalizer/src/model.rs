@@ -1,0 +1,142 @@
+//! Linear scorer over hashed features, trained by importance-weighted
+//! regression (the IWR reduction used by VW's contextual bandit modes).
+
+use crate::features::FeatureVector;
+use serde::{Deserialize, Serialize};
+
+/// A linear model over a hashed weight table of `2^dim_bits` entries,
+/// trained by normalized SGD: every update moves the *prediction* by
+/// `lr · importance · error` regardless of feature scale, distributing the
+/// correction across features proportionally to their squared values. This
+/// is why the featurization weights interaction features below main-effect
+/// features — the distribution of the correction follows `value²`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LinearModel {
+    weights: Vec<f64>,
+    dim_bits: u32,
+    /// Total updates absorbed (diagnostics).
+    pub updates: u64,
+}
+
+impl LinearModel {
+    #[must_use]
+    pub fn new(dim_bits: u32) -> Self {
+        assert!((8..=26).contains(&dim_bits), "dim_bits {dim_bits} out of range");
+        Self { weights: vec![0.0; 1 << dim_bits], dim_bits, updates: 0 }
+    }
+
+    #[inline]
+    fn slot(&self, key: u64) -> usize {
+        (key & ((1u64 << self.dim_bits) - 1)) as usize
+    }
+
+    /// Predicted reward of a (context × action) feature vector.
+    #[must_use]
+    pub fn score(&self, fv: &FeatureVector) -> f64 {
+        fv.items().iter().map(|&(k, v)| self.weights[self.slot(k)] * v).sum()
+    }
+
+    /// One normalized-SGD step of squared loss `(w·x − reward)²`, scaled by
+    /// `importance` (the inverse-propensity weight, pre-capped by the
+    /// caller) and `lr`. The effective step in prediction space is clamped
+    /// to keep rare huge importance weights from destabilizing the model.
+    pub fn update(&mut self, fv: &FeatureVector, reward: f64, importance: f64, lr: f64) {
+        let norm: f64 = fv.items().iter().map(|&(_, v)| v * v).sum::<f64>().max(1e-12);
+        let err = reward - self.score(fv);
+        let step = (lr * importance * err).clamp(-2.0 * err.abs(), 2.0 * err.abs()) / norm;
+        for &(k, v) in fv.items() {
+            let slot = self.slot(k);
+            self.weights[slot] += step * v;
+        }
+        self.updates += 1;
+    }
+
+    /// L2 norm of the weight table (diagnostics).
+    #[must_use]
+    pub fn weight_norm(&self) -> f64 {
+        self.weights.iter().map(|w| w * w).sum::<f64>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fv(pairs: &[(&str, f64)]) -> FeatureVector {
+        let mut f = FeatureVector::new();
+        for (name, v) in pairs {
+            f.push("t", name, *v);
+        }
+        f
+    }
+
+    #[test]
+    fn fresh_model_scores_zero() {
+        let m = LinearModel::new(12);
+        assert_eq!(m.score(&fv(&[("a", 1.0), ("b", 2.0)])), 0.0);
+    }
+
+    #[test]
+    fn update_moves_score_toward_reward() {
+        let mut m = LinearModel::new(12);
+        let x = fv(&[("a", 1.0), ("b", 1.0)]);
+        for _ in 0..50 {
+            m.update(&x, 1.0, 1.0, 0.5);
+        }
+        assert!((m.score(&x) - 1.0).abs() < 0.01, "score {}", m.score(&x));
+    }
+
+    #[test]
+    fn disjoint_features_learn_independently() {
+        let mut m = LinearModel::new(16);
+        let a = fv(&[("alpha", 1.0)]);
+        let b = fv(&[("beta", 1.0)]);
+        for _ in 0..60 {
+            m.update(&a, 1.0, 1.0, 0.5);
+            m.update(&b, -1.0, 1.0, 0.5);
+        }
+        assert!(m.score(&a) > 0.8);
+        assert!(m.score(&b) < -0.8);
+    }
+
+    #[test]
+    fn importance_scales_the_step() {
+        let x = fv(&[("a", 1.0)]);
+        let mut low = LinearModel::new(12);
+        let mut high = LinearModel::new(12);
+        low.update(&x, 1.0, 0.5, 0.1);
+        high.update(&x, 1.0, 2.0, 0.1);
+        assert!(high.score(&x) > low.score(&x));
+    }
+
+    #[test]
+    fn learning_is_scale_robust() {
+        // Huge feature values must not blow up the weights (normalized SGD).
+        let mut m = LinearModel::new(12);
+        let x = fv(&[("big", 1e9)]);
+        for _ in 0..20 {
+            m.update(&x, 1.0, 1.0, 0.5);
+        }
+        assert!(m.score(&x).is_finite());
+        assert!((m.score(&x) - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn huge_importance_weights_cannot_overshoot() {
+        let x = fv(&[("a", 1.0)]);
+        let mut m = LinearModel::new(12);
+        m.update(&x, 1.0, 1000.0, 1.0);
+        // Step clamp: prediction moves at most 2x the error.
+        assert!(m.score(&x) <= 2.0 + 1e-9, "score {}", m.score(&x));
+        for _ in 0..10 {
+            m.update(&x, 1.0, 1000.0, 1.0);
+        }
+        assert!((m.score(&x) - 1.0).abs() < 1.1, "bounded oscillation");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_absurd_dims() {
+        let _ = LinearModel::new(40);
+    }
+}

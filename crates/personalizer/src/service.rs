@@ -1,0 +1,193 @@
+//! The Personalizer facade: a rank/reward service with a durable event log,
+//! mirroring how QO-Advisor integrates with Azure Personalizer (§4.2): rank
+//! calls return an event id; rewards arrive later (after recompilation
+//! computes the cost ratio) keyed by that id.
+
+use crate::bandit::{CbConfig, ContextualBandit, RankDecision};
+use crate::counterfactual::LoggedOutcome;
+use crate::features::FeatureVector;
+use parking_lot::Mutex;
+use rustc_hash::FxHashMap;
+
+/// A rank request: context plus candidate actions.
+#[derive(Debug, Clone)]
+pub struct RankRequest {
+    pub context: FeatureVector,
+    pub actions: Vec<FeatureVector>,
+    /// Deterministic exploration seed (e.g. hash of job id).
+    pub seed: u64,
+    /// Use the uniform logging policy instead of the learned policy.
+    pub log_uniform: bool,
+}
+
+/// A rank response: the decision plus the event id to reward later.
+#[derive(Debug, Clone)]
+pub struct RankResponse {
+    pub event_id: u64,
+    pub decision: RankDecision,
+}
+
+#[derive(Debug)]
+struct PendingEvent {
+    context: FeatureVector,
+    action: FeatureVector,
+    probability: f64,
+}
+
+/// The decision service. Interior mutability lets rank/reward interleave
+/// from pipeline stages without plumbing `&mut` through.
+#[derive(Debug)]
+pub struct Personalizer {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    bandit: ContextualBandit,
+    pending: FxHashMap<u64, PendingEvent>,
+    history: Vec<LoggedOutcome>,
+    next_event: u64,
+}
+
+impl Personalizer {
+    #[must_use]
+    pub fn new(config: CbConfig) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                bandit: ContextualBandit::new(config),
+                pending: FxHashMap::default(),
+                history: Vec::new(),
+                next_event: 1,
+            }),
+        }
+    }
+
+    /// Rank a slate; the decision is logged as pending until rewarded.
+    pub fn rank(&self, req: &RankRequest) -> RankResponse {
+        let mut inner = self.inner.lock();
+        let decision = if req.log_uniform {
+            inner.bandit.rank_uniform(&req.context, &req.actions, req.seed)
+        } else {
+            inner.bandit.rank(&req.context, &req.actions, req.seed)
+        };
+        let event_id = inner.next_event;
+        inner.next_event += 1;
+        inner.pending.insert(
+            event_id,
+            PendingEvent {
+                context: req.context.clone(),
+                action: req.actions[decision.chosen].clone(),
+                probability: decision.probability,
+            },
+        );
+        RankResponse { event_id, decision }
+    }
+
+    /// Reward a previously ranked event; updates the model off-policy and
+    /// appends to the counterfactual log. Unknown ids are ignored (Azure
+    /// Personalizer drops late rewards the same way).
+    pub fn reward(&self, event_id: u64, reward: f64) {
+        let mut inner = self.inner.lock();
+        let Some(ev) = inner.pending.remove(&event_id) else { return };
+        inner.bandit.reward(&ev.context, &ev.action, reward, ev.probability);
+        inner.history.push(LoggedOutcome {
+            target_agrees: true, // filled properly by evaluate_against
+            logged_probability: ev.probability,
+            reward,
+        });
+    }
+
+    /// Greedy decision without logging (deployment-time inference).
+    pub fn best_action(&self, context: &FeatureVector, actions: &[FeatureVector]) -> RankDecision {
+        self.inner.lock().bandit.rank_greedy(context, actions)
+    }
+
+    /// Events absorbed so far.
+    pub fn events(&self) -> u64 {
+        self.inner.lock().bandit.events
+    }
+
+    /// Number of rank calls not yet rewarded.
+    pub fn pending(&self) -> usize {
+        self.inner.lock().pending.len()
+    }
+
+    /// Raw logged outcomes (for counterfactual estimators).
+    pub fn history(&self) -> Vec<LoggedOutcome> {
+        self.inner.lock().history.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fv(name: &str) -> FeatureVector {
+        let mut f = FeatureVector::new();
+        f.flag("t", name);
+        f
+    }
+
+    fn request(seed: u64, uniform: bool) -> RankRequest {
+        RankRequest {
+            context: fv("ctx"),
+            actions: vec![fv("a0"), fv("a1"), fv("a2")],
+            seed,
+            log_uniform: uniform,
+        }
+    }
+
+    #[test]
+    fn rank_then_reward_consumes_pending() {
+        let svc = Personalizer::new(CbConfig::default());
+        let resp = svc.rank(&request(1, true));
+        assert_eq!(svc.pending(), 1);
+        svc.reward(resp.event_id, 1.0);
+        assert_eq!(svc.pending(), 0);
+        assert_eq!(svc.events(), 1);
+        assert_eq!(svc.history().len(), 1);
+    }
+
+    #[test]
+    fn unknown_event_ids_are_ignored() {
+        let svc = Personalizer::new(CbConfig::default());
+        svc.reward(999, 1.0);
+        assert_eq!(svc.events(), 0);
+    }
+
+    #[test]
+    fn event_ids_are_unique_and_monotonic() {
+        let svc = Personalizer::new(CbConfig::default());
+        let a = svc.rank(&request(1, true));
+        let b = svc.rank(&request(2, true));
+        assert!(b.event_id > a.event_id);
+    }
+
+    #[test]
+    fn service_learns_through_rank_reward_loop() {
+        let svc = Personalizer::new(CbConfig {
+            epsilon: 0.3,
+            learning_rate: 0.3,
+            dim_bits: 16,
+            max_importance: 20.0,
+        });
+        // Action 2 always pays.
+        for seed in 0..600 {
+            let resp = svc.rank(&request(seed, true));
+            let r = if resp.decision.chosen == 2 { 1.0 } else { 0.0 };
+            svc.reward(resp.event_id, r);
+        }
+        let best = svc.best_action(&fv("ctx"), &[fv("a0"), fv("a1"), fv("a2")]);
+        assert_eq!(best.chosen, 2);
+        assert!((best.probability - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn double_reward_is_a_noop() {
+        let svc = Personalizer::new(CbConfig::default());
+        let resp = svc.rank(&request(1, true));
+        svc.reward(resp.event_id, 1.0);
+        svc.reward(resp.event_id, 1.0);
+        assert_eq!(svc.events(), 1, "second reward dropped");
+    }
+}

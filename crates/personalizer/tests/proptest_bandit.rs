@@ -1,0 +1,121 @@
+//! Property-based tests for the bandit's statistical invariants.
+
+use personalizer::{ips_estimate, snips_estimate, CbConfig, ContextualBandit, FeatureVector, LoggedOutcome};
+use proptest::prelude::*;
+
+fn fv(names: &[String]) -> FeatureVector {
+    let mut f = FeatureVector::new();
+    for n in names {
+        f.flag("t", n);
+    }
+    f
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Epsilon-greedy propensities always form a probability distribution
+    /// and the reported probability matches the chosen arm's true mass.
+    #[test]
+    fn propensities_form_distribution(
+        eps in 0.0f64..1.0,
+        n_actions in 1usize..12,
+        seed in any::<u64>(),
+    ) {
+        let cb = ContextualBandit::new(CbConfig { epsilon: eps, ..CbConfig::default() });
+        let ctx = fv(&["ctx".to_string()]);
+        let actions: Vec<FeatureVector> =
+            (0..n_actions).map(|i| fv(&[format!("a{i}")])).collect();
+        let d = cb.rank(&ctx, &actions, seed);
+        prop_assert!(d.chosen < n_actions);
+        prop_assert!(d.probability > 0.0 && d.probability <= 1.0);
+        let k = n_actions as f64;
+        let greedy_mass = 1.0 - eps + eps / k;
+        let explore_mass = eps / k;
+        prop_assert!(
+            (d.probability - greedy_mass).abs() < 1e-9
+                || (d.probability - explore_mass).abs() < 1e-9
+        );
+    }
+
+    /// Rewards are bounded => scores stay bounded no matter the update
+    /// sequence (stability of the clamped normalized-SGD update).
+    #[test]
+    fn scores_stay_bounded_under_bounded_rewards(
+        rewards in prop::collection::vec(0.0f64..2.0, 1..200),
+        probs in prop::collection::vec(0.05f64..1.0, 1..200),
+    ) {
+        let mut cb = ContextualBandit::new(CbConfig::default());
+        let ctx = fv(&["c1".to_string(), "c2".to_string()]);
+        let a = fv(&["act".to_string()]);
+        for (r, p) in rewards.iter().zip(probs.iter().cycle()) {
+            cb.reward(&ctx, &a, *r, *p);
+        }
+        let s = cb.scores(&ctx, &[a]);
+        prop_assert!(s[0].is_finite());
+        prop_assert!(s[0].abs() < 100.0, "score {}", s[0]);
+    }
+
+    /// IPS of the logging policy itself equals the empirical mean reward
+    /// (sanity identity: importance weights cancel exactly).
+    #[test]
+    fn ips_of_logging_policy_is_mean_reward(
+        rewards in prop::collection::vec(0.0f64..2.0, 1..100),
+        k in 2usize..8,
+    ) {
+        let events: Vec<LoggedOutcome> = rewards
+            .iter()
+            .map(|&r| LoggedOutcome {
+                target_agrees: true,
+                logged_probability: 1.0 / k as f64,
+                reward: r / k as f64, // pre-scale so IPS telescopes to mean
+            })
+            .collect();
+        let mean: f64 = events.iter().map(|e| e.reward).sum::<f64>() / events.len() as f64;
+        let ips = ips_estimate(&events);
+        prop_assert!((ips - mean * k as f64).abs() < 1e-9);
+    }
+
+    /// SNIPS is always within the observed reward range (self-normalization
+    /// makes it a convex combination of agreeing rewards).
+    #[test]
+    fn snips_is_convex_combination(
+        events in prop::collection::vec(
+            (any::<bool>(), 0.01f64..1.0, 0.0f64..2.0),
+            1..100,
+        )
+    ) {
+        let log: Vec<LoggedOutcome> = events
+            .iter()
+            .map(|&(agrees, p, r)| LoggedOutcome {
+                target_agrees: agrees,
+                logged_probability: p,
+                reward: r,
+            })
+            .collect();
+        let v = snips_estimate(&log);
+        let agreeing: Vec<f64> =
+            log.iter().filter(|e| e.target_agrees).map(|e| e.reward).collect();
+        if agreeing.is_empty() {
+            prop_assert_eq!(v, 0.0);
+        } else {
+            let lo = agreeing.iter().cloned().fold(f64::MAX, f64::min);
+            let hi = agreeing.iter().cloned().fold(f64::MIN, f64::max);
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "{v} not in [{lo},{hi}]");
+        }
+    }
+
+    /// The uniform logging policy is genuinely uniform across seeds.
+    #[test]
+    fn uniform_policy_covers_all_arms(n_actions in 2usize..8) {
+        let cb = ContextualBandit::new(CbConfig::default());
+        let ctx = fv(&["c".to_string()]);
+        let actions: Vec<FeatureVector> =
+            (0..n_actions).map(|i| fv(&[format!("u{i}")])).collect();
+        let mut seen = vec![false; n_actions];
+        for seed in 0..400u64 {
+            seen[cb.rank_uniform(&ctx, &actions, seed).chosen] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s), "some arm never sampled: {seen:?}");
+    }
+}

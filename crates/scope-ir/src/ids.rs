@@ -1,0 +1,105 @@
+//! Strongly-typed identifiers shared across the workspace.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a node inside a plan arena ([`crate::LogicalPlan`] /
+/// [`crate::PhysicalPlan`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The arena slot this id refers to.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of one submitted job (one execution of a script).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job-{:08x}", self.0)
+    }
+}
+
+/// Identifier of a recurring job template. More than 60% of SCOPE jobs are
+/// recurring: periodically arriving template-scripts with different input
+/// cardinalities and filter predicates but the same set of operators.
+/// QO-Advisor keys every hint on the template id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TemplateId(pub u64);
+
+impl fmt::Display for TemplateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tpl-{:08x}", self.0)
+    }
+}
+
+/// Stable 64-bit FNV-1a hash used to derive deterministic per-entity RNG
+/// seeds and template identities. Not a general-purpose hasher: it exists so
+/// that ids are reproducible across runs and platforms (unlike `DefaultHasher`
+/// whose algorithm is unspecified).
+#[must_use]
+pub fn stable_hash64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Combine two 64-bit values into one (splitmix-style finalizer). Used to
+/// derive independent sub-seeds, e.g. `seed(job) ⊕ seed(run_index)`.
+#[must_use]
+pub fn mix64(a: u64, b: u64) -> u64 {
+    let mut z = a ^ b.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stable_hash_is_deterministic() {
+        assert_eq!(stable_hash64(b"hello"), stable_hash64(b"hello"));
+        assert_ne!(stable_hash64(b"hello"), stable_hash64(b"hellp"));
+    }
+
+    #[test]
+    fn stable_hash_known_vector() {
+        // FNV-1a of empty input is the offset basis.
+        assert_eq!(stable_hash64(b""), 0xcbf2_9ce4_8422_2325);
+    }
+
+    #[test]
+    fn mix64_differs_by_argument() {
+        assert_ne!(mix64(1, 2), mix64(1, 3));
+        assert_ne!(mix64(1, 2), mix64(2, 1));
+        assert_eq!(mix64(7, 9), mix64(7, 9));
+    }
+
+    #[test]
+    fn node_id_display_and_index() {
+        let n = NodeId(42);
+        assert_eq!(n.index(), 42);
+        assert_eq!(n.to_string(), "n42");
+        assert_eq!(JobId(0xff).to_string(), "job-000000ff");
+        assert_eq!(TemplateId(0xab).to_string(), "tpl-000000ab");
+    }
+}

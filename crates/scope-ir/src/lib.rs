@@ -1,0 +1,35 @@
+//! Plan intermediate representation for the SCOPE-like engine.
+//!
+//! SCOPE scripts compile into *DAGs* of operators (not single trees): a job
+//! contains one or more SQL-like statements stitched together, with one
+//! [`LogicalOp::Output`] root per resulting dataset and possibly shared
+//! sub-plans. This crate defines:
+//!
+//! * [`schema`] — columns, data types, and row schemas;
+//! * [`expr`] — scalar expressions with selectivity heuristics;
+//! * [`stats`] — *dual* statistics (ground-truth and catalog-estimated) that
+//!   let the optimizer mis-estimate while the runtime simulator stays honest;
+//! * [`logical`] — the logical operator algebra and arena-based plan DAG;
+//! * [`physical`] — physical operators (implementation flavors, exchanges,
+//!   partitioning schemes) and the physical plan DAG.
+//!
+//! The crate is dependency-light by design: every other crate in the
+//! workspace (optimizer, runtime simulator, workload generator, pipeline)
+//! builds on these types.
+
+pub mod display;
+pub mod expr;
+pub mod ids;
+pub mod logical;
+pub mod physical;
+pub mod schema;
+pub mod stats;
+
+pub use expr::{AggExpr, AggFunc, BinOp, ScalarExpr, Value};
+pub use ids::{JobId, NodeId, TemplateId};
+pub use logical::{JoinKind, LogicalNode, LogicalOp, LogicalPlan, SortKey, TableRef};
+pub use physical::{
+    AggMode, Partitioning, PhysicalNode, PhysicalOp, PhysicalPlan, PhysicalTuning, ScanVariant,
+};
+pub use schema::{Column, DataType, Schema};
+pub use stats::{DualStats, NodeStats};

@@ -1,0 +1,729 @@
+//! Logical operator algebra and the arena-based plan DAG.
+//!
+//! A [`LogicalPlan`] is an append-only arena of [`LogicalNode`]s in which
+//! every child index is strictly smaller than its parent's index. That
+//! *topological-arena invariant* makes structural sharing (DAGs), traversal,
+//! and validation cheap: node order is already a topological order. Rewrites
+//! in `scope-opt` always construct fresh arenas bottom-up, so the invariant
+//! is preserved by construction and checked by [`LogicalPlan::validate`].
+
+use crate::expr::{AggExpr, ScalarExpr};
+use crate::ids::{stable_hash64, NodeId, TemplateId};
+use crate::schema::{Column, DataType, Schema};
+use crate::stats::DualStats;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// A base dataset reference with dual cardinality statistics. `rows.actual`
+/// is what the simulator executes against; `rows.estimated` is the (possibly
+/// stale) catalog value the optimizer sees.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableRef {
+    pub name: Arc<str>,
+    pub schema: Schema,
+    pub rows: DualStats,
+}
+
+impl TableRef {
+    pub fn new(name: impl Into<Arc<str>>, schema: Schema, rows: DualStats) -> Self {
+        Self { name: name.into(), schema, rows }
+    }
+}
+
+/// Join kinds supported by the algebra.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum JoinKind {
+    Inner,
+    LeftOuter,
+    LeftSemi,
+}
+
+impl JoinKind {
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            JoinKind::Inner => "INNER",
+            JoinKind::LeftOuter => "LEFT",
+            JoinKind::LeftSemi => "SEMI",
+        }
+    }
+}
+
+/// One sort key: column index + direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SortKey {
+    pub column: usize,
+    pub descending: bool,
+}
+
+impl SortKey {
+    #[must_use]
+    pub fn asc(column: usize) -> Self {
+        Self { column, descending: false }
+    }
+
+    #[must_use]
+    pub fn desc(column: usize) -> Self {
+        Self { column, descending: true }
+    }
+}
+
+/// Logical operators. Arity is fixed per variant and enforced by
+/// [`LogicalPlan::validate`]: `Extract` is a leaf, `Join` is binary, `Union`
+/// is n-ary (n ≥ 2), everything else is unary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LogicalOp {
+    /// Scan a base dataset (SCOPE `EXTRACT`).
+    Extract { table: TableRef },
+    /// Row filter with dual selectivity (true vs. optimizer-visible).
+    Filter { predicate: ScalarExpr, selectivity: DualStats },
+    /// Projection: each output column is `(expr, alias)`.
+    Project { exprs: Vec<(ScalarExpr, String)> },
+    /// Equi-join on `(left column, right column)` pairs. `selectivity` is the
+    /// fraction of the cross product retained.
+    Join { kind: JoinKind, on: Vec<(usize, usize)>, selectivity: DualStats },
+    /// Group-by aggregation. `group_ratio` = output groups / input rows.
+    Aggregate { group_by: Vec<usize>, aggs: Vec<AggExpr>, group_ratio: DualStats },
+    /// Bag union of n ≥ 2 identically-shaped inputs (SCOPE `UNION ALL`).
+    Union,
+    /// Total sort.
+    Sort { keys: Vec<SortKey> },
+    /// Top-k under an ordering.
+    Top { k: u64, keys: Vec<SortKey> },
+    /// Windowed aggregation partitioned by columns; appends one column per
+    /// function.
+    Window { partition_by: Vec<usize>, funcs: Vec<AggExpr> },
+    /// Opaque user code (SCOPE processor/reducer). `out_ratio` is rows out
+    /// per row in (may exceed 1), `cpu_factor` scales per-row CPU work.
+    Process { udf: Arc<str>, cpu_factor: f64, out_ratio: DualStats },
+    /// Job output sink; every root of the DAG is an `Output`.
+    Output { path: Arc<str> },
+}
+
+impl LogicalOp {
+    /// Expected number of children, or `None` for n-ary operators.
+    #[must_use]
+    pub fn arity(&self) -> Option<usize> {
+        match self {
+            LogicalOp::Extract { .. } => Some(0),
+            LogicalOp::Join { .. } => Some(2),
+            LogicalOp::Union => None,
+            _ => Some(1),
+        }
+    }
+
+    /// Short operator tag used in signatures and display.
+    #[must_use]
+    pub fn tag(&self) -> &'static str {
+        match self {
+            LogicalOp::Extract { .. } => "Extract",
+            LogicalOp::Filter { .. } => "Filter",
+            LogicalOp::Project { .. } => "Project",
+            LogicalOp::Join { .. } => "Join",
+            LogicalOp::Aggregate { .. } => "Aggregate",
+            LogicalOp::Union => "Union",
+            LogicalOp::Sort { .. } => "Sort",
+            LogicalOp::Top { .. } => "Top",
+            LogicalOp::Window { .. } => "Window",
+            LogicalOp::Process { .. } => "Process",
+            LogicalOp::Output { .. } => "Output",
+        }
+    }
+}
+
+/// One node of the logical DAG.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogicalNode {
+    pub op: LogicalOp,
+    pub children: Vec<NodeId>,
+}
+
+/// Errors raised by [`LogicalPlan::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// A child index points at or beyond its parent (breaks the topological
+    /// arena invariant) or outside the arena.
+    BadChildIndex { parent: NodeId, child: NodeId },
+    /// Operator received the wrong number of children.
+    BadArity { node: NodeId, expected: usize, found: usize },
+    /// `Union` needs at least two inputs.
+    UnionTooNarrow { node: NodeId, found: usize },
+    /// The plan has no `Output` roots.
+    NoOutputs,
+    /// An output root is not an `Output` operator.
+    RootNotOutput { node: NodeId },
+    /// An `Output` operator appears below another operator.
+    InteriorOutput { node: NodeId },
+    /// An expression references a column outside the input schema.
+    ColumnOutOfRange { node: NodeId, column: usize, input_width: usize },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::BadChildIndex { parent, child } => {
+                write!(f, "node {parent} references invalid child {child}")
+            }
+            PlanError::BadArity { node, expected, found } => {
+                write!(f, "node {node} expects {expected} children, found {found}")
+            }
+            PlanError::UnionTooNarrow { node, found } => {
+                write!(f, "union {node} needs >= 2 inputs, found {found}")
+            }
+            PlanError::NoOutputs => write!(f, "plan has no outputs"),
+            PlanError::RootNotOutput { node } => write!(f, "root {node} is not an Output"),
+            PlanError::InteriorOutput { node } => write!(f, "Output {node} is not a root"),
+            PlanError::ColumnOutOfRange { node, column, input_width } => {
+                write!(f, "node {node} references column {column} of {input_width}-wide input")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// An arena-based logical plan DAG with one or more `Output` roots.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LogicalPlan {
+    nodes: Vec<LogicalNode>,
+    outputs: Vec<NodeId>,
+}
+
+impl LogicalPlan {
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a node; children must already exist in the arena.
+    ///
+    /// # Panics
+    /// Panics if a child id is out of range (programming error at plan
+    /// construction time, always caught in tests via `validate`).
+    pub fn add(&mut self, op: LogicalOp, children: Vec<NodeId>) -> NodeId {
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("plan too large"));
+        for &c in &children {
+            assert!(c.index() < self.nodes.len(), "child {c} does not exist yet");
+        }
+        self.nodes.push(LogicalNode { op, children });
+        id
+    }
+
+    /// Register `node` as a job output root.
+    pub fn mark_output(&mut self, node: NodeId) {
+        self.outputs.push(node);
+    }
+
+    /// Append an `Output` sink over `child` and register it as a root.
+    pub fn add_output(&mut self, path: impl Into<Arc<str>>, child: NodeId) -> NodeId {
+        let id = self.add(LogicalOp::Output { path: path.into() }, vec![child]);
+        self.mark_output(id);
+        id
+    }
+
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> &LogicalNode {
+        &self.nodes[id.index()]
+    }
+
+    #[must_use]
+    pub fn nodes(&self) -> &[LogicalNode] {
+        &self.nodes
+    }
+
+    #[must_use]
+    pub fn outputs(&self) -> &[NodeId] {
+        &self.outputs
+    }
+
+    /// All node ids reachable from the outputs, in topological (child before
+    /// parent) order. With the arena invariant this is simply ascending index
+    /// order over the reachable set.
+    #[must_use]
+    pub fn topo_order(&self) -> Vec<NodeId> {
+        let mut reachable = vec![false; self.nodes.len()];
+        let mut stack: Vec<NodeId> = self.outputs.clone();
+        while let Some(id) = stack.pop() {
+            if std::mem::replace(&mut reachable[id.index()], true) {
+                continue;
+            }
+            stack.extend_from_slice(&self.nodes[id.index()].children);
+        }
+        (0..self.nodes.len())
+            .filter(|&i| reachable[i])
+            .map(|i| NodeId(i as u32))
+            .collect()
+    }
+
+    /// Number of operators reachable from outputs, by tag.
+    #[must_use]
+    pub fn count_tag(&self, tag: &str) -> usize {
+        self.topo_order().iter().filter(|id| self.node(**id).op.tag() == tag).count()
+    }
+
+    /// Compute the output schema of every node (indexed by arena slot).
+    /// Unreachable slots still get schemas; the computation is one linear
+    /// pass thanks to the arena invariant.
+    #[must_use]
+    pub fn schemas(&self) -> Vec<Schema> {
+        let mut out: Vec<Schema> = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let schema = match &node.op {
+                LogicalOp::Extract { table } => table.schema.clone(),
+                LogicalOp::Filter { .. }
+                | LogicalOp::Sort { .. }
+                | LogicalOp::Top { .. }
+                | LogicalOp::Output { .. } => out[node.children[0].index()].clone(),
+                LogicalOp::Process { .. } => out[node.children[0].index()].clone(),
+                LogicalOp::Union => out[node.children[0].index()].clone(),
+                LogicalOp::Project { exprs } => {
+                    let input = &out[node.children[0].index()];
+                    Schema::new(
+                        exprs
+                            .iter()
+                            .map(|(e, alias)| Column::new(alias.clone(), infer_type(e, input)))
+                            .collect(),
+                    )
+                }
+                LogicalOp::Join { .. } => {
+                    let l = &out[node.children[0].index()];
+                    let r = &out[node.children[1].index()];
+                    l.join(r)
+                }
+                LogicalOp::Aggregate { group_by, aggs, .. } => {
+                    let input = &out[node.children[0].index()];
+                    let mut cols: Vec<Column> = group_by
+                        .iter()
+                        .map(|&i| input.column(i).cloned().unwrap_or_else(|| {
+                            Column::new(format!("g{i}"), DataType::Int)
+                        }))
+                        .collect();
+                    cols.extend(
+                        aggs.iter().map(|a| Column::new(a.alias.clone(), DataType::Float)),
+                    );
+                    Schema::new(cols)
+                }
+                LogicalOp::Window { funcs, .. } => {
+                    let input = &out[node.children[0].index()];
+                    let mut cols = input.columns().to_vec();
+                    cols.extend(
+                        funcs.iter().map(|a| Column::new(a.alias.clone(), DataType::Float)),
+                    );
+                    Schema::new(cols)
+                }
+            };
+            out.push(schema);
+        }
+        out
+    }
+
+    /// Validate all structural invariants. Every plan produced by the binder,
+    /// the workload generator, or the optimizer must pass.
+    pub fn validate(&self) -> Result<(), PlanError> {
+        if self.outputs.is_empty() {
+            return Err(PlanError::NoOutputs);
+        }
+        for (i, node) in self.nodes.iter().enumerate() {
+            let id = NodeId(i as u32);
+            for &c in &node.children {
+                if c.index() >= i {
+                    return Err(PlanError::BadChildIndex { parent: id, child: c });
+                }
+            }
+            match node.op.arity() {
+                Some(expected) if node.children.len() != expected => {
+                    return Err(PlanError::BadArity {
+                        node: id,
+                        expected,
+                        found: node.children.len(),
+                    });
+                }
+                None if node.children.len() < 2 => {
+                    return Err(PlanError::UnionTooNarrow { node: id, found: node.children.len() });
+                }
+                _ => {}
+            }
+        }
+        for &root in &self.outputs {
+            if root.index() >= self.nodes.len() {
+                return Err(PlanError::BadChildIndex { parent: root, child: root });
+            }
+            if !matches!(self.node(root).op, LogicalOp::Output { .. }) {
+                return Err(PlanError::RootNotOutput { node: root });
+            }
+        }
+        // Output operators must be roots only.
+        let roots: Vec<usize> = self.outputs.iter().map(|o| o.index()).collect();
+        for (i, node) in self.nodes.iter().enumerate() {
+            if matches!(node.op, LogicalOp::Output { .. }) && !roots.contains(&i) {
+                // Tolerated only if unreachable (dead arena slot).
+                let reachable = self.topo_order().iter().any(|n| n.index() == i);
+                if reachable {
+                    return Err(PlanError::InteriorOutput { node: NodeId(i as u32) });
+                }
+            }
+        }
+        self.validate_columns()
+    }
+
+    fn validate_columns(&self) -> Result<(), PlanError> {
+        let schemas = self.schemas();
+        let check = |node: NodeId, cols: &[usize], width: usize| -> Result<(), PlanError> {
+            for &c in cols {
+                if c >= width {
+                    return Err(PlanError::ColumnOutOfRange {
+                        node,
+                        column: c,
+                        input_width: width,
+                    });
+                }
+            }
+            Ok(())
+        };
+        for (i, node) in self.nodes.iter().enumerate() {
+            let id = NodeId(i as u32);
+            match &node.op {
+                LogicalOp::Filter { predicate, .. } => {
+                    let width = schemas[node.children[0].index()].len();
+                    let mut cols = Vec::new();
+                    predicate.collect_columns(&mut cols);
+                    check(id, &cols, width)?;
+                }
+                LogicalOp::Project { exprs } => {
+                    let width = schemas[node.children[0].index()].len();
+                    let mut cols = Vec::new();
+                    for (e, _) in exprs {
+                        e.collect_columns(&mut cols);
+                    }
+                    check(id, &cols, width)?;
+                }
+                LogicalOp::Join { on, .. } => {
+                    let lw = schemas[node.children[0].index()].len();
+                    let rw = schemas[node.children[1].index()].len();
+                    for &(l, r) in on {
+                        check(id, &[l], lw)?;
+                        check(id, &[r], rw)?;
+                    }
+                }
+                LogicalOp::Aggregate { group_by, aggs, .. } => {
+                    let width = schemas[node.children[0].index()].len();
+                    check(id, group_by, width)?;
+                    let agg_cols: Vec<usize> = aggs.iter().filter_map(|a| a.input).collect();
+                    check(id, &agg_cols, width)?;
+                }
+                LogicalOp::Sort { keys } | LogicalOp::Top { keys, .. } => {
+                    let width = schemas[node.children[0].index()].len();
+                    let cols: Vec<usize> = keys.iter().map(|k| k.column).collect();
+                    check(id, &cols, width)?;
+                }
+                LogicalOp::Window { partition_by, funcs } => {
+                    let width = schemas[node.children[0].index()].len();
+                    check(id, partition_by, width)?;
+                    let cols: Vec<usize> = funcs.iter().filter_map(|a| a.input).collect();
+                    check(id, &cols, width)?;
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Structural fingerprint of the plan that is invariant across recurring
+    /// instances of the same template (literal values and table cardinalities
+    /// are masked; operator structure, columns, and table names are kept).
+    #[must_use]
+    pub fn normalized_signature(&self) -> String {
+        let mut s = String::with_capacity(self.nodes.len() * 16);
+        for id in self.topo_order() {
+            let node = self.node(id);
+            s.push_str(node.op.tag());
+            match &node.op {
+                LogicalOp::Extract { table } => {
+                    s.push(':');
+                    s.push_str(&table.name);
+                }
+                LogicalOp::Filter { predicate, .. } => {
+                    s.push(':');
+                    predicate.normalized(&mut s);
+                }
+                LogicalOp::Project { exprs } => {
+                    s.push(':');
+                    for (e, _) in exprs {
+                        e.normalized(&mut s);
+                        s.push(',');
+                    }
+                }
+                LogicalOp::Join { kind, on, .. } => {
+                    s.push(':');
+                    s.push_str(kind.name());
+                    for (l, r) in on {
+                        s.push_str(&format!("{l}={r},"));
+                    }
+                }
+                LogicalOp::Aggregate { group_by, aggs, .. } => {
+                    s.push(':');
+                    for g in group_by {
+                        s.push_str(&format!("g{g},"));
+                    }
+                    for a in aggs {
+                        s.push_str(a.func.name());
+                        s.push(',');
+                    }
+                }
+                LogicalOp::Output { path } => {
+                    s.push(':');
+                    s.push_str(path);
+                }
+                _ => {}
+            }
+            s.push('|');
+            for c in &node.children {
+                s.push_str(&format!("{c},"));
+            }
+            s.push(';');
+        }
+        s
+    }
+
+    /// Template identity derived from the normalized signature.
+    #[must_use]
+    pub fn template_id(&self) -> TemplateId {
+        TemplateId(stable_hash64(self.normalized_signature().as_bytes()))
+    }
+
+    /// The sub-DAG (as a set of node ids) under one output root. SCOPE
+    /// generates some statistics per output tree and some per job; feature
+    /// aggregation (Table 1) needs this split.
+    #[must_use]
+    pub fn output_tree(&self, root: NodeId) -> Vec<NodeId> {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![root];
+        let mut tree = Vec::new();
+        while let Some(id) = stack.pop() {
+            if std::mem::replace(&mut seen[id.index()], true) {
+                continue;
+            }
+            tree.push(id);
+            stack.extend_from_slice(&self.node(id).children);
+        }
+        tree.sort_unstable();
+        tree
+    }
+}
+
+/// Minimal type inference for projection expressions.
+fn infer_type(e: &ScalarExpr, input: &Schema) -> DataType {
+    match e {
+        ScalarExpr::Column(i) => input.column(*i).map_or(DataType::Int, |c| c.ty),
+        ScalarExpr::Literal(v) => match v {
+            crate::expr::Value::Int(_) => DataType::Int,
+            crate::expr::Value::Float(_) => DataType::Float,
+            crate::expr::Value::Str(s) => DataType::String { avg_len: s.len() as u16 },
+            crate::expr::Value::Bool(_) => DataType::Bool,
+        },
+        ScalarExpr::Binary { op, .. } if op.is_comparison() => DataType::Bool,
+        ScalarExpr::Binary { .. } => DataType::Float,
+        ScalarExpr::Udf { .. } => DataType::Float,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{AggFunc, BinOp};
+
+    fn table(name: &str, rows: f64) -> TableRef {
+        TableRef::new(
+            name,
+            Schema::new(vec![
+                Column::new("a", DataType::Int),
+                Column::new("b", DataType::Int),
+                Column::new("c", DataType::String { avg_len: 20 }),
+            ]),
+            DualStats::exact(rows),
+        )
+    }
+
+    /// scan -> filter -> join(scan) -> agg -> output, plus a second output
+    /// sharing the filter (a genuine DAG).
+    fn sample_plan() -> LogicalPlan {
+        let mut p = LogicalPlan::new();
+        let s1 = p.add(LogicalOp::Extract { table: table("t1", 1000.0) }, vec![]);
+        let f = p.add(
+            LogicalOp::Filter {
+                predicate: ScalarExpr::binary(
+                    BinOp::Gt,
+                    ScalarExpr::col(0),
+                    ScalarExpr::lit_int(5),
+                ),
+                selectivity: DualStats::new(0.2, 0.33),
+            },
+            vec![s1],
+        );
+        let s2 = p.add(LogicalOp::Extract { table: table("t2", 500.0) }, vec![]);
+        let j = p.add(
+            LogicalOp::Join {
+                kind: JoinKind::Inner,
+                on: vec![(0, 0)],
+                selectivity: DualStats::exact(0.001),
+            },
+            vec![f, s2],
+        );
+        let a = p.add(
+            LogicalOp::Aggregate {
+                group_by: vec![1],
+                aggs: vec![AggExpr::new(AggFunc::Sum, Some(0), "s")],
+                group_ratio: DualStats::exact(0.01),
+            },
+            vec![j],
+        );
+        p.add_output("out1", a);
+        let t = p.add(LogicalOp::Top { k: 10, keys: vec![SortKey::desc(0)] }, vec![f]);
+        p.add_output("out2", t);
+        p
+    }
+
+    #[test]
+    fn sample_plan_validates() {
+        sample_plan().validate().expect("plan must be valid");
+    }
+
+    #[test]
+    fn topo_order_is_child_first() {
+        let p = sample_plan();
+        let order = p.topo_order();
+        let pos: Vec<usize> = order.iter().map(|n| n.index()).collect();
+        for id in &order {
+            for c in &p.node(*id).children {
+                let ci = pos.iter().position(|&x| x == c.index()).unwrap();
+                let pi = pos.iter().position(|&x| x == id.index()).unwrap();
+                assert!(ci < pi, "child {c} must precede parent {id}");
+            }
+        }
+    }
+
+    #[test]
+    fn dag_shares_subplans_across_outputs() {
+        let p = sample_plan();
+        assert_eq!(p.outputs().len(), 2);
+        let t1 = p.output_tree(p.outputs()[0]);
+        let t2 = p.output_tree(p.outputs()[1]);
+        // The filter node (id 1) is in both trees.
+        assert!(t1.contains(&NodeId(1)));
+        assert!(t2.contains(&NodeId(1)));
+    }
+
+    #[test]
+    fn schemas_propagate() {
+        let p = sample_plan();
+        let schemas = p.schemas();
+        // Join output = 3 + 3 columns.
+        assert_eq!(schemas[3].len(), 6);
+        // Aggregate output = 1 group col + 1 agg.
+        assert_eq!(schemas[4].len(), 2);
+        assert_eq!(&*schemas[4].columns()[1].name, "s");
+    }
+
+    #[test]
+    fn validate_rejects_forward_children() {
+        let mut p = LogicalPlan::new();
+        let s = p.add(LogicalOp::Extract { table: table("t", 1.0) }, vec![]);
+        p.add_output("o", s);
+        // Manually corrupt: make node 0 point at node 1.
+        let mut broken = p.clone();
+        broken.nodes[0].children.push(NodeId(1));
+        assert!(matches!(
+            broken.validate(),
+            Err(PlanError::BadArity { .. }) | Err(PlanError::BadChildIndex { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_bad_arity() {
+        let mut p = LogicalPlan::new();
+        let s = p.add(LogicalOp::Extract { table: table("t", 1.0) }, vec![]);
+        let f = p.add(
+            LogicalOp::Filter {
+                predicate: ScalarExpr::lit_int(1),
+                selectivity: DualStats::exact(1.0),
+            },
+            vec![s],
+        );
+        p.add_output("o", f);
+        let mut broken = p.clone();
+        broken.nodes[1].children.clear();
+        assert!(matches!(broken.validate(), Err(PlanError::BadArity { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_no_outputs() {
+        let mut p = LogicalPlan::new();
+        p.add(LogicalOp::Extract { table: table("t", 1.0) }, vec![]);
+        assert_eq!(p.validate(), Err(PlanError::NoOutputs));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_columns() {
+        let mut p = LogicalPlan::new();
+        let s = p.add(LogicalOp::Extract { table: table("t", 1.0) }, vec![]);
+        let f = p.add(
+            LogicalOp::Filter {
+                predicate: ScalarExpr::binary(
+                    BinOp::Eq,
+                    ScalarExpr::col(17),
+                    ScalarExpr::lit_int(1),
+                ),
+                selectivity: DualStats::exact(0.5),
+            },
+            vec![s],
+        );
+        p.add_output("o", f);
+        assert!(matches!(p.validate(), Err(PlanError::ColumnOutOfRange { column: 17, .. })));
+    }
+
+    #[test]
+    fn template_id_invariant_to_literals_and_cardinality() {
+        let make = |lit: i64, rows: f64| {
+            let mut p = LogicalPlan::new();
+            let s = p.add(LogicalOp::Extract { table: table("t", rows) }, vec![]);
+            let f = p.add(
+                LogicalOp::Filter {
+                    predicate: ScalarExpr::binary(
+                        BinOp::Gt,
+                        ScalarExpr::col(0),
+                        ScalarExpr::lit_int(lit),
+                    ),
+                    selectivity: DualStats::exact(0.5),
+                },
+                vec![s],
+            );
+            p.add_output("o", f);
+            p
+        };
+        assert_eq!(make(5, 100.0).template_id(), make(999, 5000.0).template_id());
+        // Different table name => different template.
+        let mut other = LogicalPlan::new();
+        let s = other.add(LogicalOp::Extract { table: table("zz", 100.0) }, vec![]);
+        other.add_output("o", s);
+        assert_ne!(make(5, 100.0).template_id(), other.template_id());
+    }
+
+    #[test]
+    fn count_tag_counts_reachable_ops() {
+        let p = sample_plan();
+        assert_eq!(p.count_tag("Extract"), 2);
+        assert_eq!(p.count_tag("Output"), 2);
+        assert_eq!(p.count_tag("Join"), 1);
+    }
+}

@@ -1,0 +1,196 @@
+//! Abstract syntax for the SCOPE-like script language. Unlike the IR,
+//! expressions here reference columns *by name* (optionally qualified by the
+//! dataset alias); the binder resolves names to positional indices.
+
+use scope_ir::schema::DataType;
+
+/// A whole script: an ordered list of statements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Script {
+    pub statements: Vec<Statement>,
+}
+
+/// Top-level statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `name = EXTRACT col:type, ... FROM "path" [USING Extractor];`
+    Extract { name: String, columns: Vec<(String, DataType)>, path: String, extractor: Option<String> },
+    /// `name = SELECT ... ;`
+    Select { name: String, query: SelectStmt },
+    /// `name = PROCESS input USING Udf;`
+    Process { name: String, input: String, udf: String },
+    /// `name = UNION a, b, c;`
+    Union { name: String, inputs: Vec<String> },
+    /// `name = WINDOW input PARTITION BY cols AGGREGATE SUM(x) AS s, ...;`
+    Window {
+        name: String,
+        input: String,
+        partition_by: Vec<ColumnRef>,
+        funcs: Vec<WindowFunc>,
+    },
+    /// `OUTPUT name TO "path";`
+    Output { input: String, path: String },
+}
+
+impl Statement {
+    /// The dataset name this statement defines, if any.
+    #[must_use]
+    pub fn defines(&self) -> Option<&str> {
+        match self {
+            Statement::Extract { name, .. }
+            | Statement::Select { name, .. }
+            | Statement::Process { name, .. }
+            | Statement::Union { name, .. }
+            | Statement::Window { name, .. } => Some(name),
+            Statement::Output { .. } => None,
+        }
+    }
+}
+
+/// One windowed aggregate, e.g. `SUM(v) AS total`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowFunc {
+    pub func: String,
+    /// `None` means `COUNT(*)`.
+    pub column: Option<ColumnRef>,
+    pub alias: String,
+}
+
+/// A SELECT statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// `SELECT TOP k` limit, if present (requires ORDER BY).
+    pub top: Option<u64>,
+    pub items: Vec<SelectItem>,
+    /// First (driving) input dataset.
+    pub from: TableAlias,
+    /// Zero or more `JOIN x ON a == b` clauses, applied left-to-right.
+    pub joins: Vec<JoinClause>,
+    pub predicate: Option<Expr>,
+    pub group_by: Vec<ColumnRef>,
+    pub order_by: Vec<OrderKey>,
+}
+
+/// A dataset reference with an optional alias (`sales AS s`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableAlias {
+    pub name: String,
+    pub alias: Option<String>,
+}
+
+impl TableAlias {
+    /// The name columns may be qualified with.
+    #[must_use]
+    pub fn effective_alias(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.name)
+    }
+}
+
+/// One `JOIN <table> ON <left-col> == <right-col> [AND ...]` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinClause {
+    pub table: TableAlias,
+    /// Equi-join conditions: pairs of column references.
+    pub on: Vec<(ColumnRef, ColumnRef)>,
+}
+
+/// Items of the select list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// A scalar expression with an optional alias.
+    Expr { expr: Expr, alias: Option<String> },
+    /// An aggregate call, e.g. `SUM(x) AS total`. `column == None` is
+    /// `COUNT(*)`.
+    Agg { func: String, distinct: bool, column: Option<ColumnRef>, alias: String },
+}
+
+/// A possibly-qualified column name.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ColumnRef {
+    pub qualifier: Option<String>,
+    pub name: String,
+}
+
+impl ColumnRef {
+    #[must_use]
+    pub fn bare(name: impl Into<String>) -> Self {
+        Self { qualifier: None, name: name.into() }
+    }
+
+    #[must_use]
+    pub fn qualified(q: impl Into<String>, name: impl Into<String>) -> Self {
+        Self { qualifier: Some(q.into()), name: name.into() }
+    }
+}
+
+impl std::fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.qualifier {
+            Some(q) => write!(f, "{q}.{}", self.name),
+            None => write!(f, "{}", self.name),
+        }
+    }
+}
+
+/// Scalar expressions (named columns).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Column(ColumnRef),
+    IntLit(i64),
+    FloatLit(f64),
+    StrLit(String),
+    Binary { op: AstBinOp, left: Box<Expr>, right: Box<Expr> },
+}
+
+/// Binary operators at the AST level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AstBinOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+/// One ORDER BY key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderKey {
+    pub column: ColumnRef,
+    pub descending: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defines_reports_bound_name() {
+        let s = Statement::Union { name: "u".into(), inputs: vec!["a".into(), "b".into()] };
+        assert_eq!(s.defines(), Some("u"));
+        let o = Statement::Output { input: "u".into(), path: "p".into() };
+        assert_eq!(o.defines(), None);
+    }
+
+    #[test]
+    fn column_ref_display() {
+        assert_eq!(ColumnRef::bare("x").to_string(), "x");
+        assert_eq!(ColumnRef::qualified("t", "x").to_string(), "t.x");
+    }
+
+    #[test]
+    fn effective_alias_prefers_explicit() {
+        let t = TableAlias { name: "sales".into(), alias: Some("s".into()) };
+        assert_eq!(t.effective_alias(), "s");
+        let t2 = TableAlias { name: "sales".into(), alias: None };
+        assert_eq!(t2.effective_alias(), "sales");
+    }
+}

@@ -1,0 +1,77 @@
+//! Error and source-position types shared by lexer, parser, and binder.
+
+use std::fmt;
+
+/// A (line, column) position in the script source, 1-based.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    pub line: u32,
+    pub column: u32,
+}
+
+impl Span {
+    #[must_use]
+    pub fn new(line: u32, column: u32) -> Self {
+        Self { line, column }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
+
+/// Errors produced by the language front-end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LangError {
+    /// Unexpected character during lexing.
+    Lex { span: Span, message: String },
+    /// Parse error with expectation context.
+    Parse { span: Span, message: String },
+    /// Binder error: unknown names, duplicate definitions, type issues.
+    Bind { span: Span, message: String },
+}
+
+impl LangError {
+    #[must_use]
+    pub fn span(&self) -> Span {
+        match self {
+            LangError::Lex { span, .. }
+            | LangError::Parse { span, .. }
+            | LangError::Bind { span, .. } => *span,
+        }
+    }
+
+    pub(crate) fn parse(span: Span, message: impl Into<String>) -> Self {
+        LangError::Parse { span, message: message.into() }
+    }
+
+    pub(crate) fn bind(span: Span, message: impl Into<String>) -> Self {
+        LangError::Bind { span, message: message.into() }
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LangError::Lex { span, message } => write!(f, "lex error at {span}: {message}"),
+            LangError::Parse { span, message } => write!(f, "parse error at {span}: {message}"),
+            LangError::Bind { span, message } => write!(f, "bind error at {span}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for LangError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = LangError::parse(Span::new(3, 14), "expected FROM");
+        assert_eq!(e.to_string(), "parse error at 3:14: expected FROM");
+        assert_eq!(e.span(), Span::new(3, 14));
+    }
+}

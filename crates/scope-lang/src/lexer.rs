@@ -1,0 +1,361 @@
+//! Tokenizer for the SCOPE-like script language.
+
+use crate::error::{LangError, Span};
+
+/// Tokens. Keywords are case-insensitive in source but normalized here.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    // Keywords
+    Extract,
+    From,
+    Using,
+    Select,
+    Top,
+    Where,
+    Group,
+    By,
+    Order,
+    Asc,
+    Desc,
+    Join,
+    On,
+    As,
+    And,
+    Or,
+    Output,
+    To,
+    Process,
+    Union,
+    Distinct,
+    Window,
+    Partition,
+    Aggregate,
+    // Literals / identifiers
+    Ident(String),
+    IntLit(i64),
+    FloatLit(f64),
+    StrLit(String),
+    // Punctuation
+    Eq,      // =
+    EqEq,    // ==
+    Ne,      // !=
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Comma,
+    Semicolon,
+    Colon,
+    Dot,
+    LParen,
+    RParen,
+    Eof,
+}
+
+impl Token {
+    /// Keyword lookup for an identifier-shaped lexeme.
+    fn keyword(upper: &str) -> Option<Token> {
+        Some(match upper {
+            "EXTRACT" => Token::Extract,
+            "FROM" => Token::From,
+            "USING" => Token::Using,
+            "SELECT" => Token::Select,
+            "TOP" => Token::Top,
+            "WHERE" => Token::Where,
+            "GROUP" => Token::Group,
+            "BY" => Token::By,
+            "ORDER" => Token::Order,
+            "ASC" => Token::Asc,
+            "DESC" => Token::Desc,
+            "JOIN" => Token::Join,
+            "ON" => Token::On,
+            "AS" => Token::As,
+            "AND" => Token::And,
+            "OR" => Token::Or,
+            "OUTPUT" => Token::Output,
+            "TO" => Token::To,
+            "PROCESS" => Token::Process,
+            "UNION" => Token::Union,
+            "DISTINCT" => Token::Distinct,
+            "WINDOW" => Token::Window,
+            "PARTITION" => Token::Partition,
+            "AGGREGATE" => Token::Aggregate,
+            _ => return None,
+        })
+    }
+}
+
+/// A token paired with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    pub token: Token,
+    pub span: Span,
+}
+
+/// Tokenize a whole script. `//` comments run to end of line.
+pub fn tokenize(src: &str) -> Result<Vec<Spanned>, LangError> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+    macro_rules! push {
+        ($tok:expr, $span:expr) => {
+            out.push(Spanned { token: $tok, span: $span })
+        };
+    }
+    while i < bytes.len() {
+        let c = bytes[i];
+        let span = Span::new(line, col);
+        match c {
+            '\n' => {
+                line += 1;
+                col = 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => {
+                col += 1;
+                i += 1;
+            }
+            '/' if bytes.get(i + 1) == Some(&'/') => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '"' => {
+                let mut s = String::new();
+                i += 1;
+                col += 1;
+                let mut closed = false;
+                while i < bytes.len() {
+                    if bytes[i] == '"' {
+                        closed = true;
+                        i += 1;
+                        col += 1;
+                        break;
+                    }
+                    if bytes[i] == '\n' {
+                        break;
+                    }
+                    s.push(bytes[i]);
+                    i += 1;
+                    col += 1;
+                }
+                if !closed {
+                    return Err(LangError::Lex { span, message: "unterminated string".into() });
+                }
+                push!(Token::StrLit(s), span);
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == '.') {
+                    i += 1;
+                    col += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                if text.contains('.') {
+                    let v = text.parse::<f64>().map_err(|_| LangError::Lex {
+                        span,
+                        message: format!("bad float literal {text}"),
+                    })?;
+                    push!(Token::FloatLit(v), span);
+                } else {
+                    let v = text.parse::<i64>().map_err(|_| LangError::Lex {
+                        span,
+                        message: format!("bad int literal {text}"),
+                    })?;
+                    push!(Token::IntLit(v), span);
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                    col += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                let upper = text.to_ascii_uppercase();
+                match Token::keyword(&upper) {
+                    Some(kw) => push!(kw, span),
+                    None => push!(Token::Ident(text), span),
+                }
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    push!(Token::EqEq, span);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push!(Token::Eq, span);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '!' if bytes.get(i + 1) == Some(&'=') => {
+                push!(Token::Ne, span);
+                i += 2;
+                col += 2;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    push!(Token::Le, span);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push!(Token::Lt, span);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    push!(Token::Ge, span);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push!(Token::Gt, span);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '+' => {
+                push!(Token::Plus, span);
+                i += 1;
+                col += 1;
+            }
+            '-' => {
+                push!(Token::Minus, span);
+                i += 1;
+                col += 1;
+            }
+            '*' => {
+                push!(Token::Star, span);
+                i += 1;
+                col += 1;
+            }
+            '/' => {
+                push!(Token::Slash, span);
+                i += 1;
+                col += 1;
+            }
+            ',' => {
+                push!(Token::Comma, span);
+                i += 1;
+                col += 1;
+            }
+            ';' => {
+                push!(Token::Semicolon, span);
+                i += 1;
+                col += 1;
+            }
+            ':' => {
+                push!(Token::Colon, span);
+                i += 1;
+                col += 1;
+            }
+            '.' => {
+                push!(Token::Dot, span);
+                i += 1;
+                col += 1;
+            }
+            '(' => {
+                push!(Token::LParen, span);
+                i += 1;
+                col += 1;
+            }
+            ')' => {
+                push!(Token::RParen, span);
+                i += 1;
+                col += 1;
+            }
+            other => {
+                return Err(LangError::Lex {
+                    span,
+                    message: format!("unexpected character {other:?}"),
+                });
+            }
+        }
+    }
+    out.push(Spanned { token: Token::Eof, span: Span::new(line, col) });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        tokenize(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert_eq!(toks("select SELECT SeLeCt"), vec![
+            Token::Select,
+            Token::Select,
+            Token::Select,
+            Token::Eof
+        ]);
+    }
+
+    #[test]
+    fn identifiers_keep_case() {
+        assert_eq!(toks("myData"), vec![Token::Ident("myData".into()), Token::Eof]);
+    }
+
+    #[test]
+    fn numbers_and_strings() {
+        assert_eq!(toks(r#"42 3.5 "a/b""#), vec![
+            Token::IntLit(42),
+            Token::FloatLit(3.5),
+            Token::StrLit("a/b".into()),
+            Token::Eof
+        ]);
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(toks("= == != < <= > >="), vec![
+            Token::Eq,
+            Token::EqEq,
+            Token::Ne,
+            Token::Lt,
+            Token::Le,
+            Token::Gt,
+            Token::Ge,
+            Token::Eof
+        ]);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(toks("a // hello world\nb"), vec![
+            Token::Ident("a".into()),
+            Token::Ident("b".into()),
+            Token::Eof
+        ]);
+    }
+
+    #[test]
+    fn spans_track_lines() {
+        let s = tokenize("a\n  b").unwrap();
+        assert_eq!(s[0].span, Span::new(1, 1));
+        assert_eq!(s[1].span, Span::new(2, 3));
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        let err = tokenize("\"abc").unwrap_err();
+        assert!(matches!(err, LangError::Lex { .. }));
+    }
+
+    #[test]
+    fn unexpected_character_errors() {
+        let err = tokenize("@").unwrap_err();
+        assert!(err.to_string().contains("unexpected character"));
+    }
+}

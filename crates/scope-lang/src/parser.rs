@@ -1,0 +1,505 @@
+//! Recursive-descent parser for the SCOPE-like script language.
+
+use crate::ast::{
+    AstBinOp, ColumnRef, Expr, JoinClause, OrderKey, Script, SelectItem, SelectStmt, Statement,
+    TableAlias, WindowFunc,
+};
+use crate::error::{LangError, Span};
+use crate::lexer::{tokenize, Spanned, Token};
+use scope_ir::schema::DataType;
+
+/// Parse a script source into an AST.
+pub fn parse_script(src: &str) -> Result<Script, LangError> {
+    let tokens = tokenize(src)?;
+    Parser { tokens, pos: 0 }.script()
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+const AGG_FUNCS: &[&str] = &["COUNT", "SUM", "MIN", "MAX", "AVG"];
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos].token
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].token.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == t {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Token, what: &str) -> Result<(), LangError> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(LangError::parse(self.span(), format!("expected {what}, found {:?}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, LangError> {
+        match self.peek().clone() {
+            Token::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(LangError::parse(self.span(), format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn string(&mut self, what: &str) -> Result<String, LangError> {
+        match self.peek().clone() {
+            Token::StrLit(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(LangError::parse(self.span(), format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn script(&mut self) -> Result<Script, LangError> {
+        let mut statements = Vec::new();
+        while self.peek() != &Token::Eof {
+            statements.push(self.statement()?);
+        }
+        Ok(Script { statements })
+    }
+
+    fn statement(&mut self) -> Result<Statement, LangError> {
+        if self.eat(&Token::Output) {
+            let input = self.ident("dataset name")?;
+            self.expect(&Token::To, "TO")?;
+            let path = self.string("output path")?;
+            self.expect(&Token::Semicolon, ";")?;
+            return Ok(Statement::Output { input, path });
+        }
+        let name = self.ident("statement name")?;
+        self.expect(&Token::Eq, "=")?;
+        let stmt = match self.peek() {
+            Token::Extract => {
+                self.bump();
+                self.extract(name)?
+            }
+            Token::Select => {
+                self.bump();
+                let query = self.select()?;
+                Statement::Select { name, query }
+            }
+            Token::Process => {
+                self.bump();
+                let input = self.ident("input dataset")?;
+                self.expect(&Token::Using, "USING")?;
+                let udf = self.ident("processor name")?;
+                Statement::Process { name, input, udf }
+            }
+            Token::Window => {
+                self.bump();
+                let input = self.ident("input dataset")?;
+                self.expect(&Token::Partition, "PARTITION")?;
+                self.expect(&Token::By, "BY")?;
+                let mut partition_by = vec![self.column_ref()?];
+                while self.eat(&Token::Comma) {
+                    partition_by.push(self.column_ref()?);
+                }
+                self.expect(&Token::Aggregate, "AGGREGATE")?;
+                let mut funcs = vec![self.window_func()?];
+                while self.eat(&Token::Comma) {
+                    funcs.push(self.window_func()?);
+                }
+                Statement::Window { name, input, partition_by, funcs }
+            }
+            Token::Union => {
+                self.bump();
+                let mut inputs = vec![self.ident("dataset name")?];
+                while self.eat(&Token::Comma) {
+                    inputs.push(self.ident("dataset name")?);
+                }
+                if inputs.len() < 2 {
+                    return Err(LangError::parse(self.span(), "UNION needs at least 2 inputs"));
+                }
+                Statement::Union { name, inputs }
+            }
+            other => {
+                return Err(LangError::parse(
+                    self.span(),
+                    format!("expected EXTRACT/SELECT/PROCESS/UNION, found {other:?}"),
+                ));
+            }
+        };
+        self.expect(&Token::Semicolon, ";")?;
+        Ok(stmt)
+    }
+
+    fn extract(&mut self, name: String) -> Result<Statement, LangError> {
+        let mut columns = Vec::new();
+        loop {
+            let col = self.ident("column name")?;
+            self.expect(&Token::Colon, ":")?;
+            let ty_name = self.ident("type name")?;
+            let ty = match ty_name.to_ascii_lowercase().as_str() {
+                "int" | "long" => DataType::Int,
+                "float" | "double" => DataType::Float,
+                "bool" => DataType::Bool,
+                "string" => DataType::String { avg_len: 24 },
+                "datetime" => DataType::DateTime,
+                other => {
+                    return Err(LangError::parse(self.span(), format!("unknown type {other}")));
+                }
+            };
+            columns.push((col, ty));
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect(&Token::From, "FROM")?;
+        let path = self.string("input path")?;
+        let extractor =
+            if self.eat(&Token::Using) { Some(self.ident("extractor name")?) } else { None };
+        Ok(Statement::Extract { name, columns, path, extractor })
+    }
+
+    fn select(&mut self) -> Result<SelectStmt, LangError> {
+        let top = if self.eat(&Token::Top) {
+            match self.bump() {
+                Token::IntLit(v) if v > 0 => Some(v as u64),
+                other => {
+                    return Err(LangError::parse(
+                        self.span(),
+                        format!("expected positive TOP count, found {other:?}"),
+                    ));
+                }
+            }
+        } else {
+            None
+        };
+        let items = self.select_items()?;
+        self.expect(&Token::From, "FROM")?;
+        let from = self.table_alias()?;
+        let mut joins = Vec::new();
+        while self.eat(&Token::Join) {
+            let table = self.table_alias()?;
+            self.expect(&Token::On, "ON")?;
+            let mut on = vec![self.join_condition()?];
+            while self.eat(&Token::And) {
+                on.push(self.join_condition()?);
+            }
+            joins.push(JoinClause { table, on });
+        }
+        let predicate = if self.eat(&Token::Where) { Some(self.expr()?) } else { None };
+        let mut group_by = Vec::new();
+        if self.eat(&Token::Group) {
+            self.expect(&Token::By, "BY")?;
+            group_by.push(self.column_ref()?);
+            while self.eat(&Token::Comma) {
+                group_by.push(self.column_ref()?);
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.eat(&Token::Order) {
+            self.expect(&Token::By, "BY")?;
+            loop {
+                let column = self.column_ref()?;
+                let descending = if self.eat(&Token::Desc) {
+                    true
+                } else {
+                    self.eat(&Token::Asc);
+                    false
+                };
+                order_by.push(OrderKey { column, descending });
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        if top.is_some() && order_by.is_empty() {
+            return Err(LangError::parse(self.span(), "SELECT TOP requires ORDER BY"));
+        }
+        Ok(SelectStmt { top, items, from, joins, predicate, group_by, order_by })
+    }
+
+    fn select_items(&mut self) -> Result<Vec<SelectItem>, LangError> {
+        if self.eat(&Token::Star) {
+            return Ok(vec![SelectItem::Wildcard]);
+        }
+        let mut items = vec![self.select_item()?];
+        while self.eat(&Token::Comma) {
+            items.push(self.select_item()?);
+        }
+        Ok(items)
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, LangError> {
+        // Aggregate call?
+        if let Token::Ident(name) = self.peek().clone() {
+            let upper = name.to_ascii_uppercase();
+            if AGG_FUNCS.contains(&upper.as_str())
+                && self.tokens.get(self.pos + 1).map(|s| &s.token) == Some(&Token::LParen)
+            {
+                self.bump(); // func name
+                self.bump(); // (
+                let distinct = self.eat(&Token::Distinct);
+                let column = if self.eat(&Token::Star) {
+                    None
+                } else {
+                    Some(self.column_ref()?)
+                };
+                self.expect(&Token::RParen, ")")?;
+                self.expect(&Token::As, "AS (aggregates must be aliased)")?;
+                let alias = self.ident("alias")?;
+                return Ok(SelectItem::Agg { func: upper, distinct, column, alias });
+            }
+        }
+        let expr = self.expr()?;
+        let alias = if self.eat(&Token::As) { Some(self.ident("alias")?) } else { None };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn window_func(&mut self) -> Result<WindowFunc, LangError> {
+        let func = self.ident("aggregate function")?.to_ascii_uppercase();
+        if !AGG_FUNCS.contains(&func.as_str()) {
+            return Err(LangError::parse(self.span(), format!("unknown aggregate {func}")));
+        }
+        self.expect(&Token::LParen, "(")?;
+        let column = if self.eat(&Token::Star) { None } else { Some(self.column_ref()?) };
+        self.expect(&Token::RParen, ")")?;
+        self.expect(&Token::As, "AS (window aggregates must be aliased)")?;
+        let alias = self.ident("alias")?;
+        Ok(WindowFunc { func, column, alias })
+    }
+
+    fn table_alias(&mut self) -> Result<TableAlias, LangError> {
+        let name = self.ident("dataset name")?;
+        let alias = if self.eat(&Token::As) { Some(self.ident("alias")?) } else { None };
+        Ok(TableAlias { name, alias })
+    }
+
+    fn join_condition(&mut self) -> Result<(ColumnRef, ColumnRef), LangError> {
+        let l = self.column_ref()?;
+        self.expect(&Token::EqEq, "==")?;
+        let r = self.column_ref()?;
+        Ok((l, r))
+    }
+
+    fn column_ref(&mut self) -> Result<ColumnRef, LangError> {
+        let first = self.ident("column name")?;
+        if self.eat(&Token::Dot) {
+            let second = self.ident("column name")?;
+            Ok(ColumnRef::qualified(first, second))
+        } else {
+            Ok(ColumnRef::bare(first))
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, LangError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, LangError> {
+        let mut left = self.and_expr()?;
+        while self.eat(&Token::Or) {
+            let right = self.and_expr()?;
+            left = Expr::Binary { op: AstBinOp::Or, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, LangError> {
+        let mut left = self.cmp_expr()?;
+        while self.eat(&Token::And) {
+            let right = self.cmp_expr()?;
+            left = Expr::Binary { op: AstBinOp::And, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, LangError> {
+        let left = self.add_expr()?;
+        let op = match self.peek() {
+            Token::EqEq => AstBinOp::Eq,
+            Token::Ne => AstBinOp::Ne,
+            Token::Lt => AstBinOp::Lt,
+            Token::Le => AstBinOp::Le,
+            Token::Gt => AstBinOp::Gt,
+            Token::Ge => AstBinOp::Ge,
+            _ => return Ok(left),
+        };
+        self.bump();
+        let right = self.add_expr()?;
+        Ok(Expr::Binary { op, left: Box::new(left), right: Box::new(right) })
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, LangError> {
+        let mut left = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Token::Plus => AstBinOp::Add,
+                Token::Minus => AstBinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let right = self.mul_expr()?;
+            left = Expr::Binary { op, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, LangError> {
+        let mut left = self.atom()?;
+        loop {
+            let op = match self.peek() {
+                Token::Star => AstBinOp::Mul,
+                Token::Slash => AstBinOp::Div,
+                _ => break,
+            };
+            self.bump();
+            let right = self.atom()?;
+            left = Expr::Binary { op, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn atom(&mut self) -> Result<Expr, LangError> {
+        match self.peek().clone() {
+            Token::IntLit(v) => {
+                self.bump();
+                Ok(Expr::IntLit(v))
+            }
+            Token::FloatLit(v) => {
+                self.bump();
+                Ok(Expr::FloatLit(v))
+            }
+            Token::StrLit(s) => {
+                self.bump();
+                Ok(Expr::StrLit(s))
+            }
+            Token::Ident(_) => Ok(Expr::Column(self.column_ref()?)),
+            Token::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&Token::RParen, ")")?;
+                Ok(e)
+            }
+            other => {
+                Err(LangError::parse(self.span(), format!("expected expression, found {other:?}")))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_extract() {
+        let s = parse_script(r#"d = EXTRACT a:int, b:string FROM "p" USING Tsv;"#).unwrap();
+        match &s.statements[0] {
+            Statement::Extract { name, columns, path, extractor } => {
+                assert_eq!(name, "d");
+                assert_eq!(columns.len(), 2);
+                assert_eq!(path, "p");
+                assert_eq!(extractor.as_deref(), Some("Tsv"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_select_with_all_clauses() {
+        let src = r#"
+            r = SELECT TOP 10 a, SUM(b) AS t FROM d AS x
+                JOIN e ON x.a == e.a
+                WHERE a > 3 AND b != 0
+                GROUP BY a
+                ORDER BY t DESC;
+        "#;
+        let s = parse_script(src).unwrap();
+        match &s.statements[0] {
+            Statement::Select { query, .. } => {
+                assert_eq!(query.top, Some(10));
+                assert_eq!(query.items.len(), 2);
+                assert_eq!(query.joins.len(), 1);
+                assert!(query.predicate.is_some());
+                assert_eq!(query.group_by.len(), 1);
+                assert_eq!(query.order_by.len(), 1);
+                assert!(query.order_by[0].descending);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn top_without_order_by_is_rejected() {
+        let err = parse_script("r = SELECT TOP 5 * FROM d;").unwrap_err();
+        assert!(err.to_string().contains("ORDER BY"), "{err}");
+    }
+
+    #[test]
+    fn parses_union_and_process_and_output() {
+        let src = r#"
+            u = UNION a, b, c;
+            p = PROCESS u USING Cleanse;
+            OUTPUT p TO "out";
+        "#;
+        let s = parse_script(src).unwrap();
+        assert_eq!(s.statements.len(), 3);
+        assert!(matches!(&s.statements[0], Statement::Union { inputs, .. } if inputs.len() == 3));
+        assert!(matches!(&s.statements[1], Statement::Process { udf, .. } if udf == "Cleanse"));
+        assert!(matches!(&s.statements[2], Statement::Output { path, .. } if path == "out"));
+    }
+
+    #[test]
+    fn expression_precedence_and_over_or() {
+        let s = parse_script("r = SELECT * FROM d WHERE a == 1 OR b == 2 AND c == 3;").unwrap();
+        let Statement::Select { query, .. } = &s.statements[0] else { panic!() };
+        let Some(Expr::Binary { op, .. }) = &query.predicate else { panic!() };
+        assert_eq!(*op, AstBinOp::Or);
+    }
+
+    #[test]
+    fn arithmetic_precedence_mul_over_add() {
+        let s = parse_script("r = SELECT a + b * 2 AS v FROM d;").unwrap();
+        let Statement::Select { query, .. } = &s.statements[0] else { panic!() };
+        let SelectItem::Expr { expr: Expr::Binary { op, .. }, .. } = &query.items[0] else {
+            panic!()
+        };
+        assert_eq!(*op, AstBinOp::Add);
+    }
+
+    #[test]
+    fn count_distinct_parses() {
+        let s = parse_script("r = SELECT COUNT(DISTINCT u) AS n FROM d GROUP BY g;").unwrap();
+        let Statement::Select { query, .. } = &s.statements[0] else { panic!() };
+        assert!(matches!(&query.items[0], SelectItem::Agg { distinct: true, .. }));
+    }
+
+    #[test]
+    fn unknown_statement_kind_errors() {
+        let err = parse_script("x = FROB a;").unwrap_err();
+        assert!(err.to_string().contains("expected EXTRACT"), "{err}");
+    }
+
+    #[test]
+    fn missing_semicolon_errors() {
+        let err = parse_script(r#"d = EXTRACT a:int FROM "p""#).unwrap_err();
+        assert!(err.to_string().contains(';'), "{err}");
+    }
+}

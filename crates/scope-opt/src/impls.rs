@@ -1,0 +1,637 @@
+//! Logical→physical implementation rules, including the required fallback
+//! implementations and the parametric variant rules.
+//!
+//! Exchange placement happens here: each implementation decides, per input
+//! edge, whether data must be moved (and how) by comparing the child group's
+//! natural distribution with the operator's requirement, subject to the
+//! `ShuffleElimination` policy rule.
+
+
+use crate::memo::{Dist, ExchangeSpec, GroupId, Memo, PExpr, PreLocal};
+use crate::registry::{ImplKind, ParametricSpec, RuleBehavior, RuleDef, RuleSet};
+use crate::search::SearchOptions;
+use scope_ir::logical::LogicalOp;
+use scope_ir::physical::{AggMode, Partitioning, PhysicalOp, PhysicalTuning, ScanVariant};
+
+/// Context shared across implementation-rule applications for one compile.
+pub struct ImplContext<'a> {
+    pub rules: &'a RuleSet,
+    pub opts: &'a SearchOptions,
+    /// `ShuffleElimination` policy rule enabled.
+    pub shuffle_elimination: bool,
+    /// `IntermediateCompression` policy rule enabled.
+    pub compression: bool,
+    pub template_seed: u64,
+}
+
+/// Number of partitions for an exchange moving approximately `bytes_est`
+/// bytes, scaled by the implementation's parallelism knob. Deterministic
+/// (vertex counts must be noise-free). Bytes-based sizing means any flip
+/// that shrinks the data flowing through an exchange also shrinks the
+/// downstream vertex count.
+#[must_use]
+pub fn choose_partitions(bytes_est: f64, opts: &SearchOptions, parallelism_mult: f64) -> u32 {
+    let raw = (bytes_est / opts.bytes_per_partition).ceil().max(1.0);
+    let pow2 = raw.log2().ceil().exp2();
+    let scaled = (pow2 * parallelism_mult).round().max(1.0);
+    (scaled as u32).clamp(1, opts.max_partitions)
+}
+
+/// Apply one implementation or parametric rule to a logical expression.
+/// Returns `None` when the rule does not apply (wrong operator, inputs out
+/// of its applicability envelope, …).
+#[must_use]
+pub fn implement_expr(
+    rule: &RuleDef,
+    memo: &Memo,
+    gid: GroupId,
+    eidx: usize,
+    ctx: &ImplContext<'_>,
+) -> Option<PExpr> {
+    let expr = &memo.group(gid).lexprs[eidx];
+    let mut provenance = expr.provenance;
+    provenance.insert(rule.id);
+    let (claimed, actual) = match &rule.behavior {
+        RuleBehavior::Implement(ImplKind::NestedLoopJoin) => {
+            // Nested loop is modelled as a single-partition join with a
+            // steep CPU penalty (its quadratic work), honest on both sides.
+            let t = PhysicalTuning { cpu_mult: 6.0, io_mult: 1.0, parallelism_mult: 1.0 };
+            (t, t)
+        }
+        RuleBehavior::Implement(_) => (PhysicalTuning::IDENTITY, PhysicalTuning::IDENTITY),
+        RuleBehavior::FallbackImpl => {
+            let t = PhysicalTuning {
+                cpu_mult: ctx.opts.fallback_cpu_penalty,
+                io_mult: ctx.opts.fallback_io_penalty,
+                parallelism_mult: 1.0,
+            };
+            (t, t)
+        }
+        RuleBehavior::Parametric(spec) => {
+            if !parametric_matches(spec, &expr.op) {
+                return None;
+            }
+            (spec.claimed, ctx.rules.actual_tuning(rule.id, ctx.template_seed))
+        }
+        _ => return None,
+    };
+    let kind = match &rule.behavior {
+        RuleBehavior::Implement(kind) => Some(*kind),
+        _ => None,
+    };
+    build_pexpr(memo, gid, eidx, kind, rule, claimed, actual, provenance, ctx)
+}
+
+/// Construct the physical expression. `kind == None` means "canonical
+/// implementation for this operator" (fallback and parametric rules).
+#[allow(clippy::too_many_arguments)]
+fn build_pexpr(
+    memo: &Memo,
+    gid: GroupId,
+    eidx: usize,
+    kind: Option<ImplKind>,
+    rule: &RuleDef,
+    claimed: PhysicalTuning,
+    actual: PhysicalTuning,
+    provenance: crate::config::RuleBits,
+    ctx: &ImplContext<'_>,
+) -> Option<PExpr> {
+    let expr = &memo.group(gid).lexprs[eidx];
+    let children = expr.children.clone();
+    let child_stats = |i: usize| memo.group(children[i]).stats;
+    let child_dist = |i: usize| &memo.group(children[i]).dist;
+    let mk = |op: PhysicalOp,
+              exchanges: Vec<Option<ExchangeSpec>>,
+              pre_local: Vec<Option<PreLocal>>,
+              elided: bool| {
+        Some(PExpr {
+            op,
+            children: children.clone(),
+            exchanges,
+            pre_local,
+            claimed,
+            actual,
+            rule: rule.id,
+            provenance,
+            elided_exchange: elided,
+        })
+    };
+    // The consumer's IO knob scales the bytes its shuffle edges move, so it
+    // participates in partition sizing as well.
+    let hash_exchange = |cols: Vec<usize>, bytes: f64| ExchangeSpec {
+        scheme: Partitioning::Hash {
+            columns: cols,
+            partitions: choose_partitions(
+                bytes * claimed.io_mult,
+                ctx.opts,
+                claimed.parallelism_mult,
+            ),
+        },
+        sorted: false,
+        compressed: ctx.compression,
+    };
+    let range_exchange = |cols: Vec<usize>, bytes: f64| ExchangeSpec {
+        scheme: Partitioning::Range {
+            columns: cols,
+            partitions: choose_partitions(
+                bytes * claimed.io_mult,
+                ctx.opts,
+                claimed.parallelism_mult,
+            ),
+        },
+        sorted: true,
+        compressed: ctx.compression,
+    };
+
+    match (&expr.op, kind) {
+        (LogicalOp::Extract { table }, Some(ImplKind::Scan) | None) => mk(
+            PhysicalOp::TableScan { table: table.name.clone(), variant: ScanVariant::Sequential },
+            vec![],
+            vec![],
+            false,
+        ),
+        (LogicalOp::Filter { predicate, .. }, Some(ImplKind::Filter) | None) => mk(
+            PhysicalOp::FilterExec { predicate: predicate.clone() },
+            vec![None],
+            vec![None],
+            false,
+        ),
+        (LogicalOp::Project { exprs }, Some(ImplKind::Project) | None) => mk(
+            PhysicalOp::ProjectExec { exprs: exprs.clone() },
+            vec![None],
+            vec![None],
+            false,
+        ),
+        (LogicalOp::Join { kind: jk, on, .. }, jkind) => {
+            let lcols: Vec<usize> = on.iter().map(|&(l, _)| l).collect();
+            let rcols: Vec<usize> = on.iter().map(|&(_, r)| r).collect();
+            let (lbytes, rbytes) =
+                (child_stats(0).estimated_bytes(), child_stats(1).estimated_bytes());
+            match jkind {
+                Some(ImplKind::HashJoin) | None => {
+                    let mut elided = false;
+                    let lx = if ctx.shuffle_elimination && child_dist(0) == &Dist::Hash(lcols.clone())
+                    {
+                        elided = true;
+                        None
+                    } else {
+                        Some(hash_exchange(lcols, lbytes.max(rbytes)))
+                    };
+                    let rx = if ctx.shuffle_elimination && child_dist(1) == &Dist::Hash(rcols.clone())
+                    {
+                        elided = true;
+                        None
+                    } else {
+                        Some(hash_exchange(rcols, lbytes.max(rbytes)))
+                    };
+                    mk(
+                        PhysicalOp::HashJoin { kind: *jk, on: on.clone() },
+                        vec![lx, rx],
+                        vec![None, None],
+                        elided,
+                    )
+                }
+                Some(ImplKind::MergeJoin) => {
+                    let mut elided = false;
+                    let lx = if ctx.shuffle_elimination
+                        && child_dist(0) == &Dist::Sorted(lcols.clone())
+                    {
+                        elided = true;
+                        None
+                    } else {
+                        Some(range_exchange(lcols, lbytes.max(rbytes)))
+                    };
+                    let rx = if ctx.shuffle_elimination
+                        && child_dist(1) == &Dist::Sorted(rcols.clone())
+                    {
+                        elided = true;
+                        None
+                    } else {
+                        Some(range_exchange(rcols, lbytes.max(rbytes)))
+                    };
+                    mk(
+                        PhysicalOp::MergeJoin { kind: *jk, on: on.clone() },
+                        vec![lx, rx],
+                        vec![None, None],
+                        elided,
+                    )
+                }
+                Some(ImplKind::BroadcastJoin) => {
+                    // Only worthwhile (and allowed) for small build sides.
+                    if child_stats(1).estimated_bytes() > ctx.opts.broadcast_threshold_bytes {
+                        return None;
+                    }
+                    mk(
+                        PhysicalOp::BroadcastJoin { kind: *jk, on: on.clone() },
+                        vec![
+                            None,
+                            Some(ExchangeSpec {
+                                scheme: Partitioning::Broadcast,
+                                sorted: false,
+                                compressed: ctx.compression,
+                            }),
+                        ],
+                        vec![None, None],
+                        false,
+                    )
+                }
+                Some(ImplKind::NestedLoopJoin) => {
+                    let (lrows, rrows) =
+                        (child_stats(0).rows.estimated, child_stats(1).rows.estimated);
+                    if lrows * rrows > ctx.opts.nested_loop_limit {
+                        return None;
+                    }
+                    let gather = || {
+                        Some(ExchangeSpec {
+                            scheme: Partitioning::Gather,
+                            sorted: false,
+                            compressed: ctx.compression,
+                        })
+                    };
+                    mk(
+                        PhysicalOp::HashJoin { kind: *jk, on: on.clone() },
+                        vec![gather(), gather()],
+                        vec![None, None],
+                        false,
+                    )
+                }
+                _ => None,
+            }
+        }
+        (LogicalOp::Aggregate { group_by, aggs, .. }, akind) => {
+            let bytes = child_stats(0).estimated_bytes();
+            let keyed = !group_by.is_empty();
+            let key_exchange = |compressed_ctx: &ImplContext<'_>| {
+                if keyed {
+                    hash_exchange(group_by.clone(), bytes)
+                } else {
+                    ExchangeSpec {
+                        scheme: Partitioning::Gather,
+                        sorted: false,
+                        compressed: compressed_ctx.compression,
+                    }
+                }
+            };
+            match akind {
+                Some(ImplKind::HashAgg) | None => {
+                    let mut elided = false;
+                    let x = if ctx.shuffle_elimination
+                        && keyed
+                        && child_dist(0) == &Dist::Hash(group_by.clone())
+                    {
+                        elided = true;
+                        None
+                    } else {
+                        Some(key_exchange(ctx))
+                    };
+                    mk(
+                        PhysicalOp::HashAggregate {
+                            group_by: group_by.clone(),
+                            aggs: aggs.clone(),
+                            mode: AggMode::Single,
+                        },
+                        vec![x],
+                        vec![None],
+                        elided,
+                    )
+                }
+                Some(ImplKind::StreamAgg) => {
+                    if !keyed {
+                        return None;
+                    }
+                    mk(
+                        PhysicalOp::StreamAggregate {
+                            group_by: group_by.clone(),
+                            aggs: aggs.clone(),
+                            mode: AggMode::Single,
+                        },
+                        vec![Some(range_exchange(group_by.clone(), bytes))],
+                        vec![None],
+                        false,
+                    )
+                }
+                Some(ImplKind::AggSplitLocalGlobal) => {
+                    if !keyed || !aggs.iter().all(|a| a.func.decomposable()) {
+                        return None;
+                    }
+                    mk(
+                        PhysicalOp::HashAggregate {
+                            group_by: group_by.clone(),
+                            aggs: aggs.clone(),
+                            mode: AggMode::Final,
+                        },
+                        vec![Some(hash_exchange(group_by.clone(), bytes))],
+                        vec![Some(PreLocal::PartialAgg)],
+                        false,
+                    )
+                }
+                _ => None,
+            }
+        }
+        (LogicalOp::Sort { keys }, Some(ImplKind::Sort) | None) => {
+            let cols: Vec<usize> = keys.iter().map(|k| k.column).collect();
+            let bytes = child_stats(0).estimated_bytes();
+            let mut elided = false;
+            let x = if ctx.shuffle_elimination && child_dist(0) == &Dist::Sorted(cols.clone()) {
+                elided = true;
+                None
+            } else {
+                Some(range_exchange(cols, bytes))
+            };
+            mk(PhysicalOp::SortExec { keys: keys.clone() }, vec![x], vec![None], elided)
+        }
+        (LogicalOp::Top { k, keys }, Some(ImplKind::TopN) | None) => mk(
+            PhysicalOp::TopNExec { k: *k, keys: keys.clone() },
+            vec![Some(ExchangeSpec {
+                scheme: Partitioning::Gather,
+                sorted: true,
+                compressed: ctx.compression,
+            })],
+            vec![Some(PreLocal::LocalTopK(*k))],
+            false,
+        ),
+        (LogicalOp::Window { partition_by, funcs }, Some(ImplKind::Window) | None) => {
+            let bytes = child_stats(0).estimated_bytes();
+            mk(
+                PhysicalOp::WindowExec {
+                    partition_by: partition_by.clone(),
+                    funcs: funcs.clone(),
+                },
+                vec![Some(hash_exchange(partition_by.clone(), bytes))],
+                vec![None],
+                false,
+            )
+        }
+        (LogicalOp::Process { udf, cpu_factor, .. }, Some(ImplKind::Process) | None) => mk(
+            PhysicalOp::ProcessExec { udf: udf.clone(), cpu_factor: *cpu_factor },
+            vec![None],
+            vec![None],
+            false,
+        ),
+        (LogicalOp::Union, Some(ImplKind::UnionAll) | None) => {
+            let n = children.len();
+            mk(PhysicalOp::UnionAllExec, vec![None; n], vec![None; n], false)
+        }
+        (LogicalOp::Output { path }, Some(ImplKind::Output) | None) => mk(
+            PhysicalOp::OutputExec { path: path.clone() },
+            vec![None],
+            vec![None],
+            false,
+        ),
+        _ => None,
+    }
+}
+
+/// Whether a parametric spec's target matches a logical operator. Join
+/// parametric variants only decorate inner-join implementations (semi joins
+/// introduced by rewrites keep canonical implementations).
+#[must_use]
+pub fn parametric_matches(spec: &ParametricSpec, op: &LogicalOp) -> bool {
+    spec.target == op.tag()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RuleBits;
+    use crate::registry::RuleSet;
+    use crate::search::SearchOptions;
+    use scope_ir::expr::ScalarExpr;
+    use scope_ir::logical::{JoinKind, TableRef};
+    use scope_ir::schema::{Column, DataType, Schema};
+    use scope_ir::stats::DualStats;
+
+    fn ctx<'a>(rules: &'a RuleSet, opts: &'a SearchOptions) -> ImplContext<'a> {
+        ImplContext {
+            rules,
+            opts,
+            shuffle_elimination: true,
+            compression: false,
+            template_seed: 42,
+        }
+    }
+
+    fn scan(memo: &mut Memo, name: &str, rows: f64, row_len: u16) -> GroupId {
+        let schema = Schema::new(vec![
+            Column::new("a", DataType::Int),
+            Column::new("b", DataType::String { avg_len: row_len }),
+        ]);
+        memo.intern(
+            LogicalOp::Extract { table: TableRef::new(name, schema, DualStats::exact(rows)) },
+            vec![],
+            RuleBits::empty(),
+        )
+    }
+
+    fn rule_named<'a>(rules: &'a RuleSet, name: &str) -> &'a RuleDef {
+        rules.rules().iter().find(|r| r.name == name).unwrap()
+    }
+
+    #[test]
+    fn choose_partitions_is_pow2_and_clamped() {
+        let opts = SearchOptions::default(); // 64 MB per partition
+        assert_eq!(choose_partitions(1e6, &opts, 1.0), 1);
+        assert_eq!(choose_partitions(2e8, &opts, 1.0), 4);
+        assert_eq!(choose_partitions(1e14, &opts, 1.0), opts.max_partitions);
+        // Parallelism knob halves/doubles.
+        assert_eq!(choose_partitions(2e8, &opts, 2.0), 8);
+        assert_eq!(choose_partitions(2e8, &opts, 0.5), 2);
+    }
+
+    #[test]
+    fn hash_join_impl_adds_exchanges_on_both_sides() {
+        let rules = RuleSet::standard();
+        let opts = SearchOptions::default();
+        let mut memo = Memo::new();
+        let a = scan(&mut memo, "a", 1e7, 20);
+        let b = scan(&mut memo, "b", 1e7, 20);
+        let j = memo.intern(
+            LogicalOp::Join {
+                kind: JoinKind::Inner,
+                on: vec![(0, 0)],
+                selectivity: DualStats::exact(1e-7),
+            },
+            vec![a, b],
+            RuleBits::empty(),
+        );
+        let p = implement_expr(rule_named(&rules, "HashJoinImpl"), &memo, j, 0, &ctx(&rules, &opts))
+            .unwrap();
+        assert!(matches!(p.op, PhysicalOp::HashJoin { .. }));
+        assert!(p.exchanges[0].is_some());
+        assert!(p.exchanges[1].is_some());
+        assert!(!p.elided_exchange);
+    }
+
+    #[test]
+    fn broadcast_join_requires_small_build_side() {
+        let rules = RuleSet::standard();
+        let opts = SearchOptions::default();
+        let mut memo = Memo::new();
+        let a = scan(&mut memo, "a", 1e8, 40);
+        let small = scan(&mut memo, "s", 1000.0, 10);
+        let big = scan(&mut memo, "bigt", 1e8, 40);
+        let j_small = memo.intern(
+            LogicalOp::Join {
+                kind: JoinKind::Inner,
+                on: vec![(0, 0)],
+                selectivity: DualStats::exact(1e-8),
+            },
+            vec![a, small],
+            RuleBits::empty(),
+        );
+        let j_big = memo.intern(
+            LogicalOp::Join {
+                kind: JoinKind::Inner,
+                on: vec![(0, 0)],
+                selectivity: DualStats::exact(1e-8),
+            },
+            vec![a, big],
+            RuleBits::empty(),
+        );
+        let c = ctx(&rules, &opts);
+        let bc = rule_named(&rules, "BroadcastJoinImpl");
+        let ok = implement_expr(bc, &memo, j_small, 0, &c).unwrap();
+        assert!(ok.exchanges[0].is_none(), "probe side stays in place");
+        assert!(matches!(
+            ok.exchanges[1].as_ref().unwrap().scheme,
+            Partitioning::Broadcast
+        ));
+        assert!(implement_expr(bc, &memo, j_big, 0, &c).is_none(), "big side not broadcast");
+    }
+
+    #[test]
+    fn shuffle_elimination_skips_exchange_when_distribution_matches() {
+        let rules = RuleSet::standard();
+        let opts = SearchOptions::default();
+        let mut memo = Memo::new();
+        let a = scan(&mut memo, "a", 1e7, 20);
+        let b = scan(&mut memo, "b", 1e7, 20);
+        // First join partitions output on left key 0.
+        let j1 = memo.intern(
+            LogicalOp::Join {
+                kind: JoinKind::Inner,
+                on: vec![(0, 0)],
+                selectivity: DualStats::exact(1e-7),
+            },
+            vec![a, b],
+            RuleBits::empty(),
+        );
+        // Aggregate on column 0 of the join output: already hash-distributed.
+        let g = memo.intern(
+            LogicalOp::Aggregate {
+                group_by: vec![0],
+                aggs: vec![],
+                group_ratio: DualStats::exact(0.01),
+            },
+            vec![j1],
+            RuleBits::empty(),
+        );
+        let c = ctx(&rules, &opts);
+        let p = implement_expr(rule_named(&rules, "HashAggImpl"), &memo, g, 0, &c).unwrap();
+        assert!(p.exchanges[0].is_none(), "exchange eliminated");
+        assert!(p.elided_exchange);
+        // With the policy off, the exchange is materialized.
+        let mut c_off = ctx(&rules, &opts);
+        c_off.shuffle_elimination = false;
+        let p2 = implement_expr(rule_named(&rules, "HashAggImpl"), &memo, g, 0, &c_off).unwrap();
+        assert!(p2.exchanges[0].is_some());
+    }
+
+    #[test]
+    fn agg_split_requires_decomposable_aggregates() {
+        use scope_ir::expr::{AggExpr, AggFunc};
+        let rules = RuleSet::standard();
+        let opts = SearchOptions::default();
+        let mut memo = Memo::new();
+        let a = scan(&mut memo, "a", 1e7, 20);
+        let ok = memo.intern(
+            LogicalOp::Aggregate {
+                group_by: vec![0],
+                aggs: vec![AggExpr::new(AggFunc::Sum, Some(0), "s")],
+                group_ratio: DualStats::exact(0.01),
+            },
+            vec![a],
+            RuleBits::empty(),
+        );
+        let bad = memo.intern(
+            LogicalOp::Aggregate {
+                group_by: vec![0],
+                aggs: vec![AggExpr::new(AggFunc::CountDistinct, Some(1), "d")],
+                group_ratio: DualStats::exact(0.01),
+            },
+            vec![a],
+            RuleBits::empty(),
+        );
+        let c = ctx(&rules, &opts);
+        let split = rule_named(&rules, "AggSplitLocalGlobal");
+        let p = implement_expr(split, &memo, ok, 0, &c).unwrap();
+        assert_eq!(p.pre_local[0], Some(PreLocal::PartialAgg));
+        assert!(matches!(p.op, PhysicalOp::HashAggregate { mode: AggMode::Final, .. }));
+        assert!(implement_expr(split, &memo, bad, 0, &c).is_none());
+    }
+
+    #[test]
+    fn parametric_rule_carries_claimed_and_actual_tuning() {
+        let rules = RuleSet::standard();
+        let opts = SearchOptions::default();
+        let mut memo = Memo::new();
+        let a = scan(&mut memo, "a", 1e6, 20);
+        let f = memo.intern(
+            LogicalOp::Filter {
+                predicate: ScalarExpr::lit_int(1),
+                selectivity: DualStats::exact(0.5),
+            },
+            vec![a],
+            RuleBits::empty(),
+        );
+        let c = ctx(&rules, &opts);
+        // Find a parametric rule targeting Filter.
+        let prule = rules
+            .rules()
+            .iter()
+            .find(|r| matches!(&r.behavior, RuleBehavior::Parametric(s) if s.target == "Filter"))
+            .unwrap();
+        let p = implement_expr(prule, &memo, f, 0, &c).unwrap();
+        assert!(!p.claimed.is_identity());
+        assert_eq!(p.actual, rules.actual_tuning(prule.id, 42));
+        assert!(p.provenance.contains(prule.id));
+    }
+
+    #[test]
+    fn fallback_applies_penalty_tuning() {
+        let rules = RuleSet::standard();
+        let opts = SearchOptions::default();
+        let mut memo = Memo::new();
+        let a = scan(&mut memo, "a", 1e6, 20);
+        let c = ctx(&rules, &opts);
+        let fb = rule_named(&rules, "FallbackExec");
+        let p = implement_expr(fb, &memo, a, 0, &c).unwrap();
+        assert!((p.claimed.cpu_mult - opts.fallback_cpu_penalty).abs() < 1e-12);
+        assert!(matches!(p.op, PhysicalOp::TableScan { .. }));
+    }
+
+    #[test]
+    fn stream_agg_needs_keys() {
+        let rules = RuleSet::standard();
+        let opts = SearchOptions::default();
+        let mut memo = Memo::new();
+        let a = scan(&mut memo, "a", 1e6, 20);
+        let global = memo.intern(
+            LogicalOp::Aggregate {
+                group_by: vec![],
+                aggs: vec![],
+                group_ratio: DualStats::exact(1e-6),
+            },
+            vec![a],
+            RuleBits::empty(),
+        );
+        let c = ctx(&rules, &opts);
+        assert!(implement_expr(rule_named(&rules, "StreamAggImpl"), &memo, global, 0, &c).is_none());
+        // HashAgg on a global aggregate gathers to one partition.
+        let p = implement_expr(rule_named(&rules, "HashAggImpl"), &memo, global, 0, &c).unwrap();
+        assert!(matches!(
+            p.exchanges[0].as_ref().unwrap().scheme,
+            Partitioning::Gather
+        ));
+    }
+}

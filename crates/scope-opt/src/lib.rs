@@ -1,0 +1,56 @@
+//! A Cascades-style, budgeted query optimizer for the SCOPE-like engine,
+//! with the full machinery the QO-Advisor paper steers:
+//!
+//! * a **256-rule registry** in the paper's four categories
+//!   ([`registry::RuleSet`]);
+//! * **rule configurations** as 256-bit vectors and single-rule-flip
+//!   steering actions ([`config`]);
+//! * a **memo-based search** whose exploration budget, per-group caps, and
+//!   promise ordering make it heuristic — and therefore steerable
+//!   ([`search::Optimizer`]);
+//! * **rule signatures** via provenance tracking (which rules directly
+//!   contributed to the chosen plan);
+//! * the **job-span fixpoint** heuristic ([`span::compute_span`]);
+//! * per-template **compile-time hints** ([`hints::HintSet`]);
+//! * a cost model that prices plans from *estimated* statistics and
+//!   *claimed* tuning only, reproducing SCOPE's estimated-vs-real divergence
+//!   ([`cost::CostModel`]).
+//!
+//! # Quick start
+//!
+//! ```
+//! use scope_lang::{bind_script, Catalog};
+//! use scope_opt::Optimizer;
+//!
+//! let plan = bind_script(
+//!     r#"
+//!     d = EXTRACT k:int, v:float FROM "data/t";
+//!     f = SELECT k, v FROM d WHERE v > 10;
+//!     a = SELECT k, SUM(v) AS s FROM f GROUP BY k;
+//!     OUTPUT a TO "out/a";
+//! "#,
+//!     &Catalog::default(),
+//! )
+//! .unwrap();
+//! let optimizer = Optimizer::default();
+//! let compiled = optimizer.compile(&plan, &optimizer.default_config()).unwrap();
+//! assert!(compiled.est_cost > 0.0);
+//! assert!(!compiled.signature.is_empty());
+//! ```
+
+pub mod config;
+pub mod cost;
+pub mod hints;
+pub mod impls;
+pub mod memo;
+pub mod registry;
+pub mod rules;
+pub mod search;
+pub mod span;
+
+pub use config::{RuleBits, RuleConfig, RuleFlip, RuleId, RULE_COUNT};
+pub use cost::CostModel;
+pub use hints::{Hint, HintSet};
+pub use registry::{RuleCategory, RuleDef, RuleSet};
+pub use search::{CompileError, Compiled, Optimizer, SearchOptions};
+pub use span::{compute_span, SpanResult};

@@ -1,0 +1,664 @@
+//! The Cascades memo: groups of logically-equivalent expressions with
+//! dual statistics, natural physical properties, and provenance tracking.
+//!
+//! Provenance is the mechanism behind *rule signatures* (paper §2.1): every
+//! expression records the set of rules on the rewrite path that produced it,
+//! so the winning plan's union of provenance bits is exactly "the rules that
+//! directly contributed to the plan".
+
+use crate::config::{RuleBits, RuleId};
+use rustc_hash::FxHashMap;
+use scope_ir::ids::stable_hash64;
+use scope_ir::logical::{JoinKind, LogicalOp, LogicalPlan};
+use scope_ir::physical::{Partitioning, PhysicalOp, PhysicalTuning};
+use scope_ir::schema::{Column, DataType, Schema};
+use scope_ir::stats::{DualStats, NodeStats};
+use scope_ir::NodeId;
+use std::fmt;
+
+/// Index of a group in the memo.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GroupId(pub u32);
+
+impl GroupId {
+    #[inline]
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// Natural data distribution a group's output arrives in, used by exchange
+/// placement (and its elimination policy).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Dist {
+    Random,
+    /// Hash-partitioned on these output column positions.
+    Hash(Vec<usize>),
+    /// Range-partitioned + sorted on these output column positions.
+    Sorted(Vec<usize>),
+    /// Single partition.
+    Single,
+}
+
+/// A logical expression in the memo: an operator over child groups.
+#[derive(Debug, Clone)]
+pub struct MExpr {
+    pub op: LogicalOp,
+    pub children: Vec<GroupId>,
+    /// Rules on the rewrite path that produced this expression.
+    pub provenance: RuleBits,
+}
+
+/// An exchange on one input edge of a physical expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExchangeSpec {
+    pub scheme: Partitioning,
+    /// Range exchanges deliver sorted runs (adds a sort cost component).
+    pub sorted: bool,
+    /// Intermediate-compression policy applied to this edge.
+    pub compressed: bool,
+}
+
+/// Local pre-reduction applied on the producer side of an exchange.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PreLocal {
+    /// Partial (local) aggregation before the shuffle.
+    PartialAgg,
+    /// Local top-k before the gather.
+    LocalTopK(u64),
+}
+
+/// A physical expression: an implementation choice for one logical
+/// expression, with per-edge exchanges and dual tuning.
+#[derive(Debug, Clone)]
+pub struct PExpr {
+    pub op: PhysicalOp,
+    pub children: Vec<GroupId>,
+    /// Per-child-edge exchange requirement (None = pipelined locally).
+    pub exchanges: Vec<Option<ExchangeSpec>>,
+    /// Per-child-edge producer-side pre-reduction.
+    pub pre_local: Vec<Option<PreLocal>>,
+    /// Tuning the cost model sees.
+    pub claimed: PhysicalTuning,
+    /// Tuning the runtime simulator sees (per-template truth).
+    pub actual: PhysicalTuning,
+    /// Implementation rule that produced this expression.
+    pub rule: RuleId,
+    /// Provenance inherited from the implemented logical expression plus
+    /// `rule` itself.
+    pub provenance: RuleBits,
+    /// Whether the `ShuffleElimination` policy removed at least one input
+    /// exchange from this expression (credits the policy rule in the
+    /// signature).
+    pub elided_exchange: bool,
+}
+
+/// The winner of a group after costing.
+#[derive(Debug, Clone, Copy)]
+pub struct Best {
+    pub cost: f64,
+    pub pexpr: usize,
+}
+
+/// One memo group.
+#[derive(Debug, Clone)]
+pub struct Group {
+    pub schema: Schema,
+    pub stats: NodeStats,
+    pub dist: Dist,
+    pub lexprs: Vec<MExpr>,
+    pub pexprs: Vec<PExpr>,
+    pub best: Option<Best>,
+}
+
+/// A rewrite result: a new operator tree whose leaves are existing groups.
+#[derive(Debug, Clone)]
+pub enum Node {
+    Group(GroupId),
+    Op(LogicalOp, Vec<Node>),
+}
+
+/// The memo.
+#[derive(Debug, Default)]
+pub struct Memo {
+    groups: Vec<Group>,
+    /// Dedup index: expression fingerprint -> owning group.
+    index: FxHashMap<u64, GroupId>,
+    /// Total logical expressions (budget accounting).
+    pub lexpr_count: usize,
+}
+
+impl Memo {
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[must_use]
+    pub fn group(&self, id: GroupId) -> &Group {
+        &self.groups[id.index()]
+    }
+
+    pub fn group_mut(&mut self, id: GroupId) -> &mut Group {
+        &mut self.groups[id.index()]
+    }
+
+    #[must_use]
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    pub fn group_ids(&self) -> impl Iterator<Item = GroupId> {
+        (0..self.groups.len() as u32).map(GroupId)
+    }
+
+    /// Fingerprint an expression for deduplication. Covers the operator's
+    /// full parameterization (selectivities included, via `Debug`) and the
+    /// child group ids.
+    fn expr_key(op: &LogicalOp, children: &[GroupId]) -> u64 {
+        let mut s = format!("{op:?}|");
+        for c in children {
+            s.push_str(&c.0.to_string());
+            s.push(',');
+        }
+        stable_hash64(s.as_bytes())
+    }
+
+    /// Intern an expression: return its existing group or create a new one.
+    pub fn intern(&mut self, op: LogicalOp, children: Vec<GroupId>, provenance: RuleBits) -> GroupId {
+        let key = Self::expr_key(&op, &children);
+        if let Some(&gid) = self.index.get(&key) {
+            return gid;
+        }
+        let schema = self.derive_schema(&op, &children);
+        let stats = self.derive_stats(&op, &children, &schema);
+        let dist = self.derive_dist(&op, &children);
+        let gid = GroupId(self.groups.len() as u32);
+        self.groups.push(Group {
+            schema,
+            stats,
+            dist,
+            lexprs: vec![MExpr { op, children, provenance }],
+            pexprs: Vec::new(),
+            best: None,
+        });
+        self.index.insert(key, gid);
+        self.lexpr_count += 1;
+        gid
+    }
+
+    /// Add an equivalent expression to an existing group. Returns the index
+    /// of the new expression, or `None` if it was already known (in this or
+    /// any other group) or the group is at capacity.
+    pub fn add_to_group(
+        &mut self,
+        gid: GroupId,
+        op: LogicalOp,
+        children: Vec<GroupId>,
+        provenance: RuleBits,
+        max_exprs_per_group: usize,
+    ) -> Option<usize> {
+        let key = Self::expr_key(&op, &children);
+        if self.index.contains_key(&key) {
+            return None;
+        }
+        if self.groups[gid.index()].lexprs.len() >= max_exprs_per_group {
+            return None;
+        }
+        self.index.insert(key, gid);
+        let group = &mut self.groups[gid.index()];
+        group.lexprs.push(MExpr { op, children, provenance });
+        self.lexpr_count += 1;
+        Some(group.lexprs.len() - 1)
+    }
+
+    /// Materialize a rewrite tree: intern interior nodes bottom-up and
+    /// return the top operator ready to be added to the source group.
+    pub fn materialize(&mut self, node: Node, provenance: RuleBits) -> (LogicalOp, Vec<GroupId>) {
+        match node {
+            Node::Group(_) => unreachable!("rewrite top must be an operator"),
+            Node::Op(op, children) => {
+                let child_groups = children
+                    .into_iter()
+                    .map(|c| self.materialize_child(c, provenance))
+                    .collect();
+                (op, child_groups)
+            }
+        }
+    }
+
+    fn materialize_child(&mut self, node: Node, provenance: RuleBits) -> GroupId {
+        match node {
+            Node::Group(g) => g,
+            Node::Op(op, children) => {
+                let child_groups: Vec<GroupId> = children
+                    .into_iter()
+                    .map(|c| self.materialize_child(c, provenance))
+                    .collect();
+                self.intern(op, child_groups, provenance)
+            }
+        }
+    }
+
+    /// Copy a logical plan into the memo; returns the root group per output.
+    pub fn copy_in(&mut self, plan: &LogicalPlan) -> Vec<GroupId> {
+        let mut mapping: FxHashMap<NodeId, GroupId> = FxHashMap::default();
+        for id in plan.topo_order() {
+            let node = plan.node(id);
+            let children: Vec<GroupId> =
+                node.children.iter().map(|c| mapping[c]).collect();
+            let gid = self.intern(node.op.clone(), children, RuleBits::empty());
+            mapping.insert(id, gid);
+        }
+        plan.outputs().iter().map(|o| mapping[o]).collect()
+    }
+
+    fn derive_schema(&self, op: &LogicalOp, children: &[GroupId]) -> Schema {
+        let child = |i: usize| &self.groups[children[i].index()].schema;
+        match op {
+            LogicalOp::Extract { table } => table.schema.clone(),
+            LogicalOp::Filter { .. }
+            | LogicalOp::Sort { .. }
+            | LogicalOp::Top { .. }
+            | LogicalOp::Process { .. }
+            | LogicalOp::Output { .. } => child(0).clone(),
+            LogicalOp::Union => child(0).clone(),
+            LogicalOp::Project { exprs } => {
+                let input = child(0);
+                Schema::new(
+                    exprs
+                        .iter()
+                        .map(|(e, alias)| {
+                            let ty = match e {
+                                scope_ir::ScalarExpr::Column(i) => {
+                                    input.column(*i).map_or(DataType::Int, |c| c.ty)
+                                }
+                                _ => DataType::Float,
+                            };
+                            Column::new(alias.clone(), ty)
+                        })
+                        .collect(),
+                )
+            }
+            LogicalOp::Join { kind: JoinKind::LeftSemi, .. } => child(0).clone(),
+            LogicalOp::Join { .. } => child(0).join(child(1)),
+            LogicalOp::Aggregate { group_by, aggs, .. } => {
+                let input = child(0);
+                let mut cols: Vec<Column> = group_by
+                    .iter()
+                    .map(|&i| {
+                        input
+                            .column(i)
+                            .cloned()
+                            .unwrap_or_else(|| Column::new(format!("g{i}"), DataType::Int))
+                    })
+                    .collect();
+                cols.extend(aggs.iter().map(|a| Column::new(a.alias.clone(), DataType::Float)));
+                Schema::new(cols)
+            }
+            LogicalOp::Window { funcs, .. } => {
+                let input = child(0);
+                let mut cols = input.columns().to_vec();
+                cols.extend(funcs.iter().map(|a| Column::new(a.alias.clone(), DataType::Float)));
+                Schema::new(cols)
+            }
+        }
+    }
+
+    fn derive_stats(&self, op: &LogicalOp, children: &[GroupId], schema: &Schema) -> NodeStats {
+        let child = |i: usize| &self.groups[children[i].index()].stats;
+        let row_len = f64::from(schema.avg_row_len());
+        match op {
+            LogicalOp::Extract { table } => {
+                NodeStats::table(table.rows.actual, table.rows.estimated, row_len)
+            }
+            LogicalOp::Filter { selectivity, .. } => {
+                child(0).filter(selectivity.actual, selectivity.estimated)
+            }
+            LogicalOp::Project { .. } => {
+                let c = child(0);
+                NodeStats { rows: c.rows, avg_row_len: row_len, distinct: c.distinct }
+            }
+            LogicalOp::Join { kind: JoinKind::LeftSemi, on: _, selectivity } => {
+                let (l, r) = (child(0), child(1));
+                // P(a left row has a match) = min(1, sel * |R|).
+                let match_p = |sel: f64, r_rows: f64| (sel * r_rows).clamp(0.0, 1.0);
+                let rows = DualStats::new(
+                    l.rows.actual * match_p(selectivity.actual, r.rows.actual),
+                    l.rows.estimated * match_p(selectivity.estimated, r.rows.estimated),
+                );
+                NodeStats {
+                    rows,
+                    avg_row_len: row_len,
+                    distinct: DualStats::new(
+                        (rows.actual / 10.0).max(1.0),
+                        (rows.estimated / 10.0).max(1.0),
+                    ),
+                }
+            }
+            LogicalOp::Join { selectivity, .. } => {
+                let (l, r) = (child(0), child(1));
+                let rows = DualStats::new(
+                    (selectivity.actual * l.rows.actual * r.rows.actual).max(0.0),
+                    (selectivity.estimated * l.rows.estimated * r.rows.estimated).max(0.0),
+                );
+                NodeStats {
+                    rows,
+                    avg_row_len: row_len,
+                    distinct: DualStats::new(
+                        (rows.actual / 10.0).max(1.0),
+                        (rows.estimated / 10.0).max(1.0),
+                    ),
+                }
+            }
+            LogicalOp::Aggregate { group_ratio, .. } => {
+                let c = child(0);
+                let rows = DualStats::new(
+                    (c.rows.actual * group_ratio.actual).max(1.0).min(c.rows.actual.max(1.0)),
+                    (c.rows.estimated * group_ratio.estimated)
+                        .max(1.0)
+                        .min(c.rows.estimated.max(1.0)),
+                );
+                NodeStats { rows, avg_row_len: row_len, distinct: rows }
+            }
+            LogicalOp::Union => {
+                let mut rows = DualStats::exact(0.0);
+                for &c in children {
+                    let s = &self.groups[c.index()].stats;
+                    rows.actual += s.rows.actual;
+                    rows.estimated += s.rows.estimated;
+                }
+                NodeStats {
+                    rows,
+                    avg_row_len: row_len,
+                    distinct: DualStats::new(
+                        (rows.actual / 10.0).max(1.0),
+                        (rows.estimated / 10.0).max(1.0),
+                    ),
+                }
+            }
+            LogicalOp::Sort { .. } => *child(0),
+            LogicalOp::Top { k, .. } => {
+                let c = child(0);
+                let kf = *k as f64;
+                NodeStats {
+                    rows: DualStats::new(c.rows.actual.min(kf), c.rows.estimated.min(kf)),
+                    avg_row_len: row_len,
+                    distinct: DualStats::new(
+                        c.distinct.actual.min(kf),
+                        c.distinct.estimated.min(kf),
+                    ),
+                }
+            }
+            LogicalOp::Window { .. } => {
+                let c = child(0);
+                NodeStats { rows: c.rows, avg_row_len: row_len, distinct: c.distinct }
+            }
+            LogicalOp::Process { out_ratio, .. } => {
+                let c = child(0);
+                NodeStats {
+                    rows: DualStats::new(
+                        c.rows.actual * out_ratio.actual,
+                        c.rows.estimated * out_ratio.estimated,
+                    ),
+                    avg_row_len: row_len,
+                    distinct: c.distinct,
+                }
+            }
+            LogicalOp::Output { .. } => *child(0),
+        }
+    }
+
+    fn derive_dist(&self, op: &LogicalOp, children: &[GroupId]) -> Dist {
+        let child = |i: usize| &self.groups[children[i].index()].dist;
+        match op {
+            LogicalOp::Extract { .. } | LogicalOp::Union => Dist::Random,
+            LogicalOp::Filter { .. } | LogicalOp::Process { .. } | LogicalOp::Output { .. } => {
+                child(0).clone()
+            }
+            LogicalOp::Project { exprs } => {
+                // Pure-column projections can remap a hash distribution.
+                let mapping: Option<Vec<usize>> = exprs
+                    .iter()
+                    .map(|(e, _)| match e {
+                        scope_ir::ScalarExpr::Column(i) => Some(*i),
+                        _ => None,
+                    })
+                    .collect();
+                match (child(0), mapping) {
+                    (Dist::Hash(cols), Some(map)) => {
+                        let remapped: Option<Vec<usize>> = cols
+                            .iter()
+                            .map(|c| map.iter().position(|m| m == c))
+                            .collect();
+                        remapped.map_or(Dist::Random, Dist::Hash)
+                    }
+                    (Dist::Single, _) => Dist::Single,
+                    _ => Dist::Random,
+                }
+            }
+            LogicalOp::Join { kind: JoinKind::LeftSemi, on, .. } => {
+                // Semi-join output keeps left schema, partitioned on keys.
+                Dist::Hash(on.iter().map(|(l, _)| *l).collect())
+            }
+            LogicalOp::Join { on, .. } => Dist::Hash(on.iter().map(|(l, _)| *l).collect()),
+            LogicalOp::Aggregate { group_by, .. } => {
+                if group_by.is_empty() {
+                    Dist::Single
+                } else {
+                    Dist::Hash((0..group_by.len()).collect())
+                }
+            }
+            LogicalOp::Sort { keys } => Dist::Sorted(keys.iter().map(|k| k.column).collect()),
+            LogicalOp::Top { .. } => Dist::Single,
+            LogicalOp::Window { partition_by, .. } => Dist::Hash(partition_by.clone()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scope_ir::expr::ScalarExpr;
+    use scope_ir::logical::TableRef;
+    use scope_ir::stats::DualStats;
+
+    fn scan_op(name: &str, rows: f64, est: f64) -> LogicalOp {
+        LogicalOp::Extract {
+            table: TableRef::new(
+                name,
+                Schema::new(vec![
+                    Column::new("a", DataType::Int),
+                    Column::new("b", DataType::Int),
+                ]),
+                DualStats::new(rows, est),
+            ),
+        }
+    }
+
+    #[test]
+    fn intern_dedups_identical_expressions() {
+        let mut memo = Memo::new();
+        let g1 = memo.intern(scan_op("t", 100.0, 100.0), vec![], RuleBits::empty());
+        let g2 = memo.intern(scan_op("t", 100.0, 100.0), vec![], RuleBits::empty());
+        assert_eq!(g1, g2);
+        assert_eq!(memo.group_count(), 1);
+        let g3 = memo.intern(scan_op("u", 100.0, 100.0), vec![], RuleBits::empty());
+        assert_ne!(g1, g3);
+    }
+
+    #[test]
+    fn group_stats_propagate_dual_values() {
+        let mut memo = Memo::new();
+        let scan = memo.intern(scan_op("t", 1000.0, 4000.0), vec![], RuleBits::empty());
+        let filter = memo.intern(
+            LogicalOp::Filter {
+                predicate: ScalarExpr::lit_int(1),
+                selectivity: DualStats::new(0.5, 0.1),
+            },
+            vec![scan],
+            RuleBits::empty(),
+        );
+        let s = memo.group(filter).stats;
+        assert!((s.rows.actual - 500.0).abs() < 1e-9);
+        assert!((s.rows.estimated - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn join_stats_multiply_with_selectivity() {
+        let mut memo = Memo::new();
+        let a = memo.intern(scan_op("a", 1000.0, 1000.0), vec![], RuleBits::empty());
+        let b = memo.intern(scan_op("b", 2000.0, 2000.0), vec![], RuleBits::empty());
+        let j = memo.intern(
+            LogicalOp::Join {
+                kind: JoinKind::Inner,
+                on: vec![(0, 0)],
+                selectivity: DualStats::exact(0.001),
+            },
+            vec![a, b],
+            RuleBits::empty(),
+        );
+        assert!((memo.group(j).stats.rows.actual - 2000.0).abs() < 1e-6);
+        assert_eq!(memo.group(j).schema.len(), 4);
+        assert_eq!(memo.group(j).dist, Dist::Hash(vec![0]));
+    }
+
+    #[test]
+    fn semi_join_caps_match_probability() {
+        let mut memo = Memo::new();
+        let a = memo.intern(scan_op("a", 1000.0, 1000.0), vec![], RuleBits::empty());
+        let b = memo.intern(scan_op("b", 10_000.0, 10_000.0), vec![], RuleBits::empty());
+        let semi = memo.intern(
+            LogicalOp::Join {
+                kind: JoinKind::LeftSemi,
+                on: vec![(0, 0)],
+                selectivity: DualStats::exact(1.0), // match prob saturates at 1
+            },
+            vec![a, b],
+            RuleBits::empty(),
+        );
+        assert!((memo.group(semi).stats.rows.actual - 1000.0).abs() < 1e-6);
+        assert_eq!(memo.group(semi).schema.len(), 2, "semi keeps left schema");
+    }
+
+    #[test]
+    fn add_to_group_respects_cap_and_dedup() {
+        let mut memo = Memo::new();
+        let scan = memo.intern(scan_op("t", 10.0, 10.0), vec![], RuleBits::empty());
+        let g = memo.intern(
+            LogicalOp::Filter {
+                predicate: ScalarExpr::lit_int(1),
+                selectivity: DualStats::exact(0.5),
+            },
+            vec![scan],
+            RuleBits::empty(),
+        );
+        // Duplicate of existing expr -> rejected.
+        assert!(memo
+            .add_to_group(
+                g,
+                LogicalOp::Filter {
+                    predicate: ScalarExpr::lit_int(1),
+                    selectivity: DualStats::exact(0.5),
+                },
+                vec![scan],
+                RuleBits::empty(),
+                8,
+            )
+            .is_none());
+        // Distinct expr accepted.
+        assert!(memo
+            .add_to_group(
+                g,
+                LogicalOp::Filter {
+                    predicate: ScalarExpr::lit_int(2),
+                    selectivity: DualStats::exact(0.5),
+                },
+                vec![scan],
+                RuleBits::empty(),
+                8,
+            )
+            .is_some());
+        // Cap enforcement.
+        assert!(memo
+            .add_to_group(
+                g,
+                LogicalOp::Filter {
+                    predicate: ScalarExpr::lit_int(3),
+                    selectivity: DualStats::exact(0.5),
+                },
+                vec![scan],
+                RuleBits::empty(),
+                2,
+            )
+            .is_none());
+    }
+
+    #[test]
+    fn copy_in_shares_dag_nodes() {
+        use scope_ir::logical::LogicalPlan;
+        let mut plan = LogicalPlan::new();
+        let s = plan.add(scan_op("t", 100.0, 100.0), vec![]);
+        let f = plan.add(
+            LogicalOp::Filter {
+                predicate: ScalarExpr::lit_int(1),
+                selectivity: DualStats::exact(0.3),
+            },
+            vec![s],
+        );
+        plan.add_output("o1", f);
+        plan.add_output("o2", f);
+        let mut memo = Memo::new();
+        let roots = memo.copy_in(&plan);
+        assert_eq!(roots.len(), 2);
+        // Scan, filter, two distinct outputs -> 4 groups.
+        assert_eq!(memo.group_count(), 4);
+    }
+
+    #[test]
+    fn materialize_interns_interior_nodes() {
+        let mut memo = Memo::new();
+        let a = memo.intern(scan_op("a", 10.0, 10.0), vec![], RuleBits::empty());
+        let before = memo.group_count();
+        let node = Node::Op(
+            LogicalOp::Filter {
+                predicate: ScalarExpr::lit_int(9),
+                selectivity: DualStats::exact(0.9),
+            },
+            vec![Node::Op(
+                LogicalOp::Filter {
+                    predicate: ScalarExpr::lit_int(8),
+                    selectivity: DualStats::exact(0.8),
+                },
+                vec![Node::Group(a)],
+            )],
+        );
+        let (op, children) = memo.materialize(node, RuleBits::empty());
+        assert!(matches!(op, LogicalOp::Filter { .. }));
+        assert_eq!(children.len(), 1);
+        assert_eq!(memo.group_count(), before + 1, "inner filter interned");
+    }
+
+    #[test]
+    fn aggregate_dist_is_output_key_positions() {
+        let mut memo = Memo::new();
+        let s = memo.intern(scan_op("t", 100.0, 100.0), vec![], RuleBits::empty());
+        let g = memo.intern(
+            LogicalOp::Aggregate {
+                group_by: vec![1],
+                aggs: vec![],
+                group_ratio: DualStats::exact(0.1),
+            },
+            vec![s],
+            RuleBits::empty(),
+        );
+        assert_eq!(memo.group(g).dist, Dist::Hash(vec![0]));
+    }
+}

@@ -1,0 +1,255 @@
+//! Job execution: schedule the stage graph on the cluster, inject cloud
+//! variance, and report runtime metrics.
+
+use crate::cluster::Cluster;
+use crate::metrics::ExecutionMetrics;
+use crate::stage::StageGraph;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use rand_distr::{Distribution, LogNormal};
+use scope_ir::ids::mix64;
+use scope_ir::physical::PhysicalPlan;
+
+/// Execute a physical plan. `job_seed` identifies the job instance (its data
+/// layout); `run_seed` identifies the run — two executions with the same
+/// seeds are identical, two runs with different `run_seed` model an A/A pair.
+#[must_use]
+pub fn execute(
+    plan: &PhysicalPlan,
+    cluster: &Cluster,
+    job_seed: u64,
+    run_seed: u64,
+) -> ExecutionMetrics {
+    let graph = StageGraph::build(plan, &cluster.config);
+    execute_stages(&graph, cluster, job_seed, run_seed)
+}
+
+/// Execute a pre-built stage graph (exposed for benchmarks).
+#[must_use]
+pub fn execute_stages(
+    graph: &StageGraph,
+    cluster: &Cluster,
+    job_seed: u64,
+    run_seed: u64,
+) -> ExecutionMetrics {
+    let cfg = &cluster.config;
+    let var = &cluster.variance;
+    let base_seed = mix64(job_seed, mix64(run_seed, 0x5eed_cafe));
+    let mut run_rng = StdRng::seed_from_u64(base_seed);
+    let vertex_noise = LogNormal::new(0.0, var.vertex_sigma.max(1e-9)).expect("sigma >= 0");
+    let cpu_noise = LogNormal::new(0.0, var.cpu_sigma.max(1e-9)).expect("sigma >= 0");
+    // Whole-run environment multiplier: cluster-wide interference that does
+    // not average out across vertices.
+    let run_cpu_mult = if var.run_cpu_sigma > 0.0 {
+        LogNormal::new(0.0, var.run_cpu_sigma).expect("sigma > 0").sample(&mut run_rng)
+    } else {
+        1.0
+    };
+    // Run-level bandwidth interference: scales I/O *time*, never bytes.
+    let run_io_mult = if var.run_io_sigma > 0.0 {
+        LogNormal::new(0.0, var.run_io_sigma).expect("sigma > 0").sample(&mut run_rng)
+    } else {
+        1.0
+    };
+
+    let n = graph.stages.len();
+    let mut finish = vec![0.0f64; n];
+    let mut cpu_sec_total = 0.0;
+    let mut io_sec_total = 0.0;
+    let mut data_read = 0.0;
+    let mut data_written = 0.0;
+    let mut max_memory = 0.0f64;
+    let mut memory_sum = 0.0;
+
+    for (sid, stage) in graph.stages.iter().enumerate() {
+        // Per-stage noise stream seeded by stage ordinal: two plans of the
+        // same job executed under the same run seed share the noise of their
+        // aligned stages (common random numbers), so A/B deltas reflect plan
+        // differences rather than independent tail events — while the
+        // marginal distribution of any single run is unchanged.
+        let mut rng = StdRng::seed_from_u64(mix64(base_seed, sid as u64 | 0x57A6_0000));
+        let p = f64::from(stage.parallelism.max(1));
+        // Deterministic base resource times.
+        let read_sec = stage.work.read / cfg.io_bandwidth;
+        let write_sec = stage.work.written / cfg.write_bandwidth;
+        let base_cpu_sec = stage.work.cpu / cfg.cpu_speed;
+
+        // PNhours CPU component: per-vertex noise averages out; sample the
+        // mean of `parallelism` lognormals cheaply via sampling each vertex
+        // when small, or the analytic mean when wide.
+        let vertices = stage.parallelism.max(1) as usize;
+        let mean_cpu_mult = if var.cpu_sigma == 0.0 {
+            1.0
+        } else if vertices <= 64 {
+            (0..vertices).map(|_| cpu_noise.sample(&mut rng)).sum::<f64>() / vertices as f64
+        } else {
+            // Law of large numbers: mean of many lognormals concentrates at
+            // exp(sigma^2/2); add the residual fluctuation ~ sigma/sqrt(n).
+            let mu = (var.cpu_sigma * var.cpu_sigma / 2.0).exp();
+            mu * (1.0 + rng.random_range(-1.0..1.0) * var.cpu_sigma / (vertices as f64).sqrt())
+        };
+        let mut stage_cpu_sec = base_cpu_sec * mean_cpu_mult * run_cpu_mult;
+        let mut stage_io_sec = (read_sec + write_sec) * run_io_mult;
+
+        // Per-vertex duration: the slowest vertex gates each wave, and the
+        // job's token allowance forces stages wider than it to run in waves
+        // (fewer vertices => fewer waves => lower latency, §2.1/§5.5).
+        let per_vertex = (stage_cpu_sec + stage_io_sec) / p;
+        let waves = (p / f64::from(cfg.tokens_per_job.max(1))).ceil().max(1.0);
+        let mut worst = 1.0f64;
+        if var.vertex_sigma > 0.0 || var.straggler_prob > 0.0 {
+            for _ in 0..vertices.min(512) {
+                let mut m = vertex_noise.sample(&mut rng);
+                if rng.random::<f64>() < var.straggler_prob {
+                    m *= rng.random_range(var.straggler_slowdown.0..=var.straggler_slowdown.1);
+                }
+                worst = worst.max(m);
+            }
+        }
+        let mut duration = per_vertex * waves * worst + cfg.stage_startup_sec;
+
+        // Retry waves re-charge a fraction of the stage.
+        if var.retry_prob > 0.0 && rng.random::<f64>() < var.retry_prob {
+            stage_cpu_sec *= 1.0 + var.retry_fraction;
+            stage_io_sec *= 1.0 + var.retry_fraction;
+            duration *= 1.0 + var.retry_fraction;
+        }
+
+        let start = stage.inputs.iter().map(|&i| finish[i]).fold(0.0, f64::max);
+        finish[sid] = start + duration;
+
+        cpu_sec_total += stage_cpu_sec + f64::from(stage.parallelism) * cfg.vertex_overhead_sec;
+        io_sec_total += stage_io_sec;
+        data_read += stage.work.read;
+        data_written += stage.work.written;
+        let per_vertex_mem = stage.work.memory / p;
+        max_memory = max_memory.max(per_vertex_mem);
+        memory_sum += per_vertex_mem;
+    }
+
+    let latency_sec = finish.iter().copied().fold(0.0, f64::max);
+    ExecutionMetrics {
+        latency_sec,
+        pn_hours: (cpu_sec_total + io_sec_total) / 3600.0,
+        vertices: graph.vertices(),
+        tokens: graph.tokens(),
+        data_read,
+        data_written,
+        max_memory,
+        avg_memory: if n > 0 { memory_sum / n as f64 } else { 0.0 },
+        cpu_sec: cpu_sec_total,
+        io_sec: io_sec_total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{Cluster, VarianceModel};
+    use scope_lang::{bind_script, Catalog, TableInfo};
+    use scope_ir::stats::DualStats;
+
+    const SCRIPT: &str = r#"
+        sales = EXTRACT user:int, item:int, spend:float FROM "store/sales";
+        users = EXTRACT user:int, region:string FROM "store/users";
+        j     = SELECT * FROM sales AS s JOIN users AS u ON s.user == u.user;
+        agg   = SELECT region, SUM(spend) AS total FROM j GROUP BY region;
+        OUTPUT agg TO "out/by_region";
+    "#;
+
+    fn physical(rows: f64) -> PhysicalPlan {
+        let mut catalog = Catalog::default();
+        catalog.register("store/sales", TableInfo { rows: DualStats::exact(rows) });
+        let plan = bind_script(SCRIPT, &catalog).unwrap();
+        let opt = scope_opt::Optimizer::default();
+        opt.compile(&plan, &opt.default_config()).unwrap().physical
+    }
+
+    #[test]
+    fn execution_is_deterministic_given_seeds() {
+        let plan = physical(1e7);
+        let cluster = Cluster::default();
+        let a = execute(&plan, &cluster, 1, 1);
+        let b = execute(&plan, &cluster, 1, 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_runs_differ_under_variance() {
+        let plan = physical(1e7);
+        let cluster = Cluster::default();
+        let a = execute(&plan, &cluster, 1, 1);
+        let b = execute(&plan, &cluster, 1, 2);
+        assert_ne!(a.latency_sec, b.latency_sec);
+        // Data read/written are run-invariant (paper §4.3).
+        assert_eq!(a.data_read, b.data_read);
+        assert_eq!(a.data_written, b.data_written);
+        assert_eq!(a.vertices, b.vertices);
+    }
+
+    #[test]
+    fn latency_varies_more_than_pnhours_across_aa_runs() {
+        let plan = physical(3e7);
+        let cluster = Cluster::default();
+        let runs: Vec<ExecutionMetrics> =
+            (0..30).map(|r| execute(&plan, &cluster, 7, r)).collect();
+        let cv = |xs: Vec<f64>| {
+            let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+            let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+            var.sqrt() / mean
+        };
+        let cv_latency = cv(runs.iter().map(|m| m.latency_sec).collect());
+        let cv_pn = cv(runs.iter().map(|m| m.pn_hours).collect());
+        assert!(
+            cv_latency > cv_pn * 1.5,
+            "latency CV {cv_latency:.3} must exceed PNhours CV {cv_pn:.3}"
+        );
+    }
+
+    #[test]
+    fn deterministic_cluster_has_zero_variance() {
+        let plan = physical(1e7);
+        let cluster = Cluster::deterministic();
+        let a = execute(&plan, &cluster, 1, 1);
+        let b = execute(&plan, &cluster, 1, 99);
+        assert!((a.latency_sec - b.latency_sec).abs() < 1e-9);
+        assert!((a.pn_hours - b.pn_hours).abs() < 1e-12);
+    }
+
+    #[test]
+    fn larger_inputs_cost_more() {
+        let cluster = Cluster::deterministic();
+        let small = execute(&physical(1e6), &cluster, 1, 1);
+        let big = execute(&physical(1e9), &cluster, 1, 1);
+        assert!(big.pn_hours > small.pn_hours * 10.0);
+        assert!(big.latency_sec > small.latency_sec);
+        assert!(big.data_read > small.data_read);
+        assert!(big.vertices >= small.vertices);
+    }
+
+    #[test]
+    fn pnhours_decomposes_into_cpu_and_io() {
+        let plan = physical(1e7);
+        let m = execute(&plan, &Cluster::deterministic(), 1, 1);
+        assert!((m.pn_hours * 3600.0 - (m.cpu_sec + m.io_sec)).abs() < 1e-6);
+        assert!(m.io_sec > 0.0 && m.cpu_sec > 0.0);
+    }
+
+    #[test]
+    fn straggler_free_model_still_noisy_but_milder() {
+        let plan = physical(3e7);
+        let mild = Cluster::new(
+            Default::default(),
+            VarianceModel { straggler_prob: 0.0, ..VarianceModel::default() },
+        );
+        let full = Cluster::default();
+        let spread = |cluster: &Cluster| {
+            let xs: Vec<f64> =
+                (0..40).map(|r| execute(&plan, cluster, 7, r).latency_sec).collect();
+            let max = xs.iter().cloned().fold(f64::MIN, f64::max);
+            let min = xs.iter().cloned().fold(f64::MAX, f64::min);
+            max / min
+        };
+        assert!(spread(&full) >= spread(&mild) * 0.9);
+    }
+}

@@ -1,0 +1,215 @@
+//! The workload: a population of recurring templates with per-day schedules,
+//! plus ad-hoc one-off jobs.
+
+use crate::template::TemplateSpec;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use scope_ir::ids::mix64;
+use scope_ir::logical::LogicalPlan;
+use scope_ir::{JobId, TemplateId};
+use scope_lang::bind_script;
+
+/// Workload shape parameters.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    pub seed: u64,
+    /// Number of recurring templates in the population.
+    pub num_templates: usize,
+    /// Ad-hoc (one-off) jobs submitted per day. The paper reports >60% of
+    /// jobs recurring; the default ratio keeps roughly that mix.
+    pub adhoc_per_day: usize,
+    /// Cap on instances of one template per day.
+    pub max_instances_per_day: u32,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        Self { seed: 0x5c09e, num_templates: 120, adhoc_per_day: 40, max_instances_per_day: 3 }
+    }
+}
+
+/// A recurring template plus its schedule.
+#[derive(Debug, Clone)]
+pub struct RecurringTemplate {
+    pub spec: TemplateSpec,
+    /// Runs every `period_days` days.
+    pub period_days: u32,
+    /// Day offset within the period.
+    pub phase: u32,
+    /// Instances submitted on an active day.
+    pub instances_per_day: u32,
+}
+
+/// One submitted job: a bound plan plus identity and seeds.
+#[derive(Debug, Clone)]
+pub struct JobInstance {
+    pub job_id: JobId,
+    pub name: String,
+    pub plan: LogicalPlan,
+    pub template: TemplateId,
+    /// Drives the runtime's data-layout-dependent draws.
+    pub job_seed: u64,
+    pub day: u32,
+    pub recurring: bool,
+}
+
+/// The full synthetic workload.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    pub config: WorkloadConfig,
+    pub recurring: Vec<RecurringTemplate>,
+}
+
+impl Workload {
+    #[must_use]
+    pub fn new(config: WorkloadConfig) -> Self {
+        let mut recurring = Vec::with_capacity(config.num_templates);
+        for i in 0..config.num_templates {
+            let tseed = mix64(config.seed, i as u64 | 0x1000_0000);
+            let spec = TemplateSpec::generate(tseed);
+            let mut rng = StdRng::seed_from_u64(mix64(tseed, 0x5c4ed));
+            let period_days = if rng.random_range(0.0..1.0) < 0.7 {
+                1
+            } else {
+                rng.random_range(2..=7)
+            };
+            let phase = rng.random_range(0..period_days);
+            let instances_per_day = rng.random_range(1..=config.max_instances_per_day);
+            recurring.push(RecurringTemplate { spec, period_days, phase, instances_per_day });
+        }
+        Self { config, recurring }
+    }
+
+    /// All jobs submitted on `day`, recurring instances first, then ad-hoc
+    /// one-offs. Deterministic: calling twice yields identical jobs.
+    #[must_use]
+    pub fn jobs_for_day(&self, day: u32) -> Vec<JobInstance> {
+        let mut jobs = Vec::new();
+        for rt in &self.recurring {
+            if day % rt.period_days != rt.phase {
+                continue;
+            }
+            for instance in 0..rt.instances_per_day {
+                let (script, catalog) = rt.spec.instantiate(day, instance);
+                let plan = bind_script(&script, &catalog)
+                    .expect("generated scripts always bind; tested per pattern");
+                let template = plan.template_id();
+                let job_seed = mix64(rt.spec.seed, mix64(u64::from(day), u64::from(instance)));
+                jobs.push(JobInstance {
+                    job_id: JobId(mix64(job_seed, 0x10b)),
+                    name: rt.spec.instance_name(day, instance),
+                    plan,
+                    template,
+                    job_seed,
+                    day,
+                    recurring: true,
+                });
+            }
+        }
+        for i in 0..self.config.adhoc_per_day {
+            let tseed = mix64(self.config.seed, mix64(u64::from(day), i as u64 | 0xAD_0000));
+            let spec = TemplateSpec::generate(tseed);
+            let (script, catalog) = spec.instantiate(day, 0);
+            let plan = bind_script(&script, &catalog).expect("generated scripts always bind");
+            let template = plan.template_id();
+            let job_seed = mix64(tseed, u64::from(day));
+            jobs.push(JobInstance {
+                job_id: JobId(mix64(job_seed, 0x10b)),
+                name: spec.instance_name(day, 0),
+                plan,
+                template,
+                job_seed,
+                day,
+                recurring: false,
+            });
+        }
+        jobs
+    }
+
+    /// Fraction of jobs on a day that are recurring (diagnostic).
+    #[must_use]
+    pub fn recurring_fraction(&self, day: u32) -> f64 {
+        let jobs = self.jobs_for_day(day);
+        if jobs.is_empty() {
+            return 0.0;
+        }
+        jobs.iter().filter(|j| j.recurring).count() as f64 / jobs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Workload {
+        Workload::new(WorkloadConfig {
+            seed: 7,
+            num_templates: 20,
+            adhoc_per_day: 5,
+            max_instances_per_day: 2,
+        })
+    }
+
+    #[test]
+    fn jobs_for_day_is_deterministic() {
+        let w = small();
+        let a = w.jobs_for_day(3);
+        let b = w.jobs_for_day(3);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.job_id, y.job_id);
+            assert_eq!(x.template, y.template);
+            assert_eq!(x.plan, y.plan);
+        }
+    }
+
+    #[test]
+    fn recurring_jobs_reappear_across_days_with_same_template() {
+        let w = small();
+        let day0: Vec<TemplateId> =
+            w.jobs_for_day(0).iter().filter(|j| j.recurring).map(|j| j.template).collect();
+        // Daily templates (period 1) must appear again on day 1.
+        let day1: Vec<TemplateId> =
+            w.jobs_for_day(1).iter().filter(|j| j.recurring).map(|j| j.template).collect();
+        let overlap = day0.iter().filter(|t| day1.contains(t)).count();
+        assert!(overlap > 0, "daily recurring templates overlap across days");
+    }
+
+    #[test]
+    fn majority_of_jobs_are_recurring() {
+        let w = Workload::new(WorkloadConfig::default());
+        let frac = w.recurring_fraction(0);
+        assert!(frac > 0.6, "recurring fraction {frac:.2} (paper: >60%)");
+    }
+
+    #[test]
+    fn adhoc_jobs_are_one_off() {
+        let w = small();
+        let adhoc0: Vec<TemplateId> =
+            w.jobs_for_day(0).iter().filter(|j| !j.recurring).map(|j| j.template).collect();
+        let adhoc1: Vec<TemplateId> =
+            w.jobs_for_day(1).iter().filter(|j| !j.recurring).map(|j| j.template).collect();
+        assert!(adhoc0.iter().all(|t| !adhoc1.contains(t)), "ad-hoc templates do not recur");
+    }
+
+    #[test]
+    fn job_ids_are_unique_within_a_day() {
+        let w = small();
+        let jobs = w.jobs_for_day(2);
+        let mut ids: Vec<u64> = jobs.iter().map(|j| j.job_id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), jobs.len());
+    }
+
+    #[test]
+    fn instances_of_same_template_differ_in_job_seed() {
+        let w = small();
+        let jobs = w.jobs_for_day(0);
+        for pair in jobs.windows(2) {
+            if pair[0].template == pair[1].template {
+                assert_ne!(pair[0].job_seed, pair[1].job_seed);
+            }
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Synthetic SCOPE workload generator.
+//!
+//! Produces populations of **recurring job templates** ("periodically
+//! arriving template-scripts with different input cardinalities and filter
+//! predicates, but same set of operators", paper §2.1) plus a stream of
+//! ad-hoc one-off jobs, and materializes the **denormalized daily view**
+//! (Table 1 features) that feeds the QO-Advisor pipeline.
+//!
+//! Every draw is seeded from stable hashes, so a given `WorkloadConfig`
+//! always generates the identical workload — experiments are reproducible
+//! end to end.
+
+pub mod generator;
+pub mod naming;
+pub mod template;
+pub mod view;
+
+pub use generator::{JobInstance, Workload, WorkloadConfig};
+pub use naming::normalize_job_name;
+pub use template::{TemplateSpec, TemplateStats};
+pub use view::{build_view, Table1Features, ViewRow};

@@ -1,0 +1,46 @@
+//! Job-name normalization: recurring instances submit names like
+//! `Ingest_Clicks_2021_11_03_run7`; the normalized form collapses the
+//! varying numeric parts so instances of a template share one name.
+
+/// Normalize a job name by replacing every maximal digit run with `#`.
+#[must_use]
+pub fn normalize_job_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    let mut in_digits = false;
+    for c in name.chars() {
+        if c.is_ascii_digit() {
+            if !in_digits {
+                out.push('#');
+                in_digits = true;
+            }
+        } else {
+            in_digits = false;
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digit_runs_collapse() {
+        assert_eq!(normalize_job_name("Ingest_2021_11_03_run7"), "Ingest_#_#_#_run#");
+        assert_eq!(
+            normalize_job_name("Ingest_2022_01_09_run12"),
+            normalize_job_name("Ingest_2021_11_03_run7")
+        );
+    }
+
+    #[test]
+    fn names_without_digits_unchanged() {
+        assert_eq!(normalize_job_name("DailyRollup"), "DailyRollup");
+    }
+
+    #[test]
+    fn distinct_templates_stay_distinct() {
+        assert_ne!(normalize_job_name("IngestA_7"), normalize_job_name("IngestB_7"));
+    }
+}

@@ -1,0 +1,348 @@
+//! Recurring job templates: script skeletons whose instances differ only in
+//! literal values and input cardinalities (paper §2.1).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use scope_ir::ids::{mix64, stable_hash64};
+use scope_lang::{Catalog, TableInfo};
+use scope_ir::stats::DualStats;
+use serde::{Deserialize, Serialize};
+
+/// Structural pattern of a template. The mix approximates the operator
+/// composition of analytical SCOPE workloads: aggregation reports, join
+/// pipelines, ingestion unions with user code, and top-k dashboards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Pattern {
+    FilterAgg,
+    JoinAgg,
+    TriJoinAgg,
+    UnionProcess,
+    TopK,
+    SharedMultiOutput,
+}
+
+impl Pattern {
+    const ALL: [Pattern; 6] = [
+        Pattern::FilterAgg,
+        Pattern::JoinAgg,
+        Pattern::TriJoinAgg,
+        Pattern::UnionProcess,
+        Pattern::TopK,
+        Pattern::SharedMultiOutput,
+    ];
+
+    /// Weighted draw (FilterAgg and JoinAgg dominate real workloads).
+    fn draw(rng: &mut StdRng) -> Pattern {
+        let weights = [28u32, 26, 12, 14, 10, 10];
+        let total: u32 = weights.iter().sum();
+        let mut x = rng.random_range(0..total);
+        for (p, w) in Self::ALL.iter().zip(weights) {
+            if x < w {
+                return *p;
+            }
+            x -= w;
+        }
+        Pattern::FilterAgg
+    }
+
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Pattern::FilterAgg => "FilterAgg",
+            Pattern::JoinAgg => "JoinAgg",
+            Pattern::TriJoinAgg => "TriJoinAgg",
+            Pattern::UnionProcess => "UnionProcess",
+            Pattern::TopK => "TopK",
+            Pattern::SharedMultiOutput => "SharedMultiOutput",
+        }
+    }
+}
+
+/// One base table of a template.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TableDef {
+    pub path: String,
+    /// Long-run cardinality; the catalog estimate every instance sees.
+    pub base_rows: f64,
+}
+
+/// Structural metadata of a template (used by tests and reports).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TemplateStats {
+    pub pattern: Pattern,
+    pub num_tables: usize,
+}
+
+/// A recurring job template: a script skeleton with literal placeholders
+/// (`__L0__`, `__L1__`, …) plus its base tables.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TemplateSpec {
+    pub seed: u64,
+    /// Base of the submitted job name (instances append date/run suffixes).
+    pub base_name: String,
+    /// Script skeleton with literal placeholders.
+    pub skeleton: String,
+    pub tables: Vec<TableDef>,
+    pub stats: TemplateStats,
+}
+
+/// Day-over-day drift of a table's true cardinality: deterministic
+/// log-normal-ish multiplier in roughly [0.5, 2.0].
+#[must_use]
+pub fn cardinality_drift(table_path: &str, day: u32) -> f64 {
+    let h = mix64(stable_hash64(table_path.as_bytes()), u64::from(day) | 0xD81F_7000);
+    let u1 = (h >> 11) as f64 / (1u64 << 53) as f64;
+    let u2 = (mix64(h, 0x77) >> 11) as f64 / (1u64 << 53) as f64;
+    let n = (u1 + u2 - 1.0) * 2.0; // triangular in [-2, 2]
+    (0.35 * n).exp()
+}
+
+impl TemplateSpec {
+    /// Generate a template from a seed.
+    #[must_use]
+    pub fn generate(seed: u64) -> TemplateSpec {
+        let mut rng = StdRng::seed_from_u64(mix64(seed, TEMPLATE_SALT));
+        let pattern = Pattern::draw(&mut rng);
+        let tag = format!("{seed:010x}");
+        let table = |i: usize, rng: &mut StdRng, lo: f64, hi: f64| {
+            let u: f64 = rng.random_range(0.0..1.0);
+            TableDef {
+                path: format!("store/{tag}_t{i}"),
+                base_rows: lo * (hi / lo).powf(u),
+            }
+        };
+        let (skeleton, tables) = match pattern {
+            Pattern::FilterAgg => {
+                let t0 = table(0, &mut rng, 1e6, 2e9);
+                let s = format!(
+                    r#"
+raw = EXTRACT k:int, a:int, b:int, v:float FROM "{p0}";
+flt = SELECT k, a, v FROM raw WHERE v > __L0__ AND a > __L1__;
+rpt = SELECT k, SUM(v) AS total, COUNT(*) AS n FROM flt GROUP BY k;
+OUTPUT rpt TO "out/{tag}_report";
+"#,
+                    p0 = t0.path,
+                );
+                (s, vec![t0])
+            }
+            Pattern::JoinAgg => {
+                let fact = table(0, &mut rng, 1e7, 5e9);
+                let dim = table(1, &mut rng, 1e4, 1e7);
+                let s = format!(
+                    r#"
+fact = EXTRACT k:int, a:int, v:float FROM "{p0}";
+dim  = EXTRACT k:int, g:int, s:string FROM "{p1}";
+flt  = SELECT k, v FROM fact WHERE v > __L0__;
+j    = SELECT * FROM flt AS f JOIN dim AS d ON f.k == d.k;
+rpt  = SELECT g, SUM(v) AS total, COUNT(*) AS n FROM j GROUP BY g;
+OUTPUT rpt TO "out/{tag}_joined";
+"#,
+                    p0 = fact.path,
+                    p1 = dim.path,
+                );
+                (s, vec![fact, dim])
+            }
+            Pattern::TriJoinAgg => {
+                let fact = table(0, &mut rng, 1e7, 5e9);
+                let d1 = table(1, &mut rng, 1e4, 1e7);
+                let d2 = table(2, &mut rng, 1e3, 1e6);
+                let s = format!(
+                    r#"
+fact = EXTRACT k:int, m:int, v:float FROM "{p0}";
+d1   = EXTRACT k:int, g:int FROM "{p1}";
+d2   = EXTRACT m:int, region:string FROM "{p2}";
+flt  = SELECT k, m, v FROM fact WHERE v > __L0__;
+j1   = SELECT * FROM flt AS f JOIN d1 ON f.k == d1.k;
+j2   = SELECT * FROM j1 JOIN d2 ON j1.m == d2.m;
+rpt  = SELECT g, SUM(v) AS total FROM j2 GROUP BY g;
+OUTPUT rpt TO "out/{tag}_cube";
+"#,
+                    p0 = fact.path,
+                    p1 = d1.path,
+                    p2 = d2.path,
+                );
+                (s, vec![fact, d1, d2])
+            }
+            Pattern::UnionProcess => {
+                let t0 = table(0, &mut rng, 1e6, 1e9);
+                let t1 = table(1, &mut rng, 1e6, 1e9);
+                let s = format!(
+                    r#"
+s0 = EXTRACT k:int, v:float FROM "{p0}";
+s1 = EXTRACT k:int, v:float FROM "{p1}";
+u  = UNION s0, s1;
+p  = PROCESS u USING Udf{tag};
+rpt = SELECT k, SUM(v) AS total, AVG(v) AS mean FROM p GROUP BY k;
+OUTPUT rpt TO "out/{tag}_cleansed";
+"#,
+                    p0 = t0.path,
+                    p1 = t1.path,
+                );
+                (s, vec![t0, t1])
+            }
+            Pattern::TopK => {
+                let fact = table(0, &mut rng, 1e7, 2e9);
+                let dim = table(1, &mut rng, 1e4, 1e7);
+                let k = [50u64, 100, 500][rng.random_range(0..3usize)];
+                let s = format!(
+                    r#"
+fact = EXTRACT k:int, a:int, v:float FROM "{p0}";
+dim  = EXTRACT k:int, name:string FROM "{p1}";
+flt  = SELECT k, v FROM fact WHERE v > __L0__;
+j    = SELECT * FROM flt AS f JOIN dim AS d ON f.k == d.k;
+agg  = SELECT name, SUM(v) AS total FROM j GROUP BY name;
+topk = SELECT TOP {k} name, total FROM agg ORDER BY total DESC;
+OUTPUT topk TO "out/{tag}_top";
+"#,
+                    p0 = fact.path,
+                    p1 = dim.path,
+                );
+                (s, vec![fact, dim])
+            }
+            Pattern::SharedMultiOutput => {
+                let t0 = table(0, &mut rng, 1e6, 2e9);
+                let s = format!(
+                    r#"
+raw  = EXTRACT k:int, a:int, v:float FROM "{p0}";
+flt  = SELECT k, a, v FROM raw WHERE v > __L0__;
+agg  = SELECT k, SUM(v) AS total FROM flt GROUP BY k;
+hot  = SELECT TOP 50 k, a, v FROM flt ORDER BY v DESC;
+OUTPUT agg TO "out/{tag}_rollup";
+OUTPUT hot TO "out/{tag}_hot";
+"#,
+                    p0 = t0.path,
+                );
+                (s, vec![t0])
+            }
+        };
+        let num_tables = tables.len();
+        TemplateSpec {
+            seed,
+            base_name: format!("{}_{tag}", pattern.name()),
+            skeleton,
+            tables,
+            stats: TemplateStats { pattern, num_tables },
+        }
+    }
+
+    /// Concrete script + catalog for one instance: literals drawn per
+    /// instance, catalog estimates stale at `base_rows`, true cardinalities
+    /// drifting by day.
+    #[must_use]
+    pub fn instantiate(&self, day: u32, instance: u32) -> (String, Catalog) {
+        let mut rng =
+            StdRng::seed_from_u64(mix64(self.seed, mix64(u64::from(day), u64::from(instance))));
+        let mut script = self.skeleton.clone();
+        for i in 0..4 {
+            let placeholder = format!("__L{i}__");
+            if script.contains(&placeholder) {
+                let value: i64 = rng.random_range(1..10_000);
+                script = script.replace(&placeholder, &value.to_string());
+            }
+        }
+        let mut catalog = Catalog::default();
+        for t in &self.tables {
+            let actual = t.base_rows * cardinality_drift(&t.path, day);
+            catalog.register(
+                t.path.clone(),
+                TableInfo { rows: DualStats::new(actual, t.base_rows) },
+            );
+        }
+        (script, catalog)
+    }
+
+    /// The submitted (un-normalized) job name of one instance.
+    #[must_use]
+    pub fn instance_name(&self, day: u32, instance: u32) -> String {
+        format!("{}_{:04}_{:02}_run{}", self.base_name, 2021 + day / 365, day % 365, instance)
+    }
+}
+
+/// Salt separating template-structure draws from instance-literal draws.
+const TEMPLATE_SALT: u64 = 0x7e4a_91b5_02fd_11aa;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scope_lang::bind_script;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = TemplateSpec::generate(17);
+        let b = TemplateSpec::generate(17);
+        assert_eq!(a.skeleton, b.skeleton);
+        assert_eq!(a.base_name, b.base_name);
+        let c = TemplateSpec::generate(18);
+        assert_ne!(a.skeleton, c.skeleton);
+    }
+
+    #[test]
+    fn instances_share_template_identity() {
+        let spec = TemplateSpec::generate(99);
+        let (s1, c1) = spec.instantiate(0, 0);
+        let (s2, c2) = spec.instantiate(5, 1);
+        let p1 = bind_script(&s1, &c1).unwrap();
+        let p2 = bind_script(&s2, &c2).unwrap();
+        assert_eq!(p1.template_id(), p2.template_id(), "instances share the template");
+    }
+
+    #[test]
+    fn different_templates_have_different_identity() {
+        let a = TemplateSpec::generate(1);
+        let b = TemplateSpec::generate(2);
+        let (sa, ca) = a.instantiate(0, 0);
+        let (sb, cb) = b.instantiate(0, 0);
+        assert_ne!(
+            bind_script(&sa, &ca).unwrap().template_id(),
+            bind_script(&sb, &cb).unwrap().template_id()
+        );
+    }
+
+    #[test]
+    fn all_patterns_produce_bindable_scripts() {
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..60u64 {
+            let spec = TemplateSpec::generate(seed);
+            let (script, catalog) = spec.instantiate(3, 0);
+            let plan = bind_script(&script, &catalog)
+                .unwrap_or_else(|e| panic!("seed {seed} pattern {:?}: {e}", spec.stats.pattern));
+            plan.validate().unwrap();
+            seen.insert(spec.stats.pattern);
+        }
+        assert!(seen.len() >= 5, "covered {} patterns", seen.len());
+    }
+
+    #[test]
+    fn cardinality_drift_is_deterministic_and_bounded() {
+        let d1 = cardinality_drift("store/x", 5);
+        let d2 = cardinality_drift("store/x", 5);
+        assert_eq!(d1, d2);
+        for day in 0..100 {
+            let d = cardinality_drift("store/x", day);
+            assert!((0.3..3.5).contains(&d), "drift {d} out of range");
+        }
+        // Varies across days.
+        assert_ne!(cardinality_drift("store/x", 1), cardinality_drift("store/x", 2));
+    }
+
+    #[test]
+    fn instance_names_normalize_to_one_template_name() {
+        use crate::naming::normalize_job_name;
+        let spec = TemplateSpec::generate(7);
+        let n1 = normalize_job_name(&spec.instance_name(3, 0));
+        let n2 = normalize_job_name(&spec.instance_name(40, 2));
+        assert_eq!(n1, n2);
+    }
+
+    #[test]
+    fn literals_vary_across_instances() {
+        let spec = TemplateSpec::generate(11);
+        let (s1, _) = spec.instantiate(0, 0);
+        let (s2, _) = spec.instantiate(0, 1);
+        // FilterAgg-family skeletons always carry literals; union ones may
+        // not, so only assert when a placeholder existed.
+        if spec.skeleton.contains("__L0__") {
+            assert_ne!(s1, s2, "literal values should differ");
+        }
+    }
+}

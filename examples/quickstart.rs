@@ -1,0 +1,108 @@
+//! Quickstart: write a SCOPE-like script, compile it, inspect the plan, the
+//! rule signature and the job span, then steer it with a single rule flip.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use scope_ir::display::{explain_logical, explain_physical};
+use scope_lang::{bind_script, Catalog, TableInfo};
+use scope_opt::{compute_span, Hint, HintSet, Optimizer, RuleFlip};
+use scope_runtime::{execute, Cluster};
+use scope_ir::stats::DualStats;
+
+const SCRIPT: &str = r#"
+    // Daily revenue rollup: filter the fact table, join the dimension,
+    // aggregate by region, and keep the top spenders on the side.
+    sales = EXTRACT user:int, item:int, spend:float FROM "store/sales";
+    users = EXTRACT user:int, region:string FROM "store/users";
+    big   = SELECT user, spend FROM sales WHERE spend > 100;
+    j     = SELECT * FROM big AS b JOIN users AS u ON b.user == u.user;
+    rpt   = SELECT region, SUM(spend) AS total, COUNT(*) AS n FROM j GROUP BY region;
+    hot   = SELECT TOP 100 user, spend FROM big ORDER BY spend DESC;
+    OUTPUT rpt TO "out/by_region";
+    OUTPUT hot TO "out/top_spenders";
+"#;
+
+fn main() {
+    // 1. Bind the script against a catalog (stale estimates included).
+    let mut catalog = Catalog::default();
+    catalog.register("store/sales", TableInfo { rows: DualStats::new(3.0e8, 2.0e8) });
+    catalog.register("store/users", TableInfo { rows: DualStats::exact(5.0e6) });
+    let plan = bind_script(SCRIPT, &catalog).expect("script binds");
+    println!("== logical plan (a DAG: two outputs share the filtered scan) ==");
+    println!("{}", explain_logical(&plan));
+
+    // 2. Compile with the default rule configuration.
+    let optimizer = Optimizer::default();
+    let default = optimizer.default_config();
+    let compiled = optimizer.compile(&plan, &default).expect("default compiles");
+    println!("== physical plan ==");
+    println!("{}", explain_physical(&compiled.physical));
+    println!("estimated cost: {:.3e}", compiled.est_cost);
+    println!(
+        "rule signature ({} rules): {:?}",
+        compiled.signature.len(),
+        compiled
+            .signature
+            .iter()
+            .map(|r| optimizer.rules().rule(r).name.clone())
+            .collect::<Vec<_>>()
+    );
+
+    // 3. Compute the job span: every rule whose flip can change this plan.
+    let span = compute_span(&optimizer, &plan, 6).expect("span");
+    println!("\njob span ({} flippable rules):", span.len());
+    for rule in span.span.iter() {
+        let def = optimizer.rules().rule(rule);
+        println!("  {rule}  {:24} [{}]", def.name, def.category.name());
+    }
+
+    // 4. Try each span flip; report the estimated-cost delta.
+    println!("\nsingle-flip recompilations:");
+    let mut best: Option<(RuleFlip, f64)> = None;
+    for rule in span.span.iter() {
+        let flip = RuleFlip { rule, enable: !default.enabled(rule) };
+        match optimizer.compile(&plan, &default.with_flip(flip)) {
+            Ok(c) => {
+                let delta = c.est_cost / compiled.est_cost - 1.0;
+                println!("  {flip}: est cost {:+.2}%", delta * 100.0);
+                if delta < best.map_or(0.0, |(_, d)| d) {
+                    best = Some((flip, delta));
+                }
+            }
+            Err(e) => println!("  {flip}: {e}"),
+        }
+    }
+
+    // 5. Execute default vs steered on the simulated cluster.
+    let cluster = Cluster::default();
+    let base = execute(&compiled.physical, &cluster, 42, 1);
+    println!(
+        "\ndefault run:  latency {:>7.1}s  PNhours {:>7.3}  vertices {:>4}  read {:.2e} B",
+        base.latency_sec, base.pn_hours, base.vertices, base.data_read
+    );
+    if let Some((flip, delta)) = best {
+        let steered = optimizer.compile(&plan, &default.with_flip(flip)).unwrap();
+        let m = execute(&steered.physical, &cluster, 42, 1);
+        println!(
+            "steered run:  latency {:>7.1}s  PNhours {:>7.3}  vertices {:>4}  read {:.2e} B",
+            m.latency_sec, m.pn_hours, m.vertices, m.data_read
+        );
+        println!(
+            "best flip {flip} promised {:+.1}% est cost; delivered {:+.1}% PNhours",
+            delta * 100.0,
+            (m.pn_hours / base.pn_hours - 1.0) * 100.0
+        );
+
+        // 6. Package the flip as a SIS-style hint: future compilations of
+        // this template pick it up automatically.
+        let hints = HintSet::from_hints([Hint { template: plan.template_id(), flip }]);
+        let cfg = hints.config_for(plan.template_id(), &default);
+        let rehinted = optimizer.compile(&plan, &cfg).unwrap();
+        assert_eq!(rehinted.est_cost, steered.est_cost);
+        println!("hint stored for template {} and applied on recompile", plan.template_id());
+    } else {
+        println!("no estimated-cost-improving flip in the span for this job");
+    }
+}

@@ -1,0 +1,67 @@
+//! Explore rule signatures and job spans across workload patterns: which of
+//! the 256 optimizer rules fire, which are flippable, and how large the
+//! action space of each job really is (paper §2.1: spans average ~10 with a
+//! long tail).
+//!
+//! ```text
+//! cargo run --release --example span_explorer
+//! ```
+
+use scope_opt::{compute_span, Optimizer};
+use scope_workload::{TemplateSpec, Workload, WorkloadConfig};
+use scope_lang::bind_script;
+
+fn main() {
+    let optimizer = Optimizer::default();
+    let workload = Workload::new(WorkloadConfig {
+        seed: 9,
+        num_templates: 30,
+        adhoc_per_day: 0,
+        max_instances_per_day: 1,
+    });
+
+    println!(
+        "{:>22} {:>6} {:>10} {:>6} {:>7} {:>9}",
+        "pattern", "nodes", "signature", "span", "iters", "stopped"
+    );
+    let mut sizes = Vec::new();
+    for job in workload.jobs_for_day(0) {
+        let Ok(span) = compute_span(&optimizer, &job.plan, 6) else { continue };
+        let pattern = job
+            .name
+            .split('_')
+            .next()
+            .unwrap_or("?")
+            .to_string();
+        println!(
+            "{:>22} {:>6} {:>10} {:>6} {:>7} {:>9}",
+            pattern,
+            job.plan.len(),
+            span.default_signature.len(),
+            span.len(),
+            span.iterations,
+            span.stopped_on_failure,
+        );
+        sizes.push(span.len() as f64);
+    }
+    sizes.sort_by(|a, b| a.total_cmp(b));
+    let mean = sizes.iter().sum::<f64>() / sizes.len().max(1) as f64;
+    println!(
+        "\nspan size: mean {:.1}, median {:.0}, max {:.0}  (paper: mean ~10, long tail)",
+        mean,
+        sizes.get(sizes.len() / 2).copied().unwrap_or(0.0),
+        sizes.last().copied().unwrap_or(0.0)
+    );
+
+    // Drill into one template: name every rule in its span.
+    let spec = TemplateSpec::generate(0xBEEF);
+    let (script, catalog) = spec.instantiate(0, 0);
+    let plan = bind_script(&script, &catalog).unwrap();
+    let span = compute_span(&optimizer, &plan, 6).unwrap();
+    println!("\ntemplate {} ({}):", spec.base_name, spec.stats.pattern.name());
+    for rule in span.span.iter() {
+        let def = optimizer.rules().rule(rule);
+        let state = if optimizer.default_config().enabled(rule) { "on " } else { "off" };
+        println!("  {rule} [{state}] {:28} {}", def.name, def.category.name());
+    }
+}

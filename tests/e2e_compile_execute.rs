@@ -1,0 +1,138 @@
+//! Cross-crate integration: script → binder → optimizer → runtime, with
+//! signatures, spans, and hints behaving consistently along the way.
+
+use scope_lang::{bind_script, Catalog, TableInfo};
+use scope_opt::{compute_span, Hint, HintSet, Optimizer, RuleFlip};
+use scope_runtime::{execute, Cluster};
+use scope_ir::stats::DualStats;
+
+const SCRIPT: &str = r#"
+    fact = EXTRACT k:int, m:int, v:float FROM "t/fact";
+    dim  = EXTRACT k:int, g:int FROM "t/dim";
+    flt  = SELECT k, m, v FROM fact WHERE v > 50;
+    j    = SELECT * FROM flt AS f JOIN dim AS d ON f.k == d.k;
+    rpt  = SELECT g, SUM(v) AS total FROM j GROUP BY g;
+    OUTPUT rpt TO "out/rpt";
+"#;
+
+fn catalog() -> Catalog {
+    let mut c = Catalog::default();
+    c.register("t/fact", TableInfo { rows: DualStats::new(2.0e8, 1.2e8) });
+    c.register("t/dim", TableInfo { rows: DualStats::exact(1.0e6) });
+    c
+}
+
+#[test]
+fn script_to_metrics_roundtrip() {
+    let plan = bind_script(SCRIPT, &catalog()).unwrap();
+    let optimizer = Optimizer::default();
+    let compiled = optimizer.compile(&plan, &optimizer.default_config()).unwrap();
+    compiled.physical.validate().unwrap();
+    let metrics = execute(&compiled.physical, &Cluster::default(), 1, 1);
+    assert!(metrics.latency_sec > 0.0);
+    assert!(metrics.pn_hours > 0.0);
+    assert!(metrics.data_read > 0.0, "scans read data");
+    assert!(metrics.vertices > 1, "distributed job uses multiple vertices");
+    assert!(metrics.tokens <= metrics.vertices);
+}
+
+#[test]
+fn every_span_flip_compiles_or_fails_deterministically() {
+    let plan = bind_script(SCRIPT, &catalog()).unwrap();
+    let optimizer = Optimizer::default();
+    let default = optimizer.default_config();
+    let span = compute_span(&optimizer, &plan, 6).unwrap();
+    assert!(!span.is_empty());
+    for rule in span.span.iter() {
+        let flip = RuleFlip { rule, enable: !default.enabled(rule) };
+        let cfg = default.with_flip(flip);
+        let first = optimizer.compile(&plan, &cfg).map(|c| c.est_cost.to_bits());
+        let second = optimizer.compile(&plan, &cfg).map(|c| c.est_cost.to_bits());
+        assert_eq!(first.is_ok(), second.is_ok(), "{flip} determinism");
+        if let (Ok(a), Ok(b)) = (first, second) {
+            assert_eq!(a, b, "{flip} estimated cost must be bit-identical");
+        }
+    }
+}
+
+#[test]
+fn steering_changes_runtime_profile_not_just_estimates() {
+    let plan = bind_script(SCRIPT, &catalog()).unwrap();
+    let optimizer = Optimizer::default();
+    let default = optimizer.default_config();
+    let base_compiled = optimizer.compile(&plan, &default).unwrap();
+    let base = execute(&base_compiled.physical, &Cluster::deterministic(), 1, 1);
+    let span = compute_span(&optimizer, &plan, 6).unwrap();
+
+    let mut changed_runtime = 0;
+    for rule in span.span.iter() {
+        let flip = RuleFlip { rule, enable: !default.enabled(rule) };
+        let Ok(c) = optimizer.compile(&plan, &default.with_flip(flip)) else { continue };
+        if c.physical == base_compiled.physical {
+            continue;
+        }
+        let m = execute(&c.physical, &Cluster::deterministic(), 1, 1);
+        if (m.pn_hours - base.pn_hours).abs() / base.pn_hours > 1e-6 {
+            changed_runtime += 1;
+        }
+    }
+    assert!(changed_runtime > 0, "some flip must change ground-truth PNhours");
+}
+
+#[test]
+fn hints_steer_future_compilations_of_the_template_only() {
+    let plan = bind_script(SCRIPT, &catalog()).unwrap();
+    let other = bind_script(
+        r#"
+        a = EXTRACT x:int, v:float FROM "t/other";
+        f = SELECT x, v FROM a WHERE v > 1;
+        OUTPUT f TO "out/o";
+    "#,
+        &catalog(),
+    )
+    .unwrap();
+    let optimizer = Optimizer::default();
+    let default = optimizer.default_config();
+    let span = compute_span(&optimizer, &plan, 6).unwrap();
+    let rule = span.span.iter().next().unwrap();
+    let flip = RuleFlip { rule, enable: !default.enabled(rule) };
+    let hints = HintSet::from_hints([Hint { template: plan.template_id(), flip }]);
+
+    let hinted_cfg = hints.config_for(plan.template_id(), &default);
+    assert_ne!(hinted_cfg, default);
+    let other_cfg = hints.config_for(other.template_id(), &default);
+    assert_eq!(other_cfg, default, "hints are template-scoped");
+}
+
+#[test]
+fn recurring_instances_share_template_and_span() {
+    use scope_workload::TemplateSpec;
+    let spec = TemplateSpec::generate(555);
+    let optimizer = Optimizer::default();
+    let (s1, c1) = spec.instantiate(0, 0);
+    let (s2, c2) = spec.instantiate(9, 1);
+    let p1 = bind_script(&s1, &c1).unwrap();
+    let p2 = bind_script(&s2, &c2).unwrap();
+    assert_eq!(p1.template_id(), p2.template_id());
+    let span1 = compute_span(&optimizer, &p1, 6).unwrap();
+    let span2 = compute_span(&optimizer, &p2, 6).unwrap();
+    assert_eq!(span1.span, span2.span, "spans are template-stable");
+}
+
+#[test]
+fn estimated_and_actual_costs_disagree_per_design() {
+    // The q-error between estimated and actual rows must be non-trivial for
+    // realistic templates (it is the premise of the whole paper).
+    let plan = bind_script(SCRIPT, &catalog()).unwrap();
+    let optimizer = Optimizer::default();
+    let compiled = optimizer.compile(&plan, &optimizer.default_config()).unwrap();
+    let mut max_q: f64 = 1.0;
+    for id in compiled.physical.topo_order() {
+        let s = compiled.physical.node(id).stats;
+        if s.rows.actual > 1.0 {
+            let q = (s.rows.estimated / s.rows.actual).max(s.rows.actual / s.rows.estimated);
+            max_q = max_q.max(q);
+        }
+    }
+    assert!(max_q > 1.2, "mis-estimation must exist (max q-error {max_q})");
+}

@@ -1,0 +1,75 @@
+//! End-to-end coverage of the WINDOW statement: parse, bind, optimize
+//! (WindowImpl adds a hash exchange on the partition keys), and execute.
+
+use scope_lang::{bind_script, parse_script, Catalog};
+use scope_opt::Optimizer;
+use scope_runtime::{execute, Cluster};
+
+const SCRIPT: &str = r#"
+    t = EXTRACT k:int, g:int, v:float FROM "data/t";
+    f = SELECT k, g, v FROM t WHERE v > 10;
+    w = WINDOW f PARTITION BY g AGGREGATE SUM(v) AS running, COUNT(*) AS n;
+    OUTPUT w TO "out/w";
+"#;
+
+#[test]
+fn window_statement_parses() {
+    let script = parse_script(SCRIPT).unwrap();
+    let stmt = script
+        .statements
+        .iter()
+        .find_map(|s| match s {
+            scope_lang::ast::Statement::Window { partition_by, funcs, .. } => {
+                Some((partition_by.len(), funcs.len()))
+            }
+            _ => None,
+        })
+        .expect("window statement present");
+    assert_eq!(stmt, (1, 2));
+}
+
+#[test]
+fn window_binds_with_appended_columns() {
+    let plan = bind_script(SCRIPT, &Catalog::default()).unwrap();
+    plan.validate().unwrap();
+    assert_eq!(plan.count_tag("Window"), 1);
+    // Output schema = 3 input columns + 2 window aggregates.
+    let schemas = plan.schemas();
+    let window_node = plan
+        .topo_order()
+        .into_iter()
+        .find(|id| plan.node(*id).op.tag() == "Window")
+        .unwrap();
+    assert_eq!(schemas[window_node.index()].len(), 5);
+    assert_eq!(schemas[window_node.index()].index_of("running"), Some(3));
+    assert_eq!(schemas[window_node.index()].index_of("n"), Some(4));
+}
+
+#[test]
+fn window_compiles_and_executes() {
+    let plan = bind_script(SCRIPT, &Catalog::default()).unwrap();
+    let optimizer = Optimizer::default();
+    let compiled = optimizer.compile(&plan, &optimizer.default_config()).unwrap();
+    compiled.physical.validate().unwrap();
+    assert!(compiled.physical.count_tag("WindowExec") >= 1, "window implemented");
+    assert!(compiled.physical.exchange_count() >= 1, "partitioned on the window keys");
+    let m = execute(&compiled.physical, &Cluster::default(), 3, 3);
+    assert!(m.pn_hours > 0.0 && m.latency_sec > 0.0);
+}
+
+#[test]
+fn window_rejects_unknown_aggregate_and_column() {
+    let bad_func = r#"
+        t = EXTRACT k:int FROM "d";
+        w = WINDOW t PARTITION BY k AGGREGATE MEDIAN(k) AS m;
+        OUTPUT w TO "o";
+    "#;
+    assert!(parse_script(bad_func).is_err(), "MEDIAN is not a known aggregate");
+    let bad_col = r#"
+        t = EXTRACT k:int FROM "d";
+        w = WINDOW t PARTITION BY nope AGGREGATE SUM(k) AS s;
+        OUTPUT w TO "o";
+    "#;
+    let err = bind_script(bad_col, &Catalog::default()).unwrap_err();
+    assert!(err.to_string().contains("unknown column"), "{err}");
+}
