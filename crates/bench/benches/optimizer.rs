@@ -23,13 +23,30 @@ fn bench_optimizer(c: &mut Criterion) {
     let default = optimizer.default_config();
 
     c.bench_function("compile_default_tri_join", |b| {
-        b.iter(|| black_box(optimizer.compile(black_box(&plan), &default).unwrap().est_cost))
+        b.iter(|| {
+            black_box(
+                optimizer
+                    .compile(black_box(&plan), &default)
+                    .unwrap()
+                    .est_cost,
+            )
+        })
     });
 
-    let flip = RuleFlip { rule: RuleId(21), enable: true };
+    let flip = RuleFlip {
+        rule: RuleId(21),
+        enable: true,
+    };
     let flipped = default.with_flip(flip);
     c.bench_function("recompile_single_flip", |b| {
-        b.iter(|| black_box(optimizer.compile(black_box(&plan), &flipped).map(|c| c.est_cost).ok()))
+        b.iter(|| {
+            black_box(
+                optimizer
+                    .compile(black_box(&plan), &flipped)
+                    .map(|c| c.est_cost)
+                    .ok(),
+            )
+        })
     });
 
     c.bench_function("compute_span_fixpoint", |b| {

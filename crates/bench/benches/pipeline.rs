@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use flighting::{FlightBudget, FlightingService};
-use qo_advisor::{PipelineConfig, QoAdvisor};
+use qo_advisor::{ParallelismConfig, PipelineConfig, QoAdvisor};
 use scope_opt::Optimizer;
 use scope_runtime::Cluster;
 use scope_workload::{build_view, Workload, WorkloadConfig};
@@ -22,9 +22,7 @@ fn bench_pipeline(c: &mut Criterion) {
     let jobs = workload.jobs_for_day(0);
 
     c.bench_function("build_daily_view_12_jobs", |b| {
-        b.iter(|| {
-            black_box(build_view(&jobs, &optimizer, &Default::default(), &cluster).len())
-        })
+        b.iter(|| black_box(build_view(&jobs, &optimizer, &Default::default(), &cluster).len()))
     });
 
     let view = build_view(&jobs, &optimizer, &Default::default(), &cluster);
@@ -43,9 +41,56 @@ fn bench_pipeline(c: &mut Criterion) {
     });
 }
 
+/// Serial vs parallel `run_day` on a compile-heavy day (cold span cache), so
+/// the bench trajectory tracks the fan-out speedup of Feature Generation +
+/// Recompilation. Outputs are bit-identical; only throughput may differ.
+fn bench_pipeline_parallelism(c: &mut Criterion) {
+    let optimizer = Optimizer::default();
+    let workload = Workload::new(WorkloadConfig {
+        seed: 2022,
+        num_templates: 48,
+        adhoc_per_day: 4,
+        max_instances_per_day: 1,
+    });
+    let cluster = Cluster::default();
+    let jobs = workload.jobs_for_day(0);
+    let view = build_view(&jobs, &optimizer, &Default::default(), &cluster);
+
+    let advisor_with = |parallelism: ParallelismConfig| {
+        QoAdvisor::new(
+            optimizer.clone(),
+            FlightingService::new(Cluster::preproduction(), FlightBudget::default()),
+            PipelineConfig {
+                parallelism,
+                ..PipelineConfig::default()
+            },
+        )
+    };
+
+    let cases = [
+        (
+            "pipeline_run_day_48_templates_serial",
+            ParallelismConfig::serial(),
+        ),
+        (
+            "pipeline_run_day_48_templates_parallel",
+            ParallelismConfig::with_threads(0),
+        ),
+    ];
+    for (name, parallelism) in cases {
+        c.bench_function(name, |b| {
+            b.iter_batched(
+                || advisor_with(parallelism),
+                |mut qa| black_box(qa.run_day(&view, 0).hints_published),
+                BatchSize::PerIteration,
+            )
+        });
+    }
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_pipeline
+    targets = bench_pipeline, bench_pipeline_parallelism
 }
 criterion_main!(benches);

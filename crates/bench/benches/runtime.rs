@@ -2,15 +2,20 @@
 //! extraction and noisy execution.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use scope_ir::stats::DualStats;
 use scope_lang::{bind_script, Catalog, TableInfo};
 use scope_opt::Optimizer;
 use scope_runtime::{execute, Cluster, StageGraph};
-use scope_ir::stats::DualStats;
 use std::hint::black_box;
 
 fn physical() -> scope_ir::PhysicalPlan {
     let mut catalog = Catalog::default();
-    catalog.register("store/fact", TableInfo { rows: DualStats::exact(5e8) });
+    catalog.register(
+        "store/fact",
+        TableInfo {
+            rows: DualStats::exact(5e8),
+        },
+    );
     let plan = bind_script(
         r#"
         fact = EXTRACT k:int, m:int, v:float FROM "store/fact";

@@ -1,9 +1,14 @@
 //! Regenerates every table and figure of the paper's evaluation (§5).
 //!
 //! ```text
-//! cargo run --release -p qo-bench --bin experiments -- all
-//! cargo run --release -p qo-bench --bin experiments -- fig6
+//! cargo run --release -p qo_bench --bin experiments -- all
+//! cargo run --release -p qo_bench --bin experiments -- fig6
+//! cargo run --release -p qo_bench --bin experiments -- table2 --threads 8
 //! ```
+//!
+//! `--threads N` (or the `QO_THREADS` env var) runs the pipeline's
+//! compile-bound stages on `N` worker threads (`0` = all cores); results
+//! are bit-identical to the serial default.
 //!
 //! Each experiment writes its raw series to `results/<name>.csv` and prints
 //! a summary row comparing the paper's reported shape with the measured one.
@@ -12,17 +17,52 @@
 //! factor, where the crossovers fall — is the reproduction target.
 
 use flighting::{FlightBudget, FlightRequest, FlightingService};
+use qo_advisor::{
+    aggregate_impact, HintedComparison, ParallelismConfig, PipelineConfig, ProductionSim,
+    QoAdvisor, RecommendStrategy, ValidationModel, ValidationSample,
+};
 use qo_bench::corpus::{write_csv, Env};
 use qo_bench::{mean, pearson, percentile, polyfit1};
-use qo_advisor::{
-    aggregate_impact, HintedComparison, PipelineConfig, ProductionSim, QoAdvisor,
-    RecommendStrategy, ValidationModel, ValidationSample,
-};
 use scope_runtime::Cluster;
 use scope_workload::{build_view, WorkloadConfig};
 
+/// Worker-thread override for every experiment in this run.
+static THREADS: std::sync::OnceLock<Option<usize>> = std::sync::OnceLock::new();
+
+fn set_threads(threads: Option<usize>) {
+    let _ = THREADS.set(threads);
+}
+
+/// The base pipeline configuration every experiment derives from: defaults
+/// plus the CLI-selected parallelism.
+fn pipeline_config() -> PipelineConfig {
+    PipelineConfig {
+        parallelism: ParallelismConfig {
+            threads: *THREADS.get_or_init(|| None),
+        },
+        ..PipelineConfig::default()
+    }
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--threads") {
+        let n = args
+            .get(i + 1)
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or_else(|| {
+                eprintln!("--threads requires an integer argument");
+                std::process::exit(2);
+            });
+        set_threads(Some(n));
+        args.drain(i..=i + 1);
+    } else if let Ok(value) = std::env::var("QO_THREADS") {
+        let n = value.parse::<usize>().unwrap_or_else(|_| {
+            eprintln!("QO_THREADS must be an integer, got `{value}`");
+            std::process::exit(2);
+        });
+        set_threads(Some(n));
+    }
     let which = args.first().map(String::as_str).unwrap_or("all");
     let run = |name: &str| which == "all" || which == name;
 
@@ -56,10 +96,26 @@ fn main() {
     if run("negi-cost") {
         negi_maintenance_cost();
     }
-    if !["all", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-        "fig11", "fig12", "table2", "table3", "ablation-cost-gate", "ablation-span-features",
-        "negi-cost"]
-        .contains(&which)
+    if ![
+        "all",
+        "fig2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "table2",
+        "table3",
+        "ablation-cost-gate",
+        "ablation-span-features",
+        "negi-cost",
+    ]
+    .contains(&which)
     {
         eprintln!("unknown experiment {which}");
         std::process::exit(2);
@@ -73,7 +129,10 @@ fn fig2_fig4() {
     let default = env.default_config();
     let mut svc = FlightingService::new(
         Cluster::preproduction(),
-        FlightBudget { queue_size: usize::MAX, ..FlightBudget::default() },
+        FlightBudget {
+            queue_size: usize::MAX,
+            ..FlightBudget::default()
+        },
     );
 
     // Every estimated-cost-improving span flip of two days of jobs (the
@@ -101,7 +160,9 @@ fn fig2_fig4() {
     let mut lat = Vec::new();
     let mut pn = Vec::new();
     for (a, b) in week0.iter().zip(week1.iter()) {
-        let (Some(m0), Some(m1)) = (a.measurement(), b.measurement()) else { continue };
+        let (Some(m0), Some(m1)) = (a.measurement(), b.measurement()) else {
+            continue;
+        };
         rows.push(format!(
             "{},{},{},{}",
             m0.latency_delta(),
@@ -112,7 +173,11 @@ fn fig2_fig4() {
         lat.push((m0.latency_delta(), m1.latency_delta()));
         pn.push((m0.pn_delta(), m1.pn_delta()));
     }
-    write_csv("fig2_fig4_stability.csv", "w0_latency,w1_latency,w0_pn,w1_pn", &rows);
+    write_csv(
+        "fig2_fig4_stability.csv",
+        "w0_latency,w1_latency,w0_pn,w1_pn",
+        &rows,
+    );
 
     let regress = |pairs: &[(f64, f64)]| {
         let improved: Vec<&(f64, f64)> = pairs.iter().filter(|(w0, _)| *w0 < 0.0).collect();
@@ -140,7 +205,9 @@ fn fig3_fig5() {
     let jobs = env.workload.jobs_for_day(0);
     let mut points = Vec::new();
     for job in &jobs {
-        let Ok(compiled) = env.optimizer.compile(&job.plan, &default) else { continue };
+        let Ok(compiled) = env.optimizer.compile(&job.plan, &default) else {
+            continue;
+        };
         let runs = flighting::run_aa(&compiled.physical, &env.cluster, job.job_seed, 10);
         let lat: Vec<f64> = runs.iter().map(|m| m.latency_sec).collect();
         let pn: Vec<f64> = runs.iter().map(|m| m.pn_hours).collect();
@@ -155,7 +222,11 @@ fn fig3_fig5() {
         .iter()
         .map(|(t, cl, cp)| format!("{},{},{}", t / max_t, cl, cp))
         .collect();
-    write_csv("fig3_fig5_aa_variance.csv", "norm_exec_time,cv_latency,cv_pnhours", &rows);
+    write_csv(
+        "fig3_fig5_aa_variance.csv",
+        "norm_exec_time,cv_latency,cv_pnhours",
+        &rows,
+    );
 
     let over5 = |sel: &dyn Fn(&(f64, f64, f64)) -> f64| {
         100.0 * points.iter().filter(|p| sel(p) > 0.05).count() as f64 / points.len() as f64
@@ -178,7 +249,10 @@ fn fig6() {
     let default = env.default_config();
     let mut svc = FlightingService::new(
         Cluster::preproduction(),
-        FlightBudget { queue_size: usize::MAX, ..FlightBudget::default() },
+        FlightBudget {
+            queue_size: usize::MAX,
+            ..FlightBudget::default()
+        },
     );
     let mut est = Vec::new();
     let mut lat = Vec::new();
@@ -215,14 +289,20 @@ fn fig6() {
             }
         }
     }
-    let rows: Vec<String> =
-        est.iter().zip(lat.iter()).map(|(e, l)| format!("{e},{l}")).collect();
-    write_csv("fig6_estcost_vs_latency.csv", "est_cost_delta,latency_delta", &rows);
+    let rows: Vec<String> = est
+        .iter()
+        .zip(lat.iter())
+        .map(|(e, l)| format!("{e},{l}"))
+        .collect();
+    write_csv(
+        "fig6_estcost_vs_latency.csv",
+        "est_cost_delta,latency_delta",
+        &rows,
+    );
 
     let r = pearson(&est, &lat);
     let med = percentile(&est, 50.0);
-    let big_improvers: Vec<usize> =
-        (0..est.len()).filter(|&i| est[i] <= med).collect();
+    let big_improvers: Vec<usize> = (0..est.len()).filter(|&i| est[i] <= med).collect();
     let regressed = big_improvers.iter().filter(|&&i| lat[i] > 0.0).count() as f64
         / big_improvers.len().max(1) as f64;
     println!("  (job, flip) pairs flighted: {}", est.len());
@@ -238,7 +318,10 @@ fn gather_samples(env: &Env, days: std::ops::Range<u32>, salt: u64) -> Vec<Valid
     let default = env.default_config();
     let mut svc = FlightingService::new(
         Cluster::preproduction(),
-        FlightBudget { queue_size: usize::MAX, ..FlightBudget::default() },
+        FlightBudget {
+            queue_size: usize::MAX,
+            ..FlightBudget::default()
+        },
     );
     let mut samples = Vec::new();
     for day in days {
@@ -257,13 +340,16 @@ fn gather_samples(env: &Env, days: std::ops::Range<u32>, salt: u64) -> Vec<Valid
             })
             .collect();
         let (outcomes, _) = svc.flight_batch(&env.optimizer, &requests);
-        samples.extend(outcomes.iter().filter_map(|o| o.measurement()).map(|m| {
-            ValidationSample {
-                data_read_delta: m.data_read_delta(),
-                data_written_delta: m.data_written_delta(),
-                pn_delta: m.pn_delta(),
-            }
-        }));
+        samples.extend(
+            outcomes
+                .iter()
+                .filter_map(|o| o.measurement())
+                .map(|m| ValidationSample {
+                    data_read_delta: m.data_read_delta(),
+                    data_written_delta: m.data_written_delta(),
+                    pn_delta: m.pn_delta(),
+                }),
+        );
     }
     samples
 }
@@ -275,9 +361,18 @@ fn fig7_fig8() {
     let samples = gather_samples(&env, 0..3, 0x77);
     let rows: Vec<String> = samples
         .iter()
-        .map(|s| format!("{},{},{}", s.data_read_delta, s.data_written_delta, s.pn_delta))
+        .map(|s| {
+            format!(
+                "{},{},{}",
+                s.data_read_delta, s.data_written_delta, s.pn_delta
+            )
+        })
         .collect();
-    write_csv("fig7_fig8_data_vs_pn.csv", "data_read_delta,data_written_delta,pn_delta", &rows);
+    write_csv(
+        "fig7_fig8_data_vs_pn.csv",
+        "data_read_delta,data_written_delta,pn_delta",
+        &rows,
+    );
 
     let dr: Vec<f64> = samples.iter().map(|s| s.data_read_delta).collect();
     let dw: Vec<f64> = samples.iter().map(|s| s.data_written_delta).collect();
@@ -316,7 +411,10 @@ fn fig9() {
             let Ok(treated) = env.optimizer.compile(&j.job.plan, &default.with_flip(flip)) else {
                 continue;
             };
-            let base = env.optimizer.compile(&j.job.plan, &default).expect("default compiles");
+            let base = env
+                .optimizer
+                .compile(&j.job.plan, &default)
+                .expect("default compiles");
             let run_seed = scope_ir::ids::mix64(u64::from(day), 0xF19);
             let m_base =
                 scope_runtime::execute(&base.physical, &env.cluster, j.job.job_seed, run_seed);
@@ -333,10 +431,18 @@ fn fig9() {
     let rows: Vec<String> = test
         .iter()
         .map(|s| {
-            format!("{},{}", model.predict(s.data_read_delta, s.data_written_delta), s.pn_delta)
+            format!(
+                "{},{}",
+                model.predict(s.data_read_delta, s.data_written_delta),
+                s.pn_delta
+            )
         })
         .collect();
-    write_csv("fig9_predicted_vs_actual.csv", "predicted_pn_delta,actual_pn_delta", &rows);
+    write_csv(
+        "fig9_predicted_vs_actual.csv",
+        "predicted_pn_delta,actual_pn_delta",
+        &rows,
+    );
 
     let passing: Vec<&ValidationSample> = test
         .iter()
@@ -356,16 +462,27 @@ fn fig9() {
         model.r_squared(&test)
     );
     println!("  of jobs predicted < -0.1: {} jobs", passing.len());
-    println!("    {:.0}% had actual delta < -0.1 (paper: 85%)", 100.0 * below_01);
-    println!("    {:.0}% had actual delta <  0.0 (paper: 91%)", 100.0 * below_0);
+    println!(
+        "    {:.0}% had actual delta < -0.1 (paper: 85%)",
+        100.0 * below_01
+    );
+    println!(
+        "    {:.0}% had actual delta <  0.0 (paper: 91%)",
+        100.0 * below_0
+    );
 }
 
 /// Table 2 and Figures 10-12: end-to-end production impact.
 fn table2_and_figs() {
     println!("\n=== Table 2 + Figures 10-12: pre-production impact of QO-Advisor ===");
     let mut sim = ProductionSim::new(
-        WorkloadConfig { seed: 2022, num_templates: 60, adhoc_per_day: 15, max_instances_per_day: 2 },
-        PipelineConfig::default(),
+        WorkloadConfig {
+            seed: 2022,
+            num_templates: 60,
+            adhoc_per_day: 15,
+            max_instances_per_day: 2,
+        },
+        pipeline_config(),
     );
     sim.bootstrap_validation_model(5, 24);
     let outcomes = sim.run(25);
@@ -386,11 +503,14 @@ fn table2_and_figs() {
     let rows: Vec<String> = (0..pn.len())
         .map(|i| format!("{},{},{},{}", i, pn[i], lat[i], vert[i]))
         .collect();
-    write_csv("fig10_11_12_deltas.csv", "rank,pn_delta,latency_delta,vertices_delta", &rows);
+    write_csv(
+        "fig10_11_12_deltas.csv",
+        "rank,pn_delta,latency_delta,vertices_delta",
+        &rows,
+    );
 
-    let improved = |v: &[f64]| {
-        100.0 * v.iter().filter(|d| **d < 0.0).count() as f64 / v.len().max(1) as f64
-    };
+    let improved =
+        |v: &[f64]| 100.0 * v.iter().filter(|d| **d < 0.0).count() as f64 / v.len().max(1) as f64;
     println!("  hint-matched production jobs measured: {}", agg.jobs);
     println!("  Table 2 (paper -> ours):");
     println!("    PNhours  -14.3%  ->  {:+.1}%", agg.pn_hours_pct);
@@ -429,7 +549,7 @@ fn table3() {
         max_instances_per_day: 2,
     };
     // Train the CB through the daily loop.
-    let mut sim = ProductionSim::new(wl.clone(), PipelineConfig::default());
+    let mut sim = ProductionSim::new(wl.clone(), pipeline_config());
     sim.bootstrap_validation_model(3, 16);
     for _ in 0..30 {
         sim.advance_day();
@@ -437,13 +557,21 @@ fn table3() {
     // Evaluation day: identical jobs/view (no hints) for both policies.
     let eval_day = sim.day;
     let jobs = sim.workload.jobs_for_day(eval_day);
-    let view = build_view(&jobs, &sim.optimizer, &Default::default(), &sim.prod_cluster);
+    let view = build_view(
+        &jobs,
+        &sim.optimizer,
+        &Default::default(),
+        &sim.prod_cluster,
+    );
     let report_cb = sim.advisor.run_day(&view, eval_day);
 
     let mut random = QoAdvisor::new(
         sim.optimizer.clone(),
         FlightingService::new(Cluster::preproduction(), FlightBudget::default()),
-        PipelineConfig { strategy: RecommendStrategy::UniformRandom, ..PipelineConfig::default() },
+        PipelineConfig {
+            strategy: RecommendStrategy::UniformRandom,
+            ..pipeline_config()
+        },
     );
     let report_rand = random.run_day(&view, eval_day);
 
@@ -451,13 +579,31 @@ fn table3() {
     let n_cb = report_cb.jobs_with_span;
     let n_rd = report_rand.jobs_with_span;
     let rows = vec![
-        format!("lower_cost,{},{}", report_rand.lower_cost, report_cb.lower_cost),
-        format!("equal_cost,{},{}", report_rand.equal_cost, report_cb.equal_cost),
-        format!("higher_cost,{},{}", report_rand.higher_cost, report_cb.higher_cost),
-        format!("recompile_failures,{},{}", report_rand.recompile_failures, report_cb.recompile_failures),
+        format!(
+            "lower_cost,{},{}",
+            report_rand.lower_cost, report_cb.lower_cost
+        ),
+        format!(
+            "equal_cost,{},{}",
+            report_rand.equal_cost, report_cb.equal_cost
+        ),
+        format!(
+            "higher_cost,{},{}",
+            report_rand.higher_cost, report_cb.higher_cost
+        ),
+        format!(
+            "recompile_failures,{},{}",
+            report_rand.recompile_failures, report_cb.recompile_failures
+        ),
         format!("noop,{},{}", report_rand.noop_chosen, report_cb.noop_chosen),
-        format!("total_default_cost,{},{}", report_rand.total_default_cost, report_cb.total_default_cost),
-        format!("total_chosen_cost,{},{}", report_rand.total_chosen_cost, report_cb.total_chosen_cost),
+        format!(
+            "total_default_cost,{},{}",
+            report_rand.total_default_cost, report_cb.total_default_cost
+        ),
+        format!(
+            "total_chosen_cost,{},{}",
+            report_rand.total_chosen_cost, report_cb.total_chosen_cost
+        ),
     ];
     write_csv("table3_random_vs_cb.csv", "metric,random,cb", &rows);
 
@@ -524,12 +670,16 @@ fn ablation_cost_gate() {
                 est_cost_gate: gate,
                 flight_budget: tight.clone(),
                 max_flights_per_day: 64,
-                ..PipelineConfig::default()
+                ..pipeline_config()
             },
         );
         let out = sim.advance_day();
-        (out.report.flighted, out.report.flight_success, out.report.flight_timeout,
-         out.report.flight_seconds_used)
+        (
+            out.report.flighted,
+            out.report.flight_success,
+            out.report.flight_timeout,
+            out.report.flight_seconds_used,
+        )
     };
     let (f_gate, s_gate, t_gate, sec_gate) = run_one(true);
     let (f_none, s_none, t_none, sec_none) = run_one(false);
@@ -572,7 +722,10 @@ fn ablation_span_features() {
     let run_policy = |span_features: bool| {
         let mut sim = ProductionSim::new(
             wl.clone(),
-            PipelineConfig { span_features, ..PipelineConfig::default() },
+            PipelineConfig {
+                span_features,
+                ..pipeline_config()
+            },
         );
         sim.bootstrap_validation_model(3, 16);
         let mut acc = qo_advisor::DailyReport::default();
@@ -596,13 +749,19 @@ fn ablation_span_features() {
         &[
             format!(
                 "with_span,{},{},{},{},{}",
-                with.lower_cost, with.equal_cost, with.higher_cost,
-                with.recompile_failures, with.noop_chosen
+                with.lower_cost,
+                with.equal_cost,
+                with.higher_cost,
+                with.recompile_failures,
+                with.noop_chosen
             ),
             format!(
                 "without_span,{},{},{},{},{}",
-                without.lower_cost, without.equal_cost, without.higher_cost,
-                without.recompile_failures, without.noop_chosen
+                without.lower_cost,
+                without.equal_cost,
+                without.higher_cost,
+                without.recompile_failures,
+                without.noop_chosen
             ),
         ],
     );
@@ -629,11 +788,17 @@ fn negi_maintenance_cost() {
     let env = Env::standard(2022, 60);
     let mut svc = FlightingService::new(
         Cluster::preproduction(),
-        FlightBudget { queue_size: usize::MAX, ..FlightBudget::default() },
+        FlightBudget {
+            queue_size: usize::MAX,
+            ..FlightBudget::default()
+        },
     );
     // A scaled-down heuristic (200 samples instead of 1000) keeps the bench
     // quick; the printed numbers extrapolate linearly.
-    let heuristic = qo_advisor::Negi2021 { samples: 200, top_k: 10 };
+    let heuristic = qo_advisor::Negi2021 {
+        samples: 200,
+        top_k: 10,
+    };
     let jobs = env.spanned_jobs(0);
     let mut rows = Vec::new();
     let mut total_recompiles = 0usize;
@@ -663,7 +828,11 @@ fn negi_maintenance_cost() {
             out.chosen.is_some()
         ));
     }
-    write_csv("negi_cost.csv", "template,recompiles,flights,flight_hours,found", &rows);
+    write_csv(
+        "negi_cost.csv",
+        "template,recompiles,flights,flight_hours,found",
+        &rows,
+    );
     println!("  Negi-2021 over {take} jobs (200-sample scale-down of the 1000-sample search):");
     println!(
         "    {:.0} recompiles/job, {:.1} flights/job, {:.2} flight-hours/job, {} wins",

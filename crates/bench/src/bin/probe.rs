@@ -2,14 +2,36 @@
 //! to calibrate the simulator against the paper's shapes. The polished
 //! per-figure experiments live in `experiments.rs`; this binary prints the
 //! raw daily pipeline counters instead.
-use qo_advisor::{aggregate_impact, PipelineConfig, ProductionSim, RecommendStrategy};
+use qo_advisor::{
+    aggregate_impact, ParallelismConfig, PipelineConfig, ProductionSim, RecommendStrategy,
+};
 use scope_workload::WorkloadConfig;
 
 fn main() {
-    let wl = WorkloadConfig { seed: 2022, num_templates: 60, adhoc_per_day: 15, max_instances_per_day: 2 };
-    let mut sim = ProductionSim::new(wl.clone(), PipelineConfig::default());
+    // `QO_THREADS=8` parallelizes the pipeline's compile-bound stages.
+    let threads = std::env::var("QO_THREADS").ok().map(|value| {
+        value.parse().unwrap_or_else(|_| {
+            eprintln!("QO_THREADS must be an integer, got `{value}`");
+            std::process::exit(2);
+        })
+    });
+    let config = PipelineConfig {
+        parallelism: ParallelismConfig { threads },
+        ..PipelineConfig::default()
+    };
+    let wl = WorkloadConfig {
+        seed: 2022,
+        num_templates: 60,
+        adhoc_per_day: 15,
+        max_instances_per_day: 2,
+    };
+    let mut sim = ProductionSim::new(wl.clone(), config.clone());
     let samples = sim.bootstrap_validation_model(5, 24);
-    eprintln!("bootstrap samples: {} model: {:?}", samples.len(), sim.advisor.validation_model());
+    eprintln!(
+        "bootstrap samples: {} model: {:?}",
+        samples.len(),
+        sim.advisor.validation_model()
+    );
     let mut all_cmp = Vec::new();
     for _ in 0..10 {
         let out = sim.advance_day();
@@ -23,19 +45,46 @@ fn main() {
         all_cmp.extend(out.comparisons);
     }
     let agg = aggregate_impact(&all_cmp);
-    eprintln!("TABLE2: jobs {} pn {:+.1}% latency {:+.1}% vertices {:+.1}%", agg.jobs, agg.pn_hours_pct, agg.latency_pct, agg.vertices_pct);
+    eprintln!(
+        "TABLE2: jobs {} pn {:+.1}% latency {:+.1}% vertices {:+.1}%",
+        agg.jobs, agg.pn_hours_pct, agg.latency_pct, agg.vertices_pct
+    );
 
     // Table 3 shape: CB vs random on one day after training.
     // CB convergence: train 25 more days, report last-day counters.
-    for _ in 0..25 { let _ = sim.advance_day(); }
+    for _ in 0..25 {
+        let _ = sim.advance_day();
+    }
     let out_cb = sim.advance_day();
     let r = &out_cb.report;
-    eprintln!("CB day {}: lower {} eq {} hi {} fail {} noop {} | total default {:.3e} chosen {:.3e}",
-        r.day, r.lower_cost, r.equal_cost, r.higher_cost, r.recompile_failures, r.noop_chosen, r.total_default_cost, r.total_chosen_cost);
-    let mut sim_rand = ProductionSim::new(wl, PipelineConfig { strategy: RecommendStrategy::UniformRandom, ..PipelineConfig::default() });
+    eprintln!(
+        "CB day {}: lower {} eq {} hi {} fail {} noop {} | total default {:.3e} chosen {:.3e}",
+        r.day,
+        r.lower_cost,
+        r.equal_cost,
+        r.higher_cost,
+        r.recompile_failures,
+        r.noop_chosen,
+        r.total_default_cost,
+        r.total_chosen_cost
+    );
+    let mut sim_rand = ProductionSim::new(
+        wl,
+        PipelineConfig {
+            strategy: RecommendStrategy::UniformRandom,
+            ..config.clone()
+        },
+    );
     sim_rand.bootstrap_validation_model(1, 4);
     let out = sim_rand.advance_day();
     let r = &out.report;
-    eprintln!("RANDOM day: lower {} eq {} hi {} fail {} | total default {:.3e} chosen {:.3e}",
-        r.lower_cost, r.equal_cost, r.higher_cost, r.recompile_failures, r.total_default_cost, r.total_chosen_cost);
+    eprintln!(
+        "RANDOM day: lower {} eq {} hi {} fail {} | total default {:.3e} chosen {:.3e}",
+        r.lower_cost,
+        r.equal_cost,
+        r.higher_cost,
+        r.recompile_failures,
+        r.total_default_cost,
+        r.total_chosen_cost
+    );
 }

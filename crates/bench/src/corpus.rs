@@ -51,7 +51,11 @@ impl Env {
                 if span.is_empty() {
                     return None;
                 }
-                Some(SpannedJob { job, span, default_cost })
+                Some(SpannedJob {
+                    job,
+                    span,
+                    default_cost,
+                })
             })
             .collect()
     }
@@ -59,16 +63,16 @@ impl Env {
     /// All (flip, new estimated cost) pairs over a job's span; `None` cost
     /// marks recompile failures.
     #[must_use]
-    pub fn recompile_span(
-        &self,
-        job: &SpannedJob,
-    ) -> Vec<(RuleFlip, Option<f64>)> {
+    pub fn recompile_span(&self, job: &SpannedJob) -> Vec<(RuleFlip, Option<f64>)> {
         let default = self.optimizer.default_config();
         job.span
             .span
             .iter()
             .map(|rule| {
-                let flip = RuleFlip { rule, enable: !default.enabled(rule) };
+                let flip = RuleFlip {
+                    rule,
+                    enable: !default.enabled(rule),
+                };
                 let cost = self
                     .optimizer
                     .compile(&job.job.plan, &default.with_flip(flip))
@@ -85,7 +89,10 @@ impl Env {
         let default = self.optimizer.default_config();
         let rules: Vec<_> = job.span.span.iter().collect();
         let rule = rules[(mix64(job.job.job_seed, salt) as usize) % rules.len()];
-        RuleFlip { rule, enable: !default.enabled(rule) }
+        RuleFlip {
+            rule,
+            enable: !default.enabled(rule),
+        }
     }
 
     #[must_use]

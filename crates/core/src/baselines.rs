@@ -23,7 +23,10 @@ pub fn random_flip(span: &SpanResult, default: &RuleConfig, seed: u64) -> Option
         return None;
     }
     let rule = rules[(mix64(seed, 0xBA5E) as usize) % rules.len()];
-    Some(RuleFlip { rule, enable: !default.enabled(rule) })
+    Some(RuleFlip {
+        rule,
+        enable: !default.enabled(rule),
+    })
 }
 
 /// Configuration of the Negi-et-al.-2021 sampling heuristic.
@@ -37,7 +40,10 @@ pub struct Negi2021 {
 
 impl Default for Negi2021 {
     fn default() -> Self {
-        Self { samples: 1000, top_k: 10 }
+        Self {
+            samples: 1000,
+            top_k: 10,
+        }
     }
 }
 
@@ -89,7 +95,10 @@ impl Negi2021 {
                 .iter()
                 .enumerate()
                 .filter(|(j, _)| (draw >> (j % 63)) & 1 == 1)
-                .map(|(_, &rule)| RuleFlip { rule, enable: !default.enabled(rule) })
+                .map(|(_, &rule)| RuleFlip {
+                    rule,
+                    enable: !default.enabled(rule),
+                })
                 .collect();
             if flips.is_empty() {
                 continue;
@@ -145,7 +154,14 @@ mod tests {
     use scope_runtime::Cluster;
     use scope_workload::{Workload, WorkloadConfig};
 
-    fn setup() -> (Optimizer, FlightingService, TemplateId, LogicalPlan, u64, SpanResult) {
+    fn setup() -> (
+        Optimizer,
+        FlightingService,
+        TemplateId,
+        LogicalPlan,
+        u64,
+        SpanResult,
+    ) {
         let optimizer = Optimizer::default();
         let w = Workload::new(WorkloadConfig {
             seed: 77,
@@ -156,11 +172,22 @@ mod tests {
         let jobs = w.jobs_for_day(0);
         let job = jobs
             .iter()
-            .find(|j| compute_span(&optimizer, &j.plan, 6).map(|s| s.len() >= 3).unwrap_or(false))
+            .find(|j| {
+                compute_span(&optimizer, &j.plan, 6)
+                    .map(|s| s.len() >= 3)
+                    .unwrap_or(false)
+            })
             .expect("some job has a span");
         let span = compute_span(&optimizer, &job.plan, 6).unwrap();
         let flighting = FlightingService::new(Cluster::default(), FlightBudget::default());
-        (optimizer, flighting, job.template, job.plan.clone(), job.job_seed, span)
+        (
+            optimizer,
+            flighting,
+            job.template,
+            job.plan.clone(),
+            job.job_seed,
+            span,
+        )
     }
 
     #[test]
@@ -173,21 +200,34 @@ mod tests {
         assert!(span.span.contains(f1.rule));
         assert_eq!(f1.enable, !default.enabled(f1.rule));
         // Different seeds eventually pick different rules.
-        let distinct: std::collections::HashSet<u16> =
-            (0..50).filter_map(|s| random_flip(&span, &default, s)).map(|f| f.rule.0).collect();
+        let distinct: std::collections::HashSet<u16> = (0..50)
+            .filter_map(|s| random_flip(&span, &default, s))
+            .map(|f| f.rule.0)
+            .collect();
         assert!(distinct.len() > 1);
     }
 
     #[test]
     fn negi2021_accounts_maintenance_cost() {
         let (optimizer, mut flighting, template, plan, job_seed, span) = setup();
-        let heuristic = Negi2021 { samples: 60, top_k: 4 };
+        let heuristic = Negi2021 {
+            samples: 60,
+            top_k: 4,
+        };
         let out = heuristic.search(&optimizer, &mut flighting, template, &plan, job_seed, &span);
-        assert!(out.recompiles > 40, "samples minus empty draws: {}", out.recompiles);
+        assert!(
+            out.recompiles > 40,
+            "samples minus empty draws: {}",
+            out.recompiles
+        );
         assert!(out.flights <= 4);
         if let Some((cfg, delta)) = &out.chosen {
             assert!(*delta < 0.0, "chosen configs improve runtime");
-            assert_ne!(*cfg, optimizer.default_config(), "a real configuration change");
+            assert_ne!(
+                *cfg,
+                optimizer.default_config(),
+                "a real configuration change"
+            );
         }
     }
 
@@ -200,8 +240,14 @@ mod tests {
             iterations: 0,
             stopped_on_failure: false,
         };
-        let out = Negi2021::default()
-            .search(&optimizer, &mut flighting, template, &plan, job_seed, &empty);
+        let out = Negi2021::default().search(
+            &optimizer,
+            &mut flighting,
+            template,
+            &plan,
+            job_seed,
+            &empty,
+        );
         assert_eq!(out.recompiles, 0);
         assert!(out.chosen.is_none());
     }

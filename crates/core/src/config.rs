@@ -13,10 +13,42 @@ pub enum RecommendStrategy {
     UniformRandom,
 }
 
+/// Data-parallelism knob for the pipeline's compile-bound fan-outs (Feature
+/// Generation span computation and Recommendation recompilation). The paper's
+/// production pipeline runs these tasks over hundreds of thousands of jobs
+/// per day; here they shard across threads.
+///
+/// Results are **bit-identical at any setting**: parallel stages only run
+/// pure per-job compiles, and all bandit-state mutation happens in a
+/// deterministic serial reduce afterwards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ParallelismConfig {
+    /// Worker threads for the parallel stages. `None` (default) keeps the
+    /// original single-threaded execution; `Some(0)` uses every available
+    /// core; `Some(n)` uses exactly `n` threads.
+    pub threads: Option<usize>,
+}
+
+impl ParallelismConfig {
+    /// The serial default.
+    #[must_use]
+    pub fn serial() -> Self {
+        Self { threads: None }
+    }
+
+    /// Run fan-outs on `n` worker threads (`0` = all available cores).
+    #[must_use]
+    pub fn with_threads(n: usize) -> Self {
+        Self { threads: Some(n) }
+    }
+}
+
 /// Knobs of the daily pipeline.
 #[derive(Debug, Clone)]
 pub struct PipelineConfig {
     pub strategy: RecommendStrategy,
+    /// Thread-parallelism of the per-day fan-out stages.
+    pub parallelism: ParallelismConfig,
     /// Contextual bandit hyper-parameters.
     pub cb: CbConfig,
     /// Flighting budget per daily batch.
@@ -51,6 +83,7 @@ impl Default for PipelineConfig {
     fn default() -> Self {
         Self {
             strategy: RecommendStrategy::ContextualBandit,
+            parallelism: ParallelismConfig::serial(),
             cb: CbConfig::default(),
             flight_budget: FlightBudget::default(),
             validation_threshold: -0.1,
@@ -73,7 +106,10 @@ mod tests {
     fn defaults_match_paper_settings() {
         let c = PipelineConfig::default();
         assert_eq!(c.strategy, RecommendStrategy::ContextualBandit);
-        assert!((c.validation_threshold + 0.1).abs() < 1e-12, "paper threshold is -0.1");
+        assert!(
+            (c.validation_threshold + 0.1).abs() < 1e-12,
+            "paper threshold is -0.1"
+        );
         assert!((c.reward_clip - 2.0).abs() < 1e-12, "paper clips at 2.0");
         assert!(c.est_cost_gate, "cost gate on by default (§5.2)");
     }

@@ -76,7 +76,10 @@ pub fn context_features_opt(
 /// The action slate for a job: index 0 is the no-op ("changing nothing"),
 /// followed by one flip per span rule (§3.2: the action count is `1 + S`).
 #[must_use]
-pub fn action_slate(span: &SpanResult, rules: &RuleSet) -> (Vec<FeatureVector>, Vec<Option<RuleFlip>>) {
+pub fn action_slate(
+    span: &SpanResult,
+    rules: &RuleSet,
+) -> (Vec<FeatureVector>, Vec<Option<RuleFlip>>) {
     let default = rules.default_config();
     let mut features = Vec::with_capacity(1 + span.span.len());
     let mut flips = Vec::with_capacity(1 + span.span.len());
@@ -94,7 +97,10 @@ pub fn action_slate(span: &SpanResult, rules: &RuleSet) -> (Vec<FeatureVector>, 
         fv.flag("action", &format!("cat:{}", def.category.name()));
         fv.flag("action", if enable { "dir:on" } else { "dir:off" });
         features.push(fv);
-        flips.push(Some(RuleFlip { rule: rule_id, enable }));
+        flips.push(Some(RuleFlip {
+            rule: rule_id,
+            enable,
+        }));
     }
     (features, flips)
 }
@@ -118,8 +124,8 @@ pub fn action_rule(flips: &[Option<RuleFlip>], index: usize) -> Option<RuleId> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use scope_opt::{compute_span, Optimizer};
     use scope_lang::{bind_script, Catalog};
+    use scope_opt::{compute_span, Optimizer};
 
     fn sample_span() -> (Optimizer, SpanResult, Table1Features) {
         let opt = Optimizer::default();
@@ -186,9 +192,16 @@ mod tests {
 
     #[test]
     fn reward_follows_paper_clipping() {
-        assert!((reward_from_costs(100.0, Some(50.0), 2.0) - 2.0).abs() < 1e-12, "clipped at 2");
+        assert!(
+            (reward_from_costs(100.0, Some(50.0), 2.0) - 2.0).abs() < 1e-12,
+            "clipped at 2"
+        );
         assert!((reward_from_costs(100.0, Some(80.0), 2.0) - 1.25).abs() < 1e-12);
         assert!((reward_from_costs(100.0, Some(200.0), 2.0) - 0.5).abs() < 1e-12);
-        assert_eq!(reward_from_costs(100.0, None, 2.0), 0.0, "failures pay zero");
+        assert_eq!(
+            reward_from_costs(100.0, None, 2.0),
+            0.0,
+            "failures pay zero"
+        );
     }
 }

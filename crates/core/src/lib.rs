@@ -40,16 +40,17 @@
 
 pub mod baselines;
 pub mod config;
-pub mod monitoring;
 pub mod features;
+pub mod monitoring;
 pub mod pipeline;
 pub mod simulation;
+pub(crate) mod stages;
 pub mod validation_model;
 
 pub use baselines::{random_flip, Negi2021, Negi2021Outcome};
-pub use monitoring::{MonitorConfig, RegressionMonitor};
-pub use config::{PipelineConfig, RecommendStrategy};
+pub use config::{ParallelismConfig, PipelineConfig, RecommendStrategy};
 pub use features::{action_slate, context_features, context_features_opt, reward_from_costs};
+pub use monitoring::{MonitorConfig, RegressionMonitor};
 pub use pipeline::{DailyReport, QoAdvisor, Recommendation};
 pub use simulation::{
     aggregate_impact, AggregateImpact, DayOutcome, HintedComparison, ProductionSim,

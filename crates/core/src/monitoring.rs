@@ -30,7 +30,11 @@ pub struct MonitorConfig {
 
 impl Default for MonitorConfig {
     fn default() -> Self {
-        Self { regression_margin: 0.08, revert_after: 2, baseline_alpha: 0.3 }
+        Self {
+            regression_margin: 0.08,
+            revert_after: 2,
+            baseline_alpha: 0.3,
+        }
     }
 }
 
@@ -55,7 +59,11 @@ pub struct RegressionMonitor {
 impl RegressionMonitor {
     #[must_use]
     pub fn new(config: MonitorConfig) -> Self {
-        Self { config, templates: FxHashMap::default(), reverted: Vec::new() }
+        Self {
+            config,
+            templates: FxHashMap::default(),
+            reverted: Vec::new(),
+        }
     }
 
     /// Ingest one day's view rows; returns the templates whose hints should
@@ -132,7 +140,10 @@ mod tests {
         );
         let s = plan.add(LogicalOp::Extract { table: t }, vec![]);
         plan.add_output("o", s);
-        let metrics = ExecutionMetrics { pn_hours: pn, ..Default::default() };
+        let metrics = ExecutionMetrics {
+            pn_hours: pn,
+            ..Default::default()
+        };
         ViewRow {
             job_id: JobId(template ^ (pn.to_bits() >> 7)),
             day: 0,

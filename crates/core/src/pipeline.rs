@@ -3,16 +3,16 @@
 //! Generation, publishing (template, flip) pairs into SIS for the next
 //! occurrences of each template.
 
-use crate::config::{PipelineConfig, RecommendStrategy};
-use crate::features::{action_slate, context_features_opt, reward_from_costs};
+use crate::config::PipelineConfig;
+use crate::stages;
 use crate::validation_model::{ValidationModel, ValidationSample};
-use flighting::{FlightOutcome, FlightRequest, FlightingService};
-use personalizer::{Personalizer, RankRequest};
+use flighting::{FlightRequest, FlightingService};
+use personalizer::Personalizer;
 use rustc_hash::FxHashMap;
 use scope_ir::ids::mix64;
 use scope_ir::logical::LogicalPlan;
 use scope_ir::{JobId, TemplateId};
-use scope_opt::{compute_span, Hint, Optimizer, RuleFlip, SpanResult};
+use scope_opt::{Optimizer, RuleFlip, SpanResult};
 use scope_workload::ViewRow;
 use sis::{HintFile, SisStore};
 
@@ -39,8 +39,9 @@ impl Recommendation {
     }
 }
 
-/// Telemetry of one pipeline day.
-#[derive(Debug, Clone, Default)]
+/// Telemetry of one pipeline day. `PartialEq` so reproducibility tests can
+/// compare whole days across thread counts.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct DailyReport {
     pub day: u32,
     pub jobs_total: usize,
@@ -71,33 +72,53 @@ pub struct DailyReport {
     pub sis_version: u32,
 }
 
-/// The QO-Advisor system: pipeline state that persists across days.
+/// The QO-Advisor system: pipeline state that persists across days. The
+/// per-day work is decomposed into the five stage functions of
+/// [`crate::stages`], which access this state directly.
 pub struct QoAdvisor {
-    optimizer: Optimizer,
-    flighting: FlightingService,
-    personalizer: Personalizer,
-    validation: Option<ValidationModel>,
-    sis: SisStore,
-    config: PipelineConfig,
+    pub(crate) optimizer: Optimizer,
+    pub(crate) flighting: FlightingService,
+    pub(crate) personalizer: Personalizer,
+    pub(crate) validation: Option<ValidationModel>,
+    pub(crate) sis: SisStore,
+    pub(crate) config: PipelineConfig,
     /// Spans are template-stable (catalog estimates do not drift), so cache
     /// them across days: the dominant cost of Feature Generation.
-    span_cache: FxHashMap<TemplateId, Option<(SpanResult, f64)>>,
+    pub(crate) span_cache: FxHashMap<TemplateId, Option<(SpanResult, f64)>>,
     /// Templates already flighted on a previous day (§8 stateful mode).
-    explored: rustc_hash::FxHashSet<TemplateId>,
+    pub(crate) explored: rustc_hash::FxHashSet<TemplateId>,
+    /// Worker pool for the parallel stages, built once from
+    /// `config.parallelism` and reused by every per-day fan-out
+    /// (`None` = serial).
+    pub(crate) pool: Option<rayon::ThreadPool>,
 }
 
 impl QoAdvisor {
     #[must_use]
     pub fn new(optimizer: Optimizer, flighting: FlightingService, config: PipelineConfig) -> Self {
+        Self::with_sis_store(optimizer, flighting, config, SisStore::in_memory())
+    }
+
+    /// Like [`QoAdvisor::new`] but publishing into an explicit SIS store
+    /// (e.g. a disk-backed one, so published hint files can be inspected).
+    #[must_use]
+    pub fn with_sis_store(
+        optimizer: Optimizer,
+        flighting: FlightingService,
+        config: PipelineConfig,
+        sis: SisStore,
+    ) -> Self {
+        let pool = stages::build_pool(config.parallelism);
         Self {
             optimizer,
             flighting,
             personalizer: Personalizer::new(config.cb.clone()),
             validation: None,
-            sis: SisStore::in_memory(),
+            sis,
             config,
             span_cache: FxHashMap::default(),
             explored: rustc_hash::FxHashSet::default(),
+            pool,
         }
     }
 
@@ -111,7 +132,11 @@ impl QoAdvisor {
         }
         let version = self.sis.version() + 1;
         self.sis
-            .publish(HintFile { version, source_day: u32::MAX, hints: hints.hints() })
+            .publish(HintFile {
+                version,
+                source_day: u32::MAX,
+                hints: hints.hints(),
+            })
             .expect("revert file always validates");
         // Allow the pipeline to re-explore the template later.
         self.explored.remove(&template);
@@ -156,226 +181,36 @@ impl QoAdvisor {
         let iterations = self.config.span_max_iterations;
         self.span_cache
             .entry(template)
-            .or_insert_with(|| {
-                let default_cost =
-                    optimizer.compile(plan, &optimizer.default_config()).ok()?.est_cost;
-                let span = compute_span(optimizer, plan, iterations).ok()?;
-                if span.is_empty() {
-                    return None;
-                }
-                Some((span, default_cost))
-            })
+            .or_insert_with(|| stages::compute_template_span(optimizer, plan, iterations))
             .clone()
     }
 
-    /// Run the full pipeline over one day's view. Returns the day's report;
-    /// side effects: CB model updates and a new SIS hint file version.
+    /// Run the full pipeline over one day's view: the five stage functions
+    /// of [`crate::stages`] composed over their typed intermediates. Returns
+    /// the day's report; side effects: CB model updates and a new SIS hint
+    /// file version.
+    ///
+    /// The compile-bound stages fan out under
+    /// [`crate::config::ParallelismConfig`]; the report, bandit state, and
+    /// published hints are bit-identical at any thread count.
+    ///
+    /// Note one deliberate semantic change from the original interleaved
+    /// loop: all contextual-bandit rank calls of a day now happen before any
+    /// of that day's rewards are applied (the whole batch acts on the
+    /// previous day's model), so per-day numbers differ from the
+    /// pre-refactor serial pipeline even at one thread. This is what makes
+    /// the recompile fan-out order-free; see [`crate::stages`].
     pub fn run_day(&mut self, view: &[ViewRow], day: u32) -> DailyReport {
-        let mut report = DailyReport { day, jobs_total: view.len(), ..DailyReport::default() };
-        let default_config = self.optimizer.default_config();
-
-        // ---- Task 1: Feature Generation -------------------------------
-        let mut jobs: Vec<(&ViewRow, SpanResult, f64)> = Vec::new();
-        for row in view {
-            if !row.recurring {
-                continue;
-            }
-            report.recurring_jobs += 1;
-            if self.config.skip_explored && self.explored.contains(&row.template) {
-                report.skipped_explored += 1;
-                continue;
-            }
-            if let Some((span, default_cost)) = self.span_for(row.template, &row.plan) {
-                jobs.push((row, span, default_cost));
-            }
-        }
-        report.jobs_with_span = jobs.len();
-
-        // ---- Task 2: Recommendation + Recompilation --------------------
-        let mut candidates: Vec<Recommendation> = Vec::new();
-        for (row, span, default_cost) in &jobs {
-            let context = context_features_opt(
-                &row.features,
-                span,
-                self.config.max_span_for_triples,
-                self.config.span_features,
-            );
-            let (action_fvs, flips) = action_slate(span, self.optimizer.rules());
-
-            // Off-policy training pass: uniform logging policy (§4.2). This
-            // doubles the recompilations, "an acceptable trade-off".
-            if self.config.strategy == RecommendStrategy::ContextualBandit {
-                let resp = self.personalizer.rank(&RankRequest {
-                    context: context.clone(),
-                    actions: action_fvs.clone(),
-                    seed: mix64(row.job_id.0, mix64(u64::from(day), 0x7821)),
-                    log_uniform: true,
-                });
-                let reward = match flips[resp.decision.chosen] {
-                    None => 1.0, // no-op: cost ratio is exactly 1
-                    Some(flip) => {
-                        let cfg = default_config.with_flip(flip);
-                        let cost = self.optimizer.compile(&row.plan, &cfg).ok().map(|c| c.est_cost);
-                        reward_from_costs(*default_cost, cost, self.config.reward_clip)
-                    }
-                };
-                self.personalizer.reward(resp.event_id, reward);
-            }
-
-            // Acting pass.
-            let chosen_flip = match self.config.strategy {
-                RecommendStrategy::ContextualBandit => {
-                    let resp = self.personalizer.rank(&RankRequest {
-                        context,
-                        actions: action_fvs,
-                        seed: mix64(row.job_id.0, mix64(u64::from(day), 0xAC7)),
-                        log_uniform: false,
-                    });
-                    let flip = flips[resp.decision.chosen];
-                    // Reward the acting decision as well (its observed cost
-                    // ratio is computed below); Azure Personalizer learns
-                    // from every ranked event.
-                    let event = resp.event_id;
-                    match flip {
-                        None => {
-                            self.personalizer.reward(event, 1.0);
-                            None
-                        }
-                        Some(f) => Some((f, Some(event))),
-                    }
-                }
-                RecommendStrategy::UniformRandom => {
-                    // Uniform baseline always flips a span rule (Table 3).
-                    let idx = 1 + (mix64(row.job_id.0, mix64(u64::from(day), 0x9A9)) as usize
-                        % span.len());
-                    flips[idx].map(|f| (f, None))
-                }
-            };
-
-            let Some((flip, event)) = chosen_flip else {
-                report.noop_chosen += 1;
-                report.total_default_cost += default_cost;
-                report.total_chosen_cost += default_cost;
-                continue;
-            };
-
-            let cfg = default_config.with_flip(flip);
-            report.total_default_cost += default_cost;
-            match self.optimizer.compile(&row.plan, &cfg) {
-                Ok(compiled) => {
-                    let new_cost = compiled.est_cost;
-                    report.total_chosen_cost += new_cost;
-                    if let Some(event) = event {
-                        self.personalizer.reward(
-                            event,
-                            reward_from_costs(*default_cost, Some(new_cost), self.config.reward_clip),
-                        );
-                    }
-                    let rel = (new_cost - default_cost) / default_cost.max(1e-12);
-                    // Table-3 classification: deltas within 0.3% count as
-                    // "equal" (SCOPE cost units are coarse at plan scale).
-                    if rel < -0.003 {
-                        report.lower_cost += 1;
-                    } else if rel > 0.003 {
-                        report.higher_cost += 1;
-                    } else {
-                        report.equal_cost += 1;
-                    }
-                    // Short-circuit when the estimate did not improve (§5.6).
-                    if self.config.est_cost_gate && rel >= -1e-9 {
-                        continue;
-                    }
-                    candidates.push(Recommendation {
-                        template: row.template,
-                        job_id: row.job_id,
-                        job_seed: row.job_seed,
-                        plan: row.plan.clone(),
-                        flip,
-                        default_cost: *default_cost,
-                        new_cost,
-                    });
-                }
-                Err(_) => {
-                    report.recompile_failures += 1;
-                    report.total_chosen_cost += default_cost;
-                    if let Some(event) = event {
-                        self.personalizer.reward(event, 0.0);
-                    }
-                }
-            }
-        }
-
-        // ---- Task 3: Flighting -----------------------------------------
-        // One representative job per template (picked deterministically),
-        // most-promising estimated-cost deltas first (§4.3).
-        let mut by_template: FxHashMap<TemplateId, Recommendation> = FxHashMap::default();
-        for cand in candidates {
-            by_template.entry(cand.template).or_insert(cand);
-        }
-        let mut reps: Vec<Recommendation> = by_template.into_values().collect();
-        reps.sort_by(|a, b| {
-            a.cost_delta().total_cmp(&b.cost_delta()).then(a.template.cmp(&b.template))
-        });
-        reps.truncate(self.config.max_flights_per_day);
-        let requests: Vec<FlightRequest> = reps
-            .iter()
-            .map(|r| FlightRequest {
-                template: r.template,
-                plan: r.plan.clone(),
-                job_seed: r.job_seed,
-                baseline: default_config,
-                treatment: default_config.with_flip(r.flip),
-            })
-            .collect();
-        let (outcomes, tracker) = self.flighting.flight_batch(&self.optimizer, &requests);
-        report.flighted = requests.len();
-        report.flight_seconds_used = tracker.used_seconds;
-        for r in &reps {
-            self.explored.insert(r.template);
-        }
-
-        // ---- Task 4: Validation ----------------------------------------
-        let mut accepted: Vec<Hint> = Vec::new();
-        for (rec, outcome) in reps.iter().zip(outcomes.iter()) {
-            match outcome {
-                FlightOutcome::Success(m) => {
-                    report.flight_success += 1;
-                    let ok = match &self.validation {
-                        Some(model) => model.accepts(
-                            m.data_read_delta(),
-                            m.data_written_delta(),
-                            self.config.validation_threshold,
-                        ),
-                        // Without a trained model, fall back to the raw
-                        // (noisy) single-flight measurement.
-                        None => m.pn_delta() < self.config.validation_threshold,
-                    };
-                    if ok {
-                        report.validated += 1;
-                        accepted.push(Hint { template: rec.template, flip: rec.flip });
-                    }
-                }
-                FlightOutcome::Timeout => report.flight_timeout += 1,
-                FlightOutcome::Failure(_) => report.flight_failure += 1,
-                FlightOutcome::Filtered => report.flight_filtered += 1,
-            }
-        }
-
-        // ---- Task 5: Hint Generation ------------------------------------
-        // Merge with the live hints: templates validated today replace any
-        // previous entry; everything else persists.
-        let mut merged = self.sis.snapshot();
-        for h in &accepted {
-            merged.insert(*h);
-        }
-        report.hints_published = accepted.len();
-        if !accepted.is_empty() {
-            let version = self.sis.version() + 1;
-            self.sis
-                .publish(HintFile { version, source_day: day, hints: merged.hints() })
-                .expect("pipeline-generated hints always validate");
-        }
-        report.sis_version = self.sis.version();
+        let mut report = DailyReport {
+            day,
+            jobs_total: view.len(),
+            ..DailyReport::default()
+        };
+        let spanned = stages::feature_gen(self, view, &mut report);
+        let recommended = stages::recommend(self, &spanned, day, &mut report);
+        let flighted = stages::flight(self, recommended, &mut report);
+        let validated = stages::validate(self, &flighted, &mut report);
+        stages::publish(self, validated, day, &mut report);
         report
     }
 
@@ -393,7 +228,9 @@ impl QoAdvisor {
             if requests.len() >= max_flights {
                 break;
             }
-            let Some((span, _)) = self.span_for(row.template, &row.plan) else { continue };
+            let Some((span, _)) = self.span_for(row.template, &row.plan) else {
+                continue;
+            };
             let rules: Vec<_> = span.span.iter().collect();
             let pick = rules[mix64(row.job_id.0, u64::from(day)) as usize % rules.len()];
             let enable = !default_config.enabled(pick);
@@ -421,6 +258,7 @@ impl QoAdvisor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::RecommendStrategy;
     use flighting::FlightBudget;
     use scope_runtime::Cluster;
     use scope_workload::{build_view, Workload, WorkloadConfig};
@@ -431,7 +269,10 @@ mod tests {
         QoAdvisor::new(
             optimizer,
             flighting,
-            PipelineConfig { strategy, ..PipelineConfig::default() },
+            PipelineConfig {
+                strategy,
+                ..PipelineConfig::default()
+            },
         )
     }
 
@@ -477,7 +318,10 @@ mod tests {
             + report.higher_cost
             + report.recompile_failures
             + report.noop_chosen;
-        assert_eq!(total, report.jobs_with_span, "every spanned job is classified");
+        assert_eq!(
+            total, report.jobs_with_span,
+            "every spanned job is classified"
+        );
     }
 
     #[test]

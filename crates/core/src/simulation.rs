@@ -98,10 +98,22 @@ impl ProductionSim {
     /// hardware model but see independent noise.
     #[must_use]
     pub fn new(workload: WorkloadConfig, pipeline: PipelineConfig) -> Self {
+        Self::with_sis_store(workload, pipeline, sis::SisStore::in_memory())
+    }
+
+    /// Like [`ProductionSim::new`] but publishing hints into an explicit SIS
+    /// store (e.g. a disk-backed one, so published hint files can be
+    /// inspected).
+    #[must_use]
+    pub fn with_sis_store(
+        workload: WorkloadConfig,
+        pipeline: PipelineConfig,
+        sis: sis::SisStore,
+    ) -> Self {
         let optimizer = Optimizer::default();
         let flighting =
             FlightingService::new(Cluster::preproduction(), pipeline.flight_budget.clone());
-        let advisor = QoAdvisor::new(optimizer.clone(), flighting, pipeline);
+        let advisor = QoAdvisor::with_sis_store(optimizer.clone(), flighting, pipeline, sis);
         Self {
             workload: Workload::new(workload),
             optimizer,
@@ -162,8 +174,12 @@ impl ProductionSim {
                 continue;
             };
             let run_seed = mix64(u64::from(day), 0x9806_0d0d);
-            let default_metrics =
-                execute(&default_compiled.physical, &self.prod_cluster, row.job_seed, run_seed);
+            let default_metrics = execute(
+                &default_compiled.physical,
+                &self.prod_cluster,
+                row.job_seed,
+                run_seed,
+            );
             comparisons.push(HintedComparison {
                 template: row.template,
                 job_id: row.job_id,
@@ -184,7 +200,11 @@ impl ProductionSim {
 
         let report = self.advisor.run_day(&view, day);
         self.day += 1;
-        DayOutcome { report, comparisons, reverted }
+        DayOutcome {
+            report,
+            comparisons,
+            reverted,
+        }
     }
 
     /// Run `days` production days, returning all outcomes.

@@ -1,0 +1,494 @@
+//! The five pipeline tasks of a QO-Advisor day (paper §2.5, Figure 1) as
+//! explicit stages with typed intermediates:
+//!
+//! ```text
+//! FeatureGen → Recommend → Flight → Validate → Publish
+//! ```
+//!
+//! The two compile-bound stages — span computation in [`feature_gen`] and
+//! recompilation in [`recommend`] — fan out across threads under
+//! [`ParallelismConfig`]. Everything that mutates shared state (the span
+//! cache, the contextual bandit, SIS) runs in serial reduces over the
+//! fan-out results, **in input order**, so a day's outputs are bit-identical
+//! at any thread count:
+//!
+//! * `feature_gen` computes missing spans in parallel, then installs them in
+//!   the cache in first-seen template order;
+//! * `recommend` splits the Personalizer interaction: all rank calls happen
+//!   serially up front (event ids stay sequential in job order), the chosen
+//!   flips recompile in parallel, and rewards apply in a serial reduce from
+//!   the compiled costs. Relative to the fully interleaved loop this means
+//!   the bandit acts on the previous day's model for the whole batch —
+//!   matching a daily batch pipeline — while still absorbing every event.
+
+use crate::config::{ParallelismConfig, RecommendStrategy};
+use crate::features::{action_slate, context_features_opt, reward_from_costs};
+use crate::pipeline::{DailyReport, QoAdvisor, Recommendation};
+use personalizer::{FeatureVector, RankRequest};
+use rayon::prelude::*;
+use rayon::ThreadPool;
+use rustc_hash::{FxHashMap, FxHashSet};
+use scope_ir::ids::mix64;
+use scope_ir::logical::LogicalPlan;
+use scope_ir::TemplateId;
+use scope_opt::{compute_span, CompileError, Hint, RuleFlip, SpanResult};
+use scope_workload::ViewRow;
+use sis::HintFile;
+
+/// Build the worker pool a pipeline configuration asks for, once per
+/// [`QoAdvisor`] (stages run several fan-outs per day; the pool is reused
+/// across all of them). `None` = run stages serially.
+pub(crate) fn build_pool(par: ParallelismConfig) -> Option<ThreadPool> {
+    match par.threads {
+        None | Some(1) => None,
+        Some(n) => Some(
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build()
+                .expect("thread pool construction is infallible"),
+        ),
+    }
+}
+
+/// Map `f` over `items`, preserving input order. Serial without a pool;
+/// either way the result is elementwise identical because `f` must be pure.
+pub(crate) fn par_map<'a, T, U, F>(pool: Option<&ThreadPool>, items: &'a [T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&'a T) -> U + Sync,
+{
+    match pool {
+        None => items.iter().map(f).collect(),
+        Some(pool) => pool.install(|| items.par_iter().map(f).collect()),
+    }
+}
+
+/// The span-cache entry for one template: the default-configuration
+/// estimated cost plus the span fixpoint, or `None` when the template does
+/// not compile or has an empty span. Shared by the parallel Feature
+/// Generation fan-out and [`QoAdvisor`]'s on-demand `span_for` so the gating
+/// cannot diverge between the two paths.
+pub(crate) fn compute_template_span(
+    optimizer: &scope_opt::Optimizer,
+    plan: &LogicalPlan,
+    max_iterations: usize,
+) -> Option<(SpanResult, f64)> {
+    let default_cost = optimizer
+        .compile(plan, &optimizer.default_config())
+        .ok()?
+        .est_cost;
+    let span = compute_span(optimizer, plan, max_iterations).ok()?;
+    if span.is_empty() {
+        return None;
+    }
+    Some((span, default_cost))
+}
+
+/// One recurring job that cleared Feature Generation: its span plus the
+/// default-configuration estimated cost.
+pub struct SpannedJob<'v> {
+    pub row: &'v ViewRow,
+    pub span: SpanResult,
+    pub default_cost: f64,
+}
+
+/// Output of Task 1 — Feature Generation.
+pub struct FeatureGenOutput<'v> {
+    pub jobs: Vec<SpannedJob<'v>>,
+}
+
+/// Output of Task 2 — Recommendation (+ Recompilation): candidates that
+/// survived the estimated-cost gate, in job order.
+pub struct RecommendOutput {
+    pub candidates: Vec<Recommendation>,
+}
+
+/// Output of Task 3 — Flighting: the flighted representatives, index-aligned
+/// with their outcomes.
+pub struct FlightOutput {
+    pub reps: Vec<Recommendation>,
+    pub outcomes: Vec<flighting::FlightOutcome>,
+}
+
+/// Output of Task 4 — Validation.
+pub struct ValidateOutput {
+    pub accepted: Vec<Hint>,
+}
+
+/// Task 1 — Feature Generation: select today's recurring jobs and attach
+/// spans. Span computation is template-stable, so the cache is consulted
+/// first and only the missing templates are compiled — in parallel, one
+/// fan-out item per unique template in first-seen order.
+pub(crate) fn feature_gen<'v>(
+    qa: &mut QoAdvisor,
+    view: &'v [ViewRow],
+    report: &mut DailyReport,
+) -> FeatureGenOutput<'v> {
+    let mut rows: Vec<&ViewRow> = Vec::new();
+    for row in view {
+        if !row.recurring {
+            continue;
+        }
+        report.recurring_jobs += 1;
+        if qa.config.skip_explored && qa.explored.contains(&row.template) {
+            report.skipped_explored += 1;
+            continue;
+        }
+        rows.push(row);
+    }
+
+    // Unique templates missing from the cache, in first-seen order (the
+    // order cache entries are installed in, independent of thread count).
+    let mut seen: FxHashSet<TemplateId> = FxHashSet::default();
+    let mut pending: Vec<(TemplateId, &LogicalPlan)> = Vec::new();
+    for row in &rows {
+        if !qa.span_cache.contains_key(&row.template) && seen.insert(row.template) {
+            pending.push((row.template, &row.plan));
+        }
+    }
+
+    let optimizer = &qa.optimizer;
+    let iterations = qa.config.span_max_iterations;
+    let computed = par_map(qa.pool.as_ref(), &pending, |(_, plan)| {
+        compute_template_span(optimizer, plan, iterations)
+    });
+    for ((template, _), entry) in pending.iter().zip(computed) {
+        qa.span_cache.insert(*template, entry);
+    }
+
+    let jobs: Vec<SpannedJob<'v>> = rows
+        .into_iter()
+        .filter_map(|row| {
+            let (span, default_cost) = qa.span_cache.get(&row.template)?.clone()?;
+            Some(SpannedJob {
+                row,
+                span,
+                default_cost,
+            })
+        })
+        .collect();
+    report.jobs_with_span = jobs.len();
+    FeatureGenOutput { jobs }
+}
+
+/// The Personalizer interactions decided for one job during the serial rank
+/// pass, before any recompilation has happened.
+struct JobDecisions {
+    /// Off-policy training pass (contextual-bandit strategy only): event id
+    /// plus the flip whose cost ratio will become the reward (`None` = the
+    /// no-op action, rewarded 1.0).
+    train: Option<(u64, Option<RuleFlip>)>,
+    act: ActDecision,
+}
+
+/// The acting-policy decision for one job.
+enum ActDecision {
+    /// Keep the default configuration. The event id (bandit strategy only)
+    /// is rewarded 1.0 in the reduce.
+    Noop(Option<u64>),
+    /// Recompile under this flip; the event id is rewarded from the
+    /// resulting cost ratio.
+    Flip(RuleFlip, Option<u64>),
+}
+
+/// Task 2 — Recommendation + Recompilation, in three phases:
+/// parallel slate construction, serial rank pass, parallel recompile
+/// fan-out, then a serial reduce applying rewards and report counters.
+pub(crate) fn recommend(
+    qa: &mut QoAdvisor,
+    input: &FeatureGenOutput<'_>,
+    day: u32,
+    report: &mut DailyReport,
+) -> RecommendOutput {
+    let jobs = &input.jobs;
+    let default_config = qa.optimizer.default_config();
+
+    // Phase 1: context + action slates are pure per-job features — fan out.
+    let optimizer = &qa.optimizer;
+    let config = &qa.config;
+    let slates: Vec<(FeatureVector, Vec<FeatureVector>, Vec<Option<RuleFlip>>)> =
+        par_map(qa.pool.as_ref(), jobs, |job| {
+            let context = context_features_opt(
+                &job.row.features,
+                &job.span,
+                config.max_span_for_triples,
+                config.span_features,
+            );
+            let (actions, flips) = action_slate(&job.span, optimizer.rules());
+            (context, actions, flips)
+        });
+
+    // Phase 2: serial rank pass, job order. Every rank call happens before
+    // any reward, so event ids are sequential regardless of thread count
+    // and the whole batch acts on the model as of yesterday.
+    let mut decisions: Vec<JobDecisions> = Vec::with_capacity(jobs.len());
+    for (job, (context, actions, flips)) in jobs.iter().zip(slates) {
+        let train = if qa.config.strategy == RecommendStrategy::ContextualBandit {
+            let resp = qa.personalizer.rank(&RankRequest {
+                context: context.clone(),
+                actions: actions.clone(),
+                seed: mix64(job.row.job_id.0, mix64(u64::from(day), 0x7821)),
+                log_uniform: true,
+            });
+            Some((resp.event_id, flips[resp.decision.chosen]))
+        } else {
+            None
+        };
+        let act = match qa.config.strategy {
+            RecommendStrategy::ContextualBandit => {
+                // The slate is moved into the acting rank (its last use).
+                let resp = qa.personalizer.rank(&RankRequest {
+                    context,
+                    actions,
+                    seed: mix64(job.row.job_id.0, mix64(u64::from(day), 0xAC7)),
+                    log_uniform: false,
+                });
+                match flips[resp.decision.chosen] {
+                    None => ActDecision::Noop(Some(resp.event_id)),
+                    Some(flip) => ActDecision::Flip(flip, Some(resp.event_id)),
+                }
+            }
+            RecommendStrategy::UniformRandom => {
+                // Uniform baseline always flips a span rule (Table 3).
+                let idx = 1
+                    + (mix64(job.row.job_id.0, mix64(u64::from(day), 0x9A9)) as usize
+                        % job.span.len());
+                match flips[idx] {
+                    None => ActDecision::Noop(None),
+                    Some(flip) => ActDecision::Flip(flip, None),
+                }
+            }
+        };
+        decisions.push(JobDecisions { train, act });
+    }
+
+    // Phase 3: recompile fan-out. One task per distinct (job, flip); when
+    // the training and acting passes chose the same flip the compile is
+    // shared (compilation is deterministic, so this is observationally
+    // identical to compiling twice).
+    struct CompileTask<'v> {
+        plan: &'v LogicalPlan,
+        flip: RuleFlip,
+    }
+    let mut tasks: Vec<CompileTask<'_>> = Vec::new();
+    let mut train_task: Vec<Option<usize>> = Vec::with_capacity(jobs.len());
+    let mut act_task: Vec<Option<usize>> = Vec::with_capacity(jobs.len());
+    for (job, decision) in jobs.iter().zip(&decisions) {
+        let train_flip = decision.train.and_then(|(_, flip)| flip);
+        let act_flip = match decision.act {
+            ActDecision::Flip(flip, _) => Some(flip),
+            ActDecision::Noop(_) => None,
+        };
+        let train_idx = train_flip.map(|flip| {
+            tasks.push(CompileTask {
+                plan: &job.row.plan,
+                flip,
+            });
+            tasks.len() - 1
+        });
+        let act_idx = match (act_flip, train_flip, train_idx) {
+            (Some(act), Some(train), Some(idx)) if act == train => Some(idx),
+            (Some(flip), _, _) => {
+                tasks.push(CompileTask {
+                    plan: &job.row.plan,
+                    flip,
+                });
+                Some(tasks.len() - 1)
+            }
+            (None, _, _) => None,
+        };
+        train_task.push(train_idx);
+        act_task.push(act_idx);
+    }
+    let costs: Vec<Result<f64, CompileError>> = par_map(qa.pool.as_ref(), &tasks, |task| {
+        optimizer
+            .compile(task.plan, &default_config.with_flip(task.flip))
+            .map(|compiled| compiled.est_cost)
+    });
+
+    // Phase 4: serial reduce, job order — bandit rewards, Table-3 counters,
+    // and the estimated-cost gate (§5.6).
+    let mut candidates: Vec<Recommendation> = Vec::new();
+    for (i, (job, decision)) in jobs.iter().zip(&decisions).enumerate() {
+        let default_cost = job.default_cost;
+        if let Some((event, flip)) = decision.train {
+            let reward = match flip {
+                None => 1.0, // no-op: cost ratio is exactly 1
+                Some(_) => {
+                    let cost = train_task[i].and_then(|t| costs[t].as_ref().ok().copied());
+                    reward_from_costs(default_cost, cost, qa.config.reward_clip)
+                }
+            };
+            qa.personalizer.reward(event, reward);
+        }
+        match decision.act {
+            ActDecision::Noop(event) => {
+                if let Some(event) = event {
+                    qa.personalizer.reward(event, 1.0);
+                }
+                report.noop_chosen += 1;
+                report.total_default_cost += default_cost;
+                report.total_chosen_cost += default_cost;
+            }
+            ActDecision::Flip(flip, event) => {
+                report.total_default_cost += default_cost;
+                let outcome = act_task[i]
+                    .map(|t| &costs[t])
+                    .expect("flip decisions compile");
+                match outcome {
+                    Ok(new_cost) => {
+                        let new_cost = *new_cost;
+                        report.total_chosen_cost += new_cost;
+                        if let Some(event) = event {
+                            qa.personalizer.reward(
+                                event,
+                                reward_from_costs(
+                                    default_cost,
+                                    Some(new_cost),
+                                    qa.config.reward_clip,
+                                ),
+                            );
+                        }
+                        let rel = (new_cost - default_cost) / default_cost.max(1e-12);
+                        // Table-3 classification: deltas within 0.3% count
+                        // as "equal" (SCOPE cost units are coarse at plan
+                        // scale).
+                        if rel < -0.003 {
+                            report.lower_cost += 1;
+                        } else if rel > 0.003 {
+                            report.higher_cost += 1;
+                        } else {
+                            report.equal_cost += 1;
+                        }
+                        // Short-circuit when the estimate did not improve
+                        // (§5.6).
+                        if qa.config.est_cost_gate && rel >= -1e-9 {
+                            continue;
+                        }
+                        candidates.push(Recommendation {
+                            template: job.row.template,
+                            job_id: job.row.job_id,
+                            job_seed: job.row.job_seed,
+                            plan: job.row.plan.clone(),
+                            flip,
+                            default_cost,
+                            new_cost,
+                        });
+                    }
+                    Err(_) => {
+                        report.recompile_failures += 1;
+                        report.total_chosen_cost += default_cost;
+                        if let Some(event) = event {
+                            qa.personalizer.reward(event, 0.0);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    RecommendOutput { candidates }
+}
+
+/// Task 3 — Flighting: one representative job per template (picked
+/// deterministically), most-promising estimated-cost deltas first (§4.3),
+/// A/B-tested in pre-production under the flighting budget.
+pub(crate) fn flight(
+    qa: &mut QoAdvisor,
+    input: RecommendOutput,
+    report: &mut DailyReport,
+) -> FlightOutput {
+    let mut by_template: FxHashMap<TemplateId, Recommendation> = FxHashMap::default();
+    for cand in input.candidates {
+        by_template.entry(cand.template).or_insert(cand);
+    }
+    let mut reps: Vec<Recommendation> = by_template.into_values().collect();
+    reps.sort_by(|a, b| {
+        a.cost_delta()
+            .total_cmp(&b.cost_delta())
+            .then(a.template.cmp(&b.template))
+    });
+    reps.truncate(qa.config.max_flights_per_day);
+    let default_config = qa.optimizer.default_config();
+    let requests: Vec<flighting::FlightRequest> = reps
+        .iter()
+        .map(|r| flighting::FlightRequest {
+            template: r.template,
+            plan: r.plan.clone(),
+            job_seed: r.job_seed,
+            baseline: default_config,
+            treatment: default_config.with_flip(r.flip),
+        })
+        .collect();
+    let (outcomes, tracker) = qa.flighting.flight_batch(&qa.optimizer, &requests);
+    report.flighted = requests.len();
+    report.flight_seconds_used = tracker.used_seconds;
+    for r in &reps {
+        qa.explored.insert(r.template);
+    }
+    FlightOutput { reps, outcomes }
+}
+
+/// Task 4 — Validation: accept a flight only when the (modeled) PNhours
+/// delta clears the safety threshold.
+pub(crate) fn validate(
+    qa: &QoAdvisor,
+    input: &FlightOutput,
+    report: &mut DailyReport,
+) -> ValidateOutput {
+    let mut accepted: Vec<Hint> = Vec::new();
+    for (rec, outcome) in input.reps.iter().zip(input.outcomes.iter()) {
+        match outcome {
+            flighting::FlightOutcome::Success(m) => {
+                report.flight_success += 1;
+                let ok = match &qa.validation {
+                    Some(model) => model.accepts(
+                        m.data_read_delta(),
+                        m.data_written_delta(),
+                        qa.config.validation_threshold,
+                    ),
+                    // Without a trained model, fall back to the raw (noisy)
+                    // single-flight measurement.
+                    None => m.pn_delta() < qa.config.validation_threshold,
+                };
+                if ok {
+                    report.validated += 1;
+                    accepted.push(Hint {
+                        template: rec.template,
+                        flip: rec.flip,
+                    });
+                }
+            }
+            flighting::FlightOutcome::Timeout => report.flight_timeout += 1,
+            flighting::FlightOutcome::Failure(_) => report.flight_failure += 1,
+            flighting::FlightOutcome::Filtered => report.flight_filtered += 1,
+        }
+    }
+    ValidateOutput { accepted }
+}
+
+/// Task 5 — Hint Generation: merge today's accepted hints with the live
+/// set and publish a new SIS version.
+pub(crate) fn publish(
+    qa: &mut QoAdvisor,
+    input: ValidateOutput,
+    day: u32,
+    report: &mut DailyReport,
+) {
+    let mut merged = qa.sis.snapshot();
+    for h in &input.accepted {
+        merged.insert(*h);
+    }
+    report.hints_published = input.accepted.len();
+    if !input.accepted.is_empty() {
+        let version = qa.sis.version() + 1;
+        qa.sis
+            .publish(HintFile {
+                version,
+                source_day: day,
+                hints: merged.hints(),
+            })
+            .expect("pipeline-generated hints always validate");
+    }
+    report.sis_version = qa.sis.version();
+}

@@ -47,7 +47,11 @@ impl ValidationModel {
             }
         }
         let w = solve3(xtx, xty)?;
-        Some(ValidationModel { intercept: w[0], w_read: w[1], w_written: w[2] })
+        Some(ValidationModel {
+            intercept: w[0],
+            w_read: w[1],
+            w_written: w[2],
+        })
     }
 
     /// Predicted PNhours delta for a flighted job.
@@ -147,13 +151,21 @@ mod tests {
     fn tolerates_label_noise() {
         let m = ValidationModel::fit(&synth(400, 0.1)).unwrap();
         assert!((m.w_read - 0.6).abs() < 0.05, "w_read {}", m.w_read);
-        assert!((m.w_written - 0.3).abs() < 0.08, "w_written {}", m.w_written);
+        assert!(
+            (m.w_written - 0.3).abs() < 0.08,
+            "w_written {}",
+            m.w_written
+        );
         assert!(m.r_squared(&synth(100, 0.0)) > 0.95);
     }
 
     #[test]
     fn threshold_gates_acceptance() {
-        let m = ValidationModel { intercept: 0.0, w_read: 1.0, w_written: 0.0 };
+        let m = ValidationModel {
+            intercept: 0.0,
+            w_read: 1.0,
+            w_written: 0.0,
+        };
         assert!(m.accepts(-0.2, 0.0, -0.1), "predicted -0.2 clears -0.1");
         assert!(!m.accepts(-0.05, 0.0, -0.1), "predicted -0.05 does not");
         assert!(!m.accepts(0.3, 0.0, -0.1), "regressions never accepted");
@@ -164,7 +176,11 @@ mod tests {
         assert!(ValidationModel::fit(&[]).is_none());
         // Collinear inputs (all identical) -> singular.
         let same = vec![
-            ValidationSample { data_read_delta: 0.1, data_written_delta: 0.1, pn_delta: 0.1 };
+            ValidationSample {
+                data_read_delta: 0.1,
+                data_written_delta: 0.1,
+                pn_delta: 0.1
+            };
             10
         ];
         assert!(ValidationModel::fit(&same).is_none());
@@ -172,7 +188,11 @@ mod tests {
 
     #[test]
     fn serde_roundtrip() {
-        let m = ValidationModel { intercept: 0.01, w_read: 0.5, w_written: 0.2 };
+        let m = ValidationModel {
+            intercept: 0.01,
+            w_read: 0.5,
+            w_written: 0.2,
+        };
         let s = serde_json::to_string(&m).unwrap();
         assert_eq!(serde_json::from_str::<ValidationModel>(&s).unwrap(), m);
     }

@@ -7,7 +7,12 @@ use scope_runtime::{execute, Cluster, ExecutionMetrics};
 
 /// Run a compiled plan `n` times with fresh run seeds.
 #[must_use]
-pub fn run_aa(plan: &PhysicalPlan, cluster: &Cluster, job_seed: u64, n: usize) -> Vec<ExecutionMetrics> {
+pub fn run_aa(
+    plan: &PhysicalPlan,
+    cluster: &Cluster,
+    job_seed: u64,
+    n: usize,
+) -> Vec<ExecutionMetrics> {
     (0..n)
         .map(|i| execute(plan, cluster, job_seed, mix64(0xAA, i as u64)))
         .collect()

@@ -15,7 +15,11 @@ pub struct FlightBudget {
 
 impl Default for FlightBudget {
     fn default() -> Self {
-        Self { max_job_seconds: 24.0 * 3600.0, total_seconds: 40.0 * 24.0 * 3600.0, queue_size: 64 }
+        Self {
+            max_job_seconds: 24.0 * 3600.0,
+            total_seconds: 40.0 * 24.0 * 3600.0,
+            queue_size: 64,
+        }
     }
 }
 
@@ -52,7 +56,11 @@ mod tests {
 
     #[test]
     fn charging_respects_total_budget() {
-        let budget = FlightBudget { max_job_seconds: 100.0, total_seconds: 250.0, queue_size: 8 };
+        let budget = FlightBudget {
+            max_job_seconds: 100.0,
+            total_seconds: 250.0,
+            queue_size: 8,
+        };
         let mut t = BudgetTracker::default();
         assert!(t.try_charge(100.0, &budget));
         assert!(t.try_charge(100.0, &budget));
@@ -65,7 +73,10 @@ mod tests {
     #[test]
     fn default_budget_matches_paper_thresholds() {
         let b = FlightBudget::default();
-        assert!((b.max_job_seconds - 86_400.0).abs() < 1e-9, "24-hour per-job cap");
+        assert!(
+            (b.max_job_seconds - 86_400.0).abs() < 1e-9,
+            "24-hour per-job cap"
+        );
         assert!(b.queue_size > 0);
     }
 }

@@ -77,8 +77,16 @@ mod tests {
     #[test]
     fn deltas_follow_paper_convention() {
         let m = FlightMeasurement {
-            baseline: ExecutionMetrics { pn_hours: 10.0, data_read: 100.0, ..Default::default() },
-            treatment: ExecutionMetrics { pn_hours: 8.0, data_read: 70.0, ..Default::default() },
+            baseline: ExecutionMetrics {
+                pn_hours: 10.0,
+                data_read: 100.0,
+                ..Default::default()
+            },
+            treatment: ExecutionMetrics {
+                pn_hours: 8.0,
+                data_read: 70.0,
+                ..Default::default()
+            },
         };
         assert!((m.pn_delta() + 0.2).abs() < 1e-12);
         assert!((m.data_read_delta() + 0.3).abs() < 1e-12);

@@ -30,7 +30,11 @@ pub struct FlightingService {
 impl FlightingService {
     #[must_use]
     pub fn new(cluster: Cluster, budget: FlightBudget) -> Self {
-        Self { cluster, budget, batch_salt: 0 }
+        Self {
+            cluster,
+            budget,
+            batch_salt: 0,
+        }
     }
 
     #[must_use]
@@ -138,7 +142,10 @@ mod tests {
                 job_seed: j.job_seed,
                 baseline: default,
                 // Flip an off-by-default transform on.
-                treatment: default.with_flip(RuleFlip { rule: scope_opt::RuleId(21), enable: true }),
+                treatment: default.with_flip(RuleFlip {
+                    rule: scope_opt::RuleId(21),
+                    enable: true,
+                }),
             })
             .collect();
         (optimizer, reqs)
@@ -151,7 +158,10 @@ mod tests {
         let (outcomes, tracker) = svc.flight_batch(&optimizer, &reqs);
         assert_eq!(outcomes.len(), reqs.len());
         let successes = outcomes.iter().filter(|o| o.is_success()).count();
-        assert!(successes > 0, "most flights succeed under a generous budget");
+        assert!(
+            successes > 0,
+            "most flights succeed under a generous budget"
+        );
         assert!(tracker.used_seconds > 0.0);
         for o in &outcomes {
             if let FlightOutcome::Success(m) = o {
@@ -166,10 +176,17 @@ mod tests {
         let (optimizer, reqs) = requests(14);
         let mut svc = FlightingService::new(
             Cluster::default(),
-            FlightBudget { max_job_seconds: 86_400.0, total_seconds: 1_500.0, queue_size: 64 },
+            FlightBudget {
+                max_job_seconds: 86_400.0,
+                total_seconds: 1_500.0,
+                queue_size: 64,
+            },
         );
         let (outcomes, tracker) = svc.flight_batch(&optimizer, &reqs);
-        let timeouts = outcomes.iter().filter(|o| matches!(o, FlightOutcome::Timeout)).count();
+        let timeouts = outcomes
+            .iter()
+            .filter(|o| matches!(o, FlightOutcome::Timeout))
+            .count();
         assert!(timeouts > 0, "tight budget must reject tail jobs");
         assert!(tracker.used_seconds <= 1_500.0 + 1e-9);
     }
@@ -179,11 +196,16 @@ mod tests {
         let (optimizer, reqs) = requests(10);
         let mut svc = FlightingService::new(
             Cluster::default(),
-            FlightBudget { queue_size: 3, ..FlightBudget::default() },
+            FlightBudget {
+                queue_size: 3,
+                ..FlightBudget::default()
+            },
         );
         let (outcomes, _) = svc.flight_batch(&optimizer, &reqs);
         let past_queue = &outcomes[3.min(outcomes.len())..];
-        assert!(past_queue.iter().all(|o| matches!(o, FlightOutcome::Timeout)));
+        assert!(past_queue
+            .iter()
+            .all(|o| matches!(o, FlightOutcome::Timeout)));
     }
 
     #[test]

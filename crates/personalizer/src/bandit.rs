@@ -28,7 +28,12 @@ pub struct CbConfig {
 
 impl Default for CbConfig {
     fn default() -> Self {
-        Self { epsilon: 0.1, learning_rate: 0.25, dim_bits: 20, max_importance: 50.0 }
+        Self {
+            epsilon: 0.1,
+            learning_rate: 0.25,
+            dim_bits: 20,
+            max_importance: 50.0,
+        }
     }
 }
 
@@ -55,7 +60,11 @@ pub struct ContextualBandit {
 impl ContextualBandit {
     #[must_use]
     pub fn new(config: CbConfig) -> Self {
-        Self { model: LinearModel::new(config.dim_bits), config, events: 0 }
+        Self {
+            model: LinearModel::new(config.dim_bits),
+            config,
+            events: 0,
+        }
     }
 
     #[must_use]
@@ -84,7 +93,10 @@ impl ContextualBandit {
     /// Score every action under the current model.
     #[must_use]
     pub fn scores(&self, context: &FeatureVector, actions: &[FeatureVector]) -> Vec<f64> {
-        actions.iter().map(|a| self.model.score(&Self::joint(context, a))).collect()
+        actions
+            .iter()
+            .map(|a| self.model.score(&Self::joint(context, a)))
+            .collect()
     }
 
     /// Uniform-at-random logging policy (the paper's §4.2 data-gathering
@@ -125,9 +137,16 @@ impl ContextualBandit {
         } else {
             greedy
         };
-        let probability =
-            if chosen == greedy { 1.0 - eps + eps / k } else { eps / k };
-        RankDecision { chosen, probability, scores }
+        let probability = if chosen == greedy {
+            1.0 - eps + eps / k
+        } else {
+            eps / k
+        };
+        RankDecision {
+            chosen,
+            probability,
+            scores,
+        }
     }
 
     /// Greedy exploitation (used when deploying the final recommendation).
@@ -136,7 +155,11 @@ impl ContextualBandit {
         assert!(!actions.is_empty(), "rank needs at least one action");
         let scores = self.scores(context, actions);
         let chosen = argmax(&scores);
-        RankDecision { chosen, probability: 1.0, scores }
+        RankDecision {
+            chosen,
+            probability: 1.0,
+            scores,
+        }
     }
 
     /// Off-policy reward update: inverse-propensity-weighted regression of
@@ -148,10 +171,10 @@ impl ContextualBandit {
         reward: f64,
         logged_probability: f64,
     ) {
-        let importance =
-            (1.0 / logged_probability.max(1e-6)).min(self.config.max_importance);
+        let importance = (1.0 / logged_probability.max(1e-6)).min(self.config.max_importance);
         let joint = Self::joint(context, action);
-        self.model.update(&joint, reward, importance, self.config.learning_rate);
+        self.model
+            .update(&joint, reward, importance, self.config.learning_rate);
         self.events += 1;
     }
 }
@@ -191,8 +214,9 @@ mod tests {
         assert!(d.chosen < 4);
         // Deterministic per seed; varies across seeds.
         assert_eq!(d.chosen, cb.rank_uniform(&context("x"), &actions, 3).chosen);
-        let picks: std::collections::HashSet<usize> =
-            (0..64).map(|s| cb.rank_uniform(&context("x"), &actions, s).chosen).collect();
+        let picks: std::collections::HashSet<usize> = (0..64)
+            .map(|s| cb.rank_uniform(&context("x"), &actions, s).chosen)
+            .collect();
         assert!(picks.len() > 1);
     }
 
@@ -225,7 +249,10 @@ mod tests {
 
     #[test]
     fn epsilon_greedy_probabilities_are_correct() {
-        let cb = ContextualBandit::new(CbConfig { epsilon: 0.4, ..CbConfig::default() });
+        let cb = ContextualBandit::new(CbConfig {
+            epsilon: 0.4,
+            ..CbConfig::default()
+        });
         let actions = vec![action("a"), action("b")];
         let mut greedy_p = None;
         let mut explore_p = None;
@@ -246,13 +273,22 @@ mod tests {
     #[test]
     fn propensities_form_a_distribution() {
         // Sum over actions of P(choose a) equals 1 for epsilon-greedy.
-        let cb = ContextualBandit::new(CbConfig { epsilon: 0.3, ..CbConfig::default() });
+        let cb = ContextualBandit::new(CbConfig {
+            epsilon: 0.3,
+            ..CbConfig::default()
+        });
         let actions = vec![action("a"), action("b"), action("c")];
         let d = cb.rank(&context("x"), &actions, 0);
         let greedy = argmax(&d.scores);
         let k = actions.len() as f64;
         let total: f64 = (0..actions.len())
-            .map(|i| if i == greedy { 1.0 - 0.3 + 0.3 / k } else { 0.3 / k })
+            .map(|i| {
+                if i == greedy {
+                    1.0 - 0.3 + 0.3 / k
+                } else {
+                    0.3 / k
+                }
+            })
             .sum();
         assert!((total - 1.0).abs() < 1e-12);
     }

@@ -64,7 +64,11 @@ mod tests {
     use super::*;
 
     fn ev(agrees: bool, p: f64, r: f64) -> LoggedOutcome {
-        LoggedOutcome { target_agrees: agrees, logged_probability: p, reward: r }
+        LoggedOutcome {
+            target_agrees: agrees,
+            logged_probability: p,
+            reward: r,
+        }
     }
 
     #[test]
@@ -88,10 +92,14 @@ mod tests {
 
     #[test]
     fn snips_matches_ips_on_balanced_data_and_is_bounded() {
-        let events: Vec<LoggedOutcome> =
-            (0..100).map(|i| ev(i % 2 == 0, 0.5, if i % 2 == 0 { 0.8 } else { 0.1 })).collect();
+        let events: Vec<LoggedOutcome> = (0..100)
+            .map(|i| ev(i % 2 == 0, 0.5, if i % 2 == 0 { 0.8 } else { 0.1 }))
+            .collect();
         let snips = snips_estimate(&events);
-        assert!((snips - 0.8).abs() < 1e-9, "SNIPS averages agreeing rewards: {snips}");
+        assert!(
+            (snips - 0.8).abs() < 1e-9,
+            "SNIPS averages agreeing rewards: {snips}"
+        );
         // SNIPS of constant rewards is that constant, regardless of weights.
         let skewed: Vec<LoggedOutcome> =
             vec![ev(true, 0.01, 0.7), ev(true, 0.9, 0.7), ev(false, 0.5, 0.0)];
@@ -109,7 +117,11 @@ mod tests {
     fn ips_variance_grows_with_small_propensities() {
         // A single agreeing event with tiny propensity dominates IPS but not
         // SNIPS — the reason QO-Advisor caps importance weights.
-        let events = vec![ev(true, 0.001, 1.0), ev(false, 0.5, 0.0), ev(false, 0.5, 0.0)];
+        let events = vec![
+            ev(true, 0.001, 1.0),
+            ev(false, 0.5, 0.0),
+            ev(false, 0.5, 0.0),
+        ];
         assert!(ips_estimate(&events) > 100.0);
         assert!((snips_estimate(&events) - 1.0).abs() < 1e-9);
     }

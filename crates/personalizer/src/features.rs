@@ -32,7 +32,10 @@ impl FeatureVector {
     }
 
     fn key(namespace: &str, name: &str) -> u64 {
-        mix64(stable_hash64(namespace.as_bytes()), stable_hash64(name.as_bytes()))
+        mix64(
+            stable_hash64(namespace.as_bytes()),
+            stable_hash64(name.as_bytes()),
+        )
     }
 
     /// Add a named numeric feature.
@@ -67,14 +70,22 @@ impl FeatureVector {
     pub fn triple_weighted(&mut self, namespace: &str, a: &str, b: &str, c: &str, value: f64) {
         let mut parts = [a, b, c];
         parts.sort_unstable();
-        self.push(namespace, &format!("{}&{}&{}", parts[0], parts[1], parts[2]), value);
+        self.push(
+            namespace,
+            &format!("{}&{}&{}", parts[0], parts[1], parts[2]),
+            value,
+        );
     }
 
     /// A log-bucketed numeric feature: emits an indicator for the magnitude
     /// bucket of `value` (robust to the enormous dynamic ranges of costs and
     /// cardinalities).
     pub fn log_bucket(&mut self, namespace: &str, name: &str, value: f64) {
-        let bucket = if value <= 0.0 { -1 } else { value.log10().floor() as i64 };
+        let bucket = if value <= 0.0 {
+            -1
+        } else {
+            value.log10().floor() as i64
+        };
         self.flag(namespace, &format!("{name}@e{bucket}"));
     }
 

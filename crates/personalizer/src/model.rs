@@ -21,8 +21,15 @@ pub struct LinearModel {
 impl LinearModel {
     #[must_use]
     pub fn new(dim_bits: u32) -> Self {
-        assert!((8..=26).contains(&dim_bits), "dim_bits {dim_bits} out of range");
-        Self { weights: vec![0.0; 1 << dim_bits], dim_bits, updates: 0 }
+        assert!(
+            (8..=26).contains(&dim_bits),
+            "dim_bits {dim_bits} out of range"
+        );
+        Self {
+            weights: vec![0.0; 1 << dim_bits],
+            dim_bits,
+            updates: 0,
+        }
     }
 
     #[inline]
@@ -33,7 +40,10 @@ impl LinearModel {
     /// Predicted reward of a (context × action) feature vector.
     #[must_use]
     pub fn score(&self, fv: &FeatureVector) -> f64 {
-        fv.items().iter().map(|&(k, v)| self.weights[self.slot(k)] * v).sum()
+        fv.items()
+            .iter()
+            .map(|&(k, v)| self.weights[self.slot(k)] * v)
+            .sum()
     }
 
     /// One normalized-SGD step of squared loss `(w·x − reward)²`, scaled by
@@ -41,7 +51,12 @@ impl LinearModel {
     /// caller) and `lr`. The effective step in prediction space is clamped
     /// to keep rare huge importance weights from destabilizing the model.
     pub fn update(&mut self, fv: &FeatureVector, reward: f64, importance: f64, lr: f64) {
-        let norm: f64 = fv.items().iter().map(|&(_, v)| v * v).sum::<f64>().max(1e-12);
+        let norm: f64 = fv
+            .items()
+            .iter()
+            .map(|&(_, v)| v * v)
+            .sum::<f64>()
+            .max(1e-12);
         let err = reward - self.score(fv);
         let step = (lr * importance * err).clamp(-2.0 * err.abs(), 2.0 * err.abs()) / norm;
         for &(k, v) in fv.items() {

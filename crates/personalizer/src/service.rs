@@ -66,7 +66,9 @@ impl Personalizer {
     pub fn rank(&self, req: &RankRequest) -> RankResponse {
         let mut inner = self.inner.lock();
         let decision = if req.log_uniform {
-            inner.bandit.rank_uniform(&req.context, &req.actions, req.seed)
+            inner
+                .bandit
+                .rank_uniform(&req.context, &req.actions, req.seed)
         } else {
             inner.bandit.rank(&req.context, &req.actions, req.seed)
         };
@@ -88,8 +90,12 @@ impl Personalizer {
     /// Personalizer drops late rewards the same way).
     pub fn reward(&self, event_id: u64, reward: f64) {
         let mut inner = self.inner.lock();
-        let Some(ev) = inner.pending.remove(&event_id) else { return };
-        inner.bandit.reward(&ev.context, &ev.action, reward, ev.probability);
+        let Some(ev) = inner.pending.remove(&event_id) else {
+            return;
+        };
+        inner
+            .bandit
+            .reward(&ev.context, &ev.action, reward, ev.probability);
         inner.history.push(LoggedOutcome {
             target_agrees: true, // filled properly by evaluate_against
             logged_probability: ev.probability,

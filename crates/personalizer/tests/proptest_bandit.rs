@@ -1,6 +1,8 @@
 //! Property-based tests for the bandit's statistical invariants.
 
-use personalizer::{ips_estimate, snips_estimate, CbConfig, ContextualBandit, FeatureVector, LoggedOutcome};
+use personalizer::{
+    ips_estimate, snips_estimate, CbConfig, ContextualBandit, FeatureVector, LoggedOutcome,
+};
 use proptest::prelude::*;
 
 fn fv(names: &[String]) -> FeatureVector {

@@ -25,12 +25,26 @@ fn render_logical(plan: &LogicalPlan, id: crate::NodeId, depth: usize, out: &mut
             "{} rows≈{:.0}/{:.0}",
             table.name, table.rows.actual, table.rows.estimated
         ),
-        LogicalOp::Filter { predicate, selectivity } => {
-            format!("{predicate} sel={:.3}/{:.3}", selectivity.actual, selectivity.estimated)
+        LogicalOp::Filter {
+            predicate,
+            selectivity,
+        } => {
+            format!(
+                "{predicate} sel={:.3}/{:.3}",
+                selectivity.actual, selectivity.estimated
+            )
         }
         LogicalOp::Project { exprs } => format!("{} cols", exprs.len()),
-        LogicalOp::Join { kind, on, selectivity } => {
-            format!("{} on={on:?} sel={:.2e}", kind.name(), selectivity.estimated)
+        LogicalOp::Join {
+            kind,
+            on,
+            selectivity,
+        } => {
+            format!(
+                "{} on={on:?} sel={:.2e}",
+                kind.name(),
+                selectivity.estimated
+            )
         }
         LogicalOp::Aggregate { group_by, aggs, .. } => {
             format!("by={group_by:?} aggs={}", aggs.len())
@@ -38,13 +52,26 @@ fn render_logical(plan: &LogicalPlan, id: crate::NodeId, depth: usize, out: &mut
         LogicalOp::Union => String::new(),
         LogicalOp::Sort { keys } => format!("{} keys", keys.len()),
         LogicalOp::Top { k, .. } => format!("k={k}"),
-        LogicalOp::Window { partition_by, funcs } => {
+        LogicalOp::Window {
+            partition_by,
+            funcs,
+        } => {
             format!("by={partition_by:?} funcs={}", funcs.len())
         }
-        LogicalOp::Process { udf, cpu_factor, .. } => format!("{udf} cpu×{cpu_factor:.1}"),
+        LogicalOp::Process {
+            udf, cpu_factor, ..
+        } => format!("{udf} cpu×{cpu_factor:.1}"),
         LogicalOp::Output { path } => path.to_string(),
     };
-    let _ = writeln!(out, "{:indent$}{} [{}] {}", "", node.op.tag(), id, detail, indent = depth * 2);
+    let _ = writeln!(
+        out,
+        "{:indent$}{} [{}] {}",
+        "",
+        node.op.tag(),
+        id,
+        detail,
+        indent = depth * 2
+    );
     for &c in &node.children {
         render_logical(plan, c, depth + 1, out);
     }
@@ -67,7 +94,11 @@ fn render_physical(plan: &PhysicalPlan, id: crate::NodeId, depth: usize, out: &m
     let detail = match &node.op {
         PhysicalOp::TableScan { table, variant } => format!("{table} ({variant:?})"),
         PhysicalOp::Exchange { scheme } => {
-            format!("{} p={} <== stage boundary", scheme.tag(), scheme.partitions())
+            format!(
+                "{} p={} <== stage boundary",
+                scheme.tag(),
+                scheme.partitions()
+            )
         }
         PhysicalOp::HashJoin { kind, .. }
         | PhysicalOp::MergeJoin { kind, .. }

@@ -49,7 +49,10 @@ impl BinOp {
     /// True for comparison operators that produce booleans.
     #[must_use]
     pub fn is_comparison(self) -> bool {
-        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
     }
 
     #[must_use]
@@ -102,7 +105,11 @@ impl ScalarExpr {
     }
 
     pub fn binary(op: BinOp, left: ScalarExpr, right: ScalarExpr) -> Self {
-        ScalarExpr::Binary { op, left: Box::new(left), right: Box::new(right) }
+        ScalarExpr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
     }
 
     /// All column indices referenced by this expression.
@@ -135,7 +142,11 @@ impl ScalarExpr {
                 left: Box::new(left.remap_columns(map)),
                 right: Box::new(right.remap_columns(map)),
             },
-            ScalarExpr::Udf { name, args, cpu_factor } => ScalarExpr::Udf {
+            ScalarExpr::Udf {
+                name,
+                args,
+                cpu_factor,
+            } => ScalarExpr::Udf {
                 name: name.clone(),
                 args: args.iter().map(|a| a.remap_columns(map)).collect(),
                 cpu_factor: *cpu_factor,
@@ -176,9 +187,9 @@ impl ScalarExpr {
         match self {
             ScalarExpr::Column(_) | ScalarExpr::Literal(_) => 0.05,
             ScalarExpr::Binary { left, right, .. } => 0.1 + left.cpu_weight() + right.cpu_weight(),
-            ScalarExpr::Udf { args, cpu_factor, .. } => {
-                1.0 * cpu_factor + args.iter().map(ScalarExpr::cpu_weight).sum::<f64>()
-            }
+            ScalarExpr::Udf {
+                args, cpu_factor, ..
+            } => 1.0 * cpu_factor + args.iter().map(ScalarExpr::cpu_weight).sum::<f64>(),
         }
     }
 
@@ -279,7 +290,11 @@ pub struct AggExpr {
 
 impl AggExpr {
     pub fn new(func: AggFunc, input: Option<usize>, alias: impl Into<String>) -> Self {
-        Self { func, input, alias: alias.into() }
+        Self {
+            func,
+            input,
+            alias: alias.into(),
+        }
     }
 }
 
@@ -356,13 +371,23 @@ mod tests {
     #[test]
     fn display_roundtrips_structure() {
         assert_eq!(pred().to_string(), "(($0 > 10) AND ($1 == \"x\"))");
-        assert_eq!(AggExpr::new(AggFunc::Sum, Some(2), "t").to_string(), "SUM($2) AS t");
-        assert_eq!(AggExpr::new(AggFunc::Count, None, "n").to_string(), "COUNT(*) AS n");
+        assert_eq!(
+            AggExpr::new(AggFunc::Sum, Some(2), "t").to_string(),
+            "SUM($2) AS t"
+        );
+        assert_eq!(
+            AggExpr::new(AggFunc::Count, None, "n").to_string(),
+            "COUNT(*) AS n"
+        );
     }
 
     #[test]
     fn udf_cpu_weight_scales() {
-        let u = ScalarExpr::Udf { name: "f".into(), args: vec![ScalarExpr::col(0)], cpu_factor: 3.0 };
+        let u = ScalarExpr::Udf {
+            name: "f".into(),
+            args: vec![ScalarExpr::col(0)],
+            cpu_factor: 3.0,
+        };
         assert!(u.cpu_weight() > 3.0);
     }
 

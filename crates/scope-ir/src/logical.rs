@@ -27,7 +27,11 @@ pub struct TableRef {
 
 impl TableRef {
     pub fn new(name: impl Into<Arc<str>>, schema: Schema, rows: DualStats) -> Self {
-        Self { name: name.into(), schema, rows }
+        Self {
+            name: name.into(),
+            schema,
+            rows,
+        }
     }
 }
 
@@ -60,12 +64,18 @@ pub struct SortKey {
 impl SortKey {
     #[must_use]
     pub fn asc(column: usize) -> Self {
-        Self { column, descending: false }
+        Self {
+            column,
+            descending: false,
+        }
     }
 
     #[must_use]
     pub fn desc(column: usize) -> Self {
-        Self { column, descending: true }
+        Self {
+            column,
+            descending: true,
+        }
     }
 }
 
@@ -77,14 +87,25 @@ pub enum LogicalOp {
     /// Scan a base dataset (SCOPE `EXTRACT`).
     Extract { table: TableRef },
     /// Row filter with dual selectivity (true vs. optimizer-visible).
-    Filter { predicate: ScalarExpr, selectivity: DualStats },
+    Filter {
+        predicate: ScalarExpr,
+        selectivity: DualStats,
+    },
     /// Projection: each output column is `(expr, alias)`.
     Project { exprs: Vec<(ScalarExpr, String)> },
     /// Equi-join on `(left column, right column)` pairs. `selectivity` is the
     /// fraction of the cross product retained.
-    Join { kind: JoinKind, on: Vec<(usize, usize)>, selectivity: DualStats },
+    Join {
+        kind: JoinKind,
+        on: Vec<(usize, usize)>,
+        selectivity: DualStats,
+    },
     /// Group-by aggregation. `group_ratio` = output groups / input rows.
-    Aggregate { group_by: Vec<usize>, aggs: Vec<AggExpr>, group_ratio: DualStats },
+    Aggregate {
+        group_by: Vec<usize>,
+        aggs: Vec<AggExpr>,
+        group_ratio: DualStats,
+    },
     /// Bag union of n ≥ 2 identically-shaped inputs (SCOPE `UNION ALL`).
     Union,
     /// Total sort.
@@ -93,10 +114,17 @@ pub enum LogicalOp {
     Top { k: u64, keys: Vec<SortKey> },
     /// Windowed aggregation partitioned by columns; appends one column per
     /// function.
-    Window { partition_by: Vec<usize>, funcs: Vec<AggExpr> },
+    Window {
+        partition_by: Vec<usize>,
+        funcs: Vec<AggExpr>,
+    },
     /// Opaque user code (SCOPE processor/reducer). `out_ratio` is rows out
     /// per row in (may exceed 1), `cpu_factor` scales per-row CPU work.
-    Process { udf: Arc<str>, cpu_factor: f64, out_ratio: DualStats },
+    Process {
+        udf: Arc<str>,
+        cpu_factor: f64,
+        out_ratio: DualStats,
+    },
     /// Job output sink; every root of the DAG is an `Output`.
     Output { path: Arc<str> },
 }
@@ -146,7 +174,11 @@ pub enum PlanError {
     /// arena invariant) or outside the arena.
     BadChildIndex { parent: NodeId, child: NodeId },
     /// Operator received the wrong number of children.
-    BadArity { node: NodeId, expected: usize, found: usize },
+    BadArity {
+        node: NodeId,
+        expected: usize,
+        found: usize,
+    },
     /// `Union` needs at least two inputs.
     UnionTooNarrow { node: NodeId, found: usize },
     /// The plan has no `Output` roots.
@@ -156,7 +188,11 @@ pub enum PlanError {
     /// An `Output` operator appears below another operator.
     InteriorOutput { node: NodeId },
     /// An expression references a column outside the input schema.
-    ColumnOutOfRange { node: NodeId, column: usize, input_width: usize },
+    ColumnOutOfRange {
+        node: NodeId,
+        column: usize,
+        input_width: usize,
+    },
 }
 
 impl fmt::Display for PlanError {
@@ -165,7 +201,11 @@ impl fmt::Display for PlanError {
             PlanError::BadChildIndex { parent, child } => {
                 write!(f, "node {parent} references invalid child {child}")
             }
-            PlanError::BadArity { node, expected, found } => {
+            PlanError::BadArity {
+                node,
+                expected,
+                found,
+            } => {
                 write!(f, "node {node} expects {expected} children, found {found}")
             }
             PlanError::UnionTooNarrow { node, found } => {
@@ -174,8 +214,15 @@ impl fmt::Display for PlanError {
             PlanError::NoOutputs => write!(f, "plan has no outputs"),
             PlanError::RootNotOutput { node } => write!(f, "root {node} is not an Output"),
             PlanError::InteriorOutput { node } => write!(f, "Output {node} is not a root"),
-            PlanError::ColumnOutOfRange { node, column, input_width } => {
-                write!(f, "node {node} references column {column} of {input_width}-wide input")
+            PlanError::ColumnOutOfRange {
+                node,
+                column,
+                input_width,
+            } => {
+                write!(
+                    f,
+                    "node {node} references column {column} of {input_width}-wide input"
+                )
             }
         }
     }
@@ -269,7 +316,10 @@ impl LogicalPlan {
     /// Number of operators reachable from outputs, by tag.
     #[must_use]
     pub fn count_tag(&self, tag: &str) -> usize {
-        self.topo_order().iter().filter(|id| self.node(**id).op.tag() == tag).count()
+        self.topo_order()
+            .iter()
+            .filter(|id| self.node(**id).op.tag() == tag)
+            .count()
     }
 
     /// Compute the output schema of every node (indexed by arena slot).
@@ -305,12 +355,16 @@ impl LogicalPlan {
                     let input = &out[node.children[0].index()];
                     let mut cols: Vec<Column> = group_by
                         .iter()
-                        .map(|&i| input.column(i).cloned().unwrap_or_else(|| {
-                            Column::new(format!("g{i}"), DataType::Int)
-                        }))
+                        .map(|&i| {
+                            input
+                                .column(i)
+                                .cloned()
+                                .unwrap_or_else(|| Column::new(format!("g{i}"), DataType::Int))
+                        })
                         .collect();
                     cols.extend(
-                        aggs.iter().map(|a| Column::new(a.alias.clone(), DataType::Float)),
+                        aggs.iter()
+                            .map(|a| Column::new(a.alias.clone(), DataType::Float)),
                     );
                     Schema::new(cols)
                 }
@@ -318,7 +372,9 @@ impl LogicalPlan {
                     let input = &out[node.children[0].index()];
                     let mut cols = input.columns().to_vec();
                     cols.extend(
-                        funcs.iter().map(|a| Column::new(a.alias.clone(), DataType::Float)),
+                        funcs
+                            .iter()
+                            .map(|a| Column::new(a.alias.clone(), DataType::Float)),
                     );
                     Schema::new(cols)
                 }
@@ -338,7 +394,10 @@ impl LogicalPlan {
             let id = NodeId(i as u32);
             for &c in &node.children {
                 if c.index() >= i {
-                    return Err(PlanError::BadChildIndex { parent: id, child: c });
+                    return Err(PlanError::BadChildIndex {
+                        parent: id,
+                        child: c,
+                    });
                 }
             }
             match node.op.arity() {
@@ -350,14 +409,20 @@ impl LogicalPlan {
                     });
                 }
                 None if node.children.len() < 2 => {
-                    return Err(PlanError::UnionTooNarrow { node: id, found: node.children.len() });
+                    return Err(PlanError::UnionTooNarrow {
+                        node: id,
+                        found: node.children.len(),
+                    });
                 }
                 _ => {}
             }
         }
         for &root in &self.outputs {
             if root.index() >= self.nodes.len() {
-                return Err(PlanError::BadChildIndex { parent: root, child: root });
+                return Err(PlanError::BadChildIndex {
+                    parent: root,
+                    child: root,
+                });
             }
             if !matches!(self.node(root).op, LogicalOp::Output { .. }) {
                 return Err(PlanError::RootNotOutput { node: root });
@@ -370,7 +435,9 @@ impl LogicalPlan {
                 // Tolerated only if unreachable (dead arena slot).
                 let reachable = self.topo_order().iter().any(|n| n.index() == i);
                 if reachable {
-                    return Err(PlanError::InteriorOutput { node: NodeId(i as u32) });
+                    return Err(PlanError::InteriorOutput {
+                        node: NodeId(i as u32),
+                    });
                 }
             }
         }
@@ -427,7 +494,10 @@ impl LogicalPlan {
                     let cols: Vec<usize> = keys.iter().map(|k| k.column).collect();
                     check(id, &cols, width)?;
                 }
-                LogicalOp::Window { partition_by, funcs } => {
+                LogicalOp::Window {
+                    partition_by,
+                    funcs,
+                } => {
                     let width = schemas[node.children[0].index()].len();
                     check(id, partition_by, width)?;
                     let cols: Vec<usize> = funcs.iter().filter_map(|a| a.input).collect();
@@ -529,7 +599,9 @@ fn infer_type(e: &ScalarExpr, input: &Schema) -> DataType {
         ScalarExpr::Literal(v) => match v {
             crate::expr::Value::Int(_) => DataType::Int,
             crate::expr::Value::Float(_) => DataType::Float,
-            crate::expr::Value::Str(s) => DataType::String { avg_len: s.len() as u16 },
+            crate::expr::Value::Str(s) => DataType::String {
+                avg_len: s.len() as u16,
+            },
             crate::expr::Value::Bool(_) => DataType::Bool,
         },
         ScalarExpr::Binary { op, .. } if op.is_comparison() => DataType::Bool,
@@ -559,7 +631,12 @@ mod tests {
     /// sharing the filter (a genuine DAG).
     fn sample_plan() -> LogicalPlan {
         let mut p = LogicalPlan::new();
-        let s1 = p.add(LogicalOp::Extract { table: table("t1", 1000.0) }, vec![]);
+        let s1 = p.add(
+            LogicalOp::Extract {
+                table: table("t1", 1000.0),
+            },
+            vec![],
+        );
         let f = p.add(
             LogicalOp::Filter {
                 predicate: ScalarExpr::binary(
@@ -571,7 +648,12 @@ mod tests {
             },
             vec![s1],
         );
-        let s2 = p.add(LogicalOp::Extract { table: table("t2", 500.0) }, vec![]);
+        let s2 = p.add(
+            LogicalOp::Extract {
+                table: table("t2", 500.0),
+            },
+            vec![],
+        );
         let j = p.add(
             LogicalOp::Join {
                 kind: JoinKind::Inner,
@@ -589,7 +671,13 @@ mod tests {
             vec![j],
         );
         p.add_output("out1", a);
-        let t = p.add(LogicalOp::Top { k: 10, keys: vec![SortKey::desc(0)] }, vec![f]);
+        let t = p.add(
+            LogicalOp::Top {
+                k: 10,
+                keys: vec![SortKey::desc(0)],
+            },
+            vec![f],
+        );
         p.add_output("out2", t);
         p
     }
@@ -638,7 +726,12 @@ mod tests {
     #[test]
     fn validate_rejects_forward_children() {
         let mut p = LogicalPlan::new();
-        let s = p.add(LogicalOp::Extract { table: table("t", 1.0) }, vec![]);
+        let s = p.add(
+            LogicalOp::Extract {
+                table: table("t", 1.0),
+            },
+            vec![],
+        );
         p.add_output("o", s);
         // Manually corrupt: make node 0 point at node 1.
         let mut broken = p.clone();
@@ -652,7 +745,12 @@ mod tests {
     #[test]
     fn validate_rejects_bad_arity() {
         let mut p = LogicalPlan::new();
-        let s = p.add(LogicalOp::Extract { table: table("t", 1.0) }, vec![]);
+        let s = p.add(
+            LogicalOp::Extract {
+                table: table("t", 1.0),
+            },
+            vec![],
+        );
         let f = p.add(
             LogicalOp::Filter {
                 predicate: ScalarExpr::lit_int(1),
@@ -669,14 +767,24 @@ mod tests {
     #[test]
     fn validate_rejects_no_outputs() {
         let mut p = LogicalPlan::new();
-        p.add(LogicalOp::Extract { table: table("t", 1.0) }, vec![]);
+        p.add(
+            LogicalOp::Extract {
+                table: table("t", 1.0),
+            },
+            vec![],
+        );
         assert_eq!(p.validate(), Err(PlanError::NoOutputs));
     }
 
     #[test]
     fn validate_rejects_out_of_range_columns() {
         let mut p = LogicalPlan::new();
-        let s = p.add(LogicalOp::Extract { table: table("t", 1.0) }, vec![]);
+        let s = p.add(
+            LogicalOp::Extract {
+                table: table("t", 1.0),
+            },
+            vec![],
+        );
         let f = p.add(
             LogicalOp::Filter {
                 predicate: ScalarExpr::binary(
@@ -689,14 +797,22 @@ mod tests {
             vec![s],
         );
         p.add_output("o", f);
-        assert!(matches!(p.validate(), Err(PlanError::ColumnOutOfRange { column: 17, .. })));
+        assert!(matches!(
+            p.validate(),
+            Err(PlanError::ColumnOutOfRange { column: 17, .. })
+        ));
     }
 
     #[test]
     fn template_id_invariant_to_literals_and_cardinality() {
         let make = |lit: i64, rows: f64| {
             let mut p = LogicalPlan::new();
-            let s = p.add(LogicalOp::Extract { table: table("t", rows) }, vec![]);
+            let s = p.add(
+                LogicalOp::Extract {
+                    table: table("t", rows),
+                },
+                vec![],
+            );
             let f = p.add(
                 LogicalOp::Filter {
                     predicate: ScalarExpr::binary(
@@ -711,10 +827,18 @@ mod tests {
             p.add_output("o", f);
             p
         };
-        assert_eq!(make(5, 100.0).template_id(), make(999, 5000.0).template_id());
+        assert_eq!(
+            make(5, 100.0).template_id(),
+            make(999, 5000.0).template_id()
+        );
         // Different table name => different template.
         let mut other = LogicalPlan::new();
-        let s = other.add(LogicalOp::Extract { table: table("zz", 100.0) }, vec![]);
+        let s = other.add(
+            LogicalOp::Extract {
+                table: table("zz", 100.0),
+            },
+            vec![],
+        );
         other.add_output("o", s);
         assert_ne!(make(5, 100.0).template_id(), other.template_id());
     }

@@ -19,9 +19,15 @@ use std::sync::Arc;
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Partitioning {
     /// Hash-partition on columns into `partitions` buckets.
-    Hash { columns: Vec<usize>, partitions: u32 },
+    Hash {
+        columns: Vec<usize>,
+        partitions: u32,
+    },
     /// Range-partition on sort keys (used below merge joins / global sorts).
-    Range { columns: Vec<usize>, partitions: u32 },
+    Range {
+        columns: Vec<usize>,
+        partitions: u32,
+    },
     /// Replicate the full dataset to every consumer vertex.
     Broadcast,
     /// Gather everything to a single vertex.
@@ -87,8 +93,11 @@ pub struct PhysicalTuning {
 }
 
 impl PhysicalTuning {
-    pub const IDENTITY: PhysicalTuning =
-        PhysicalTuning { cpu_mult: 1.0, io_mult: 1.0, parallelism_mult: 1.0 };
+    pub const IDENTITY: PhysicalTuning = PhysicalTuning {
+        cpu_mult: 1.0,
+        io_mult: 1.0,
+        parallelism_mult: 1.0,
+    };
 
     #[must_use]
     pub fn is_identity(&self) -> bool {
@@ -105,26 +114,65 @@ impl Default for PhysicalTuning {
 /// Physical operators.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum PhysicalOp {
-    TableScan { table: Arc<str>, variant: ScanVariant },
-    FilterExec { predicate: ScalarExpr },
-    ProjectExec { exprs: Vec<(ScalarExpr, String)> },
+    TableScan {
+        table: Arc<str>,
+        variant: ScanVariant,
+    },
+    FilterExec {
+        predicate: ScalarExpr,
+    },
+    ProjectExec {
+        exprs: Vec<(ScalarExpr, String)>,
+    },
     /// Build-side is always the right child.
-    HashJoin { kind: JoinKind, on: Vec<(usize, usize)> },
+    HashJoin {
+        kind: JoinKind,
+        on: Vec<(usize, usize)>,
+    },
     /// Requires both inputs range-partitioned + sorted on the keys.
-    MergeJoin { kind: JoinKind, on: Vec<(usize, usize)> },
+    MergeJoin {
+        kind: JoinKind,
+        on: Vec<(usize, usize)>,
+    },
     /// Right side broadcast to every left vertex; no shuffle of the left.
-    BroadcastJoin { kind: JoinKind, on: Vec<(usize, usize)> },
-    HashAggregate { group_by: Vec<usize>, aggs: Vec<AggExpr>, mode: AggMode },
+    BroadcastJoin {
+        kind: JoinKind,
+        on: Vec<(usize, usize)>,
+    },
+    HashAggregate {
+        group_by: Vec<usize>,
+        aggs: Vec<AggExpr>,
+        mode: AggMode,
+    },
     /// Requires input sorted on the grouping keys.
-    StreamAggregate { group_by: Vec<usize>, aggs: Vec<AggExpr>, mode: AggMode },
-    SortExec { keys: Vec<SortKey> },
-    TopNExec { k: u64, keys: Vec<SortKey> },
-    WindowExec { partition_by: Vec<usize>, funcs: Vec<AggExpr> },
-    ProcessExec { udf: Arc<str>, cpu_factor: f64 },
+    StreamAggregate {
+        group_by: Vec<usize>,
+        aggs: Vec<AggExpr>,
+        mode: AggMode,
+    },
+    SortExec {
+        keys: Vec<SortKey>,
+    },
+    TopNExec {
+        k: u64,
+        keys: Vec<SortKey>,
+    },
+    WindowExec {
+        partition_by: Vec<usize>,
+        funcs: Vec<AggExpr>,
+    },
+    ProcessExec {
+        udf: Arc<str>,
+        cpu_factor: f64,
+    },
     UnionAllExec,
     /// Stage boundary: repartition/move data.
-    Exchange { scheme: Partitioning },
-    OutputExec { path: Arc<str> },
+    Exchange {
+        scheme: Partitioning,
+    },
+    OutputExec {
+        path: Arc<str>,
+    },
 }
 
 impl PhysicalOp {
@@ -239,7 +287,10 @@ impl PhysicalPlan {
     /// Count reachable operators by tag.
     #[must_use]
     pub fn count_tag(&self, tag: &str) -> usize {
-        self.topo_order().iter().filter(|id| self.node(**id).op.tag() == tag).count()
+        self.topo_order()
+            .iter()
+            .filter(|id| self.node(**id).op.tag() == tag)
+            .count()
     }
 
     /// Number of exchanges (≈ number of stage boundaries).
@@ -297,7 +348,14 @@ impl fmt::Display for PhysicalPlan {
             let mut stack = vec![(root, 0usize)];
             while let Some((id, depth)) = stack.pop() {
                 let node = self.node(id);
-                writeln!(f, "{:indent$}{} [{}]", "", node.op.tag(), id, indent = depth * 2)?;
+                writeln!(
+                    f,
+                    "{:indent$}{} [{}]",
+                    "",
+                    node.op.tag(),
+                    id,
+                    indent = depth * 2
+                )?;
                 for &c in node.children.iter().rev() {
                     stack.push((c, depth + 1));
                 }
@@ -314,7 +372,10 @@ mod tests {
 
     fn scan(plan: &mut PhysicalPlan, name: &str, rows: f64) -> NodeId {
         plan.add(PhysicalNode {
-            op: PhysicalOp::TableScan { table: name.into(), variant: ScanVariant::Sequential },
+            op: PhysicalOp::TableScan {
+                table: name.into(),
+                variant: ScanVariant::Sequential,
+            },
             children: vec![],
             stats: NodeStats::table(rows, rows, 10.0),
             tuning: PhysicalTuning::IDENTITY,
@@ -327,7 +388,10 @@ mod tests {
         let s2 = scan(&mut p, "t2", 500.0);
         let x1 = p.add(PhysicalNode {
             op: PhysicalOp::Exchange {
-                scheme: Partitioning::Hash { columns: vec![0], partitions: 8 },
+                scheme: Partitioning::Hash {
+                    columns: vec![0],
+                    partitions: 8,
+                },
             },
             children: vec![s1],
             stats: NodeStats::table(1000.0, 1000.0, 10.0),
@@ -335,14 +399,20 @@ mod tests {
         });
         let x2 = p.add(PhysicalNode {
             op: PhysicalOp::Exchange {
-                scheme: Partitioning::Hash { columns: vec![0], partitions: 8 },
+                scheme: Partitioning::Hash {
+                    columns: vec![0],
+                    partitions: 8,
+                },
             },
             children: vec![s2],
             stats: NodeStats::table(500.0, 500.0, 10.0),
             tuning: PhysicalTuning::IDENTITY,
         });
         let j = p.add(PhysicalNode {
-            op: PhysicalOp::HashJoin { kind: JoinKind::Inner, on: vec![(0, 0)] },
+            op: PhysicalOp::HashJoin {
+                kind: JoinKind::Inner,
+                on: vec![(0, 0)],
+            },
             children: vec![x1, x2],
             stats: NodeStats::table(800.0, 800.0, 20.0),
             tuning: PhysicalTuning::IDENTITY,
@@ -369,7 +439,14 @@ mod tests {
 
     #[test]
     fn partitioning_partitions() {
-        assert_eq!(Partitioning::Hash { columns: vec![0], partitions: 16 }.partitions(), 16);
+        assert_eq!(
+            Partitioning::Hash {
+                columns: vec![0],
+                partitions: 16
+            }
+            .partitions(),
+            16
+        );
         assert_eq!(Partitioning::Broadcast.partitions(), 1);
         assert_eq!(Partitioning::Gather.partitions(), 1);
     }
@@ -377,7 +454,10 @@ mod tests {
     #[test]
     fn tuning_identity_detection() {
         assert!(PhysicalTuning::IDENTITY.is_identity());
-        let t = PhysicalTuning { cpu_mult: 1.1, ..PhysicalTuning::IDENTITY };
+        let t = PhysicalTuning {
+            cpu_mult: 1.1,
+            ..PhysicalTuning::IDENTITY
+        };
         assert!(!t.is_identity());
     }
 
@@ -386,7 +466,10 @@ mod tests {
         let mut p = PhysicalPlan::new();
         let s = scan(&mut p, "t", 10.0);
         let j = p.add(PhysicalNode {
-            op: PhysicalOp::HashJoin { kind: JoinKind::Inner, on: vec![] },
+            op: PhysicalOp::HashJoin {
+                kind: JoinKind::Inner,
+                on: vec![],
+            },
             children: vec![s],
             stats: NodeStats::default(),
             tuning: PhysicalTuning::IDENTITY,

@@ -51,7 +51,10 @@ pub struct Column {
 
 impl Column {
     pub fn new(name: impl Into<Arc<str>>, ty: DataType) -> Self {
-        Self { name: name.into(), ty }
+        Self {
+            name: name.into(),
+            ty,
+        }
     }
 }
 
@@ -103,7 +106,11 @@ impl Schema {
     /// (e.g. `COUNT(*)`-only outputs) from producing zero-byte rows.
     #[must_use]
     pub fn avg_row_len(&self) -> u32 {
-        self.columns.iter().map(|c| c.ty.avg_width()).sum::<u32>().max(1)
+        self.columns
+            .iter()
+            .map(|c| c.ty.avg_width())
+            .sum::<u32>()
+            .max(1)
     }
 
     /// Schema of `self ⧺ other`, as produced by a join.

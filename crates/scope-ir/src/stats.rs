@@ -24,7 +24,10 @@ pub struct DualStats {
 impl DualStats {
     #[must_use]
     pub fn exact(v: f64) -> Self {
-        Self { actual: v, estimated: v }
+        Self {
+            actual: v,
+            estimated: v,
+        }
     }
 
     #[must_use]
@@ -43,7 +46,10 @@ impl DualStats {
 
     #[must_use]
     pub fn scale(&self, true_factor: f64, est_factor: f64) -> Self {
-        Self { actual: self.actual * true_factor, estimated: self.estimated * est_factor }
+        Self {
+            actual: self.actual * true_factor,
+            estimated: self.estimated * est_factor,
+        }
     }
 }
 
@@ -61,7 +67,11 @@ pub struct NodeStats {
 impl NodeStats {
     #[must_use]
     pub fn new(rows: DualStats, avg_row_len: f64, distinct: DualStats) -> Self {
-        Self { rows, avg_row_len, distinct }
+        Self {
+            rows,
+            avg_row_len,
+            distinct,
+        }
     }
 
     /// Stats for a base table with possibly stale catalog cardinality.
@@ -71,7 +81,11 @@ impl NodeStats {
             (actual_rows / 10.0).max(1.0),
             (estimated_rows / 10.0).max(1.0),
         );
-        Self { rows: DualStats::new(actual_rows, estimated_rows), avg_row_len, distinct }
+        Self {
+            rows: DualStats::new(actual_rows, estimated_rows),
+            avg_row_len,
+            distinct,
+        }
     }
 
     /// Total output bytes, ground truth.
@@ -90,11 +104,14 @@ impl NodeStats {
     #[must_use]
     pub fn filter(&self, actual_sel: f64, estimated_sel: f64) -> Self {
         Self {
-            rows: self.rows.scale(actual_sel.clamp(0.0, 1.0), estimated_sel.clamp(0.0, 1.0)),
+            rows: self
+                .rows
+                .scale(actual_sel.clamp(0.0, 1.0), estimated_sel.clamp(0.0, 1.0)),
             avg_row_len: self.avg_row_len,
-            distinct: self
-                .distinct
-                .scale(actual_sel.sqrt().clamp(0.0, 1.0), estimated_sel.sqrt().clamp(0.0, 1.0)),
+            distinct: self.distinct.scale(
+                actual_sel.sqrt().clamp(0.0, 1.0),
+                estimated_sel.sqrt().clamp(0.0, 1.0),
+            ),
         }
     }
 }

@@ -118,8 +118,13 @@ fn build(steps: &[Step]) -> LogicalPlan {
             }
             Step::Top { k } => {
                 if let Some(child) = stack.pop() {
-                    let node = plan
-                        .add(LogicalOp::Top { k: *k, keys: vec![SortKey::asc(0)] }, vec![child]);
+                    let node = plan.add(
+                        LogicalOp::Top {
+                            k: *k,
+                            keys: vec![SortKey::asc(0)],
+                        },
+                        vec![child],
+                    );
                     stack.push(node);
                 }
             }

@@ -14,11 +14,20 @@ pub struct Script {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Statement {
     /// `name = EXTRACT col:type, ... FROM "path" [USING Extractor];`
-    Extract { name: String, columns: Vec<(String, DataType)>, path: String, extractor: Option<String> },
+    Extract {
+        name: String,
+        columns: Vec<(String, DataType)>,
+        path: String,
+        extractor: Option<String>,
+    },
     /// `name = SELECT ... ;`
     Select { name: String, query: SelectStmt },
     /// `name = PROCESS input USING Udf;`
-    Process { name: String, input: String, udf: String },
+    Process {
+        name: String,
+        input: String,
+        udf: String,
+    },
     /// `name = UNION a, b, c;`
     Union { name: String, inputs: Vec<String> },
     /// `name = WINDOW input PARTITION BY cols AGGREGATE SUM(x) AS s, ...;`
@@ -103,7 +112,12 @@ pub enum SelectItem {
     Expr { expr: Expr, alias: Option<String> },
     /// An aggregate call, e.g. `SUM(x) AS total`. `column == None` is
     /// `COUNT(*)`.
-    Agg { func: String, distinct: bool, column: Option<ColumnRef>, alias: String },
+    Agg {
+        func: String,
+        distinct: bool,
+        column: Option<ColumnRef>,
+        alias: String,
+    },
 }
 
 /// A possibly-qualified column name.
@@ -116,12 +130,18 @@ pub struct ColumnRef {
 impl ColumnRef {
     #[must_use]
     pub fn bare(name: impl Into<String>) -> Self {
-        Self { qualifier: None, name: name.into() }
+        Self {
+            qualifier: None,
+            name: name.into(),
+        }
     }
 
     #[must_use]
     pub fn qualified(q: impl Into<String>, name: impl Into<String>) -> Self {
-        Self { qualifier: Some(q.into()), name: name.into() }
+        Self {
+            qualifier: Some(q.into()),
+            name: name.into(),
+        }
     }
 }
 
@@ -141,7 +161,11 @@ pub enum Expr {
     IntLit(i64),
     FloatLit(f64),
     StrLit(String),
-    Binary { op: AstBinOp, left: Box<Expr>, right: Box<Expr> },
+    Binary {
+        op: AstBinOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
 }
 
 /// Binary operators at the AST level.
@@ -174,9 +198,15 @@ mod tests {
 
     #[test]
     fn defines_reports_bound_name() {
-        let s = Statement::Union { name: "u".into(), inputs: vec!["a".into(), "b".into()] };
+        let s = Statement::Union {
+            name: "u".into(),
+            inputs: vec!["a".into(), "b".into()],
+        };
         assert_eq!(s.defines(), Some("u"));
-        let o = Statement::Output { input: "u".into(), path: "p".into() };
+        let o = Statement::Output {
+            input: "u".into(),
+            path: "p".into(),
+        };
         assert_eq!(o.defines(), None);
     }
 
@@ -188,9 +218,15 @@ mod tests {
 
     #[test]
     fn effective_alias_prefers_explicit() {
-        let t = TableAlias { name: "sales".into(), alias: Some("s".into()) };
+        let t = TableAlias {
+            name: "sales".into(),
+            alias: Some("s".into()),
+        };
         assert_eq!(t.effective_alias(), "s");
-        let t2 = TableAlias { name: "sales".into(), alias: None };
+        let t2 = TableAlias {
+            name: "sales".into(),
+            alias: None,
+        };
         assert_eq!(t2.effective_alias(), "sales");
     }
 }

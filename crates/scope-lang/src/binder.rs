@@ -5,9 +5,7 @@
 //! which is exactly how SCOPE scripts become operator DAGs with multiple
 //! output trees over common sub-expressions.
 
-use crate::ast::{
-    AstBinOp, ColumnRef, Expr, Script, SelectItem, SelectStmt, Statement,
-};
+use crate::ast::{AstBinOp, ColumnRef, Expr, Script, SelectItem, SelectStmt, Statement};
 use crate::error::{LangError, Span};
 use crate::parser::parse_script;
 use rustc_hash::FxHashMap;
@@ -57,7 +55,9 @@ impl Catalog {
 
     #[must_use]
     pub fn lookup(&self, path: &str) -> TableInfo {
-        self.tables.get(path).copied().unwrap_or(TableInfo { rows: self.default_rows })
+        self.tables.get(path).copied().unwrap_or(TableInfo {
+            rows: self.default_rows,
+        })
     }
 
     /// Dual selectivity for a predicate: estimate comes from the textbook
@@ -142,7 +142,11 @@ impl Scope {
 impl<'a> Binder<'a> {
     #[must_use]
     pub fn new(catalog: &'a Catalog) -> Self {
-        Self { catalog, plan: LogicalPlan::new(), symbols: FxHashMap::default() }
+        Self {
+            catalog,
+            plan: LogicalPlan::new(),
+            symbols: FxHashMap::default(),
+        }
     }
 
     /// Bind a parsed script into a logical plan.
@@ -155,9 +159,17 @@ impl<'a> Binder<'a> {
                 }
             }
             match stmt {
-                Statement::Extract { name, columns, path, .. } => {
+                Statement::Extract {
+                    name,
+                    columns,
+                    path,
+                    ..
+                } => {
                     let schema = Schema::new(
-                        columns.iter().map(|(n, t)| Column::new(n.clone(), *t)).collect(),
+                        columns
+                            .iter()
+                            .map(|(n, t)| Column::new(n.clone(), *t))
+                            .collect(),
                     );
                     let info = self.catalog.lookup(path);
                     let table = TableRef::new(path.clone(), schema.clone(), info.rows);
@@ -184,9 +196,16 @@ impl<'a> Binder<'a> {
                     );
                     self.symbols.insert(name.clone(), (node, schema));
                 }
-                Statement::Window { name, input, partition_by, funcs } => {
+                Statement::Window {
+                    name,
+                    input,
+                    partition_by,
+                    funcs,
+                } => {
                     let (child, input_schema) = self.dataset(input, span)?;
-                    let scope = Scope { entries: vec![(String::new(), input_schema.clone())] };
+                    let scope = Scope {
+                        entries: vec![(String::new(), input_schema.clone())],
+                    };
                     let mut cols = Vec::with_capacity(partition_by.len());
                     for c in partition_by {
                         cols.push(scope.resolve(c, span)?);
@@ -214,14 +233,20 @@ impl<'a> Binder<'a> {
                     }
                     // Window output = input columns plus one per function.
                     let mut out_cols = input_schema.columns().to_vec();
-                    out_cols.extend(lowered.iter().map(|a| {
-                        Column::new(a.alias.clone(), scope_ir::schema::DataType::Float)
-                    }));
+                    out_cols.extend(
+                        lowered.iter().map(|a| {
+                            Column::new(a.alias.clone(), scope_ir::schema::DataType::Float)
+                        }),
+                    );
                     let node = self.plan.add(
-                        LogicalOp::Window { partition_by: cols, funcs: lowered },
+                        LogicalOp::Window {
+                            partition_by: cols,
+                            funcs: lowered,
+                        },
                         vec![child],
                     );
-                    self.symbols.insert(name.clone(), (node, Schema::new(out_cols)));
+                    self.symbols
+                        .insert(name.clone(), (node, Schema::new(out_cols)));
                 }
                 Statement::Union { name, inputs } => {
                     let mut children = Vec::with_capacity(inputs.len());
@@ -245,7 +270,8 @@ impl<'a> Binder<'a> {
                         children.push(node);
                     }
                     let node = self.plan.add(LogicalOp::Union, children);
-                    self.symbols.insert(name.clone(), (node, schema.expect("n>=2")));
+                    self.symbols
+                        .insert(name.clone(), (node, schema.expect("n>=2")));
                 }
                 Statement::Output { input, path } => {
                     let (child, _) = self.dataset(input, span)?;
@@ -274,12 +300,16 @@ impl<'a> Binder<'a> {
     ) -> Result<(NodeId, Schema), LangError> {
         // FROM + JOINs build the scope.
         let (mut node, from_schema) = self.dataset(&query.from.name, span)?;
-        let mut scope =
-            Scope { entries: vec![(query.from.effective_alias().to_string(), from_schema)] };
+        let mut scope = Scope {
+            entries: vec![(query.from.effective_alias().to_string(), from_schema)],
+        };
         for join in &query.joins {
             let (right, right_schema) = self.dataset(&join.table.name, span)?;
             let right_scope = Scope {
-                entries: vec![(join.table.effective_alias().to_string(), right_schema.clone())],
+                entries: vec![(
+                    join.table.effective_alias().to_string(),
+                    right_schema.clone(),
+                )],
             };
             let mut on = Vec::with_capacity(join.on.len());
             for (l, r) in &join.on {
@@ -308,21 +338,36 @@ impl<'a> Binder<'a> {
                 DualStats::exact(est)
             };
             node = self.plan.add(
-                LogicalOp::Join { kind: JoinKind::Inner, on, selectivity: sel },
+                LogicalOp::Join {
+                    kind: JoinKind::Inner,
+                    on,
+                    selectivity: sel,
+                },
                 vec![node, right],
             );
-            scope.entries.push((join.table.effective_alias().to_string(), right_schema));
+            scope
+                .entries
+                .push((join.table.effective_alias().to_string(), right_schema));
         }
 
         // WHERE.
         if let Some(pred) = &query.predicate {
             let predicate = self.lower_expr(pred, &scope, span)?;
             let selectivity = self.catalog.filter_selectivity(&predicate);
-            node = self.plan.add(LogicalOp::Filter { predicate, selectivity }, vec![node]);
+            node = self.plan.add(
+                LogicalOp::Filter {
+                    predicate,
+                    selectivity,
+                },
+                vec![node],
+            );
         }
 
         // Aggregation vs projection.
-        let has_agg = query.items.iter().any(|i| matches!(i, SelectItem::Agg { .. }));
+        let has_agg = query
+            .items
+            .iter()
+            .any(|i| matches!(i, SelectItem::Agg { .. }));
         let schema;
         if has_agg || !query.group_by.is_empty() {
             let mut group_idx = Vec::with_capacity(query.group_by.len());
@@ -332,7 +377,12 @@ impl<'a> Binder<'a> {
             let mut aggs = Vec::new();
             for item in &query.items {
                 match item {
-                    SelectItem::Agg { func, distinct, column, alias } => {
+                    SelectItem::Agg {
+                        func,
+                        distinct,
+                        column,
+                        alias,
+                    } => {
                         let input = match column {
                             Some(c) => Some(scope.resolve(c, span)?),
                             None => None,
@@ -353,7 +403,10 @@ impl<'a> Binder<'a> {
                         };
                         aggs.push(AggExpr::new(func, input, alias.clone()));
                     }
-                    SelectItem::Expr { expr: Expr::Column(c), .. } => {
+                    SelectItem::Expr {
+                        expr: Expr::Column(c),
+                        ..
+                    } => {
                         // Non-aggregate items must be grouping columns.
                         let idx = scope.resolve(c, span)?;
                         if !group_idx.contains(&idx) {
@@ -380,7 +433,10 @@ impl<'a> Binder<'a> {
             let h = stable_hash64(format!("agg|{group_idx:?}").as_bytes());
             let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
             let group_ratio = if self.catalog.realistic_selectivity {
-                DualStats::new((est_ratio * 0.25 * 10.0f64.powf(unit)).clamp(1e-9, 1.0), est_ratio)
+                DualStats::new(
+                    (est_ratio * 0.25 * 10.0f64.powf(unit)).clamp(1e-9, 1.0),
+                    est_ratio,
+                )
             } else {
                 DualStats::exact(est_ratio)
             };
@@ -389,12 +445,17 @@ impl<'a> Binder<'a> {
                 .iter()
                 .map(|&i| input_schema.columns()[i].clone())
                 .collect();
-            cols.extend(aggs.iter().map(|a| {
-                Column::new(a.alias.clone(), scope_ir::schema::DataType::Float)
-            }));
+            cols.extend(
+                aggs.iter()
+                    .map(|a| Column::new(a.alias.clone(), scope_ir::schema::DataType::Float)),
+            );
             schema = Schema::new(cols);
             node = self.plan.add(
-                LogicalOp::Aggregate { group_by: group_idx, aggs, group_ratio },
+                LogicalOp::Aggregate {
+                    group_by: group_idx,
+                    aggs,
+                    group_ratio,
+                },
                 vec![node],
             );
         } else if query.items.len() == 1 && matches!(query.items[0], SelectItem::Wildcard) {
@@ -425,11 +486,16 @@ impl<'a> Binder<'a> {
 
         // ORDER BY resolves against the post-projection schema.
         if !query.order_by.is_empty() {
-            let out_scope = Scope { entries: vec![(String::new(), schema.clone())] };
+            let out_scope = Scope {
+                entries: vec![(String::new(), schema.clone())],
+            };
             let mut keys = Vec::with_capacity(query.order_by.len());
             for k in &query.order_by {
                 let column = out_scope.resolve(&k.column, span)?;
-                keys.push(SortKey { column, descending: k.descending });
+                keys.push(SortKey {
+                    column,
+                    descending: k.descending,
+                });
             }
             node = match query.top {
                 Some(k) => self.plan.add(LogicalOp::Top { k, keys }, vec![node]),
@@ -439,12 +505,7 @@ impl<'a> Binder<'a> {
         Ok((node, schema))
     }
 
-    fn lower_expr(
-        &self,
-        expr: &Expr,
-        scope: &Scope,
-        span: Span,
-    ) -> Result<ScalarExpr, LangError> {
+    fn lower_expr(&self, expr: &Expr, scope: &Scope, span: Span) -> Result<ScalarExpr, LangError> {
         Ok(match expr {
             Expr::Column(c) => ScalarExpr::Column(scope.resolve(c, span)?),
             Expr::IntLit(v) => ScalarExpr::Literal(Value::Int(*v)),
@@ -513,7 +574,9 @@ mod tests {
         let mut catalog = Catalog::default();
         catalog.register(
             "store/sales",
-            TableInfo { rows: DualStats::new(5000.0, 9000.0) },
+            TableInfo {
+                rows: DualStats::new(5000.0, 9000.0),
+            },
         );
         let plan = bind_script(SCRIPT, &catalog).unwrap();
         let scan = plan
@@ -579,7 +642,10 @@ mod tests {
         assert_eq!(s1, s2, "determinism");
         assert!((s1.estimated - pred.heuristic_selectivity()).abs() < 1e-12);
         // Exact mode has no divergence.
-        let exact = Catalog { realistic_selectivity: false, ..Catalog::default() };
+        let exact = Catalog {
+            realistic_selectivity: false,
+            ..Catalog::default()
+        };
         let s3 = exact.filter_selectivity(&pred);
         assert!((s3.actual - s3.estimated).abs() < 1e-12);
     }
@@ -642,7 +708,9 @@ mod tests {
                 OUTPUT f TO "o";
             "#
             );
-            bind_script(&src, &Catalog::default()).unwrap().template_id()
+            bind_script(&src, &Catalog::default())
+                .unwrap()
+                .template_id()
         };
         assert_eq!(make(10), make(9999));
     }

@@ -44,11 +44,17 @@ impl LangError {
     }
 
     pub(crate) fn parse(span: Span, message: impl Into<String>) -> Self {
-        LangError::Parse { span, message: message.into() }
+        LangError::Parse {
+            span,
+            message: message.into(),
+        }
     }
 
     pub(crate) fn bind(span: Span, message: impl Into<String>) -> Self {
-        LangError::Bind { span, message: message.into() }
+        LangError::Bind {
+            span,
+            message: message.into(),
+        }
     }
 }
 

@@ -36,9 +36,9 @@ pub enum Token {
     FloatLit(f64),
     StrLit(String),
     // Punctuation
-    Eq,      // =
-    EqEq,    // ==
-    Ne,      // !=
+    Eq,   // =
+    EqEq, // ==
+    Ne,   // !=
     Lt,
     Le,
     Gt,
@@ -105,7 +105,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Spanned>, LangError> {
     let mut col = 1u32;
     macro_rules! push {
         ($tok:expr, $span:expr) => {
-            out.push(Spanned { token: $tok, span: $span })
+            out.push(Spanned {
+                token: $tok,
+                span: $span,
+            })
         };
     }
     while i < bytes.len() {
@@ -146,7 +149,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Spanned>, LangError> {
                     col += 1;
                 }
                 if !closed {
-                    return Err(LangError::Lex { span, message: "unterminated string".into() });
+                    return Err(LangError::Lex {
+                        span,
+                        message: "unterminated string".into(),
+                    });
                 }
                 push!(Token::StrLit(s), span);
             }
@@ -280,7 +286,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Spanned>, LangError> {
             }
         }
     }
-    out.push(Spanned { token: Token::Eof, span: Span::new(line, col) });
+    out.push(Spanned {
+        token: Token::Eof,
+        span: Span::new(line, col),
+    });
     Ok(out)
 }
 
@@ -289,55 +298,69 @@ mod tests {
     use super::*;
 
     fn toks(src: &str) -> Vec<Token> {
-        tokenize(src).unwrap().into_iter().map(|s| s.token).collect()
+        tokenize(src)
+            .unwrap()
+            .into_iter()
+            .map(|s| s.token)
+            .collect()
     }
 
     #[test]
     fn keywords_are_case_insensitive() {
-        assert_eq!(toks("select SELECT SeLeCt"), vec![
-            Token::Select,
-            Token::Select,
-            Token::Select,
-            Token::Eof
-        ]);
+        assert_eq!(
+            toks("select SELECT SeLeCt"),
+            vec![Token::Select, Token::Select, Token::Select, Token::Eof]
+        );
     }
 
     #[test]
     fn identifiers_keep_case() {
-        assert_eq!(toks("myData"), vec![Token::Ident("myData".into()), Token::Eof]);
+        assert_eq!(
+            toks("myData"),
+            vec![Token::Ident("myData".into()), Token::Eof]
+        );
     }
 
     #[test]
     fn numbers_and_strings() {
-        assert_eq!(toks(r#"42 3.5 "a/b""#), vec![
-            Token::IntLit(42),
-            Token::FloatLit(3.5),
-            Token::StrLit("a/b".into()),
-            Token::Eof
-        ]);
+        assert_eq!(
+            toks(r#"42 3.5 "a/b""#),
+            vec![
+                Token::IntLit(42),
+                Token::FloatLit(3.5),
+                Token::StrLit("a/b".into()),
+                Token::Eof
+            ]
+        );
     }
 
     #[test]
     fn comparison_operators() {
-        assert_eq!(toks("= == != < <= > >="), vec![
-            Token::Eq,
-            Token::EqEq,
-            Token::Ne,
-            Token::Lt,
-            Token::Le,
-            Token::Gt,
-            Token::Ge,
-            Token::Eof
-        ]);
+        assert_eq!(
+            toks("= == != < <= > >="),
+            vec![
+                Token::Eq,
+                Token::EqEq,
+                Token::Ne,
+                Token::Lt,
+                Token::Le,
+                Token::Gt,
+                Token::Ge,
+                Token::Eof
+            ]
+        );
     }
 
     #[test]
     fn comments_are_skipped() {
-        assert_eq!(toks("a // hello world\nb"), vec![
-            Token::Ident("a".into()),
-            Token::Ident("b".into()),
-            Token::Eof
-        ]);
+        assert_eq!(
+            toks("a // hello world\nb"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Ident("b".into()),
+                Token::Eof
+            ]
+        );
     }
 
     #[test]

@@ -51,7 +51,10 @@ impl Parser {
         if self.eat(t) {
             Ok(())
         } else {
-            Err(LangError::parse(self.span(), format!("expected {what}, found {:?}", self.peek())))
+            Err(LangError::parse(
+                self.span(),
+                format!("expected {what}, found {:?}", self.peek()),
+            ))
         }
     }
 
@@ -61,7 +64,10 @@ impl Parser {
                 self.bump();
                 Ok(s)
             }
-            other => Err(LangError::parse(self.span(), format!("expected {what}, found {other:?}"))),
+            other => Err(LangError::parse(
+                self.span(),
+                format!("expected {what}, found {other:?}"),
+            )),
         }
     }
 
@@ -71,7 +77,10 @@ impl Parser {
                 self.bump();
                 Ok(s)
             }
-            other => Err(LangError::parse(self.span(), format!("expected {what}, found {other:?}"))),
+            other => Err(LangError::parse(
+                self.span(),
+                format!("expected {what}, found {other:?}"),
+            )),
         }
     }
 
@@ -124,7 +133,12 @@ impl Parser {
                 while self.eat(&Token::Comma) {
                     funcs.push(self.window_func()?);
                 }
-                Statement::Window { name, input, partition_by, funcs }
+                Statement::Window {
+                    name,
+                    input,
+                    partition_by,
+                    funcs,
+                }
             }
             Token::Union => {
                 self.bump();
@@ -133,7 +147,10 @@ impl Parser {
                     inputs.push(self.ident("dataset name")?);
                 }
                 if inputs.len() < 2 {
-                    return Err(LangError::parse(self.span(), "UNION needs at least 2 inputs"));
+                    return Err(LangError::parse(
+                        self.span(),
+                        "UNION needs at least 2 inputs",
+                    ));
                 }
                 Statement::Union { name, inputs }
             }
@@ -161,7 +178,10 @@ impl Parser {
                 "string" => DataType::String { avg_len: 24 },
                 "datetime" => DataType::DateTime,
                 other => {
-                    return Err(LangError::parse(self.span(), format!("unknown type {other}")));
+                    return Err(LangError::parse(
+                        self.span(),
+                        format!("unknown type {other}"),
+                    ));
                 }
             };
             columns.push((col, ty));
@@ -171,9 +191,17 @@ impl Parser {
         }
         self.expect(&Token::From, "FROM")?;
         let path = self.string("input path")?;
-        let extractor =
-            if self.eat(&Token::Using) { Some(self.ident("extractor name")?) } else { None };
-        Ok(Statement::Extract { name, columns, path, extractor })
+        let extractor = if self.eat(&Token::Using) {
+            Some(self.ident("extractor name")?)
+        } else {
+            None
+        };
+        Ok(Statement::Extract {
+            name,
+            columns,
+            path,
+            extractor,
+        })
     }
 
     fn select(&mut self) -> Result<SelectStmt, LangError> {
@@ -203,7 +231,11 @@ impl Parser {
             }
             joins.push(JoinClause { table, on });
         }
-        let predicate = if self.eat(&Token::Where) { Some(self.expr()?) } else { None };
+        let predicate = if self.eat(&Token::Where) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         let mut group_by = Vec::new();
         if self.eat(&Token::Group) {
             self.expect(&Token::By, "BY")?;
@@ -230,9 +262,20 @@ impl Parser {
             }
         }
         if top.is_some() && order_by.is_empty() {
-            return Err(LangError::parse(self.span(), "SELECT TOP requires ORDER BY"));
+            return Err(LangError::parse(
+                self.span(),
+                "SELECT TOP requires ORDER BY",
+            ));
         }
-        Ok(SelectStmt { top, items, from, joins, predicate, group_by, order_by })
+        Ok(SelectStmt {
+            top,
+            items,
+            from,
+            joins,
+            predicate,
+            group_by,
+            order_by,
+        })
     }
 
     fn select_items(&mut self) -> Result<Vec<SelectItem>, LangError> {
@@ -264,30 +307,54 @@ impl Parser {
                 self.expect(&Token::RParen, ")")?;
                 self.expect(&Token::As, "AS (aggregates must be aliased)")?;
                 let alias = self.ident("alias")?;
-                return Ok(SelectItem::Agg { func: upper, distinct, column, alias });
+                return Ok(SelectItem::Agg {
+                    func: upper,
+                    distinct,
+                    column,
+                    alias,
+                });
             }
         }
         let expr = self.expr()?;
-        let alias = if self.eat(&Token::As) { Some(self.ident("alias")?) } else { None };
+        let alias = if self.eat(&Token::As) {
+            Some(self.ident("alias")?)
+        } else {
+            None
+        };
         Ok(SelectItem::Expr { expr, alias })
     }
 
     fn window_func(&mut self) -> Result<WindowFunc, LangError> {
         let func = self.ident("aggregate function")?.to_ascii_uppercase();
         if !AGG_FUNCS.contains(&func.as_str()) {
-            return Err(LangError::parse(self.span(), format!("unknown aggregate {func}")));
+            return Err(LangError::parse(
+                self.span(),
+                format!("unknown aggregate {func}"),
+            ));
         }
         self.expect(&Token::LParen, "(")?;
-        let column = if self.eat(&Token::Star) { None } else { Some(self.column_ref()?) };
+        let column = if self.eat(&Token::Star) {
+            None
+        } else {
+            Some(self.column_ref()?)
+        };
         self.expect(&Token::RParen, ")")?;
         self.expect(&Token::As, "AS (window aggregates must be aliased)")?;
         let alias = self.ident("alias")?;
-        Ok(WindowFunc { func, column, alias })
+        Ok(WindowFunc {
+            func,
+            column,
+            alias,
+        })
     }
 
     fn table_alias(&mut self) -> Result<TableAlias, LangError> {
         let name = self.ident("dataset name")?;
-        let alias = if self.eat(&Token::As) { Some(self.ident("alias")?) } else { None };
+        let alias = if self.eat(&Token::As) {
+            Some(self.ident("alias")?)
+        } else {
+            None
+        };
         Ok(TableAlias { name, alias })
     }
 
@@ -316,7 +383,11 @@ impl Parser {
         let mut left = self.and_expr()?;
         while self.eat(&Token::Or) {
             let right = self.and_expr()?;
-            left = Expr::Binary { op: AstBinOp::Or, left: Box::new(left), right: Box::new(right) };
+            left = Expr::Binary {
+                op: AstBinOp::Or,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -325,7 +396,11 @@ impl Parser {
         let mut left = self.cmp_expr()?;
         while self.eat(&Token::And) {
             let right = self.cmp_expr()?;
-            left = Expr::Binary { op: AstBinOp::And, left: Box::new(left), right: Box::new(right) };
+            left = Expr::Binary {
+                op: AstBinOp::And,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -343,7 +418,11 @@ impl Parser {
         };
         self.bump();
         let right = self.add_expr()?;
-        Ok(Expr::Binary { op, left: Box::new(left), right: Box::new(right) })
+        Ok(Expr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        })
     }
 
     fn add_expr(&mut self) -> Result<Expr, LangError> {
@@ -356,7 +435,11 @@ impl Parser {
             };
             self.bump();
             let right = self.mul_expr()?;
-            left = Expr::Binary { op, left: Box::new(left), right: Box::new(right) };
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -371,7 +454,11 @@ impl Parser {
             };
             self.bump();
             let right = self.atom()?;
-            left = Expr::Binary { op, left: Box::new(left), right: Box::new(right) };
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -397,9 +484,10 @@ impl Parser {
                 self.expect(&Token::RParen, ")")?;
                 Ok(e)
             }
-            other => {
-                Err(LangError::parse(self.span(), format!("expected expression, found {other:?}")))
-            }
+            other => Err(LangError::parse(
+                self.span(),
+                format!("expected expression, found {other:?}"),
+            )),
         }
     }
 }
@@ -412,7 +500,12 @@ mod tests {
     fn parses_extract() {
         let s = parse_script(r#"d = EXTRACT a:int, b:string FROM "p" USING Tsv;"#).unwrap();
         match &s.statements[0] {
-            Statement::Extract { name, columns, path, extractor } => {
+            Statement::Extract {
+                name,
+                columns,
+                path,
+                extractor,
+            } => {
                 assert_eq!(name, "d");
                 assert_eq!(columns.len(), 2);
                 assert_eq!(path, "p");
@@ -469,16 +562,26 @@ mod tests {
     #[test]
     fn expression_precedence_and_over_or() {
         let s = parse_script("r = SELECT * FROM d WHERE a == 1 OR b == 2 AND c == 3;").unwrap();
-        let Statement::Select { query, .. } = &s.statements[0] else { panic!() };
-        let Some(Expr::Binary { op, .. }) = &query.predicate else { panic!() };
+        let Statement::Select { query, .. } = &s.statements[0] else {
+            panic!()
+        };
+        let Some(Expr::Binary { op, .. }) = &query.predicate else {
+            panic!()
+        };
         assert_eq!(*op, AstBinOp::Or);
     }
 
     #[test]
     fn arithmetic_precedence_mul_over_add() {
         let s = parse_script("r = SELECT a + b * 2 AS v FROM d;").unwrap();
-        let Statement::Select { query, .. } = &s.statements[0] else { panic!() };
-        let SelectItem::Expr { expr: Expr::Binary { op, .. }, .. } = &query.items[0] else {
+        let Statement::Select { query, .. } = &s.statements[0] else {
+            panic!()
+        };
+        let SelectItem::Expr {
+            expr: Expr::Binary { op, .. },
+            ..
+        } = &query.items[0]
+        else {
             panic!()
         };
         assert_eq!(*op, AstBinOp::Add);
@@ -487,8 +590,13 @@ mod tests {
     #[test]
     fn count_distinct_parses() {
         let s = parse_script("r = SELECT COUNT(DISTINCT u) AS n FROM d GROUP BY g;").unwrap();
-        let Statement::Select { query, .. } = &s.statements[0] else { panic!() };
-        assert!(matches!(&query.items[0], SelectItem::Agg { distinct: true, .. }));
+        let Statement::Select { query, .. } = &s.statements[0] else {
+            panic!()
+        };
+        assert!(matches!(
+            &query.items[0],
+            SelectItem::Agg { distinct: true, .. }
+        ));
     }
 
     #[test]

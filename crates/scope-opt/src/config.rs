@@ -87,7 +87,9 @@ impl RuleBits {
 
     /// Iterate over set bits in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = RuleId> + '_ {
-        (0..RULE_COUNT as u16).map(RuleId).filter(move |id| self.contains(*id))
+        (0..RULE_COUNT as u16)
+            .map(RuleId)
+            .filter(move |id| self.contains(*id))
     }
 
     #[must_use]
@@ -133,7 +135,13 @@ impl RuleBits {
     #[must_use]
     pub fn bitstring(&self, n: usize) -> String {
         (0..n.min(RULE_COUNT))
-            .map(|i| if self.contains(RuleId(i as u16)) { '1' } else { '0' })
+            .map(|i| {
+                if self.contains(RuleId(i as u16)) {
+                    '1'
+                } else {
+                    '0'
+                }
+            })
             .collect()
     }
 }
@@ -215,13 +223,19 @@ impl RuleConfig {
                     if flip.is_some() {
                         return None;
                     }
-                    flip = Some(RuleFlip { rule: id, enable: true });
+                    flip = Some(RuleFlip {
+                        rule: id,
+                        enable: true,
+                    });
                 }
                 (true, false) => {
                     if flip.is_some() {
                         return None;
                     }
-                    flip = Some(RuleFlip { rule: id, enable: false });
+                    flip = Some(RuleFlip {
+                        rule: id,
+                        enable: false,
+                    });
                 }
                 _ => {}
             }
@@ -272,16 +286,31 @@ mod tests {
     #[test]
     fn config_flip_roundtrip() {
         let base = RuleConfig::from_bits([RuleId(5)].into_iter().collect());
-        let flipped = base.with_flip(RuleFlip { rule: RuleId(9), enable: true });
+        let flipped = base.with_flip(RuleFlip {
+            rule: RuleId(9),
+            enable: true,
+        });
         assert!(flipped.enabled(RuleId(9)));
         assert_eq!(
             base.single_flip_to(&flipped),
-            Some(RuleFlip { rule: RuleId(9), enable: true })
+            Some(RuleFlip {
+                rule: RuleId(9),
+                enable: true
+            })
         );
-        assert_eq!(flipped.single_flip_to(&base), Some(RuleFlip { rule: RuleId(9), enable: false }));
+        assert_eq!(
+            flipped.single_flip_to(&base),
+            Some(RuleFlip {
+                rule: RuleId(9),
+                enable: false
+            })
+        );
         assert_eq!(base.single_flip_to(&base), None);
         // Two flips apart -> not a single flip.
-        let two = flipped.with_flip(RuleFlip { rule: RuleId(5), enable: false });
+        let two = flipped.with_flip(RuleFlip {
+            rule: RuleId(5),
+            enable: false,
+        });
         assert_eq!(base.single_flip_to(&two), None);
     }
 

@@ -91,8 +91,11 @@ impl CostModel {
                 cpu(in_rows(0) * predicate.cpu_weight().max(0.1))
             }
             PhysicalOp::ProjectExec { exprs } => {
-                let weight: f64 =
-                    exprs.iter().map(|(e, _)| e.cpu_weight()).sum::<f64>().max(0.1);
+                let weight: f64 = exprs
+                    .iter()
+                    .map(|(e, _)| e.cpu_weight())
+                    .sum::<f64>()
+                    .max(0.1);
                 cpu(in_rows(0) * weight * 0.5)
             }
             PhysicalOp::HashJoin { .. } => {
@@ -214,7 +217,10 @@ mod tests {
         let m = CostModel::default();
         let out = stats(1000.0, 100.0);
         let c = m.local_cost(
-            &PhysicalOp::TableScan { table: "t".into(), variant: scope_ir::ScanVariant::Sequential },
+            &PhysicalOp::TableScan {
+                table: "t".into(),
+                variant: scope_ir::ScanVariant::Sequential,
+            },
             &out,
             &[],
             &PhysicalTuning::IDENTITY,
@@ -235,17 +241,30 @@ mod tests {
             &scan,
             &out,
             &[],
-            &PhysicalTuning { io_mult: 0.5, ..PhysicalTuning::IDENTITY },
+            &PhysicalTuning {
+                io_mult: 0.5,
+                ..PhysicalTuning::IDENTITY
+            },
         );
         assert!((tuned - base * 0.5).abs() < 1e-6);
         // CPU-bound op scales with cpu_mult instead.
-        let filt = PhysicalOp::FilterExec { predicate: ScalarExpr::lit_int(1) };
-        let fb = m.local_cost(&filt, &out, &[stats(1000.0, 100.0)], &PhysicalTuning::IDENTITY);
+        let filt = PhysicalOp::FilterExec {
+            predicate: ScalarExpr::lit_int(1),
+        };
+        let fb = m.local_cost(
+            &filt,
+            &out,
+            &[stats(1000.0, 100.0)],
+            &PhysicalTuning::IDENTITY,
+        );
         let ft = m.local_cost(
             &filt,
             &out,
             &[stats(1000.0, 100.0)],
-            &PhysicalTuning { cpu_mult: 2.0, ..PhysicalTuning::IDENTITY },
+            &PhysicalTuning {
+                cpu_mult: 2.0,
+                ..PhysicalTuning::IDENTITY
+            },
         );
         assert!((ft - fb * 2.0).abs() < 1e-6);
     }
@@ -256,14 +275,21 @@ mod tests {
         let input = stats(10_000.0, 50.0);
         let hash = m.exchange_cost(
             &ExchangeSpec {
-                scheme: Partitioning::Hash { columns: vec![0], partitions: 16 },
+                scheme: Partitioning::Hash {
+                    columns: vec![0],
+                    partitions: 16,
+                },
                 sorted: false,
                 compressed: false,
             },
             &input,
         );
         let bcast = m.exchange_cost(
-            &ExchangeSpec { scheme: Partitioning::Broadcast, sorted: false, compressed: false },
+            &ExchangeSpec {
+                scheme: Partitioning::Broadcast,
+                sorted: false,
+                compressed: false,
+            },
             &input,
         );
         assert!(bcast > hash * 4.0);
@@ -274,7 +300,10 @@ mod tests {
         let m = CostModel::default();
         let input = stats(10_000.0, 50.0);
         let spec = |compressed| ExchangeSpec {
-            scheme: Partitioning::Hash { columns: vec![0], partitions: 16 },
+            scheme: Partitioning::Hash {
+                columns: vec![0],
+                partitions: 16,
+            },
             sorted: false,
             compressed,
         };
@@ -286,11 +315,17 @@ mod tests {
         let m = CostModel::default();
         let input = stats(10_000.0, 50.0);
         let plain = ExchangeSpec {
-            scheme: Partitioning::Range { columns: vec![0], partitions: 16 },
+            scheme: Partitioning::Range {
+                columns: vec![0],
+                partitions: 16,
+            },
             sorted: false,
             compressed: false,
         };
-        let sorted = ExchangeSpec { sorted: true, ..plain.clone() };
+        let sorted = ExchangeSpec {
+            sorted: true,
+            ..plain.clone()
+        };
         assert!(m.exchange_cost(&sorted, &input) > m.exchange_cost(&plain, &input));
     }
 
@@ -320,13 +355,21 @@ mod tests {
         let input = [stats(100_000.0, 40.0)];
         let out = stats(100.0, 20.0);
         let hash = m.local_cost(
-            &PhysicalOp::HashAggregate { group_by: vec![0], aggs: vec![], mode: scope_ir::AggMode::Single },
+            &PhysicalOp::HashAggregate {
+                group_by: vec![0],
+                aggs: vec![],
+                mode: scope_ir::AggMode::Single,
+            },
             &out,
             &input,
             &PhysicalTuning::IDENTITY,
         );
         let stream = m.local_cost(
-            &PhysicalOp::StreamAggregate { group_by: vec![0], aggs: vec![], mode: scope_ir::AggMode::Single },
+            &PhysicalOp::StreamAggregate {
+                group_by: vec![0],
+                aggs: vec![],
+                mode: scope_ir::AggMode::Single,
+            },
             &out,
             &input,
             &PhysicalTuning::IDENTITY,

@@ -87,13 +87,19 @@ mod tests {
     use crate::config::{RuleBits, RuleId};
 
     fn flip(rule: u16, enable: bool) -> RuleFlip {
-        RuleFlip { rule: RuleId(rule), enable }
+        RuleFlip {
+            rule: RuleId(rule),
+            enable,
+        }
     }
 
     #[test]
     fn lookup_and_config_application() {
         let mut set = HintSet::new();
-        set.insert(Hint { template: TemplateId(1), flip: flip(21, true) });
+        set.insert(Hint {
+            template: TemplateId(1),
+            flip: flip(21, true),
+        });
         let default = RuleConfig::from_bits(RuleBits::empty());
         let cfg = set.config_for(TemplateId(1), &default);
         assert!(cfg.enabled(RuleId(21)));
@@ -105,8 +111,14 @@ mod tests {
     #[test]
     fn insert_replaces_existing_hint() {
         let mut set = HintSet::new();
-        set.insert(Hint { template: TemplateId(1), flip: flip(21, true) });
-        set.insert(Hint { template: TemplateId(1), flip: flip(22, false) });
+        set.insert(Hint {
+            template: TemplateId(1),
+            flip: flip(21, true),
+        });
+        set.insert(Hint {
+            template: TemplateId(1),
+            flip: flip(22, false),
+        });
         assert_eq!(set.len(), 1);
         assert_eq!(set.lookup(TemplateId(1)), Some(flip(22, false)));
     }
@@ -114,8 +126,14 @@ mod tests {
     #[test]
     fn hints_are_sorted_by_template() {
         let set = HintSet::from_hints([
-            Hint { template: TemplateId(9), flip: flip(1, true) },
-            Hint { template: TemplateId(3), flip: flip(2, false) },
+            Hint {
+                template: TemplateId(9),
+                flip: flip(1, true),
+            },
+            Hint {
+                template: TemplateId(3),
+                flip: flip(2, false),
+            },
         ]);
         let hints = set.hints();
         assert_eq!(hints[0].template, TemplateId(3));
@@ -124,7 +142,10 @@ mod tests {
 
     #[test]
     fn remove_clears_hint() {
-        let mut set = HintSet::from_hints([Hint { template: TemplateId(5), flip: flip(7, true) }]);
+        let mut set = HintSet::from_hints([Hint {
+            template: TemplateId(5),
+            flip: flip(7, true),
+        }]);
         assert!(set.remove(TemplateId(5)).is_some());
         assert!(set.is_empty());
         assert!(set.remove(TemplateId(5)).is_none());

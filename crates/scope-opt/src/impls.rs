@@ -6,7 +6,6 @@
 //! natural distribution with the operator's requirement, subject to the
 //! `ShuffleElimination` policy rule.
 
-
 use crate::memo::{Dist, ExchangeSpec, GroupId, Memo, PExpr, PreLocal};
 use crate::registry::{ImplKind, ParametricSpec, RuleBehavior, RuleDef, RuleSet};
 use crate::search::SearchOptions;
@@ -55,7 +54,11 @@ pub fn implement_expr(
         RuleBehavior::Implement(ImplKind::NestedLoopJoin) => {
             // Nested loop is modelled as a single-partition join with a
             // steep CPU penalty (its quadratic work), honest on both sides.
-            let t = PhysicalTuning { cpu_mult: 6.0, io_mult: 1.0, parallelism_mult: 1.0 };
+            let t = PhysicalTuning {
+                cpu_mult: 6.0,
+                io_mult: 1.0,
+                parallelism_mult: 1.0,
+            };
             (t, t)
         }
         RuleBehavior::Implement(_) => (PhysicalTuning::IDENTITY, PhysicalTuning::IDENTITY),
@@ -71,7 +74,10 @@ pub fn implement_expr(
             if !parametric_matches(spec, &expr.op) {
                 return None;
             }
-            (spec.claimed, ctx.rules.actual_tuning(rule.id, ctx.template_seed))
+            (
+                spec.claimed,
+                ctx.rules.actual_tuning(rule.id, ctx.template_seed),
+            )
         }
         _ => return None,
     };
@@ -79,7 +85,9 @@ pub fn implement_expr(
         RuleBehavior::Implement(kind) => Some(*kind),
         _ => None,
     };
-    build_pexpr(memo, gid, eidx, kind, rule, claimed, actual, provenance, ctx)
+    build_pexpr(
+        memo, gid, eidx, kind, rule, claimed, actual, provenance, ctx,
+    )
 }
 
 /// Construct the physical expression. `kind == None` means "canonical
@@ -145,19 +153,26 @@ fn build_pexpr(
 
     match (&expr.op, kind) {
         (LogicalOp::Extract { table }, Some(ImplKind::Scan) | None) => mk(
-            PhysicalOp::TableScan { table: table.name.clone(), variant: ScanVariant::Sequential },
+            PhysicalOp::TableScan {
+                table: table.name.clone(),
+                variant: ScanVariant::Sequential,
+            },
             vec![],
             vec![],
             false,
         ),
         (LogicalOp::Filter { predicate, .. }, Some(ImplKind::Filter) | None) => mk(
-            PhysicalOp::FilterExec { predicate: predicate.clone() },
+            PhysicalOp::FilterExec {
+                predicate: predicate.clone(),
+            },
             vec![None],
             vec![None],
             false,
         ),
         (LogicalOp::Project { exprs }, Some(ImplKind::Project) | None) => mk(
-            PhysicalOp::ProjectExec { exprs: exprs.clone() },
+            PhysicalOp::ProjectExec {
+                exprs: exprs.clone(),
+            },
             vec![None],
             vec![None],
             false,
@@ -165,27 +180,32 @@ fn build_pexpr(
         (LogicalOp::Join { kind: jk, on, .. }, jkind) => {
             let lcols: Vec<usize> = on.iter().map(|&(l, _)| l).collect();
             let rcols: Vec<usize> = on.iter().map(|&(_, r)| r).collect();
-            let (lbytes, rbytes) =
-                (child_stats(0).estimated_bytes(), child_stats(1).estimated_bytes());
+            let (lbytes, rbytes) = (
+                child_stats(0).estimated_bytes(),
+                child_stats(1).estimated_bytes(),
+            );
             match jkind {
                 Some(ImplKind::HashJoin) | None => {
                     let mut elided = false;
-                    let lx = if ctx.shuffle_elimination && child_dist(0) == &Dist::Hash(lcols.clone())
-                    {
-                        elided = true;
-                        None
-                    } else {
-                        Some(hash_exchange(lcols, lbytes.max(rbytes)))
-                    };
-                    let rx = if ctx.shuffle_elimination && child_dist(1) == &Dist::Hash(rcols.clone())
-                    {
-                        elided = true;
-                        None
-                    } else {
-                        Some(hash_exchange(rcols, lbytes.max(rbytes)))
-                    };
+                    let lx =
+                        if ctx.shuffle_elimination && child_dist(0) == &Dist::Hash(lcols.clone()) {
+                            elided = true;
+                            None
+                        } else {
+                            Some(hash_exchange(lcols, lbytes.max(rbytes)))
+                        };
+                    let rx =
+                        if ctx.shuffle_elimination && child_dist(1) == &Dist::Hash(rcols.clone()) {
+                            elided = true;
+                            None
+                        } else {
+                            Some(hash_exchange(rcols, lbytes.max(rbytes)))
+                        };
                     mk(
-                        PhysicalOp::HashJoin { kind: *jk, on: on.clone() },
+                        PhysicalOp::HashJoin {
+                            kind: *jk,
+                            on: on.clone(),
+                        },
                         vec![lx, rx],
                         vec![None, None],
                         elided,
@@ -210,7 +230,10 @@ fn build_pexpr(
                         Some(range_exchange(rcols, lbytes.max(rbytes)))
                     };
                     mk(
-                        PhysicalOp::MergeJoin { kind: *jk, on: on.clone() },
+                        PhysicalOp::MergeJoin {
+                            kind: *jk,
+                            on: on.clone(),
+                        },
                         vec![lx, rx],
                         vec![None, None],
                         elided,
@@ -222,7 +245,10 @@ fn build_pexpr(
                         return None;
                     }
                     mk(
-                        PhysicalOp::BroadcastJoin { kind: *jk, on: on.clone() },
+                        PhysicalOp::BroadcastJoin {
+                            kind: *jk,
+                            on: on.clone(),
+                        },
                         vec![
                             None,
                             Some(ExchangeSpec {
@@ -249,7 +275,10 @@ fn build_pexpr(
                         })
                     };
                     mk(
-                        PhysicalOp::HashJoin { kind: *jk, on: on.clone() },
+                        PhysicalOp::HashJoin {
+                            kind: *jk,
+                            on: on.clone(),
+                        },
                         vec![gather(), gather()],
                         vec![None, None],
                         false,
@@ -338,10 +367,18 @@ fn build_pexpr(
             } else {
                 Some(range_exchange(cols, bytes))
             };
-            mk(PhysicalOp::SortExec { keys: keys.clone() }, vec![x], vec![None], elided)
+            mk(
+                PhysicalOp::SortExec { keys: keys.clone() },
+                vec![x],
+                vec![None],
+                elided,
+            )
         }
         (LogicalOp::Top { k, keys }, Some(ImplKind::TopN) | None) => mk(
-            PhysicalOp::TopNExec { k: *k, keys: keys.clone() },
+            PhysicalOp::TopNExec {
+                k: *k,
+                keys: keys.clone(),
+            },
             vec![Some(ExchangeSpec {
                 scheme: Partitioning::Gather,
                 sorted: true,
@@ -350,7 +387,13 @@ fn build_pexpr(
             vec![Some(PreLocal::LocalTopK(*k))],
             false,
         ),
-        (LogicalOp::Window { partition_by, funcs }, Some(ImplKind::Window) | None) => {
+        (
+            LogicalOp::Window {
+                partition_by,
+                funcs,
+            },
+            Some(ImplKind::Window) | None,
+        ) => {
             let bytes = child_stats(0).estimated_bytes();
             mk(
                 PhysicalOp::WindowExec {
@@ -362,15 +405,28 @@ fn build_pexpr(
                 false,
             )
         }
-        (LogicalOp::Process { udf, cpu_factor, .. }, Some(ImplKind::Process) | None) => mk(
-            PhysicalOp::ProcessExec { udf: udf.clone(), cpu_factor: *cpu_factor },
+        (
+            LogicalOp::Process {
+                udf, cpu_factor, ..
+            },
+            Some(ImplKind::Process) | None,
+        ) => mk(
+            PhysicalOp::ProcessExec {
+                udf: udf.clone(),
+                cpu_factor: *cpu_factor,
+            },
             vec![None],
             vec![None],
             false,
         ),
         (LogicalOp::Union, Some(ImplKind::UnionAll) | None) => {
             let n = children.len();
-            mk(PhysicalOp::UnionAllExec, vec![None; n], vec![None; n], false)
+            mk(
+                PhysicalOp::UnionAllExec,
+                vec![None; n],
+                vec![None; n],
+                false,
+            )
         }
         (LogicalOp::Output { path }, Some(ImplKind::Output) | None) => mk(
             PhysicalOp::OutputExec { path: path.clone() },
@@ -417,7 +473,9 @@ mod tests {
             Column::new("b", DataType::String { avg_len: row_len }),
         ]);
         memo.intern(
-            LogicalOp::Extract { table: TableRef::new(name, schema, DualStats::exact(rows)) },
+            LogicalOp::Extract {
+                table: TableRef::new(name, schema, DualStats::exact(rows)),
+            },
             vec![],
             RuleBits::empty(),
         )
@@ -454,8 +512,14 @@ mod tests {
             vec![a, b],
             RuleBits::empty(),
         );
-        let p = implement_expr(rule_named(&rules, "HashJoinImpl"), &memo, j, 0, &ctx(&rules, &opts))
-            .unwrap();
+        let p = implement_expr(
+            rule_named(&rules, "HashJoinImpl"),
+            &memo,
+            j,
+            0,
+            &ctx(&rules, &opts),
+        )
+        .unwrap();
         assert!(matches!(p.op, PhysicalOp::HashJoin { .. }));
         assert!(p.exchanges[0].is_some());
         assert!(p.exchanges[1].is_some());
@@ -496,7 +560,10 @@ mod tests {
             ok.exchanges[1].as_ref().unwrap().scheme,
             Partitioning::Broadcast
         ));
-        assert!(implement_expr(bc, &memo, j_big, 0, &c).is_none(), "big side not broadcast");
+        assert!(
+            implement_expr(bc, &memo, j_big, 0, &c).is_none(),
+            "big side not broadcast"
+        );
     }
 
     #[test]
@@ -566,7 +633,13 @@ mod tests {
         let split = rule_named(&rules, "AggSplitLocalGlobal");
         let p = implement_expr(split, &memo, ok, 0, &c).unwrap();
         assert_eq!(p.pre_local[0], Some(PreLocal::PartialAgg));
-        assert!(matches!(p.op, PhysicalOp::HashAggregate { mode: AggMode::Final, .. }));
+        assert!(matches!(
+            p.op,
+            PhysicalOp::HashAggregate {
+                mode: AggMode::Final,
+                ..
+            }
+        ));
         assert!(implement_expr(split, &memo, bad, 0, &c).is_none());
     }
 
@@ -626,7 +699,9 @@ mod tests {
             RuleBits::empty(),
         );
         let c = ctx(&rules, &opts);
-        assert!(implement_expr(rule_named(&rules, "StreamAggImpl"), &memo, global, 0, &c).is_none());
+        assert!(
+            implement_expr(rule_named(&rules, "StreamAggImpl"), &memo, global, 0, &c).is_none()
+        );
         // HashAgg on a global aggregate gathers to one partition.
         let p = implement_expr(rule_named(&rules, "HashAggImpl"), &memo, global, 0, &c).unwrap();
         assert!(matches!(

@@ -172,7 +172,12 @@ impl Memo {
     }
 
     /// Intern an expression: return its existing group or create a new one.
-    pub fn intern(&mut self, op: LogicalOp, children: Vec<GroupId>, provenance: RuleBits) -> GroupId {
+    pub fn intern(
+        &mut self,
+        op: LogicalOp,
+        children: Vec<GroupId>,
+        provenance: RuleBits,
+    ) -> GroupId {
         let key = Self::expr_key(&op, &children);
         if let Some(&gid) = self.index.get(&key) {
             return gid;
@@ -185,7 +190,11 @@ impl Memo {
             schema,
             stats,
             dist,
-            lexprs: vec![MExpr { op, children, provenance }],
+            lexprs: vec![MExpr {
+                op,
+                children,
+                provenance,
+            }],
             pexprs: Vec::new(),
             best: None,
         });
@@ -214,7 +223,11 @@ impl Memo {
         }
         self.index.insert(key, gid);
         let group = &mut self.groups[gid.index()];
-        group.lexprs.push(MExpr { op, children, provenance });
+        group.lexprs.push(MExpr {
+            op,
+            children,
+            provenance,
+        });
         self.lexpr_count += 1;
         Some(group.lexprs.len() - 1)
     }
@@ -252,8 +265,7 @@ impl Memo {
         let mut mapping: FxHashMap<NodeId, GroupId> = FxHashMap::default();
         for id in plan.topo_order() {
             let node = plan.node(id);
-            let children: Vec<GroupId> =
-                node.children.iter().map(|c| mapping[c]).collect();
+            let children: Vec<GroupId> = node.children.iter().map(|c| mapping[c]).collect();
             let gid = self.intern(node.op.clone(), children, RuleBits::empty());
             mapping.insert(id, gid);
         }
@@ -287,7 +299,10 @@ impl Memo {
                         .collect(),
                 )
             }
-            LogicalOp::Join { kind: JoinKind::LeftSemi, .. } => child(0).clone(),
+            LogicalOp::Join {
+                kind: JoinKind::LeftSemi,
+                ..
+            } => child(0).clone(),
             LogicalOp::Join { .. } => child(0).join(child(1)),
             LogicalOp::Aggregate { group_by, aggs, .. } => {
                 let input = child(0);
@@ -300,13 +315,20 @@ impl Memo {
                             .unwrap_or_else(|| Column::new(format!("g{i}"), DataType::Int))
                     })
                     .collect();
-                cols.extend(aggs.iter().map(|a| Column::new(a.alias.clone(), DataType::Float)));
+                cols.extend(
+                    aggs.iter()
+                        .map(|a| Column::new(a.alias.clone(), DataType::Float)),
+                );
                 Schema::new(cols)
             }
             LogicalOp::Window { funcs, .. } => {
                 let input = child(0);
                 let mut cols = input.columns().to_vec();
-                cols.extend(funcs.iter().map(|a| Column::new(a.alias.clone(), DataType::Float)));
+                cols.extend(
+                    funcs
+                        .iter()
+                        .map(|a| Column::new(a.alias.clone(), DataType::Float)),
+                );
                 Schema::new(cols)
             }
         }
@@ -324,9 +346,17 @@ impl Memo {
             }
             LogicalOp::Project { .. } => {
                 let c = child(0);
-                NodeStats { rows: c.rows, avg_row_len: row_len, distinct: c.distinct }
+                NodeStats {
+                    rows: c.rows,
+                    avg_row_len: row_len,
+                    distinct: c.distinct,
+                }
             }
-            LogicalOp::Join { kind: JoinKind::LeftSemi, on: _, selectivity } => {
+            LogicalOp::Join {
+                kind: JoinKind::LeftSemi,
+                on: _,
+                selectivity,
+            } => {
                 let (l, r) = (child(0), child(1));
                 // P(a left row has a match) = min(1, sel * |R|).
                 let match_p = |sel: f64, r_rows: f64| (sel * r_rows).clamp(0.0, 1.0);
@@ -361,12 +391,18 @@ impl Memo {
             LogicalOp::Aggregate { group_ratio, .. } => {
                 let c = child(0);
                 let rows = DualStats::new(
-                    (c.rows.actual * group_ratio.actual).max(1.0).min(c.rows.actual.max(1.0)),
+                    (c.rows.actual * group_ratio.actual)
+                        .max(1.0)
+                        .min(c.rows.actual.max(1.0)),
                     (c.rows.estimated * group_ratio.estimated)
                         .max(1.0)
                         .min(c.rows.estimated.max(1.0)),
                 );
-                NodeStats { rows, avg_row_len: row_len, distinct: rows }
+                NodeStats {
+                    rows,
+                    avg_row_len: row_len,
+                    distinct: rows,
+                }
             }
             LogicalOp::Union => {
                 let mut rows = DualStats::exact(0.0);
@@ -399,7 +435,11 @@ impl Memo {
             }
             LogicalOp::Window { .. } => {
                 let c = child(0);
-                NodeStats { rows: c.rows, avg_row_len: row_len, distinct: c.distinct }
+                NodeStats {
+                    rows: c.rows,
+                    avg_row_len: row_len,
+                    distinct: c.distinct,
+                }
             }
             LogicalOp::Process { out_ratio, .. } => {
                 let c = child(0);
@@ -444,7 +484,11 @@ impl Memo {
                     _ => Dist::Random,
                 }
             }
-            LogicalOp::Join { kind: JoinKind::LeftSemi, on, .. } => {
+            LogicalOp::Join {
+                kind: JoinKind::LeftSemi,
+                on,
+                ..
+            } => {
                 // Semi-join output keeps left schema, partitioned on keys.
                 Dist::Hash(on.iter().map(|(l, _)| *l).collect())
             }

@@ -188,44 +188,181 @@ impl RuleSet {
     #[must_use]
     pub fn standard() -> Self {
         let mut rules: Vec<RuleDef> = Vec::with_capacity(RULE_COUNT);
-        let mut push = |name: &str, category: RuleCategory, behavior: RuleBehavior, promise: f64| {
-            let id = RuleId(rules.len() as u16);
-            rules.push(RuleDef { id, name: name.to_string(), category, behavior, promise });
-        };
+        let mut push =
+            |name: &str, category: RuleCategory, behavior: RuleBehavior, promise: f64| {
+                let id = RuleId(rules.len() as u16);
+                rules.push(RuleDef {
+                    id,
+                    name: name.to_string(),
+                    category,
+                    behavior,
+                    promise,
+                });
+            };
 
         // -- required (0..=7) --
-        push("ScriptStitch", RuleCategory::Required, RuleBehavior::Normalization, 100.0);
-        push("StatsAnnotate", RuleCategory::Required, RuleBehavior::Normalization, 100.0);
-        push("FallbackExec", RuleCategory::Required, RuleBehavior::FallbackImpl, 0.1);
-        push("ExchangePlacement", RuleCategory::Required, RuleBehavior::Normalization, 100.0);
-        push("DegreeOfParallelism", RuleCategory::Required, RuleBehavior::Normalization, 100.0);
-        push("PredicateNormalize", RuleCategory::Required, RuleBehavior::Normalization, 100.0);
-        push("MemoDedup", RuleCategory::Required, RuleBehavior::Normalization, 100.0);
-        push("PlanSerialize", RuleCategory::Required, RuleBehavior::Normalization, 100.0);
+        push(
+            "ScriptStitch",
+            RuleCategory::Required,
+            RuleBehavior::Normalization,
+            100.0,
+        );
+        push(
+            "StatsAnnotate",
+            RuleCategory::Required,
+            RuleBehavior::Normalization,
+            100.0,
+        );
+        push(
+            "FallbackExec",
+            RuleCategory::Required,
+            RuleBehavior::FallbackImpl,
+            0.1,
+        );
+        push(
+            "ExchangePlacement",
+            RuleCategory::Required,
+            RuleBehavior::Normalization,
+            100.0,
+        );
+        push(
+            "DegreeOfParallelism",
+            RuleCategory::Required,
+            RuleBehavior::Normalization,
+            100.0,
+        );
+        push(
+            "PredicateNormalize",
+            RuleCategory::Required,
+            RuleBehavior::Normalization,
+            100.0,
+        );
+        push(
+            "MemoDedup",
+            RuleCategory::Required,
+            RuleBehavior::Normalization,
+            100.0,
+        );
+        push(
+            "PlanSerialize",
+            RuleCategory::Required,
+            RuleBehavior::Normalization,
+            100.0,
+        );
 
         // -- on-by-default transforms (8..=20) --
         use RuleBehavior::Transform as T;
         use TransformKind::*;
-        push("FilterPushProject", RuleCategory::OnByDefault, T(FilterPushProject), 9.0);
-        push("FilterPushJoinLeft", RuleCategory::OnByDefault, T(FilterPushJoinLeft), 9.5);
-        push("FilterPushJoinRight", RuleCategory::OnByDefault, T(FilterPushJoinRight), 9.4);
-        push("FilterPushUnion", RuleCategory::OnByDefault, T(FilterPushUnion), 8.0);
-        push("FilterMerge", RuleCategory::OnByDefault, T(FilterMerge), 9.8);
-        push("FilterPushAggregate", RuleCategory::OnByDefault, T(FilterPushAggregate), 8.5);
-        push("FilterPushSort", RuleCategory::OnByDefault, T(FilterPushSort), 8.4);
-        push("JoinAssocLeft", RuleCategory::OnByDefault, T(JoinAssocLeft), 7.0);
-        push("ProjectMerge", RuleCategory::OnByDefault, T(ProjectMerge), 6.0);
-        push("SortRemoveRedundant", RuleCategory::OnByDefault, T(SortRemoveRedundant), 6.5);
-        push("TopSortFuse", RuleCategory::OnByDefault, T(TopSortFuse), 6.4);
-        push("UnionFlatten", RuleCategory::OnByDefault, T(UnionFlatten), 5.0);
-        push("ProjectPushJoin", RuleCategory::OnByDefault, T(ProjectPushJoin), 7.5);
+        push(
+            "FilterPushProject",
+            RuleCategory::OnByDefault,
+            T(FilterPushProject),
+            9.0,
+        );
+        push(
+            "FilterPushJoinLeft",
+            RuleCategory::OnByDefault,
+            T(FilterPushJoinLeft),
+            9.5,
+        );
+        push(
+            "FilterPushJoinRight",
+            RuleCategory::OnByDefault,
+            T(FilterPushJoinRight),
+            9.4,
+        );
+        push(
+            "FilterPushUnion",
+            RuleCategory::OnByDefault,
+            T(FilterPushUnion),
+            8.0,
+        );
+        push(
+            "FilterMerge",
+            RuleCategory::OnByDefault,
+            T(FilterMerge),
+            9.8,
+        );
+        push(
+            "FilterPushAggregate",
+            RuleCategory::OnByDefault,
+            T(FilterPushAggregate),
+            8.5,
+        );
+        push(
+            "FilterPushSort",
+            RuleCategory::OnByDefault,
+            T(FilterPushSort),
+            8.4,
+        );
+        push(
+            "JoinAssocLeft",
+            RuleCategory::OnByDefault,
+            T(JoinAssocLeft),
+            7.0,
+        );
+        push(
+            "ProjectMerge",
+            RuleCategory::OnByDefault,
+            T(ProjectMerge),
+            6.0,
+        );
+        push(
+            "SortRemoveRedundant",
+            RuleCategory::OnByDefault,
+            T(SortRemoveRedundant),
+            6.5,
+        );
+        push(
+            "TopSortFuse",
+            RuleCategory::OnByDefault,
+            T(TopSortFuse),
+            6.4,
+        );
+        push(
+            "UnionFlatten",
+            RuleCategory::OnByDefault,
+            T(UnionFlatten),
+            5.0,
+        );
+        push(
+            "ProjectPushJoin",
+            RuleCategory::OnByDefault,
+            T(ProjectPushJoin),
+            7.5,
+        );
 
         // -- off-by-default transforms (21..=25) --
-        push("SemiJoinReduction", RuleCategory::OffByDefault, T(SemiJoinReduction), 7.2);
-        push("JoinAssocRight", RuleCategory::OffByDefault, T(JoinAssocRight), 6.8);
-        push("FilterPushProcess", RuleCategory::OffByDefault, T(FilterPushProcess), 8.2);
-        push("TopPushUnion", RuleCategory::OffByDefault, T(TopPushUnion), 6.2);
-        push("ProjectThroughUnion", RuleCategory::OffByDefault, T(ProjectThroughUnion), 5.5);
+        push(
+            "SemiJoinReduction",
+            RuleCategory::OffByDefault,
+            T(SemiJoinReduction),
+            7.2,
+        );
+        push(
+            "JoinAssocRight",
+            RuleCategory::OffByDefault,
+            T(JoinAssocRight),
+            6.8,
+        );
+        push(
+            "FilterPushProcess",
+            RuleCategory::OffByDefault,
+            T(FilterPushProcess),
+            8.2,
+        );
+        push(
+            "TopPushUnion",
+            RuleCategory::OffByDefault,
+            T(TopPushUnion),
+            6.2,
+        );
+        push(
+            "ProjectThroughUnion",
+            RuleCategory::OffByDefault,
+            T(ProjectThroughUnion),
+            5.5,
+        );
 
         // -- implementation rules (26..=41) --
         use ImplKind::*;
@@ -233,18 +370,53 @@ impl RuleSet {
         push("ScanImpl", RuleCategory::Implementation, I(Scan), 5.0);
         push("FilterImpl", RuleCategory::Implementation, I(Filter), 5.0);
         push("ProjectImpl", RuleCategory::Implementation, I(Project), 5.0);
-        push("HashJoinImpl", RuleCategory::Implementation, I(HashJoin), 5.0);
-        push("MergeJoinImpl", RuleCategory::Implementation, I(MergeJoin), 4.5);
-        push("BroadcastJoinImpl", RuleCategory::Implementation, I(BroadcastJoin), 4.8);
-        push("NestedLoopJoinImpl", RuleCategory::OffByDefault, I(NestedLoopJoin), 1.0);
+        push(
+            "HashJoinImpl",
+            RuleCategory::Implementation,
+            I(HashJoin),
+            5.0,
+        );
+        push(
+            "MergeJoinImpl",
+            RuleCategory::Implementation,
+            I(MergeJoin),
+            4.5,
+        );
+        push(
+            "BroadcastJoinImpl",
+            RuleCategory::Implementation,
+            I(BroadcastJoin),
+            4.8,
+        );
+        push(
+            "NestedLoopJoinImpl",
+            RuleCategory::OffByDefault,
+            I(NestedLoopJoin),
+            1.0,
+        );
         push("HashAggImpl", RuleCategory::Implementation, I(HashAgg), 5.0);
-        push("StreamAggImpl", RuleCategory::Implementation, I(StreamAgg), 4.5);
-        push("AggSplitLocalGlobal", RuleCategory::Implementation, I(AggSplitLocalGlobal), 4.7);
+        push(
+            "StreamAggImpl",
+            RuleCategory::Implementation,
+            I(StreamAgg),
+            4.5,
+        );
+        push(
+            "AggSplitLocalGlobal",
+            RuleCategory::Implementation,
+            I(AggSplitLocalGlobal),
+            4.7,
+        );
         push("SortImpl", RuleCategory::Implementation, I(Sort), 5.0);
         push("TopNImpl", RuleCategory::Implementation, I(TopN), 5.0);
         push("WindowImpl", RuleCategory::Implementation, I(Window), 5.0);
         push("ProcessImpl", RuleCategory::Implementation, I(Process), 5.0);
-        push("UnionAllImpl", RuleCategory::Implementation, I(UnionAll), 5.0);
+        push(
+            "UnionAllImpl",
+            RuleCategory::Implementation,
+            I(UnionAll),
+            5.0,
+        );
         push("OutputImpl", RuleCategory::Implementation, I(Output), 5.0);
 
         // -- policies (42..=43) --
@@ -263,8 +435,17 @@ impl RuleSet {
 
         // -- parametric physical-variant rules (44..=255) --
         const TARGETS: [&str; 11] = [
-            "Join", "Aggregate", "Extract", "Filter", "Project", "Sort", "Top", "Window",
-            "Process", "Union", "Output",
+            "Join",
+            "Aggregate",
+            "Extract",
+            "Filter",
+            "Project",
+            "Sort",
+            "Top",
+            "Window",
+            "Process",
+            "Union",
+            "Output",
         ];
         const VARIANTS: [&str; 14] = [
             "Vectorized",
@@ -316,8 +497,11 @@ impl RuleSet {
                 claimed.parallelism_mult = if unit(3) < 0.5 { 0.5 } else { 2.0 };
                 claimed.cpu_mult = spread(unit(4), 0.92, 1.08);
             }
-            let category =
-                if off { RuleCategory::OffByDefault } else { RuleCategory::OnByDefault };
+            let category = if off {
+                RuleCategory::OffByDefault
+            } else {
+                RuleCategory::OnByDefault
+            };
             // Only experimental (off-by-default) rules are unstable.
             let instability = if off { 0.08 + 0.35 * unit(6) } else { 0.0 };
             let promise = 2.0 + 2.0 * unit(7);
@@ -336,9 +520,15 @@ impl RuleSet {
         }
 
         debug_assert_eq!(rules.len(), RULE_COUNT);
-        let default_bits: RuleBits =
-            rules.iter().filter(|r| r.category.default_on()).map(|r| r.id).collect();
-        Self { rules, default_config: RuleConfig::from_bits(default_bits) }
+        let default_bits: RuleBits = rules
+            .iter()
+            .filter(|r| r.category.default_on())
+            .map(|r| r.id)
+            .collect();
+        Self {
+            rules,
+            default_config: RuleConfig::from_bits(default_bits),
+        }
     }
 
     #[must_use]
@@ -491,8 +681,10 @@ impl RuleSet {
     /// realized ratio depends on how compressible the template's data is).
     #[must_use]
     pub fn compression_actual_io(&self, template_seed: u64) -> f64 {
-        let u = (mix64(template_seed, u64::from(RULE_INTERMEDIATE_COMPRESSION.0) | 0xC0DE_0000)
-            >> 11) as f64
+        let u = (mix64(
+            template_seed,
+            u64::from(RULE_INTERMEDIATE_COMPRESSION.0) | 0xC0DE_0000,
+        ) >> 11) as f64
             / (1u64 << 53) as f64;
         // Realized compression between 0.65 (very compressible) and 1.05
         // (incompressible, pure overhead).
@@ -506,7 +698,9 @@ fn impl_targets(kind: ImplKind) -> &'static str {
         ImplKind::Scan => "Extract",
         ImplKind::Filter => "Filter",
         ImplKind::Project => "Project",
-        ImplKind::HashJoin | ImplKind::MergeJoin | ImplKind::BroadcastJoin
+        ImplKind::HashJoin
+        | ImplKind::MergeJoin
+        | ImplKind::BroadcastJoin
         | ImplKind::NestedLoopJoin => "Join",
         ImplKind::HashAgg | ImplKind::StreamAgg | ImplKind::AggSplitLocalGlobal => "Aggregate",
         ImplKind::Sort => "Sort",
@@ -564,7 +758,11 @@ mod tests {
     #[test]
     fn impls_for_join_include_all_flavors() {
         let rs = RuleSet::standard();
-        let names: Vec<&str> = rs.impls_for("Join").iter().map(|r| r.name.as_str()).collect();
+        let names: Vec<&str> = rs
+            .impls_for("Join")
+            .iter()
+            .map(|r| r.name.as_str())
+            .collect();
         assert!(names.contains(&"HashJoinImpl"));
         assert!(names.contains(&"MergeJoinImpl"));
         assert!(names.contains(&"BroadcastJoinImpl"));
@@ -605,7 +803,9 @@ mod tests {
     fn actual_tuning_differs_from_claimed_but_is_deterministic() {
         let rs = RuleSet::standard();
         let id = RuleId(FIRST_PARAMETRIC);
-        let RuleBehavior::Parametric(spec) = &rs.rule(id).behavior else { panic!() };
+        let RuleBehavior::Parametric(spec) = &rs.rule(id).behavior else {
+            panic!()
+        };
         let a1 = rs.actual_tuning(id, 7);
         let a2 = rs.actual_tuning(id, 7);
         assert_eq!(a1, a2);

@@ -40,7 +40,9 @@ pub fn apply_transform(kind: TransformKind, memo: &Memo, gid: GroupId, eidx: usi
     .unwrap_or_default()
     .into_iter()
     .filter(|n| matches!(n, Node::Op(..)))
-    .inspect(|_| debug_assert!(!expr.children.is_empty() || matches!(expr.op, LogicalOp::Extract { .. })))
+    .inspect(|_| {
+        debug_assert!(!expr.children.is_empty() || matches!(expr.op, LogicalOp::Extract { .. }))
+    })
     .collect()
 }
 
@@ -56,11 +58,19 @@ fn width(memo: &Memo, g: GroupId) -> usize {
 
 fn filter_push_project(memo: &Memo, gid: GroupId, eidx: usize) -> Option<Vec<Node>> {
     let (op, children) = expr_parts(memo, gid, eidx);
-    let LogicalOp::Filter { predicate, selectivity } = op else { return None };
+    let LogicalOp::Filter {
+        predicate,
+        selectivity,
+    } = op
+    else {
+        return None;
+    };
     let child = children[0];
     let mut out = Vec::new();
     for ce in &memo.group(child).lexprs {
-        let LogicalOp::Project { exprs } = &ce.op else { continue };
+        let LogicalOp::Project { exprs } = &ce.op else {
+            continue;
+        };
         // The predicate can move below the projection iff every referenced
         // output column is a pure column reference.
         let mut cols = Vec::new();
@@ -74,12 +84,20 @@ fn filter_push_project(memo: &Memo, gid: GroupId, eidx: usize) -> Option<Vec<Nod
             .collect();
         let Some(mapping) = mapping else { continue };
         let remapped = predicate.remap_columns(&|i| {
-            mapping.iter().find(|(from, _)| *from == i).map_or(i, |(_, to)| *to)
+            mapping
+                .iter()
+                .find(|(from, _)| *from == i)
+                .map_or(i, |(_, to)| *to)
         });
         out.push(Node::Op(
-            LogicalOp::Project { exprs: exprs.clone() },
+            LogicalOp::Project {
+                exprs: exprs.clone(),
+            },
             vec![Node::Op(
-                LogicalOp::Filter { predicate: remapped, selectivity },
+                LogicalOp::Filter {
+                    predicate: remapped,
+                    selectivity,
+                },
                 vec![Node::Group(ce.children[0])],
             )],
         ));
@@ -89,11 +107,24 @@ fn filter_push_project(memo: &Memo, gid: GroupId, eidx: usize) -> Option<Vec<Nod
 
 fn filter_push_join(memo: &Memo, gid: GroupId, eidx: usize, left: bool) -> Option<Vec<Node>> {
     let (op, children) = expr_parts(memo, gid, eidx);
-    let LogicalOp::Filter { predicate, selectivity } = op else { return None };
+    let LogicalOp::Filter {
+        predicate,
+        selectivity,
+    } = op
+    else {
+        return None;
+    };
     let child = children[0];
     let mut out = Vec::new();
     for ce in &memo.group(child).lexprs {
-        let LogicalOp::Join { kind, on, selectivity: jsel } = &ce.op else { continue };
+        let LogicalOp::Join {
+            kind,
+            on,
+            selectivity: jsel,
+        } = &ce.op
+        else {
+            continue;
+        };
         let lw = width(memo, ce.children[0]);
         let mut cols = Vec::new();
         predicate.collect_columns(&mut cols);
@@ -103,10 +134,17 @@ fn filter_push_join(memo: &Memo, gid: GroupId, eidx: usize, left: bool) -> Optio
                 continue;
             }
             out.push(Node::Op(
-                LogicalOp::Join { kind: *kind, on: on.clone(), selectivity: *jsel },
+                LogicalOp::Join {
+                    kind: *kind,
+                    on: on.clone(),
+                    selectivity: *jsel,
+                },
                 vec![
                     Node::Op(
-                        LogicalOp::Filter { predicate: predicate.clone(), selectivity },
+                        LogicalOp::Filter {
+                            predicate: predicate.clone(),
+                            selectivity,
+                        },
                         vec![Node::Group(ce.children[0])],
                     ),
                     Node::Group(ce.children[1]),
@@ -119,11 +157,18 @@ fn filter_push_join(memo: &Memo, gid: GroupId, eidx: usize, left: bool) -> Optio
             }
             let remapped = predicate.remap_columns(&|i| i - lw);
             out.push(Node::Op(
-                LogicalOp::Join { kind: *kind, on: on.clone(), selectivity: *jsel },
+                LogicalOp::Join {
+                    kind: *kind,
+                    on: on.clone(),
+                    selectivity: *jsel,
+                },
                 vec![
                     Node::Group(ce.children[0]),
                     Node::Op(
-                        LogicalOp::Filter { predicate: remapped, selectivity },
+                        LogicalOp::Filter {
+                            predicate: remapped,
+                            selectivity,
+                        },
                         vec![Node::Group(ce.children[1])],
                     ),
                 ],
@@ -135,7 +180,13 @@ fn filter_push_join(memo: &Memo, gid: GroupId, eidx: usize, left: bool) -> Optio
 
 fn filter_push_union(memo: &Memo, gid: GroupId, eidx: usize) -> Option<Vec<Node>> {
     let (op, children) = expr_parts(memo, gid, eidx);
-    let LogicalOp::Filter { predicate, selectivity } = op else { return None };
+    let LogicalOp::Filter {
+        predicate,
+        selectivity,
+    } = op
+    else {
+        return None;
+    };
     let child = children[0];
     let mut out = Vec::new();
     for ce in &memo.group(child).lexprs {
@@ -147,7 +198,10 @@ fn filter_push_union(memo: &Memo, gid: GroupId, eidx: usize) -> Option<Vec<Node>
             .iter()
             .map(|&c| {
                 Node::Op(
-                    LogicalOp::Filter { predicate: predicate.clone(), selectivity },
+                    LogicalOp::Filter {
+                        predicate: predicate.clone(),
+                        selectivity,
+                    },
                     vec![Node::Group(c)],
                 )
             })
@@ -159,11 +213,23 @@ fn filter_push_union(memo: &Memo, gid: GroupId, eidx: usize) -> Option<Vec<Node>
 
 fn filter_merge(memo: &Memo, gid: GroupId, eidx: usize) -> Option<Vec<Node>> {
     let (op, children) = expr_parts(memo, gid, eidx);
-    let LogicalOp::Filter { predicate, selectivity } = op else { return None };
+    let LogicalOp::Filter {
+        predicate,
+        selectivity,
+    } = op
+    else {
+        return None;
+    };
     let child = children[0];
     let mut out = Vec::new();
     for ce in &memo.group(child).lexprs {
-        let LogicalOp::Filter { predicate: inner, selectivity: s2 } = &ce.op else { continue };
+        let LogicalOp::Filter {
+            predicate: inner,
+            selectivity: s2,
+        } = &ce.op
+        else {
+            continue;
+        };
         let merged = ScalarExpr::binary(BinOp::And, predicate.clone(), inner.clone());
         out.push(Node::Op(
             LogicalOp::Filter {
@@ -181,11 +247,24 @@ fn filter_merge(memo: &Memo, gid: GroupId, eidx: usize) -> Option<Vec<Node>> {
 
 fn filter_push_aggregate(memo: &Memo, gid: GroupId, eidx: usize) -> Option<Vec<Node>> {
     let (op, children) = expr_parts(memo, gid, eidx);
-    let LogicalOp::Filter { predicate, selectivity } = op else { return None };
+    let LogicalOp::Filter {
+        predicate,
+        selectivity,
+    } = op
+    else {
+        return None;
+    };
     let child = children[0];
     let mut out = Vec::new();
     for ce in &memo.group(child).lexprs {
-        let LogicalOp::Aggregate { group_by, aggs, group_ratio } = &ce.op else { continue };
+        let LogicalOp::Aggregate {
+            group_by,
+            aggs,
+            group_ratio,
+        } = &ce.op
+        else {
+            continue;
+        };
         let mut cols = Vec::new();
         predicate.collect_columns(&mut cols);
         // Only predicates over grouping keys (output positions < |group_by|)
@@ -201,7 +280,10 @@ fn filter_push_aggregate(memo: &Memo, gid: GroupId, eidx: usize) -> Option<Vec<N
                 group_ratio: *group_ratio,
             },
             vec![Node::Op(
-                LogicalOp::Filter { predicate: remapped, selectivity },
+                LogicalOp::Filter {
+                    predicate: remapped,
+                    selectivity,
+                },
                 vec![Node::Group(ce.children[0])],
             )],
         ));
@@ -211,15 +293,26 @@ fn filter_push_aggregate(memo: &Memo, gid: GroupId, eidx: usize) -> Option<Vec<N
 
 fn filter_push_sort(memo: &Memo, gid: GroupId, eidx: usize) -> Option<Vec<Node>> {
     let (op, children) = expr_parts(memo, gid, eidx);
-    let LogicalOp::Filter { predicate, selectivity } = op else { return None };
+    let LogicalOp::Filter {
+        predicate,
+        selectivity,
+    } = op
+    else {
+        return None;
+    };
     let child = children[0];
     let mut out = Vec::new();
     for ce in &memo.group(child).lexprs {
-        let LogicalOp::Sort { keys } = &ce.op else { continue };
+        let LogicalOp::Sort { keys } = &ce.op else {
+            continue;
+        };
         out.push(Node::Op(
             LogicalOp::Sort { keys: keys.clone() },
             vec![Node::Op(
-                LogicalOp::Filter { predicate: predicate.clone(), selectivity },
+                LogicalOp::Filter {
+                    predicate: predicate.clone(),
+                    selectivity,
+                },
                 vec![Node::Group(ce.children[0])],
             )],
         ));
@@ -229,13 +322,23 @@ fn filter_push_sort(memo: &Memo, gid: GroupId, eidx: usize) -> Option<Vec<Node>>
 
 fn join_assoc_left(memo: &Memo, gid: GroupId, eidx: usize) -> Option<Vec<Node>> {
     let (op, children) = expr_parts(memo, gid, eidx);
-    let LogicalOp::Join { kind: JoinKind::Inner, on: on2, selectivity: s2 } = op else {
+    let LogicalOp::Join {
+        kind: JoinKind::Inner,
+        on: on2,
+        selectivity: s2,
+    } = op
+    else {
         return None;
     };
     let (lg, cg) = (children[0], children[1]);
     let mut out = Vec::new();
     for ce in &memo.group(lg).lexprs {
-        let LogicalOp::Join { kind: JoinKind::Inner, on: on1, selectivity: s1 } = &ce.op else {
+        let LogicalOp::Join {
+            kind: JoinKind::Inner,
+            on: on1,
+            selectivity: s1,
+        } = &ce.op
+        else {
             continue;
         };
         let (ag, bg) = (ce.children[0], ce.children[1]);
@@ -258,11 +361,19 @@ fn join_assoc_left(memo: &Memo, gid: GroupId, eidx: usize) -> Option<Vec<Node>> 
         let mut outer_on = on1.clone();
         outer_on.extend(outer_extra);
         let inner = Node::Op(
-            LogicalOp::Join { kind: JoinKind::Inner, on: inner_on, selectivity: s2 },
+            LogicalOp::Join {
+                kind: JoinKind::Inner,
+                on: inner_on,
+                selectivity: s2,
+            },
             vec![Node::Group(bg), Node::Group(cg)],
         );
         out.push(Node::Op(
-            LogicalOp::Join { kind: JoinKind::Inner, on: outer_on, selectivity: *s1 },
+            LogicalOp::Join {
+                kind: JoinKind::Inner,
+                on: outer_on,
+                selectivity: *s1,
+            },
             vec![Node::Group(ag), inner],
         ));
     }
@@ -271,14 +382,24 @@ fn join_assoc_left(memo: &Memo, gid: GroupId, eidx: usize) -> Option<Vec<Node>> 
 
 fn join_assoc_right(memo: &Memo, gid: GroupId, eidx: usize) -> Option<Vec<Node>> {
     let (op, children) = expr_parts(memo, gid, eidx);
-    let LogicalOp::Join { kind: JoinKind::Inner, on: on2, selectivity: s2 } = op else {
+    let LogicalOp::Join {
+        kind: JoinKind::Inner,
+        on: on2,
+        selectivity: s2,
+    } = op
+    else {
         return None;
     };
     let (ag, rg) = (children[0], children[1]);
     let aw = width(memo, ag);
     let mut out = Vec::new();
     for ce in &memo.group(rg).lexprs {
-        let LogicalOp::Join { kind: JoinKind::Inner, on: on1, selectivity: s1 } = &ce.op else {
+        let LogicalOp::Join {
+            kind: JoinKind::Inner,
+            on: on1,
+            selectivity: s1,
+        } = &ce.op
+        else {
             continue;
         };
         let (bg, cg) = (ce.children[0], ce.children[1]);
@@ -295,15 +416,22 @@ fn join_assoc_right(memo: &Memo, gid: GroupId, eidx: usize) -> Option<Vec<Node>>
         if inner_on.is_empty() {
             continue;
         }
-        let mut outer_on: Vec<(usize, usize)> =
-            on1.iter().map(|&(l, r)| (aw + l, r)).collect();
+        let mut outer_on: Vec<(usize, usize)> = on1.iter().map(|&(l, r)| (aw + l, r)).collect();
         outer_on.extend(outer_extra);
         let inner = Node::Op(
-            LogicalOp::Join { kind: JoinKind::Inner, on: inner_on, selectivity: s2 },
+            LogicalOp::Join {
+                kind: JoinKind::Inner,
+                on: inner_on,
+                selectivity: s2,
+            },
             vec![Node::Group(ag), Node::Group(bg)],
         );
         out.push(Node::Op(
-            LogicalOp::Join { kind: JoinKind::Inner, on: outer_on, selectivity: *s1 },
+            LogicalOp::Join {
+                kind: JoinKind::Inner,
+                on: outer_on,
+                selectivity: *s1,
+            },
             vec![inner, Node::Group(cg)],
         ));
     }
@@ -313,16 +441,20 @@ fn join_assoc_right(memo: &Memo, gid: GroupId, eidx: usize) -> Option<Vec<Node>>
 /// Substitute inner projection expressions into an outer expression.
 fn substitute(expr: &ScalarExpr, inner: &[(ScalarExpr, String)]) -> ScalarExpr {
     match expr {
-        ScalarExpr::Column(i) => {
-            inner.get(*i).map_or_else(|| expr.clone(), |(e, _)| e.clone())
-        }
+        ScalarExpr::Column(i) => inner
+            .get(*i)
+            .map_or_else(|| expr.clone(), |(e, _)| e.clone()),
         ScalarExpr::Literal(_) => expr.clone(),
         ScalarExpr::Binary { op, left, right } => ScalarExpr::Binary {
             op: *op,
             left: Box::new(substitute(left, inner)),
             right: Box::new(substitute(right, inner)),
         },
-        ScalarExpr::Udf { name, args, cpu_factor } => ScalarExpr::Udf {
+        ScalarExpr::Udf {
+            name,
+            args,
+            cpu_factor,
+        } => ScalarExpr::Udf {
             name: name.clone(),
             args: args.iter().map(|a| substitute(a, inner)).collect(),
             cpu_factor: *cpu_factor,
@@ -332,11 +464,15 @@ fn substitute(expr: &ScalarExpr, inner: &[(ScalarExpr, String)]) -> ScalarExpr {
 
 fn project_merge(memo: &Memo, gid: GroupId, eidx: usize) -> Option<Vec<Node>> {
     let (op, children) = expr_parts(memo, gid, eidx);
-    let LogicalOp::Project { exprs } = op else { return None };
+    let LogicalOp::Project { exprs } = op else {
+        return None;
+    };
     let child = children[0];
     let mut out = Vec::new();
     for ce in &memo.group(child).lexprs {
-        let LogicalOp::Project { exprs: inner } = &ce.op else { continue };
+        let LogicalOp::Project { exprs: inner } = &ce.op else {
+            continue;
+        };
         let merged: Vec<(ScalarExpr, String)> = exprs
             .iter()
             .map(|(e, alias)| (substitute(e, inner), alias.clone()))
@@ -351,7 +487,9 @@ fn project_merge(memo: &Memo, gid: GroupId, eidx: usize) -> Option<Vec<Node>> {
 
 fn sort_remove_redundant(memo: &Memo, gid: GroupId, eidx: usize) -> Option<Vec<Node>> {
     let (op, children) = expr_parts(memo, gid, eidx);
-    let LogicalOp::Sort { keys } = op else { return None };
+    let LogicalOp::Sort { keys } = op else {
+        return None;
+    };
     let child = children[0];
     let mut out = Vec::new();
     for ce in &memo.group(child).lexprs {
@@ -368,7 +506,9 @@ fn sort_remove_redundant(memo: &Memo, gid: GroupId, eidx: usize) -> Option<Vec<N
 
 fn top_sort_fuse(memo: &Memo, gid: GroupId, eidx: usize) -> Option<Vec<Node>> {
     let (op, children) = expr_parts(memo, gid, eidx);
-    let LogicalOp::Top { k, keys } = op else { return None };
+    let LogicalOp::Top { k, keys } = op else {
+        return None;
+    };
     let child = children[0];
     let mut out = Vec::new();
     for ce in &memo.group(child).lexprs {
@@ -376,7 +516,10 @@ fn top_sort_fuse(memo: &Memo, gid: GroupId, eidx: usize) -> Option<Vec<Node>> {
             continue;
         }
         out.push(Node::Op(
-            LogicalOp::Top { k, keys: keys.clone() },
+            LogicalOp::Top {
+                k,
+                keys: keys.clone(),
+            },
             vec![Node::Group(ce.children[0])],
         ));
     }
@@ -411,7 +554,9 @@ fn union_flatten(memo: &Memo, gid: GroupId, eidx: usize) -> Option<Vec<Node>> {
 
 fn project_push_join(memo: &Memo, gid: GroupId, eidx: usize) -> Option<Vec<Node>> {
     let (op, children) = expr_parts(memo, gid, eidx);
-    let LogicalOp::Project { exprs } = op else { return None };
+    let LogicalOp::Project { exprs } = op else {
+        return None;
+    };
     let child = children[0];
     // All projection expressions must be pure columns for positional
     // pruning.
@@ -425,7 +570,14 @@ fn project_push_join(memo: &Memo, gid: GroupId, eidx: usize) -> Option<Vec<Node>
     let used = used?;
     let mut out = Vec::new();
     for ce in &memo.group(child).lexprs {
-        let LogicalOp::Join { kind: JoinKind::Inner, on, selectivity } = &ce.op else { continue };
+        let LogicalOp::Join {
+            kind: JoinKind::Inner,
+            on,
+            selectivity,
+        } = &ce.op
+        else {
+            continue;
+        };
         let (lg, rg) = (ce.children[0], ce.children[1]);
         let (lw, rw) = (width(memo, lg), width(memo, rg));
         // Needed = projected columns plus join keys.
@@ -500,7 +652,10 @@ fn project_push_join(memo: &Memo, gid: GroupId, eidx: usize) -> Option<Vec<Node>
                     on: new_on,
                     selectivity: *selectivity,
                 },
-                vec![side_project(&left_keep, lschema, lg), side_project(&right_keep, rschema, rg)],
+                vec![
+                    side_project(&left_keep, lschema, lg),
+                    side_project(&right_keep, rschema, rg),
+                ],
             )],
         ));
     }
@@ -509,14 +664,25 @@ fn project_push_join(memo: &Memo, gid: GroupId, eidx: usize) -> Option<Vec<Node>
 
 fn semi_join_reduction(memo: &Memo, gid: GroupId, eidx: usize) -> Option<Vec<Node>> {
     let (op, children) = expr_parts(memo, gid, eidx);
-    let LogicalOp::Join { kind: JoinKind::Inner, on, selectivity } = op else { return None };
+    let LogicalOp::Join {
+        kind: JoinKind::Inner,
+        on,
+        selectivity,
+    } = op
+    else {
+        return None;
+    };
     let (lg, rg) = (children[0], children[1]);
     // Guard: do not re-reduce an already semi-reduced left side.
-    let already = memo
-        .group(lg)
-        .lexprs
-        .iter()
-        .any(|e| matches!(e.op, LogicalOp::Join { kind: JoinKind::LeftSemi, .. }));
+    let already = memo.group(lg).lexprs.iter().any(|e| {
+        matches!(
+            e.op,
+            LogicalOp::Join {
+                kind: JoinKind::LeftSemi,
+                ..
+            }
+        )
+    });
     if already {
         return Some(vec![]);
     }
@@ -532,22 +698,43 @@ fn semi_join_reduction(memo: &Memo, gid: GroupId, eidx: usize) -> Option<Vec<Nod
         residual(selectivity.estimated, r_stats.rows.estimated),
     );
     let semi = Node::Op(
-        LogicalOp::Join { kind: JoinKind::LeftSemi, on: on.clone(), selectivity },
+        LogicalOp::Join {
+            kind: JoinKind::LeftSemi,
+            on: on.clone(),
+            selectivity,
+        },
         vec![Node::Group(lg), Node::Group(rg)],
     );
     Some(vec![Node::Op(
-        LogicalOp::Join { kind: JoinKind::Inner, on, selectivity: new_sel },
+        LogicalOp::Join {
+            kind: JoinKind::Inner,
+            on,
+            selectivity: new_sel,
+        },
         vec![semi, Node::Group(rg)],
     )])
 }
 
 fn filter_push_process(memo: &Memo, gid: GroupId, eidx: usize) -> Option<Vec<Node>> {
     let (op, children) = expr_parts(memo, gid, eidx);
-    let LogicalOp::Filter { predicate, selectivity } = op else { return None };
+    let LogicalOp::Filter {
+        predicate,
+        selectivity,
+    } = op
+    else {
+        return None;
+    };
     let child = children[0];
     let mut out = Vec::new();
     for ce in &memo.group(child).lexprs {
-        let LogicalOp::Process { udf, cpu_factor, out_ratio } = &ce.op else { continue };
+        let LogicalOp::Process {
+            udf,
+            cpu_factor,
+            out_ratio,
+        } = &ce.op
+        else {
+            continue;
+        };
         out.push(Node::Op(
             LogicalOp::Process {
                 udf: udf.clone(),
@@ -555,7 +742,10 @@ fn filter_push_process(memo: &Memo, gid: GroupId, eidx: usize) -> Option<Vec<Nod
                 out_ratio: *out_ratio,
             },
             vec![Node::Op(
-                LogicalOp::Filter { predicate: predicate.clone(), selectivity },
+                LogicalOp::Filter {
+                    predicate: predicate.clone(),
+                    selectivity,
+                },
                 vec![Node::Group(ce.children[0])],
             )],
         ));
@@ -565,7 +755,9 @@ fn filter_push_process(memo: &Memo, gid: GroupId, eidx: usize) -> Option<Vec<Nod
 
 fn top_push_union(memo: &Memo, gid: GroupId, eidx: usize) -> Option<Vec<Node>> {
     let (op, children) = expr_parts(memo, gid, eidx);
-    let LogicalOp::Top { k, keys } = op else { return None };
+    let LogicalOp::Top { k, keys } = op else {
+        return None;
+    };
     let child = children[0];
     let mut out = Vec::new();
     for ce in &memo.group(child).lexprs {
@@ -574,7 +766,10 @@ fn top_push_union(memo: &Memo, gid: GroupId, eidx: usize) -> Option<Vec<Node>> {
         }
         // Guard against unbounded re-application on our own output.
         let child_is_top = ce.children.iter().any(|&c| {
-            memo.group(c).lexprs.iter().any(|e| matches!(e.op, LogicalOp::Top { .. }))
+            memo.group(c)
+                .lexprs
+                .iter()
+                .any(|e| matches!(e.op, LogicalOp::Top { .. }))
         });
         if child_is_top {
             continue;
@@ -582,10 +777,21 @@ fn top_push_union(memo: &Memo, gid: GroupId, eidx: usize) -> Option<Vec<Node>> {
         let branches: Vec<Node> = ce
             .children
             .iter()
-            .map(|&c| Node::Op(LogicalOp::Top { k, keys: keys.clone() }, vec![Node::Group(c)]))
+            .map(|&c| {
+                Node::Op(
+                    LogicalOp::Top {
+                        k,
+                        keys: keys.clone(),
+                    },
+                    vec![Node::Group(c)],
+                )
+            })
             .collect();
         out.push(Node::Op(
-            LogicalOp::Top { k, keys: keys.clone() },
+            LogicalOp::Top {
+                k,
+                keys: keys.clone(),
+            },
             vec![Node::Op(LogicalOp::Union, branches)],
         ));
     }
@@ -594,8 +800,13 @@ fn top_push_union(memo: &Memo, gid: GroupId, eidx: usize) -> Option<Vec<Node>> {
 
 fn project_through_union(memo: &Memo, gid: GroupId, eidx: usize) -> Option<Vec<Node>> {
     let (op, children) = expr_parts(memo, gid, eidx);
-    let LogicalOp::Project { exprs } = op else { return None };
-    if exprs.iter().any(|(e, _)| !matches!(e, ScalarExpr::Column(_))) {
+    let LogicalOp::Project { exprs } = op else {
+        return None;
+    };
+    if exprs
+        .iter()
+        .any(|(e, _)| !matches!(e, ScalarExpr::Column(_)))
+    {
         return None;
     }
     let child = children[0];
@@ -605,7 +816,10 @@ fn project_through_union(memo: &Memo, gid: GroupId, eidx: usize) -> Option<Vec<N
             continue;
         }
         let child_is_project = ce.children.iter().any(|&c| {
-            memo.group(c).lexprs.iter().any(|e| matches!(e.op, LogicalOp::Project { .. }))
+            memo.group(c)
+                .lexprs
+                .iter()
+                .any(|e| matches!(e.op, LogicalOp::Project { .. }))
         });
         if child_is_project {
             continue;
@@ -614,7 +828,12 @@ fn project_through_union(memo: &Memo, gid: GroupId, eidx: usize) -> Option<Vec<N
             .children
             .iter()
             .map(|&c| {
-                Node::Op(LogicalOp::Project { exprs: exprs.clone() }, vec![Node::Group(c)])
+                Node::Op(
+                    LogicalOp::Project {
+                        exprs: exprs.clone(),
+                    },
+                    vec![Node::Group(c)],
+                )
             })
             .collect();
         out.push(Node::Op(LogicalOp::Union, branches));
@@ -632,10 +851,14 @@ mod tests {
 
     fn scan(memo: &mut Memo, name: &str, cols: usize, rows: f64) -> GroupId {
         let schema = Schema::new(
-            (0..cols).map(|i| Column::new(format!("{name}_{i}"), DataType::Int)).collect(),
+            (0..cols)
+                .map(|i| Column::new(format!("{name}_{i}"), DataType::Int))
+                .collect(),
         );
         memo.intern(
-            LogicalOp::Extract { table: TableRef::new(name, schema, DualStats::exact(rows)) },
+            LogicalOp::Extract {
+                table: TableRef::new(name, schema, DualStats::exact(rows)),
+            },
             vec![],
             RuleBits::empty(),
         )
@@ -673,7 +896,9 @@ mod tests {
         let f = filter_over(&mut memo, j, 1); // col 1 is in the left side
         let rewrites = apply_transform(TransformKind::FilterPushJoinLeft, &memo, f, 0);
         assert_eq!(rewrites.len(), 1);
-        let Node::Op(LogicalOp::Join { .. }, children) = &rewrites[0] else { panic!() };
+        let Node::Op(LogicalOp::Join { .. }, children) = &rewrites[0] else {
+            panic!()
+        };
         assert!(matches!(children[0], Node::Op(LogicalOp::Filter { .. }, _)));
         // Right push should not fire for a left-side column.
         assert!(apply_transform(TransformKind::FilterPushJoinRight, &memo, f, 0).is_empty());
@@ -696,8 +921,12 @@ mod tests {
         let f = filter_over(&mut memo, j, 3); // col 3 = right side col 1
         let rewrites = apply_transform(TransformKind::FilterPushJoinRight, &memo, f, 0);
         assert_eq!(rewrites.len(), 1);
-        let Node::Op(LogicalOp::Join { .. }, children) = &rewrites[0] else { panic!() };
-        let Node::Op(LogicalOp::Filter { predicate, .. }, _) = &children[1] else { panic!() };
+        let Node::Op(LogicalOp::Join { .. }, children) = &rewrites[0] else {
+            panic!()
+        };
+        let Node::Op(LogicalOp::Filter { predicate, .. }, _) = &children[1] else {
+            panic!()
+        };
         let mut cols = Vec::new();
         predicate.collect_columns(&mut cols);
         assert_eq!(cols, vec![1], "column remapped into right frame");
@@ -722,7 +951,9 @@ mod tests {
         );
         let rewrites = apply_transform(TransformKind::FilterMerge, &memo, f2, 0);
         assert_eq!(rewrites.len(), 1);
-        let Node::Op(LogicalOp::Filter { selectivity, .. }, _) = &rewrites[0] else { panic!() };
+        let Node::Op(LogicalOp::Filter { selectivity, .. }, _) = &rewrites[0] else {
+            panic!()
+        };
         assert!((selectivity.actual - 0.15).abs() < 1e-12);
     }
 
@@ -757,7 +988,9 @@ mod tests {
         // cardinality.
         let mut memo2 = memo;
         let (op, children) = memo2.materialize(rewrites[0].clone(), RuleBits::empty());
-        let idx = memo2.add_to_group(abc, op, children, RuleBits::empty(), 16).unwrap();
+        let idx = memo2
+            .add_to_group(abc, op, children, RuleBits::empty(), 16)
+            .unwrap();
         let inner_group = memo2.group(abc).lexprs[idx].children[1];
         let inner_rows = memo2.group(inner_group).stats.rows.actual;
         // Inner B⋈C rows = 1e-4 * 2000 * 3000 = 600.
@@ -812,13 +1045,17 @@ mod tests {
             RuleBits::empty(),
         );
         let p2 = memo.intern(
-            LogicalOp::Project { exprs: vec![(ScalarExpr::col(1), "z".into())] },
+            LogicalOp::Project {
+                exprs: vec![(ScalarExpr::col(1), "z".into())],
+            },
             vec![p1],
             RuleBits::empty(),
         );
         let rewrites = apply_transform(TransformKind::ProjectMerge, &memo, p2, 0);
         assert_eq!(rewrites.len(), 1);
-        let Node::Op(LogicalOp::Project { exprs }, children) = &rewrites[0] else { panic!() };
+        let Node::Op(LogicalOp::Project { exprs }, children) = &rewrites[0] else {
+            panic!()
+        };
         assert_eq!(exprs.len(), 1);
         assert_eq!(exprs[0].0, ScalarExpr::col(0), "z = p1[1] = col 0");
         assert!(matches!(children[0], Node::Group(_)));
@@ -840,13 +1077,25 @@ mod tests {
         );
         let rewrites = apply_transform(TransformKind::SemiJoinReduction, &memo, j, 0);
         assert_eq!(rewrites.len(), 1);
-        let Node::Op(LogicalOp::Join { kind: JoinKind::Inner, .. }, children) = &rewrites[0]
+        let Node::Op(
+            LogicalOp::Join {
+                kind: JoinKind::Inner,
+                ..
+            },
+            children,
+        ) = &rewrites[0]
         else {
             panic!()
         };
         assert!(matches!(
             children[0],
-            Node::Op(LogicalOp::Join { kind: JoinKind::LeftSemi, .. }, _)
+            Node::Op(
+                LogicalOp::Join {
+                    kind: JoinKind::LeftSemi,
+                    ..
+                },
+                _
+            )
         ));
     }
 
@@ -877,15 +1126,21 @@ mod tests {
         );
         let rewrites = apply_transform(TransformKind::ProjectPushJoin, &memo, p, 0);
         assert_eq!(rewrites.len(), 1);
-        let Node::Op(LogicalOp::Project { exprs }, children) = &rewrites[0] else { panic!() };
+        let Node::Op(LogicalOp::Project { exprs }, children) = &rewrites[0] else {
+            panic!()
+        };
         // Left keeps {0 (key), 1}; right keeps {0 (key), 2}. Remapped:
         // x = left pos 1; y = 2 + right pos 1 = 3.
         assert_eq!(exprs[0].0, ScalarExpr::col(1));
         assert_eq!(exprs[1].0, ScalarExpr::col(3));
-        let Node::Op(LogicalOp::Join { on, .. }, sides) = &children[0] else { panic!() };
+        let Node::Op(LogicalOp::Join { on, .. }, sides) = &children[0] else {
+            panic!()
+        };
         assert_eq!(on, &vec![(0, 0)]);
         for side in sides {
-            let Node::Op(LogicalOp::Project { exprs }, _) = side else { panic!() };
+            let Node::Op(LogicalOp::Project { exprs }, _) = side else {
+                panic!()
+            };
             assert_eq!(exprs.len(), 2);
         }
     }
@@ -895,18 +1150,25 @@ mod tests {
         let mut memo = Memo::new();
         let a = scan(&mut memo, "a", 2, 100.0);
         let s = memo.intern(
-            LogicalOp::Sort { keys: vec![SortKey::asc(0)] },
+            LogicalOp::Sort {
+                keys: vec![SortKey::asc(0)],
+            },
             vec![a],
             RuleBits::empty(),
         );
         let t = memo.intern(
-            LogicalOp::Top { k: 5, keys: vec![SortKey::asc(0)] },
+            LogicalOp::Top {
+                k: 5,
+                keys: vec![SortKey::asc(0)],
+            },
             vec![s],
             RuleBits::empty(),
         );
         let rewrites = apply_transform(TransformKind::TopSortFuse, &memo, t, 0);
         assert_eq!(rewrites.len(), 1);
-        let Node::Op(LogicalOp::Top { .. }, children) = &rewrites[0] else { panic!() };
+        let Node::Op(LogicalOp::Top { .. }, children) = &rewrites[0] else {
+            panic!()
+        };
         assert!(matches!(children[0], Node::Group(g) if g == a));
     }
 
@@ -927,8 +1189,12 @@ mod tests {
         let f_ok = filter_over(&mut memo, g, 0);
         let rewrites = apply_transform(TransformKind::FilterPushAggregate, &memo, f_ok, 0);
         assert_eq!(rewrites.len(), 1);
-        let Node::Op(LogicalOp::Aggregate { .. }, children) = &rewrites[0] else { panic!() };
-        let Node::Op(LogicalOp::Filter { predicate, .. }, _) = &children[0] else { panic!() };
+        let Node::Op(LogicalOp::Aggregate { .. }, children) = &rewrites[0] else {
+            panic!()
+        };
+        let Node::Op(LogicalOp::Filter { predicate, .. }, _) = &children[0] else {
+            panic!()
+        };
         let mut cols = Vec::new();
         predicate.collect_columns(&mut cols);
         assert_eq!(cols, vec![2]);
@@ -947,7 +1213,9 @@ mod tests {
         let outer = memo.intern(LogicalOp::Union, vec![inner, c], RuleBits::empty());
         let rewrites = apply_transform(TransformKind::UnionFlatten, &memo, outer, 0);
         assert_eq!(rewrites.len(), 1);
-        let Node::Op(LogicalOp::Union, children) = &rewrites[0] else { panic!() };
+        let Node::Op(LogicalOp::Union, children) = &rewrites[0] else {
+            panic!()
+        };
         assert_eq!(children.len(), 3);
     }
 
@@ -960,7 +1228,9 @@ mod tests {
         let f = filter_over(&mut memo, u, 0);
         let rewrites = apply_transform(TransformKind::FilterPushUnion, &memo, f, 0);
         assert_eq!(rewrites.len(), 1);
-        let Node::Op(LogicalOp::Union, branches) = &rewrites[0] else { panic!() };
+        let Node::Op(LogicalOp::Union, branches) = &rewrites[0] else {
+            panic!()
+        };
         assert_eq!(branches.len(), 2);
         for br in branches {
             assert!(matches!(br, Node::Op(LogicalOp::Filter { .. }, _)));
@@ -972,14 +1242,18 @@ mod tests {
         let mut memo = Memo::new();
         let a = scan(&mut memo, "a", 2, 100.0);
         let srt = memo.intern(
-            LogicalOp::Sort { keys: vec![SortKey::asc(1)] },
+            LogicalOp::Sort {
+                keys: vec![SortKey::asc(1)],
+            },
             vec![a],
             RuleBits::empty(),
         );
         let f = filter_over(&mut memo, srt, 0);
         let rewrites = apply_transform(TransformKind::FilterPushSort, &memo, f, 0);
         assert_eq!(rewrites.len(), 1);
-        let Node::Op(LogicalOp::Sort { .. }, children) = &rewrites[0] else { panic!() };
+        let Node::Op(LogicalOp::Sort { .. }, children) = &rewrites[0] else {
+            panic!()
+        };
         assert!(matches!(children[0], Node::Op(LogicalOp::Filter { .. }, _)));
     }
 
@@ -988,20 +1262,29 @@ mod tests {
         let mut memo = Memo::new();
         let a = scan(&mut memo, "a", 2, 100.0);
         let s1 = memo.intern(
-            LogicalOp::Sort { keys: vec![SortKey::asc(0)] },
+            LogicalOp::Sort {
+                keys: vec![SortKey::asc(0)],
+            },
             vec![a],
             RuleBits::empty(),
         );
         let s2 = memo.intern(
-            LogicalOp::Sort { keys: vec![SortKey::desc(1)] },
+            LogicalOp::Sort {
+                keys: vec![SortKey::desc(1)],
+            },
             vec![s1],
             RuleBits::empty(),
         );
         let rewrites = apply_transform(TransformKind::SortRemoveRedundant, &memo, s2, 0);
         assert_eq!(rewrites.len(), 1);
-        let Node::Op(LogicalOp::Sort { keys }, children) = &rewrites[0] else { panic!() };
+        let Node::Op(LogicalOp::Sort { keys }, children) = &rewrites[0] else {
+            panic!()
+        };
         assert!(keys[0].descending, "outer ordering kept");
-        assert!(matches!(children[0], Node::Group(g) if g == a), "inner sort dropped");
+        assert!(
+            matches!(children[0], Node::Group(g) if g == a),
+            "inner sort dropped"
+        );
     }
 
     #[test]
@@ -1031,11 +1314,16 @@ mod tests {
         );
         let rewrites = apply_transform(TransformKind::JoinAssocRight, &memo, abc, 0);
         assert_eq!(rewrites.len(), 1);
-        let Node::Op(LogicalOp::Join { on, .. }, children) = &rewrites[0] else { panic!() };
+        let Node::Op(LogicalOp::Join { on, .. }, children) = &rewrites[0] else {
+            panic!()
+        };
         // New outer join: (A ⋈ B) vs C with B's original key shifted by |A|.
         assert!(matches!(children[0], Node::Op(LogicalOp::Join { .. }, _)));
         assert!(matches!(children[1], Node::Group(g) if g == c));
-        assert!(on.iter().all(|&(l, _)| l >= 2), "B-side keys shifted by |A|: {on:?}");
+        assert!(
+            on.iter().all(|&(l, _)| l >= 2),
+            "B-side keys shifted by |A|: {on:?}"
+        );
     }
 
     #[test]
@@ -1068,15 +1356,24 @@ mod tests {
         let b = scan(&mut memo, "b", 2, 1000.0);
         let u = memo.intern(LogicalOp::Union, vec![a, b], RuleBits::empty());
         let t = memo.intern(
-            LogicalOp::Top { k: 10, keys: vec![SortKey::desc(1)] },
+            LogicalOp::Top {
+                k: 10,
+                keys: vec![SortKey::desc(1)],
+            },
             vec![u],
             RuleBits::empty(),
         );
         let rewrites = apply_transform(TransformKind::TopPushUnion, &memo, t, 0);
         assert_eq!(rewrites.len(), 1);
-        let Node::Op(LogicalOp::Top { .. }, children) = &rewrites[0] else { panic!() };
-        let Node::Op(LogicalOp::Union, branches) = &children[0] else { panic!() };
-        assert!(branches.iter().all(|b| matches!(b, Node::Op(LogicalOp::Top { .. }, _))));
+        let Node::Op(LogicalOp::Top { .. }, children) = &rewrites[0] else {
+            panic!()
+        };
+        let Node::Op(LogicalOp::Union, branches) = &children[0] else {
+            panic!()
+        };
+        assert!(branches
+            .iter()
+            .all(|b| matches!(b, Node::Op(LogicalOp::Top { .. }, _))));
         // Guard: materialize the rewrite, then re-application is suppressed
         // (the new union's children already contain Top expressions).
         let prov = RuleBits::empty();
@@ -1092,13 +1389,17 @@ mod tests {
         let b = scan(&mut memo, "b", 3, 1000.0);
         let u = memo.intern(LogicalOp::Union, vec![a, b], RuleBits::empty());
         let pure = memo.intern(
-            LogicalOp::Project { exprs: vec![(ScalarExpr::col(1), "x".into())] },
+            LogicalOp::Project {
+                exprs: vec![(ScalarExpr::col(1), "x".into())],
+            },
             vec![u],
             RuleBits::empty(),
         );
         let rewrites = apply_transform(TransformKind::ProjectThroughUnion, &memo, pure, 0);
         assert_eq!(rewrites.len(), 1);
-        let Node::Op(LogicalOp::Union, branches) = &rewrites[0] else { panic!() };
+        let Node::Op(LogicalOp::Union, branches) = &rewrites[0] else {
+            panic!()
+        };
         assert_eq!(branches.len(), 2);
         // Computed projections do not distribute.
         let computed = memo.intern(

@@ -15,8 +15,8 @@ use crate::impls::{implement_expr, ImplContext};
 use crate::memo::{Best, GroupId, Memo, PreLocal};
 use crate::registry::{
     RuleBehavior, RuleSet, RULE_DEGREE_OF_PARALLELISM, RULE_EXCHANGE_PLACEMENT,
-    RULE_INTERMEDIATE_COMPRESSION, RULE_MEMO_DEDUP, RULE_PLAN_SERIALIZE,
-    RULE_PREDICATE_NORMALIZE, RULE_SCRIPT_STITCH, RULE_SHUFFLE_ELIMINATION, RULE_STATS_ANNOTATE,
+    RULE_INTERMEDIATE_COMPRESSION, RULE_MEMO_DEDUP, RULE_PLAN_SERIALIZE, RULE_PREDICATE_NORMALIZE,
+    RULE_SCRIPT_STITCH, RULE_SHUFFLE_ELIMINATION, RULE_STATS_ANNOTATE,
 };
 use crate::rules::apply_transform;
 use rustc_hash::FxHashMap;
@@ -88,7 +88,10 @@ impl fmt::Display for CompileError {
         match self {
             CompileError::Invalid(m) => write!(f, "invalid plan: {m}"),
             CompileError::RuleInstability { rule } => {
-                write!(f, "compilation failed: rule {rule} is unstable for this template")
+                write!(
+                    f,
+                    "compilation failed: rule {rule} is unstable for this template"
+                )
             }
             CompileError::NoImplementation { tag } => {
                 write!(f, "no physical implementation for {tag}")
@@ -125,7 +128,11 @@ pub struct Optimizer {
 
 impl Default for Optimizer {
     fn default() -> Self {
-        Self::new(RuleSet::standard(), CostModel::default(), SearchOptions::default())
+        Self::new(
+            RuleSet::standard(),
+            CostModel::default(),
+            SearchOptions::default(),
+        )
     }
 }
 
@@ -162,7 +169,8 @@ impl Optimizer {
         plan: &LogicalPlan,
         config: &RuleConfig,
     ) -> Result<Compiled, CompileError> {
-        plan.validate().map_err(|e| CompileError::Invalid(e.to_string()))?;
+        plan.validate()
+            .map_err(|e| CompileError::Invalid(e.to_string()))?;
         let template_seed = plan.template_id().0;
         // Disable-path instability: rules turned off relative to the default
         // configuration can crash compilation for some templates (checked
@@ -172,7 +180,9 @@ impl Optimizer {
             if rule.category.default_on()
                 && rule.flippable()
                 && !config.enabled(rule.id)
-                && self.rules.disable_unstable_for(rule.id, template_seed, fingerprint)
+                && self
+                    .rules
+                    .disable_unstable_for(rule.id, template_seed, fingerprint)
             {
                 return Err(CompileError::RuleInstability { rule: rule.id });
             }
@@ -200,7 +210,9 @@ impl Optimizer {
             .into_iter()
             .filter(|r| config.enabled(r.id))
             .map(|r| {
-                let RuleBehavior::Transform(kind) = r.behavior else { unreachable!() };
+                let RuleBehavior::Transform(kind) = r.behavior else {
+                    unreachable!()
+                };
                 let mut bit = RuleBits::empty();
                 bit.insert(r.id);
                 (r.id, kind, bit)
@@ -311,7 +323,10 @@ impl Optimizer {
         visiting[g.index()] = true;
         let out_stats = memo.group(g).stats;
         let n = memo.group(g).pexprs.len();
-        let mut best = Best { cost: f64::INFINITY, pexpr: usize::MAX };
+        let mut best = Best {
+            cost: f64::INFINITY,
+            pexpr: usize::MAX,
+        };
         for i in 0..n {
             let (children, exchanges, pre_local, claimed, op) = {
                 let p = &memo.group(g).pexprs[i];
@@ -342,7 +357,10 @@ impl Optimizer {
             }
             total += self.cost.local_cost(&op, &out_stats, &edge_stats, &claimed);
             if total < best.cost {
-                best = Best { cost: total, pexpr: i };
+                best = Best {
+                    cost: total,
+                    pexpr: i,
+                };
             }
         }
         visiting[g.index()] = false;
@@ -412,7 +430,10 @@ impl Optimizer {
         // Experimental-rule instability: if a rule that contributed to the
         // final plan is unstable for this template, compilation fails.
         for id in signature.iter() {
-            if self.rules.unstable_for(id, template_seed, config_fingerprint) {
+            if self
+                .rules
+                .unstable_for(id, template_seed, config_fingerprint)
+            {
                 return Err(CompileError::RuleInstability { rule: id });
             }
         }
@@ -464,8 +485,16 @@ impl Optimizer {
         let mut edge_stats: Vec<NodeStats> = Vec::with_capacity(pexpr.children.len());
         for (j, &c) in pexpr.children.iter().enumerate() {
             self.emit(
-                memo, c, plan, mapping, signature, est_cost, any_exchange, any_elided,
-                any_compressed, compression_io,
+                memo,
+                c,
+                plan,
+                mapping,
+                signature,
+                est_cost,
+                any_exchange,
+                any_elided,
+                any_compressed,
+                compression_io,
             );
             let mut node = mapping[&c];
             let mut cstats = memo.group(c).stats;
@@ -481,7 +510,10 @@ impl Optimizer {
                         }
                     }
                     (PreLocal::LocalTopK(k), PhysicalOp::TopNExec { keys, .. }) => {
-                        PhysicalOp::TopNExec { k, keys: keys.clone() }
+                        PhysicalOp::TopNExec {
+                            k,
+                            keys: keys.clone(),
+                        }
                     }
                     // Defensive: pre-reductions only pair with these ops.
                     _ => PhysicalOp::ProjectExec { exprs: vec![] },
@@ -507,9 +539,15 @@ impl Optimizer {
                 } else {
                     1.0
                 };
-                let tuning = PhysicalTuning { cpu_mult, io_mult, parallelism_mult: 1.0 };
+                let tuning = PhysicalTuning {
+                    cpu_mult,
+                    io_mult,
+                    parallelism_mult: 1.0,
+                };
                 node = plan.add(PhysicalNode {
-                    op: PhysicalOp::Exchange { scheme: spec.scheme.clone() },
+                    op: PhysicalOp::Exchange {
+                        scheme: spec.scheme.clone(),
+                    },
                     children: vec![node],
                     stats: cstats,
                     tuning,
@@ -518,7 +556,9 @@ impl Optimizer {
             child_nodes.push(node);
             edge_stats.push(cstats);
         }
-        *est_cost += self.cost.local_cost(&pexpr.op, &out_stats, &edge_stats, &pexpr.claimed);
+        *est_cost += self
+            .cost
+            .local_cost(&pexpr.op, &out_stats, &edge_stats, &pexpr.claimed);
         if pexpr.elided_exchange {
             *any_elided = true;
         }
@@ -560,7 +600,10 @@ mod tests {
         c.physical.validate().unwrap();
         assert!(c.est_cost.is_finite() && c.est_cost > 0.0);
         assert_eq!(c.physical.outputs().len(), 2);
-        assert!(c.physical.exchange_count() > 0, "distributed plan has exchanges");
+        assert!(
+            c.physical.exchange_count() > 0,
+            "distributed plan has exchanges"
+        );
     }
 
     #[test]
@@ -599,22 +642,37 @@ mod tests {
             if !opt.rules().rule(id).flippable() {
                 continue;
             }
-            let cfg = default.with_flip(RuleFlip { rule: id, enable: !default.enabled(id) });
+            let cfg = default.with_flip(RuleFlip {
+                rule: id,
+                enable: !default.enabled(id),
+            });
             if let Ok(c) = opt.compile(&plan(), &cfg) {
                 if c.physical != base.physical {
                     changed += 1;
                 }
             }
         }
-        assert!(changed > 0, "flipping signature rules must be able to change the plan");
+        assert!(
+            changed > 0,
+            "flipping signature rules must be able to change the plan"
+        );
     }
 
     #[test]
     fn disabling_hash_join_falls_back_to_other_join() {
         let opt = Optimizer::default();
         let default = opt.default_config();
-        let hj = opt.rules().rules().iter().find(|r| r.name == "HashJoinImpl").unwrap().id;
-        let cfg = default.with_flip(RuleFlip { rule: hj, enable: false });
+        let hj = opt
+            .rules()
+            .rules()
+            .iter()
+            .find(|r| r.name == "HashJoinImpl")
+            .unwrap()
+            .id;
+        let cfg = default.with_flip(RuleFlip {
+            rule: hj,
+            enable: false,
+        });
         let c = opt.compile(&plan(), &cfg).unwrap();
         c.physical.validate().unwrap();
         // The plan still has a join of some flavor.
@@ -641,13 +699,24 @@ mod tests {
             OUTPUT big TO "out/b";
         "#;
         let c1 = opt
-            .compile(&bind_script(one_output, &Catalog::default()).unwrap(), &opt.default_config())
+            .compile(
+                &bind_script(one_output, &Catalog::default()).unwrap(),
+                &opt.default_config(),
+            )
             .unwrap();
         let c2 = opt
-            .compile(&bind_script(two_outputs, &Catalog::default()).unwrap(), &opt.default_config())
+            .compile(
+                &bind_script(two_outputs, &Catalog::default()).unwrap(),
+                &opt.default_config(),
+            )
             .unwrap();
         // Second output adds only one extra OutputExec, far less than 2x.
-        assert!(c2.est_cost < c1.est_cost * 1.7, "{} vs {}", c1.est_cost, c2.est_cost);
+        assert!(
+            c2.est_cost < c1.est_cost * 1.7,
+            "{} vs {}",
+            c1.est_cost,
+            c2.est_cost
+        );
     }
 
     #[test]
@@ -661,8 +730,13 @@ mod tests {
         let mut found = None;
         for r in opt.rules().rules() {
             if let crate::registry::RuleBehavior::Parametric(spec) = &r.behavior {
-                let cfg = default.with_flip(RuleFlip { rule: r.id, enable: true });
-                if opt.rules().unstable_for(r.id, seed, cfg.bits().fingerprint())
+                let cfg = default.with_flip(RuleFlip {
+                    rule: r.id,
+                    enable: true,
+                });
+                if opt
+                    .rules()
+                    .unstable_for(r.id, seed, cfg.bits().fingerprint())
                     && ["Extract", "Filter", "Join", "Aggregate", "Output"].contains(&spec.target)
                 {
                     found = Some(r.id);

@@ -53,7 +53,9 @@ pub fn compute_span(
     let default = optimizer.compile(plan, &default_config)?;
 
     let flippable_only = |bits: &RuleBits| -> RuleBits {
-        bits.iter().filter(|&id| rules.rule(id).flippable()).collect()
+        bits.iter()
+            .filter(|&id| rules.rule(id).flippable())
+            .collect()
     };
 
     let mut seen = default.signature;

@@ -58,11 +58,8 @@ fn build(steps: &[Step]) -> LogicalPlan {
             }
             Step::Filter { sel, est_sel } => {
                 if let Some(c) = stack.pop() {
-                    let pred = ScalarExpr::binary(
-                        BinOp::Gt,
-                        ScalarExpr::col(0),
-                        ScalarExpr::lit_int(7),
-                    );
+                    let pred =
+                        ScalarExpr::binary(BinOp::Gt, ScalarExpr::col(0), ScalarExpr::lit_int(7));
                     stack.push(plan.add(
                         LogicalOp::Filter {
                             predicate: pred,
@@ -100,9 +97,13 @@ fn build(steps: &[Step]) -> LogicalPlan {
             }
             Step::Top { k } => {
                 if let Some(c) = stack.pop() {
-                    stack.push(
-                        plan.add(LogicalOp::Top { k: *k, keys: vec![SortKey::desc(0)] }, vec![c]),
-                    );
+                    stack.push(plan.add(
+                        LogicalOp::Top {
+                            k: *k,
+                            keys: vec![SortKey::desc(0)],
+                        },
+                        vec![c],
+                    ));
                 }
             }
             Step::Union => {

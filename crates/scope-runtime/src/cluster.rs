@@ -29,9 +29,9 @@ pub struct ClusterConfig {
 impl Default for ClusterConfig {
     fn default() -> Self {
         Self {
-            io_bandwidth: 1.0e8,        // 100 MB/s
-            write_bandwidth: 8.0e7,     // 80 MB/s
-            cpu_speed: 2.5e7,           // 25M row-ops/s: PNhours is IO-heavy
+            io_bandwidth: 1.0e8,         // 100 MB/s
+            write_bandwidth: 8.0e7,      // 80 MB/s
+            cpu_speed: 2.5e7,            // 25M row-ops/s: PNhours is IO-heavy
             bytes_per_scan_task: 2.56e8, // 256 MB extents
             max_parallelism: 256,
             tokens_per_job: 24,
@@ -118,7 +118,10 @@ impl Cluster {
     /// Cluster with no run-to-run noise.
     #[must_use]
     pub fn deterministic() -> Self {
-        Self { config: ClusterConfig::default(), variance: VarianceModel::none() }
+        Self {
+            config: ClusterConfig::default(),
+            variance: VarianceModel::none(),
+        }
     }
 
     /// The pre-production (flighting) environment: same hardware model but

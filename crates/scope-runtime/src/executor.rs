@@ -41,13 +41,17 @@ pub fn execute_stages(
     // Whole-run environment multiplier: cluster-wide interference that does
     // not average out across vertices.
     let run_cpu_mult = if var.run_cpu_sigma > 0.0 {
-        LogNormal::new(0.0, var.run_cpu_sigma).expect("sigma > 0").sample(&mut run_rng)
+        LogNormal::new(0.0, var.run_cpu_sigma)
+            .expect("sigma > 0")
+            .sample(&mut run_rng)
     } else {
         1.0
     };
     // Run-level bandwidth interference: scales I/O *time*, never bytes.
     let run_io_mult = if var.run_io_sigma > 0.0 {
-        LogNormal::new(0.0, var.run_io_sigma).expect("sigma > 0").sample(&mut run_rng)
+        LogNormal::new(0.0, var.run_io_sigma)
+            .expect("sigma > 0")
+            .sample(&mut run_rng)
     } else {
         1.0
     };
@@ -81,7 +85,10 @@ pub fn execute_stages(
         let mean_cpu_mult = if var.cpu_sigma == 0.0 {
             1.0
         } else if vertices <= 64 {
-            (0..vertices).map(|_| cpu_noise.sample(&mut rng)).sum::<f64>() / vertices as f64
+            (0..vertices)
+                .map(|_| cpu_noise.sample(&mut rng))
+                .sum::<f64>()
+                / vertices as f64
         } else {
             // Law of large numbers: mean of many lognormals concentrates at
             // exp(sigma^2/2); add the residual fluctuation ~ sigma/sqrt(n).
@@ -146,8 +153,8 @@ pub fn execute_stages(
 mod tests {
     use super::*;
     use crate::cluster::{Cluster, VarianceModel};
-    use scope_lang::{bind_script, Catalog, TableInfo};
     use scope_ir::stats::DualStats;
+    use scope_lang::{bind_script, Catalog, TableInfo};
 
     const SCRIPT: &str = r#"
         sales = EXTRACT user:int, item:int, spend:float FROM "store/sales";
@@ -159,7 +166,12 @@ mod tests {
 
     fn physical(rows: f64) -> PhysicalPlan {
         let mut catalog = Catalog::default();
-        catalog.register("store/sales", TableInfo { rows: DualStats::exact(rows) });
+        catalog.register(
+            "store/sales",
+            TableInfo {
+                rows: DualStats::exact(rows),
+            },
+        );
         let plan = bind_script(SCRIPT, &catalog).unwrap();
         let opt = scope_opt::Optimizer::default();
         opt.compile(&plan, &opt.default_config()).unwrap().physical
@@ -191,8 +203,7 @@ mod tests {
     fn latency_varies_more_than_pnhours_across_aa_runs() {
         let plan = physical(3e7);
         let cluster = Cluster::default();
-        let runs: Vec<ExecutionMetrics> =
-            (0..30).map(|r| execute(&plan, &cluster, 7, r)).collect();
+        let runs: Vec<ExecutionMetrics> = (0..30).map(|r| execute(&plan, &cluster, 7, r)).collect();
         let cv = |xs: Vec<f64>| {
             let mean = xs.iter().sum::<f64>() / xs.len() as f64;
             let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
@@ -240,12 +251,16 @@ mod tests {
         let plan = physical(3e7);
         let mild = Cluster::new(
             Default::default(),
-            VarianceModel { straggler_prob: 0.0, ..VarianceModel::default() },
+            VarianceModel {
+                straggler_prob: 0.0,
+                ..VarianceModel::default()
+            },
         );
         let full = Cluster::default();
         let spread = |cluster: &Cluster| {
-            let xs: Vec<f64> =
-                (0..40).map(|r| execute(&plan, cluster, 7, r).latency_sec).collect();
+            let xs: Vec<f64> = (0..40)
+                .map(|r| execute(&plan, cluster, 7, r).latency_sec)
+                .collect();
             let max = xs.iter().cloned().fold(f64::MIN, f64::max);
             let min = xs.iter().cloned().fold(f64::MAX, f64::min);
             max / min

@@ -71,15 +71,31 @@ mod tests {
 
     #[test]
     fn rel_delta_sign_convention() {
-        assert!((rel_delta(75.0, 100.0) + 0.25).abs() < 1e-12, "-25% improvement");
-        assert!((rel_delta(110.0, 100.0) - 0.10).abs() < 1e-12, "+10% regression");
+        assert!(
+            (rel_delta(75.0, 100.0) + 0.25).abs() < 1e-12,
+            "-25% improvement"
+        );
+        assert!(
+            (rel_delta(110.0, 100.0) - 0.10).abs() < 1e-12,
+            "+10% regression"
+        );
         assert_eq!(rel_delta(5.0, 0.0), 0.0, "degenerate baseline");
     }
 
     #[test]
     fn metric_deltas_delegate() {
-        let base = ExecutionMetrics { pn_hours: 10.0, latency_sec: 100.0, vertices: 50, ..Default::default() };
-        let new = ExecutionMetrics { pn_hours: 9.0, latency_sec: 120.0, vertices: 25, ..Default::default() };
+        let base = ExecutionMetrics {
+            pn_hours: 10.0,
+            latency_sec: 100.0,
+            vertices: 50,
+            ..Default::default()
+        };
+        let new = ExecutionMetrics {
+            pn_hours: 9.0,
+            latency_sec: 120.0,
+            vertices: 25,
+            ..Default::default()
+        };
         assert!((new.pn_delta(&base) + 0.1).abs() < 1e-12);
         assert!((new.latency_delta(&base) - 0.2).abs() < 1e-12);
         assert!((new.vertices_delta(&base) + 0.5).abs() < 1e-12);
@@ -87,7 +103,12 @@ mod tests {
 
     #[test]
     fn serde_roundtrip() {
-        let m = ExecutionMetrics { pn_hours: 1.5, latency_sec: 30.0, vertices: 8, ..Default::default() };
+        let m = ExecutionMetrics {
+            pn_hours: 1.5,
+            latency_sec: 30.0,
+            vertices: 8,
+            ..Default::default()
+        };
         let s = serde_json::to_string(&m).unwrap();
         let back: ExecutionMetrics = serde_json::from_str(&s).unwrap();
         assert_eq!(m, back);

@@ -50,7 +50,11 @@ impl StageGraph {
     /// Peak concurrent containers ≈ the widest stage.
     #[must_use]
     pub fn tokens(&self) -> u64 {
-        self.stages.iter().map(|s| u64::from(s.parallelism)).max().unwrap_or(0)
+        self.stages
+            .iter()
+            .map(|s| u64::from(s.parallelism))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Build the stage graph of a plan. Stages are maximal regions connected
@@ -156,12 +160,14 @@ impl StageGraph {
                     PhysicalOp::TableScan { .. } => {
                         let bytes = node.stats.actual_bytes() * node.tuning.io_mult;
                         work.read += bytes;
-                        let scan_par = (bytes / cluster.bytes_per_scan_task).ceil().max(1.0)
-                            as u32;
+                        let scan_par = (bytes / cluster.bytes_per_scan_task).ceil().max(1.0) as u32;
                         parallelism = parallelism
                             .max(scan_par.min(cluster.max_parallelism))
-                            .max((scan_par as f64 * node.tuning.parallelism_mult).round().max(1.0)
-                                as u32)
+                            .max(
+                                (scan_par as f64 * node.tuning.parallelism_mult)
+                                    .round()
+                                    .max(1.0) as u32,
+                            )
                             .min(cluster.max_parallelism);
                     }
                     PhysicalOp::OutputExec { .. } => {
@@ -202,26 +208,30 @@ fn op_true_work(op: &PhysicalOp, plan: &PhysicalPlan, id: NodeId) -> (f64, f64) 
     let node = plan.node(id);
     let out = &node.stats;
     let child = |i: usize| -> f64 {
-        node.children.get(i).map_or(0.0, |c| plan.node(*c).stats.rows.actual)
+        node.children
+            .get(i)
+            .map_or(0.0, |c| plan.node(*c).stats.rows.actual)
     };
     let child_bytes = |i: usize| -> f64 {
-        node.children.get(i).map_or(0.0, |c| plan.node(*c).stats.actual_bytes())
+        node.children
+            .get(i)
+            .map_or(0.0, |c| plan.node(*c).stats.actual_bytes())
     };
     match op {
-        PhysicalOp::FilterExec { predicate } => {
-            (child(0) * predicate.cpu_weight().max(0.1), 0.0)
-        }
+        PhysicalOp::FilterExec { predicate } => (child(0) * predicate.cpu_weight().max(0.1), 0.0),
         PhysicalOp::ProjectExec { exprs } => {
-            let w: f64 = exprs.iter().map(|(e, _)| e.cpu_weight()).sum::<f64>().max(0.1);
+            let w: f64 = exprs
+                .iter()
+                .map(|(e, _)| e.cpu_weight())
+                .sum::<f64>()
+                .max(0.1);
             (child(0) * w * 0.5, 0.0)
         }
         PhysicalOp::HashJoin { .. } => (
             child(1) * 1.5 + child(0) * 1.0 + out.rows.actual * 0.3,
             child_bytes(1),
         ),
-        PhysicalOp::MergeJoin { .. } => {
-            ((child(0) + child(1)) * 0.7 + out.rows.actual * 0.3, 0.0)
-        }
+        PhysicalOp::MergeJoin { .. } => ((child(0) + child(1)) * 0.7 + out.rows.actual * 0.3, 0.0),
         PhysicalOp::BroadcastJoin { .. } => (
             child(1) * 1.5 + child(0) * 1.0 + out.rows.actual * 0.3,
             child_bytes(1),
@@ -267,7 +277,11 @@ mod tests {
     fn stage_graph_has_multiple_stages_for_distributed_plan() {
         let plan = compiled_plan(SCRIPT);
         let g = StageGraph::build(&plan, &ClusterConfig::default());
-        assert!(g.stages.len() >= 2, "join+agg plan must cross stages: {}", g.stages.len());
+        assert!(
+            g.stages.len() >= 2,
+            "join+agg plan must cross stages: {}",
+            g.stages.len()
+        );
         // Stage DAG edges exist.
         assert!(g.stages.iter().any(|s| !s.inputs.is_empty()));
     }

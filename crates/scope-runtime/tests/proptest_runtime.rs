@@ -2,10 +2,10 @@
 //! random workload shapes and seeds.
 
 use proptest::prelude::*;
-use scope_runtime::{execute, Cluster, StageGraph};
-use scope_workload::TemplateSpec;
 use scope_lang::bind_script;
 use scope_opt::Optimizer;
+use scope_runtime::{execute, Cluster, StageGraph};
+use scope_workload::TemplateSpec;
 
 fn compiled(seed: u64, day: u32) -> Option<scope_ir::PhysicalPlan> {
     let spec = TemplateSpec::generate(seed);

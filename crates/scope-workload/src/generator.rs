@@ -24,7 +24,12 @@ pub struct WorkloadConfig {
 
 impl Default for WorkloadConfig {
     fn default() -> Self {
-        Self { seed: 0x5c09e, num_templates: 120, adhoc_per_day: 40, max_instances_per_day: 3 }
+        Self {
+            seed: 0x5c09e,
+            num_templates: 120,
+            adhoc_per_day: 40,
+            max_instances_per_day: 3,
+        }
     }
 }
 
@@ -75,7 +80,12 @@ impl Workload {
             };
             let phase = rng.random_range(0..period_days);
             let instances_per_day = rng.random_range(1..=config.max_instances_per_day);
-            recurring.push(RecurringTemplate { spec, period_days, phase, instances_per_day });
+            recurring.push(RecurringTemplate {
+                spec,
+                period_days,
+                phase,
+                instances_per_day,
+            });
         }
         Self { config, recurring }
     }
@@ -107,7 +117,10 @@ impl Workload {
             }
         }
         for i in 0..self.config.adhoc_per_day {
-            let tseed = mix64(self.config.seed, mix64(u64::from(day), i as u64 | 0xAD_0000));
+            let tseed = mix64(
+                self.config.seed,
+                mix64(u64::from(day), i as u64 | 0xAD_0000),
+            );
             let spec = TemplateSpec::generate(tseed);
             let (script, catalog) = spec.instantiate(day, 0);
             let plan = bind_script(&script, &catalog).expect("generated scripts always bind");
@@ -166,11 +179,19 @@ mod tests {
     #[test]
     fn recurring_jobs_reappear_across_days_with_same_template() {
         let w = small();
-        let day0: Vec<TemplateId> =
-            w.jobs_for_day(0).iter().filter(|j| j.recurring).map(|j| j.template).collect();
+        let day0: Vec<TemplateId> = w
+            .jobs_for_day(0)
+            .iter()
+            .filter(|j| j.recurring)
+            .map(|j| j.template)
+            .collect();
         // Daily templates (period 1) must appear again on day 1.
-        let day1: Vec<TemplateId> =
-            w.jobs_for_day(1).iter().filter(|j| j.recurring).map(|j| j.template).collect();
+        let day1: Vec<TemplateId> = w
+            .jobs_for_day(1)
+            .iter()
+            .filter(|j| j.recurring)
+            .map(|j| j.template)
+            .collect();
         let overlap = day0.iter().filter(|t| day1.contains(t)).count();
         assert!(overlap > 0, "daily recurring templates overlap across days");
     }
@@ -185,11 +206,22 @@ mod tests {
     #[test]
     fn adhoc_jobs_are_one_off() {
         let w = small();
-        let adhoc0: Vec<TemplateId> =
-            w.jobs_for_day(0).iter().filter(|j| !j.recurring).map(|j| j.template).collect();
-        let adhoc1: Vec<TemplateId> =
-            w.jobs_for_day(1).iter().filter(|j| !j.recurring).map(|j| j.template).collect();
-        assert!(adhoc0.iter().all(|t| !adhoc1.contains(t)), "ad-hoc templates do not recur");
+        let adhoc0: Vec<TemplateId> = w
+            .jobs_for_day(0)
+            .iter()
+            .filter(|j| !j.recurring)
+            .map(|j| j.template)
+            .collect();
+        let adhoc1: Vec<TemplateId> = w
+            .jobs_for_day(1)
+            .iter()
+            .filter(|j| !j.recurring)
+            .map(|j| j.template)
+            .collect();
+        assert!(
+            adhoc0.iter().all(|t| !adhoc1.contains(t)),
+            "ad-hoc templates do not recur"
+        );
     }
 
     #[test]

@@ -27,7 +27,10 @@ mod tests {
 
     #[test]
     fn digit_runs_collapse() {
-        assert_eq!(normalize_job_name("Ingest_2021_11_03_run7"), "Ingest_#_#_#_run#");
+        assert_eq!(
+            normalize_job_name("Ingest_2021_11_03_run7"),
+            "Ingest_#_#_#_run#"
+        );
         assert_eq!(
             normalize_job_name("Ingest_2022_01_09_run12"),
             normalize_job_name("Ingest_2021_11_03_run7")
@@ -41,6 +44,9 @@ mod tests {
 
     #[test]
     fn distinct_templates_stay_distinct() {
-        assert_ne!(normalize_job_name("IngestA_7"), normalize_job_name("IngestB_7"));
+        assert_ne!(
+            normalize_job_name("IngestA_7"),
+            normalize_job_name("IngestB_7")
+        );
     }
 }

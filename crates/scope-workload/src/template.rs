@@ -4,8 +4,8 @@
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use scope_ir::ids::{mix64, stable_hash64};
-use scope_lang::{Catalog, TableInfo};
 use scope_ir::stats::DualStats;
+use scope_lang::{Catalog, TableInfo};
 use serde::{Deserialize, Serialize};
 
 /// Structural pattern of a template. The mix approximates the operator
@@ -90,7 +90,10 @@ pub struct TemplateSpec {
 /// log-normal-ish multiplier in roughly [0.5, 2.0].
 #[must_use]
 pub fn cardinality_drift(table_path: &str, day: u32) -> f64 {
-    let h = mix64(stable_hash64(table_path.as_bytes()), u64::from(day) | 0xD81F_7000);
+    let h = mix64(
+        stable_hash64(table_path.as_bytes()),
+        u64::from(day) | 0xD81F_7000,
+    );
     let u1 = (h >> 11) as f64 / (1u64 << 53) as f64;
     let u2 = (mix64(h, 0x77) >> 11) as f64 / (1u64 << 53) as f64;
     let n = (u1 + u2 - 1.0) * 2.0; // triangular in [-2, 2]
@@ -221,7 +224,10 @@ OUTPUT hot TO "out/{tag}_hot";
             base_name: format!("{}_{tag}", pattern.name()),
             skeleton,
             tables,
-            stats: TemplateStats { pattern, num_tables },
+            stats: TemplateStats {
+                pattern,
+                num_tables,
+            },
         }
     }
 
@@ -245,7 +251,9 @@ OUTPUT hot TO "out/{tag}_hot";
             let actual = t.base_rows * cardinality_drift(&t.path, day);
             catalog.register(
                 t.path.clone(),
-                TableInfo { rows: DualStats::new(actual, t.base_rows) },
+                TableInfo {
+                    rows: DualStats::new(actual, t.base_rows),
+                },
             );
         }
         (script, catalog)
@@ -254,7 +262,13 @@ OUTPUT hot TO "out/{tag}_hot";
     /// The submitted (un-normalized) job name of one instance.
     #[must_use]
     pub fn instance_name(&self, day: u32, instance: u32) -> String {
-        format!("{}_{:04}_{:02}_run{}", self.base_name, 2021 + day / 365, day % 365, instance)
+        format!(
+            "{}_{:04}_{:02}_run{}",
+            self.base_name,
+            2021 + day / 365,
+            day % 365,
+            instance
+        )
     }
 }
 
@@ -283,7 +297,11 @@ mod tests {
         let (s2, c2) = spec.instantiate(5, 1);
         let p1 = bind_script(&s1, &c1).unwrap();
         let p2 = bind_script(&s2, &c2).unwrap();
-        assert_eq!(p1.template_id(), p2.template_id(), "instances share the template");
+        assert_eq!(
+            p1.template_id(),
+            p2.template_id(),
+            "instances share the template"
+        );
     }
 
     #[test]
@@ -322,7 +340,10 @@ mod tests {
             assert!((0.3..3.5).contains(&d), "drift {d} out of range");
         }
         // Varies across days.
-        assert_ne!(cardinality_drift("store/x", 1), cardinality_drift("store/x", 2));
+        assert_ne!(
+            cardinality_drift("store/x", 1),
+            cardinality_drift("store/x", 2)
+        );
     }
 
     #[test]

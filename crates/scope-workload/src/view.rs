@@ -10,11 +10,11 @@
 
 use crate::generator::JobInstance;
 use crate::naming::normalize_job_name;
+use scope_ir::ids::{mix64, stable_hash64};
 use scope_ir::logical::{LogicalOp, LogicalPlan};
 use scope_ir::{JobId, TemplateId};
 use scope_opt::{CompileError, HintSet, Optimizer, RuleBits};
 use scope_runtime::{execute, Cluster, ExecutionMetrics};
-use scope_ir::ids::{mix64, stable_hash64};
 use serde::{Deserialize, Serialize};
 
 /// Table 1 job-level features after super-root aggregation.
@@ -50,7 +50,12 @@ impl Table1Features {
     /// Aggregate per Table 1 from the job's logical DAG and its runtime
     /// metrics.
     #[must_use]
-    pub fn aggregate(job_name: &str, plan: &LogicalPlan, est_cost: f64, m: &ExecutionMetrics) -> Self {
+    pub fn aggregate(
+        job_name: &str,
+        plan: &LogicalPlan,
+        est_cost: f64,
+        m: &ExecutionMetrics,
+    ) -> Self {
         let schemas = plan.schemas();
         let mut est_cardinalities = 0.0;
         let mut row_count = 0.0;
@@ -178,7 +183,12 @@ mod tests {
             max_instances_per_day: 1,
         });
         let jobs = w.jobs_for_day(0);
-        build_view(&jobs, &Optimizer::default(), &HintSet::new(), &Cluster::default())
+        build_view(
+            &jobs,
+            &Optimizer::default(),
+            &HintSet::new(),
+            &Cluster::default(),
+        )
     }
 
     #[test]
@@ -198,7 +208,10 @@ mod tests {
         let rows = small_day();
         for r in &rows {
             let f = &r.features;
-            assert_eq!(f.latency, r.metrics.latency_sec, "J-level min = the job value");
+            assert_eq!(
+                f.latency, r.metrics.latency_sec,
+                "J-level min = the job value"
+            );
             assert_eq!(f.pn_hours, r.metrics.pn_hours);
             assert_eq!(f.total_vertices, r.metrics.vertices as f64);
             assert!(f.estimated_cardinalities > 0.0);
@@ -246,7 +259,10 @@ mod tests {
         let mut hints = HintSet::new();
         hints.insert(Hint {
             template: jobs[0].template,
-            flip: RuleFlip { rule: RuleId(21), enable: true },
+            flip: RuleFlip {
+                rule: RuleId(21),
+                enable: true,
+            },
         });
         let hinted = build_view(&jobs, &optimizer, &hints, &cluster);
         let changed = base

@@ -1,8 +1,8 @@
 //! Versioned, validated hint storage.
 
 use parking_lot::RwLock;
-use scope_opt::{Hint, HintSet, RuleConfig, RULE_COUNT};
 use scope_ir::TemplateId;
+use scope_opt::{Hint, HintSet, RuleConfig, RULE_COUNT};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -66,14 +66,20 @@ impl SisStore {
     /// In-memory store (most tests and simulations).
     #[must_use]
     pub fn in_memory() -> Self {
-        Self { dir: None, state: RwLock::new(State::default()) }
+        Self {
+            dir: None,
+            state: RwLock::new(State::default()),
+        }
     }
 
     /// Store persisting published files under `dir`.
     pub fn at_dir(dir: impl AsRef<Path>) -> Result<Self, SisError> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir).map_err(|e| SisError::Io(e.to_string()))?;
-        Ok(Self { dir: Some(dir), state: RwLock::new(State::default()) })
+        Ok(Self {
+            dir: Some(dir),
+            state: RwLock::new(State::default()),
+        })
     }
 
     /// Validate a hint file's format (§4.4: SIS "validates the format before
@@ -82,10 +88,14 @@ impl SisStore {
         let mut seen = std::collections::HashSet::new();
         for h in &file.hints {
             if usize::from(h.flip.rule.0) >= RULE_COUNT {
-                return Err(SisError::BadRuleId { rule: h.flip.rule.0 });
+                return Err(SisError::BadRuleId {
+                    rule: h.flip.rule.0,
+                });
             }
             if !seen.insert(h.template) {
-                return Err(SisError::DuplicateTemplate { template: h.template });
+                return Err(SisError::DuplicateTemplate {
+                    template: h.template,
+                });
             }
         }
         Ok(())
@@ -96,7 +106,10 @@ impl SisStore {
         Self::validate(&file)?;
         let mut state = self.state.write();
         if file.version <= state.version && state.version > 0 {
-            return Err(SisError::StaleVersion { proposed: file.version, current: state.version });
+            return Err(SisError::StaleVersion {
+                proposed: file.version,
+                current: state.version,
+            });
         }
         if let Some(dir) = &self.dir {
             let path = dir.join(format!("hints-v{:06}.json", file.version));
@@ -111,7 +124,9 @@ impl SisStore {
 
     /// Load the highest-versioned persisted hint file from disk.
     pub fn reload_latest(&self) -> Result<Option<u32>, SisError> {
-        let Some(dir) = &self.dir else { return Ok(None) };
+        let Some(dir) = &self.dir else {
+            return Ok(None);
+        };
         let mut best: Option<(u32, PathBuf)> = None;
         let entries = std::fs::read_dir(dir).map_err(|e| SisError::Io(e.to_string()))?;
         for entry in entries {
@@ -127,7 +142,9 @@ impl SisStore {
                 }
             }
         }
-        let Some((version, path)) = best else { return Ok(None) };
+        let Some((version, path)) = best else {
+            return Ok(None);
+        };
         let json = std::fs::read_to_string(path).map_err(|e| SisError::Io(e.to_string()))?;
         let file: HintFile =
             serde_json::from_str(&json).map_err(|e| SisError::Io(e.to_string()))?;
@@ -169,14 +186,24 @@ mod tests {
     use scope_opt::{RuleFlip, RuleId};
 
     fn hint(template: u64, rule: u16, enable: bool) -> Hint {
-        Hint { template: TemplateId(template), flip: RuleFlip { rule: RuleId(rule), enable } }
+        Hint {
+            template: TemplateId(template),
+            flip: RuleFlip {
+                rule: RuleId(rule),
+                enable,
+            },
+        }
     }
 
     #[test]
     fn publish_and_lookup() {
         let store = SisStore::in_memory();
         let v = store
-            .publish(HintFile { version: 1, source_day: 0, hints: vec![hint(42, 21, true)] })
+            .publish(HintFile {
+                version: 1,
+                source_day: 0,
+                hints: vec![hint(42, 21, true)],
+            })
             .unwrap();
         assert_eq!(v, 1);
         assert_eq!(store.len(), 1);
@@ -189,25 +216,51 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_rule_and_duplicates() {
-        let bad = HintFile { version: 1, source_day: 0, hints: vec![hint(1, 999, true)] };
-        assert!(matches!(SisStore::validate(&bad), Err(SisError::BadRuleId { rule: 999 })));
+        let bad = HintFile {
+            version: 1,
+            source_day: 0,
+            hints: vec![hint(1, 999, true)],
+        };
+        assert!(matches!(
+            SisStore::validate(&bad),
+            Err(SisError::BadRuleId { rule: 999 })
+        ));
         let dup = HintFile {
             version: 1,
             source_day: 0,
             hints: vec![hint(1, 3, true), hint(1, 4, false)],
         };
-        assert!(matches!(SisStore::validate(&dup), Err(SisError::DuplicateTemplate { .. })));
+        assert!(matches!(
+            SisStore::validate(&dup),
+            Err(SisError::DuplicateTemplate { .. })
+        ));
     }
 
     #[test]
     fn versions_must_increase() {
         let store = SisStore::in_memory();
-        store.publish(HintFile { version: 2, source_day: 0, hints: vec![] }).unwrap();
+        store
+            .publish(HintFile {
+                version: 2,
+                source_day: 0,
+                hints: vec![],
+            })
+            .unwrap();
         let err = store
-            .publish(HintFile { version: 2, source_day: 1, hints: vec![] })
+            .publish(HintFile {
+                version: 2,
+                source_day: 1,
+                hints: vec![],
+            })
             .unwrap_err();
         assert!(matches!(err, SisError::StaleVersion { .. }));
-        store.publish(HintFile { version: 3, source_day: 1, hints: vec![] }).unwrap();
+        store
+            .publish(HintFile {
+                version: 3,
+                source_day: 1,
+                hints: vec![],
+            })
+            .unwrap();
         assert_eq!(store.version(), 3);
     }
 
@@ -215,16 +268,26 @@ mod tests {
     fn new_file_replaces_old_hints() {
         let store = SisStore::in_memory();
         store
-            .publish(HintFile { version: 1, source_day: 0, hints: vec![hint(1, 21, true)] })
+            .publish(HintFile {
+                version: 1,
+                source_day: 0,
+                hints: vec![hint(1, 21, true)],
+            })
             .unwrap();
         store
-            .publish(HintFile { version: 2, source_day: 1, hints: vec![hint(2, 22, true)] })
+            .publish(HintFile {
+                version: 2,
+                source_day: 1,
+                hints: vec![hint(2, 22, true)],
+            })
             .unwrap();
         let optimizer = scope_opt::Optimizer::default();
         let default = optimizer.default_config();
         // Old hint gone, new hint live.
         assert_eq!(store.config_for(TemplateId(1), &default), default);
-        assert!(store.config_for(TemplateId(2), &default).enabled(RuleId(22)));
+        assert!(store
+            .config_for(TemplateId(2), &default)
+            .enabled(RuleId(22)));
     }
 
     #[test]
@@ -234,10 +297,18 @@ mod tests {
         {
             let store = SisStore::at_dir(&dir).unwrap();
             store
-                .publish(HintFile { version: 1, source_day: 0, hints: vec![hint(5, 26, false)] })
+                .publish(HintFile {
+                    version: 1,
+                    source_day: 0,
+                    hints: vec![hint(5, 26, false)],
+                })
                 .unwrap();
             store
-                .publish(HintFile { version: 2, source_day: 1, hints: vec![hint(6, 27, false)] })
+                .publish(HintFile {
+                    version: 2,
+                    source_day: 1,
+                    hints: vec![hint(6, 27, false)],
+                })
                 .unwrap();
         }
         let fresh = SisStore::at_dir(&dir).unwrap();
@@ -246,7 +317,9 @@ mod tests {
         assert_eq!(fresh.len(), 1);
         let optimizer = scope_opt::Optimizer::default();
         let default = optimizer.default_config();
-        assert!(!fresh.config_for(TemplateId(6), &default).enabled(RuleId(27)));
+        assert!(!fresh
+            .config_for(TemplateId(6), &default)
+            .enabled(RuleId(27)));
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

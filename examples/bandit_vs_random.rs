@@ -20,22 +20,36 @@ fn main() {
     };
     let mut sim = qo_advisor::ProductionSim::new(workload, PipelineConfig::default());
     sim.bootstrap_validation_model(3, 16);
-    println!("training the contextual bandit through {} daily loops...", 20);
+    println!(
+        "training the contextual bandit through {} daily loops...",
+        20
+    );
     for _ in 0..20 {
         sim.advance_day();
     }
-    println!("  CB absorbed {} reward events\n", sim.advisor.personalizer().events());
+    println!(
+        "  CB absorbed {} reward events\n",
+        sim.advisor.personalizer().events()
+    );
 
     // Evaluation day: same jobs, no hints, both policies.
     let day = sim.day;
     let jobs = sim.workload.jobs_for_day(day);
-    let view = build_view(&jobs, &sim.optimizer, &Default::default(), &sim.prod_cluster);
+    let view = build_view(
+        &jobs,
+        &sim.optimizer,
+        &Default::default(),
+        &sim.prod_cluster,
+    );
     let cb_report = sim.advisor.run_day(&view, day);
 
     let mut random = QoAdvisor::new(
         sim.optimizer.clone(),
         FlightingService::new(Cluster::preproduction(), FlightBudget::default()),
-        PipelineConfig { strategy: RecommendStrategy::UniformRandom, ..PipelineConfig::default() },
+        PipelineConfig {
+            strategy: RecommendStrategy::UniformRandom,
+            ..PipelineConfig::default()
+        },
     );
     let rd_report = random.run_day(&view, day);
 
@@ -44,7 +58,11 @@ fn main() {
     row("lower cost", rd_report.lower_cost, cb_report.lower_cost);
     row("equal cost", rd_report.equal_cost, cb_report.equal_cost);
     row("higher cost", rd_report.higher_cost, cb_report.higher_cost);
-    row("recompile fail", rd_report.recompile_failures, cb_report.recompile_failures);
+    row(
+        "recompile fail",
+        rd_report.recompile_failures,
+        cb_report.recompile_failures,
+    );
     row("no-op chosen", rd_report.noop_chosen, cb_report.noop_chosen);
     println!(
         "{:>18} {:>10.3e} {:>10.3e}",

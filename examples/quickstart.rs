@@ -6,10 +6,10 @@
 //! ```
 
 use scope_ir::display::{explain_logical, explain_physical};
+use scope_ir::stats::DualStats;
 use scope_lang::{bind_script, Catalog, TableInfo};
 use scope_opt::{compute_span, Hint, HintSet, Optimizer, RuleFlip};
 use scope_runtime::{execute, Cluster};
-use scope_ir::stats::DualStats;
 
 const SCRIPT: &str = r#"
     // Daily revenue rollup: filter the fact table, join the dimension,
@@ -27,8 +27,18 @@ const SCRIPT: &str = r#"
 fn main() {
     // 1. Bind the script against a catalog (stale estimates included).
     let mut catalog = Catalog::default();
-    catalog.register("store/sales", TableInfo { rows: DualStats::new(3.0e8, 2.0e8) });
-    catalog.register("store/users", TableInfo { rows: DualStats::exact(5.0e6) });
+    catalog.register(
+        "store/sales",
+        TableInfo {
+            rows: DualStats::new(3.0e8, 2.0e8),
+        },
+    );
+    catalog.register(
+        "store/users",
+        TableInfo {
+            rows: DualStats::exact(5.0e6),
+        },
+    );
     let plan = bind_script(SCRIPT, &catalog).expect("script binds");
     println!("== logical plan (a DAG: two outputs share the filtered scan) ==");
     println!("{}", explain_logical(&plan));
@@ -36,7 +46,9 @@ fn main() {
     // 2. Compile with the default rule configuration.
     let optimizer = Optimizer::default();
     let default = optimizer.default_config();
-    let compiled = optimizer.compile(&plan, &default).expect("default compiles");
+    let compiled = optimizer
+        .compile(&plan, &default)
+        .expect("default compiles");
     println!("== physical plan ==");
     println!("{}", explain_physical(&compiled.physical));
     println!("estimated cost: {:.3e}", compiled.est_cost);
@@ -62,7 +74,10 @@ fn main() {
     println!("\nsingle-flip recompilations:");
     let mut best: Option<(RuleFlip, f64)> = None;
     for rule in span.span.iter() {
-        let flip = RuleFlip { rule, enable: !default.enabled(rule) };
+        let flip = RuleFlip {
+            rule,
+            enable: !default.enabled(rule),
+        };
         match optimizer.compile(&plan, &default.with_flip(flip)) {
             Ok(c) => {
                 let delta = c.est_cost / compiled.est_cost - 1.0;
@@ -97,11 +112,17 @@ fn main() {
 
         // 6. Package the flip as a SIS-style hint: future compilations of
         // this template pick it up automatically.
-        let hints = HintSet::from_hints([Hint { template: plan.template_id(), flip }]);
+        let hints = HintSet::from_hints([Hint {
+            template: plan.template_id(),
+            flip,
+        }]);
         let cfg = hints.config_for(plan.template_id(), &default);
         let rehinted = optimizer.compile(&plan, &cfg).unwrap();
         assert_eq!(rehinted.est_cost, steered.est_cost);
-        println!("hint stored for template {} and applied on recompile", plan.template_id());
+        println!(
+            "hint stored for template {} and applied on recompile",
+            plan.template_id()
+        );
     } else {
         println!("no estimated-cost-improving flip in the span for this job");
     }

@@ -7,9 +7,9 @@
 //! cargo run --release --example span_explorer
 //! ```
 
+use scope_lang::bind_script;
 use scope_opt::{compute_span, Optimizer};
 use scope_workload::{TemplateSpec, Workload, WorkloadConfig};
-use scope_lang::bind_script;
 
 fn main() {
     let optimizer = Optimizer::default();
@@ -26,13 +26,10 @@ fn main() {
     );
     let mut sizes = Vec::new();
     for job in workload.jobs_for_day(0) {
-        let Ok(span) = compute_span(&optimizer, &job.plan, 6) else { continue };
-        let pattern = job
-            .name
-            .split('_')
-            .next()
-            .unwrap_or("?")
-            .to_string();
+        let Ok(span) = compute_span(&optimizer, &job.plan, 6) else {
+            continue;
+        };
+        let pattern = job.name.split('_').next().unwrap_or("?").to_string();
         println!(
             "{:>22} {:>6} {:>10} {:>6} {:>7} {:>9}",
             pattern,
@@ -58,10 +55,18 @@ fn main() {
     let (script, catalog) = spec.instantiate(0, 0);
     let plan = bind_script(&script, &catalog).unwrap();
     let span = compute_span(&optimizer, &plan, 6).unwrap();
-    println!("\ntemplate {} ({}):", spec.base_name, spec.stats.pattern.name());
+    println!(
+        "\ntemplate {} ({}):",
+        spec.base_name,
+        spec.stats.pattern.name()
+    );
     for rule in span.span.iter() {
         let def = optimizer.rules().rule(rule);
-        let state = if optimizer.default_config().enabled(rule) { "on " } else { "off" };
+        let state = if optimizer.default_config().enabled(rule) {
+            "on "
+        } else {
+            "off"
+        };
         println!("  {rule} [{state}] {:28} {}", def.name, def.category.name());
     }
 }

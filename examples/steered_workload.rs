@@ -54,7 +54,10 @@ fn main() {
     }
 
     let agg = aggregate_impact(&all);
-    println!("\n== aggregate impact on the {} hint-matched jobs (Table 2 analogue) ==", agg.jobs);
+    println!(
+        "\n== aggregate impact on the {} hint-matched jobs (Table 2 analogue) ==",
+        agg.jobs
+    );
     println!("  PNhours:  {:+.1}%   (paper: -14.3%)", agg.pn_hours_pct);
     println!("  Latency:  {:+.1}%   (paper:  -8.9%)", agg.latency_pct);
     println!("  Vertices: {:+.1}%   (paper: -52.8%)", agg.vertices_pct);

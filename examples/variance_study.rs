@@ -9,14 +9,19 @@
 
 use flighting::aa::coefficient_of_variation;
 use flighting::run_aa;
+use scope_ir::stats::DualStats;
 use scope_lang::{bind_script, Catalog, TableInfo};
 use scope_opt::Optimizer;
 use scope_runtime::Cluster;
-use scope_ir::stats::DualStats;
 
 fn main() {
     let mut catalog = Catalog::default();
-    catalog.register("logs/clicks", TableInfo { rows: DualStats::exact(4.0e8) });
+    catalog.register(
+        "logs/clicks",
+        TableInfo {
+            rows: DualStats::exact(4.0e8),
+        },
+    );
     let plan = bind_script(
         r#"
         clicks = EXTRACT user:int, page:int, dwell:float FROM "logs/clicks";
@@ -28,7 +33,9 @@ fn main() {
     )
     .unwrap();
     let optimizer = Optimizer::default();
-    let compiled = optimizer.compile(&plan, &optimizer.default_config()).unwrap();
+    let compiled = optimizer
+        .compile(&plan, &optimizer.default_config())
+        .unwrap();
 
     for (name, cluster) in [
         ("production", Cluster::default()),
@@ -36,7 +43,10 @@ fn main() {
     ] {
         let runs = run_aa(&compiled.physical, &cluster, 77, 10);
         println!("== {name}: 10 A/A runs ==");
-        println!("{:>4} {:>12} {:>10} {:>14} {:>14}", "run", "latency_s", "pn_hours", "read_B", "written_B");
+        println!(
+            "{:>4} {:>12} {:>10} {:>14} {:>14}",
+            "run", "latency_s", "pn_hours", "read_B", "written_B"
+        );
         for (i, m) in runs.iter().enumerate() {
             println!(
                 "{:>4} {:>12.1} {:>10.4} {:>14.3e} {:>14.3e}",

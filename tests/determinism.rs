@@ -1,0 +1,109 @@
+//! Thread-count invariance of the staged pipeline: the same multi-day
+//! simulation run serially and at 1, 2, and 8 worker threads must produce
+//! byte-identical daily reports and byte-identical published SIS hint files.
+//!
+//! This is the contract that makes the parallel Feature Generation /
+//! Recompilation fan-outs safe to deploy: parallelism is purely a throughput
+//! knob, never a behavior knob (the paper's flighting and hint pipeline is
+//! reproducible by construction; see ISSUE/ROADMAP).
+
+use qo_advisor::{ParallelismConfig, PipelineConfig, ProductionSim};
+use scope_workload::WorkloadConfig;
+use sis::SisStore;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+const DAYS: u32 = 3;
+
+fn workload() -> WorkloadConfig {
+    // Parameters chosen so the 3-day run publishes several hint files —
+    // otherwise the file comparison below would be vacuous.
+    WorkloadConfig {
+        seed: 99,
+        num_templates: 24,
+        adhoc_per_day: 3,
+        max_instances_per_day: 1,
+    }
+}
+
+/// Removes the test's temp tree on drop, so hint-file directories do not
+/// accumulate in the system temp dir even when an assertion fails.
+struct TempTree(PathBuf);
+
+impl Drop for TempTree {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Run a fresh DAYS-day simulation publishing hint files into `sis_dir`;
+/// returns the Debug rendering of every daily report (a byte-level summary
+/// of all counters and cost totals).
+fn run_sim(threads: Option<usize>, sis_dir: &Path) -> Vec<String> {
+    let config = PipelineConfig {
+        parallelism: ParallelismConfig { threads },
+        ..PipelineConfig::default()
+    };
+    let mut sim = ProductionSim::with_sis_store(
+        workload(),
+        config,
+        SisStore::at_dir(sis_dir).expect("create sis dir"),
+    );
+    (0..DAYS)
+        .map(|_| format!("{:?}", sim.advance_day().report))
+        .collect()
+}
+
+/// All published hint files in a SIS directory, name → raw bytes.
+fn hint_files(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    std::fs::read_dir(dir)
+        .expect("sis dir exists")
+        .map(|entry| {
+            let entry = entry.expect("readable dir entry");
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let bytes = std::fs::read(entry.path()).expect("readable hint file");
+            (name, bytes)
+        })
+        .collect()
+}
+
+#[test]
+fn reports_and_hint_files_are_identical_at_any_thread_count() {
+    let base =
+        TempTree(std::env::temp_dir().join(format!("qo-determinism-{}", std::process::id())));
+    let _ = std::fs::remove_dir_all(&base.0);
+
+    let serial_dir = base.0.join("serial");
+    let baseline_reports = run_sim(None, &serial_dir);
+    let baseline_files = hint_files(&serial_dir);
+
+    assert!(
+        !baseline_files.is_empty(),
+        "the baseline simulation must publish at least one hint file, \
+         or this test compares nothing"
+    );
+
+    for threads in [1usize, 2, 8] {
+        let dir = base.0.join(format!("t{threads}"));
+        let reports = run_sim(Some(threads), &dir);
+        assert_eq!(
+            reports, baseline_reports,
+            "daily reports diverged at {threads} worker threads"
+        );
+        assert_eq!(
+            hint_files(&dir),
+            baseline_files,
+            "published SIS hint files diverged at {threads} worker threads"
+        );
+    }
+}
+
+#[test]
+fn parallel_config_default_is_serial() {
+    assert_eq!(
+        PipelineConfig::default().parallelism,
+        ParallelismConfig::serial()
+    );
+    assert_eq!(ParallelismConfig::default().threads, None);
+    assert_eq!(ParallelismConfig::with_threads(4).threads, Some(4));
+}

@@ -1,10 +1,10 @@
 //! Cross-crate integration: script → binder → optimizer → runtime, with
 //! signatures, spans, and hints behaving consistently along the way.
 
+use scope_ir::stats::DualStats;
 use scope_lang::{bind_script, Catalog, TableInfo};
 use scope_opt::{compute_span, Hint, HintSet, Optimizer, RuleFlip};
 use scope_runtime::{execute, Cluster};
-use scope_ir::stats::DualStats;
 
 const SCRIPT: &str = r#"
     fact = EXTRACT k:int, m:int, v:float FROM "t/fact";
@@ -17,8 +17,18 @@ const SCRIPT: &str = r#"
 
 fn catalog() -> Catalog {
     let mut c = Catalog::default();
-    c.register("t/fact", TableInfo { rows: DualStats::new(2.0e8, 1.2e8) });
-    c.register("t/dim", TableInfo { rows: DualStats::exact(1.0e6) });
+    c.register(
+        "t/fact",
+        TableInfo {
+            rows: DualStats::new(2.0e8, 1.2e8),
+        },
+    );
+    c.register(
+        "t/dim",
+        TableInfo {
+            rows: DualStats::exact(1.0e6),
+        },
+    );
     c
 }
 
@@ -26,13 +36,18 @@ fn catalog() -> Catalog {
 fn script_to_metrics_roundtrip() {
     let plan = bind_script(SCRIPT, &catalog()).unwrap();
     let optimizer = Optimizer::default();
-    let compiled = optimizer.compile(&plan, &optimizer.default_config()).unwrap();
+    let compiled = optimizer
+        .compile(&plan, &optimizer.default_config())
+        .unwrap();
     compiled.physical.validate().unwrap();
     let metrics = execute(&compiled.physical, &Cluster::default(), 1, 1);
     assert!(metrics.latency_sec > 0.0);
     assert!(metrics.pn_hours > 0.0);
     assert!(metrics.data_read > 0.0, "scans read data");
-    assert!(metrics.vertices > 1, "distributed job uses multiple vertices");
+    assert!(
+        metrics.vertices > 1,
+        "distributed job uses multiple vertices"
+    );
     assert!(metrics.tokens <= metrics.vertices);
 }
 
@@ -44,7 +59,10 @@ fn every_span_flip_compiles_or_fails_deterministically() {
     let span = compute_span(&optimizer, &plan, 6).unwrap();
     assert!(!span.is_empty());
     for rule in span.span.iter() {
-        let flip = RuleFlip { rule, enable: !default.enabled(rule) };
+        let flip = RuleFlip {
+            rule,
+            enable: !default.enabled(rule),
+        };
         let cfg = default.with_flip(flip);
         let first = optimizer.compile(&plan, &cfg).map(|c| c.est_cost.to_bits());
         let second = optimizer.compile(&plan, &cfg).map(|c| c.est_cost.to_bits());
@@ -66,8 +84,13 @@ fn steering_changes_runtime_profile_not_just_estimates() {
 
     let mut changed_runtime = 0;
     for rule in span.span.iter() {
-        let flip = RuleFlip { rule, enable: !default.enabled(rule) };
-        let Ok(c) = optimizer.compile(&plan, &default.with_flip(flip)) else { continue };
+        let flip = RuleFlip {
+            rule,
+            enable: !default.enabled(rule),
+        };
+        let Ok(c) = optimizer.compile(&plan, &default.with_flip(flip)) else {
+            continue;
+        };
         if c.physical == base_compiled.physical {
             continue;
         }
@@ -76,7 +99,10 @@ fn steering_changes_runtime_profile_not_just_estimates() {
             changed_runtime += 1;
         }
     }
-    assert!(changed_runtime > 0, "some flip must change ground-truth PNhours");
+    assert!(
+        changed_runtime > 0,
+        "some flip must change ground-truth PNhours"
+    );
 }
 
 #[test]
@@ -95,8 +121,14 @@ fn hints_steer_future_compilations_of_the_template_only() {
     let default = optimizer.default_config();
     let span = compute_span(&optimizer, &plan, 6).unwrap();
     let rule = span.span.iter().next().unwrap();
-    let flip = RuleFlip { rule, enable: !default.enabled(rule) };
-    let hints = HintSet::from_hints([Hint { template: plan.template_id(), flip }]);
+    let flip = RuleFlip {
+        rule,
+        enable: !default.enabled(rule),
+    };
+    let hints = HintSet::from_hints([Hint {
+        template: plan.template_id(),
+        flip,
+    }]);
 
     let hinted_cfg = hints.config_for(plan.template_id(), &default);
     assert_ne!(hinted_cfg, default);
@@ -125,7 +157,9 @@ fn estimated_and_actual_costs_disagree_per_design() {
     // realistic templates (it is the premise of the whole paper).
     let plan = bind_script(SCRIPT, &catalog()).unwrap();
     let optimizer = Optimizer::default();
-    let compiled = optimizer.compile(&plan, &optimizer.default_config()).unwrap();
+    let compiled = optimizer
+        .compile(&plan, &optimizer.default_config())
+        .unwrap();
     let mut max_q: f64 = 1.0;
     for id in compiled.physical.topo_order() {
         let s = compiled.physical.node(id).stats;
@@ -134,5 +168,8 @@ fn estimated_and_actual_costs_disagree_per_design() {
             max_q = max_q.max(q);
         }
     }
-    assert!(max_q > 1.2, "mis-estimation must exist (max q-error {max_q})");
+    assert!(
+        max_q > 1.2,
+        "mis-estimation must exist (max q-error {max_q})"
+    );
 }

@@ -6,14 +6,22 @@ use qo_advisor::{MonitorConfig, PipelineConfig, ProductionSim};
 use scope_workload::WorkloadConfig;
 
 fn workload(seed: u64) -> WorkloadConfig {
-    WorkloadConfig { seed, num_templates: 14, adhoc_per_day: 3, max_instances_per_day: 1 }
+    WorkloadConfig {
+        seed,
+        num_templates: 14,
+        adhoc_per_day: 3,
+        max_instances_per_day: 1,
+    }
 }
 
 #[test]
 fn skip_explored_reduces_daily_work() {
     let mut sim = ProductionSim::new(
         workload(61),
-        PipelineConfig { skip_explored: true, ..PipelineConfig::default() },
+        PipelineConfig {
+            skip_explored: true,
+            ..PipelineConfig::default()
+        },
     );
     sim.bootstrap_validation_model(2, 10);
     let first = sim.advance_day();

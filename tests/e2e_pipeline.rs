@@ -1,11 +1,18 @@
 //! End-to-end pipeline integration: the closed steering loop over a
 //! multi-day workload, with the safety properties the paper deploys on.
 
-use qo_advisor::{aggregate_impact, PipelineConfig, ProductionSim, RecommendStrategy, ValidationModel};
+use qo_advisor::{
+    aggregate_impact, PipelineConfig, ProductionSim, RecommendStrategy, ValidationModel,
+};
 use scope_workload::WorkloadConfig;
 
 fn workload(seed: u64) -> WorkloadConfig {
-    WorkloadConfig { seed, num_templates: 16, adhoc_per_day: 4, max_instances_per_day: 1 }
+    WorkloadConfig {
+        seed,
+        num_templates: 16,
+        adhoc_per_day: 4,
+        max_instances_per_day: 1,
+    }
 }
 
 #[test]
@@ -15,10 +22,15 @@ fn closed_loop_publishes_hints_and_improves_pnhours() {
     let outcomes = sim.run(12);
 
     let hints: usize = outcomes.iter().map(|o| o.report.hints_published).sum();
-    let comparisons: Vec<_> =
-        outcomes.iter().flat_map(|o| o.comparisons.iter().copied()).collect();
+    let comparisons: Vec<_> = outcomes
+        .iter()
+        .flat_map(|o| o.comparisons.iter().copied())
+        .collect();
     assert!(hints > 0, "the pipeline must find and validate some flips");
-    assert!(!comparisons.is_empty(), "hints must match future recurring instances");
+    assert!(
+        !comparisons.is_empty(),
+        "hints must match future recurring instances"
+    );
 
     let agg = aggregate_impact(&comparisons);
     assert!(
@@ -33,8 +45,10 @@ fn validated_flips_rarely_regress_pnhours() {
     let mut sim = ProductionSim::new(workload(77), PipelineConfig::default());
     sim.bootstrap_validation_model(4, 16);
     let outcomes = sim.run(12);
-    let comparisons: Vec<_> =
-        outcomes.iter().flat_map(|o| o.comparisons.iter().copied()).collect();
+    let comparisons: Vec<_> = outcomes
+        .iter()
+        .flat_map(|o| o.comparisons.iter().copied())
+        .collect();
     if comparisons.is_empty() {
         return; // nothing validated on this seed; covered by other seeds
     }
@@ -57,10 +71,16 @@ fn pipeline_without_validation_model_is_more_conservative_than_broken() {
 
 #[test]
 fn daily_reports_are_internally_consistent_across_strategies() {
-    for strategy in [RecommendStrategy::ContextualBandit, RecommendStrategy::UniformRandom] {
+    for strategy in [
+        RecommendStrategy::ContextualBandit,
+        RecommendStrategy::UniformRandom,
+    ] {
         let mut sim = ProductionSim::new(
             workload(11),
-            PipelineConfig { strategy, ..PipelineConfig::default() },
+            PipelineConfig {
+                strategy,
+                ..PipelineConfig::default()
+            },
         );
         let out = sim.advance_day();
         let r = &out.report;
@@ -99,7 +119,13 @@ fn simulation_is_reproducible() {
         let outcomes = sim.run(4);
         outcomes
             .iter()
-            .map(|o| (o.report.hints_published, o.report.lower_cost, o.comparisons.len()))
+            .map(|o| {
+                (
+                    o.report.hints_published,
+                    o.report.lower_cost,
+                    o.comparisons.len(),
+                )
+            })
             .collect::<Vec<_>>()
     };
     assert_eq!(run(), run());

@@ -3,7 +3,9 @@
 //! a trained bandit against its own log.
 
 use flighting::{FlightBudget, FlightOutcome, FlightRequest, FlightingService};
-use personalizer::{ips_estimate, snips_estimate, CbConfig, LoggedOutcome, Personalizer, RankRequest};
+use personalizer::{
+    ips_estimate, snips_estimate, CbConfig, LoggedOutcome, Personalizer, RankRequest,
+};
 use qo_advisor::{ValidationModel, ValidationSample};
 use scope_opt::{compute_span, Optimizer, RuleFlip};
 use scope_runtime::Cluster;
@@ -25,9 +27,16 @@ fn flighting_results_train_a_useful_validation_model() {
     for day in 0..6u32 {
         let mut requests = Vec::new();
         for job in workload.jobs_for_day(day) {
-            let Ok(span) = compute_span(&optimizer, &job.plan, 6) else { continue };
-            let Some(rule) = span.span.iter().next() else { continue };
-            let flip = RuleFlip { rule, enable: !default.enabled(rule) };
+            let Ok(span) = compute_span(&optimizer, &job.plan, 6) else {
+                continue;
+            };
+            let Some(rule) = span.span.iter().next() else {
+                continue;
+            };
+            let flip = RuleFlip {
+                rule,
+                enable: !default.enabled(rule),
+            };
             requests.push(FlightRequest {
                 template: job.template,
                 plan: job.plan,
@@ -38,20 +47,31 @@ fn flighting_results_train_a_useful_validation_model() {
         }
         let (outcomes, tracker) = svc.flight_batch(&optimizer, &requests);
         assert!(tracker.used_seconds >= 0.0);
-        samples.extend(outcomes.iter().filter_map(|o| o.measurement()).map(|m| {
-            ValidationSample {
-                data_read_delta: m.data_read_delta(),
-                data_written_delta: m.data_written_delta(),
-                pn_delta: m.pn_delta(),
-            }
-        }));
+        samples.extend(
+            outcomes
+                .iter()
+                .filter_map(|o| o.measurement())
+                .map(|m| ValidationSample {
+                    data_read_delta: m.data_read_delta(),
+                    data_written_delta: m.data_written_delta(),
+                    pn_delta: m.pn_delta(),
+                }),
+        );
     }
-    assert!(samples.len() >= 10, "flighting produced {} samples", samples.len());
+    assert!(
+        samples.len() >= 10,
+        "flighting produced {} samples",
+        samples.len()
+    );
     let model = ValidationModel::fit(&samples).expect("fits");
     // Data deltas must carry real signal: positive read coefficient and a
     // usable fit on its own training data.
     assert!(model.w_read > 0.1, "w_read {}", model.w_read);
-    assert!(model.r_squared(&samples) > 0.3, "R2 {}", model.r_squared(&samples));
+    assert!(
+        model.r_squared(&samples) > 0.3,
+        "R2 {}",
+        model.r_squared(&samples)
+    );
 }
 
 #[test]
@@ -94,7 +114,10 @@ fn sis_store_survives_restart_and_serves_hints() {
     let dir = std::env::temp_dir().join(format!("sis-e2e-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let template = scope_ir::TemplateId(0xFEED);
-    let flip = RuleFlip { rule: scope_opt::RuleId(21), enable: true };
+    let flip = RuleFlip {
+        rule: scope_opt::RuleId(21),
+        enable: true,
+    };
     {
         let store = SisStore::at_dir(&dir).unwrap();
         store

@@ -19,9 +19,11 @@ fn window_statement_parses() {
         .statements
         .iter()
         .find_map(|s| match s {
-            scope_lang::ast::Statement::Window { partition_by, funcs, .. } => {
-                Some((partition_by.len(), funcs.len()))
-            }
+            scope_lang::ast::Statement::Window {
+                partition_by,
+                funcs,
+                ..
+            } => Some((partition_by.len(), funcs.len())),
             _ => None,
         })
         .expect("window statement present");
@@ -49,10 +51,18 @@ fn window_binds_with_appended_columns() {
 fn window_compiles_and_executes() {
     let plan = bind_script(SCRIPT, &Catalog::default()).unwrap();
     let optimizer = Optimizer::default();
-    let compiled = optimizer.compile(&plan, &optimizer.default_config()).unwrap();
+    let compiled = optimizer
+        .compile(&plan, &optimizer.default_config())
+        .unwrap();
     compiled.physical.validate().unwrap();
-    assert!(compiled.physical.count_tag("WindowExec") >= 1, "window implemented");
-    assert!(compiled.physical.exchange_count() >= 1, "partitioned on the window keys");
+    assert!(
+        compiled.physical.count_tag("WindowExec") >= 1,
+        "window implemented"
+    );
+    assert!(
+        compiled.physical.exchange_count() >= 1,
+        "partitioned on the window keys"
+    );
     let m = execute(&compiled.physical, &Cluster::default(), 3, 3);
     assert!(m.pn_hours > 0.0 && m.latency_sec > 0.0);
 }
@@ -64,7 +74,10 @@ fn window_rejects_unknown_aggregate_and_column() {
         w = WINDOW t PARTITION BY k AGGREGATE MEDIAN(k) AS m;
         OUTPUT w TO "o";
     "#;
-    assert!(parse_script(bad_func).is_err(), "MEDIAN is not a known aggregate");
+    assert!(
+        parse_script(bad_func).is_err(),
+        "MEDIAN is not a known aggregate"
+    );
     let bad_col = r#"
         t = EXTRACT k:int FROM "d";
         w = WINDOW t PARTITION BY nope AGGREGATE SUM(k) AS s;

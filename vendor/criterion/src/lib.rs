@@ -1,0 +1,183 @@
+//! Offline stand-in for `criterion`, covering the harness surface this
+//! workspace's benches use: `Criterion::bench_function`, `Bencher::iter` /
+//! `iter_batched`, `BatchSize`, and the `criterion_group!`/`criterion_main!`
+//! macros.
+//!
+//! Measurement model: a short calibration run sizes batches to ~10ms, then
+//! samples are collected for a fixed wall budget and reported as
+//! median/mean/p95 per iteration in criterion's familiar one-line format.
+//! Numbers are comparable run-over-run on the same host, which is what the
+//! bench trajectory tracks.
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup cost; only the variants used by this
+/// workspace are distinguished (both run one routine call per setup here,
+/// which matches how the benches use them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+const WARMUP: Duration = Duration::from_millis(300);
+const MEASURE: Duration = Duration::from_millis(1500);
+/// Hard wall cap per bench, so slow routines with large sample counts do not
+/// stall the whole bench suite.
+const MAX_WALL: Duration = Duration::from_secs(10);
+const DEFAULT_SAMPLE_SIZE: usize = 100;
+
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of measured samples to aim for per bench.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        routine(&mut bencher);
+        report(name, &bencher.samples);
+        self
+    }
+}
+
+pub struct Bencher {
+    /// Nanoseconds per iteration, one entry per measured sample.
+    samples: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measure `routine` repeatedly: batches are sized so the configured
+    /// sample count fills the measurement budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibration: how many calls fit one sample's share of the budget?
+        let sample_budget = MEASURE / self.sample_size as u32;
+        let calib_start = Instant::now();
+        let mut calls = 0u64;
+        while calib_start.elapsed() < sample_budget.min(Duration::from_millis(10)) {
+            std::hint::black_box(routine());
+            calls += 1;
+        }
+        let batch = calls.max(1);
+
+        let warmup_start = Instant::now();
+        while warmup_start.elapsed() < WARMUP {
+            std::hint::black_box(routine());
+        }
+
+        let measure_start = Instant::now();
+        while self.samples.len() < self.sample_size && measure_start.elapsed() < MAX_WALL {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            self.samples
+                .push(t.elapsed().as_nanos() as f64 / batch as f64);
+        }
+    }
+
+    /// Measure `routine` on fresh inputs produced by `setup`; only the
+    /// routine is timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warmup_start = Instant::now();
+        while warmup_start.elapsed() < WARMUP {
+            let input = setup();
+            std::hint::black_box(routine(input));
+        }
+
+        let measure_start = Instant::now();
+        while self.samples.len() < self.sample_size && measure_start.elapsed() < MAX_WALL {
+            let input = setup();
+            let t = Instant::now();
+            let out = routine(input);
+            self.samples.push(t.elapsed().as_nanos() as f64);
+            std::hint::black_box(out);
+        }
+    }
+}
+
+fn report(name: &str, samples: &[f64]) {
+    if samples.is_empty() {
+        println!("{name:<40} (no samples)");
+        return;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+    let p95 = sorted[(sorted.len() * 95 / 100).min(sorted.len() - 1)];
+    println!(
+        "{name:<40} time: [{} {} {}]  ({} samples)",
+        format_ns(median),
+        format_ns(mean),
+        format_ns(p95),
+        sorted.len()
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Bundle bench functions into a named group runner. Supports both the
+/// short form and the `name/config/targets` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($group:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $group;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Entry point running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

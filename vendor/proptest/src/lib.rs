@@ -1,0 +1,349 @@
+//! Offline stand-in for `proptest`, covering the surface this workspace's
+//! property tests use: range/`Just`/`any` strategies, `prop_map`, tuple
+//! composition, `prop::collection::vec`, `prop_oneof!`, and the `proptest!`
+//! macro with `ProptestConfig::with_cases`.
+//!
+//! Semantics differ from real proptest in one deliberate way: there is no
+//! shrinking. Failures panic with the sampled inputs Debug-printed by the
+//! assertion itself, and every run is deterministic — the RNG is seeded from
+//! the test's module path and case index, so a failing case reproduces
+//! exactly on re-run.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::ops::Range;
+
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Runner configuration (only the case count is honored).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Deterministic per-test, per-case RNG.
+#[must_use]
+pub fn test_rng(test_path: &str, case: u32) -> StdRng {
+    let mut seed = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_path.bytes() {
+        seed = (seed ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(seed ^ (u64::from(case) << 32 | u64::from(case)))
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    fn boxed(self) -> Box<dyn Strategy<Value = Self::Value>>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "anything" strategy.
+pub trait Arbitrary: Sized {
+    type Strategy: Strategy<Value = Self>;
+
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The full domain of `T`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+#[must_use]
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+
+    fn sample(&self, rng: &mut StdRng) -> bool {
+        rng.random::<bool>()
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = Any<bool>;
+
+    fn arbitrary() -> Self::Strategy {
+        Any::default()
+    }
+}
+
+impl Strategy for Any<u64> {
+    type Value = u64;
+
+    fn sample(&self, rng: &mut StdRng) -> u64 {
+        rng.random::<u64>()
+    }
+}
+
+impl Arbitrary for u64 {
+    type Strategy = Any<u64>;
+
+    fn arbitrary() -> Self::Strategy {
+        Any::default()
+    }
+}
+
+/// `prop_map` combinator.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn sample(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Weighted choice among boxed alternatives (`prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+    total_weight: u64,
+}
+
+impl<T> Union<T> {
+    /// Uniform arms.
+    #[must_use]
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        Self::new_weighted(arms.into_iter().map(|arm| (1, arm)).collect())
+    }
+
+    #[must_use]
+    pub fn new_weighted(arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        let total_weight = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total_weight > 0, "prop_oneof! weights must not all be zero");
+        Self { arms, total_weight }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        let mut pick = rng.random_range(0..self.total_weight);
+        for (weight, arm) in &self.arms {
+            let weight = u64::from(*weight);
+            if pick < weight {
+                return arm.sample(rng);
+            }
+            pick -= weight;
+        }
+        unreachable!("weights sum covers every draw")
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+pub mod prop {
+    pub mod collection {
+        use crate::Strategy;
+        use rand::rngs::StdRng;
+        use rand::RngExt;
+        use std::ops::Range;
+
+        /// Vectors with lengths drawn from `sizes`.
+        pub struct VecStrategy<S> {
+            element: S,
+            sizes: Range<usize>,
+        }
+
+        pub fn vec<S: Strategy>(element: S, sizes: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, sizes }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                let len = rng.random_range(self.sizes.clone());
+                (0..len).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+    }
+}
+
+// ---- macros -------------------------------------------------------------
+
+/// Define property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` (the attribute is written by the caller, as in real
+/// proptest) that samples all strategies `cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = $cfg:expr;) => {};
+    (cfg = $cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let __strategy = ($($strategy,)+);
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::test_rng(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                let ($($arg,)+) = $crate::Strategy::sample(&__strategy, &mut __rng);
+                // Run the body in a closure so `return Ok(())` early-exits
+                // the case, as in real proptest.
+                let __outcome = (|| -> ::std::result::Result<(), ::std::string::String> {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(message) = __outcome {
+                    panic!("proptest case {__case} failed: {message}");
+                }
+            }
+        }
+        $crate::__proptest_items! { cfg = $cfg; $($rest)* }
+    };
+}
+
+/// Choice among strategies producing the same value type; arms are either
+/// bare strategies (uniform) or `weight => strategy`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $arm:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(vec![
+            $(($weight, $crate::Strategy::boxed($arm))),+
+        ])
+    };
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Assert within a property body (no shrinking; panics like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Skip cases violating a precondition (counted as passing here).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}

@@ -1,0 +1,232 @@
+//! Offline stand-in for `rayon`, covering the surface this workspace uses:
+//! `slice.par_iter().map(f).collect::<Vec<_>>()` plus
+//! `ThreadPoolBuilder`/`ThreadPool::install` for explicit thread counts.
+//!
+//! Execution model: a terminal `collect` spawns scoped threads that pull item
+//! indices from a shared atomic counter (dynamic load balancing — span
+//! computations and recompiles vary wildly in cost) and tag each result with
+//! its index, so the collected order is always the input order. Results are
+//! therefore **identical at any thread count** as long as the per-item work
+//! is itself deterministic — the property the steering pipeline's
+//! reproducibility tests assert.
+
+use std::cell::Cell;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParallelIterator};
+}
+
+// ---- thread-count control ----------------------------------------------
+
+thread_local! {
+    static INSTALLED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of worker threads parallel iterators will use on this thread.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    INSTALLED_THREADS.with(|tl| match tl.get() {
+        Some(n) => n,
+        None => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+    })
+}
+
+/// Error building a thread pool (infallible here; kept for API parity).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `0` means "use the default" (all available cores), as in rayon.
+    #[must_use]
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A logical pool: workers are spawned per terminal operation (scoped
+/// threads), so the pool only carries the configured width.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    #[must_use]
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Run `op` with this pool's thread count governing any parallel
+    /// iterators it executes.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        INSTALLED_THREADS.with(|tl| {
+            let prev = tl.replace(Some(self.num_threads));
+            let result = op();
+            tl.set(prev);
+            result
+        })
+    }
+}
+
+// ---- parallel iterators -------------------------------------------------
+
+/// An indexed source of parallel items: `len` fixed up front, `get(i)`
+/// callable concurrently from worker threads.
+pub trait ParallelIterator: Sized + Sync {
+    type Item: Send;
+
+    fn len(&self) -> usize;
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn get(&self, index: usize) -> Self::Item;
+
+    fn map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        U: Send,
+        F: Fn(Self::Item) -> U + Sync,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Terminal operation: evaluate every item, input order preserved.
+    fn collect<C: From<Vec<Self::Item>>>(self) -> C {
+        C::from(run_indexed(&self))
+    }
+}
+
+fn run_indexed<P: ParallelIterator>(iter: &P) -> Vec<P::Item> {
+    let len = iter.len();
+    let workers = current_num_threads().min(len);
+    if workers <= 1 {
+        return (0..len).map(|i| iter.get(i)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, P::Item)> = Vec::with_capacity(len);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= len {
+                            break;
+                        }
+                        local.push((i, iter.get(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            tagged.extend(handle.join().expect("parallel worker panicked"));
+        }
+    });
+    let mut out: Vec<Option<P::Item>> = Vec::with_capacity(len);
+    out.resize_with(len, || None);
+    for (i, item) in tagged {
+        out[i] = Some(item);
+    }
+    out.into_iter()
+        .map(|slot| slot.expect("every index produced"))
+        .collect()
+}
+
+/// Borrowing parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for ParIter<'a, T> {
+    type Item = &'a T;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn get(&self, index: usize) -> Self::Item {
+        &self.slice[index]
+    }
+}
+
+/// `.par_iter()` on slices and anything that derefs to one.
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Send;
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = ParIter<'a, T>;
+
+    fn par_iter(&'a self) -> Self::Iter {
+        ParIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = ParIter<'a, T>;
+
+    fn par_iter(&'a self) -> Self::Iter {
+        ParIter { slice: self }
+    }
+}
+
+/// Lazily mapped parallel iterator.
+pub struct Map<P, F> {
+    inner: P,
+    f: F,
+}
+
+impl<P, U, F> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    U: Send,
+    F: Fn(P::Item) -> U + Sync,
+{
+    type Item = U;
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn get(&self, index: usize) -> Self::Item {
+        (self.f)(self.inner.get(index))
+    }
+}

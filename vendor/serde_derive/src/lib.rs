@@ -1,0 +1,446 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the offline serde
+//! stand-in. The build environment has no crates.io access, so the input item
+//! is parsed directly from the `proc_macro` token stream (no `syn`/`quote`)
+//! and the impls are emitted as formatted source text.
+//!
+//! Supported shapes — everything this workspace derives on:
+//! * structs with named fields (objects in declaration order);
+//! * tuple structs (newtypes are transparent, larger tuples are arrays);
+//! * enums with unit, tuple, and struct variants (externally tagged:
+//!   `"Variant"`, `{"Variant": inner}`, `{"Variant": {..}}`).
+//!
+//! Generics and `#[serde(...)]` attributes are intentionally unsupported;
+//! deriving on such an item produces a compile error naming this crate.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+
+enum Fields {
+    Named(Vec<String>),
+    /// Tuple struct/variant with this many fields.
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Self {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Skip `#[...]` attributes (doc comments included).
+    fn skip_attributes(&mut self) {
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.pos += 1; // '#'
+            if matches!(self.peek(), Some(TokenTree::Group(_))) {
+                self.pos += 1; // [...]
+            }
+        }
+    }
+
+    /// Skip `pub`, `pub(crate)`, etc.
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.pos += 1;
+                if matches!(
+                    self.peek(),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+            other => Err(format!(
+                "serde_derive: expected identifier, found {other:?}"
+            )),
+        }
+    }
+}
+
+/// Count the fields of a tuple struct/variant body: top-level commas at
+/// angle-bracket depth zero. Parens/brackets/braces arrive pre-grouped by the
+/// tokenizer, so only `<`/`>` need manual depth tracking.
+fn tuple_arity(group: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut fields = 1;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    fields += 1;
+                    trailing_comma = true;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        trailing_comma = false;
+    }
+    if trailing_comma {
+        fields -= 1;
+    }
+    fields
+}
+
+/// Collect field names from a `{ ... }` body of named fields.
+fn named_fields(group: TokenStream) -> Result<Vec<String>, String> {
+    let mut cur = Cursor::new(group);
+    let mut names = Vec::new();
+    loop {
+        cur.skip_attributes();
+        if cur.peek().is_none() {
+            return Ok(names);
+        }
+        cur.skip_visibility();
+        names.push(cur.expect_ident()?);
+        // Skip `: Type` up to the next top-level comma.
+        let mut depth = 0i32;
+        loop {
+            match cur.next() {
+                None => return Ok(names),
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                },
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+fn parse_fields_after_name(cur: &mut Cursor) -> Result<Fields, String> {
+    match cur.peek() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let stream = g.stream();
+            cur.pos += 1;
+            Ok(Fields::Named(named_fields(stream)?))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let stream = g.stream();
+            cur.pos += 1;
+            Ok(Fields::Tuple(tuple_arity(stream)))
+        }
+        _ => Ok(Fields::Unit),
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut cur = Cursor::new(input);
+    cur.skip_attributes();
+    cur.skip_visibility();
+    let kind = cur.expect_ident()?;
+    let name = cur.expect_ident()?;
+    if matches!(cur.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde_derive (offline stand-in): generic type `{name}` is not supported"
+        ));
+    }
+    match kind.as_str() {
+        "struct" => Ok(Item::Struct {
+            name,
+            fields: parse_fields_after_name(&mut cur)?,
+        }),
+        "enum" => {
+            let Some(TokenTree::Group(g)) = cur.peek() else {
+                return Err("serde_derive: expected enum body".into());
+            };
+            let mut body = Cursor::new(g.stream());
+            let mut variants = Vec::new();
+            loop {
+                body.skip_attributes();
+                if body.peek().is_none() {
+                    break;
+                }
+                let vname = body.expect_ident()?;
+                let fields = parse_fields_after_name(&mut body)?;
+                variants.push(Variant {
+                    name: vname,
+                    fields,
+                });
+                // Skip to the comma separating variants (tolerates `= expr`).
+                while let Some(t) = body.peek() {
+                    if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                        body.pos += 1;
+                        break;
+                    }
+                    body.pos += 1;
+                }
+            }
+            Ok(Item::Enum { name, variants })
+        }
+        other => Err(format!("serde_derive: cannot derive for `{other}` items")),
+    }
+}
+
+fn compile_error(message: &str) -> TokenStream {
+    format!("compile_error!({message:?});").parse().unwrap()
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let mut out = String::new();
+    match &item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => {
+                    let mut pairs = String::new();
+                    for f in names {
+                        let _ = write!(
+                            pairs,
+                            "({f:?}.to_string(), serde::Serialize::to_value(&self.{f})),"
+                        );
+                    }
+                    format!("serde::Value::Object(vec![{pairs}])")
+                }
+                Fields::Tuple(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let mut items = String::new();
+                    for i in 0..*n {
+                        let _ = write!(items, "serde::Serialize::to_value(&self.{i}),");
+                    }
+                    format!("serde::Value::Array(vec![{items}])")
+                }
+                Fields::Unit => "serde::Value::Null".to_string(),
+            };
+            let _ = write!(
+                out,
+                "impl serde::Serialize for {name} {{ \
+                   fn to_value(&self) -> serde::Value {{ {body} }} \
+                 }}"
+            );
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        let _ = write!(
+                            arms,
+                            "{name}::{vn} => serde::Value::Str({vn:?}.to_string()),"
+                        );
+                    }
+                    Fields::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let pattern = binders.join(", ");
+                        let inner = if *n == 1 {
+                            "serde::Serialize::to_value(f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("serde::Value::Array(vec![{}])", items.join(","))
+                        };
+                        let _ = write!(
+                            arms,
+                            "{name}::{vn}({pattern}) => serde::Value::Object(vec![\
+                               ({vn:?}.to_string(), {inner})]),"
+                        );
+                    }
+                    Fields::Named(fields) => {
+                        let pattern = fields.join(", ");
+                        let pairs: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!("({f:?}.to_string(), serde::Serialize::to_value({f}))")
+                            })
+                            .collect();
+                        let _ = write!(
+                            arms,
+                            "{name}::{vn} {{ {pattern} }} => serde::Value::Object(vec![\
+                               ({vn:?}.to_string(), serde::Value::Object(vec![{}]))]),",
+                            pairs.join(",")
+                        );
+                    }
+                }
+            }
+            let _ = write!(
+                out,
+                "impl serde::Serialize for {name} {{ \
+                   fn to_value(&self) -> serde::Value {{ match self {{ {arms} }} }} \
+                 }}"
+            );
+        }
+    }
+    out.parse().unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let mut out = String::new();
+    match &item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => {
+                    let inits: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!("{f}: serde::Deserialize::from_value(value.get_field({f:?})?)?")
+                        })
+                        .collect();
+                    format!("Ok({name} {{ {} }})", inits.join(","))
+                }
+                Fields::Tuple(1) => {
+                    format!("Ok({name}(serde::Deserialize::from_value(value)?))")
+                }
+                Fields::Tuple(n) => {
+                    let inits: Vec<String> = (0..*n)
+                        .map(|i| format!("serde::Deserialize::from_value(&items[{i}])?"))
+                        .collect();
+                    format!(
+                        "{{ let serde::Value::Array(items) = value else {{ \
+                             return Err(serde::Error::new(\"expected array\")); }}; \
+                           if items.len() != {n} {{ \
+                             return Err(serde::Error::new(\"wrong tuple length\")); }} \
+                           Ok({name}({})) }}",
+                        inits.join(",")
+                    )
+                }
+                Fields::Unit => format!("{{ let _ = value; Ok({name}) }}"),
+            };
+            let _ = write!(
+                out,
+                "impl serde::Deserialize for {name} {{ \
+                   fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {{ \
+                     {body} \
+                   }} \
+                 }}"
+            );
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        let _ = write!(unit_arms, "{vn:?} => Ok({name}::{vn}),");
+                    }
+                    Fields::Tuple(1) => {
+                        let _ = write!(
+                            tagged_arms,
+                            "{vn:?} => Ok({name}::{vn}(serde::Deserialize::from_value(inner)?)),"
+                        );
+                    }
+                    Fields::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|i| format!("serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        let _ = write!(
+                            tagged_arms,
+                            "{vn:?} => {{ \
+                               let serde::Value::Array(items) = inner else {{ \
+                                 return Err(serde::Error::new(\"expected array\")); }}; \
+                               if items.len() != {n} {{ \
+                                 return Err(serde::Error::new(\"wrong tuple length\")); }} \
+                               Ok({name}::{vn}({})) }},",
+                            inits.join(",")
+                        );
+                    }
+                    Fields::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: serde::Deserialize::from_value(inner.get_field({f:?})?)?"
+                                )
+                            })
+                            .collect();
+                        let _ = write!(
+                            tagged_arms,
+                            "{vn:?} => Ok({name}::{vn} {{ {} }}),",
+                            inits.join(",")
+                        );
+                    }
+                }
+            }
+            let _ = write!(
+                out,
+                "impl serde::Deserialize for {name} {{ \
+                   fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {{ \
+                     match value {{ \
+                       serde::Value::Str(s) => match s.as_str() {{ \
+                         {unit_arms} \
+                         other => Err(serde::Error::new(format!( \
+                           \"unknown variant `{{other}}` of {name}\"))), \
+                       }}, \
+                       serde::Value::Object(fields) if fields.len() == 1 => {{ \
+                         let (tag, inner) = &fields[0]; \
+                         match tag.as_str() {{ \
+                           {tagged_arms} \
+                           other => Err(serde::Error::new(format!( \
+                             \"unknown variant `{{other}}` of {name}\"))), \
+                         }} \
+                       }}, \
+                       other => Err(serde::Error::new(format!( \
+                         \"expected enum {name}, found {{}}\", other.kind()))), \
+                     }} \
+                   }} \
+                 }}"
+            );
+        }
+    }
+    out.parse().unwrap()
+}
