@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use flighting::{FlightBudget, FlightingService};
-use qo_advisor::{ParallelismConfig, PipelineConfig, QoAdvisor};
+use qo_advisor::{CacheConfig, ParallelismConfig, PipelineConfig, QoAdvisor};
 use scope_opt::Optimizer;
 use scope_runtime::Cluster;
 use scope_workload::{build_view, Workload, WorkloadConfig};
@@ -88,9 +88,75 @@ fn bench_pipeline_parallelism(c: &mut Criterion) {
     }
 }
 
+/// Cached vs uncached `run_day` on the same compile-heavy day (serial, so
+/// the comparison isolates the compile-result cache from the thread-pool
+/// speedup), plus a 3-day sequence where cross-day reuse compounds.
+/// Outputs are byte-identical cache-on vs cache-off; only throughput may
+/// differ — the ratio between these pairs is the cache's report card.
+fn bench_pipeline_compile_cache(c: &mut Criterion) {
+    let optimizer = Optimizer::default();
+    let workload = Workload::new(WorkloadConfig {
+        seed: 2022,
+        num_templates: 48,
+        adhoc_per_day: 4,
+        max_instances_per_day: 1,
+    });
+    let cluster = Cluster::default();
+    let views: Vec<_> = (0..3u32)
+        .map(|day| {
+            build_view(
+                &workload.jobs_for_day(day),
+                &optimizer,
+                &Default::default(),
+                &cluster,
+            )
+        })
+        .collect();
+
+    let advisor_with = |cache: CacheConfig| {
+        QoAdvisor::new(
+            optimizer.clone(),
+            FlightingService::new(Cluster::preproduction(), FlightBudget::default()),
+            PipelineConfig {
+                cache,
+                ..PipelineConfig::default()
+            },
+        )
+    };
+
+    let cases = [
+        ("uncached", CacheConfig::disabled()),
+        ("cached", CacheConfig::default()),
+    ];
+    for (name, cache) in cases {
+        c.bench_function(&format!("pipeline_run_day_48_templates_{name}"), |b| {
+            b.iter_batched(
+                || advisor_with(cache),
+                |mut qa| black_box(qa.run_day(&views[0], 0).hints_published),
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    for (name, cache) in cases {
+        c.bench_function(&format!("pipeline_3_days_48_templates_{name}"), |b| {
+            b.iter_batched(
+                || advisor_with(cache),
+                |mut qa| {
+                    let mut published = 0;
+                    for (day, view) in views.iter().enumerate() {
+                        published += qa.run_day(view, day as u32).hints_published;
+                    }
+                    black_box(published)
+                },
+                BatchSize::PerIteration,
+            )
+        });
+    }
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_pipeline, bench_pipeline_parallelism
+    targets = bench_pipeline, bench_pipeline_parallelism, bench_pipeline_compile_cache
 }
 criterion_main!(benches);

@@ -8,7 +8,9 @@
 //!
 //! `--threads N` (or the `QO_THREADS` env var) runs the pipeline's
 //! compile-bound stages on `N` worker threads (`0` = all cores); results
-//! are bit-identical to the serial default.
+//! are bit-identical to the serial default. `--cache on|off` (or `QO_CACHE`)
+//! toggles the compile-result cache — also bit-identical either way, only
+//! throughput differs (on by default).
 //!
 //! Each experiment writes its raw series to `results/<name>.csv` and prints
 //! a summary row comparing the paper's reported shape with the measured one.
@@ -18,8 +20,8 @@
 
 use flighting::{FlightBudget, FlightRequest, FlightingService};
 use qo_advisor::{
-    aggregate_impact, HintedComparison, ParallelismConfig, PipelineConfig, ProductionSim,
-    QoAdvisor, RecommendStrategy, ValidationModel, ValidationSample,
+    aggregate_impact, CacheConfig, HintedComparison, ParallelismConfig, PipelineConfig,
+    ProductionSim, QoAdvisor, RecommendStrategy, ValidationModel, ValidationSample,
 };
 use qo_bench::corpus::{write_csv, Env};
 use qo_bench::{mean, pearson, percentile, polyfit1};
@@ -33,12 +35,35 @@ fn set_threads(threads: Option<usize>) {
     let _ = THREADS.set(threads);
 }
 
+/// Compile-result-cache override for every experiment in this run.
+static CACHE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+
+fn set_cache(enabled: bool) {
+    let _ = CACHE.set(enabled);
+}
+
+fn parse_cache_flag(value: &str) -> bool {
+    match value {
+        "on" | "1" | "true" => true,
+        "off" | "0" | "false" => false,
+        other => {
+            eprintln!("cache flag must be on|off, got `{other}`");
+            std::process::exit(2);
+        }
+    }
+}
+
 /// The base pipeline configuration every experiment derives from: defaults
-/// plus the CLI-selected parallelism.
+/// plus the CLI-selected parallelism and cache switches.
 fn pipeline_config() -> PipelineConfig {
     PipelineConfig {
         parallelism: ParallelismConfig {
             threads: *THREADS.get_or_init(|| None),
+        },
+        cache: if *CACHE.get_or_init(|| true) {
+            CacheConfig::default()
+        } else {
+            CacheConfig::disabled()
         },
         ..PipelineConfig::default()
     }
@@ -62,6 +87,16 @@ fn main() {
             std::process::exit(2);
         });
         set_threads(Some(n));
+    }
+    if let Some(i) = args.iter().position(|a| a == "--cache") {
+        let enabled = args.get(i + 1).map(String::as_str).unwrap_or_else(|| {
+            eprintln!("--cache requires on|off");
+            std::process::exit(2);
+        });
+        set_cache(parse_cache_flag(enabled));
+        args.drain(i..=i + 1);
+    } else if let Ok(value) = std::env::var("QO_CACHE") {
+        set_cache(parse_cache_flag(&value));
     }
     let which = args.first().map(String::as_str).unwrap_or("all");
     let run = |name: &str| which == "all" || which == name;

@@ -8,15 +8,25 @@ use qo_advisor::{
 use scope_workload::WorkloadConfig;
 
 fn main() {
-    // `QO_THREADS=8` parallelizes the pipeline's compile-bound stages.
+    // `QO_THREADS=8` parallelizes the pipeline's compile-bound stages;
+    // `QO_CACHE=off` disables the compile-result cache (on by default).
     let threads = std::env::var("QO_THREADS").ok().map(|value| {
         value.parse().unwrap_or_else(|_| {
             eprintln!("QO_THREADS must be an integer, got `{value}`");
             std::process::exit(2);
         })
     });
+    let cache = match std::env::var("QO_CACHE").ok().as_deref() {
+        None | Some("on" | "1" | "true") => qo_advisor::CacheConfig::default(),
+        Some("off" | "0" | "false") => qo_advisor::CacheConfig::disabled(),
+        Some(other) => {
+            eprintln!("QO_CACHE must be on|off, got `{other}`");
+            std::process::exit(2);
+        }
+    };
     let config = PipelineConfig {
         parallelism: ParallelismConfig { threads },
+        cache,
         ..PipelineConfig::default()
     };
     let wl = WorkloadConfig {
@@ -37,13 +47,23 @@ fn main() {
         let out = sim.advance_day();
         let r = &out.report;
         eprintln!(
-            "day {}: span {}/{} lower {} eq {} hi {} fail {} noop {} flighted {} succ {} valid {} hints {} cmp {}",
+            "day {}: span {}/{} lower {} eq {} hi {} fail {} noop {} flighted {} succ {} valid {} hints {} cmp {} cache {}/{} ({:.0}%)",
             r.day, r.jobs_with_span, r.recurring_jobs, r.lower_cost, r.equal_cost, r.higher_cost,
             r.recompile_failures, r.noop_chosen, r.flighted, r.flight_success, r.validated,
-            r.hints_published, out.comparisons.len()
+            r.hints_published, out.comparisons.len(),
+            r.compile_cache.hits, r.compile_cache.lookups(), 100.0 * r.compile_cache.hit_rate()
         );
         all_cmp.extend(out.comparisons);
     }
+    let lifetime = sim.advisor.cache_stats();
+    eprintln!(
+        "compile cache lifetime: {} hits / {} lookups ({:.0}%), {} inserts, {} evictions",
+        lifetime.hits,
+        lifetime.lookups(),
+        100.0 * lifetime.hit_rate(),
+        lifetime.inserts,
+        lifetime.evictions
+    );
     let agg = aggregate_impact(&all_cmp);
     eprintln!(
         "TABLE2: jobs {} pn {:+.1}% latency {:+.1}% vertices {:+.1}%",

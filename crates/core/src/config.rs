@@ -2,6 +2,7 @@
 
 use flighting::FlightBudget;
 use personalizer::CbConfig;
+use scope_opt::CacheConfig;
 use serde::{Deserialize, Serialize};
 
 /// How the Recommendation task chooses flips (Table 3 compares these).
@@ -49,6 +50,11 @@ pub struct PipelineConfig {
     pub strategy: RecommendStrategy,
     /// Thread-parallelism of the per-day fan-out stages.
     pub parallelism: ParallelismConfig,
+    /// Compile-result cache over the span / recommendation / validation
+    /// recompiles (compilation is deterministic, so cached runs are
+    /// byte-identical to uncached ones — the cache is purely a throughput
+    /// knob, like `parallelism`).
+    pub cache: CacheConfig,
     /// Contextual bandit hyper-parameters.
     pub cb: CbConfig,
     /// Flighting budget per daily batch.
@@ -84,6 +90,7 @@ impl Default for PipelineConfig {
         Self {
             strategy: RecommendStrategy::ContextualBandit,
             parallelism: ParallelismConfig::serial(),
+            cache: CacheConfig::default(),
             cb: CbConfig::default(),
             flight_budget: FlightBudget::default(),
             validation_threshold: -0.1,

@@ -50,8 +50,9 @@ pub mod validation_model;
 pub use baselines::{random_flip, Negi2021, Negi2021Outcome};
 pub use config::{ParallelismConfig, PipelineConfig, RecommendStrategy};
 pub use features::{action_slate, context_features, context_features_opt, reward_from_costs};
-pub use monitoring::{MonitorConfig, RegressionMonitor};
+pub use monitoring::{CacheCounters, MonitorConfig, RegressionMonitor};
 pub use pipeline::{DailyReport, QoAdvisor, Recommendation};
+pub use scope_opt::{CacheConfig, CacheStats};
 pub use simulation::{
     aggregate_impact, AggregateImpact, DayOutcome, HintedComparison, ProductionSim,
 };

@@ -15,6 +15,16 @@ use scope_ir::TemplateId;
 use scope_workload::ViewRow;
 use serde::{Deserialize, Serialize};
 
+/// One day's compile-result-cache telemetry, embedded in
+/// [`crate::DailyReport`] so the daily report carries the hit/miss/insert/
+/// evict trajectory alongside the steering counters.
+///
+/// These are *observability* counters, not steering outputs: the cached
+/// results themselves are byte-identical to recompiles, but which lookup
+/// hits can depend on eviction order under parallel inserts, so
+/// reproducibility comparisons zero this field (see `tests/determinism.rs`).
+pub type CacheCounters = scope_opt::CacheStats;
+
 /// Monitor configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MonitorConfig {

@@ -4,6 +4,7 @@
 //! occurrences of each template.
 
 use crate::config::PipelineConfig;
+use crate::monitoring::CacheCounters;
 use crate::stages;
 use crate::validation_model::{ValidationModel, ValidationSample};
 use flighting::{FlightRequest, FlightingService};
@@ -12,7 +13,10 @@ use rustc_hash::FxHashMap;
 use scope_ir::ids::mix64;
 use scope_ir::logical::LogicalPlan;
 use scope_ir::{JobId, TemplateId};
-use scope_opt::{Optimizer, RuleFlip, SpanResult};
+use scope_opt::{
+    CacheStats, CachingOptimizer, CompileError, Compiled, Optimizer, RuleConfig, RuleFlip,
+    SpanResult,
+};
 use scope_workload::ViewRow;
 use sis::{HintFile, SisStore};
 
@@ -70,13 +74,21 @@ pub struct DailyReport {
     pub validated: usize,
     pub hints_published: usize,
     pub sis_version: u32,
+    /// Compile-result-cache telemetry (all-zero when the cache is off).
+    /// Observability only — reproducibility comparisons zero this field.
+    pub compile_cache: CacheCounters,
 }
 
 /// The QO-Advisor system: pipeline state that persists across days. The
 /// per-day work is decomposed into the five stage functions of
 /// [`crate::stages`], which access this state directly.
 pub struct QoAdvisor {
-    pub(crate) optimizer: Optimizer,
+    /// The optimizer behind the shared compile-result cache: every compile
+    /// of the five stages (span fixpoint, recommendation recompiles,
+    /// flighting's validation compiles) goes through this wrapper, so a
+    /// `(plan, configuration)` pair is compiled at most once across stages
+    /// *and* days.
+    pub(crate) optimizer: CachingOptimizer,
     pub(crate) flighting: FlightingService,
     pub(crate) personalizer: Personalizer,
     pub(crate) validation: Option<ValidationModel>,
@@ -110,7 +122,7 @@ impl QoAdvisor {
     ) -> Self {
         let pool = stages::build_pool(config.parallelism);
         Self {
-            optimizer,
+            optimizer: CachingOptimizer::new(optimizer, config.cache),
             flighting,
             personalizer: Personalizer::new(config.cb.clone()),
             validation: None,
@@ -150,7 +162,25 @@ impl QoAdvisor {
 
     #[must_use]
     pub fn optimizer(&self) -> &Optimizer {
-        &self.optimizer
+        self.optimizer.inner()
+    }
+
+    /// Compile through the advisor's compile-result cache (when enabled).
+    /// Byte-identical to `self.optimizer().compile(..)`, only faster on
+    /// repeats — callers like the production simulator use this so their
+    /// recompiles share the pipeline's cache.
+    pub fn compile(
+        &self,
+        plan: &LogicalPlan,
+        config: &RuleConfig,
+    ) -> Result<Compiled, CompileError> {
+        self.optimizer.compile(plan, config)
+    }
+
+    /// Lifetime compile-cache counters (all-zero when the cache is off).
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.optimizer.stats()
     }
 
     #[must_use]
@@ -206,11 +236,13 @@ impl QoAdvisor {
             jobs_total: view.len(),
             ..DailyReport::default()
         };
+        let cache_before = self.optimizer.stats();
         let spanned = stages::feature_gen(self, view, &mut report);
         let recommended = stages::recommend(self, &spanned, day, &mut report);
         let flighted = stages::flight(self, recommended, &mut report);
         let validated = stages::validate(self, &flighted, &mut report);
         stages::publish(self, validated, day, &mut report);
+        report.compile_cache = self.optimizer.stats().since(&cache_before);
         report
     }
 
@@ -373,6 +405,40 @@ mod tests {
             assert!(s.data_read_delta.is_finite());
             assert!(s.pn_delta.is_finite());
         }
+    }
+
+    #[test]
+    fn compile_cache_counters_surface_and_do_not_change_steering() {
+        use crate::monitoring::CacheCounters;
+        use scope_opt::CacheConfig;
+
+        let mut qa = advisor(RecommendStrategy::ContextualBandit);
+        let view = day_view(&qa, 5, 0);
+        let report = qa.run_day(&view, 0);
+        assert!(report.compile_cache.lookups() > 0);
+        // The span fixpoint alone repeats the default compile of every
+        // spanned template, so a day with spans always hits.
+        assert!(report.compile_cache.hits > 0);
+        assert_eq!(qa.cache_stats().hits, report.compile_cache.hits);
+
+        // Same day, cache disabled: zero telemetry, byte-identical steering.
+        let mut off = QoAdvisor::new(
+            Optimizer::default(),
+            FlightingService::new(Cluster::default(), FlightBudget::default()),
+            PipelineConfig {
+                cache: CacheConfig::disabled(),
+                ..PipelineConfig::default()
+            },
+        );
+        let report_off = off.run_day(&view, 0);
+        assert_eq!(report_off.compile_cache, CacheCounters::default());
+        assert_eq!(off.cache_stats(), scope_opt::CacheStats::default());
+        let mut normalized = report.clone();
+        normalized.compile_cache = CacheCounters::default();
+        assert_eq!(
+            normalized, report_off,
+            "the cache must never change what the pipeline decides"
+        );
     }
 
     #[test]

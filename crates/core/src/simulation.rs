@@ -166,11 +166,13 @@ impl ProductionSim {
         let hints = self.advisor.sis().snapshot();
         let view = build_view(&jobs, &self.optimizer, &hints, &self.prod_cluster);
 
-        // Counterfactual default runs for hinted jobs (same run seed).
+        // Counterfactual default runs for hinted jobs (same run seed). The
+        // compiles go through the advisor's compile-result cache — same
+        // results as `self.optimizer.compile`, shared with the pipeline.
         let default_config = self.optimizer.default_config();
         let mut comparisons = Vec::new();
         for row in view.iter().filter(|r| r.hint_applied) {
-            let Ok(default_compiled) = self.optimizer.compile(&row.plan, &default_config) else {
+            let Ok(default_compiled) = self.advisor.compile(&row.plan, &default_config) else {
                 continue;
             };
             let run_seed = mix64(u64::from(day), 0x9806_0d0d);

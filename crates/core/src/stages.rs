@@ -20,6 +20,14 @@
 //!   the compiled costs. Relative to the fully interleaved loop this means
 //!   the bandit acts on the previous day's model for the whole batch —
 //!   matching a daily batch pipeline — while still absorbing every event.
+//!
+//! Every compile in these stages goes through the advisor's
+//! [`CachingOptimizer`], so a `(plan, configuration)` pair recompiled across
+//! stages (the flight baseline repeats Feature Generation's default compile;
+//! the flight treatment repeats Recommendation's flip compile) or across
+//! days is a lookup, not a search. Compilation is deterministic, so the
+//! cache — like the thread pool — is a throughput knob, never a behavior
+//! knob.
 
 use crate::config::{ParallelismConfig, RecommendStrategy};
 use crate::features::{action_slate, context_features_opt, reward_from_costs};
@@ -31,7 +39,7 @@ use rustc_hash::{FxHashMap, FxHashSet};
 use scope_ir::ids::mix64;
 use scope_ir::logical::LogicalPlan;
 use scope_ir::TemplateId;
-use scope_opt::{compute_span, CompileError, Hint, RuleFlip, SpanResult};
+use scope_opt::{compute_span, CachingOptimizer, CompileError, Hint, RuleFlip, SpanResult};
 use scope_workload::ViewRow;
 use sis::HintFile;
 
@@ -70,7 +78,7 @@ where
 /// Generation fan-out and [`QoAdvisor`]'s on-demand `span_for` so the gating
 /// cannot diverge between the two paths.
 pub(crate) fn compute_template_span(
-    optimizer: &scope_opt::Optimizer,
+    optimizer: &CachingOptimizer,
     plan: &LogicalPlan,
     max_iterations: usize,
 ) -> Option<(SpanResult, f64)> {

@@ -5,7 +5,7 @@ use crate::outcome::{FlightMeasurement, FlightOutcome};
 use scope_ir::ids::mix64;
 use scope_ir::logical::LogicalPlan;
 use scope_ir::TemplateId;
-use scope_opt::{Optimizer, RuleConfig};
+use scope_opt::{Compiler, RuleConfig};
 use scope_runtime::{execute, Cluster};
 
 /// One flighting request: a job and the two configurations to compare.
@@ -58,9 +58,11 @@ impl FlightingService {
     /// Flight a batch of requests **in the given order** (callers order by
     /// estimated cost delta so the most promising jobs flight first, §4.3).
     /// Returns one outcome per request plus the final budget accounting.
-    pub fn flight_batch(
+    /// Generic over [`Compiler`]: passing a `CachingOptimizer` lets the
+    /// validation recompiles reuse the pipeline's compile-result cache.
+    pub fn flight_batch<C: Compiler>(
         &mut self,
-        optimizer: &Optimizer,
+        optimizer: &C,
         requests: &[FlightRequest],
     ) -> (Vec<FlightOutcome>, BudgetTracker) {
         self.batch_salt = self.batch_salt.wrapping_add(1);
@@ -121,7 +123,7 @@ impl FlightingService {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use scope_opt::RuleFlip;
+    use scope_opt::{Optimizer, RuleFlip};
     use scope_workload::{Workload, WorkloadConfig};
 
     fn requests(n: usize) -> (Optimizer, Vec<FlightRequest>) {

@@ -8,11 +8,12 @@
 //! is preserved by construction and checked by [`LogicalPlan::validate`].
 
 use crate::expr::{AggExpr, ScalarExpr};
-use crate::ids::{stable_hash64, NodeId, TemplateId};
+use crate::ids::{mix64, stable_hash64, NodeId, TemplateId};
 use crate::schema::{Column, DataType, Schema};
 use crate::stats::DualStats;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A base dataset reference with dual cardinality statistics. `rows.actual`
@@ -231,10 +232,89 @@ impl fmt::Display for PlanError {
 impl std::error::Error for PlanError {}
 
 /// An arena-based logical plan DAG with one or more `Output` roots.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+///
+/// `Clone`, `PartialEq`, `Debug`, and the serde impls are hand-written so
+/// the [`LogicalPlan::fingerprint`] memo stays invisible: two plans compare
+/// equal, print, and serialize identically whether or not their fingerprint
+/// has been computed, and a clone carries the memo along.
+#[derive(Default)]
 pub struct LogicalPlan {
     nodes: Vec<LogicalNode>,
     outputs: Vec<NodeId>,
+    /// Memoized [`LogicalPlan::fingerprint`]; 0 = not computed yet. Reset
+    /// by the mutating methods, copied by `Clone`.
+    fp_memo: AtomicU64,
+}
+
+impl Clone for LogicalPlan {
+    fn clone(&self) -> Self {
+        Self {
+            nodes: self.nodes.clone(),
+            outputs: self.outputs.clone(),
+            fp_memo: AtomicU64::new(self.fp_memo.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+impl PartialEq for LogicalPlan {
+    fn eq(&self, other: &Self) -> bool {
+        self.nodes == other.nodes && self.outputs == other.outputs
+    }
+}
+
+impl fmt::Debug for LogicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LogicalPlan")
+            .field("nodes", &self.nodes)
+            .field("outputs", &self.outputs)
+            .finish()
+    }
+}
+
+impl Serialize for LogicalPlan {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("nodes".to_string(), self.nodes.to_value()),
+            ("outputs".to_string(), self.outputs.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for LogicalPlan {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(Self {
+            nodes: Deserialize::from_value(value.get_field("nodes")?)?,
+            outputs: Deserialize::from_value(value.get_field("outputs")?)?,
+            fp_memo: AtomicU64::new(0),
+        })
+    }
+}
+
+/// Deterministically fold a serialized [`serde::Value`] tree into a 64-bit
+/// hash (leaf kind tags keep e.g. `0u64` and `false` distinct).
+fn hash_value(value: &serde::Value, h: u64) -> u64 {
+    match value {
+        serde::Value::Null => mix64(h, 0xA0),
+        serde::Value::Bool(b) => mix64(h, 0xB0 | u64::from(*b)),
+        serde::Value::U64(v) => mix64(mix64(h, 0xC0), *v),
+        serde::Value::I64(v) => mix64(mix64(h, 0xC1), *v as u64),
+        serde::Value::F64(v) => mix64(mix64(h, 0xC2), v.to_bits()),
+        serde::Value::Str(s) => mix64(mix64(h, 0xD0), stable_hash64(s.as_bytes())),
+        serde::Value::Array(items) => {
+            let mut h = mix64(mix64(h, 0xE0), items.len() as u64);
+            for item in items {
+                h = hash_value(item, h);
+            }
+            h
+        }
+        serde::Value::Object(fields) => {
+            let mut h = mix64(mix64(h, 0xF0), fields.len() as u64);
+            for (key, value) in fields {
+                h = hash_value(value, mix64(h, stable_hash64(key.as_bytes())));
+            }
+            h
+        }
+    }
 }
 
 impl LogicalPlan {
@@ -254,12 +334,14 @@ impl LogicalPlan {
             assert!(c.index() < self.nodes.len(), "child {c} does not exist yet");
         }
         self.nodes.push(LogicalNode { op, children });
+        self.fp_memo.store(0, Ordering::Relaxed);
         id
     }
 
     /// Register `node` as a job output root.
     pub fn mark_output(&mut self, node: NodeId) {
         self.outputs.push(node);
+        self.fp_memo.store(0, Ordering::Relaxed);
     }
 
     /// Append an `Output` sink over `child` and register it as a root.
@@ -572,6 +654,26 @@ impl LogicalPlan {
         TemplateId(stable_hash64(self.normalized_signature().as_bytes()))
     }
 
+    /// Exact fingerprint of this plan: a stable hash over its serialized
+    /// form — operators, expressions, **literals**, estimated *and* actual
+    /// statistics. Two plans with equal fingerprints compile identically
+    /// under any configuration, which is what makes this the compile-result
+    /// cache key; contrast [`LogicalPlan::template_id`], which normalizes
+    /// literals away and so conflates plans that compile differently.
+    ///
+    /// Memoized: the first call walks the plan, later calls (including on
+    /// clones of an already-fingerprinted plan) are one atomic load.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let memo = self.fp_memo.load(Ordering::Relaxed);
+        if memo != 0 {
+            return memo;
+        }
+        let fp = hash_value(&self.to_value(), 0x05ca_1ab1_e0dd_ba11_u64).max(1);
+        self.fp_memo.store(fp, Ordering::Relaxed);
+        fp
+    }
+
     /// The sub-DAG (as a set of node ids) under one output root. SCOPE
     /// generates some statistics per output tree and some per job; feature
     /// aggregation (Table 1) needs this split.
@@ -849,5 +951,63 @@ mod tests {
         assert_eq!(p.count_tag("Extract"), 2);
         assert_eq!(p.count_tag("Output"), 2);
         assert_eq!(p.count_tag("Join"), 1);
+    }
+
+    #[test]
+    fn fingerprint_is_exact_where_template_id_normalizes() {
+        let make = |lit: i64, rows: f64| {
+            let mut p = LogicalPlan::new();
+            let s = p.add(
+                LogicalOp::Extract {
+                    table: table("t", rows),
+                },
+                vec![],
+            );
+            let f = p.add(
+                LogicalOp::Filter {
+                    predicate: ScalarExpr::binary(
+                        BinOp::Gt,
+                        ScalarExpr::col(0),
+                        ScalarExpr::lit_int(lit),
+                    ),
+                    selectivity: DualStats::exact(0.5),
+                },
+                vec![s],
+            );
+            p.add_output("o", f);
+            p
+        };
+        // Identical plans agree; deterministically.
+        assert_eq!(make(5, 100.0).fingerprint(), make(5, 100.0).fingerprint());
+        // Literal or statistics changes are invisible to the template id
+        // but MUST change the fingerprint (they change compile results).
+        assert_eq!(make(5, 100.0).template_id(), make(9, 100.0).template_id());
+        assert_ne!(make(5, 100.0).fingerprint(), make(9, 100.0).fingerprint());
+        assert_ne!(make(5, 100.0).fingerprint(), make(5, 200.0).fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_memo_is_invisible_and_reset_on_mutation() {
+        let mut p = sample_plan();
+        let pristine = p.clone();
+        let fp = p.fingerprint();
+        // The memo must not leak into equality, Debug, or serialization.
+        assert_eq!(p, pristine);
+        assert_eq!(format!("{p:?}"), format!("{pristine:?}"));
+        assert_eq!(p.to_value(), pristine.to_value());
+        // Clones carry the memo and agree.
+        assert_eq!(p.clone().fingerprint(), fp);
+        // A deserialized copy recomputes to the same value.
+        let back = LogicalPlan::from_value(&p.to_value()).unwrap();
+        assert_eq!(back.fingerprint(), fp);
+        // Mutation invalidates the memo.
+        let extra = p.add(
+            LogicalOp::Extract {
+                table: table("zz", 7.0),
+            },
+            vec![],
+        );
+        p.mark_output(extra);
+        assert_ne!(p.fingerprint(), fp);
     }
 }

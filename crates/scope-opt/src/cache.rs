@@ -1,0 +1,521 @@
+//! Sharded, concurrent compile-result cache.
+//!
+//! The steering pipeline recompiles the same `(plan, rule configuration)`
+//! pairs over and over: the span fixpoint alone runs up to `max_iterations`
+//! recompiles per job, then recommendation scoring and validation flighting
+//! recompile the very same pairs again the same day ("Query Optimization in
+//! the Wild" calls this recompilation cost the barrier to steering at fleet
+//! scale). Compilation is deterministic — the result depends only on the
+//! plan bytes and the configuration bits — so those pairs are perfect cache
+//! keys: a cached run is byte-identical to an uncached one.
+//!
+//! [`CompileCache`] is N lock-sharded `FxHashMap`s behind
+//! [`parking_lot::RwLock`], keyed by `(plan fingerprint, RuleBits)` and
+//! storing full `Result<Compiled, CompileError>` values — **failures are
+//! cached too**, so a flip known to crash compilation for a template is
+//! replayed instead of recompiled. The plan fingerprint hashes the
+//! *serialized* plan, not the template id: two instances of one template
+//! differ in literals and actual statistics, and conflating them would make
+//! cached runs observably different from uncached ones.
+//!
+//! [`CachingOptimizer`] packages an [`Optimizer`] with an optional cache
+//! behind the [`Compiler`] trait, so span computation, recommendation
+//! recompiles, and flighting's validation compiles all share one cache
+//! without caring whether it is enabled.
+
+use crate::config::{RuleBits, RuleConfig};
+use crate::registry::RuleSet;
+use crate::search::{CompileError, Compiled, Compiler, Optimizer};
+use parking_lot::RwLock;
+use rustc_hash::FxHashMap;
+use scope_ir::ids::mix64;
+use scope_ir::logical::LogicalPlan;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Knobs of the compile-result cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Master switch. Disabled, every compile goes straight to the
+    /// optimizer (the pre-cache behavior, bit-for-bit).
+    pub enabled: bool,
+    /// Maximum cached compile results across all shards (`0` = unbounded).
+    pub capacity: usize,
+    /// Lock shards (rounded up to a power of two, clamped to 1..=1024).
+    /// More shards = less write contention under parallel fan-outs.
+    pub shards: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            // ~25x the per-day insert volume of the largest simulated
+            // workloads; bounds worst-case memory at roughly tens of MB of
+            // retained physical plans.
+            capacity: 1 << 14,
+            shards: 16,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// The cache turned off (compiles go straight to the optimizer).
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self {
+            enabled: false,
+            ..Self::default()
+        }
+    }
+}
+
+/// Monotonic cache counters (snapshot semantics; see [`CacheStats::since`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub inserts: u64,
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Total lookups.
+    #[must_use]
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit fraction in `[0, 1]` (0 when nothing was looked up).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
+
+    /// Counter deltas relative to an earlier snapshot.
+    #[must_use]
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            inserts: self.inserts.saturating_sub(earlier.inserts),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+        }
+    }
+}
+
+/// Cache key: exact plan identity (hash of the serialized plan — literals,
+/// estimated *and* actual statistics included) plus the full 256-bit rule
+/// configuration.
+type Key = (u64, RuleBits);
+
+#[derive(Debug, Default)]
+struct Shard {
+    map: FxHashMap<Key, Result<Compiled, CompileError>>,
+    /// Insertion order, for FIFO eviction once the shard is full.
+    order: VecDeque<Key>,
+}
+
+/// The sharded compile-result cache. `&CompileCache` is `Sync`: parallel
+/// pipeline fan-outs hit it concurrently, readers sharing each shard lock.
+#[derive(Debug)]
+pub struct CompileCache {
+    shards: Box<[RwLock<Shard>]>,
+    /// Per-shard entry cap derived from [`CacheConfig::capacity`].
+    shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl CompileCache {
+    #[must_use]
+    pub fn new(config: CacheConfig) -> Self {
+        let shards = config.shards.clamp(1, 1024).next_power_of_two();
+        let shard_capacity = if config.capacity == 0 {
+            usize::MAX
+        } else {
+            config.capacity.div_ceil(shards).max(1)
+        };
+        Self {
+            shards: (0..shards).map(|_| RwLock::new(Shard::default())).collect(),
+            shard_capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Stable fingerprint of a plan's exact serialized form (memoized inside
+    /// the plan, so repeat lookups on one plan cost an atomic load).
+    /// Deliberately *not* [`LogicalPlan::template_id`]: the template id
+    /// normalizes literals away, but compile results depend on them.
+    #[must_use]
+    pub fn plan_fingerprint(plan: &LogicalPlan) -> u64 {
+        plan.fingerprint()
+    }
+
+    fn shard_for(&self, key: &Key) -> &RwLock<Shard> {
+        let h = mix64(key.0, key.1.fingerprint());
+        &self.shards[(h as usize) & (self.shards.len() - 1)]
+    }
+
+    /// The cached compile entry point: return the stored result for
+    /// `(plan, config)` or compile, store, and return it. Compilation runs
+    /// *outside* any lock, so concurrent misses on different keys never
+    /// serialize on each other.
+    pub fn get_or_compile(
+        &self,
+        optimizer: &Optimizer,
+        plan: &LogicalPlan,
+        config: &RuleConfig,
+    ) -> Result<Compiled, CompileError> {
+        let key = (Self::plan_fingerprint(plan), *config.bits());
+        let shard = self.shard_for(&key);
+        if let Some(cached) = shard.read().map.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return cached.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let result = optimizer.compile(plan, config);
+        let mut guard = shard.write();
+        // A concurrent miss may have inserted while we compiled; both
+        // computed the identical value (compilation is deterministic), so
+        // first writer wins and the duplicate work is only a perf loss.
+        if let std::collections::hash_map::Entry::Vacant(slot) = guard.map.entry(key) {
+            slot.insert(result.clone());
+            guard.order.push_back(key);
+            self.inserts.fetch_add(1, Ordering::Relaxed);
+            while guard.map.len() > self.shard_capacity {
+                let Some(oldest) = guard.order.pop_front() else {
+                    break;
+                };
+                guard.map.remove(&oldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        result
+    }
+
+    /// Snapshot of the monotonic counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Live entries across all shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().map.len()).sum()
+    }
+
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every entry (counters keep running).
+    pub fn clear(&self) {
+        for shard in self.shards.iter() {
+            let mut guard = shard.write();
+            guard.map.clear();
+            guard.order.clear();
+        }
+    }
+}
+
+/// An [`Optimizer`] plus an optional [`CompileCache`], behind the same
+/// [`Compiler`] interface as the bare optimizer. This is what the pipeline
+/// holds: one wrapper, one shared cache across span computation,
+/// recommendation scoring, validation recompiles — and across days.
+#[derive(Debug)]
+pub struct CachingOptimizer {
+    inner: Optimizer,
+    cache: Option<CompileCache>,
+}
+
+impl CachingOptimizer {
+    /// Wrap `inner` per `config` (`enabled: false` builds no cache at all).
+    #[must_use]
+    pub fn new(inner: Optimizer, config: CacheConfig) -> Self {
+        Self {
+            cache: config.enabled.then(|| CompileCache::new(config)),
+            inner,
+        }
+    }
+
+    /// A pass-through wrapper (every compile goes straight to the inner
+    /// optimizer).
+    #[must_use]
+    pub fn uncached(inner: Optimizer) -> Self {
+        Self { inner, cache: None }
+    }
+
+    #[must_use]
+    pub fn inner(&self) -> &Optimizer {
+        &self.inner
+    }
+
+    #[must_use]
+    pub fn cache(&self) -> Option<&CompileCache> {
+        self.cache.as_ref()
+    }
+
+    /// Counter snapshot; all-zero when the cache is disabled.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.cache
+            .as_ref()
+            .map(CompileCache::stats)
+            .unwrap_or_default()
+    }
+
+    #[must_use]
+    pub fn rules(&self) -> &RuleSet {
+        self.inner.rules()
+    }
+
+    #[must_use]
+    pub fn default_config(&self) -> RuleConfig {
+        self.inner.default_config()
+    }
+
+    /// Compile through the cache when enabled, directly otherwise.
+    pub fn compile(
+        &self,
+        plan: &LogicalPlan,
+        config: &RuleConfig,
+    ) -> Result<Compiled, CompileError> {
+        match &self.cache {
+            Some(cache) => cache.get_or_compile(&self.inner, plan, config),
+            None => self.inner.compile(plan, config),
+        }
+    }
+}
+
+impl Compiler for CachingOptimizer {
+    fn rules(&self) -> &RuleSet {
+        CachingOptimizer::rules(self)
+    }
+
+    fn default_config(&self) -> RuleConfig {
+        CachingOptimizer::default_config(self)
+    }
+
+    fn compile(&self, plan: &LogicalPlan, config: &RuleConfig) -> Result<Compiled, CompileError> {
+        CachingOptimizer::compile(self, plan, config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RuleFlip;
+    use scope_lang::{bind_script, Catalog};
+
+    const SCRIPT: &str = r#"
+        sales = EXTRACT user:int, item:int, spend:float FROM "store/sales";
+        users = EXTRACT user:int, region:string FROM "store/users";
+        big   = SELECT user, spend FROM sales WHERE spend > 100;
+        j     = SELECT * FROM big AS b JOIN users AS u ON b.user == u.user;
+        agg   = SELECT region, SUM(spend) AS total FROM j GROUP BY region;
+        OUTPUT agg TO "out/by_region";
+    "#;
+
+    fn plan() -> LogicalPlan {
+        bind_script(SCRIPT, &Catalog::default()).unwrap()
+    }
+
+    #[test]
+    fn hit_returns_identical_compiled_result() {
+        let opt = Optimizer::default();
+        let cache = CompileCache::new(CacheConfig::default());
+        let p = plan();
+        let cfg = opt.default_config();
+        let first = cache.get_or_compile(&opt, &p, &cfg).unwrap();
+        let second = cache.get_or_compile(&opt, &p, &cfg).unwrap();
+        assert_eq!(first.physical, second.physical);
+        assert_eq!(first.signature, second.signature);
+        assert!((first.est_cost - second.est_cost).abs() < 1e-12);
+        let direct = opt.compile(&p, &cfg).unwrap();
+        assert_eq!(second.physical, direct.physical, "cache is transparent");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.inserts), (1, 1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_configs_and_plans_get_distinct_entries() {
+        let opt = Optimizer::default();
+        let cache = CompileCache::new(CacheConfig::default());
+        let p = plan();
+        let default = opt.default_config();
+        // Same plan, two configs.
+        let off_rule = opt
+            .rules()
+            .rules()
+            .iter()
+            .find(|r| r.category == crate::registry::RuleCategory::OffByDefault)
+            .unwrap()
+            .id;
+        let flipped = default.with_flip(RuleFlip {
+            rule: off_rule,
+            enable: true,
+        });
+        let _ = cache.get_or_compile(&opt, &p, &default);
+        let _ = cache.get_or_compile(&opt, &p, &flipped);
+        assert_eq!(cache.len(), 2);
+        // Same template, different literal => different plan fingerprint.
+        let other = bind_script(
+            &SCRIPT.replace("spend > 100", "spend > 200"),
+            &Catalog::default(),
+        )
+        .unwrap();
+        assert_eq!(other.template_id(), p.template_id());
+        assert_ne!(
+            CompileCache::plan_fingerprint(&other),
+            CompileCache::plan_fingerprint(&p),
+            "literal changes must change the cache key even though the \
+             template id is literal-invariant"
+        );
+    }
+
+    #[test]
+    fn cached_rule_instability_is_replayed_not_recompiled() {
+        let opt = Optimizer::default();
+        let cache = CompileCache::new(CacheConfig::default());
+        let p = plan();
+        let default = opt.default_config();
+        // Find any single flip whose compilation fails with RuleInstability.
+        let mut failing = None;
+        for rule in opt.rules().flippable() {
+            let cfg = default.with_flip(RuleFlip {
+                rule,
+                enable: !default.enabled(rule),
+            });
+            if let Err(CompileError::RuleInstability { .. }) = opt.compile(&p, &cfg) {
+                failing = Some(cfg);
+                break;
+            }
+        }
+        let Some(cfg) = failing else {
+            // Astronomically unlikely across 200+ flippable rules, but the
+            // instability draws are seeded: tolerate a lucky template.
+            return;
+        };
+        let first = cache.get_or_compile(&opt, &p, &cfg);
+        let second = cache.get_or_compile(&opt, &p, &cfg);
+        assert!(matches!(first, Err(CompileError::RuleInstability { .. })));
+        assert_eq!(first, second, "the cached failure replays identically");
+        let stats = cache.stats();
+        assert_eq!(
+            (stats.hits, stats.misses),
+            (1, 1),
+            "the second lookup must hit (no recompile of the known failure)"
+        );
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_entries_fifo() {
+        let opt = Optimizer::default();
+        // One shard, room for exactly 2 entries.
+        let cache = CompileCache::new(CacheConfig {
+            enabled: true,
+            capacity: 2,
+            shards: 1,
+        });
+        let p = plan();
+        let default = opt.default_config();
+        let mut configs = Vec::new();
+        for rule in opt.rules().flippable().take(3) {
+            configs.push(default.with_flip(RuleFlip {
+                rule,
+                enable: !default.enabled(rule),
+            }));
+        }
+        for cfg in &configs {
+            let _ = cache.get_or_compile(&opt, &p, cfg);
+        }
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        // Oldest (configs[0]) was evicted: looking it up again misses.
+        let before = cache.stats();
+        let _ = cache.get_or_compile(&opt, &p, &configs[0]);
+        assert_eq!(cache.stats().since(&before).misses, 1);
+        // Newest still hits.
+        let before = cache.stats();
+        let _ = cache.get_or_compile(&opt, &p, &configs[2]);
+        assert_eq!(cache.stats().since(&before).hits, 1);
+    }
+
+    #[test]
+    fn caching_optimizer_is_transparent_and_countable() {
+        let cached = CachingOptimizer::new(Optimizer::default(), CacheConfig::default());
+        let uncached = CachingOptimizer::uncached(Optimizer::default());
+        let p = plan();
+        let cfg = cached.default_config();
+        let a = cached.compile(&p, &cfg).unwrap();
+        let b = cached.compile(&p, &cfg).unwrap();
+        let c = uncached.compile(&p, &cfg).unwrap();
+        assert_eq!(a.physical, b.physical);
+        assert_eq!(a.physical, c.physical);
+        assert_eq!(cached.stats().hits, 1);
+        assert_eq!(uncached.stats(), CacheStats::default());
+        assert!(uncached.cache().is_none());
+    }
+
+    #[test]
+    fn clear_empties_every_shard() {
+        let opt = Optimizer::default();
+        let cache = CompileCache::new(CacheConfig::default());
+        let p = plan();
+        let _ = cache.get_or_compile(&opt, &p, &opt.default_config());
+        assert!(!cache.is_empty());
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn config_defaults_and_disabled() {
+        let c = CacheConfig::default();
+        assert!(c.enabled);
+        assert!(c.capacity > 0 && c.shards > 0);
+        assert!(!CacheConfig::disabled().enabled);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: CacheConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+
+    #[test]
+    fn stats_since_and_hit_rate() {
+        let a = CacheStats {
+            hits: 3,
+            misses: 1,
+            inserts: 1,
+            evictions: 0,
+        };
+        let b = CacheStats {
+            hits: 9,
+            misses: 3,
+            inserts: 2,
+            evictions: 1,
+        };
+        let d = b.since(&a);
+        assert_eq!(d.hits, 6);
+        assert_eq!(d.lookups(), 8);
+        assert!((d.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+}

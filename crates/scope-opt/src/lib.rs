@@ -12,6 +12,10 @@
 //!   contributed to the chosen plan);
 //! * the **job-span fixpoint** heuristic ([`span::compute_span`]);
 //! * per-template **compile-time hints** ([`hints::HintSet`]);
+//! * a **sharded compile-result cache** exploiting deterministic
+//!   compilation, so the pipeline's repeated `(plan, configuration)`
+//!   recompiles are looked up instead of re-searched
+//!   ([`cache::CompileCache`] / [`cache::CachingOptimizer`]);
 //! * a cost model that prices plans from *estimated* statistics and
 //!   *claimed* tuning only, reproducing SCOPE's estimated-vs-real divergence
 //!   ([`cost::CostModel`]).
@@ -38,6 +42,7 @@
 //! assert!(!compiled.signature.is_empty());
 //! ```
 
+pub mod cache;
 pub mod config;
 pub mod cost;
 pub mod hints;
@@ -48,9 +53,10 @@ pub mod rules;
 pub mod search;
 pub mod span;
 
+pub use cache::{CacheConfig, CacheStats, CachingOptimizer, CompileCache};
 pub use config::{RuleBits, RuleConfig, RuleFlip, RuleId, RULE_COUNT};
 pub use cost::CostModel;
 pub use hints::{Hint, HintSet};
 pub use registry::{RuleCategory, RuleDef, RuleSet};
-pub use search::{CompileError, Compiled, Optimizer, SearchOptions};
+pub use search::{CompileError, Compiled, Compiler, Optimizer, SearchOptions};
 pub use span::{compute_span, SpanResult};

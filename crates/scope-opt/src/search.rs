@@ -103,7 +103,7 @@ impl fmt::Display for CompileError {
 impl std::error::Error for CompileError {}
 
 /// A successful compilation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Compiled {
     pub physical: PhysicalPlan,
     /// Total estimated cost (the optimizer's belief; see `scope-runtime` for
@@ -118,12 +118,38 @@ pub struct Compiled {
     pub template_seed: u64,
 }
 
+/// Anything that can compile logical plans under rule configurations: the
+/// bare [`Optimizer`], or [`crate::cache::CachingOptimizer`] which routes
+/// every compile through a shared [`crate::cache::CompileCache`]. Span
+/// computation and flighting are generic over this, so the whole steering
+/// pipeline — span fixpoint, recommendation recompiles, validation flights —
+/// can share one compile-result cache.
+pub trait Compiler {
+    fn rules(&self) -> &RuleSet;
+    fn default_config(&self) -> RuleConfig;
+    fn compile(&self, plan: &LogicalPlan, config: &RuleConfig) -> Result<Compiled, CompileError>;
+}
+
 /// The SCOPE-like optimizer.
 #[derive(Debug, Clone)]
 pub struct Optimizer {
     rules: RuleSet,
     cost: CostModel,
     opts: SearchOptions,
+}
+
+impl Compiler for Optimizer {
+    fn rules(&self) -> &RuleSet {
+        Optimizer::rules(self)
+    }
+
+    fn default_config(&self) -> RuleConfig {
+        Optimizer::default_config(self)
+    }
+
+    fn compile(&self, plan: &LogicalPlan, config: &RuleConfig) -> Result<Compiled, CompileError> {
+        Optimizer::compile(self, plan, config)
+    }
 }
 
 impl Default for Optimizer {
@@ -515,8 +541,15 @@ impl Optimizer {
                             keys: keys.clone(),
                         }
                     }
-                    // Defensive: pre-reductions only pair with these ops.
-                    _ => PhysicalOp::ProjectExec { exprs: vec![] },
+                    // Guarded by construction: `impls.rs` only attaches a
+                    // pre-reduction to the operator it pairs with, so a
+                    // mismatch here is plan corruption — fail loudly rather
+                    // than silently emitting a no-op project.
+                    (pre, op) => unreachable!(
+                        "pre-reduction {pre:?} paired with {}; only \
+                         PartialAgg→HashAggregate and LocalTopK→TopNExec exist",
+                        op.tag()
+                    ),
                 };
                 node = plan.add(PhysicalNode {
                     op: pre_op,

@@ -11,8 +11,8 @@
 //! > recompilation fails)."
 
 use crate::config::{RuleBits, RuleConfig};
-use crate::registry::RuleCategory;
-use crate::search::{CompileError, Optimizer};
+use crate::registry::{RuleCategory, RuleSet};
+use crate::search::{CompileError, Compiler};
 use scope_ir::logical::LogicalPlan;
 
 /// Result of the span fixpoint.
@@ -41,10 +41,33 @@ impl SpanResult {
     }
 }
 
+/// Build one fixpoint pass's exploration configuration (§4.1): every
+/// off-by-default rule turned **on**, and the *on-by-default and
+/// implementation* rules seen in any signature so far turned **off**. An
+/// off-by-default rule discovered by an earlier pass stays enabled — the
+/// paper only switches off rules that are on by default, so exploration
+/// keeps probing what the experimental rules unlock.
+fn exploration_config(rules: &RuleSet, default_config: &RuleConfig, seen: &RuleBits) -> RuleConfig {
+    let mut bits = *default_config.bits();
+    for r in rules.rules() {
+        if r.category == RuleCategory::OffByDefault {
+            bits.insert(r.id);
+        }
+    }
+    for id in seen.iter() {
+        let rule = rules.rule(id);
+        if rule.flippable() && rule.category.default_on() {
+            bits.remove(id);
+        }
+    }
+    RuleConfig::from_bits(bits)
+}
+
 /// Compute the span of a job with the fixpoint heuristic, bounded by
-/// `max_iterations` recompiles.
-pub fn compute_span(
-    optimizer: &Optimizer,
+/// `max_iterations` recompiles. Generic over [`Compiler`] so the fixpoint's
+/// recompilation passes can run through a compile-result cache.
+pub fn compute_span<C: Compiler>(
+    optimizer: &C,
     plan: &LogicalPlan,
     max_iterations: usize,
 ) -> Result<SpanResult, CompileError> {
@@ -65,20 +88,7 @@ pub fn compute_span(
     let mut prev_config: Option<RuleConfig> = None;
 
     while iterations < max_iterations {
-        // Build the exploration config: all off-by-default rules on, every
-        // flippable rule seen in any signature so far off.
-        let mut bits = *default_config.bits();
-        for r in rules.rules() {
-            if r.category == RuleCategory::OffByDefault {
-                bits.insert(r.id);
-            }
-        }
-        for id in seen.iter() {
-            if rules.rule(id).flippable() {
-                bits.remove(id);
-            }
-        }
-        let config = RuleConfig::from_bits(bits);
+        let config = exploration_config(rules, &default_config, &seen);
         if prev_config == Some(config) {
             break; // configuration fixpoint
         }
@@ -111,6 +121,7 @@ pub fn compute_span(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::search::Optimizer;
     use scope_lang::{bind_script, Catalog};
 
     fn plan(src: &str) -> LogicalPlan {
@@ -171,6 +182,48 @@ mod tests {
         assert!(
             !discovered.is_empty() || result.stopped_on_failure,
             "span should usually exceed the default signature"
+        );
+    }
+
+    #[test]
+    fn exploration_keeps_discovered_off_by_default_rules_enabled() {
+        // Regression: the exploration config used to turn off *every*
+        // flippable rule seen in a signature, including off-by-default rules
+        // discovered in an earlier pass. The paper (§4.1) only turns off
+        // "on-by-default and implementation rules that appear in the
+        // original rule signature" — off-by-default rules stay on.
+        let opt = Optimizer::default();
+        let rules = opt.rules();
+        let off = rules
+            .rules()
+            .iter()
+            .find(|r| r.category == RuleCategory::OffByDefault)
+            .expect("registry has off-by-default rules")
+            .id;
+        let on = rules
+            .rules()
+            .iter()
+            .find(|r| r.category == RuleCategory::OnByDefault)
+            .expect("registry has on-by-default rules")
+            .id;
+        let implementation = rules
+            .rules()
+            .iter()
+            .find(|r| r.category == RuleCategory::Implementation)
+            .expect("registry has implementation rules")
+            .id;
+        // Pass 1 discovered all three in a signature.
+        let seen: RuleBits = [off, on, implementation].into_iter().collect();
+        let config = exploration_config(rules, &opt.default_config(), &seen);
+        assert!(
+            config.enabled(off),
+            "off-by-default rule discovered in pass 1 must stay enabled in \
+             pass 2's exploration config"
+        );
+        assert!(!config.enabled(on), "seen on-by-default rules turn off");
+        assert!(
+            !config.enabled(implementation),
+            "seen implementation rules turn off"
         );
     }
 

@@ -102,10 +102,16 @@ impl SisStore {
     }
 
     /// Publish a hint file: validate, bump version, persist, install.
+    ///
+    /// Version 0 is the reserved "nothing installed" sentinel
+    /// ([`SisStore::version`] returns 0 for an empty store), so publishing
+    /// it is rejected even into an empty store (`0 <= state.version` always
+    /// holds) — accepting it would leave hints installed that every
+    /// version-probing caller believes absent.
     pub fn publish(&self, file: HintFile) -> Result<u32, SisError> {
         Self::validate(&file)?;
         let mut state = self.state.write();
-        if file.version <= state.version && state.version > 0 {
+        if file.version <= state.version {
             return Err(SisError::StaleVersion {
                 proposed: file.version,
                 current: state.version,
@@ -122,7 +128,11 @@ impl SisStore {
         Ok(state.version)
     }
 
-    /// Load the highest-versioned persisted hint file from disk.
+    /// Load the highest-versioned persisted hint file from disk and install
+    /// it — unless the live in-memory version is already at least that new,
+    /// in which case nothing is installed and `Ok(None)` is returned: a
+    /// reload must never silently downgrade a store that has published past
+    /// what is on disk (e.g. after a partial cleanup of the hint directory).
     pub fn reload_latest(&self) -> Result<Option<u32>, SisError> {
         let Some(dir) = &self.dir else {
             return Ok(None);
@@ -145,11 +155,20 @@ impl SisStore {
         let Some((version, path)) = best else {
             return Ok(None);
         };
+        // The version comes from the filename, so a stale directory is a
+        // no-op before any file is read — a corrupt file that would install
+        // nothing must not fail the reload.
+        if version <= self.state.read().version {
+            return Ok(None);
+        }
         let json = std::fs::read_to_string(path).map_err(|e| SisError::Io(e.to_string()))?;
         let file: HintFile =
             serde_json::from_str(&json).map_err(|e| SisError::Io(e.to_string()))?;
         Self::validate(&file)?;
         let mut state = self.state.write();
+        if version <= state.version {
+            return Ok(None);
+        }
         state.version = version;
         state.hints = HintSet::from_hints(file.hints);
         Ok(Some(version))
@@ -262,6 +281,82 @@ mod tests {
             })
             .unwrap();
         assert_eq!(store.version(), 3);
+    }
+
+    #[test]
+    fn version_zero_is_rejected_even_into_an_empty_store() {
+        // Regression: an empty store (version 0) used to accept a
+        // `version: 0` file, leaving hints installed while `version()`
+        // still answered "nothing installed".
+        let store = SisStore::in_memory();
+        let err = store
+            .publish(HintFile {
+                version: 0,
+                source_day: 0,
+                hints: vec![hint(1, 21, true)],
+            })
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SisError::StaleVersion {
+                proposed: 0,
+                current: 0
+            }
+        );
+        assert_eq!(store.version(), 0);
+        assert!(store.is_empty(), "the rejected file must not install");
+    }
+
+    #[test]
+    fn reload_never_downgrades_a_newer_live_version() {
+        // Regression: `reload_latest` used to install whatever the highest
+        // on-disk version was, silently downgrading a store whose live
+        // version had already moved past it.
+        let dir = std::env::temp_dir().join(format!("sis-downgrade-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = SisStore::at_dir(&dir).unwrap();
+        store
+            .publish(HintFile {
+                version: 1,
+                source_day: 0,
+                hints: vec![hint(1, 21, true)],
+            })
+            .unwrap();
+        store
+            .publish(HintFile {
+                version: 5,
+                source_day: 1,
+                hints: vec![hint(2, 22, true)],
+            })
+            .unwrap();
+        // Lose the newest file: the directory now only holds version 1.
+        std::fs::remove_file(dir.join("hints-v000005.json")).unwrap();
+        assert_eq!(store.reload_latest().unwrap(), None, "downgrade skipped");
+        assert_eq!(store.version(), 5, "live version untouched");
+        let optimizer = scope_opt::Optimizer::default();
+        let default = optimizer.default_config();
+        assert!(
+            store
+                .config_for(TemplateId(2), &default)
+                .enabled(RuleId(22)),
+            "live hints untouched"
+        );
+        assert_eq!(
+            store.config_for(TemplateId(1), &default),
+            default,
+            "the stale on-disk hints must not come back"
+        );
+        // Reloading the same version is also a no-op, not a reinstall.
+        let fresh = SisStore::at_dir(&dir).unwrap();
+        assert_eq!(fresh.reload_latest().unwrap(), Some(1));
+        assert_eq!(fresh.reload_latest().unwrap(), None);
+        assert_eq!(fresh.version(), 1);
+        // A stale file that would install nothing is skipped before it is
+        // even read: corrupting it must not fail the newer store's reload.
+        std::fs::write(dir.join("hints-v000001.json"), b"{not json").unwrap();
+        assert_eq!(store.reload_latest().unwrap(), None);
+        assert_eq!(store.version(), 5);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

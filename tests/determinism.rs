@@ -1,13 +1,22 @@
-//! Thread-count invariance of the staged pipeline: the same multi-day
-//! simulation run serially and at 1, 2, and 8 worker threads must produce
-//! byte-identical daily reports and byte-identical published SIS hint files.
+//! Thread-count *and* compile-cache invariance of the staged pipeline: the
+//! same multi-day simulation run serially and at 1, 2, and 8 worker
+//! threads, with the compile-result cache on or off, must produce
+//! byte-identical daily reports and byte-identical published SIS hint
+//! files.
 //!
-//! This is the contract that makes the parallel Feature Generation /
-//! Recompilation fan-outs safe to deploy: parallelism is purely a throughput
-//! knob, never a behavior knob (the paper's flighting and hint pipeline is
-//! reproducible by construction; see ISSUE/ROADMAP).
+//! This is the contract that makes both knobs safe to deploy: parallelism
+//! and caching are purely throughput knobs, never behavior knobs —
+//! compilation is deterministic, so a cache hit replays exactly what a
+//! recompile would have produced (including `RuleInstability` failures).
+//!
+//! The one field excluded from the byte comparison is the report's
+//! `compile_cache` telemetry: it is *about* the cache (all-zero with the
+//! cache off, and under parallel inserts at capacity the hit/miss split can
+//! depend on eviction order), not a steering output. `normalized` zeroes it
+//! before formatting; everything else must match to the byte.
 
-use qo_advisor::{ParallelismConfig, PipelineConfig, ProductionSim};
+use qo_advisor::ProductionSim;
+use qo_advisor::{CacheConfig, CacheCounters, DailyReport, ParallelismConfig, PipelineConfig};
 use scope_workload::WorkloadConfig;
 use sis::SisStore;
 use std::collections::BTreeMap;
@@ -37,11 +46,11 @@ impl Drop for TempTree {
 }
 
 /// Run a fresh DAYS-day simulation publishing hint files into `sis_dir`;
-/// returns the Debug rendering of every daily report (a byte-level summary
-/// of all counters and cost totals).
-fn run_sim(threads: Option<usize>, sis_dir: &Path) -> Vec<String> {
+/// returns every daily report.
+fn run_sim(threads: Option<usize>, cache: CacheConfig, sis_dir: &Path) -> Vec<DailyReport> {
     let config = PipelineConfig {
         parallelism: ParallelismConfig { threads },
+        cache,
         ..PipelineConfig::default()
     };
     let mut sim = ProductionSim::with_sis_store(
@@ -49,8 +58,20 @@ fn run_sim(threads: Option<usize>, sis_dir: &Path) -> Vec<String> {
         config,
         SisStore::at_dir(sis_dir).expect("create sis dir"),
     );
-    (0..DAYS)
-        .map(|_| format!("{:?}", sim.advance_day().report))
+    (0..DAYS).map(|_| sim.advance_day().report).collect()
+}
+
+/// Byte-level rendering of the reports with the cache telemetry zeroed (it
+/// is observability about the cache, not a steering output — see module
+/// docs).
+fn normalized(reports: &[DailyReport]) -> Vec<String> {
+    reports
+        .iter()
+        .map(|report| {
+            let mut report = report.clone();
+            report.compile_cache = CacheCounters::default();
+            format!("{report:?}")
+        })
         .collect()
 }
 
@@ -74,7 +95,7 @@ fn reports_and_hint_files_are_identical_at_any_thread_count() {
     let _ = std::fs::remove_dir_all(&base.0);
 
     let serial_dir = base.0.join("serial");
-    let baseline_reports = run_sim(None, &serial_dir);
+    let baseline_reports = normalized(&run_sim(None, CacheConfig::default(), &serial_dir));
     let baseline_files = hint_files(&serial_dir);
 
     assert!(
@@ -85,7 +106,7 @@ fn reports_and_hint_files_are_identical_at_any_thread_count() {
 
     for threads in [1usize, 2, 8] {
         let dir = base.0.join(format!("t{threads}"));
-        let reports = run_sim(Some(threads), &dir);
+        let reports = normalized(&run_sim(Some(threads), CacheConfig::default(), &dir));
         assert_eq!(
             reports, baseline_reports,
             "daily reports diverged at {threads} worker threads"
@@ -99,6 +120,51 @@ fn reports_and_hint_files_are_identical_at_any_thread_count() {
 }
 
 #[test]
+fn reports_and_hint_files_are_identical_with_cache_on_and_off() {
+    let base =
+        TempTree(std::env::temp_dir().join(format!("qo-cache-determinism-{}", std::process::id())));
+    let _ = std::fs::remove_dir_all(&base.0);
+
+    // Baseline: the pre-cache pipeline (serial, cache off).
+    let off_dir = base.0.join("off");
+    let off_reports_raw = run_sim(None, CacheConfig::disabled(), &off_dir);
+    let baseline_reports = normalized(&off_reports_raw);
+    let baseline_files = hint_files(&off_dir);
+
+    assert!(
+        !baseline_files.is_empty(),
+        "the cache-off simulation must publish at least one hint file"
+    );
+    assert!(
+        off_reports_raw
+            .iter()
+            .all(|r| r.compile_cache == CacheCounters::default()),
+        "a disabled cache must report zero telemetry"
+    );
+
+    for threads in [1usize, 2, 8] {
+        let dir = base.0.join(format!("cached-t{threads}"));
+        let raw = run_sim(Some(threads), CacheConfig::default(), &dir);
+        assert!(
+            raw.iter().any(|r| r.compile_cache.hits > 0),
+            "the cached run must actually hit, or this test compares nothing"
+        );
+        assert_eq!(
+            normalized(&raw),
+            baseline_reports,
+            "daily reports diverged between cache-off serial and cache-on \
+             at {threads} worker threads"
+        );
+        assert_eq!(
+            hint_files(&dir),
+            baseline_files,
+            "published SIS hint files diverged between cache-off serial \
+             and cache-on at {threads} worker threads"
+        );
+    }
+}
+
+#[test]
 fn parallel_config_default_is_serial() {
     assert_eq!(
         PipelineConfig::default().parallelism,
@@ -106,4 +172,11 @@ fn parallel_config_default_is_serial() {
     );
     assert_eq!(ParallelismConfig::default().threads, None);
     assert_eq!(ParallelismConfig::with_threads(4).threads, Some(4));
+}
+
+#[test]
+fn cache_config_default_is_enabled() {
+    assert_eq!(PipelineConfig::default().cache, CacheConfig::default());
+    assert!(CacheConfig::default().enabled);
+    assert!(!CacheConfig::disabled().enabled);
 }
