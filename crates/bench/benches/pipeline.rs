@@ -4,10 +4,10 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use flighting::{FlightBudget, FlightingService};
-use qo_advisor::{CacheConfig, ParallelismConfig, PipelineConfig, QoAdvisor};
+use qo_advisor::{CacheConfig, ParallelismConfig, PipelineConfig, ProductionSim, QoAdvisor};
 use scope_opt::Optimizer;
 use scope_runtime::Cluster;
-use scope_workload::{build_view, Workload, WorkloadConfig};
+use scope_workload::{build_view, LiteralPolicy, Workload, WorkloadConfig};
 use std::hint::black_box;
 
 fn bench_pipeline(c: &mut Criterion) {
@@ -17,15 +17,22 @@ fn bench_pipeline(c: &mut Criterion) {
         num_templates: 10,
         adhoc_per_day: 2,
         max_instances_per_day: 1,
+        ..WorkloadConfig::default()
     });
     let cluster = Cluster::default();
     let jobs = workload.jobs_for_day(0);
 
     c.bench_function("build_daily_view_12_jobs", |b| {
-        b.iter(|| black_box(build_view(&jobs, &optimizer, &Default::default(), &cluster).len()))
+        b.iter(|| {
+            black_box(
+                build_view(&jobs, &optimizer, &Default::default(), &cluster)
+                    .unwrap()
+                    .len(),
+            )
+        })
     });
 
-    let view = build_view(&jobs, &optimizer, &Default::default(), &cluster);
+    let view = build_view(&jobs, &optimizer, &Default::default(), &cluster).unwrap();
     c.bench_function("pipeline_run_day_12_jobs", |b| {
         b.iter_batched(
             || {
@@ -51,10 +58,11 @@ fn bench_pipeline_parallelism(c: &mut Criterion) {
         num_templates: 48,
         adhoc_per_day: 4,
         max_instances_per_day: 1,
+        ..WorkloadConfig::default()
     });
     let cluster = Cluster::default();
     let jobs = workload.jobs_for_day(0);
-    let view = build_view(&jobs, &optimizer, &Default::default(), &cluster);
+    let view = build_view(&jobs, &optimizer, &Default::default(), &cluster).unwrap();
 
     let advisor_with = |parallelism: ParallelismConfig| {
         QoAdvisor::new(
@@ -100,6 +108,7 @@ fn bench_pipeline_compile_cache(c: &mut Criterion) {
         num_templates: 48,
         adhoc_per_day: 4,
         max_instances_per_day: 1,
+        ..WorkloadConfig::default()
     });
     let cluster = Cluster::default();
     let views: Vec<_> = (0..3u32)
@@ -110,6 +119,7 @@ fn bench_pipeline_compile_cache(c: &mut Criterion) {
                 &Default::default(),
                 &cluster,
             )
+            .unwrap()
         })
         .collect();
 
@@ -154,9 +164,68 @@ fn bench_pipeline_compile_cache(c: &mut Criterion) {
     }
 }
 
+/// The whole closed loop (`ProductionSim::advance_day`, which `build_view`'s
+/// production compiles dominate) over 3 days, cached vs uncached, under
+/// fresh vs sticky literals. Sticky literals are the recurring-script regime
+/// the paper assumes: every warm day's production compile repeats a day-0
+/// plan, so the shared sim-wide cache turns `build_view` into lookups and
+/// this pair shows the cache's headline win. Fresh literals bound the same
+/// comparison from below (only within-day repeats can hit).
+fn bench_sim_advance_day(c: &mut Criterion) {
+    let policies = [
+        ("fresh", LiteralPolicy::FreshEachRun),
+        (
+            "sticky",
+            LiteralPolicy::Sticky {
+                redraw_every_days: 0,
+            },
+        ),
+    ];
+    let caches = [
+        ("uncached", CacheConfig::disabled()),
+        ("cached", CacheConfig::default()),
+    ];
+    for (policy_name, literals) in policies {
+        for (cache_name, cache) in caches {
+            let workload = WorkloadConfig {
+                seed: 2022,
+                num_templates: 48,
+                adhoc_per_day: 4,
+                max_instances_per_day: 1,
+                literals,
+            };
+            c.bench_function(
+                &format!("sim_advance_3_days_48_templates_{policy_name}_{cache_name}"),
+                |b| {
+                    b.iter_batched(
+                        || {
+                            ProductionSim::new(
+                                workload.clone(),
+                                PipelineConfig {
+                                    cache,
+                                    ..PipelineConfig::default()
+                                },
+                            )
+                        },
+                        |mut sim| {
+                            let mut published = 0;
+                            for _ in 0..3 {
+                                published += sim.advance_day().report.hints_published;
+                            }
+                            black_box(published)
+                        },
+                        BatchSize::PerIteration,
+                    )
+                },
+            );
+        }
+    }
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_pipeline, bench_pipeline_parallelism, bench_pipeline_compile_cache
+    targets = bench_pipeline, bench_pipeline_parallelism, bench_pipeline_compile_cache,
+        bench_sim_advance_day
 }
 criterion_main!(benches);

@@ -26,7 +26,7 @@ use qo_advisor::{
 use qo_bench::corpus::{write_csv, Env};
 use qo_bench::{mean, pearson, percentile, polyfit1};
 use scope_runtime::Cluster;
-use scope_workload::{build_view, WorkloadConfig};
+use scope_workload::{build_view, LiteralPolicy, WorkloadConfig};
 
 /// Worker-thread override for every experiment in this run.
 static THREADS: std::sync::OnceLock<Option<usize>> = std::sync::OnceLock::new();
@@ -53,6 +53,27 @@ fn parse_cache_flag(value: &str) -> bool {
     }
 }
 
+/// Literal-redraw policy for every simulated workload in this run.
+static LITERALS: std::sync::OnceLock<LiteralPolicy> = std::sync::OnceLock::new();
+
+fn set_literals(policy: LiteralPolicy) {
+    let _ = LITERALS.set(policy);
+}
+
+/// The CLI-selected literal-redraw policy (default: fresh every run).
+fn literal_policy() -> LiteralPolicy {
+    *LITERALS.get_or_init(|| LiteralPolicy::FreshEachRun)
+}
+
+/// Parse `fresh` | `sticky` | `sticky:N` | `mixed:F` via the shared
+/// [`LiteralPolicy`] parser (same spellings as `QO_LITERALS` everywhere).
+fn parse_literals_flag(value: &str) -> LiteralPolicy {
+    value.parse().unwrap_or_else(|e| {
+        eprintln!("bad literals flag: {e}");
+        std::process::exit(2);
+    })
+}
+
 /// The base pipeline configuration every experiment derives from: defaults
 /// plus the CLI-selected parallelism and cache switches.
 fn pipeline_config() -> PipelineConfig {
@@ -66,6 +87,23 @@ fn pipeline_config() -> PipelineConfig {
             CacheConfig::disabled()
         },
         ..PipelineConfig::default()
+    }
+}
+
+/// The base workload every simulation experiment derives from: the given
+/// shape plus the CLI-selected literal-redraw policy.
+fn workload_config(
+    seed: u64,
+    num_templates: usize,
+    adhoc_per_day: usize,
+    max_instances_per_day: u32,
+) -> WorkloadConfig {
+    WorkloadConfig {
+        seed,
+        num_templates,
+        adhoc_per_day,
+        max_instances_per_day,
+        literals: literal_policy(),
     }
 }
 
@@ -97,6 +135,16 @@ fn main() {
         args.drain(i..=i + 1);
     } else if let Ok(value) = std::env::var("QO_CACHE") {
         set_cache(parse_cache_flag(&value));
+    }
+    if let Some(i) = args.iter().position(|a| a == "--literals") {
+        let policy = args.get(i + 1).map(String::as_str).unwrap_or_else(|| {
+            eprintln!("--literals requires fresh|sticky[:days]|mixed:fraction");
+            std::process::exit(2);
+        });
+        set_literals(parse_literals_flag(policy));
+        args.drain(i..=i + 1);
+    } else if let Ok(value) = std::env::var("QO_LITERALS") {
+        set_literals(parse_literals_flag(&value));
     }
     let which = args.first().map(String::as_str).unwrap_or("all");
     let run = |name: &str| which == "all" || which == name;
@@ -160,7 +208,7 @@ fn main() {
 /// Figures 2 and 4: week-over-week instability of single A/B savings.
 fn fig2_fig4() {
     println!("\n=== Figures 2 & 4: recurring-job stability (week0 vs week1) ===");
-    let env = Env::standard(2022, 60);
+    let env = Env::standard(2022, 60, literal_policy());
     let default = env.default_config();
     let mut svc = FlightingService::new(
         Cluster::preproduction(),
@@ -235,7 +283,7 @@ fn fig2_fig4() {
 /// Figures 3 and 5: A/A variance of latency vs PNhours.
 fn fig3_fig5() {
     println!("\n=== Figures 3 & 5: A/A variance (10 runs per job) ===");
-    let env = Env::standard(2022, 60);
+    let env = Env::standard(2022, 60, literal_policy());
     let default = env.default_config();
     let jobs = env.workload.jobs_for_day(0);
     let mut points = Vec::new();
@@ -280,7 +328,7 @@ fn fig3_fig5() {
 /// Figure 6: estimated-cost deltas do not predict latency deltas.
 fn fig6() {
     println!("\n=== Figure 6: estimated-cost delta vs latency delta ===");
-    let env = Env::standard(2022, 60);
+    let env = Env::standard(2022, 60, literal_policy());
     let default = env.default_config();
     let mut svc = FlightingService::new(
         Cluster::preproduction(),
@@ -392,7 +440,7 @@ fn gather_samples(env: &Env, days: std::ops::Range<u32>, salt: u64) -> Vec<Valid
 /// Figures 7 and 8: DataRead/DataWritten deltas correlate with PN deltas.
 fn fig7_fig8() {
     println!("\n=== Figures 7 & 8: data deltas predict PNhours deltas ===");
-    let env = Env::standard(2022, 60);
+    let env = Env::standard(2022, 60, literal_policy());
     let samples = gather_samples(&env, 0..3, 0x77);
     let rows: Vec<String> = samples
         .iter()
@@ -432,7 +480,7 @@ fn fig7_fig8() {
 /// Figure 9: validation-model accuracy on held-out days.
 fn fig9() {
     println!("\n=== Figure 9: validation model, predicted vs actual PN delta ===");
-    let env = Env::standard(2022, 60);
+    let env = Env::standard(2022, 60, literal_policy());
     // Train on a 14-day window of random pre-production flights (Â§4.3);
     // evaluate against what actually happens in *production*: paired
     // default/flip runs of later days' jobs on the production cluster.
@@ -510,15 +558,7 @@ fn fig9() {
 /// Table 2 and Figures 10-12: end-to-end production impact.
 fn table2_and_figs() {
     println!("\n=== Table 2 + Figures 10-12: pre-production impact of QO-Advisor ===");
-    let mut sim = ProductionSim::new(
-        WorkloadConfig {
-            seed: 2022,
-            num_templates: 60,
-            adhoc_per_day: 15,
-            max_instances_per_day: 2,
-        },
-        pipeline_config(),
-    );
+    let mut sim = ProductionSim::new(workload_config(2022, 60, 15, 2), pipeline_config());
     sim.bootstrap_validation_model(5, 24);
     let outcomes = sim.run(25);
     let mut comparisons: Vec<HintedComparison> = Vec::new();
@@ -577,12 +617,7 @@ fn table2_and_figs() {
 /// Table 3: contextual bandit vs uniform-random rule flips.
 fn table3() {
     println!("\n=== Table 3: random vs CB rule flips ===");
-    let wl = WorkloadConfig {
-        seed: 2022,
-        num_templates: 60,
-        adhoc_per_day: 15,
-        max_instances_per_day: 2,
-    };
+    let wl = workload_config(2022, 60, 15, 2);
     // Train the CB through the daily loop.
     let mut sim = ProductionSim::new(wl.clone(), pipeline_config());
     sim.bootstrap_validation_model(3, 16);
@@ -594,14 +629,15 @@ fn table3() {
     let jobs = sim.workload.jobs_for_day(eval_day);
     let view = build_view(
         &jobs,
-        &sim.optimizer,
+        sim.advisor.caching_optimizer(),
         &Default::default(),
         &sim.prod_cluster,
-    );
+    )
+    .expect("generated workloads compile on the default path");
     let report_cb = sim.advisor.run_day(&view, eval_day);
 
     let mut random = QoAdvisor::new(
-        sim.optimizer.clone(),
+        sim.optimizer().clone(),
         FlightingService::new(Cluster::preproduction(), FlightBudget::default()),
         PipelineConfig {
             strategy: RecommendStrategy::UniformRandom,
@@ -692,12 +728,7 @@ fn ablation_cost_gate() {
         queue_size: 64,
     };
     let run_one = |gate: bool| {
-        let wl = WorkloadConfig {
-            seed: 2022,
-            num_templates: 60,
-            adhoc_per_day: 15,
-            max_instances_per_day: 2,
-        };
+        let wl = workload_config(2022, 60, 15, 2);
         let mut sim = ProductionSim::new(
             wl,
             PipelineConfig {
@@ -746,12 +777,7 @@ fn ablation_cost_gate() {
 /// recommendation quality on identical jobs.
 fn ablation_span_features() {
     println!("\n=== §6 ablation: span features in the CB context ===");
-    let wl = WorkloadConfig {
-        seed: 2022,
-        num_templates: 60,
-        adhoc_per_day: 15,
-        max_instances_per_day: 2,
-    };
+    let wl = workload_config(2022, 60, 15, 2);
     // Accumulate the acting-policy quality over the back half of training
     // (the first half is warm-up for both variants).
     let run_policy = |span_features: bool| {
@@ -820,7 +846,7 @@ fn ablation_span_features() {
 /// template).
 fn negi_maintenance_cost() {
     println!("\n=== §2.2 maintenance cost: Negi et al. 2021 vs QO-Advisor ===");
-    let env = Env::standard(2022, 60);
+    let env = Env::standard(2022, 60, literal_policy());
     let mut svc = FlightingService::new(
         Cluster::preproduction(),
         FlightBudget {

@@ -24,6 +24,15 @@ fn main() {
             std::process::exit(2);
         }
     };
+    // `QO_LITERALS=sticky` (or `sticky:N` / `mixed:F`) switches the workload
+    // into the recurring-script regime; default redraws literals every run.
+    let literals =
+        std::env::var("QO_LITERALS").map_or(scope_workload::LiteralPolicy::FreshEachRun, |value| {
+            value.parse().unwrap_or_else(|e| {
+                eprintln!("bad QO_LITERALS: {e}");
+                std::process::exit(2);
+            })
+        });
     let config = PipelineConfig {
         parallelism: ParallelismConfig { threads },
         cache,
@@ -34,6 +43,7 @@ fn main() {
         num_templates: 60,
         adhoc_per_day: 15,
         max_instances_per_day: 2,
+        literals,
     };
     let mut sim = ProductionSim::new(wl.clone(), config.clone());
     let samples = sim.bootstrap_validation_model(5, 24);
@@ -47,11 +57,12 @@ fn main() {
         let out = sim.advance_day();
         let r = &out.report;
         eprintln!(
-            "day {}: span {}/{} lower {} eq {} hi {} fail {} noop {} flighted {} succ {} valid {} hints {} cmp {} cache {}/{} ({:.0}%)",
+            "day {}: span {}/{} lower {} eq {} hi {} fail {} noop {} flighted {} succ {} valid {} hints {} cmp {} cache {}/{} ({:.0}%, view {}/{})",
             r.day, r.jobs_with_span, r.recurring_jobs, r.lower_cost, r.equal_cost, r.higher_cost,
             r.recompile_failures, r.noop_chosen, r.flighted, r.flight_success, r.validated,
             r.hints_published, out.comparisons.len(),
-            r.compile_cache.hits, r.compile_cache.lookups(), 100.0 * r.compile_cache.hit_rate()
+            r.compile_cache.hits(), r.compile_cache.lookups(), 100.0 * r.compile_cache.hit_rate(),
+            r.compile_cache.view_build.hits, r.compile_cache.view_build.lookups()
         );
         all_cmp.extend(out.comparisons);
     }

@@ -5,7 +5,7 @@ use qo_advisor::reward_from_costs;
 use scope_ir::ids::mix64;
 use scope_opt::{compute_span, Optimizer, RuleConfig, RuleFlip, SpanResult};
 use scope_runtime::Cluster;
-use scope_workload::{JobInstance, Workload, WorkloadConfig};
+use scope_workload::{JobInstance, LiteralPolicy, Workload, WorkloadConfig};
 
 /// A job plus its span and default compilation cost.
 pub struct SpannedJob {
@@ -23,9 +23,11 @@ pub struct Env {
 
 impl Env {
     /// Deterministic environment used by every experiment (the "production
-    /// SCOPE workload" of the evaluation).
+    /// SCOPE workload" of the evaluation), under the given literal-redraw
+    /// policy — callers plumb the CLI-selected policy here so `--literals`
+    /// really does govern every simulated workload of a run.
     #[must_use]
-    pub fn standard(seed: u64, num_templates: usize) -> Env {
+    pub fn standard(seed: u64, num_templates: usize, literals: LiteralPolicy) -> Env {
         Env {
             optimizer: Optimizer::default(),
             cluster: Cluster::default(),
@@ -34,6 +36,7 @@ impl Env {
                 num_templates,
                 adhoc_per_day: num_templates / 4,
                 max_instances_per_day: 2,
+                literals,
             }),
         }
     }

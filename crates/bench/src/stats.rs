@@ -63,7 +63,8 @@ pub fn polyfit1(xs: &[f64], ys: &[f64]) -> (f64, f64) {
     (my - b * mx, b)
 }
 
-/// Percentile via linear interpolation on the sorted sample; `p` in [0,100].
+/// Percentile via linear interpolation on the sorted sample; `p` in
+/// `[0, 100]`.
 #[must_use]
 pub fn percentile(xs: &[f64], p: f64) -> f64 {
     if xs.is_empty() {

@@ -168,6 +168,7 @@ mod tests {
             num_templates: 6,
             adhoc_per_day: 0,
             max_instances_per_day: 1,
+            ..WorkloadConfig::default()
         });
         let jobs = w.jobs_for_day(0);
         let job = jobs

@@ -1,4 +1,23 @@
 //! Pipeline configuration.
+//!
+//! # Runtime knobs
+//!
+//! Every throughput/workload knob reachable from the CLI tools
+//! (`experiments`, `probe`) in one place. Flags win over environment
+//! variables; all three knobs are *throughput or workload-shape* switches —
+//! `--threads` and `--cache` never change steering outputs (see
+//! `tests/determinism.rs`), `--literals` changes the generated workload
+//! itself.
+//!
+//! | Env var       | `experiments` flag | Values                            | Effect |
+//! |---------------|--------------------|-----------------------------------|--------|
+//! | `QO_THREADS`  | `--threads N`      | integer (`0` = all cores)         | Worker threads for the pipeline's compile-bound fan-outs ([`ParallelismConfig`]); unset/`1` = serial |
+//! | `QO_CACHE`    | `--cache V`        | `on`/`1`/`true`, `off`/`0`/`false`| Compile-result cache ([`scope_opt::CacheConfig`], on by default) shared across view building, span fixpoint, recommendation, flighting, and days |
+//! | `QO_LITERALS` | `--literals P`     | `fresh`, `sticky`, `sticky:N`, `mixed:F` | Literal-redraw policy ([`scope_workload::LiteralPolicy`]) of recurring templates: fresh per run (default), pinned per N-day epoch (`sticky:0` = forever), or a sticky fraction `F` of templates |
+//!
+//! `probe` reads the same environment variables; `experiments` also accepts
+//! the flags. Programmatic equivalents: [`PipelineConfig::parallelism`],
+//! [`PipelineConfig::cache`], and [`scope_workload::WorkloadConfig::literals`].
 
 use flighting::FlightBudget;
 use personalizer::CbConfig;

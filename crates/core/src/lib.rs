@@ -19,6 +19,17 @@
 //! 5. **Hint Generation** — accepted (template, flip) pairs publish to SIS
 //!    and steer every future occurrence of the template.
 //!
+//! The closed loop around the pipeline is [`ProductionSim`]: it runs the
+//! synthetic workload through `scope_workload::build_view`, measures hinted
+//! jobs counterfactually, and feeds the view to [`QoAdvisor::run_day`].
+//! Every compile in that loop — production view building, counterfactuals,
+//! and all five pipeline stages — goes through one shared
+//! `scope_opt::CachingOptimizer`, and [`DailyReport::compile_cache`]
+//! attributes its hits per stage. Throughput knobs (worker threads, the
+//! compile cache, the workload's literal-redraw policy) are catalogued in
+//! the [`config`] module's knob table; see `ARCHITECTURE.md` at the repo
+//! root for the crate map and the determinism contract.
+//!
 //! # Quick start
 //!
 //! ```no_run

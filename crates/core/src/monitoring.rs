@@ -17,13 +17,69 @@ use serde::{Deserialize, Serialize};
 
 /// One day's compile-result-cache telemetry, embedded in
 /// [`crate::DailyReport`] so the daily report carries the hit/miss/insert/
-/// evict trajectory alongside the steering counters.
+/// evict trajectory alongside the steering counters — attributed to the
+/// pipeline stage (or simulator phase) that issued each lookup, so the
+/// report shows *where* the cache earns its keep: under a sticky
+/// [`scope_workload::LiteralPolicy`] the `view_build` stage dominates
+/// (recurring production scripts rebind the identical plan every day),
+/// while with fresh literals only the within-day repeats
+/// (`feature_gen`/`flight`) hit.
 ///
 /// These are *observability* counters, not steering outputs: the cached
 /// results themselves are byte-identical to recompiles, but which lookup
 /// hits can depend on eviction order under parallel inserts, so
 /// reproducibility comparisons zero this field (see `tests/determinism.rs`).
-pub type CacheCounters = scope_opt::CacheStats;
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Production compiles while building the daily view (filled by
+    /// [`crate::ProductionSim::advance_day`]; zero for a bare
+    /// [`crate::QoAdvisor::run_day`], which is handed a prebuilt view).
+    pub view_build: scope_opt::CacheStats,
+    /// Counterfactual default-configuration compiles of hinted production
+    /// jobs (also a [`crate::ProductionSim`] phase).
+    pub counterfactual: scope_opt::CacheStats,
+    /// Task 1 — Feature Generation: the span fixpoint's recompiles.
+    pub feature_gen: scope_opt::CacheStats,
+    /// Task 2 — Recommendation: the chosen-flip recompiles.
+    pub recommend: scope_opt::CacheStats,
+    /// Task 3 — Flighting: baseline/treatment validation compiles.
+    pub flight: scope_opt::CacheStats,
+}
+
+impl CacheCounters {
+    /// Counter-wise roll-up across every stage.
+    #[must_use]
+    pub fn total(&self) -> scope_opt::CacheStats {
+        [
+            self.view_build,
+            self.counterfactual,
+            self.feature_gen,
+            self.recommend,
+            self.flight,
+        ]
+        .into_iter()
+        .sum()
+    }
+
+    /// Total lookups across stages.
+    #[must_use]
+    pub fn lookups(&self) -> u64 {
+        self.total().lookups()
+    }
+
+    /// Total hits across stages.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.total().hits
+    }
+
+    /// Hit fraction across stages in `[0, 1]` (0 when nothing was looked
+    /// up).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        self.total().hit_rate()
+    }
+}
 
 /// Monitor configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]

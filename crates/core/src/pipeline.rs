@@ -81,7 +81,7 @@ pub struct DailyReport {
 
 /// The QO-Advisor system: pipeline state that persists across days. The
 /// per-day work is decomposed into the five stage functions of
-/// [`crate::stages`], which access this state directly.
+/// `crate::stages`, which access this state directly.
 pub struct QoAdvisor {
     /// The optimizer behind the shared compile-result cache: every compile
     /// of the five stages (span fixpoint, recommendation recompiles,
@@ -165,6 +165,17 @@ impl QoAdvisor {
         self.optimizer.inner()
     }
 
+    /// The optimizer *behind the shared compile-result cache*. Hand this to
+    /// [`scope_workload::build_view`] (as [`crate::ProductionSim`] does) so
+    /// production compiles, the span fixpoint, recommendation recompiles,
+    /// and flighting validation all share one cache — with a sticky
+    /// [`scope_workload::LiteralPolicy`], recurring production scripts then
+    /// compile once per literal epoch instead of once per day.
+    #[must_use]
+    pub fn caching_optimizer(&self) -> &CachingOptimizer {
+        &self.optimizer
+    }
+
     /// Compile through the advisor's compile-result cache (when enabled).
     /// Byte-identical to `self.optimizer().compile(..)`, only faster on
     /// repeats — callers like the production simulator use this so their
@@ -216,7 +227,7 @@ impl QoAdvisor {
     }
 
     /// Run the full pipeline over one day's view: the five stage functions
-    /// of [`crate::stages`] composed over their typed intermediates. Returns
+    /// of `crate::stages` composed over their typed intermediates. Returns
     /// the day's report; side effects: CB model updates and a new SIS hint
     /// file version.
     ///
@@ -229,20 +240,27 @@ impl QoAdvisor {
     /// of that day's rewards are applied (the whole batch acts on the
     /// previous day's model), so per-day numbers differ from the
     /// pre-refactor serial pipeline even at one thread. This is what makes
-    /// the recompile fan-out order-free; see [`crate::stages`].
+    /// the recompile fan-out order-free; see `crate::stages`.
     pub fn run_day(&mut self, view: &[ViewRow], day: u32) -> DailyReport {
         let mut report = DailyReport {
             day,
             jobs_total: view.len(),
             ..DailyReport::default()
         };
-        let cache_before = self.optimizer.stats();
+        // Stages run sequentially (each fans out internally), so snapshots
+        // between them attribute every cache lookup to exactly one stage.
+        let s0 = self.optimizer.stats();
         let spanned = stages::feature_gen(self, view, &mut report);
+        let s1 = self.optimizer.stats();
         let recommended = stages::recommend(self, &spanned, day, &mut report);
+        let s2 = self.optimizer.stats();
         let flighted = stages::flight(self, recommended, &mut report);
+        let s3 = self.optimizer.stats();
         let validated = stages::validate(self, &flighted, &mut report);
         stages::publish(self, validated, day, &mut report);
-        report.compile_cache = self.optimizer.stats().since(&cache_before);
+        report.compile_cache.feature_gen = s1.since(&s0);
+        report.compile_cache.recommend = s2.since(&s1);
+        report.compile_cache.flight = s3.since(&s2);
         report
     }
 
@@ -314,6 +332,7 @@ mod tests {
             num_templates: 10,
             adhoc_per_day: 3,
             max_instances_per_day: 1,
+            ..WorkloadConfig::default()
         });
         build_view(
             &w.jobs_for_day(day),
@@ -321,6 +340,7 @@ mod tests {
             &advisor.sis().snapshot(),
             &Cluster::default(),
         )
+        .expect("generated workloads compile on the default path")
     }
 
     #[test]
@@ -418,8 +438,19 @@ mod tests {
         assert!(report.compile_cache.lookups() > 0);
         // The span fixpoint alone repeats the default compile of every
         // spanned template, so a day with spans always hits.
-        assert!(report.compile_cache.hits > 0);
-        assert_eq!(qa.cache_stats().hits, report.compile_cache.hits);
+        assert!(report.compile_cache.hits() > 0);
+        assert_eq!(qa.cache_stats().hits, report.compile_cache.hits());
+        // A bare run_day is handed a prebuilt view: the simulator-only
+        // stages stay zero, every lookup lands in a pipeline stage.
+        assert_eq!(report.compile_cache.view_build, CacheStats::default());
+        assert_eq!(report.compile_cache.counterfactual, CacheStats::default());
+        assert!(report.compile_cache.feature_gen.lookups() > 0);
+        assert_eq!(
+            report.compile_cache.total(),
+            report.compile_cache.feature_gen
+                + report.compile_cache.recommend
+                + report.compile_cache.flight
+        );
 
         // Same day, cache disabled: zero telemetry, byte-identical steering.
         let mut off = QoAdvisor::new(

@@ -82,9 +82,16 @@ pub fn aggregate_impact(comparisons: &[HintedComparison]) -> AggregateImpact {
 }
 
 /// The full closed loop.
+///
+/// Every compile in the loop — production view building, the counterfactual
+/// default runs, and all five pipeline stages — goes through the advisor's
+/// [`scope_opt::CachingOptimizer`], so one compile-result cache spans the
+/// whole simulation *and* every simulated day. Under a sticky
+/// [`scope_workload::LiteralPolicy`] this is the loop's main throughput
+/// lever: a recurring script's production compile is a lookup on every day
+/// after its first.
 pub struct ProductionSim {
     pub workload: Workload,
-    pub optimizer: Optimizer,
     pub prod_cluster: Cluster,
     pub advisor: QoAdvisor,
     pub day: u32,
@@ -113,15 +120,20 @@ impl ProductionSim {
         let optimizer = Optimizer::default();
         let flighting =
             FlightingService::new(Cluster::preproduction(), pipeline.flight_budget.clone());
-        let advisor = QoAdvisor::with_sis_store(optimizer.clone(), flighting, pipeline, sis);
+        let advisor = QoAdvisor::with_sis_store(optimizer, flighting, pipeline, sis);
         Self {
             workload: Workload::new(workload),
-            optimizer,
             prod_cluster: Cluster::default(),
             advisor,
             day: 0,
             monitor: None,
         }
+    }
+
+    /// The production optimizer (the advisor's, *without* the cache).
+    #[must_use]
+    pub fn optimizer(&self) -> &Optimizer {
+        self.advisor.optimizer()
     }
 
     /// Enable the §8 optimistic-monitoring loop: production telemetry of
@@ -144,7 +156,13 @@ impl ProductionSim {
         for _ in 0..days {
             let jobs = self.workload.jobs_for_day(self.day);
             let hints = self.advisor.sis().snapshot();
-            let view = build_view(&jobs, &self.optimizer, &hints, &self.prod_cluster);
+            let view = build_view(
+                &jobs,
+                self.advisor.caching_optimizer(),
+                &hints,
+                &self.prod_cluster,
+            )
+            .expect("generated workloads compile on the default path");
             samples.extend(self.advisor.gather_validation_samples(
                 &view,
                 self.day,
@@ -160,16 +178,29 @@ impl ProductionSim {
 
     /// Advance one production day: run the workload (with live hints), feed
     /// the view to the pipeline, and measure hinted jobs counterfactually.
+    ///
+    /// Production compiles go through the advisor's shared compile-result
+    /// cache; the returned report's `compile_cache` attributes them to the
+    /// `view_build` and `counterfactual` stages on top of the pipeline's
+    /// own per-stage counters.
     pub fn advance_day(&mut self) -> DayOutcome {
         let day = self.day;
         let jobs = self.workload.jobs_for_day(day);
         let hints = self.advisor.sis().snapshot();
-        let view = build_view(&jobs, &self.optimizer, &hints, &self.prod_cluster);
+        let s0 = self.advisor.cache_stats();
+        let view = build_view(
+            &jobs,
+            self.advisor.caching_optimizer(),
+            &hints,
+            &self.prod_cluster,
+        )
+        .expect("generated workloads compile on the default path");
+        let s1 = self.advisor.cache_stats();
 
         // Counterfactual default runs for hinted jobs (same run seed). The
         // compiles go through the advisor's compile-result cache — same
-        // results as `self.optimizer.compile`, shared with the pipeline.
-        let default_config = self.optimizer.default_config();
+        // results as an uncached compile, shared with the pipeline.
+        let default_config = self.advisor.optimizer().default_config();
         let mut comparisons = Vec::new();
         for row in view.iter().filter(|r| r.hint_applied) {
             let Ok(default_compiled) = self.advisor.compile(&row.plan, &default_config) else {
@@ -189,6 +220,7 @@ impl ProductionSim {
                 steered: row.metrics,
             });
         }
+        let s2 = self.advisor.cache_stats();
 
         // §8 monitoring: revert hints that regress in production.
         let mut reverted = Vec::new();
@@ -200,7 +232,9 @@ impl ProductionSim {
             }
         }
 
-        let report = self.advisor.run_day(&view, day);
+        let mut report = self.advisor.run_day(&view, day);
+        report.compile_cache.view_build = s1.since(&s0);
+        report.compile_cache.counterfactual = s2.since(&s1);
         self.day += 1;
         DayOutcome {
             report,
@@ -226,6 +260,7 @@ mod tests {
                 num_templates: 12,
                 adhoc_per_day: 3,
                 max_instances_per_day: 1,
+                ..WorkloadConfig::default()
             },
             PipelineConfig::default(),
         )
@@ -257,6 +292,30 @@ mod tests {
                 "published hints must match future recurring instances"
             );
         }
+    }
+
+    #[test]
+    fn advance_day_attributes_production_compiles_to_their_stage() {
+        let mut sim = small_sim();
+        let out = sim.advance_day();
+        let cc = &out.report.compile_cache;
+        assert!(
+            cc.view_build.lookups() > 0,
+            "view building must compile through the shared cache: {cc:?}"
+        );
+        assert!(
+            cc.feature_gen.lookups() > 0,
+            "span fixpoint compiles: {cc:?}"
+        );
+        assert_eq!(
+            cc.total(),
+            cc.view_build + cc.counterfactual + cc.feature_gen + cc.recommend + cc.flight,
+            "per-stage counters partition the day's lookups"
+        );
+        // The view's default compiles seed the cache the span fixpoint then
+        // hits: sharing one cache across sim and pipeline pays within a
+        // single day, before any cross-day reuse.
+        assert!(cc.feature_gen.hits > 0, "span default compiles hit: {cc:?}");
     }
 
     #[test]

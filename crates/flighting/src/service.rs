@@ -133,6 +133,7 @@ mod tests {
             num_templates: n,
             adhoc_per_day: 0,
             max_instances_per_day: 1,
+            ..WorkloadConfig::default()
         });
         let default = optimizer.default_config();
         let reqs = w

@@ -1,5 +1,5 @@
 //! A contextual-bandit decision service — the reproduction's substitute for
-//! Azure Personalizer (paper §4.2, [1]).
+//! Azure Personalizer (paper §4.2, ref. 1).
 //!
 //! Azure Personalizer wraps Vowpal Wabbit-style contextual bandit learning
 //! behind a *rank / reward* API with durable event logging. This crate

@@ -109,6 +109,27 @@ impl CacheStats {
     }
 }
 
+/// Counter-wise sum, so per-stage deltas can be rolled up into totals (see
+/// `qo_advisor`'s per-stage cache attribution in its daily report).
+impl std::ops::Add for CacheStats {
+    type Output = CacheStats;
+
+    fn add(self, rhs: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits + rhs.hits,
+            misses: self.misses + rhs.misses,
+            inserts: self.inserts + rhs.inserts,
+            evictions: self.evictions + rhs.evictions,
+        }
+    }
+}
+
+impl std::iter::Sum for CacheStats {
+    fn sum<I: Iterator<Item = CacheStats>>(iter: I) -> CacheStats {
+        iter.fold(CacheStats::default(), std::ops::Add::add)
+    }
+}
+
 /// Cache key: exact plan identity (hash of the serialized plan — literals,
 /// estimated *and* actual statistics included) plus the full 256-bit rule
 /// configuration.

@@ -13,9 +13,12 @@
 //! * the **job-span fixpoint** heuristic ([`span::compute_span`]);
 //! * per-template **compile-time hints** ([`hints::HintSet`]);
 //! * a **sharded compile-result cache** exploiting deterministic
-//!   compilation, so the pipeline's repeated `(plan, configuration)`
-//!   recompiles are looked up instead of re-searched
-//!   ([`cache::CompileCache`] / [`cache::CachingOptimizer`]);
+//!   compilation, so repeated `(plan, configuration)` compiles — the
+//!   pipeline's span/recommendation/flighting recompiles *and* the
+//!   production view's daily compiles of recurring scripts — are looked up
+//!   instead of re-searched ([`cache::CompileCache`] /
+//!   [`cache::CachingOptimizer`], both behind the [`search::Compiler`]
+//!   trait);
 //! * a cost model that prices plans from *estimated* statistics and
 //!   *claimed* tuning only, reproducing SCOPE's estimated-vs-real divergence
 //!   ([`cost::CostModel`]).

@@ -8,7 +8,7 @@
 //! real semantics in [`crate::rules`] and [`crate::impls`]. The remaining ids
 //! are **parametric physical-variant rules**: pattern-guarded alternatives
 //! that implement a matching logical operator with non-identity
-//! [`PhysicalTuning`](scope_ir::PhysicalTuning) knobs. They model the long
+//! [`scope_ir::PhysicalTuning`] knobs. They model the long
 //! tail of SCOPE rules the paper treats as opaque bits — each genuinely flows
 //! through the memo search, can win or lose on estimated cost, and (for
 //! experimental ones) can fail compilation for particular job templates.

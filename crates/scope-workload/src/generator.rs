@@ -1,7 +1,7 @@
 //! The workload: a population of recurring templates with per-day schedules,
 //! plus ad-hoc one-off jobs.
 
-use crate::template::TemplateSpec;
+use crate::template::{LiteralPolicy, TemplateSpec};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use scope_ir::ids::mix64;
@@ -20,6 +20,15 @@ pub struct WorkloadConfig {
     pub adhoc_per_day: usize,
     /// Cap on instances of one template per day.
     pub max_instances_per_day: u32,
+    /// How recurring templates redraw filter literals (and the catalog
+    /// snapshot they bind against) across submissions. The default,
+    /// [`LiteralPolicy::FreshEachRun`], redraws per `(day, instance)` and is
+    /// byte-identical to the pre-policy generator; sticky policies make
+    /// recurring scripts repeat their exact bound plans across days —
+    /// the regime the paper's steering (and the compile cache) assume.
+    /// Ad-hoc one-off jobs always draw fresh: they have no next run to
+    /// stay identical for.
+    pub literals: LiteralPolicy,
 }
 
 impl Default for WorkloadConfig {
@@ -29,6 +38,7 @@ impl Default for WorkloadConfig {
             num_templates: 120,
             adhoc_per_day: 40,
             max_instances_per_day: 3,
+            literals: LiteralPolicy::FreshEachRun,
         }
     }
 }
@@ -100,7 +110,9 @@ impl Workload {
                 continue;
             }
             for instance in 0..rt.instances_per_day {
-                let (script, catalog) = rt.spec.instantiate(day, instance);
+                let (script, catalog) =
+                    rt.spec
+                        .instantiate_with(self.config.literals, day, instance);
                 let plan = bind_script(&script, &catalog)
                     .expect("generated scripts always bind; tested per pattern");
                 let template = plan.template_id();
@@ -160,6 +172,7 @@ mod tests {
             num_templates: 20,
             adhoc_per_day: 5,
             max_instances_per_day: 2,
+            ..WorkloadConfig::default()
         })
     }
 

@@ -6,7 +6,21 @@
 //! ad-hoc one-off jobs, and materializes the **denormalized daily view**
 //! (Table 1 features) that feeds the QO-Advisor pipeline.
 //!
-//! Every draw is seeded from stable hashes, so a given `WorkloadConfig`
+//! How literally "recurring" the recurring templates are is a knob:
+//! [`LiteralPolicy`] controls whether an instance redraws its filter
+//! literals (and the catalog snapshot it binds against) every run — the
+//! default, and the hardest case for plan-identity caching — or keeps them
+//! pinned so the same exact plan resubmits day after day, the regime the
+//! paper's steering wins (and the compile-result cache's cross-day hits)
+//! come from.
+//!
+//! [`build_view`] compiles and "executes" one day's jobs into [`ViewRow`]s.
+//! It is generic over [`scope_opt::Compiler`], so the production compiles
+//! can share a [`scope_opt::CachingOptimizer`] with the steering pipeline;
+//! a job whose default-path compilation fails surfaces as a typed
+//! [`ViewBuildError`] instead of a panic.
+//!
+//! Every draw is seeded from stable hashes, so a given [`WorkloadConfig`]
 //! always generates the identical workload — experiments are reproducible
 //! end to end.
 
@@ -17,5 +31,5 @@ pub mod view;
 
 pub use generator::{JobInstance, Workload, WorkloadConfig};
 pub use naming::normalize_job_name;
-pub use template::{TemplateSpec, TemplateStats};
-pub use view::{build_view, Table1Features, ViewRow};
+pub use template::{LiteralPolicy, TemplateSpec, TemplateStats};
+pub use view::{build_view, Table1Features, ViewBuildError, ViewRow};

@@ -86,6 +86,124 @@ pub struct TemplateSpec {
     pub stats: TemplateStats,
 }
 
+/// How a template's instances redraw their filter literals (and the
+/// cardinality snapshot they are bound against) across submissions.
+///
+/// The paper's steering wins come from *recurring* SCOPE scripts — the same
+/// job resubmitted daily, byte-for-byte. [`FreshEachRun`] instead redraws
+/// literals per `(day, instance)`, which makes every submission a unique
+/// exact plan; that is the hardest regime for any fingerprint-keyed compile
+/// cache. [`Sticky`] pins the draws for a whole epoch, so an instance is the
+/// *same script over the same catalog snapshot* until the next redraw — its
+/// bound plan, and therefore its exact plan fingerprint, repeats across
+/// days. [`Mixed`] models a fleet where only a fraction of templates are
+/// truly recurring scripts.
+///
+/// The policy only affects *which seeds* the existing draws use; a given
+/// `(policy, day, instance)` is as deterministic as before, and
+/// [`FreshEachRun`] is byte-identical to the pre-policy generator.
+///
+/// [`FreshEachRun`]: LiteralPolicy::FreshEachRun
+/// [`Sticky`]: LiteralPolicy::Sticky
+/// [`Mixed`]: LiteralPolicy::Mixed
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub enum LiteralPolicy {
+    /// Redraw literals on every `(day, instance)` — the original behavior.
+    #[default]
+    FreshEachRun,
+    /// All templates keep their literals (and catalog snapshot) for
+    /// `redraw_every_days` days, then redraw; `0` means never redraw.
+    /// Instances of one template within an epoch are identical scripts.
+    Sticky { redraw_every_days: u32 },
+    /// Each template is independently sticky-forever with probability
+    /// `sticky_fraction` (drawn deterministically from its seed), fresh
+    /// otherwise.
+    Mixed { sticky_fraction: f64 },
+}
+
+impl LiteralPolicy {
+    /// Whether this policy pins `template_seed`'s literals (diagnostics and
+    /// tests; [`draw_coords`](Self::draw_coords) is the authoritative use).
+    #[must_use]
+    pub fn is_sticky_template(&self, template_seed: u64) -> bool {
+        match *self {
+            LiteralPolicy::FreshEachRun => false,
+            LiteralPolicy::Sticky { .. } => true,
+            LiteralPolicy::Mixed { sticky_fraction } => {
+                let u = (mix64(template_seed, STICKY_SALT) >> 11) as f64 / (1u64 << 53) as f64;
+                u < sticky_fraction
+            }
+        }
+    }
+
+    /// The `(day, instance)` coordinates the literal and cardinality draws
+    /// use for an instance submitted on `day`. Fresh templates use the
+    /// submission coordinates; sticky templates use their epoch's first day
+    /// (and instance 0), so every submission inside the epoch binds the
+    /// identical plan.
+    #[must_use]
+    pub fn draw_coords(&self, template_seed: u64, day: u32, instance: u32) -> (u32, u32) {
+        let sticky_epoch_start = match *self {
+            LiteralPolicy::FreshEachRun => return (day, instance),
+            LiteralPolicy::Mixed { .. } => {
+                if !self.is_sticky_template(template_seed) {
+                    return (day, instance);
+                }
+                0
+            }
+            LiteralPolicy::Sticky { redraw_every_days } => {
+                if redraw_every_days == 0 {
+                    0
+                } else {
+                    day - day % redraw_every_days
+                }
+            }
+        };
+        (sticky_epoch_start, 0)
+    }
+}
+
+/// Parse the CLI/env spelling of a policy: `fresh`, `sticky`, `sticky:N`
+/// (redraw every `N` days), or `mixed:F` (sticky fraction `F` in `[0, 1]`).
+/// Both the `experiments --literals` flag and the `QO_LITERALS` environment
+/// variable (probe and experiments) go through this one parser.
+impl std::str::FromStr for LiteralPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        let expected = "expected fresh|sticky[:days]|mixed:fraction";
+        match s.split_once(':') {
+            None => match s {
+                "fresh" => Ok(LiteralPolicy::FreshEachRun),
+                "sticky" => Ok(LiteralPolicy::Sticky {
+                    redraw_every_days: 0,
+                }),
+                _ => Err(format!("unknown literal policy `{s}` ({expected})")),
+            },
+            Some(("sticky", days)) => days
+                .parse()
+                .map(|redraw_every_days| LiteralPolicy::Sticky { redraw_every_days })
+                .map_err(|_| format!("bad sticky day count in `{s}` ({expected})")),
+            Some(("mixed", fraction)) => {
+                let sticky_fraction: f64 = fraction
+                    .parse()
+                    .map_err(|_| format!("bad mixed fraction in `{s}` ({expected})"))?;
+                if !(0.0..=1.0).contains(&sticky_fraction) {
+                    return Err(format!(
+                        "mixed fraction {sticky_fraction} outside [0, 1] ({expected})"
+                    ));
+                }
+                Ok(LiteralPolicy::Mixed { sticky_fraction })
+            }
+            Some(_) => Err(format!("unknown literal policy `{s}` ({expected})")),
+        }
+    }
+}
+
+/// Salt separating the Mixed-policy stickiness draw from every other use of
+/// the template seed.
+const STICKY_SALT: u64 = 0x51_1C4B_F00D;
+
 /// Day-over-day drift of a table's true cardinality: deterministic
 /// log-normal-ish multiplier in roughly [0.5, 2.0].
 #[must_use]
@@ -231,11 +349,26 @@ OUTPUT hot TO "out/{tag}_hot";
         }
     }
 
-    /// Concrete script + catalog for one instance: literals drawn per
-    /// instance, catalog estimates stale at `base_rows`, true cardinalities
-    /// drifting by day.
+    /// Concrete script + catalog for one instance under the default
+    /// [`LiteralPolicy::FreshEachRun`]: literals drawn per instance, catalog
+    /// estimates stale at `base_rows`, true cardinalities drifting by day.
     #[must_use]
     pub fn instantiate(&self, day: u32, instance: u32) -> (String, Catalog) {
+        self.instantiate_with(LiteralPolicy::FreshEachRun, day, instance)
+    }
+
+    /// Like [`instantiate`](Self::instantiate) but drawing literals and the
+    /// catalog's cardinality snapshot at the coordinates `policy` dictates:
+    /// a sticky instance reproduces its epoch's script *and* inputs exactly,
+    /// so its bound plan repeats byte-for-byte until the next redraw.
+    #[must_use]
+    pub fn instantiate_with(
+        &self,
+        policy: LiteralPolicy,
+        day: u32,
+        instance: u32,
+    ) -> (String, Catalog) {
+        let (day, instance) = policy.draw_coords(self.seed, day, instance);
         let mut rng =
             StdRng::seed_from_u64(mix64(self.seed, mix64(u64::from(day), u64::from(instance))));
         let mut script = self.skeleton.clone();
@@ -353,6 +486,135 @@ mod tests {
         let n1 = normalize_job_name(&spec.instance_name(3, 0));
         let n2 = normalize_job_name(&spec.instance_name(40, 2));
         assert_eq!(n1, n2);
+    }
+
+    #[test]
+    fn fresh_policy_is_byte_identical_to_the_pre_policy_generator() {
+        // Regression snapshot captured from the generator *before*
+        // `LiteralPolicy` existed (hash over scripts + catalog stats of
+        // templates 3/17/99, days 0..3, instances 0..2). The default policy
+        // must keep reproducing it byte-for-byte.
+        let mut acc = String::new();
+        for seed in [3u64, 17, 99] {
+            let spec = TemplateSpec::generate(seed);
+            for day in 0..3u32 {
+                for inst in 0..2u32 {
+                    let (script, catalog) = spec.instantiate(day, inst);
+                    let (script2, _) = spec.instantiate_with(LiteralPolicy::default(), day, inst);
+                    assert_eq!(script, script2, "default policy == legacy path");
+                    acc.push_str(&script);
+                    for t in &spec.tables {
+                        let info = catalog.lookup(&t.path);
+                        acc.push_str(&format!("{}:{:?}\n", t.path, info.rows));
+                    }
+                }
+            }
+        }
+        assert_eq!(
+            stable_hash64(acc.as_bytes()),
+            0x4f4d_f204_78eb_5657,
+            "FreshEachRun diverged from the pre-LiteralPolicy generator output"
+        );
+    }
+
+    #[test]
+    fn sticky_instances_repeat_exact_plans_across_days() {
+        let policy = LiteralPolicy::Sticky {
+            redraw_every_days: 0,
+        };
+        for seed in [5u64, 23, 77] {
+            let spec = TemplateSpec::generate(seed);
+            let (s0, c0) = spec.instantiate_with(policy, 0, 0);
+            let (s5, c5) = spec.instantiate_with(policy, 5, 1);
+            assert_eq!(s0, s5, "sticky scripts are identical across days");
+            let p0 = bind_script(&s0, &c0).unwrap();
+            let p5 = bind_script(&s5, &c5).unwrap();
+            assert_eq!(
+                p0.fingerprint(),
+                p5.fingerprint(),
+                "sticky instances bind the identical exact plan"
+            );
+        }
+    }
+
+    #[test]
+    fn sticky_redraw_period_starts_a_new_epoch() {
+        let policy = LiteralPolicy::Sticky {
+            redraw_every_days: 7,
+        };
+        // Any template whose skeleton actually carries a literal.
+        let spec = (0..20u64)
+            .map(TemplateSpec::generate)
+            .find(|s| s.skeleton.contains("__L0__"))
+            .unwrap();
+        let (day0, _) = spec.instantiate_with(policy, 0, 0);
+        let (day6, _) = spec.instantiate_with(policy, 6, 2);
+        let (day7, _) = spec.instantiate_with(policy, 7, 0);
+        assert_eq!(day0, day6, "same epoch, same script");
+        assert_ne!(day0, day7, "epoch boundary redraws the literals");
+        // The new epoch's draws are the fresh draws of its first day.
+        let (fresh7, _) = spec.instantiate(7, 0);
+        assert_eq!(day7, fresh7);
+    }
+
+    #[test]
+    fn mixed_policy_keeps_roughly_the_configured_fraction_sticky() {
+        let policy = LiteralPolicy::Mixed {
+            sticky_fraction: 0.5,
+        };
+        let n = 400;
+        let sticky = (0..n)
+            .filter(|seed| policy.is_sticky_template(mix64(*seed, 0xABCD)))
+            .count();
+        let frac = sticky as f64 / n as f64;
+        assert!(
+            (0.4..0.6).contains(&frac),
+            "sticky fraction {frac:.2} should track the configured 0.5"
+        );
+        // The per-template decision is what draw_coords applies.
+        for seed in 0..50u64 {
+            let spec = TemplateSpec::generate(seed);
+            let pinned = policy.draw_coords(spec.seed, 9, 1) == (0, 0);
+            assert_eq!(pinned, policy.is_sticky_template(spec.seed));
+        }
+        // Degenerate fractions are total.
+        let all = LiteralPolicy::Mixed {
+            sticky_fraction: 1.0,
+        };
+        let none = LiteralPolicy::Mixed {
+            sticky_fraction: 0.0,
+        };
+        assert!((0..50).all(|s| all.is_sticky_template(s)));
+        assert!(!(0..50).any(|s| none.is_sticky_template(s)));
+    }
+
+    #[test]
+    fn literal_policy_parses_its_cli_spellings() {
+        assert_eq!("fresh".parse(), Ok(LiteralPolicy::FreshEachRun));
+        assert_eq!(
+            "sticky".parse(),
+            Ok(LiteralPolicy::Sticky {
+                redraw_every_days: 0
+            })
+        );
+        assert_eq!(
+            "sticky:7".parse(),
+            Ok(LiteralPolicy::Sticky {
+                redraw_every_days: 7
+            })
+        );
+        assert_eq!(
+            "mixed:0.25".parse(),
+            Ok(LiteralPolicy::Mixed {
+                sticky_fraction: 0.25
+            })
+        );
+        for bad in ["bogus", "sticky:x", "mixed:", "mixed:1.5", "mixed:-0.1"] {
+            assert!(
+                bad.parse::<LiteralPolicy>().is_err(),
+                "`{bad}` must be rejected"
+            );
+        }
     }
 
     #[test]

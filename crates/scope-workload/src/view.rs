@@ -13,9 +13,10 @@ use crate::naming::normalize_job_name;
 use scope_ir::ids::{mix64, stable_hash64};
 use scope_ir::logical::{LogicalOp, LogicalPlan};
 use scope_ir::{JobId, TemplateId};
-use scope_opt::{CompileError, HintSet, Optimizer, RuleBits};
+use scope_opt::{CompileError, Compiler, HintSet, RuleBits};
 use scope_runtime::{execute, Cluster, ExecutionMetrics};
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// Table 1 job-level features after super-root aggregation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -123,17 +124,55 @@ pub struct ViewRow {
     pub hint_applied: bool,
 }
 
+/// A production compilation failed on the *default* path while building the
+/// daily view — the one place the pipeline has no safe fallback left. A
+/// hinted compile that fails with `RuleInstability` is not an error (it
+/// falls back to the default configuration); this is the default
+/// configuration itself refusing a job, which means the submitted plan is
+/// broken, not the steering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViewBuildError {
+    /// The job whose compilation failed.
+    pub job_id: JobId,
+    /// Its submitted (un-normalized) name.
+    pub job_name: String,
+    /// Its template (for correlating with hints/spans).
+    pub template: TemplateId,
+    /// The underlying compile failure.
+    pub error: CompileError,
+}
+
+impl fmt::Display for ViewBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "default-path compile of production job {:?} (`{}`, template {:?}) failed: {}",
+            self.job_id, self.job_name, self.template, self.error
+        )
+    }
+}
+
+impl std::error::Error for ViewBuildError {}
+
 /// Compile (honoring SIS hints) and execute a day's jobs, producing the
 /// denormalized view. Jobs whose hinted compilation fails fall back to the
 /// default configuration, mirroring SCOPE's behaviour of never letting a
-/// bad hint take down a production job.
-#[must_use]
-pub fn build_view(
+/// bad hint take down a production job; a job whose *default-path* compile
+/// fails aborts the day with a typed [`ViewBuildError`] instead (generated
+/// workloads never trigger this — it guards externally supplied plans).
+///
+/// Generic over [`Compiler`]: pass a bare [`scope_opt::Optimizer`] for
+/// direct compilation, or a [`scope_opt::CachingOptimizer`] so the
+/// production compiles share the steering pipeline's compile-result cache —
+/// under a sticky [`crate::LiteralPolicy`] these compiles are the cache's
+/// biggest win, because recurring instances rebind the identical plan day
+/// after day.
+pub fn build_view<C: Compiler>(
     jobs: &[JobInstance],
-    optimizer: &Optimizer,
+    optimizer: &C,
     hints: &HintSet,
     cluster: &Cluster,
-) -> Vec<ViewRow> {
+) -> Result<Vec<ViewRow>, ViewBuildError> {
     let default = optimizer.default_config();
     jobs.iter()
         .map(|job| {
@@ -141,19 +180,33 @@ pub fn build_view(
             let config = hints.config_for(job.template, &default);
             let (compiled, hint_applied) = match optimizer.compile(&job.plan, &config) {
                 Ok(c) => (c, hinted),
-                Err(CompileError::RuleInstability { .. }) if hinted => (
-                    optimizer
-                        .compile(&job.plan, &default)
-                        .expect("default config always compiles"),
-                    false,
-                ),
-                Err(e) => panic!("unexpected compile failure on default path: {e}"),
+                Err(CompileError::RuleInstability { .. }) if hinted => {
+                    match optimizer.compile(&job.plan, &default) {
+                        Ok(c) => (c, false),
+                        Err(error) => {
+                            return Err(ViewBuildError {
+                                job_id: job.job_id,
+                                job_name: job.name.clone(),
+                                template: job.template,
+                                error,
+                            })
+                        }
+                    }
+                }
+                Err(error) => {
+                    return Err(ViewBuildError {
+                        job_id: job.job_id,
+                        job_name: job.name.clone(),
+                        template: job.template,
+                        error,
+                    })
+                }
             };
             let run_seed = mix64(u64::from(job.day), 0x9806_0d0d);
             let metrics = execute(&compiled.physical, cluster, job.job_seed, run_seed);
             let features =
                 Table1Features::aggregate(&job.name, &job.plan, compiled.est_cost, &metrics);
-            ViewRow {
+            Ok(ViewRow {
                 job_id: job.job_id,
                 day: job.day,
                 template: job.template,
@@ -165,7 +218,7 @@ pub fn build_view(
                 metrics,
                 features,
                 hint_applied,
-            }
+            })
         })
         .collect()
 }
@@ -174,6 +227,7 @@ pub fn build_view(
 mod tests {
     use super::*;
     use crate::generator::{Workload, WorkloadConfig};
+    use scope_opt::Optimizer;
 
     fn small_day() -> Vec<ViewRow> {
         let w = Workload::new(WorkloadConfig {
@@ -181,6 +235,7 @@ mod tests {
             num_templates: 8,
             adhoc_per_day: 2,
             max_instances_per_day: 1,
+            ..WorkloadConfig::default()
         });
         let jobs = w.jobs_for_day(0);
         build_view(
@@ -189,6 +244,7 @@ mod tests {
             &HintSet::new(),
             &Cluster::default(),
         )
+        .expect("generated workloads always compile on the default path")
     }
 
     #[test]
@@ -250,11 +306,12 @@ mod tests {
             num_templates: 8,
             adhoc_per_day: 0,
             max_instances_per_day: 1,
+            ..WorkloadConfig::default()
         });
         let jobs = w.jobs_for_day(0);
         let optimizer = Optimizer::default();
         let cluster = Cluster::default();
-        let base = build_view(&jobs, &optimizer, &HintSet::new(), &cluster);
+        let base = build_view(&jobs, &optimizer, &HintSet::new(), &cluster).unwrap();
         // Hint: flip an off-by-default transform on for the first template.
         let mut hints = HintSet::new();
         hints.insert(Hint {
@@ -264,11 +321,79 @@ mod tests {
                 enable: true,
             },
         });
-        let hinted = build_view(&jobs, &optimizer, &hints, &cluster);
+        let hinted = build_view(&jobs, &optimizer, &hints, &cluster).unwrap();
         let changed = base
             .iter()
             .zip(hinted.iter())
             .any(|(a, b)| a.template == jobs[0].template && b.hint_applied);
         assert!(changed, "hinted template must be marked");
+    }
+
+    #[test]
+    fn default_path_compile_failure_is_a_typed_error() {
+        use scope_ir::logical::LogicalPlan;
+
+        // A structurally broken plan (no outputs) fails optimizer
+        // validation on the default path — build_view must surface it as a
+        // ViewBuildError naming the job, not panic.
+        let w = Workload::new(WorkloadConfig {
+            seed: 11,
+            num_templates: 2,
+            adhoc_per_day: 0,
+            max_instances_per_day: 1,
+            ..WorkloadConfig::default()
+        });
+        let mut jobs = w.jobs_for_day(0);
+        jobs[0].plan = LogicalPlan::new();
+        jobs[0].name = "broken_job".to_string();
+        let err = build_view(
+            &jobs,
+            &Optimizer::default(),
+            &HintSet::new(),
+            &Cluster::default(),
+        )
+        .expect_err("an invalid plan must fail view building");
+        assert_eq!(err.job_id, jobs[0].job_id);
+        assert_eq!(err.job_name, "broken_job");
+        assert!(matches!(err.error, CompileError::Invalid(_)));
+        let msg = err.to_string();
+        assert!(msg.contains("broken_job"), "error names the job: {msg}");
+    }
+
+    #[test]
+    fn build_view_is_identical_through_a_caching_compiler() {
+        use scope_opt::{CacheConfig, CachingOptimizer};
+
+        let w = Workload::new(WorkloadConfig {
+            seed: 11,
+            num_templates: 6,
+            adhoc_per_day: 1,
+            max_instances_per_day: 1,
+            literals: crate::LiteralPolicy::Sticky {
+                redraw_every_days: 0,
+            },
+        });
+        let cluster = Cluster::default();
+        let cached = CachingOptimizer::new(Optimizer::default(), CacheConfig::default());
+        let mut direct_rows = Vec::new();
+        let mut cached_rows = Vec::new();
+        for day in 0..2u32 {
+            let jobs = w.jobs_for_day(day);
+            direct_rows.extend(
+                build_view(&jobs, &Optimizer::default(), &HintSet::new(), &cluster).unwrap(),
+            );
+            cached_rows.extend(build_view(&jobs, &cached, &HintSet::new(), &cluster).unwrap());
+        }
+        for (a, b) in direct_rows.iter().zip(cached_rows.iter()) {
+            assert_eq!(a.signature, b.signature);
+            assert_eq!(a.est_cost, b.est_cost);
+            assert_eq!(a.metrics, b.metrics, "cache must be invisible");
+        }
+        // Sticky literals: day 1 recompiles the very plans day 0 inserted.
+        let stats = cached.stats();
+        assert!(
+            stats.hits > 0,
+            "sticky recurring plans must hit across days: {stats:?}"
+        );
     }
 }

@@ -53,9 +53,11 @@ proptest! {
             num_templates: 6,
             adhoc_per_day: 2,
             max_instances_per_day: 1,
+            ..WorkloadConfig::default()
         });
         let jobs = w.jobs_for_day(day);
-        let view = build_view(&jobs, &Optimizer::default(), &HintSet::new(), &Cluster::default());
+        let view = build_view(&jobs, &Optimizer::default(), &HintSet::new(), &Cluster::default())
+            .expect("generated workloads compile on the default path");
         prop_assert_eq!(view.len(), jobs.len());
         for (job, row) in jobs.iter().zip(view.iter()) {
             prop_assert_eq!(row.job_id, job.job_id);

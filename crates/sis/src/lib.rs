@@ -1,4 +1,4 @@
-//! The Stats & Insight Service (SIS) substitute (paper §4.4, [16]).
+//! The Stats & Insight Service (SIS) substitute (paper §4.4, ref. 16).
 //!
 //! SIS "makes deploying models and configurations in SCOPE easier as it
 //! manages versioning and validates the format before installing them in

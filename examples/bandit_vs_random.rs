@@ -17,6 +17,7 @@ fn main() {
         num_templates: 40,
         adhoc_per_day: 8,
         max_instances_per_day: 2,
+        ..WorkloadConfig::default()
     };
     let mut sim = qo_advisor::ProductionSim::new(workload, PipelineConfig::default());
     sim.bootstrap_validation_model(3, 16);
@@ -37,14 +38,15 @@ fn main() {
     let jobs = sim.workload.jobs_for_day(day);
     let view = build_view(
         &jobs,
-        &sim.optimizer,
+        sim.advisor.caching_optimizer(),
         &Default::default(),
         &sim.prod_cluster,
-    );
+    )
+    .expect("generated workloads compile on the default path");
     let cb_report = sim.advisor.run_day(&view, day);
 
     let mut random = QoAdvisor::new(
-        sim.optimizer.clone(),
+        sim.optimizer().clone(),
         FlightingService::new(Cluster::preproduction(), FlightBudget::default()),
         PipelineConfig {
             strategy: RecommendStrategy::UniformRandom,

@@ -18,6 +18,7 @@ fn main() {
         num_templates: 30,
         adhoc_per_day: 0,
         max_instances_per_day: 1,
+        ..WorkloadConfig::default()
     });
 
     println!(

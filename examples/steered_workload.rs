@@ -16,6 +16,7 @@ fn main() {
         num_templates: 40,
         adhoc_per_day: 10,
         max_instances_per_day: 2,
+        ..WorkloadConfig::default()
     };
     let mut sim = ProductionSim::new(workload, PipelineConfig::default());
 

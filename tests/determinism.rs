@@ -17,7 +17,7 @@
 
 use qo_advisor::ProductionSim;
 use qo_advisor::{CacheConfig, CacheCounters, DailyReport, ParallelismConfig, PipelineConfig};
-use scope_workload::WorkloadConfig;
+use scope_workload::{LiteralPolicy, WorkloadConfig};
 use sis::SisStore;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -32,6 +32,16 @@ fn workload() -> WorkloadConfig {
         num_templates: 24,
         adhoc_per_day: 3,
         max_instances_per_day: 1,
+        ..WorkloadConfig::default()
+    }
+}
+
+fn sticky_workload() -> WorkloadConfig {
+    WorkloadConfig {
+        literals: LiteralPolicy::Sticky {
+            redraw_every_days: 0,
+        },
+        ..workload()
     }
 }
 
@@ -45,20 +55,30 @@ impl Drop for TempTree {
     }
 }
 
-/// Run a fresh DAYS-day simulation publishing hint files into `sis_dir`;
-/// returns every daily report.
-fn run_sim(threads: Option<usize>, cache: CacheConfig, sis_dir: &Path) -> Vec<DailyReport> {
+/// Run a fresh DAYS-day simulation of `wl` publishing hint files into
+/// `sis_dir`; returns every daily report.
+fn run_sim_of(
+    wl: WorkloadConfig,
+    threads: Option<usize>,
+    cache: CacheConfig,
+    sis_dir: &Path,
+) -> Vec<DailyReport> {
     let config = PipelineConfig {
         parallelism: ParallelismConfig { threads },
         cache,
         ..PipelineConfig::default()
     };
     let mut sim = ProductionSim::with_sis_store(
-        workload(),
+        wl,
         config,
         SisStore::at_dir(sis_dir).expect("create sis dir"),
     );
     (0..DAYS).map(|_| sim.advance_day().report).collect()
+}
+
+/// [`run_sim_of`] over the standard fresh-literal workload.
+fn run_sim(threads: Option<usize>, cache: CacheConfig, sis_dir: &Path) -> Vec<DailyReport> {
+    run_sim_of(workload(), threads, cache, sis_dir)
 }
 
 /// Byte-level rendering of the reports with the cache telemetry zeroed (it
@@ -146,7 +166,7 @@ fn reports_and_hint_files_are_identical_with_cache_on_and_off() {
         let dir = base.0.join(format!("cached-t{threads}"));
         let raw = run_sim(Some(threads), CacheConfig::default(), &dir);
         assert!(
-            raw.iter().any(|r| r.compile_cache.hits > 0),
+            raw.iter().any(|r| r.compile_cache.hits() > 0),
             "the cached run must actually hit, or this test compares nothing"
         );
         assert_eq!(
@@ -160,6 +180,67 @@ fn reports_and_hint_files_are_identical_with_cache_on_and_off() {
             baseline_files,
             "published SIS hint files diverged between cache-off serial \
              and cache-on at {threads} worker threads"
+        );
+    }
+}
+
+/// The regime the cache was built for: sticky literals make recurring
+/// production scripts rebind identical plans across days, so the sim-wide
+/// shared cache (production view building + all pipeline stages) is hot on
+/// every warm day — and must *still* be invisible in every steering output,
+/// at any thread count.
+#[test]
+fn sticky_literal_runs_are_identical_with_shared_cache_on_and_off() {
+    let base = TempTree(
+        std::env::temp_dir().join(format!("qo-sticky-determinism-{}", std::process::id())),
+    );
+    let _ = std::fs::remove_dir_all(&base.0);
+
+    let off_dir = base.0.join("off");
+    let off_reports = run_sim_of(sticky_workload(), None, CacheConfig::disabled(), &off_dir);
+    let baseline_reports = normalized(&off_reports);
+    let baseline_files = hint_files(&off_dir);
+    assert!(
+        !baseline_files.is_empty(),
+        "the sticky cache-off simulation must publish at least one hint file"
+    );
+
+    for threads in [1usize, 2, 8] {
+        let dir = base.0.join(format!("sticky-t{threads}"));
+        let raw = run_sim_of(
+            sticky_workload(),
+            Some(threads),
+            CacheConfig::default(),
+            &dir,
+        );
+        // Warm days rebind day-0 plans: production view compiles are
+        // lookups, and the overall hit rate crosses 50% — the cross-day
+        // regime PR 2's fresh-literal workload could never reach.
+        for warm in &raw[1..] {
+            assert!(
+                warm.compile_cache.view_build.hits > 0,
+                "warm-day view builds must hit the shared cache: {:?}",
+                warm.compile_cache
+            );
+            assert!(
+                warm.compile_cache.hit_rate() >= 0.5,
+                "day {} hit rate {:.2} below 50%: {:?}",
+                warm.day,
+                warm.compile_cache.hit_rate(),
+                warm.compile_cache
+            );
+        }
+        assert_eq!(
+            normalized(&raw),
+            baseline_reports,
+            "sticky daily reports diverged between cache-off serial and \
+             cache-on at {threads} worker threads"
+        );
+        assert_eq!(
+            hint_files(&dir),
+            baseline_files,
+            "sticky SIS hint files diverged between cache-off serial and \
+             cache-on at {threads} worker threads"
         );
     }
 }

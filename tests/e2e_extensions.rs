@@ -11,6 +11,7 @@ fn workload(seed: u64) -> WorkloadConfig {
         num_templates: 14,
         adhoc_per_day: 3,
         max_instances_per_day: 1,
+        ..WorkloadConfig::default()
     }
 }
 

@@ -12,6 +12,7 @@ fn workload(seed: u64) -> WorkloadConfig {
         num_templates: 16,
         adhoc_per_day: 4,
         max_instances_per_day: 1,
+        ..WorkloadConfig::default()
     }
 }
 

@@ -20,6 +20,7 @@ fn flighting_results_train_a_useful_validation_model() {
         num_templates: 14,
         adhoc_per_day: 0,
         max_instances_per_day: 1,
+        ..WorkloadConfig::default()
     });
     let default = optimizer.default_config();
     let mut svc = FlightingService::new(Cluster::preproduction(), FlightBudget::default());
@@ -82,6 +83,7 @@ fn flight_outcomes_cover_the_paper_taxonomy() {
         num_templates: 40,
         adhoc_per_day: 0,
         max_instances_per_day: 1,
+        ..WorkloadConfig::default()
     });
     let default = optimizer.default_config();
     let requests: Vec<FlightRequest> = workload
