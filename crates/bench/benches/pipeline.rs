@@ -4,7 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use flighting::{FlightBudget, FlightingService};
-use qo_advisor::{CacheConfig, ParallelismConfig, PipelineConfig, ProductionSim, QoAdvisor};
+use qo_advisor::{
+    CacheConfig, ExecCacheConfig, ParallelismConfig, PipelineConfig, ProductionSim, QoAdvisor,
+};
 use scope_opt::Optimizer;
 use scope_runtime::Cluster;
 use scope_workload::{build_view, LiteralPolicy, Workload, WorkloadConfig};
@@ -165,12 +167,14 @@ fn bench_pipeline_compile_cache(c: &mut Criterion) {
 }
 
 /// The whole closed loop (`ProductionSim::advance_day`, which `build_view`'s
-/// production compiles dominate) over 3 days, cached vs uncached, under
+/// production compiles dominate) over 3 days, compile cache on vs off, under
 /// fresh vs sticky literals. Sticky literals are the recurring-script regime
 /// the paper assumes: every warm day's production compile repeats a day-0
 /// plan, so the shared sim-wide cache turns `build_view` into lookups and
 /// this pair shows the cache's headline win. Fresh literals bound the same
-/// comparison from below (only within-day repeats can hit).
+/// comparison from below (only within-day repeats can hit). The execution
+/// cache is OFF in every variant so the pair isolates the compile cache;
+/// `bench_sim_exec_cache` below layers the execution cache on top.
 fn bench_sim_advance_day(c: &mut Criterion) {
     let policies = [
         ("fresh", LiteralPolicy::FreshEachRun),
@@ -203,6 +207,7 @@ fn bench_sim_advance_day(c: &mut Criterion) {
                                 workload.clone(),
                                 PipelineConfig {
                                     cache,
+                                    exec_cache: ExecCacheConfig::disabled(),
                                     ..PipelineConfig::default()
                                 },
                             )
@@ -210,7 +215,11 @@ fn bench_sim_advance_day(c: &mut Criterion) {
                         |mut sim| {
                             let mut published = 0;
                             for _ in 0..3 {
-                                published += sim.advance_day().report.hints_published;
+                                published += sim
+                                    .advance_day()
+                                    .expect("generated workloads compile")
+                                    .report
+                                    .hints_published;
                             }
                             black_box(published)
                         },
@@ -222,10 +231,64 @@ fn bench_sim_advance_day(c: &mut Criterion) {
     }
 }
 
+/// The execution cache's report card: the same sticky 3-day closed loop with
+/// the compile cache ON in both arms, execution cache off vs on. The delta
+/// over `sim_advance_3_days_48_templates_sticky_cached` (whose remaining
+/// cost is execution-dominated, per ROADMAP) is what the `Executor` refactor
+/// buys: memoized stage graphs for every recurring plan, plus whole-run
+/// replays wherever seeds repeat exactly. Outputs are byte-identical in
+/// both arms.
+fn bench_sim_exec_cache(c: &mut Criterion) {
+    let workload = WorkloadConfig {
+        seed: 2022,
+        num_templates: 48,
+        adhoc_per_day: 4,
+        max_instances_per_day: 1,
+        literals: LiteralPolicy::Sticky {
+            redraw_every_days: 0,
+        },
+    };
+    let cases = [
+        ("exec_uncached", ExecCacheConfig::disabled()),
+        ("exec_cached", ExecCacheConfig::default()),
+    ];
+    for (name, exec_cache) in cases {
+        c.bench_function(
+            &format!("sim_advance_3_days_48_templates_sticky_{name}"),
+            |b| {
+                b.iter_batched(
+                    || {
+                        ProductionSim::new(
+                            workload.clone(),
+                            PipelineConfig {
+                                cache: CacheConfig::default(),
+                                exec_cache,
+                                ..PipelineConfig::default()
+                            },
+                        )
+                    },
+                    |mut sim| {
+                        let mut published = 0;
+                        for _ in 0..3 {
+                            published += sim
+                                .advance_day()
+                                .expect("generated workloads compile")
+                                .report
+                                .hints_published;
+                        }
+                        black_box(published)
+                    },
+                    BatchSize::PerIteration,
+                )
+            },
+        );
+    }
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
     targets = bench_pipeline, bench_pipeline_parallelism, bench_pipeline_compile_cache,
-        bench_sim_advance_day
+        bench_sim_advance_day, bench_sim_exec_cache
 }
 criterion_main!(benches);

@@ -9,8 +9,9 @@
 //! `--threads N` (or the `QO_THREADS` env var) runs the pipeline's
 //! compile-bound stages on `N` worker threads (`0` = all cores); results
 //! are bit-identical to the serial default. `--cache on|off` (or `QO_CACHE`)
-//! toggles the compile-result cache — also bit-identical either way, only
-//! throughput differs (on by default).
+//! toggles the compile-result cache and `--exec-cache on|off` (or
+//! `QO_EXEC_CACHE`) the execution-result cache — also bit-identical either
+//! way, only throughput differs (both on by default).
 //!
 //! Each experiment writes its raw series to `results/<name>.csv` and prints
 //! a summary row comparing the paper's reported shape with the measured one.
@@ -20,12 +21,12 @@
 
 use flighting::{FlightBudget, FlightRequest, FlightingService};
 use qo_advisor::{
-    aggregate_impact, CacheConfig, HintedComparison, ParallelismConfig, PipelineConfig,
-    ProductionSim, QoAdvisor, RecommendStrategy, ValidationModel, ValidationSample,
+    aggregate_impact, CacheConfig, ExecCacheConfig, HintedComparison, ParallelismConfig,
+    PipelineConfig, ProductionSim, QoAdvisor, RecommendStrategy, ValidationModel, ValidationSample,
 };
 use qo_bench::corpus::{write_csv, Env};
 use qo_bench::{mean, pearson, percentile, polyfit1};
-use scope_runtime::Cluster;
+use scope_runtime::{Cluster, ClusterExecutor, Executor};
 use scope_workload::{build_view, LiteralPolicy, WorkloadConfig};
 
 /// Worker-thread override for every experiment in this run.
@@ -51,6 +52,13 @@ fn parse_cache_flag(value: &str) -> bool {
             std::process::exit(2);
         }
     }
+}
+
+/// Execution-result-cache override for every experiment in this run.
+static EXEC_CACHE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+
+fn set_exec_cache(enabled: bool) {
+    let _ = EXEC_CACHE.set(enabled);
 }
 
 /// Literal-redraw policy for every simulated workload in this run.
@@ -85,6 +93,11 @@ fn pipeline_config() -> PipelineConfig {
             CacheConfig::default()
         } else {
             CacheConfig::disabled()
+        },
+        exec_cache: if *EXEC_CACHE.get_or_init(|| true) {
+            ExecCacheConfig::default()
+        } else {
+            ExecCacheConfig::disabled()
         },
         ..PipelineConfig::default()
     }
@@ -135,6 +148,16 @@ fn main() {
         args.drain(i..=i + 1);
     } else if let Ok(value) = std::env::var("QO_CACHE") {
         set_cache(parse_cache_flag(&value));
+    }
+    if let Some(i) = args.iter().position(|a| a == "--exec-cache") {
+        let enabled = args.get(i + 1).map(String::as_str).unwrap_or_else(|| {
+            eprintln!("--exec-cache requires on|off");
+            std::process::exit(2);
+        });
+        set_exec_cache(parse_cache_flag(enabled));
+        args.drain(i..=i + 1);
+    } else if let Ok(value) = std::env::var("QO_EXEC_CACHE") {
+        set_exec_cache(parse_cache_flag(&value));
     }
     if let Some(i) = args.iter().position(|a| a == "--literals") {
         let policy = args.get(i + 1).map(String::as_str).unwrap_or_else(|| {
@@ -217,6 +240,7 @@ fn fig2_fig4() {
             ..FlightBudget::default()
         },
     );
+    let preprod_exec = ClusterExecutor::new(Cluster::preproduction());
 
     // Every estimated-cost-improving span flip of two days of jobs (the
     // candidates the early pipeline would have A/B-tested).
@@ -236,8 +260,8 @@ fn fig2_fig4() {
             }
         }
     }
-    let (week0, _) = svc.flight_batch(&env.optimizer, &requests);
-    let (week1, _) = svc.flight_batch(&env.optimizer, &requests);
+    let (week0, _) = svc.flight_batch(&env.optimizer, &preprod_exec, &requests);
+    let (week1, _) = svc.flight_batch(&env.optimizer, &preprod_exec, &requests);
 
     let mut rows = Vec::new();
     let mut lat = Vec::new();
@@ -337,6 +361,7 @@ fn fig6() {
             ..FlightBudget::default()
         },
     );
+    let preprod_exec = ClusterExecutor::new(Cluster::preproduction());
     let mut est = Vec::new();
     let mut lat = Vec::new();
     // ~5 days of jobs, every lower-estimate flip per job (paper: 950 jobs
@@ -361,7 +386,7 @@ fn fig6() {
                 });
             }
         }
-        let (outcomes, _) = svc.flight_batch(&env.optimizer, &requests);
+        let (outcomes, _) = svc.flight_batch(&env.optimizer, &preprod_exec, &requests);
         for (d, o) in deltas.iter().zip(outcomes.iter()) {
             if let Some(m) = o.measurement() {
                 est.push(*d);
@@ -406,6 +431,7 @@ fn gather_samples(env: &Env, days: std::ops::Range<u32>, salt: u64) -> Vec<Valid
             ..FlightBudget::default()
         },
     );
+    let preprod_exec = ClusterExecutor::new(Cluster::preproduction());
     let mut samples = Vec::new();
     for day in days {
         let jobs = env.spanned_jobs(day);
@@ -422,7 +448,7 @@ fn gather_samples(env: &Env, days: std::ops::Range<u32>, salt: u64) -> Vec<Valid
                 }
             })
             .collect();
-        let (outcomes, _) = svc.flight_batch(&env.optimizer, &requests);
+        let (outcomes, _) = svc.flight_batch(&env.optimizer, &preprod_exec, &requests);
         samples.extend(
             outcomes
                 .iter()
@@ -499,10 +525,12 @@ fn fig9() {
                 .compile(&j.job.plan, &default)
                 .expect("default compiles");
             let run_seed = scope_ir::ids::mix64(u64::from(day), 0xF19);
-            let m_base =
-                scope_runtime::execute(&base.physical, &env.cluster, j.job.job_seed, run_seed);
-            let m_new =
-                scope_runtime::execute(&treated.physical, &env.cluster, j.job.job_seed, run_seed);
+            let m_base = env
+                .cluster
+                .execute(&base.physical, j.job.job_seed, run_seed);
+            let m_new = env
+                .cluster
+                .execute(&treated.physical, j.job.job_seed, run_seed);
             test.push(ValidationSample {
                 data_read_delta: m_new.data_read_delta(&m_base),
                 data_written_delta: m_new.data_written_delta(&m_base),
@@ -559,8 +587,11 @@ fn fig9() {
 fn table2_and_figs() {
     println!("\n=== Table 2 + Figures 10-12: pre-production impact of QO-Advisor ===");
     let mut sim = ProductionSim::new(workload_config(2022, 60, 15, 2), pipeline_config());
-    sim.bootstrap_validation_model(5, 24);
-    let outcomes = sim.run(25);
+    sim.bootstrap_validation_model(5, 24)
+        .expect("generated workloads compile on the default path");
+    let outcomes = sim
+        .run(25)
+        .expect("generated workloads compile on the default path");
     let mut comparisons: Vec<HintedComparison> = Vec::new();
     for o in &outcomes {
         comparisons.extend(o.comparisons.iter().copied());
@@ -620,9 +651,11 @@ fn table3() {
     let wl = workload_config(2022, 60, 15, 2);
     // Train the CB through the daily loop.
     let mut sim = ProductionSim::new(wl.clone(), pipeline_config());
-    sim.bootstrap_validation_model(3, 16);
+    sim.bootstrap_validation_model(3, 16)
+        .expect("generated workloads compile on the default path");
     for _ in 0..30 {
-        sim.advance_day();
+        sim.advance_day()
+            .expect("generated workloads compile on the default path");
     }
     // Evaluation day: identical jobs/view (no hints) for both policies.
     let eval_day = sim.day;
@@ -631,7 +664,7 @@ fn table3() {
         &jobs,
         sim.advisor.caching_optimizer(),
         &Default::default(),
-        &sim.prod_cluster,
+        sim.prod_executor(),
     )
     .expect("generated workloads compile on the default path");
     let report_cb = sim.advisor.run_day(&view, eval_day);
@@ -739,7 +772,9 @@ fn ablation_cost_gate() {
                 ..pipeline_config()
             },
         );
-        let out = sim.advance_day();
+        let out = sim
+            .advance_day()
+            .expect("generated workloads compile on the default path");
         (
             out.report.flighted,
             out.report.flight_success,
@@ -788,10 +823,13 @@ fn ablation_span_features() {
                 ..pipeline_config()
             },
         );
-        sim.bootstrap_validation_model(3, 16);
+        sim.bootstrap_validation_model(3, 16)
+            .expect("generated workloads compile on the default path");
         let mut acc = qo_advisor::DailyReport::default();
         for i in 0..26 {
-            let out = sim.advance_day();
+            let out = sim
+                .advance_day()
+                .expect("generated workloads compile on the default path");
             if i >= 13 {
                 acc.lower_cost += out.report.lower_cost;
                 acc.equal_cost += out.report.equal_cost;
@@ -854,6 +892,7 @@ fn negi_maintenance_cost() {
             ..FlightBudget::default()
         },
     );
+    let preprod_exec = ClusterExecutor::new(Cluster::preproduction());
     // A scaled-down heuristic (200 samples instead of 1000) keeps the bench
     // quick; the printed numbers extrapolate linearly.
     let heuristic = qo_advisor::Negi2021 {
@@ -871,6 +910,7 @@ fn negi_maintenance_cost() {
         let out = heuristic.search(
             &env.optimizer,
             &mut svc,
+            &preprod_exec,
             j.job.template,
             &j.job.plan,
             j.job.job_seed,

@@ -24,6 +24,17 @@ fn main() {
             std::process::exit(2);
         }
     };
+    // `QO_EXEC_CACHE=off` disables the execution-result cache (on by
+    // default) — the execute-side twin of `QO_CACHE`.
+    let exec_cache = std::env::var("QO_EXEC_CACHE").map_or_else(
+        |_| qo_advisor::ExecCacheConfig::default(),
+        |value| {
+            qo_advisor::ExecCacheConfig::parse_switch(&value).unwrap_or_else(|e| {
+                eprintln!("bad QO_EXEC_CACHE: {e}");
+                std::process::exit(2);
+            })
+        },
+    );
     // `QO_LITERALS=sticky` (or `sticky:N` / `mixed:F`) switches the workload
     // into the recurring-script regime; default redraws literals every run.
     let literals =
@@ -36,6 +47,7 @@ fn main() {
     let config = PipelineConfig {
         parallelism: ParallelismConfig { threads },
         cache,
+        exec_cache,
         ..PipelineConfig::default()
     };
     let wl = WorkloadConfig {
@@ -46,7 +58,9 @@ fn main() {
         literals,
     };
     let mut sim = ProductionSim::new(wl.clone(), config.clone());
-    let samples = sim.bootstrap_validation_model(5, 24);
+    let samples = sim
+        .bootstrap_validation_model(5, 24)
+        .expect("generated workloads compile on the default path");
     eprintln!(
         "bootstrap samples: {} model: {:?}",
         samples.len(),
@@ -54,15 +68,19 @@ fn main() {
     );
     let mut all_cmp = Vec::new();
     for _ in 0..10 {
-        let out = sim.advance_day();
+        let out = sim
+            .advance_day()
+            .expect("generated workloads compile on the default path");
         let r = &out.report;
         eprintln!(
-            "day {}: span {}/{} lower {} eq {} hi {} fail {} noop {} flighted {} succ {} valid {} hints {} cmp {} cache {}/{} ({:.0}%, view {}/{})",
+            "day {}: span {}/{} lower {} eq {} hi {} fail {} noop {} flighted {} succ {} valid {} hints {} cmp {} cache {}/{} ({:.0}%, view {}/{}) exec {}/{} ({:.0}% full, {:.0}% incl. graphs)",
             r.day, r.jobs_with_span, r.recurring_jobs, r.lower_cost, r.equal_cost, r.higher_cost,
             r.recompile_failures, r.noop_chosen, r.flighted, r.flight_success, r.validated,
             r.hints_published, out.comparisons.len(),
             r.compile_cache.hits(), r.compile_cache.lookups(), 100.0 * r.compile_cache.hit_rate(),
-            r.compile_cache.view_build.hits, r.compile_cache.view_build.lookups()
+            r.compile_cache.view_build.hits, r.compile_cache.view_build.lookups(),
+            r.exec_cache.hits(), r.exec_cache.lookups(),
+            100.0 * r.exec_cache.hit_rate(), 100.0 * r.exec_cache.partial_hit_rate()
         );
         all_cmp.extend(out.comparisons);
     }
@@ -75,6 +93,17 @@ fn main() {
         lifetime.inserts,
         lifetime.evictions
     );
+    let exec_lifetime = sim.advisor.exec_stats();
+    eprintln!(
+        "exec cache lifetime: {} executions, {} full replays ({:.0}%), {} graph hits / {} graph lookups ({:.0}%), {} result evictions",
+        exec_lifetime.lookups(),
+        exec_lifetime.hits(),
+        100.0 * exec_lifetime.hit_rate(),
+        exec_lifetime.graphs.hits,
+        exec_lifetime.graphs.lookups(),
+        100.0 * exec_lifetime.graphs.hit_rate(),
+        exec_lifetime.results.evictions
+    );
     let agg = aggregate_impact(&all_cmp);
     eprintln!(
         "TABLE2: jobs {} pn {:+.1}% latency {:+.1}% vertices {:+.1}%",
@@ -84,9 +113,13 @@ fn main() {
     // Table 3 shape: CB vs random on one day after training.
     // CB convergence: train 25 more days, report last-day counters.
     for _ in 0..25 {
-        let _ = sim.advance_day();
+        let _ = sim
+            .advance_day()
+            .expect("generated workloads compile on the default path");
     }
-    let out_cb = sim.advance_day();
+    let out_cb = sim
+        .advance_day()
+        .expect("generated workloads compile on the default path");
     let r = &out_cb.report;
     eprintln!(
         "CB day {}: lower {} eq {} hi {} fail {} noop {} | total default {:.3e} chosen {:.3e}",
@@ -106,8 +139,12 @@ fn main() {
             ..config.clone()
         },
     );
-    sim_rand.bootstrap_validation_model(1, 4);
-    let out = sim_rand.advance_day();
+    sim_rand
+        .bootstrap_validation_model(1, 4)
+        .expect("generated workloads compile on the default path");
+    let out = sim_rand
+        .advance_day()
+        .expect("generated workloads compile on the default path");
     let r = &out.report;
     eprintln!(
         "RANDOM day: lower {} eq {} hi {} fail {} | total default {:.3e} chosen {:.3e}",

@@ -14,6 +14,7 @@ use scope_ir::ids::mix64;
 use scope_ir::logical::LogicalPlan;
 use scope_ir::TemplateId;
 use scope_opt::{Optimizer, RuleConfig, RuleFlip, SpanResult};
+use scope_runtime::Executor;
 
 /// Uniform-at-random flip over the span. Deterministic in `seed`.
 #[must_use]
@@ -67,10 +68,12 @@ impl Negi2021 {
     /// 3. flight the `top_k` most promising against the default;
     /// 4. pick the flighted configuration with the best PNhours, if it
     ///    improves over the default.
-    pub fn search(
+    #[allow(clippy::too_many_arguments)] // one knob per §2.1 search input
+    pub fn search<E: Executor>(
         &self,
         optimizer: &Optimizer,
         flighting: &mut FlightingService,
+        executor: &E,
         template: TemplateId,
         plan: &LogicalPlan,
         job_seed: u64,
@@ -127,7 +130,7 @@ impl Negi2021 {
                 treatment: *cfg,
             })
             .collect();
-        let (results, tracker) = flighting.flight_batch(optimizer, &requests);
+        let (results, tracker) = flighting.flight_batch(optimizer, executor, &requests);
         outcome.flights = requests.len();
         outcome.flight_seconds = tracker.used_seconds;
 
@@ -215,7 +218,15 @@ mod tests {
             samples: 60,
             top_k: 4,
         };
-        let out = heuristic.search(&optimizer, &mut flighting, template, &plan, job_seed, &span);
+        let out = heuristic.search(
+            &optimizer,
+            &mut flighting,
+            &Cluster::default(),
+            template,
+            &plan,
+            job_seed,
+            &span,
+        );
         assert!(
             out.recompiles > 40,
             "samples minus empty draws: {}",
@@ -244,6 +255,7 @@ mod tests {
         let out = Negi2021::default().search(
             &optimizer,
             &mut flighting,
+            &Cluster::default(),
             template,
             &plan,
             job_seed,

@@ -4,24 +4,27 @@
 //!
 //! Every throughput/workload knob reachable from the CLI tools
 //! (`experiments`, `probe`) in one place. Flags win over environment
-//! variables; all three knobs are *throughput or workload-shape* switches —
-//! `--threads` and `--cache` never change steering outputs (see
-//! `tests/determinism.rs`), `--literals` changes the generated workload
+//! variables; all four knobs are *throughput or workload-shape* switches —
+//! `--threads`, `--cache`, and `--exec-cache` never change steering outputs
+//! (see `tests/determinism.rs`), `--literals` changes the generated workload
 //! itself.
 //!
-//! | Env var       | `experiments` flag | Values                            | Effect |
-//! |---------------|--------------------|-----------------------------------|--------|
-//! | `QO_THREADS`  | `--threads N`      | integer (`0` = all cores)         | Worker threads for the pipeline's compile-bound fan-outs ([`ParallelismConfig`]); unset/`1` = serial |
-//! | `QO_CACHE`    | `--cache V`        | `on`/`1`/`true`, `off`/`0`/`false`| Compile-result cache ([`scope_opt::CacheConfig`], on by default) shared across view building, span fixpoint, recommendation, flighting, and days |
-//! | `QO_LITERALS` | `--literals P`     | `fresh`, `sticky`, `sticky:N`, `mixed:F` | Literal-redraw policy ([`scope_workload::LiteralPolicy`]) of recurring templates: fresh per run (default), pinned per N-day epoch (`sticky:0` = forever), or a sticky fraction `F` of templates |
+//! | Env var         | `experiments` flag | Values                            | Effect |
+//! |-----------------|--------------------|-----------------------------------|--------|
+//! | `QO_THREADS`    | `--threads N`      | integer (`0` = all cores)         | Worker threads for the pipeline's compile-bound fan-outs ([`ParallelismConfig`]); unset/`1` = serial |
+//! | `QO_CACHE`      | `--cache V`        | `on`/`1`/`true`, `off`/`0`/`false`| Compile-result cache ([`scope_opt::CacheConfig`], on by default) shared across view building, span fixpoint, recommendation, flighting, and days |
+//! | `QO_EXEC_CACHE` | `--exec-cache V`   | `on`/`1`/`true`, `off`/`0`/`false`| Execution-result cache ([`scope_runtime::ExecCacheConfig`], on by default) shared across production runs, counterfactual runs, flighting, and days — memoizes stage graphs and whole simulated runs |
+//! | `QO_LITERALS`   | `--literals P`     | `fresh`, `sticky`, `sticky:N`, `mixed:F` | Literal-redraw policy ([`scope_workload::LiteralPolicy`]) of recurring templates: fresh per run (default), pinned per N-day epoch (`sticky:0` = forever), or a sticky fraction `F` of templates |
 //!
 //! `probe` reads the same environment variables; `experiments` also accepts
 //! the flags. Programmatic equivalents: [`PipelineConfig::parallelism`],
-//! [`PipelineConfig::cache`], and [`scope_workload::WorkloadConfig::literals`].
+//! [`PipelineConfig::cache`], [`PipelineConfig::exec_cache`], and
+//! [`scope_workload::WorkloadConfig::literals`].
 
 use flighting::FlightBudget;
 use personalizer::CbConfig;
 use scope_opt::CacheConfig;
+use scope_runtime::ExecCacheConfig;
 use serde::{Deserialize, Serialize};
 
 /// How the Recommendation task chooses flips (Table 3 compares these).
@@ -74,6 +77,12 @@ pub struct PipelineConfig {
     /// byte-identical to uncached ones — the cache is purely a throughput
     /// knob, like `parallelism`).
     pub cache: CacheConfig,
+    /// Execution-result cache over every simulated run of the closed loop
+    /// (production view builds, counterfactual default runs, flighting
+    /// baseline/treatment pairs). Execution is deterministic given the plan
+    /// and seeds, so — exactly like `cache` — this is a throughput knob
+    /// that never changes steering outputs.
+    pub exec_cache: ExecCacheConfig,
     /// Contextual bandit hyper-parameters.
     pub cb: CbConfig,
     /// Flighting budget per daily batch.
@@ -110,6 +119,7 @@ impl Default for PipelineConfig {
             strategy: RecommendStrategy::ContextualBandit,
             parallelism: ParallelismConfig::serial(),
             cache: CacheConfig::default(),
+            exec_cache: ExecCacheConfig::default(),
             cb: CbConfig::default(),
             flight_budget: FlightBudget::default(),
             validation_threshold: -0.1,

@@ -24,11 +24,15 @@
 //! jobs counterfactually, and feeds the view to [`QoAdvisor::run_day`].
 //! Every compile in that loop — production view building, counterfactuals,
 //! and all five pipeline stages — goes through one shared
-//! `scope_opt::CachingOptimizer`, and [`DailyReport::compile_cache`]
-//! attributes its hits per stage. Throughput knobs (worker threads, the
-//! compile cache, the workload's literal-redraw policy) are catalogued in
-//! the [`config`] module's knob table; see `ARCHITECTURE.md` at the repo
-//! root for the crate map and the determinism contract.
+//! `scope_opt::CachingOptimizer`, and every *execution* — production runs,
+//! counterfactual default runs, flighting's baseline/treatment pairs —
+//! through `scope_runtime::Executor`s behind one shared
+//! `scope_runtime::ExecutionCache`; [`DailyReport::compile_cache`] and
+//! [`DailyReport::exec_cache`] attribute their hits per stage. Throughput
+//! knobs (worker threads, the two result caches, the workload's
+//! literal-redraw policy) are catalogued in the [`config`] module's knob
+//! table; see `ARCHITECTURE.md` at the repo root for the crate map and the
+//! determinism contract.
 //!
 //! # Quick start
 //!
@@ -37,8 +41,9 @@
 //! use scope_workload::WorkloadConfig;
 //!
 //! let mut sim = ProductionSim::new(WorkloadConfig::default(), PipelineConfig::default());
-//! sim.bootstrap_validation_model(3, 16); // paper: 14 days of random flights
-//! let outcomes = sim.run(7);
+//! // paper: 14 days of random flights
+//! sim.bootstrap_validation_model(3, 16).expect("generated workloads compile");
+//! let outcomes = sim.run(7).expect("generated workloads compile");
 //! for day in &outcomes {
 //!     println!(
 //!         "day {}: {} hints published, {} jobs steered",
@@ -61,9 +66,11 @@ pub mod validation_model;
 pub use baselines::{random_flip, Negi2021, Negi2021Outcome};
 pub use config::{ParallelismConfig, PipelineConfig, RecommendStrategy};
 pub use features::{action_slate, context_features, context_features_opt, reward_from_costs};
-pub use monitoring::{CacheCounters, MonitorConfig, RegressionMonitor};
+pub use monitoring::{CacheCounters, ExecCounters, MonitorConfig, RegressionMonitor};
 pub use pipeline::{DailyReport, QoAdvisor, Recommendation};
 pub use scope_opt::{CacheConfig, CacheStats};
+pub use scope_runtime::{CachingExecutor, ExecCacheConfig, ExecStats, ExecutionCache, Executor};
+pub use scope_workload::ViewBuildError;
 pub use simulation::{
     aggregate_impact, AggregateImpact, DayOutcome, HintedComparison, ProductionSim,
 };

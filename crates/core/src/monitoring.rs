@@ -81,6 +81,64 @@ impl CacheCounters {
     }
 }
 
+/// One day's execution-result-cache telemetry, embedded in
+/// [`crate::DailyReport`] beside [`CacheCounters`] — the same per-stage
+/// attribution, on the execution side. Only three phases of a day execute
+/// plans: building the production view, the counterfactual default runs,
+/// and flighting's baseline/treatment pairs. Each carries a
+/// [`scope_runtime::ExecStats`] with two levels — `results` (whole simulated
+/// runs replayed from cache) and `graphs` (memoized stage-graph builds,
+/// consulted on result misses): in the closed loop run seeds are fresh every
+/// day, so `graphs` is where recurring plans pay off, while `results` hits
+/// on exact re-runs (A/A probes, repeated experiment evaluation).
+///
+/// Observability only, like the compile counters: reproducibility
+/// comparisons zero this field (see `tests/determinism.rs`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecCounters {
+    /// Production runs while building the daily view (filled by
+    /// [`crate::ProductionSim::advance_day`]).
+    pub view_build: scope_runtime::ExecStats,
+    /// Counterfactual default-plan runs of hinted production jobs.
+    pub counterfactual: scope_runtime::ExecStats,
+    /// Task 3 — Flighting: baseline/treatment pre-production runs.
+    pub flight: scope_runtime::ExecStats,
+}
+
+impl ExecCounters {
+    /// Counter-wise roll-up across every stage.
+    #[must_use]
+    pub fn total(&self) -> scope_runtime::ExecStats {
+        [self.view_build, self.counterfactual, self.flight]
+            .into_iter()
+            .sum()
+    }
+
+    /// Total executions that consulted the cache.
+    #[must_use]
+    pub fn lookups(&self) -> u64 {
+        self.total().lookups()
+    }
+
+    /// Executions replayed entirely from cache.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.total().hits()
+    }
+
+    /// Whole-run replay rate across stages in `[0, 1]`.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        self.total().hit_rate()
+    }
+
+    /// Fraction of executions that at least reused a memoized stage graph.
+    #[must_use]
+    pub fn partial_hit_rate(&self) -> f64 {
+        self.total().partial_hit_rate()
+    }
+}
+
 /// Monitor configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MonitorConfig {

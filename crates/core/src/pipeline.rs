@@ -4,7 +4,7 @@
 //! occurrences of each template.
 
 use crate::config::PipelineConfig;
-use crate::monitoring::CacheCounters;
+use crate::monitoring::{CacheCounters, ExecCounters};
 use crate::stages;
 use crate::validation_model::{ValidationModel, ValidationSample};
 use flighting::{FlightRequest, FlightingService};
@@ -17,8 +17,10 @@ use scope_opt::{
     CacheStats, CachingOptimizer, CompileError, Compiled, Optimizer, RuleConfig, RuleFlip,
     SpanResult,
 };
+use scope_runtime::{CachingExecutor, Cluster, ExecStats, ExecutionCache};
 use scope_workload::ViewRow;
 use sis::{HintFile, SisStore};
+use std::sync::Arc;
 
 /// One candidate produced by the Recommendation task.
 #[derive(Debug, Clone)]
@@ -77,6 +79,10 @@ pub struct DailyReport {
     /// Compile-result-cache telemetry (all-zero when the cache is off).
     /// Observability only — reproducibility comparisons zero this field.
     pub compile_cache: CacheCounters,
+    /// Execution-result-cache telemetry, attributed the same way
+    /// (all-zero when the cache is off; zeroed in reproducibility
+    /// comparisons).
+    pub exec_cache: ExecCounters,
 }
 
 /// The QO-Advisor system: pipeline state that persists across days. The
@@ -89,6 +95,16 @@ pub struct QoAdvisor {
     /// `(plan, configuration)` pair is compiled at most once across stages
     /// *and* days.
     pub(crate) optimizer: CachingOptimizer,
+    /// The sim-wide execution-result cache, mirroring the compile cache:
+    /// every executor built via [`QoAdvisor::executor_for`] (the production
+    /// cluster's, the pre-production one below) shares it, so a plan
+    /// executed anywhere in the loop leaves its stage graph — and, on exact
+    /// seed repeats, its whole result — behind for everyone. `None` when
+    /// `config.exec_cache` is disabled.
+    pub(crate) exec_cache: Option<Arc<ExecutionCache>>,
+    /// The pre-production executor flighting runs on (the flighting
+    /// service's cluster behind the shared execution cache).
+    pub(crate) preprod_exec: CachingExecutor,
     pub(crate) flighting: FlightingService,
     pub(crate) personalizer: Personalizer,
     pub(crate) validation: Option<ValidationModel>,
@@ -121,8 +137,12 @@ impl QoAdvisor {
         sis: SisStore,
     ) -> Self {
         let pool = stages::build_pool(config.parallelism);
+        let exec_cache = ExecutionCache::shared(config.exec_cache);
+        let preprod_exec = CachingExecutor::new(flighting.cluster().clone(), exec_cache.clone());
         Self {
             optimizer: CachingOptimizer::new(optimizer, config.cache),
+            exec_cache,
+            preprod_exec,
             flighting,
             personalizer: Personalizer::new(config.cb.clone()),
             validation: None,
@@ -194,6 +214,33 @@ impl QoAdvisor {
         self.optimizer.stats()
     }
 
+    /// Build an executor over `cluster` that shares the advisor's
+    /// execution-result cache (a pass-through when `exec_cache` is
+    /// disabled). [`crate::ProductionSim`] uses this for the production
+    /// cluster, so production runs, counterfactuals, and flighting all sit
+    /// behind ONE cache — the execution-side mirror of
+    /// [`QoAdvisor::caching_optimizer`].
+    #[must_use]
+    pub fn executor_for(&self, cluster: Cluster) -> CachingExecutor {
+        CachingExecutor::new(cluster, self.exec_cache.clone())
+    }
+
+    /// The pre-production executor flighting runs on (behind the shared
+    /// execution cache).
+    #[must_use]
+    pub fn preprod_executor(&self) -> &CachingExecutor {
+        &self.preprod_exec
+    }
+
+    /// Lifetime execution-cache counters (all-zero when the cache is off).
+    #[must_use]
+    pub fn exec_stats(&self) -> ExecStats {
+        self.exec_cache
+            .as_ref()
+            .map(|cache| cache.stats())
+            .unwrap_or_default()
+    }
+
     #[must_use]
     pub fn config(&self) -> &PipelineConfig {
         &self.config
@@ -254,13 +301,17 @@ impl QoAdvisor {
         let s1 = self.optimizer.stats();
         let recommended = stages::recommend(self, &spanned, day, &mut report);
         let s2 = self.optimizer.stats();
+        let e2 = self.exec_stats();
         let flighted = stages::flight(self, recommended, &mut report);
         let s3 = self.optimizer.stats();
+        let e3 = self.exec_stats();
         let validated = stages::validate(self, &flighted, &mut report);
         stages::publish(self, validated, day, &mut report);
         report.compile_cache.feature_gen = s1.since(&s0);
         report.compile_cache.recommend = s2.since(&s1);
         report.compile_cache.flight = s3.since(&s2);
+        // Flighting is the only pipeline stage that executes plans.
+        report.exec_cache.flight = e3.since(&e2);
         report
     }
 
@@ -292,7 +343,9 @@ impl QoAdvisor {
                 treatment: default_config.with_flip(RuleFlip { rule: pick, enable }),
             });
         }
-        let (outcomes, _) = self.flighting.flight_batch(&self.optimizer, &requests);
+        let (outcomes, _) =
+            self.flighting
+                .flight_batch(&self.optimizer, &self.preprod_exec, &requests);
         outcomes
             .iter()
             .filter_map(|o| o.measurement())

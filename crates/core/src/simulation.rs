@@ -8,11 +8,11 @@ use crate::monitoring::{MonitorConfig, RegressionMonitor};
 use crate::pipeline::{DailyReport, QoAdvisor};
 use crate::validation_model::{ValidationModel, ValidationSample};
 use flighting::FlightingService;
-use scope_ir::ids::mix64;
+use scope_ir::ids::production_run_seed;
 use scope_ir::{JobId, TemplateId};
 use scope_opt::Optimizer;
-use scope_runtime::{execute, Cluster, ExecutionMetrics};
-use scope_workload::{build_view, Workload, WorkloadConfig};
+use scope_runtime::{CachingExecutor, Cluster, ExecutionMetrics, Executor};
+use scope_workload::{build_view, ViewBuildError, Workload, WorkloadConfig};
 
 /// Default-vs-steered measurement of one hinted production job (both runs
 /// share the run seed, isolating the plan effect under identical cluster
@@ -86,13 +86,17 @@ pub fn aggregate_impact(comparisons: &[HintedComparison]) -> AggregateImpact {
 /// Every compile in the loop — production view building, the counterfactual
 /// default runs, and all five pipeline stages — goes through the advisor's
 /// [`scope_opt::CachingOptimizer`], so one compile-result cache spans the
-/// whole simulation *and* every simulated day. Under a sticky
-/// [`scope_workload::LiteralPolicy`] this is the loop's main throughput
-/// lever: a recurring script's production compile is a lookup on every day
-/// after its first.
+/// whole simulation *and* every simulated day. Every *execution* likewise
+/// goes through an [`Executor`] behind the advisor's shared
+/// [`scope_runtime::ExecutionCache`]: the production cluster's executor
+/// here, the pre-production one inside flighting. Under a sticky
+/// [`scope_workload::LiteralPolicy`] these are the loop's main throughput
+/// levers: a recurring script's production compile is a lookup on every day
+/// after its first, and its production run reuses the memoized stage graph.
 pub struct ProductionSim {
     pub workload: Workload,
-    pub prod_cluster: Cluster,
+    /// The production cluster behind the sim-wide execution cache.
+    prod_exec: CachingExecutor,
     pub advisor: QoAdvisor,
     pub day: u32,
     /// §8 post-deployment monitor; hints that regress in production are
@@ -121,9 +125,10 @@ impl ProductionSim {
         let flighting =
             FlightingService::new(Cluster::preproduction(), pipeline.flight_budget.clone());
         let advisor = QoAdvisor::with_sis_store(optimizer, flighting, pipeline, sis);
+        let prod_exec = advisor.executor_for(Cluster::default());
         Self {
             workload: Workload::new(workload),
-            prod_cluster: Cluster::default(),
+            prod_exec,
             advisor,
             day: 0,
             monitor: None,
@@ -136,6 +141,20 @@ impl ProductionSim {
         self.advisor.optimizer()
     }
 
+    /// The production cluster model.
+    #[must_use]
+    pub fn prod_cluster(&self) -> &Cluster {
+        self.prod_exec.cluster()
+    }
+
+    /// The production executor (the production cluster *behind the sim-wide
+    /// execution cache*). Hand this to [`build_view`] when driving the
+    /// workload manually so production runs share the loop's cache.
+    #[must_use]
+    pub fn prod_executor(&self) -> &CachingExecutor {
+        &self.prod_exec
+    }
+
     /// Enable the §8 optimistic-monitoring loop: production telemetry of
     /// hinted jobs is compared against per-template baselines, and hints
     /// that regress repeatedly are reverted from SIS.
@@ -146,12 +165,15 @@ impl ProductionSim {
     }
 
     /// The paper's validation-model bootstrap: flight random flips for
-    /// `days` days, fit the regression, install it. Returns the samples.
+    /// `days` days, fit the regression, install it. Returns the samples, or
+    /// the first day's [`ViewBuildError`] if a job refuses to compile on
+    /// the default path (impossible for generated workloads; guards
+    /// externally supplied plans).
     pub fn bootstrap_validation_model(
         &mut self,
         days: u32,
         flights_per_day: usize,
-    ) -> Vec<ValidationSample> {
+    ) -> Result<Vec<ValidationSample>, ViewBuildError> {
         let mut samples = Vec::new();
         for _ in 0..days {
             let jobs = self.workload.jobs_for_day(self.day);
@@ -160,9 +182,8 @@ impl ProductionSim {
                 &jobs,
                 self.advisor.caching_optimizer(),
                 &hints,
-                &self.prod_cluster,
-            )
-            .expect("generated workloads compile on the default path");
+                &self.prod_exec,
+            )?;
             samples.extend(self.advisor.gather_validation_samples(
                 &view,
                 self.day,
@@ -173,46 +194,51 @@ impl ProductionSim {
         if let Some(model) = ValidationModel::fit(&samples) {
             self.advisor.set_validation_model(model);
         }
-        samples
+        Ok(samples)
     }
 
     /// Advance one production day: run the workload (with live hints), feed
     /// the view to the pipeline, and measure hinted jobs counterfactually.
     ///
     /// Production compiles go through the advisor's shared compile-result
-    /// cache; the returned report's `compile_cache` attributes them to the
-    /// `view_build` and `counterfactual` stages on top of the pipeline's
-    /// own per-stage counters.
-    pub fn advance_day(&mut self) -> DayOutcome {
+    /// cache and production runs through its shared execution cache; the
+    /// returned report's `compile_cache` / `exec_cache` attribute them to
+    /// the `view_build` and `counterfactual` stages on top of the
+    /// pipeline's own per-stage counters.
+    ///
+    /// Errors with a [`ViewBuildError`] when a job's *default-path* compile
+    /// fails while building the view — the one failure the loop has no safe
+    /// fallback for (generated workloads never trigger it; it guards
+    /// externally supplied plans).
+    pub fn advance_day(&mut self) -> Result<DayOutcome, ViewBuildError> {
         let day = self.day;
         let jobs = self.workload.jobs_for_day(day);
         let hints = self.advisor.sis().snapshot();
         let s0 = self.advisor.cache_stats();
+        let e0 = self.advisor.exec_stats();
         let view = build_view(
             &jobs,
             self.advisor.caching_optimizer(),
             &hints,
-            &self.prod_cluster,
-        )
-        .expect("generated workloads compile on the default path");
+            &self.prod_exec,
+        )?;
         let s1 = self.advisor.cache_stats();
+        let e1 = self.advisor.exec_stats();
 
         // Counterfactual default runs for hinted jobs (same run seed). The
-        // compiles go through the advisor's compile-result cache — same
-        // results as an uncached compile, shared with the pipeline.
+        // compiles go through the advisor's compile-result cache and the
+        // runs through its execution cache — same results as uncached,
+        // shared with the pipeline.
         let default_config = self.advisor.optimizer().default_config();
         let mut comparisons = Vec::new();
         for row in view.iter().filter(|r| r.hint_applied) {
             let Ok(default_compiled) = self.advisor.compile(&row.plan, &default_config) else {
                 continue;
             };
-            let run_seed = mix64(u64::from(day), 0x9806_0d0d);
-            let default_metrics = execute(
-                &default_compiled.physical,
-                &self.prod_cluster,
-                row.job_seed,
-                run_seed,
-            );
+            let run_seed = production_run_seed(day);
+            let default_metrics =
+                self.prod_exec
+                    .execute(&default_compiled.physical, row.job_seed, run_seed);
             comparisons.push(HintedComparison {
                 template: row.template,
                 job_id: row.job_id,
@@ -221,6 +247,7 @@ impl ProductionSim {
             });
         }
         let s2 = self.advisor.cache_stats();
+        let e2 = self.advisor.exec_stats();
 
         // §8 monitoring: revert hints that regress in production.
         let mut reverted = Vec::new();
@@ -235,16 +262,19 @@ impl ProductionSim {
         let mut report = self.advisor.run_day(&view, day);
         report.compile_cache.view_build = s1.since(&s0);
         report.compile_cache.counterfactual = s2.since(&s1);
+        report.exec_cache.view_build = e1.since(&e0);
+        report.exec_cache.counterfactual = e2.since(&e1);
         self.day += 1;
-        DayOutcome {
+        Ok(DayOutcome {
             report,
             comparisons,
             reverted,
-        }
+        })
     }
 
-    /// Run `days` production days, returning all outcomes.
-    pub fn run(&mut self, days: u32) -> Vec<DayOutcome> {
+    /// Run `days` production days, returning all outcomes (or the first
+    /// day's [`ViewBuildError`]).
+    pub fn run(&mut self, days: u32) -> Result<Vec<DayOutcome>, ViewBuildError> {
         (0..days).map(|_| self.advance_day()).collect()
     }
 }
@@ -269,7 +299,7 @@ mod tests {
     #[test]
     fn bootstrap_gathers_samples_and_fits_model() {
         let mut sim = small_sim();
-        let samples = sim.bootstrap_validation_model(3, 8);
+        let samples = sim.bootstrap_validation_model(3, 8).unwrap();
         assert!(!samples.is_empty(), "bootstrap collected flighting data");
         // With enough non-degenerate samples the model installs.
         if samples.len() >= 3 {
@@ -281,8 +311,8 @@ mod tests {
     #[test]
     fn steering_loop_eventually_hints_jobs() {
         let mut sim = small_sim();
-        sim.bootstrap_validation_model(3, 10);
-        let outcomes = sim.run(6);
+        sim.bootstrap_validation_model(3, 10).unwrap();
+        let outcomes = sim.run(6).unwrap();
         let total_hints: usize = outcomes.iter().map(|o| o.report.hints_published).sum();
         let total_comparisons: usize = outcomes.iter().map(|o| o.comparisons.len()).sum();
         // Hints published on some day must eventually produce hinted runs.
@@ -297,7 +327,7 @@ mod tests {
     #[test]
     fn advance_day_attributes_production_compiles_to_their_stage() {
         let mut sim = small_sim();
-        let out = sim.advance_day();
+        let out = sim.advance_day().unwrap();
         let cc = &out.report.compile_cache;
         assert!(
             cc.view_build.lookups() > 0,
@@ -316,6 +346,81 @@ mod tests {
         // hits: sharing one cache across sim and pipeline pays within a
         // single day, before any cross-day reuse.
         assert!(cc.feature_gen.hits > 0, "span default compiles hit: {cc:?}");
+    }
+
+    #[test]
+    fn advance_day_attributes_executions_to_their_stage() {
+        let mut sim = small_sim();
+        let out = sim.advance_day().unwrap();
+        let ec = &out.report.exec_cache;
+        assert!(
+            ec.view_build.lookups() > 0,
+            "every production run must go through the shared execution \
+             cache: {ec:?}"
+        );
+        assert_eq!(
+            ec.view_build.lookups() as usize,
+            out.report.jobs_total,
+            "exactly one production execution per job"
+        );
+        assert_eq!(
+            ec.total(),
+            ec.view_build + ec.counterfactual + ec.flight,
+            "per-stage counters partition the day's executions"
+        );
+        // Flighting executes on the pre-production executor behind the SAME
+        // cache; its stage graphs come from the very plans the view just
+        // executed (identical hardware epoch), so the flight stage reuses
+        // them whenever anything flights.
+        if out.report.flight_success > 0 {
+            assert!(
+                ec.flight.lookups() > 0,
+                "successful flights must execute through the cache: {ec:?}"
+            );
+            assert!(
+                ec.flight.graphs.hits > 0,
+                "flight baselines reuse the view's memoized stage graphs: {ec:?}"
+            );
+        }
+        // Lifetime counters cover the whole day (plus nothing else here).
+        assert_eq!(sim.advisor.exec_stats(), ec.total());
+    }
+
+    #[test]
+    fn exec_cache_disabled_reports_zero_telemetry_and_identical_outputs() {
+        let mut on = small_sim();
+        let mut off = ProductionSim::new(
+            WorkloadConfig {
+                seed: 41,
+                num_templates: 12,
+                adhoc_per_day: 3,
+                max_instances_per_day: 1,
+                ..WorkloadConfig::default()
+            },
+            PipelineConfig {
+                exec_cache: scope_runtime::ExecCacheConfig::disabled(),
+                ..PipelineConfig::default()
+            },
+        );
+        let day_on = on.advance_day().unwrap();
+        let day_off = off.advance_day().unwrap();
+        assert_eq!(
+            day_off.report.exec_cache,
+            crate::monitoring::ExecCounters::default(),
+            "a disabled execution cache must report zero telemetry"
+        );
+        assert_eq!(off.advisor.exec_stats(), Default::default());
+        let mut normalized = day_on.report.clone();
+        normalized.exec_cache = day_off.report.exec_cache;
+        assert_eq!(
+            normalized, day_off.report,
+            "the execution cache must never change what the loop decides"
+        );
+        assert_eq!(day_on.comparisons.len(), day_off.comparisons.len());
+        for (a, b) in day_on.comparisons.iter().zip(day_off.comparisons.iter()) {
+            assert_eq!(a.default, b.default, "counterfactual runs are identical");
+            assert_eq!(a.steered, b.steered);
+        }
     }
 
     #[test]

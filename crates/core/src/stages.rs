@@ -428,7 +428,9 @@ pub(crate) fn flight(
             treatment: default_config.with_flip(r.flip),
         })
         .collect();
-    let (outcomes, tracker) = qa.flighting.flight_batch(&qa.optimizer, &requests);
+    let (outcomes, tracker) = qa
+        .flighting
+        .flight_batch(&qa.optimizer, &qa.preprod_exec, &requests);
     report.flighted = requests.len();
     report.flight_seconds_used = tracker.used_seconds;
     for r in &reps {

@@ -1,20 +1,23 @@
 //! A/A testing: re-run the *same* configuration repeatedly to measure the
 //! cluster's intrinsic variance (paper §5.1, Figures 3 and 5).
 
-use scope_ir::ids::mix64;
+use scope_ir::ids::aa_run_seed;
 use scope_ir::physical::PhysicalPlan;
-use scope_runtime::{execute, Cluster, ExecutionMetrics};
+use scope_runtime::{ExecutionMetrics, Executor};
 
-/// Run a compiled plan `n` times with fresh run seeds.
+/// Run a compiled plan `n` times with fresh run seeds. Generic over
+/// [`Executor`]: the A/A seed schedule is fixed, so re-probing the same plan
+/// through a `scope_runtime::CachingExecutor` replays earlier runs instead
+/// of re-simulating them.
 #[must_use]
-pub fn run_aa(
+pub fn run_aa<E: Executor>(
     plan: &PhysicalPlan,
-    cluster: &Cluster,
+    executor: &E,
     job_seed: u64,
     n: usize,
 ) -> Vec<ExecutionMetrics> {
     (0..n)
-        .map(|i| execute(plan, cluster, job_seed, mix64(0xAA, i as u64)))
+        .map(|i| executor.execute(plan, job_seed, aa_run_seed(i as u64)))
         .collect()
 }
 
@@ -38,6 +41,7 @@ mod tests {
     use super::*;
     use scope_lang::{bind_script, Catalog};
     use scope_opt::Optimizer;
+    use scope_runtime::Cluster;
 
     fn compiled() -> PhysicalPlan {
         let src = r#"
@@ -55,6 +59,16 @@ mod tests {
     fn aa_runs_share_data_volume_but_not_latency() {
         let plan = compiled();
         let runs = run_aa(&plan, &Cluster::default(), 9, 10);
+        // A cached executor replays the identical A/A series.
+        let cached = scope_runtime::CachingExecutor::with_config(
+            Cluster::default(),
+            scope_runtime::ExecCacheConfig::default(),
+        );
+        let warmup = run_aa(&plan, &cached, 9, 10);
+        let replay = run_aa(&plan, &cached, 9, 10);
+        assert_eq!(runs, warmup);
+        assert_eq!(runs, replay);
+        assert_eq!(cached.stats().results.hits, 10, "the re-probe is free");
         assert_eq!(runs.len(), 10);
         let first = &runs[0];
         for r in &runs[1..] {

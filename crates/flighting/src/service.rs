@@ -2,11 +2,11 @@
 
 use crate::budget::{BudgetTracker, FlightBudget};
 use crate::outcome::{FlightMeasurement, FlightOutcome};
-use scope_ir::ids::mix64;
+use scope_ir::ids::{flight_baseline_run_seed, flight_treatment_run_seed, preflight_draw};
 use scope_ir::logical::LogicalPlan;
 use scope_ir::TemplateId;
 use scope_opt::{Compiler, RuleConfig};
-use scope_runtime::{execute, Cluster};
+use scope_runtime::{Cluster, Executor};
 
 /// One flighting request: a job and the two configurations to compare.
 #[derive(Debug, Clone)]
@@ -21,6 +21,11 @@ pub struct FlightRequest {
 /// The pre-production flighting environment.
 #[derive(Debug)]
 pub struct FlightingService {
+    /// Descriptor of the pre-production cluster flights run on. Execution
+    /// itself goes through the [`Executor`] handed to
+    /// [`FlightingService::flight_batch`], so a shared execution cache can
+    /// sit behind it; callers build that executor from this cluster (see
+    /// `qo_advisor::QoAdvisor`).
     cluster: Cluster,
     budget: FlightBudget,
     /// Deterministic per-batch salt so different days see fresh noise.
@@ -37,6 +42,13 @@ impl FlightingService {
         }
     }
 
+    /// The pre-production cluster this service describes (what flight
+    /// executors should be built over).
+    #[must_use]
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
     #[must_use]
     pub fn budget(&self) -> &FlightBudget {
         &self.budget
@@ -45,7 +57,7 @@ impl FlightingService {
     /// Probability-8% deterministic "inputs expired" failures and
     /// probability-7% unsupported job classes, drawn per (job, batch).
     fn preflight_outcome(&self, job_seed: u64) -> Option<FlightOutcome> {
-        let u = (mix64(job_seed, mix64(self.batch_salt, 0xF11)) >> 11) as f64 / (1u64 << 53) as f64;
+        let u = (preflight_draw(job_seed, self.batch_salt) >> 11) as f64 / (1u64 << 53) as f64;
         if u < 0.08 {
             return Some(FlightOutcome::Failure("job inputs expired".into()));
         }
@@ -58,13 +70,25 @@ impl FlightingService {
     /// Flight a batch of requests **in the given order** (callers order by
     /// estimated cost delta so the most promising jobs flight first, §4.3).
     /// Returns one outcome per request plus the final budget accounting.
-    /// Generic over [`Compiler`]: passing a `CachingOptimizer` lets the
-    /// validation recompiles reuse the pipeline's compile-result cache.
-    pub fn flight_batch<C: Compiler>(
+    /// Generic over [`Compiler`] and [`Executor`]: passing a
+    /// `CachingOptimizer` lets the validation recompiles reuse the
+    /// pipeline's compile-result cache, and passing a
+    /// `scope_runtime::CachingExecutor` lets the baseline/treatment runs
+    /// share its execution cache (the baseline plan is usually the very
+    /// default plan the production view already executed, so at least its
+    /// stage graph is a lookup).
+    pub fn flight_batch<C: Compiler, E: Executor>(
         &mut self,
         optimizer: &C,
+        executor: &E,
         requests: &[FlightRequest],
     ) -> (Vec<FlightOutcome>, BudgetTracker) {
+        debug_assert_eq!(
+            executor.cluster().epoch(),
+            self.cluster.epoch(),
+            "flight executor runs on a different cluster than the service \
+             describes — flights would be measured under the wrong noise"
+        );
         self.batch_salt = self.batch_salt.wrapping_add(1);
         let mut tracker = BudgetTracker::default();
         let mut outcomes = Vec::with_capacity(requests.len());
@@ -93,10 +117,10 @@ impl FlightingService {
                     continue;
                 }
             };
-            let run_a = mix64(req.job_seed, mix64(self.batch_salt, 0xA));
-            let run_b = mix64(req.job_seed, mix64(self.batch_salt, 0xB));
-            let base_m = execute(&baseline.physical, &self.cluster, req.job_seed, run_a);
-            let treat_m = execute(&treatment.physical, &self.cluster, req.job_seed, run_b);
+            let run_a = flight_baseline_run_seed(req.job_seed, self.batch_salt);
+            let run_b = flight_treatment_run_seed(req.job_seed, self.batch_salt);
+            let base_m = executor.execute(&baseline.physical, req.job_seed, run_a);
+            let treat_m = executor.execute(&treatment.physical, req.job_seed, run_b);
             let elapsed = base_m.latency_sec + treat_m.latency_sec;
             if base_m.latency_sec > self.budget.max_job_seconds
                 || treat_m.latency_sec > self.budget.max_job_seconds
@@ -158,7 +182,7 @@ mod tests {
     fn successful_flights_return_measurements() {
         let (optimizer, reqs) = requests(12);
         let mut svc = FlightingService::new(Cluster::default(), FlightBudget::default());
-        let (outcomes, tracker) = svc.flight_batch(&optimizer, &reqs);
+        let (outcomes, tracker) = svc.flight_batch(&optimizer, &Cluster::default(), &reqs);
         assert_eq!(outcomes.len(), reqs.len());
         let successes = outcomes.iter().filter(|o| o.is_success()).count();
         assert!(
@@ -185,7 +209,7 @@ mod tests {
                 queue_size: 64,
             },
         );
-        let (outcomes, tracker) = svc.flight_batch(&optimizer, &reqs);
+        let (outcomes, tracker) = svc.flight_batch(&optimizer, &Cluster::default(), &reqs);
         let timeouts = outcomes
             .iter()
             .filter(|o| matches!(o, FlightOutcome::Timeout))
@@ -204,7 +228,7 @@ mod tests {
                 ..FlightBudget::default()
             },
         );
-        let (outcomes, _) = svc.flight_batch(&optimizer, &reqs);
+        let (outcomes, _) = svc.flight_batch(&optimizer, &Cluster::default(), &reqs);
         let past_queue = &outcomes[3.min(outcomes.len())..];
         assert!(past_queue
             .iter()
@@ -215,7 +239,7 @@ mod tests {
     fn some_jobs_fail_or_filter_deterministically() {
         let (optimizer, reqs) = requests(40);
         let mut svc = FlightingService::new(Cluster::default(), FlightBudget::default());
-        let (outcomes, _) = svc.flight_batch(&optimizer, &reqs);
+        let (outcomes, _) = svc.flight_batch(&optimizer, &Cluster::default(), &reqs);
         let failures = outcomes
             .iter()
             .filter(|o| matches!(o, FlightOutcome::Failure(_) | FlightOutcome::Filtered))
@@ -229,8 +253,8 @@ mod tests {
         let (optimizer, reqs) = requests(6);
         let run = || {
             let mut svc = FlightingService::new(Cluster::default(), FlightBudget::default());
-            let (o1, _) = svc.flight_batch(&optimizer, &reqs);
-            let (o2, _) = svc.flight_batch(&optimizer, &reqs);
+            let (o1, _) = svc.flight_batch(&optimizer, &Cluster::default(), &reqs);
+            let (o2, _) = svc.flight_batch(&optimizer, &Cluster::default(), &reqs);
             (o1, o2)
         };
         let (a1, a2) = run();

@@ -1,0 +1,113 @@
+//! Shared cache-telemetry counters.
+//!
+//! One counter vocabulary for every result cache in the workspace: the
+//! compile-result cache (`scope_opt::CompileCache`) and the execution-result
+//! cache (`scope_runtime::ExecutionCache`) both report [`CacheStats`], so
+//! per-stage attribution, deltas, and roll-ups compose the same way on both
+//! sides of the pipeline.
+
+/// Monotonic cache counters (snapshot semantics; see [`CacheStats::since`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub inserts: u64,
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Total lookups.
+    #[must_use]
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit fraction in `[0, 1]` (0 when nothing was looked up).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
+
+    /// Counter deltas relative to an earlier snapshot.
+    #[must_use]
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            inserts: self.inserts.saturating_sub(earlier.inserts),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+        }
+    }
+}
+
+/// Counter-wise sum, so per-stage deltas can be rolled up into totals (see
+/// `qo_advisor`'s per-stage cache attribution in its daily report).
+impl std::ops::Add for CacheStats {
+    type Output = CacheStats;
+
+    fn add(self, rhs: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits + rhs.hits,
+            misses: self.misses + rhs.misses,
+            inserts: self.inserts + rhs.inserts,
+            evictions: self.evictions + rhs.evictions,
+        }
+    }
+}
+
+impl std::iter::Sum for CacheStats {
+    fn sum<I: Iterator<Item = CacheStats>>(iter: I) -> CacheStats {
+        iter.fold(CacheStats::default(), std::ops::Add::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_since_and_hit_rate() {
+        let a = CacheStats {
+            hits: 3,
+            misses: 1,
+            inserts: 1,
+            evictions: 0,
+        };
+        let b = CacheStats {
+            hits: 9,
+            misses: 3,
+            inserts: 2,
+            evictions: 1,
+        };
+        let d = b.since(&a);
+        assert_eq!(d.hits, 6);
+        assert_eq!(d.lookups(), 8);
+        assert!((d.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn stats_add_and_sum_roll_up() {
+        let a = CacheStats {
+            hits: 1,
+            misses: 2,
+            inserts: 2,
+            evictions: 0,
+        };
+        let b = CacheStats {
+            hits: 4,
+            misses: 1,
+            inserts: 1,
+            evictions: 1,
+        };
+        let s = a + b;
+        assert_eq!(s.hits, 5);
+        assert_eq!(s.lookups(), 8);
+        let total: CacheStats = [a, b].into_iter().sum();
+        assert_eq!(total, s);
+    }
+}

@@ -1,4 +1,14 @@
-//! Strongly-typed identifiers shared across the workspace.
+//! Strongly-typed identifiers and the seed-derivation vocabulary shared
+//! across the workspace.
+//!
+//! Every stochastic draw in the simulation is derived from stable hashes via
+//! [`mix64`], so runs are reproducible bit-for-bit. The *named* seed helpers
+//! below ([`production_run_seed`], [`aa_run_seed`], the flighting seeds, and
+//! the executor's internal stream seeds) centralize the per-purpose salts
+//! that used to be magic constants scattered over the call sites — the
+//! execution-result cache keys on the very same `(job_seed, run_seed)`
+//! values these helpers produce, so cache and call sites must share one
+//! vocabulary.
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -71,6 +81,101 @@ pub fn mix64(a: u64, b: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Deterministically fold a serialized [`serde::Value`] tree into a 64-bit
+/// hash (leaf kind tags keep e.g. `0u64` and `false` distinct). This is the
+/// basis of every exact "fingerprint" in the workspace: logical plans (the
+/// compile-cache key), physical plans and cluster configurations (the
+/// execution-cache key).
+#[must_use]
+pub fn hash_value(value: &serde::Value, h: u64) -> u64 {
+    match value {
+        serde::Value::Null => mix64(h, 0xA0),
+        serde::Value::Bool(b) => mix64(h, 0xB0 | u64::from(*b)),
+        serde::Value::U64(v) => mix64(mix64(h, 0xC0), *v),
+        serde::Value::I64(v) => mix64(mix64(h, 0xC1), *v as u64),
+        serde::Value::F64(v) => mix64(mix64(h, 0xC2), v.to_bits()),
+        serde::Value::Str(s) => mix64(mix64(h, 0xD0), stable_hash64(s.as_bytes())),
+        serde::Value::Array(items) => {
+            let mut h = mix64(mix64(h, 0xE0), items.len() as u64);
+            for item in items {
+                h = hash_value(item, h);
+            }
+            h
+        }
+        serde::Value::Object(fields) => {
+            let mut h = mix64(mix64(h, 0xF0), fields.len() as u64);
+            for (key, value) in fields {
+                h = hash_value(value, mix64(h, stable_hash64(key.as_bytes())));
+            }
+            h
+        }
+    }
+}
+
+/// Salt of the shared daily production run seed (one cluster-noise draw per
+/// simulated day, shared by the production view build and the counterfactual
+/// default runs so both arms see identical conditions).
+const PRODUCTION_RUN_SALT: u64 = 0x9806_0d0d;
+/// Salt of the A/A re-run stream (`flighting::run_aa`).
+const AA_RUN_SALT: u64 = 0xAA;
+/// Per-arm salts of a flighting batch's baseline/treatment runs.
+const FLIGHT_BASELINE_SALT: u64 = 0xA;
+const FLIGHT_TREATMENT_SALT: u64 = 0xB;
+/// Salt of the deterministic preflight failure/filter draw.
+const PREFLIGHT_SALT: u64 = 0xF11;
+/// Salt folding `(job_seed, run_seed)` into the executor's base RNG seed.
+const EXEC_BASE_SALT: u64 = 0x5eed_cafe;
+/// Tag OR-ed onto the stage ordinal for per-stage noise streams.
+const EXEC_STAGE_SALT: u64 = 0x57A6_0000;
+
+/// The run seed of production day `day`: every production execution of that
+/// day (view build and counterfactual default runs alike) shares it, so
+/// default-vs-steered deltas isolate the plan effect.
+#[must_use]
+pub fn production_run_seed(day: u32) -> u64 {
+    mix64(u64::from(day), PRODUCTION_RUN_SALT)
+}
+
+/// The run seed of the `run_index`-th A/A re-execution of a job.
+#[must_use]
+pub fn aa_run_seed(run_index: u64) -> u64 {
+    mix64(AA_RUN_SALT, run_index)
+}
+
+/// Run seed of a flighting batch's *baseline* arm.
+#[must_use]
+pub fn flight_baseline_run_seed(job_seed: u64, batch_salt: u64) -> u64 {
+    mix64(job_seed, mix64(batch_salt, FLIGHT_BASELINE_SALT))
+}
+
+/// Run seed of a flighting batch's *treatment* arm.
+#[must_use]
+pub fn flight_treatment_run_seed(job_seed: u64, batch_salt: u64) -> u64 {
+    mix64(job_seed, mix64(batch_salt, FLIGHT_TREATMENT_SALT))
+}
+
+/// Deterministic per-(job, batch) draw behind flighting's preflight
+/// failure/filter taxonomy.
+#[must_use]
+pub fn preflight_draw(job_seed: u64, batch_salt: u64) -> u64 {
+    mix64(job_seed, mix64(batch_salt, PREFLIGHT_SALT))
+}
+
+/// The executor's whole-run base RNG seed for `(job_seed, run_seed)`. Two
+/// executions with equal base seeds (and equal plans/clusters) are
+/// bit-identical — which is exactly what makes execution results cacheable.
+#[must_use]
+pub fn exec_base_seed(job_seed: u64, run_seed: u64) -> u64 {
+    mix64(job_seed, mix64(run_seed, EXEC_BASE_SALT))
+}
+
+/// The per-stage noise-stream seed: aligned stages of two plans executed
+/// under one run seed share noise (common random numbers).
+#[must_use]
+pub fn exec_stage_seed(base_seed: u64, stage_ordinal: u64) -> u64 {
+    mix64(base_seed, stage_ordinal | EXEC_STAGE_SALT)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -92,6 +197,39 @@ mod tests {
         assert_ne!(mix64(1, 2), mix64(1, 3));
         assert_ne!(mix64(1, 2), mix64(2, 1));
         assert_eq!(mix64(7, 9), mix64(7, 9));
+    }
+
+    #[test]
+    fn seed_helpers_match_their_legacy_spellings() {
+        // The helpers must reproduce the exact values of the magic-constant
+        // call sites they replaced, or cached runs would diverge from the
+        // pre-refactor outputs.
+        assert_eq!(production_run_seed(7), mix64(7, 0x9806_0d0d));
+        assert_eq!(aa_run_seed(3), mix64(0xAA, 3));
+        assert_eq!(flight_baseline_run_seed(11, 2), mix64(11, mix64(2, 0xA)));
+        assert_eq!(flight_treatment_run_seed(11, 2), mix64(11, mix64(2, 0xB)));
+        assert_eq!(preflight_draw(11, 2), mix64(11, mix64(2, 0xF11)));
+        assert_eq!(exec_base_seed(5, 9), mix64(5, mix64(9, 0x5eed_cafe)));
+        assert_eq!(exec_stage_seed(42, 3), mix64(42, 3 | 0x57A6_0000));
+        // Arms of one flight are distinct streams.
+        assert_ne!(
+            flight_baseline_run_seed(11, 2),
+            flight_treatment_run_seed(11, 2)
+        );
+    }
+
+    #[test]
+    fn hash_value_distinguishes_kinds_and_contents() {
+        use serde::Value;
+        let h = |v: &Value| hash_value(v, 0);
+        assert_ne!(h(&Value::U64(0)), h(&Value::Bool(false)));
+        assert_ne!(h(&Value::U64(1)), h(&Value::I64(1)));
+        assert_eq!(h(&Value::Str("a".into())), h(&Value::Str("a".into())));
+        assert_ne!(h(&Value::Str("a".into())), h(&Value::Str("b".into())));
+        assert_ne!(
+            h(&Value::Array(vec![Value::U64(1), Value::U64(2)])),
+            h(&Value::Array(vec![Value::U64(2), Value::U64(1)]))
+        );
     }
 
     #[test]

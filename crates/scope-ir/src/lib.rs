@@ -17,6 +17,7 @@
 //! workspace (optimizer, runtime simulator, workload generator, pipeline)
 //! builds on these types.
 
+pub mod counters;
 pub mod display;
 pub mod expr;
 pub mod ids;
@@ -25,6 +26,7 @@ pub mod physical;
 pub mod schema;
 pub mod stats;
 
+pub use counters::CacheStats;
 pub use expr::{AggExpr, AggFunc, BinOp, ScalarExpr, Value};
 pub use ids::{JobId, NodeId, TemplateId};
 pub use logical::{JoinKind, LogicalNode, LogicalOp, LogicalPlan, SortKey, TableRef};

@@ -8,7 +8,7 @@
 //! is preserved by construction and checked by [`LogicalPlan::validate`].
 
 use crate::expr::{AggExpr, ScalarExpr};
-use crate::ids::{mix64, stable_hash64, NodeId, TemplateId};
+use crate::ids::{hash_value, stable_hash64, NodeId, TemplateId};
 use crate::schema::{Column, DataType, Schema};
 use crate::stats::DualStats;
 use serde::{Deserialize, Serialize};
@@ -287,33 +287,6 @@ impl Deserialize for LogicalPlan {
             outputs: Deserialize::from_value(value.get_field("outputs")?)?,
             fp_memo: AtomicU64::new(0),
         })
-    }
-}
-
-/// Deterministically fold a serialized [`serde::Value`] tree into a 64-bit
-/// hash (leaf kind tags keep e.g. `0u64` and `false` distinct).
-fn hash_value(value: &serde::Value, h: u64) -> u64 {
-    match value {
-        serde::Value::Null => mix64(h, 0xA0),
-        serde::Value::Bool(b) => mix64(h, 0xB0 | u64::from(*b)),
-        serde::Value::U64(v) => mix64(mix64(h, 0xC0), *v),
-        serde::Value::I64(v) => mix64(mix64(h, 0xC1), *v as u64),
-        serde::Value::F64(v) => mix64(mix64(h, 0xC2), v.to_bits()),
-        serde::Value::Str(s) => mix64(mix64(h, 0xD0), stable_hash64(s.as_bytes())),
-        serde::Value::Array(items) => {
-            let mut h = mix64(mix64(h, 0xE0), items.len() as u64);
-            for item in items {
-                h = hash_value(item, h);
-            }
-            h
-        }
-        serde::Value::Object(fields) => {
-            let mut h = mix64(mix64(h, 0xF0), fields.len() as u64);
-            for (key, value) in fields {
-                h = hash_value(value, mix64(h, stable_hash64(key.as_bytes())));
-            }
-            h
-        }
     }
 }
 

@@ -71,64 +71,10 @@ impl CacheConfig {
     }
 }
 
-/// Monotonic cache counters (snapshot semantics; see [`CacheStats::since`]).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct CacheStats {
-    pub hits: u64,
-    pub misses: u64,
-    pub inserts: u64,
-    pub evictions: u64,
-}
-
-impl CacheStats {
-    /// Total lookups.
-    #[must_use]
-    pub fn lookups(&self) -> u64 {
-        self.hits + self.misses
-    }
-
-    /// Hit fraction in `[0, 1]` (0 when nothing was looked up).
-    #[must_use]
-    pub fn hit_rate(&self) -> f64 {
-        if self.lookups() == 0 {
-            0.0
-        } else {
-            self.hits as f64 / self.lookups() as f64
-        }
-    }
-
-    /// Counter deltas relative to an earlier snapshot.
-    #[must_use]
-    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
-        CacheStats {
-            hits: self.hits.saturating_sub(earlier.hits),
-            misses: self.misses.saturating_sub(earlier.misses),
-            inserts: self.inserts.saturating_sub(earlier.inserts),
-            evictions: self.evictions.saturating_sub(earlier.evictions),
-        }
-    }
-}
-
-/// Counter-wise sum, so per-stage deltas can be rolled up into totals (see
-/// `qo_advisor`'s per-stage cache attribution in its daily report).
-impl std::ops::Add for CacheStats {
-    type Output = CacheStats;
-
-    fn add(self, rhs: CacheStats) -> CacheStats {
-        CacheStats {
-            hits: self.hits + rhs.hits,
-            misses: self.misses + rhs.misses,
-            inserts: self.inserts + rhs.inserts,
-            evictions: self.evictions + rhs.evictions,
-        }
-    }
-}
-
-impl std::iter::Sum for CacheStats {
-    fn sum<I: Iterator<Item = CacheStats>>(iter: I) -> CacheStats {
-        iter.fold(CacheStats::default(), std::ops::Add::add)
-    }
-}
+/// The shared counter vocabulary (also used by the execution-result cache in
+/// `scope-runtime`); re-exported here so compile-cache callers keep writing
+/// `scope_opt::CacheStats`.
+pub use scope_ir::counters::CacheStats;
 
 /// Cache key: exact plan identity (hash of the serialized plan — literals,
 /// estimated *and* actual statistics included) plus the full 256-bit rule
@@ -206,6 +152,13 @@ impl CompileCache {
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let result = optimizer.compile(plan, config);
+        // Pre-warm the physical plan's fingerprint memo once per unique
+        // compile: every clone handed out below carries it, so downstream
+        // execution-cache lookups (`scope_runtime::CachingExecutor`) cost
+        // an atomic load instead of a serialize-and-hash per execution.
+        if let Ok(compiled) = &result {
+            let _ = compiled.physical.fingerprint();
+        }
         let mut guard = shard.write();
         // A concurrent miss may have inserted while we compiled; both
         // computed the identical value (compilation is deterministic), so
@@ -517,26 +470,5 @@ mod tests {
         let json = serde_json::to_string(&c).unwrap();
         let back: CacheConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(c, back);
-    }
-
-    #[test]
-    fn stats_since_and_hit_rate() {
-        let a = CacheStats {
-            hits: 3,
-            misses: 1,
-            inserts: 1,
-            evictions: 0,
-        };
-        let b = CacheStats {
-            hits: 9,
-            misses: 3,
-            inserts: 2,
-            evictions: 1,
-        };
-        let d = b.since(&a);
-        assert_eq!(d.hits, 6);
-        assert_eq!(d.lookups(), 8);
-        assert!((d.hit_rate() - 0.75).abs() < 1e-12);
-        assert_eq!(CacheStats::default().hit_rate(), 0.0);
     }
 }

@@ -1,0 +1,656 @@
+//! Sharded, concurrent execution-result cache — the execution-side mirror of
+//! `scope_opt`'s compile-result cache.
+//!
+//! The steering loop re-executes the same physical plans over and over: the
+//! production view runs a recurring script's plan every day, counterfactual
+//! default runs replay the default plan beside every hinted run, flighting
+//! executes the baseline plan the view already ran, and A/A probes re-run one
+//! plan with a fixed seed schedule. Execution is deterministic — the metrics
+//! depend only on the plan bytes, the cluster model, and `(job_seed,
+//! run_seed)` — so those tuples are perfect cache keys: a cached run is
+//! bit-identical to a fresh one.
+//!
+//! [`ExecutionCache`] memoizes at two levels, both N-way lock-sharded:
+//!
+//! * **stage graphs** keyed by `(plan fingerprint, hardware epoch)` — every
+//!   uncached `execute` call rebuilds the stage graph even for a plan it has
+//!   executed before, and the graph depends only on the plan and the
+//!   [`ClusterConfig`], so graphs are shared even across clusters that
+//!   differ only in noise (production vs pre-production);
+//! * **execution metrics** keyed by `(plan fingerprint, job_seed, run_seed,
+//!   cluster epoch)` — the full result of one simulated run, replayed on
+//!   repeat executions (the cluster epoch folds in the variance model, so
+//!   environments never cross-contaminate).
+//!
+//! [`CachingExecutor`] packages a [`Cluster`] with an optional shared cache
+//! behind the [`Executor`] trait, so view building, counterfactual runs,
+//! flighting, and probes all share one cache without caring whether it is
+//! enabled — exactly how `CachingOptimizer` sits behind the `Compiler`
+//! trait on the compile side.
+
+use crate::cluster::{Cluster, ClusterConfig};
+use crate::executor::{execute, execute_stages, Executor};
+use crate::metrics::ExecutionMetrics;
+use crate::stage::StageGraph;
+use parking_lot::RwLock;
+use rustc_hash::FxHashMap;
+use scope_ir::counters::CacheStats;
+use scope_ir::ids::mix64;
+use scope_ir::physical::PhysicalPlan;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Knobs of the execution-result cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecCacheConfig {
+    /// Master switch. Disabled, every execution goes straight to the
+    /// simulator (the pre-cache behavior, bit-for-bit).
+    pub enabled: bool,
+    /// Maximum cached execution results across all shards (`0` = unbounded).
+    pub capacity: usize,
+    /// Maximum memoized stage graphs across all shards (`0` = unbounded).
+    /// Bounded separately because one graph serves many `(seeds, epoch)`
+    /// results and graphs are the heavier objects.
+    pub graph_capacity: usize,
+    /// Lock shards (rounded up to a power of two, clamped to 1..=1024).
+    pub shards: usize,
+}
+
+impl Default for ExecCacheConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            // ExecutionMetrics is a flat 80-byte struct, so even the full
+            // capacity is a few MB; sized for ~weeks of simulated days.
+            capacity: 1 << 15,
+            // One graph per distinct physical plan actually executed.
+            graph_capacity: 1 << 13,
+            shards: 16,
+        }
+    }
+}
+
+impl ExecCacheConfig {
+    /// The cache turned off (executions go straight to the simulator).
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self {
+            enabled: false,
+            ..Self::default()
+        }
+    }
+
+    /// Parse the shared `QO_EXEC_CACHE` / `--exec-cache` switch spellings
+    /// (`on`/`1`/`true`, `off`/`0`/`false`) into a config, so every CLI
+    /// entry point accepts the identical vocabulary.
+    pub fn parse_switch(value: &str) -> Result<Self, String> {
+        match value {
+            "on" | "1" | "true" => Ok(Self::default()),
+            "off" | "0" | "false" => Ok(Self::disabled()),
+            other => Err(format!("expected on|off, got `{other}`")),
+        }
+    }
+}
+
+/// Counters of the two memo levels, snapshotted together. `results` counts
+/// whole-run replays (each `execute` call is exactly one lookup); `graphs`
+/// counts stage-graph memo lookups (consulted only on result misses, so
+/// `graphs.lookups() == results.misses` for a purely cache-driven workload).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Full execution-result replays.
+    pub results: CacheStats,
+    /// Stage-graph memoization.
+    pub graphs: CacheStats,
+}
+
+impl ExecStats {
+    /// Counter deltas relative to an earlier snapshot.
+    #[must_use]
+    pub fn since(&self, earlier: &ExecStats) -> ExecStats {
+        ExecStats {
+            results: self.results.since(&earlier.results),
+            graphs: self.graphs.since(&earlier.graphs),
+        }
+    }
+
+    /// Executions that consulted the cache (one per `execute` call).
+    #[must_use]
+    pub fn lookups(&self) -> u64 {
+        self.results.lookups()
+    }
+
+    /// Executions answered without running the simulator at all.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.results.hits
+    }
+
+    /// Fraction of executions that skipped *some* work: a full-result replay
+    /// or at least a memoized stage graph.
+    #[must_use]
+    pub fn partial_hit_rate(&self) -> f64 {
+        let lookups = self.results.lookups();
+        if lookups == 0 {
+            0.0
+        } else {
+            (self.results.hits + self.graphs.hits) as f64 / lookups as f64
+        }
+    }
+
+    /// Fraction of executions answered entirely from cache.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        self.results.hit_rate()
+    }
+}
+
+impl std::ops::Add for ExecStats {
+    type Output = ExecStats;
+
+    fn add(self, rhs: ExecStats) -> ExecStats {
+        ExecStats {
+            results: self.results + rhs.results,
+            graphs: self.graphs + rhs.graphs,
+        }
+    }
+}
+
+impl std::iter::Sum for ExecStats {
+    fn sum<I: Iterator<Item = ExecStats>>(iter: I) -> ExecStats {
+        iter.fold(ExecStats::default(), std::ops::Add::add)
+    }
+}
+
+/// Result key: exact plan identity + both seeds + the full-environment
+/// epoch.
+type ResultKey = (u64, u64, u64, u64);
+/// Graph key: exact plan identity + the hardware-only epoch.
+type GraphKey = (u64, u64);
+
+#[derive(Debug, Default)]
+struct ResultShard {
+    map: FxHashMap<ResultKey, ExecutionMetrics>,
+    /// Insertion order, for FIFO eviction once the shard is full.
+    order: VecDeque<ResultKey>,
+}
+
+#[derive(Debug, Default)]
+struct GraphShard {
+    map: FxHashMap<GraphKey, Arc<StageGraph>>,
+    order: VecDeque<GraphKey>,
+}
+
+/// The sharded execution-result cache. `&ExecutionCache` is `Sync`; one
+/// instance is shared (via `Arc`) by every [`CachingExecutor`] of a
+/// simulation — production and pre-production alike — the way one
+/// `CompileCache` spans every compile of the pipeline.
+#[derive(Debug)]
+pub struct ExecutionCache {
+    results: Box<[RwLock<ResultShard>]>,
+    graphs: Box<[RwLock<GraphShard>]>,
+    /// Per-shard entry caps derived from [`ExecCacheConfig`].
+    result_capacity: usize,
+    graph_capacity: usize,
+    r_hits: AtomicU64,
+    r_misses: AtomicU64,
+    r_inserts: AtomicU64,
+    r_evictions: AtomicU64,
+    g_hits: AtomicU64,
+    g_misses: AtomicU64,
+    g_inserts: AtomicU64,
+    g_evictions: AtomicU64,
+}
+
+fn per_shard(total: usize, shards: usize) -> usize {
+    if total == 0 {
+        usize::MAX
+    } else {
+        total.div_ceil(shards).max(1)
+    }
+}
+
+impl ExecutionCache {
+    #[must_use]
+    pub fn new(config: ExecCacheConfig) -> Self {
+        let shards = config.shards.clamp(1, 1024).next_power_of_two();
+        Self {
+            results: (0..shards)
+                .map(|_| RwLock::new(ResultShard::default()))
+                .collect(),
+            graphs: (0..shards)
+                .map(|_| RwLock::new(GraphShard::default()))
+                .collect(),
+            result_capacity: per_shard(config.capacity, shards),
+            graph_capacity: per_shard(config.graph_capacity, shards),
+            r_hits: AtomicU64::new(0),
+            r_misses: AtomicU64::new(0),
+            r_inserts: AtomicU64::new(0),
+            r_evictions: AtomicU64::new(0),
+            g_hits: AtomicU64::new(0),
+            g_misses: AtomicU64::new(0),
+            g_inserts: AtomicU64::new(0),
+            g_evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Build a shareable cache per `config`, or `None` when disabled — the
+    /// shape [`CachingExecutor::new`] and the pipeline plumbing consume.
+    #[must_use]
+    pub fn shared(config: ExecCacheConfig) -> Option<Arc<Self>> {
+        config.enabled.then(|| Arc::new(Self::new(config)))
+    }
+
+    fn result_shard(&self, key: &ResultKey) -> &RwLock<ResultShard> {
+        let h = mix64(mix64(key.0, key.1), mix64(key.2, key.3));
+        &self.results[(h as usize) & (self.results.len() - 1)]
+    }
+
+    fn graph_shard(&self, key: &GraphKey) -> &RwLock<GraphShard> {
+        let h = mix64(key.0, key.1);
+        &self.graphs[(h as usize) & (self.graphs.len() - 1)]
+    }
+
+    /// The memoized stage graph of `plan` on hardware `config` (epoch
+    /// `config_epoch`), building and caching it on first sight.
+    pub fn stage_graph(
+        &self,
+        plan: &PhysicalPlan,
+        config_epoch: u64,
+        config: &ClusterConfig,
+    ) -> Arc<StageGraph> {
+        let key = (plan.fingerprint(), config_epoch);
+        let shard = self.graph_shard(&key);
+        if let Some(graph) = shard.read().map.get(&key) {
+            self.g_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(graph);
+        }
+        self.g_misses.fetch_add(1, Ordering::Relaxed);
+        // Build outside the lock; concurrent misses on one key build the
+        // identical graph (construction is deterministic), first writer
+        // wins.
+        let graph = Arc::new(StageGraph::build(plan, config));
+        let mut guard = shard.write();
+        if let std::collections::hash_map::Entry::Vacant(slot) = guard.map.entry(key) {
+            slot.insert(Arc::clone(&graph));
+            guard.order.push_back(key);
+            self.g_inserts.fetch_add(1, Ordering::Relaxed);
+            while guard.map.len() > self.graph_capacity {
+                let Some(oldest) = guard.order.pop_front() else {
+                    break;
+                };
+                guard.map.remove(&oldest);
+                self.g_evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        graph
+    }
+
+    /// The cached execution entry point: replay the stored metrics for
+    /// `(plan, seeds, cluster)` or execute (on a memoized stage graph),
+    /// store, and return them. Execution runs *outside* any lock.
+    pub fn execute(
+        &self,
+        plan: &PhysicalPlan,
+        cluster: &Cluster,
+        config_epoch: u64,
+        cluster_epoch: u64,
+        job_seed: u64,
+        run_seed: u64,
+    ) -> ExecutionMetrics {
+        let key = (plan.fingerprint(), job_seed, run_seed, cluster_epoch);
+        let shard = self.result_shard(&key);
+        if let Some(cached) = shard.read().map.get(&key) {
+            self.r_hits.fetch_add(1, Ordering::Relaxed);
+            return *cached;
+        }
+        self.r_misses.fetch_add(1, Ordering::Relaxed);
+        let graph = self.stage_graph(plan, config_epoch, &cluster.config);
+        let metrics = execute_stages(&graph, cluster, job_seed, run_seed);
+        let mut guard = shard.write();
+        if let std::collections::hash_map::Entry::Vacant(slot) = guard.map.entry(key) {
+            slot.insert(metrics);
+            guard.order.push_back(key);
+            self.r_inserts.fetch_add(1, Ordering::Relaxed);
+            while guard.map.len() > self.result_capacity {
+                let Some(oldest) = guard.order.pop_front() else {
+                    break;
+                };
+                guard.map.remove(&oldest);
+                self.r_evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        metrics
+    }
+
+    /// Snapshot of the monotonic counters.
+    #[must_use]
+    pub fn stats(&self) -> ExecStats {
+        ExecStats {
+            results: CacheStats {
+                hits: self.r_hits.load(Ordering::Relaxed),
+                misses: self.r_misses.load(Ordering::Relaxed),
+                inserts: self.r_inserts.load(Ordering::Relaxed),
+                evictions: self.r_evictions.load(Ordering::Relaxed),
+            },
+            graphs: CacheStats {
+                hits: self.g_hits.load(Ordering::Relaxed),
+                misses: self.g_misses.load(Ordering::Relaxed),
+                inserts: self.g_inserts.load(Ordering::Relaxed),
+                evictions: self.g_evictions.load(Ordering::Relaxed),
+            },
+        }
+    }
+
+    /// Live cached results across all shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.results.iter().map(|s| s.read().map.len()).sum()
+    }
+
+    /// Live memoized stage graphs across all shards.
+    #[must_use]
+    pub fn graph_len(&self) -> usize {
+        self.graphs.iter().map(|s| s.read().map.len()).sum()
+    }
+
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0 && self.graph_len() == 0
+    }
+
+    /// Drop every entry (counters keep running).
+    pub fn clear(&self) {
+        for shard in self.results.iter() {
+            let mut guard = shard.write();
+            guard.map.clear();
+            guard.order.clear();
+        }
+        for shard in self.graphs.iter() {
+            let mut guard = shard.write();
+            guard.map.clear();
+            guard.order.clear();
+        }
+    }
+}
+
+/// A [`Cluster`] plus an optional shared [`ExecutionCache`], behind the same
+/// [`Executor`] interface as the bare cluster. This is what the simulation
+/// holds — one per environment (production, pre-production), all pointing at
+/// one cache; the cluster epochs baked in at construction keep their entries
+/// apart while letting them share stage graphs.
+#[derive(Debug, Clone)]
+pub struct CachingExecutor {
+    cluster: Cluster,
+    /// Hardware-only epoch (stage-graph sharing).
+    config_epoch: u64,
+    /// Full-environment epoch (result isolation).
+    cluster_epoch: u64,
+    cache: Option<Arc<ExecutionCache>>,
+}
+
+impl CachingExecutor {
+    /// Wrap `cluster` over an optional shared cache (`None` = pass-through).
+    #[must_use]
+    pub fn new(cluster: Cluster, cache: Option<Arc<ExecutionCache>>) -> Self {
+        Self {
+            config_epoch: cluster.config_epoch(),
+            cluster_epoch: cluster.epoch(),
+            cluster,
+            cache,
+        }
+    }
+
+    /// An executor with its own private cache per `config` (`enabled:
+    /// false` builds no cache at all). Convenience for standalone use;
+    /// simulations share one cache via [`ExecutionCache::shared`] +
+    /// [`CachingExecutor::new`] instead.
+    #[must_use]
+    pub fn with_config(cluster: Cluster, config: ExecCacheConfig) -> Self {
+        Self::new(cluster, ExecutionCache::shared(config))
+    }
+
+    /// A pass-through wrapper (every execution goes straight to the
+    /// simulator).
+    #[must_use]
+    pub fn uncached(cluster: Cluster) -> Self {
+        Self::new(cluster, None)
+    }
+
+    #[must_use]
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    #[must_use]
+    pub fn cache(&self) -> Option<&Arc<ExecutionCache>> {
+        self.cache.as_ref()
+    }
+
+    /// Counter snapshot of the underlying (possibly shared) cache; all-zero
+    /// when caching is disabled.
+    #[must_use]
+    pub fn stats(&self) -> ExecStats {
+        self.cache
+            .as_ref()
+            .map(|cache| cache.stats())
+            .unwrap_or_default()
+    }
+}
+
+impl Executor for CachingExecutor {
+    fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    fn execute(&self, plan: &PhysicalPlan, job_seed: u64, run_seed: u64) -> ExecutionMetrics {
+        match &self.cache {
+            Some(cache) => cache.execute(
+                plan,
+                &self.cluster,
+                self.config_epoch,
+                self.cluster_epoch,
+                job_seed,
+                run_seed,
+            ),
+            None => execute(plan, &self.cluster, job_seed, run_seed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scope_ir::stats::DualStats;
+    use scope_lang::{bind_script, Catalog, TableInfo};
+
+    const SCRIPT: &str = r#"
+        sales = EXTRACT user:int, item:int, spend:float FROM "store/sales";
+        users = EXTRACT user:int, region:string FROM "store/users";
+        j     = SELECT * FROM sales AS s JOIN users AS u ON s.user == u.user;
+        agg   = SELECT region, SUM(spend) AS total FROM j GROUP BY region;
+        OUTPUT agg TO "out/by_region";
+    "#;
+
+    fn physical(rows: f64) -> PhysicalPlan {
+        let mut catalog = Catalog::default();
+        catalog.register(
+            "store/sales",
+            TableInfo {
+                rows: DualStats::exact(rows),
+            },
+        );
+        let plan = bind_script(SCRIPT, &catalog).unwrap();
+        let opt = scope_opt::Optimizer::default();
+        opt.compile(&plan, &opt.default_config()).unwrap().physical
+    }
+
+    #[test]
+    fn cached_execution_replays_bit_identically() {
+        let plan = physical(1e7);
+        let cluster = Cluster::default();
+        let cached = CachingExecutor::with_config(cluster.clone(), ExecCacheConfig::default());
+        let direct = execute(&plan, &cluster, 3, 9);
+        let first = cached.execute(&plan, 3, 9);
+        let second = cached.execute(&plan, 3, 9);
+        assert_eq!(first, direct, "the cache is transparent");
+        assert_eq!(second, direct, "the replay is bit-identical");
+        let stats = cached.stats();
+        assert_eq!((stats.results.hits, stats.results.misses), (1, 1));
+        assert_eq!(
+            (stats.graphs.hits, stats.graphs.misses),
+            (0, 1),
+            "one graph built, consulted only on the result miss"
+        );
+    }
+
+    #[test]
+    fn graph_memo_hits_across_run_seeds() {
+        let plan = physical(1e7);
+        let cached = CachingExecutor::with_config(Cluster::default(), ExecCacheConfig::default());
+        for run in 0..5 {
+            let a = cached.execute(&plan, 7, run);
+            let b = execute(&plan, cached.cluster(), 7, run);
+            assert_eq!(a, b, "fresh run seeds stay transparent");
+        }
+        let stats = cached.stats();
+        assert_eq!(stats.results.misses, 5, "every run seed is a new result");
+        assert_eq!(
+            (stats.graphs.hits, stats.graphs.misses),
+            (4, 1),
+            "the stage graph is built once and replayed four times"
+        );
+        let cache = cached.cache().unwrap();
+        assert_eq!(cache.graph_len(), 1);
+        assert_eq!(cache.len(), 5);
+    }
+
+    #[test]
+    fn environments_share_graphs_but_not_results() {
+        let plan = physical(1e7);
+        let cache = ExecutionCache::shared(ExecCacheConfig::default()).unwrap();
+        let prod = CachingExecutor::new(Cluster::default(), Some(Arc::clone(&cache)));
+        let preprod = CachingExecutor::new(Cluster::preproduction(), Some(Arc::clone(&cache)));
+        let a = prod.execute(&plan, 1, 1);
+        let b = preprod.execute(&plan, 1, 1);
+        assert_ne!(
+            a.latency_sec, b.latency_sec,
+            "pre-production is noisier; same key on a shared cache would \
+             wrongly replay the production result"
+        );
+        assert_eq!(b, execute(&plan, preprod.cluster(), 1, 1));
+        let stats = cache.stats();
+        assert_eq!(stats.results.hits, 0, "distinct epochs, distinct entries");
+        assert_eq!(
+            (stats.graphs.hits, stats.graphs.misses),
+            (1, 1),
+            "identical hardware shares the memoized stage graph"
+        );
+    }
+
+    #[test]
+    fn uncached_executor_is_pure_pass_through() {
+        let plan = physical(1e6);
+        let uncached = CachingExecutor::uncached(Cluster::default());
+        let m = uncached.execute(&plan, 2, 2);
+        assert_eq!(m, execute(&plan, uncached.cluster(), 2, 2));
+        assert_eq!(uncached.stats(), ExecStats::default());
+        assert!(uncached.cache().is_none());
+        assert!(ExecutionCache::shared(ExecCacheConfig::disabled()).is_none());
+    }
+
+    #[test]
+    fn capacity_evicts_results_fifo() {
+        let plan = physical(1e6);
+        let cache = ExecutionCache::new(ExecCacheConfig {
+            enabled: true,
+            capacity: 2,
+            graph_capacity: 0,
+            shards: 1,
+        });
+        let cluster = Cluster::default();
+        let (ce, ee) = (cluster.config_epoch(), cluster.epoch());
+        for run in 0..3 {
+            let _ = cache.execute(&plan, &cluster, ce, ee, 1, run);
+        }
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().results.evictions, 1);
+        // Oldest (run 0) was evicted: looking it up again misses...
+        let before = cache.stats();
+        let _ = cache.execute(&plan, &cluster, ce, ee, 1, 0);
+        assert_eq!(cache.stats().since(&before).results.misses, 1);
+        // ...while the newest still hits.
+        let before = cache.stats();
+        let _ = cache.execute(&plan, &cluster, ce, ee, 1, 2);
+        assert_eq!(cache.stats().since(&before).results.hits, 1);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn distinct_plans_and_seeds_get_distinct_entries() {
+        let small = physical(1e6);
+        let big = physical(1e9);
+        assert_ne!(small.fingerprint(), big.fingerprint());
+        let cached = CachingExecutor::with_config(Cluster::default(), ExecCacheConfig::default());
+        let _ = cached.execute(&small, 1, 1);
+        let _ = cached.execute(&big, 1, 1);
+        let _ = cached.execute(&small, 2, 1);
+        let _ = cached.execute(&small, 1, 2);
+        let cache = cached.cache().unwrap();
+        assert_eq!(cache.len(), 4);
+        assert_eq!(cache.graph_len(), 2);
+        assert_eq!(cached.stats().results.hits, 0);
+    }
+
+    #[test]
+    fn config_defaults_and_serde() {
+        let c = ExecCacheConfig::default();
+        assert!(c.enabled);
+        assert!(c.capacity > 0 && c.graph_capacity > 0 && c.shards > 0);
+        assert!(!ExecCacheConfig::disabled().enabled);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: ExecCacheConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+        // The shared CLI/env switch vocabulary.
+        for on in ["on", "1", "true"] {
+            assert_eq!(ExecCacheConfig::parse_switch(on), Ok(c));
+        }
+        for off in ["off", "0", "false"] {
+            assert_eq!(
+                ExecCacheConfig::parse_switch(off),
+                Ok(ExecCacheConfig::disabled())
+            );
+        }
+        assert!(ExecCacheConfig::parse_switch("bogus").is_err());
+    }
+
+    #[test]
+    fn exec_stats_roll_up() {
+        let a = ExecStats {
+            results: CacheStats {
+                hits: 2,
+                misses: 2,
+                inserts: 2,
+                evictions: 0,
+            },
+            graphs: CacheStats {
+                hits: 1,
+                misses: 1,
+                inserts: 1,
+                evictions: 0,
+            },
+        };
+        assert_eq!(a.lookups(), 4);
+        assert_eq!(a.hits(), 2);
+        assert!((a.hit_rate() - 0.5).abs() < 1e-12);
+        assert!((a.partial_hit_rate() - 0.75).abs() < 1e-12);
+        let sum = a + a;
+        assert_eq!(sum.results.hits, 4);
+        assert_eq!(sum.since(&a), a);
+        let total: ExecStats = [a, a].into_iter().sum();
+        assert_eq!(total, sum);
+    }
+}

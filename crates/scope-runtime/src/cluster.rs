@@ -1,5 +1,6 @@
 //! Cluster hardware model and the cloud variance model.
 
+use scope_ir::ids::{hash_value, mix64};
 use serde::{Deserialize, Serialize};
 
 /// Hardware constants of the simulated cluster.
@@ -124,6 +125,29 @@ impl Cluster {
         }
     }
 
+    /// Stable fingerprint of the *hardware* constants only. Stage graphs
+    /// depend on the plan and [`ClusterConfig`] but not on the variance
+    /// model, so this is the epoch under which memoized stage graphs can be
+    /// shared — e.g. between the production and pre-production clusters,
+    /// which differ only in noise.
+    #[must_use]
+    pub fn config_epoch(&self) -> u64 {
+        hash_value(&self.config.to_value(), 0xc105_7e40_0000_0001_u64).max(1)
+    }
+
+    /// Stable fingerprint of the full execution environment (hardware *and*
+    /// variance model). Execution metrics depend on both, so this is the
+    /// epoch in the execution-result cache key: reconfiguring a cluster
+    /// yields a fresh epoch and implicitly invalidates its cached results.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        mix64(
+            self.config_epoch(),
+            hash_value(&self.variance.to_value(), 0x0e8e_0000_0000_0002_u64),
+        )
+        .max(1)
+    }
+
     /// The pre-production (flighting) environment: same hardware model but
     /// markedly noisier than production — smaller shared clusters, no
     /// workload isolation. Single flighting runs are therefore unreliable,
@@ -155,6 +179,26 @@ mod tests {
         let c = ClusterConfig::default();
         assert!(c.io_bandwidth > 0.0 && c.cpu_speed > 0.0);
         assert!(c.max_parallelism >= 1);
+    }
+
+    #[test]
+    fn epochs_distinguish_environments_but_share_hardware() {
+        let prod = Cluster::default();
+        let preprod = Cluster::preproduction();
+        let quiet = Cluster::deterministic();
+        // Same hardware model => stage graphs are shareable.
+        assert_eq!(prod.config_epoch(), preprod.config_epoch());
+        assert_eq!(prod.config_epoch(), quiet.config_epoch());
+        // Different noise => execution results are not.
+        assert_ne!(prod.epoch(), preprod.epoch());
+        assert_ne!(prod.epoch(), quiet.epoch());
+        // Epochs are stable across reconstructions.
+        assert_eq!(prod.epoch(), Cluster::default().epoch());
+        // A hardware change shifts both epochs.
+        let mut fat = Cluster::default();
+        fat.config.tokens_per_job *= 2;
+        assert_ne!(fat.config_epoch(), prod.config_epoch());
+        assert_ne!(fat.epoch(), prod.epoch());
     }
 
     #[test]

@@ -1,5 +1,11 @@
 //! Job execution: schedule the stage graph on the cluster, inject cloud
 //! variance, and report runtime metrics.
+//!
+//! Execution is a *pure function* of the plan bytes, the cluster model, and
+//! the two seeds — the property the [`Executor`] trait and the
+//! execution-result cache ([`crate::CachingExecutor`]) are built on. Callers
+//! that execute plans should be generic over [`Executor`] so a shared
+//! [`crate::ExecutionCache`] can sit behind any of them.
 
 use crate::cluster::Cluster;
 use crate::metrics::ExecutionMetrics;
@@ -7,8 +13,71 @@ use crate::stage::StageGraph;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use rand_distr::{Distribution, LogNormal};
-use scope_ir::ids::mix64;
+use scope_ir::ids::{exec_base_seed, exec_stage_seed};
 use scope_ir::physical::PhysicalPlan;
+
+/// Something that can execute physical plans. `job_seed` identifies the job
+/// instance (its data layout); `run_seed` identifies the run — the executor
+/// carries the cluster (hardware + variance model) it runs on.
+///
+/// The contract every implementation must honor: **execution is
+/// deterministic given `(plan, job_seed, run_seed)`** — same inputs, same
+/// metrics, bit for bit. [`Cluster`] and [`ClusterExecutor`] execute
+/// directly; [`crate::CachingExecutor`] memoizes stage graphs and execution
+/// results behind the same interface, which the contract makes invisible.
+pub trait Executor {
+    /// The cluster (hardware + variance model) this executor runs on.
+    /// Callers that pair an executor with an environment descriptor (e.g.
+    /// `flighting::FlightingService`) use this to check the two agree.
+    fn cluster(&self) -> &Cluster;
+
+    /// Execute a physical plan under `(job_seed, run_seed)`.
+    fn execute(&self, plan: &PhysicalPlan, job_seed: u64, run_seed: u64) -> ExecutionMetrics;
+}
+
+/// A bare [`Cluster`] is the plainest executor: build the stage graph, run
+/// it, no caching. This keeps ad-hoc call sites (tests, examples, one-shot
+/// probes) free of wrapper noise.
+impl Executor for Cluster {
+    fn cluster(&self) -> &Cluster {
+        self
+    }
+
+    fn execute(&self, plan: &PhysicalPlan, job_seed: u64, run_seed: u64) -> ExecutionMetrics {
+        execute(plan, self, job_seed, run_seed)
+    }
+}
+
+/// The plain owning executor: a [`Cluster`] behind the [`Executor`] trait,
+/// with no caching — the uncached counterpart of
+/// [`crate::CachingExecutor`], the way `scope_opt`'s bare `Optimizer` is the
+/// uncached counterpart of its `CachingOptimizer`.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterExecutor {
+    cluster: Cluster,
+}
+
+impl ClusterExecutor {
+    #[must_use]
+    pub fn new(cluster: Cluster) -> Self {
+        Self { cluster }
+    }
+
+    #[must_use]
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+}
+
+impl Executor for ClusterExecutor {
+    fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    fn execute(&self, plan: &PhysicalPlan, job_seed: u64, run_seed: u64) -> ExecutionMetrics {
+        execute(plan, &self.cluster, job_seed, run_seed)
+    }
+}
 
 /// Execute a physical plan. `job_seed` identifies the job instance (its data
 /// layout); `run_seed` identifies the run — two executions with the same
@@ -34,7 +103,7 @@ pub fn execute_stages(
 ) -> ExecutionMetrics {
     let cfg = &cluster.config;
     let var = &cluster.variance;
-    let base_seed = mix64(job_seed, mix64(run_seed, 0x5eed_cafe));
+    let base_seed = exec_base_seed(job_seed, run_seed);
     let mut run_rng = StdRng::seed_from_u64(base_seed);
     let vertex_noise = LogNormal::new(0.0, var.vertex_sigma.max(1e-9)).expect("sigma >= 0");
     let cpu_noise = LogNormal::new(0.0, var.cpu_sigma.max(1e-9)).expect("sigma >= 0");
@@ -71,7 +140,7 @@ pub fn execute_stages(
         // aligned stages (common random numbers), so A/B deltas reflect plan
         // differences rather than independent tail events — while the
         // marginal distribution of any single run is unchanged.
-        let mut rng = StdRng::seed_from_u64(mix64(base_seed, sid as u64 | 0x57A6_0000));
+        let mut rng = StdRng::seed_from_u64(exec_stage_seed(base_seed, sid as u64));
         let p = f64::from(stage.parallelism.max(1));
         // Deterministic base resource times.
         let read_sec = stage.work.read / cfg.io_bandwidth;

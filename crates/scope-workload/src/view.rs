@@ -10,11 +10,11 @@
 
 use crate::generator::JobInstance;
 use crate::naming::normalize_job_name;
-use scope_ir::ids::{mix64, stable_hash64};
+use scope_ir::ids::{production_run_seed, stable_hash64};
 use scope_ir::logical::{LogicalOp, LogicalPlan};
 use scope_ir::{JobId, TemplateId};
 use scope_opt::{CompileError, Compiler, HintSet, RuleBits};
-use scope_runtime::{execute, Cluster, ExecutionMetrics};
+use scope_runtime::{ExecutionMetrics, Executor};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -161,17 +161,18 @@ impl std::error::Error for ViewBuildError {}
 /// fails aborts the day with a typed [`ViewBuildError`] instead (generated
 /// workloads never trigger this — it guards externally supplied plans).
 ///
-/// Generic over [`Compiler`]: pass a bare [`scope_opt::Optimizer`] for
-/// direct compilation, or a [`scope_opt::CachingOptimizer`] so the
-/// production compiles share the steering pipeline's compile-result cache —
-/// under a sticky [`crate::LiteralPolicy`] these compiles are the cache's
-/// biggest win, because recurring instances rebind the identical plan day
-/// after day.
-pub fn build_view<C: Compiler>(
+/// Generic over [`Compiler`] *and* [`Executor`]: pass a bare
+/// [`scope_opt::Optimizer`] and [`scope_runtime::Cluster`] for direct
+/// compilation/execution, or a [`scope_opt::CachingOptimizer`] and
+/// [`scope_runtime::CachingExecutor`] so the production compiles and runs
+/// share the steering pipeline's result caches — under a sticky
+/// [`crate::LiteralPolicy`] these are the caches' biggest win, because
+/// recurring instances rebind the identical plan day after day.
+pub fn build_view<C: Compiler, E: Executor>(
     jobs: &[JobInstance],
     optimizer: &C,
     hints: &HintSet,
-    cluster: &Cluster,
+    executor: &E,
 ) -> Result<Vec<ViewRow>, ViewBuildError> {
     let default = optimizer.default_config();
     jobs.iter()
@@ -202,8 +203,8 @@ pub fn build_view<C: Compiler>(
                     })
                 }
             };
-            let run_seed = mix64(u64::from(job.day), 0x9806_0d0d);
-            let metrics = execute(&compiled.physical, cluster, job.job_seed, run_seed);
+            let run_seed = production_run_seed(job.day);
+            let metrics = executor.execute(&compiled.physical, job.job_seed, run_seed);
             let features =
                 Table1Features::aggregate(&job.name, &job.plan, compiled.est_cost, &metrics);
             Ok(ViewRow {
@@ -228,6 +229,7 @@ mod tests {
     use super::*;
     use crate::generator::{Workload, WorkloadConfig};
     use scope_opt::Optimizer;
+    use scope_runtime::Cluster;
 
     fn small_day() -> Vec<ViewRow> {
         let w = Workload::new(WorkloadConfig {
@@ -394,6 +396,40 @@ mod tests {
         assert!(
             stats.hits > 0,
             "sticky recurring plans must hit across days: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn build_view_is_identical_through_a_caching_executor() {
+        use scope_runtime::{CachingExecutor, ExecCacheConfig};
+
+        let w = Workload::new(WorkloadConfig {
+            seed: 11,
+            num_templates: 6,
+            adhoc_per_day: 1,
+            max_instances_per_day: 1,
+            literals: crate::LiteralPolicy::Sticky {
+                redraw_every_days: 0,
+            },
+        });
+        let optimizer = Optimizer::default();
+        let cluster = Cluster::default();
+        let cached = CachingExecutor::with_config(cluster.clone(), ExecCacheConfig::default());
+        for day in 0..2u32 {
+            let jobs = w.jobs_for_day(day);
+            let direct = build_view(&jobs, &optimizer, &HintSet::new(), &cluster).unwrap();
+            let via_cache = build_view(&jobs, &optimizer, &HintSet::new(), &cached).unwrap();
+            for (a, b) in direct.iter().zip(via_cache.iter()) {
+                assert_eq!(a.metrics, b.metrics, "the execution cache is invisible");
+                assert_eq!(a.features, b.features);
+            }
+        }
+        // Sticky literals: day 1 re-executes day-0 plans (fresh run seeds),
+        // so the stage-graph memo is hot even though full results are not.
+        let stats = cached.stats();
+        assert!(
+            stats.graphs.hits > 0,
+            "sticky recurring plans must reuse memoized stage graphs: {stats:?}"
         );
     }
 }

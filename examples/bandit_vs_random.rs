@@ -20,13 +20,15 @@ fn main() {
         ..WorkloadConfig::default()
     };
     let mut sim = qo_advisor::ProductionSim::new(workload, PipelineConfig::default());
-    sim.bootstrap_validation_model(3, 16);
+    sim.bootstrap_validation_model(3, 16)
+        .expect("generated workloads compile on the default path");
     println!(
         "training the contextual bandit through {} daily loops...",
         20
     );
     for _ in 0..20 {
-        sim.advance_day();
+        sim.advance_day()
+            .expect("generated workloads compile on the default path");
     }
     println!(
         "  CB absorbed {} reward events\n",
@@ -40,7 +42,7 @@ fn main() {
         &jobs,
         sim.advisor.caching_optimizer(),
         &Default::default(),
-        &sim.prod_cluster,
+        sim.prod_executor(),
     )
     .expect("generated workloads compile on the default path");
     let cb_report = sim.advisor.run_day(&view, day);

@@ -9,7 +9,7 @@ use scope_ir::display::{explain_logical, explain_physical};
 use scope_ir::stats::DualStats;
 use scope_lang::{bind_script, Catalog, TableInfo};
 use scope_opt::{compute_span, Hint, HintSet, Optimizer, RuleFlip};
-use scope_runtime::{execute, Cluster};
+use scope_runtime::{CachingExecutor, Cluster, ExecCacheConfig, Executor};
 
 const SCRIPT: &str = r#"
     // Daily revenue rollup: filter the fact table, join the dimension,
@@ -90,16 +90,27 @@ fn main() {
         }
     }
 
-    // 5. Execute default vs steered on the simulated cluster.
-    let cluster = Cluster::default();
-    let base = execute(&compiled.physical, &cluster, 42, 1);
+    // 5. Execute default vs steered on the simulated cluster, through the
+    // Executor trait. `QO_EXEC_CACHE=off` disables the execution-result
+    // cache (on by default) — results are bit-identical either way.
+    let exec_cache = std::env::var("QO_EXEC_CACHE").map_or_else(
+        |_| ExecCacheConfig::default(),
+        |value| {
+            ExecCacheConfig::parse_switch(&value).unwrap_or_else(|e| {
+                eprintln!("bad QO_EXEC_CACHE: {e}");
+                std::process::exit(2);
+            })
+        },
+    );
+    let executor = CachingExecutor::with_config(Cluster::default(), exec_cache);
+    let base = executor.execute(&compiled.physical, 42, 1);
     println!(
         "\ndefault run:  latency {:>7.1}s  PNhours {:>7.3}  vertices {:>4}  read {:.2e} B",
         base.latency_sec, base.pn_hours, base.vertices, base.data_read
     );
     if let Some((flip, delta)) = best {
         let steered = optimizer.compile(&plan, &default.with_flip(flip)).unwrap();
-        let m = execute(&steered.physical, &cluster, 42, 1);
+        let m = executor.execute(&steered.physical, 42, 1);
         println!(
             "steered run:  latency {:>7.1}s  PNhours {:>7.3}  vertices {:>4}  read {:.2e} B",
             m.latency_sec, m.pn_hours, m.vertices, m.data_read

@@ -21,7 +21,9 @@ fn main() {
     let mut sim = ProductionSim::new(workload, PipelineConfig::default());
 
     println!("bootstrapping the validation model from random flights...");
-    let samples = sim.bootstrap_validation_model(5, 24);
+    let samples = sim
+        .bootstrap_validation_model(5, 24)
+        .expect("generated workloads compile on the default path");
     let model = sim.advisor.validation_model().expect("model fitted");
     println!(
         "  {} samples  ->  pn_delta = {:+.3} {:+.3}*data_read_delta {:+.3}*data_written_delta\n",
@@ -37,7 +39,9 @@ fn main() {
     );
     let mut all = Vec::new();
     for _ in 0..15 {
-        let out = sim.advance_day();
+        let out = sim
+            .advance_day()
+            .expect("generated workloads compile on the default path");
         let r = &out.report;
         println!(
             "{:>4} {:>6} {:>6} {:>7} {:>8} {:>7} {:>6} {:>6} {:>8}",

@@ -29,8 +29,8 @@
 //! use scope_workload::WorkloadConfig;
 //!
 //! let mut sim = ProductionSim::new(WorkloadConfig::default(), PipelineConfig::default());
-//! sim.bootstrap_validation_model(5, 24);
-//! for outcome in sim.run(10) {
+//! sim.bootstrap_validation_model(5, 24).expect("generated workloads compile");
+//! for outcome in sim.run(10).expect("generated workloads compile") {
 //!     println!(
 //!         "day {:>2}: {:>3} jobs  {:>2} hints  {:>2} steered",
 //!         outcome.report.day,

@@ -1,22 +1,27 @@
-//! Thread-count *and* compile-cache invariance of the staged pipeline: the
-//! same multi-day simulation run serially and at 1, 2, and 8 worker
-//! threads, with the compile-result cache on or off, must produce
-//! byte-identical daily reports and byte-identical published SIS hint
-//! files.
+//! Thread-count *and* cache invariance of the staged pipeline: the same
+//! multi-day simulation run serially and at 1, 2, and 8 worker threads,
+//! with the compile-result cache and the execution-result cache on or off,
+//! must produce byte-identical daily reports and byte-identical published
+//! SIS hint files.
 //!
-//! This is the contract that makes both knobs safe to deploy: parallelism
-//! and caching are purely throughput knobs, never behavior knobs —
-//! compilation is deterministic, so a cache hit replays exactly what a
-//! recompile would have produced (including `RuleInstability` failures).
+//! This is the contract that makes all three knobs safe to deploy:
+//! parallelism and the two caches are purely throughput knobs, never
+//! behavior knobs — compilation and execution are both deterministic, so a
+//! cache hit replays exactly what a recompile (or re-execution) would have
+//! produced, including `RuleInstability` compile failures.
 //!
-//! The one field excluded from the byte comparison is the report's
-//! `compile_cache` telemetry: it is *about* the cache (all-zero with the
-//! cache off, and under parallel inserts at capacity the hit/miss split can
-//! depend on eviction order), not a steering output. `normalized` zeroes it
-//! before formatting; everything else must match to the byte.
+//! The fields excluded from the byte comparison are the report's
+//! `compile_cache` and `exec_cache` telemetry: they are *about* the caches
+//! (all-zero with a cache off, and under parallel inserts at capacity the
+//! hit/miss split can depend on eviction order), not steering outputs.
+//! `normalized` zeroes them before formatting; everything else must match
+//! to the byte.
 
 use qo_advisor::ProductionSim;
-use qo_advisor::{CacheConfig, CacheCounters, DailyReport, ParallelismConfig, PipelineConfig};
+use qo_advisor::{
+    CacheConfig, CacheCounters, DailyReport, ExecCacheConfig, ExecCounters, ParallelismConfig,
+    PipelineConfig,
+};
 use scope_workload::{LiteralPolicy, WorkloadConfig};
 use sis::SisStore;
 use std::collections::BTreeMap;
@@ -61,11 +66,13 @@ fn run_sim_of(
     wl: WorkloadConfig,
     threads: Option<usize>,
     cache: CacheConfig,
+    exec_cache: ExecCacheConfig,
     sis_dir: &Path,
 ) -> Vec<DailyReport> {
     let config = PipelineConfig {
         parallelism: ParallelismConfig { threads },
         cache,
+        exec_cache,
         ..PipelineConfig::default()
     };
     let mut sim = ProductionSim::with_sis_store(
@@ -73,23 +80,36 @@ fn run_sim_of(
         config,
         SisStore::at_dir(sis_dir).expect("create sis dir"),
     );
-    (0..DAYS).map(|_| sim.advance_day().report).collect()
+    (0..DAYS)
+        .map(|_| {
+            sim.advance_day()
+                .expect("generated workloads compile on the default path")
+                .report
+        })
+        .collect()
 }
 
-/// [`run_sim_of`] over the standard fresh-literal workload.
+/// [`run_sim_of`] over the standard fresh-literal workload with the
+/// execution cache at its default (on).
 fn run_sim(threads: Option<usize>, cache: CacheConfig, sis_dir: &Path) -> Vec<DailyReport> {
-    run_sim_of(workload(), threads, cache, sis_dir)
+    run_sim_of(
+        workload(),
+        threads,
+        cache,
+        ExecCacheConfig::default(),
+        sis_dir,
+    )
 }
 
-/// Byte-level rendering of the reports with the cache telemetry zeroed (it
-/// is observability about the cache, not a steering output — see module
-/// docs).
+/// Byte-level rendering of the reports with both caches' telemetry zeroed
+/// (observability about the caches, not steering outputs — see module docs).
 fn normalized(reports: &[DailyReport]) -> Vec<String> {
     reports
         .iter()
         .map(|report| {
             let mut report = report.clone();
             report.compile_cache = CacheCounters::default();
+            report.exec_cache = ExecCounters::default();
             format!("{report:?}")
         })
         .collect()
@@ -145,9 +165,15 @@ fn reports_and_hint_files_are_identical_with_cache_on_and_off() {
         TempTree(std::env::temp_dir().join(format!("qo-cache-determinism-{}", std::process::id())));
     let _ = std::fs::remove_dir_all(&base.0);
 
-    // Baseline: the pre-cache pipeline (serial, cache off).
+    // Baseline: the pre-cache pipeline (serial, both caches off).
     let off_dir = base.0.join("off");
-    let off_reports_raw = run_sim(None, CacheConfig::disabled(), &off_dir);
+    let off_reports_raw = run_sim_of(
+        workload(),
+        None,
+        CacheConfig::disabled(),
+        ExecCacheConfig::disabled(),
+        &off_dir,
+    );
     let baseline_reports = normalized(&off_reports_raw);
     let baseline_files = hint_files(&off_dir);
 
@@ -158,8 +184,9 @@ fn reports_and_hint_files_are_identical_with_cache_on_and_off() {
     assert!(
         off_reports_raw
             .iter()
-            .all(|r| r.compile_cache == CacheCounters::default()),
-        "a disabled cache must report zero telemetry"
+            .all(|r| r.compile_cache == CacheCounters::default()
+                && r.exec_cache == ExecCounters::default()),
+        "disabled caches must report zero telemetry"
     );
 
     for threads in [1usize, 2, 8] {
@@ -184,9 +211,66 @@ fn reports_and_hint_files_are_identical_with_cache_on_and_off() {
     }
 }
 
-/// The regime the cache was built for: sticky literals make recurring
+/// The execution cache alone, against the fully uncached baseline, under
+/// fresh *and* sticky literals × 1/2/8 threads: byte-identical reports and
+/// hint files everywhere. (The compile cache stays off on both sides so
+/// this isolates the execution cache.)
+#[test]
+fn reports_and_hint_files_are_identical_with_exec_cache_on_and_off() {
+    let base =
+        TempTree(std::env::temp_dir().join(format!("qo-exec-determinism-{}", std::process::id())));
+    let _ = std::fs::remove_dir_all(&base.0);
+
+    for (policy, wl) in [("fresh", workload()), ("sticky", sticky_workload())] {
+        let off_dir = base.0.join(format!("{policy}-off"));
+        let baseline_reports = normalized(&run_sim_of(
+            wl.clone(),
+            None,
+            CacheConfig::disabled(),
+            ExecCacheConfig::disabled(),
+            &off_dir,
+        ));
+        let baseline_files = hint_files(&off_dir);
+        assert!(
+            !baseline_files.is_empty(),
+            "the {policy} exec-cache-off simulation must publish at least one hint file"
+        );
+
+        for threads in [1usize, 2, 8] {
+            let dir = base.0.join(format!("{policy}-exec-t{threads}"));
+            let raw = run_sim_of(
+                wl.clone(),
+                Some(threads),
+                CacheConfig::disabled(),
+                ExecCacheConfig::default(),
+                &dir,
+            );
+            assert!(
+                raw.iter()
+                    .any(|r| r.exec_cache.total().graphs.lookups() > 0),
+                "the exec-cached run must consult the cache, or this test \
+                 compares nothing: {:?}",
+                raw[0].exec_cache
+            );
+            assert_eq!(
+                normalized(&raw),
+                baseline_reports,
+                "{policy} daily reports diverged between exec-cache-off serial \
+                 and exec-cache-on at {threads} worker threads"
+            );
+            assert_eq!(
+                hint_files(&dir),
+                baseline_files,
+                "{policy} SIS hint files diverged between exec-cache-off serial \
+                 and exec-cache-on at {threads} worker threads"
+            );
+        }
+    }
+}
+
+/// The regime the caches were built for: sticky literals make recurring
 /// production scripts rebind identical plans across days, so the sim-wide
-/// shared cache (production view building + all pipeline stages) is hot on
+/// shared caches (production view building + all pipeline stages) are hot on
 /// every warm day — and must *still* be invisible in every steering output,
 /// at any thread count.
 #[test]
@@ -197,7 +281,13 @@ fn sticky_literal_runs_are_identical_with_shared_cache_on_and_off() {
     let _ = std::fs::remove_dir_all(&base.0);
 
     let off_dir = base.0.join("off");
-    let off_reports = run_sim_of(sticky_workload(), None, CacheConfig::disabled(), &off_dir);
+    let off_reports = run_sim_of(
+        sticky_workload(),
+        None,
+        CacheConfig::disabled(),
+        ExecCacheConfig::disabled(),
+        &off_dir,
+    );
     let baseline_reports = normalized(&off_reports);
     let baseline_files = hint_files(&off_dir);
     assert!(
@@ -211,6 +301,7 @@ fn sticky_literal_runs_are_identical_with_shared_cache_on_and_off() {
             sticky_workload(),
             Some(threads),
             CacheConfig::default(),
+            ExecCacheConfig::default(),
             &dir,
         );
         // Warm days rebind day-0 plans: production view compiles are
@@ -219,15 +310,32 @@ fn sticky_literal_runs_are_identical_with_shared_cache_on_and_off() {
         for warm in &raw[1..] {
             assert!(
                 warm.compile_cache.view_build.hits > 0,
-                "warm-day view builds must hit the shared cache: {:?}",
+                "warm-day view builds must hit the shared compile cache: {:?}",
                 warm.compile_cache
             );
             assert!(
                 warm.compile_cache.hit_rate() >= 0.5,
-                "day {} hit rate {:.2} below 50%: {:?}",
+                "day {} compile hit rate {:.2} below 50%: {:?}",
                 warm.day,
                 warm.compile_cache.hit_rate(),
                 warm.compile_cache
+            );
+            // Execution side: run seeds are fresh every day, so full-result
+            // replays are rare in the closed loop — but warm-day production
+            // runs re-execute day-0 plans, whose stage graphs are memoized.
+            let view_graphs = warm.exec_cache.view_build.graphs;
+            assert!(
+                view_graphs.hits > 0,
+                "warm-day view builds must reuse memoized stage graphs: {:?}",
+                warm.exec_cache
+            );
+            assert!(
+                warm.exec_cache.view_build.partial_hit_rate() >= 0.5,
+                "day {} exec-cache warm-day floor: expected >=50% of view-build \
+                 executions to reuse a stage graph or result, got {:.2} ({:?})",
+                warm.day,
+                warm.exec_cache.view_build.partial_hit_rate(),
+                warm.exec_cache
             );
         }
         assert_eq!(
@@ -256,8 +364,14 @@ fn parallel_config_default_is_serial() {
 }
 
 #[test]
-fn cache_config_default_is_enabled() {
+fn cache_configs_default_to_enabled() {
     assert_eq!(PipelineConfig::default().cache, CacheConfig::default());
     assert!(CacheConfig::default().enabled);
     assert!(!CacheConfig::disabled().enabled);
+    assert_eq!(
+        PipelineConfig::default().exec_cache,
+        ExecCacheConfig::default()
+    );
+    assert!(ExecCacheConfig::default().enabled);
+    assert!(!ExecCacheConfig::disabled().enabled);
 }

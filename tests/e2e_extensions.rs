@@ -24,9 +24,9 @@ fn skip_explored_reduces_daily_work() {
             ..PipelineConfig::default()
         },
     );
-    sim.bootstrap_validation_model(2, 10);
-    let first = sim.advance_day();
-    let later = sim.advance_day();
+    sim.bootstrap_validation_model(2, 10).unwrap();
+    let first = sim.advance_day().unwrap();
+    let later = sim.advance_day().unwrap();
     // Daily recurring templates flighted on the first day are skipped later
     // (day 2 schedules a different template subset, so only templates that
     // reappear can be skipped).
@@ -41,20 +41,20 @@ fn skip_explored_reduces_daily_work() {
 #[test]
 fn default_mode_does_not_skip() {
     let mut sim = ProductionSim::new(workload(61), PipelineConfig::default());
-    sim.bootstrap_validation_model(2, 10);
-    sim.advance_day();
-    let later = sim.advance_day();
+    sim.bootstrap_validation_model(2, 10).unwrap();
+    sim.advance_day().unwrap();
+    let later = sim.advance_day().unwrap();
     assert_eq!(later.report.skipped_explored, 0);
 }
 
 #[test]
 fn revert_hint_removes_sis_entry_and_bumps_version() {
     let mut sim = ProductionSim::new(workload(2024), PipelineConfig::default());
-    sim.bootstrap_validation_model(4, 16);
+    sim.bootstrap_validation_model(4, 16).unwrap();
     // Run until some hint is live.
     let mut live_template = None;
     for _ in 0..12 {
-        sim.advance_day();
+        sim.advance_day().unwrap();
         if let Some(h) = sim.advisor.sis().snapshot().hints().first() {
             live_template = Some(h.template);
             break;
@@ -76,8 +76,8 @@ fn revert_hint_removes_sis_entry_and_bumps_version() {
 fn monitoring_loop_runs_and_never_reverts_healthy_hints_spuriously() {
     let mut with_monitor = ProductionSim::new(workload(2024), PipelineConfig::default())
         .with_monitoring(MonitorConfig::default());
-    with_monitor.bootstrap_validation_model(4, 16);
-    let outcomes = with_monitor.run(12);
+    with_monitor.bootstrap_validation_model(4, 16).unwrap();
+    let outcomes = with_monitor.run(12).unwrap();
     let reverted: usize = outcomes.iter().map(|o| o.reverted.len()).sum();
     let hinted_runs: usize = outcomes.iter().map(|o| o.comparisons.len()).sum();
     // Validated hints genuinely improve PNhours in this simulator, so the

@@ -19,8 +19,8 @@ fn workload(seed: u64) -> WorkloadConfig {
 #[test]
 fn closed_loop_publishes_hints_and_improves_pnhours() {
     let mut sim = ProductionSim::new(workload(2024), PipelineConfig::default());
-    sim.bootstrap_validation_model(4, 16);
-    let outcomes = sim.run(12);
+    sim.bootstrap_validation_model(4, 16).unwrap();
+    let outcomes = sim.run(12).unwrap();
 
     let hints: usize = outcomes.iter().map(|o| o.report.hints_published).sum();
     let comparisons: Vec<_> = outcomes
@@ -44,8 +44,8 @@ fn closed_loop_publishes_hints_and_improves_pnhours() {
 #[test]
 fn validated_flips_rarely_regress_pnhours() {
     let mut sim = ProductionSim::new(workload(77), PipelineConfig::default());
-    sim.bootstrap_validation_model(4, 16);
-    let outcomes = sim.run(12);
+    sim.bootstrap_validation_model(4, 16).unwrap();
+    let outcomes = sim.run(12).unwrap();
     let comparisons: Vec<_> = outcomes
         .iter()
         .flat_map(|o| o.comparisons.iter().copied())
@@ -66,7 +66,7 @@ fn pipeline_without_validation_model_is_more_conservative_than_broken() {
     // Before the model is bootstrapped the pipeline falls back to the raw
     // flight measurement, which still gates on the -0.1 threshold.
     let mut sim = ProductionSim::new(workload(3), PipelineConfig::default());
-    let out = sim.advance_day();
+    let out = sim.advance_day().unwrap();
     assert!(out.report.validated <= out.report.flight_success);
 }
 
@@ -83,7 +83,7 @@ fn daily_reports_are_internally_consistent_across_strategies() {
                 ..PipelineConfig::default()
             },
         );
-        let out = sim.advance_day();
+        let out = sim.advance_day().unwrap();
         let r = &out.report;
         assert_eq!(
             r.lower_cost + r.equal_cost + r.higher_cost + r.recompile_failures + r.noop_chosen,
@@ -106,7 +106,7 @@ fn hostile_validation_model_blocks_all_hints() {
         w_read: 0.0,
         w_written: 0.0,
     });
-    let outcomes = sim.run(4);
+    let outcomes = sim.run(4).unwrap();
     let hints: usize = outcomes.iter().map(|o| o.report.hints_published).sum();
     assert_eq!(hints, 0, "nothing passes a model that predicts +9900%");
     assert_eq!(sim.advisor.sis().version(), 0);
@@ -116,8 +116,8 @@ fn hostile_validation_model_blocks_all_hints() {
 fn simulation_is_reproducible() {
     let run = || {
         let mut sim = ProductionSim::new(workload(123), PipelineConfig::default());
-        sim.bootstrap_validation_model(2, 8);
-        let outcomes = sim.run(4);
+        sim.bootstrap_validation_model(2, 8).unwrap();
+        let outcomes = sim.run(4).unwrap();
         outcomes
             .iter()
             .map(|o| {
@@ -135,10 +135,10 @@ fn simulation_is_reproducible() {
 #[test]
 fn sis_version_grows_monotonically_with_publishes() {
     let mut sim = ProductionSim::new(workload(2024), PipelineConfig::default());
-    sim.bootstrap_validation_model(3, 16);
+    sim.bootstrap_validation_model(3, 16).unwrap();
     let mut last = 0;
     for _ in 0..8 {
-        let out = sim.advance_day();
+        let out = sim.advance_day().unwrap();
         let v = out.report.sis_version;
         assert!(v >= last, "SIS version never rewinds");
         last = v;

@@ -46,7 +46,8 @@ fn flighting_results_train_a_useful_validation_model() {
                 treatment: default.with_flip(flip),
             });
         }
-        let (outcomes, tracker) = svc.flight_batch(&optimizer, &requests);
+        let (outcomes, tracker) =
+            svc.flight_batch(&optimizer, &Cluster::preproduction(), &requests);
         assert!(tracker.used_seconds >= 0.0);
         samples.extend(
             outcomes
@@ -98,7 +99,7 @@ fn flight_outcomes_cover_the_paper_taxonomy() {
         })
         .collect();
     let mut svc = FlightingService::new(Cluster::preproduction(), FlightBudget::default());
-    let (outcomes, _) = svc.flight_batch(&optimizer, &requests);
+    let (outcomes, _) = svc.flight_batch(&optimizer, &Cluster::preproduction(), &requests);
     let success = outcomes.iter().filter(|o| o.is_success()).count();
     let nonsuccess = outcomes.len() - success;
     assert!(success > outcomes.len() / 2, "most A/A flights succeed");
