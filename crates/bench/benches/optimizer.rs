@@ -1,9 +1,13 @@
 //! Criterion microbenches for the optimizer: compilation throughput, span
-//! computation, and single-flip recompilation (the pipeline's hot path).
+//! computation, single-flip recompilation (the pipeline's hot path), and
+//! the delta-slate path (base-memo build + incremental treatment pricing)
+//! against the same slate compiled from scratch.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use scope_lang::{bind_script, Catalog};
-use scope_opt::{compute_span, Optimizer, RuleFlip, RuleId};
+use scope_opt::{
+    compute_span, BaseMemo, DeltaCompiler, DeltaConfig, Optimizer, RuleConfig, RuleFlip, RuleId,
+};
 use std::hint::black_box;
 
 const JOIN_AGG: &str = r#"
@@ -62,9 +66,56 @@ fn bench_optimizer(c: &mut Criterion) {
     });
 }
 
+/// The slate shapes of the pipeline: the job's span flips priced from
+/// scratch vs through a warm `DeltaCompiler` (base memo already cached —
+/// the steady-state regime once a plan has been seen), plus the one-off
+/// base-memo build cost itself.
+fn bench_slate(c: &mut Criterion) {
+    let plan = bind_script(JOIN_AGG, &Catalog::default()).unwrap();
+    let optimizer = Optimizer::default();
+    let default = optimizer.default_config();
+    let span = compute_span(&optimizer, &plan, 6).unwrap();
+    let treatments: Vec<RuleConfig> = span
+        .span
+        .iter()
+        .map(|rule| {
+            default.with_flip(RuleFlip {
+                rule,
+                enable: !default.enabled(rule),
+            })
+        })
+        .collect();
+    assert!(!treatments.is_empty());
+
+    c.bench_function("slate_span_flips_fullcompile", |b| {
+        b.iter(|| {
+            let priced: usize = treatments
+                .iter()
+                .filter_map(|t| optimizer.compile(black_box(&plan), t).ok())
+                .count();
+            black_box(priced)
+        })
+    });
+
+    let warm = DeltaCompiler::new(DeltaConfig::default());
+    let _ = warm.compile_slate(&optimizer, &plan, &default, &treatments);
+    c.bench_function("slate_span_flips_delta_warm", |b| {
+        b.iter(|| {
+            // The compile cache is deliberately absent: every iteration
+            // re-prices the whole slate through the shared base memo.
+            let results = warm.compile_slate(&optimizer, black_box(&plan), &default, &treatments);
+            black_box(results.iter().filter(|r| r.is_ok()).count())
+        })
+    });
+
+    c.bench_function("slate_base_memo_build", |b| {
+        b.iter(|| black_box(BaseMemo::build(&optimizer, black_box(&plan), &default).is_ok()))
+    });
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_optimizer
+    targets = bench_optimizer, bench_slate
 }
 criterion_main!(benches);

@@ -131,6 +131,9 @@ fn bench_pipeline_compile_cache(c: &mut Criterion) {
             FlightingService::new(Cluster::preproduction(), FlightBudget::default()),
             PipelineConfig {
                 cache,
+                // Pinned off so this pair keeps its PR 2 meaning (compile
+                // cache alone); `bench_sim_delta_compile` measures delta.
+                delta: qo_advisor::DeltaConfig::disabled(),
                 ..PipelineConfig::default()
             },
         )
@@ -208,6 +211,9 @@ fn bench_sim_advance_day(c: &mut Criterion) {
                                 PipelineConfig {
                                     cache,
                                     exec_cache: ExecCacheConfig::disabled(),
+                                    // Pinned off so this pair keeps its
+                                    // PR 3 meaning (compile cache alone).
+                                    delta: qo_advisor::DeltaConfig::disabled(),
                                     ..PipelineConfig::default()
                                 },
                             )
@@ -263,6 +269,66 @@ fn bench_sim_exec_cache(c: &mut Criterion) {
                             PipelineConfig {
                                 cache: CacheConfig::default(),
                                 exec_cache,
+                                // Pinned off so this pair keeps its PR 4
+                                // meaning (execution cache alone);
+                                // `bench_sim_delta_compile` layers delta on.
+                                delta: qo_advisor::DeltaConfig::disabled(),
+                                ..PipelineConfig::default()
+                            },
+                        )
+                    },
+                    |mut sim| {
+                        let mut published = 0;
+                        for _ in 0..3 {
+                            published += sim
+                                .advance_day()
+                                .expect("generated workloads compile")
+                                .report
+                                .hints_published;
+                        }
+                        black_box(published)
+                    },
+                    BatchSize::PerIteration,
+                )
+            },
+        );
+    }
+}
+
+/// Delta compilation's report card: the same sticky 3-day closed loop with
+/// both result caches ON in both arms (the PR 4 shipping configuration),
+/// delta slate compilation off vs on. The remaining cost of the
+/// `..._sticky_exec_cached` baseline is compile-miss-bound — the ~40-60
+/// fresh flip treatments recommendation and flighting price per day are
+/// genuinely new `(plan, config)` pairs the caches can never serve — and
+/// pricing them against the shared base memo is the lever that attacks it.
+/// Outputs are byte-identical in both arms (`tests/determinism.rs`).
+fn bench_sim_delta_compile(c: &mut Criterion) {
+    let workload = WorkloadConfig {
+        seed: 2022,
+        num_templates: 48,
+        adhoc_per_day: 4,
+        max_instances_per_day: 1,
+        literals: LiteralPolicy::Sticky {
+            redraw_every_days: 0,
+        },
+    };
+    let cases = [
+        ("delta_off", qo_advisor::DeltaConfig::disabled()),
+        ("delta_on", qo_advisor::DeltaConfig::default()),
+    ];
+    for (name, delta) in cases {
+        c.bench_function(
+            &format!("sim_advance_3_days_48_templates_sticky_{name}"),
+            |b| {
+                b.iter_batched(
+                    || {
+                        ProductionSim::new(
+                            workload.clone(),
+                            PipelineConfig {
+                                cache: CacheConfig::default(),
+                                exec_cache: ExecCacheConfig::default(),
+                                delta,
                                 ..PipelineConfig::default()
                             },
                         )
@@ -289,6 +355,6 @@ criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
     targets = bench_pipeline, bench_pipeline_parallelism, bench_pipeline_compile_cache,
-        bench_sim_advance_day, bench_sim_exec_cache
+        bench_sim_advance_day, bench_sim_exec_cache, bench_sim_delta_compile
 }
 criterion_main!(benches);

@@ -9,9 +9,10 @@
 //! `--threads N` (or the `QO_THREADS` env var) runs the pipeline's
 //! compile-bound stages on `N` worker threads (`0` = all cores); results
 //! are bit-identical to the serial default. `--cache on|off` (or `QO_CACHE`)
-//! toggles the compile-result cache and `--exec-cache on|off` (or
-//! `QO_EXEC_CACHE`) the execution-result cache — also bit-identical either
-//! way, only throughput differs (both on by default).
+//! toggles the compile-result cache, `--exec-cache on|off` (or
+//! `QO_EXEC_CACHE`) the execution-result cache, and `--delta-compile on|off`
+//! (or `QO_DELTA`) delta treatment compilation — all bit-identical either
+//! way, only throughput differs (all on by default).
 //!
 //! Each experiment writes its raw series to `results/<name>.csv` and prints
 //! a summary row comparing the paper's reported shape with the measured one.
@@ -21,8 +22,9 @@
 
 use flighting::{FlightBudget, FlightRequest, FlightingService};
 use qo_advisor::{
-    aggregate_impact, CacheConfig, ExecCacheConfig, HintedComparison, ParallelismConfig,
-    PipelineConfig, ProductionSim, QoAdvisor, RecommendStrategy, ValidationModel, ValidationSample,
+    aggregate_impact, CacheConfig, DeltaConfig, ExecCacheConfig, HintedComparison,
+    ParallelismConfig, PipelineConfig, ProductionSim, QoAdvisor, RecommendStrategy,
+    ValidationModel, ValidationSample,
 };
 use qo_bench::corpus::{write_csv, Env};
 use qo_bench::{mean, pearson, percentile, polyfit1};
@@ -59,6 +61,13 @@ static EXEC_CACHE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
 
 fn set_exec_cache(enabled: bool) {
     let _ = EXEC_CACHE.set(enabled);
+}
+
+/// Delta-slate-compilation override for every experiment in this run.
+static DELTA: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+
+fn set_delta(enabled: bool) {
+    let _ = DELTA.set(enabled);
 }
 
 /// Literal-redraw policy for every simulated workload in this run.
@@ -98,6 +107,11 @@ fn pipeline_config() -> PipelineConfig {
             ExecCacheConfig::default()
         } else {
             ExecCacheConfig::disabled()
+        },
+        delta: if *DELTA.get_or_init(|| true) {
+            DeltaConfig::default()
+        } else {
+            DeltaConfig::disabled()
         },
         ..PipelineConfig::default()
     }
@@ -158,6 +172,16 @@ fn main() {
         args.drain(i..=i + 1);
     } else if let Ok(value) = std::env::var("QO_EXEC_CACHE") {
         set_exec_cache(parse_cache_flag(&value));
+    }
+    if let Some(i) = args.iter().position(|a| a == "--delta-compile") {
+        let enabled = args.get(i + 1).map(String::as_str).unwrap_or_else(|| {
+            eprintln!("--delta-compile requires on|off");
+            std::process::exit(2);
+        });
+        set_delta(parse_cache_flag(enabled));
+        args.drain(i..=i + 1);
+    } else if let Ok(value) = std::env::var("QO_DELTA") {
+        set_delta(parse_cache_flag(&value));
     }
     if let Some(i) = args.iter().position(|a| a == "--literals") {
         let policy = args.get(i + 1).map(String::as_str).unwrap_or_else(|| {

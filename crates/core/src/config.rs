@@ -14,16 +14,18 @@
 //! | `QO_THREADS`    | `--threads N`      | integer (`0` = all cores)         | Worker threads for the pipeline's compile-bound fan-outs ([`ParallelismConfig`]); unset/`1` = serial |
 //! | `QO_CACHE`      | `--cache V`        | `on`/`1`/`true`, `off`/`0`/`false`| Compile-result cache ([`scope_opt::CacheConfig`], on by default) shared across view building, span fixpoint, recommendation, flighting, and days |
 //! | `QO_EXEC_CACHE` | `--exec-cache V`   | `on`/`1`/`true`, `off`/`0`/`false`| Execution-result cache ([`scope_runtime::ExecCacheConfig`], on by default) shared across production runs, counterfactual runs, flighting, and days — memoizes stage graphs and whole simulated runs |
+//! | `QO_DELTA`      | `--delta-compile V`| `on`/`1`/`true`, `off`/`0`/`false`| Delta treatment compilation ([`scope_opt::DeltaConfig`], on by default): recommendation and flighting treatment slates are priced as incremental passes over a shared per-plan base memo instead of from-scratch compiles — byte-identical results, only throughput differs |
 //! | `QO_LITERALS`   | `--literals P`     | `fresh`, `sticky`, `sticky:N`, `mixed:F` | Literal-redraw policy ([`scope_workload::LiteralPolicy`]) of recurring templates: fresh per run (default), pinned per N-day epoch (`sticky:0` = forever), or a sticky fraction `F` of templates |
 //!
 //! `probe` reads the same environment variables; `experiments` also accepts
 //! the flags. Programmatic equivalents: [`PipelineConfig::parallelism`],
-//! [`PipelineConfig::cache`], [`PipelineConfig::exec_cache`], and
+//! [`PipelineConfig::cache`], [`PipelineConfig::exec_cache`],
+//! [`PipelineConfig::delta`], and
 //! [`scope_workload::WorkloadConfig::literals`].
 
 use flighting::FlightBudget;
 use personalizer::CbConfig;
-use scope_opt::CacheConfig;
+use scope_opt::{CacheConfig, DeltaConfig};
 use scope_runtime::ExecCacheConfig;
 use serde::{Deserialize, Serialize};
 
@@ -83,6 +85,14 @@ pub struct PipelineConfig {
     /// and seeds, so — exactly like `cache` — this is a throughput knob
     /// that never changes steering outputs.
     pub exec_cache: ExecCacheConfig,
+    /// Delta treatment compilation over the recommendation/flighting
+    /// slates: each plan's default compilation is frozen as a shared
+    /// `scope_opt::delta::BaseMemo` and rule-flip treatments are priced
+    /// incrementally against it. Byte-identical to from-scratch compiles
+    /// (asserted in `tests/delta_equivalence.rs` and
+    /// `tests/determinism.rs`), so — like the two result caches — a pure
+    /// throughput knob.
+    pub delta: DeltaConfig,
     /// Contextual bandit hyper-parameters.
     pub cb: CbConfig,
     /// Flighting budget per daily batch.
@@ -120,6 +130,7 @@ impl Default for PipelineConfig {
             parallelism: ParallelismConfig::serial(),
             cache: CacheConfig::default(),
             exec_cache: ExecCacheConfig::default(),
+            delta: DeltaConfig::default(),
             cb: CbConfig::default(),
             flight_budget: FlightBudget::default(),
             validation_threshold: -0.1,

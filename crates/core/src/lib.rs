@@ -24,15 +24,19 @@
 //! jobs counterfactually, and feeds the view to [`QoAdvisor::run_day`].
 //! Every compile in that loop — production view building, counterfactuals,
 //! and all five pipeline stages — goes through one shared
-//! `scope_opt::CachingOptimizer`, and every *execution* — production runs,
+//! `scope_opt::CachingOptimizer` (whose delta compiler prices the
+//! recommendation/flighting treatment slates incrementally against each
+//! plan's frozen base memo), and every *execution* — production runs,
 //! counterfactual default runs, flighting's baseline/treatment pairs —
 //! through `scope_runtime::Executor`s behind one shared
-//! `scope_runtime::ExecutionCache`; [`DailyReport::compile_cache`] and
-//! [`DailyReport::exec_cache`] attribute their hits per stage. Throughput
-//! knobs (worker threads, the two result caches, the workload's
-//! literal-redraw policy) are catalogued in the [`config`] module's knob
-//! table; see `ARCHITECTURE.md` at the repo root for the crate map and the
-//! determinism contract.
+//! `scope_runtime::ExecutionCache`; [`DailyReport::compile_cache`],
+//! [`DailyReport::exec_cache`], and [`DailyReport::delta_compile`]
+//! attribute the traffic, and [`DailyReport::timings`] carries per-stage
+//! wall clocks. Throughput knobs (worker threads, the two result caches,
+//! delta compilation, the workload's literal-redraw policy) are catalogued
+//! in the [`config`] module's knob table; see `ARCHITECTURE.md` at the
+//! repo root for the crate map and the determinism contract, and
+//! `PERFORMANCE.md` for the measured trajectory.
 //!
 //! # Quick start
 //!
@@ -66,9 +70,9 @@ pub mod validation_model;
 pub use baselines::{random_flip, Negi2021, Negi2021Outcome};
 pub use config::{ParallelismConfig, PipelineConfig, RecommendStrategy};
 pub use features::{action_slate, context_features, context_features_opt, reward_from_costs};
-pub use monitoring::{CacheCounters, ExecCounters, MonitorConfig, RegressionMonitor};
+pub use monitoring::{CacheCounters, ExecCounters, MonitorConfig, RegressionMonitor, StageTimings};
 pub use pipeline::{DailyReport, QoAdvisor, Recommendation};
-pub use scope_opt::{CacheConfig, CacheStats};
+pub use scope_opt::{CacheConfig, CacheStats, DeltaConfig, DeltaStats};
 pub use scope_runtime::{CachingExecutor, ExecCacheConfig, ExecStats, ExecutionCache, Executor};
 pub use scope_workload::ViewBuildError;
 pub use simulation::{

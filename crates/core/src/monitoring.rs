@@ -139,6 +139,47 @@ impl ExecCounters {
     }
 }
 
+/// Wall-clock time of each phase of one simulated day, in nanoseconds —
+/// embedded in [`crate::DailyReport`] so the per-day perf trajectory is
+/// machine-readable (the `probe --json` output ships it into
+/// `results/BENCH_probe.json`; see `PERFORMANCE.md`).
+///
+/// Pure observability, like the cache counters: wall clocks obviously vary
+/// run to run, so reproducibility comparisons zero this field (see
+/// `tests/determinism.rs`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    /// Production view building ([`crate::ProductionSim::advance_day`] only;
+    /// zero for a bare [`crate::QoAdvisor::run_day`]).
+    pub view_build_ns: u64,
+    /// Counterfactual default compiles + runs of hinted production jobs.
+    pub counterfactual_ns: u64,
+    /// Task 1 — Feature Generation (span fixpoint).
+    pub feature_gen_ns: u64,
+    /// Task 2 — Recommendation (+ recompilation / slate pricing).
+    pub recommend_ns: u64,
+    /// Task 3 — Flighting.
+    pub flight_ns: u64,
+    /// Task 4 — Validation.
+    pub validate_ns: u64,
+    /// Task 5 — Hint Generation / SIS publish.
+    pub publish_ns: u64,
+}
+
+impl StageTimings {
+    /// Total instrumented nanoseconds of the day.
+    #[must_use]
+    pub fn total_ns(&self) -> u64 {
+        self.view_build_ns
+            + self.counterfactual_ns
+            + self.feature_gen_ns
+            + self.recommend_ns
+            + self.flight_ns
+            + self.validate_ns
+            + self.publish_ns
+    }
+}
+
 /// Monitor configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MonitorConfig {

@@ -83,6 +83,14 @@ pub struct DailyReport {
     /// (all-zero when the cache is off; zeroed in reproducibility
     /// comparisons).
     pub exec_cache: ExecCounters,
+    /// Delta-compilation telemetry: how the day's treatment slates were
+    /// resolved (pruned / delta / full) and the base-memo cache traffic.
+    /// All-zero when `QO_DELTA=off`; observability only, zeroed in
+    /// reproducibility comparisons like the cache counters.
+    pub delta_compile: scope_opt::DeltaStats,
+    /// Per-stage wall-clock timings of this day (observability only;
+    /// zeroed in reproducibility comparisons).
+    pub timings: crate::monitoring::StageTimings,
 }
 
 /// The QO-Advisor system: pipeline state that persists across days. The
@@ -140,7 +148,7 @@ impl QoAdvisor {
         let exec_cache = ExecutionCache::shared(config.exec_cache);
         let preprod_exec = CachingExecutor::new(flighting.cluster().clone(), exec_cache.clone());
         Self {
-            optimizer: CachingOptimizer::new(optimizer, config.cache),
+            optimizer: CachingOptimizer::new(optimizer, config.cache).with_delta(config.delta),
             exec_cache,
             preprod_exec,
             flighting,
@@ -212,6 +220,12 @@ impl QoAdvisor {
     #[must_use]
     pub fn cache_stats(&self) -> CacheStats {
         self.optimizer.stats()
+    }
+
+    /// Lifetime delta-compilation counters (all-zero when `delta` is off).
+    #[must_use]
+    pub fn delta_stats(&self) -> scope_opt::DeltaStats {
+        self.optimizer.delta_stats()
     }
 
     /// Build an executor over `cluster` that shares the advisor's
@@ -295,23 +309,38 @@ impl QoAdvisor {
             ..DailyReport::default()
         };
         // Stages run sequentially (each fans out internally), so snapshots
-        // between them attribute every cache lookup to exactly one stage.
+        // between them attribute every cache lookup — and every wall-clock
+        // nanosecond — to exactly one stage.
+        let elapsed = |t: std::time::Instant| t.elapsed().as_nanos() as u64;
+        let d0 = self.optimizer.delta_stats();
         let s0 = self.optimizer.stats();
+        let t0 = std::time::Instant::now();
         let spanned = stages::feature_gen(self, view, &mut report);
+        report.timings.feature_gen_ns = elapsed(t0);
         let s1 = self.optimizer.stats();
+        let t1 = std::time::Instant::now();
         let recommended = stages::recommend(self, &spanned, day, &mut report);
+        report.timings.recommend_ns = elapsed(t1);
         let s2 = self.optimizer.stats();
         let e2 = self.exec_stats();
+        let t2 = std::time::Instant::now();
         let flighted = stages::flight(self, recommended, &mut report);
+        report.timings.flight_ns = elapsed(t2);
         let s3 = self.optimizer.stats();
         let e3 = self.exec_stats();
+        let t3 = std::time::Instant::now();
         let validated = stages::validate(self, &flighted, &mut report);
+        report.timings.validate_ns = elapsed(t3);
+        let t4 = std::time::Instant::now();
         stages::publish(self, validated, day, &mut report);
+        report.timings.publish_ns = elapsed(t4);
         report.compile_cache.feature_gen = s1.since(&s0);
         report.compile_cache.recommend = s2.since(&s1);
         report.compile_cache.flight = s3.since(&s2);
-        // Flighting is the only pipeline stage that executes plans.
+        // Flighting is the only pipeline stage that executes plans, and the
+        // pipeline (recommendation + flighting) is the only slate compiler.
         report.exec_cache.flight = e3.since(&e2);
+        report.delta_compile = self.optimizer.delta_stats().since(&d0);
         report
     }
 
@@ -519,6 +548,10 @@ mod tests {
         assert_eq!(off.cache_stats(), scope_opt::CacheStats::default());
         let mut normalized = report.clone();
         normalized.compile_cache = CacheCounters::default();
+        // Telemetry-only fields (wall clocks, delta-resolution counters)
+        // legitimately differ between the two runs; steering must not.
+        normalized.timings = report_off.timings;
+        normalized.delta_compile = report_off.delta_compile;
         assert_eq!(
             normalized, report_off,
             "the cache must never change what the pipeline decides"

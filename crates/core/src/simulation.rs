@@ -216,12 +216,15 @@ impl ProductionSim {
         let hints = self.advisor.sis().snapshot();
         let s0 = self.advisor.cache_stats();
         let e0 = self.advisor.exec_stats();
+        let d0 = self.advisor.delta_stats();
+        let t0 = std::time::Instant::now();
         let view = build_view(
             &jobs,
             self.advisor.caching_optimizer(),
             &hints,
             &self.prod_exec,
         )?;
+        let view_build_ns = t0.elapsed().as_nanos() as u64;
         let s1 = self.advisor.cache_stats();
         let e1 = self.advisor.exec_stats();
 
@@ -230,6 +233,7 @@ impl ProductionSim {
         // runs through its execution cache — same results as uncached,
         // shared with the pipeline.
         let default_config = self.advisor.optimizer().default_config();
+        let t1 = std::time::Instant::now();
         let mut comparisons = Vec::new();
         for row in view.iter().filter(|r| r.hint_applied) {
             let Ok(default_compiled) = self.advisor.compile(&row.plan, &default_config) else {
@@ -246,6 +250,7 @@ impl ProductionSim {
                 steered: row.metrics,
             });
         }
+        let counterfactual_ns = t1.elapsed().as_nanos() as u64;
         let s2 = self.advisor.cache_stats();
         let e2 = self.advisor.exec_stats();
 
@@ -264,6 +269,14 @@ impl ProductionSim {
         report.compile_cache.counterfactual = s2.since(&s1);
         report.exec_cache.view_build = e1.since(&e0);
         report.exec_cache.counterfactual = e2.since(&e1);
+        // Widen run_day's own delta snapshot to the whole simulated day:
+        // default-configuration compile misses during view building /
+        // counterfactuals route through the delta compiler's base builder
+        // (that is where most `base_builds` land under fresh literals), and
+        // they belong to this day's traffic.
+        report.delta_compile = self.advisor.delta_stats().since(&d0);
+        report.timings.view_build_ns = view_build_ns;
+        report.timings.counterfactual_ns = counterfactual_ns;
         self.day += 1;
         Ok(DayOutcome {
             report,
@@ -412,6 +425,8 @@ mod tests {
         assert_eq!(off.advisor.exec_stats(), Default::default());
         let mut normalized = day_on.report.clone();
         normalized.exec_cache = day_off.report.exec_cache;
+        // Wall clocks legitimately differ between the two runs.
+        normalized.timings = day_off.report.timings;
         assert_eq!(
             normalized, day_off.report,
             "the execution cache must never change what the loop decides"

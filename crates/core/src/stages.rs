@@ -25,9 +25,13 @@
 //! [`CachingOptimizer`], so a `(plan, configuration)` pair recompiled across
 //! stages (the flight baseline repeats Feature Generation's default compile;
 //! the flight treatment repeats Recommendation's flip compile) or across
-//! days is a lookup, not a search. Compilation is deterministic, so the
-//! cache — like the thread pool — is a throughput knob, never a behavior
-//! knob.
+//! days is a lookup, not a search — and the treatment compiles the cache
+//! can never serve (fresh flips are new `(plan, config)` pairs) go through
+//! `Compiler::compile_slate`, priced incrementally against the plan's
+//! shared base memo (`scope_opt::delta`). Compilation is deterministic and
+//! delta results are byte-identical to from-scratch compiles, so the
+//! cache and the delta compiler — like the thread pool — are throughput
+//! knobs, never behavior knobs.
 
 use crate::config::{ParallelismConfig, RecommendStrategy};
 use crate::features::{action_slate, context_features_opt, reward_from_costs};
@@ -271,48 +275,61 @@ pub(crate) fn recommend(
         decisions.push(JobDecisions { train, act });
     }
 
-    // Phase 3: recompile fan-out. One task per distinct (job, flip); when
-    // the training and acting passes chose the same flip the compile is
-    // shared (compilation is deterministic, so this is observationally
-    // identical to compiling twice).
-    struct CompileTask<'v> {
+    // Phase 3: recompile fan-out, one *slate* per job — the job's 1-2
+    // distinct treatment configurations priced together against the default
+    // base configuration, so `Compiler::compile_slate` can reuse the plan's
+    // base memo across them (and, through the shared `DeltaCompiler`,
+    // across jobs, stages, and days). When the training and acting passes
+    // chose the same flip the compile is shared (compilation is
+    // deterministic, so this is observationally identical to compiling
+    // twice).
+    struct CompileSlate<'v> {
         plan: &'v LogicalPlan,
-        flip: RuleFlip,
+        treatments: Vec<scope_opt::RuleConfig>,
     }
-    let mut tasks: Vec<CompileTask<'_>> = Vec::new();
-    let mut train_task: Vec<Option<usize>> = Vec::with_capacity(jobs.len());
-    let mut act_task: Vec<Option<usize>> = Vec::with_capacity(jobs.len());
+    /// Where a job's decision's cost lives: `(slate index, treatment index)`.
+    type TaskRef = Option<(usize, usize)>;
+    let mut slates: Vec<CompileSlate<'_>> = Vec::new();
+    let mut train_task: Vec<TaskRef> = Vec::with_capacity(jobs.len());
+    let mut act_task: Vec<TaskRef> = Vec::with_capacity(jobs.len());
     for (job, decision) in jobs.iter().zip(&decisions) {
         let train_flip = decision.train.and_then(|(_, flip)| flip);
         let act_flip = match decision.act {
             ActDecision::Flip(flip, _) => Some(flip),
             ActDecision::Noop(_) => None,
         };
+        if train_flip.is_none() && act_flip.is_none() {
+            train_task.push(None);
+            act_task.push(None);
+            continue;
+        }
+        let slate_idx = slates.len();
+        let mut treatments = Vec::with_capacity(2);
         let train_idx = train_flip.map(|flip| {
-            tasks.push(CompileTask {
-                plan: &job.row.plan,
-                flip,
-            });
-            tasks.len() - 1
+            treatments.push(default_config.with_flip(flip));
+            (slate_idx, treatments.len() - 1)
         });
         let act_idx = match (act_flip, train_flip, train_idx) {
             (Some(act), Some(train), Some(idx)) if act == train => Some(idx),
             (Some(flip), _, _) => {
-                tasks.push(CompileTask {
-                    plan: &job.row.plan,
-                    flip,
-                });
-                Some(tasks.len() - 1)
+                treatments.push(default_config.with_flip(flip));
+                Some((slate_idx, treatments.len() - 1))
             }
             (None, _, _) => None,
         };
+        slates.push(CompileSlate {
+            plan: &job.row.plan,
+            treatments,
+        });
         train_task.push(train_idx);
         act_task.push(act_idx);
     }
-    let costs: Vec<Result<f64, CompileError>> = par_map(qa.pool.as_ref(), &tasks, |task| {
+    let costs: Vec<Vec<Result<f64, CompileError>>> = par_map(qa.pool.as_ref(), &slates, |slate| {
         optimizer
-            .compile(task.plan, &default_config.with_flip(task.flip))
-            .map(|compiled| compiled.est_cost)
+            .compile_slate(slate.plan, &default_config, &slate.treatments)
+            .into_iter()
+            .map(|result| result.map(|compiled| compiled.est_cost))
+            .collect()
     });
 
     // Phase 4: serial reduce, job order — bandit rewards, Table-3 counters,
@@ -324,7 +341,7 @@ pub(crate) fn recommend(
             let reward = match flip {
                 None => 1.0, // no-op: cost ratio is exactly 1
                 Some(_) => {
-                    let cost = train_task[i].and_then(|t| costs[t].as_ref().ok().copied());
+                    let cost = train_task[i].and_then(|(s, t)| costs[s][t].as_ref().ok().copied());
                     reward_from_costs(default_cost, cost, qa.config.reward_clip)
                 }
             };
@@ -342,7 +359,7 @@ pub(crate) fn recommend(
             ActDecision::Flip(flip, event) => {
                 report.total_default_cost += default_cost;
                 let outcome = act_task[i]
-                    .map(|t| &costs[t])
+                    .map(|(s, t)| &costs[s][t])
                     .expect("flip decisions compile");
                 match outcome {
                     Ok(new_cost) => {

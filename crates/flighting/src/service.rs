@@ -102,7 +102,13 @@ impl FlightingService {
                 outcomes.push(out);
                 continue;
             }
-            // Both arms must compile in pre-production.
+            // Both arms must compile in pre-production. The treatment goes
+            // through the slate API: a `CachingOptimizer` with delta
+            // compilation enabled prices it against the baseline
+            // configuration's shared base memo (byte-identical to a
+            // from-scratch compile — usually it is already a compile-cache
+            // hit anyway, because recommendation priced the same
+            // `(plan, treatment)` pair earlier the same day).
             let baseline = match optimizer.compile(&req.plan, &req.baseline) {
                 Ok(c) => c,
                 Err(e) => {
@@ -110,7 +116,15 @@ impl FlightingService {
                     continue;
                 }
             };
-            let treatment = match optimizer.compile(&req.plan, &req.treatment) {
+            let treatment = match optimizer
+                .compile_slate(
+                    &req.plan,
+                    &req.baseline,
+                    std::slice::from_ref(&req.treatment),
+                )
+                .pop()
+                .expect("one result per slate treatment")
+            {
                 Ok(c) => c,
                 Err(e) => {
                     outcomes.push(FlightOutcome::Failure(format!("treatment: {e}")));

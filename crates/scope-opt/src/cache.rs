@@ -24,6 +24,7 @@
 //! without caring whether it is enabled.
 
 use crate::config::{RuleBits, RuleConfig};
+use crate::delta::{DeltaCompiler, DeltaConfig, DeltaStats};
 use crate::registry::RuleSet;
 use crate::search::{CompileError, Compiled, Compiler, Optimizer};
 use parking_lot::RwLock;
@@ -86,6 +87,14 @@ struct Shard {
     map: FxHashMap<Key, Result<Compiled, CompileError>>,
     /// Insertion order, for FIFO eviction once the shard is full.
     order: VecDeque<Key>,
+    /// Evictions performed by *this* shard. Eviction is a per-shard event
+    /// (each shard enforces its own slice of the capacity), so the counter
+    /// lives under the shard lock — a single cache-wide atomic silently
+    /// merged every shard's evictions and made skew invisible: one hot
+    /// shard churning at capacity looked identical to uniform pressure.
+    /// [`CompileCache::stats`] sums these; [`CompileCache::shard_evictions`]
+    /// exposes the attribution.
+    evictions: u64,
 }
 
 /// The sharded compile-result cache. `&CompileCache` is `Sync`: parallel
@@ -98,7 +107,6 @@ pub struct CompileCache {
     hits: AtomicU64,
     misses: AtomicU64,
     inserts: AtomicU64,
-    evictions: AtomicU64,
 }
 
 impl CompileCache {
@@ -116,7 +124,6 @@ impl CompileCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
         }
     }
 
@@ -144,24 +151,58 @@ impl CompileCache {
         plan: &LogicalPlan,
         config: &RuleConfig,
     ) -> Result<Compiled, CompileError> {
-        let key = (Self::plan_fingerprint(plan), *config.bits());
-        let shard = self.shard_for(&key);
-        if let Some(cached) = shard.read().map.get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return cached.clone();
+        if let Some(cached) = self.lookup(plan, config) {
+            return cached;
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
         let result = optimizer.compile(plan, config);
+        self.insert(plan, config, &result);
+        result
+    }
+
+    /// Counted lookup: the stored result for `(plan, config)`, bumping the
+    /// hit/miss counters. The delta slate path uses this (paired with
+    /// [`CompileCache::insert`]) so a slate's cache traffic is accounted
+    /// exactly like [`CompileCache::get_or_compile`]'s.
+    #[must_use]
+    pub fn lookup(
+        &self,
+        plan: &LogicalPlan,
+        config: &RuleConfig,
+    ) -> Option<Result<Compiled, CompileError>> {
+        let key = (Self::plan_fingerprint(plan), *config.bits());
+        let found = self.shard_for(&key).read().map.get(&key).cloned();
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Store a compile result computed elsewhere (a delta-compiled
+    /// treatment inserts under the same `(fingerprint, RuleBits)` key a
+    /// from-scratch compile would use — the results are byte-identical, so
+    /// the cache cannot tell them apart).
+    pub fn insert(
+        &self,
+        plan: &LogicalPlan,
+        config: &RuleConfig,
+        result: &Result<Compiled, CompileError>,
+    ) {
         // Pre-warm the physical plan's fingerprint memo once per unique
-        // compile: every clone handed out below carries it, so downstream
-        // execution-cache lookups (`scope_runtime::CachingExecutor`) cost
-        // an atomic load instead of a serialize-and-hash per execution.
-        if let Ok(compiled) = &result {
+        // compile — through the reference, so the *caller's* value (and
+        // every clone taken from it afterwards, including the one stored
+        // below) carries the memo and downstream execution-cache lookups
+        // (`scope_runtime::CachingExecutor`) cost an atomic load instead of
+        // a serialize-and-hash per execution.
+        if let Ok(compiled) = result {
             let _ = compiled.physical.fingerprint();
         }
+        let key = (Self::plan_fingerprint(plan), *config.bits());
+        let shard = self.shard_for(&key);
         let mut guard = shard.write();
-        // A concurrent miss may have inserted while we compiled; both
-        // computed the identical value (compilation is deterministic), so
+        // A concurrent writer may have inserted while we computed; both
+        // hold the identical value (compilation is deterministic), so
         // first writer wins and the duplicate work is only a perf loss.
         if let std::collections::hash_map::Entry::Vacant(slot) = guard.map.entry(key) {
             slot.insert(result.clone());
@@ -172,21 +213,30 @@ impl CompileCache {
                     break;
                 };
                 guard.map.remove(&oldest);
-                self.evictions.fetch_add(1, Ordering::Relaxed);
+                guard.evictions += 1;
             }
         }
-        result
     }
 
-    /// Snapshot of the monotonic counters.
+    /// Snapshot of the monotonic counters. Evictions are summed from the
+    /// per-shard counters (see [`CompileCache::shard_evictions`]).
     #[must_use]
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             inserts: self.inserts.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
+            evictions: self.shard_evictions().iter().sum(),
         }
+    }
+
+    /// Evictions attributed to each shard, in shard order. Capacity is
+    /// enforced per shard, so skewed key distributions show up here as one
+    /// shard churning while the rest idle — invisible when the counter was
+    /// a single cache-wide atomic.
+    #[must_use]
+    pub fn shard_evictions(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.read().evictions).collect()
     }
 
     /// Live entries across all shards.
@@ -210,31 +260,49 @@ impl CompileCache {
     }
 }
 
-/// An [`Optimizer`] plus an optional [`CompileCache`], behind the same
-/// [`Compiler`] interface as the bare optimizer. This is what the pipeline
-/// holds: one wrapper, one shared cache across span computation,
-/// recommendation scoring, validation recompiles — and across days.
+/// An [`Optimizer`] plus an optional [`CompileCache`] and an optional
+/// [`DeltaCompiler`], behind the same [`Compiler`] interface as the bare
+/// optimizer. This is what the pipeline holds: one wrapper, one shared
+/// compile-result cache and one shared base-memo cache across span
+/// computation, recommendation scoring, validation recompiles — and across
+/// days.
 #[derive(Debug)]
 pub struct CachingOptimizer {
     inner: Optimizer,
     cache: Option<CompileCache>,
+    /// Delta treatment compilation for [`CachingOptimizer::compile_slate`]
+    /// (`None` = slates compile treatment by treatment).
+    delta: Option<DeltaCompiler>,
 }
 
 impl CachingOptimizer {
     /// Wrap `inner` per `config` (`enabled: false` builds no cache at all).
+    /// Delta compilation starts disabled; see [`CachingOptimizer::with_delta`].
     #[must_use]
     pub fn new(inner: Optimizer, config: CacheConfig) -> Self {
         Self {
             cache: config.enabled.then(|| CompileCache::new(config)),
             inner,
+            delta: None,
         }
+    }
+
+    /// Enable (or explicitly disable) delta slate compilation per `config`.
+    #[must_use]
+    pub fn with_delta(mut self, config: DeltaConfig) -> Self {
+        self.delta = config.enabled.then(|| DeltaCompiler::new(config));
+        self
     }
 
     /// A pass-through wrapper (every compile goes straight to the inner
     /// optimizer).
     #[must_use]
     pub fn uncached(inner: Optimizer) -> Self {
-        Self { inner, cache: None }
+        Self {
+            inner,
+            cache: None,
+            delta: None,
+        }
     }
 
     #[must_use]
@@ -267,15 +335,102 @@ impl CachingOptimizer {
     }
 
     /// Compile through the cache when enabled, directly otherwise.
+    ///
+    /// With both the cache and the delta compiler enabled, a *default-
+    /// configuration* miss compiles through [`DeltaCompiler::base_for`]
+    /// instead: the pipeline compiles every plan's default configuration
+    /// anyway (production view build, span fixpoint), and retaining that
+    /// compilation's explored memo as the plan's [`crate::delta::BaseMemo`]
+    /// costs ~a quarter of rebuilding it later — which is what made delta
+    /// slates pay off even for fresh-literal workloads whose plans never
+    /// recur across days. The returned `Compiled` is the identical artifact
+    /// either way.
     pub fn compile(
         &self,
         plan: &LogicalPlan,
         config: &RuleConfig,
     ) -> Result<Compiled, CompileError> {
-        match &self.cache {
-            Some(cache) => cache.get_or_compile(&self.inner, plan, config),
-            None => self.inner.compile(plan, config),
+        match (&self.cache, &self.delta) {
+            (Some(cache), Some(delta)) if *config == self.inner.default_config() => {
+                if let Some(cached) = cache.lookup(plan, config) {
+                    return cached;
+                }
+                let result = delta
+                    .base_for(&self.inner, plan, config)
+                    .map(|base| base.compiled().clone());
+                cache.insert(plan, config, &result);
+                result
+            }
+            (Some(cache), _) => cache.get_or_compile(&self.inner, plan, config),
+            (None, _) => self.inner.compile(plan, config),
         }
+    }
+
+    /// The delta compiler behind [`CachingOptimizer::compile_slate`], when
+    /// enabled.
+    #[must_use]
+    pub fn delta_compiler(&self) -> Option<&DeltaCompiler> {
+        self.delta.as_ref()
+    }
+
+    /// Delta-compiler counter snapshot; all-zero when delta is disabled.
+    #[must_use]
+    pub fn delta_stats(&self) -> DeltaStats {
+        self.delta
+            .as_ref()
+            .map(DeltaCompiler::stats)
+            .unwrap_or_default()
+    }
+
+    /// Price a treatment slate: compile-cache lookups first, then the delta
+    /// compiler for the misses (inserting its byte-identical results under
+    /// the same `(fingerprint, RuleBits)` keys a from-scratch compile would
+    /// use), falling back to per-treatment compiles when delta is disabled
+    /// or the base itself fails to compile.
+    pub fn compile_slate(
+        &self,
+        plan: &LogicalPlan,
+        base: &RuleConfig,
+        treatments: &[RuleConfig],
+    ) -> Vec<Result<Compiled, CompileError>> {
+        let Some(delta) = &self.delta else {
+            return treatments
+                .iter()
+                .map(|treatment| self.compile(plan, treatment))
+                .collect();
+        };
+        let mut slots: Vec<Option<Result<Compiled, CompileError>>> = match &self.cache {
+            Some(cache) => treatments
+                .iter()
+                .map(|treatment| cache.lookup(plan, treatment))
+                .collect(),
+            None => treatments.iter().map(|_| None).collect(),
+        };
+        if slots.iter().any(Option::is_none) {
+            let base_memo = delta.base_for(&self.inner, plan, base);
+            for (slot, treatment) in slots.iter_mut().zip(treatments) {
+                if slot.is_some() {
+                    continue;
+                }
+                let result = match &base_memo {
+                    Ok(base_memo) => delta.price_with(&self.inner, base_memo, plan, treatment),
+                    Err(_) => {
+                        // No base to share: price this treatment from
+                        // scratch (still counted, still cached).
+                        delta.record_full();
+                        self.inner.compile(plan, treatment)
+                    }
+                };
+                if let Some(cache) = &self.cache {
+                    cache.insert(plan, treatment, &result);
+                }
+                *slot = Some(result);
+            }
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every slate slot resolved"))
+            .collect()
     }
 }
 
@@ -290,6 +445,15 @@ impl Compiler for CachingOptimizer {
 
     fn compile(&self, plan: &LogicalPlan, config: &RuleConfig) -> Result<Compiled, CompileError> {
         CachingOptimizer::compile(self, plan, config)
+    }
+
+    fn compile_slate(
+        &self,
+        plan: &LogicalPlan,
+        base: &RuleConfig,
+        treatments: &[RuleConfig],
+    ) -> Vec<Result<Compiled, CompileError>> {
+        CachingOptimizer::compile_slate(self, plan, base, treatments)
     }
 }
 
@@ -432,6 +596,67 @@ mod tests {
         let before = cache.stats();
         let _ = cache.get_or_compile(&opt, &p, &configs[2]);
         assert_eq!(cache.stats().since(&before).hits, 1);
+    }
+
+    #[test]
+    fn evictions_are_attributed_to_the_shard_that_evicted() {
+        let opt = Optimizer::default();
+        // Several shards, one entry of headroom each: every eviction must
+        // land on the shard whose slice of the capacity overflowed, and the
+        // roll-up must equal the per-shard sum (the counter used to be one
+        // cache-wide atomic, which hid exactly this attribution).
+        let cache = CompileCache::new(CacheConfig {
+            enabled: true,
+            capacity: 4,
+            shards: 4,
+        });
+        let p = plan();
+        let default = opt.default_config();
+        for rule in opt.rules().flippable().take(12) {
+            let _ = cache.get_or_compile(
+                &opt,
+                &p,
+                &default.with_flip(RuleFlip {
+                    rule,
+                    enable: !default.enabled(rule),
+                }),
+            );
+        }
+        let per_shard = cache.shard_evictions();
+        assert_eq!(per_shard.len(), 4);
+        let total: u64 = per_shard.iter().sum();
+        assert_eq!(
+            cache.stats().evictions,
+            total,
+            "stats roll up the per-shard eviction counters"
+        );
+        // 12 inserts into 4 shards of capacity 1 must evict somewhere...
+        assert!(total > 0, "per-shard capacity must have been exceeded");
+        // ...and live entries respect the per-shard cap.
+        assert_eq!(cache.stats().inserts, 12);
+        assert_eq!(cache.len() as u64 + total, 12);
+    }
+
+    #[test]
+    fn lookup_and_insert_mirror_get_or_compile_counters() {
+        let opt = Optimizer::default();
+        let cache = CompileCache::new(CacheConfig::default());
+        let p = plan();
+        let cfg = opt.default_config();
+        assert!(cache.lookup(&p, &cfg).is_none());
+        assert_eq!(cache.stats().misses, 1);
+        let result = opt.compile(&p, &cfg);
+        cache.insert(&p, &cfg, &result);
+        assert_eq!(cache.stats().inserts, 1);
+        // The caller's value was pre-warmed through the reference, so the
+        // fingerprint memo is already set on `result` itself.
+        let looked_up = cache.lookup(&p, &cfg).expect("inserted result hits");
+        assert_eq!(looked_up, result);
+        assert_eq!(cache.stats().hits, 1);
+        // Duplicate insert: first writer wins, no double count.
+        cache.insert(&p, &cfg, &result);
+        assert_eq!(cache.stats().inserts, 1);
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

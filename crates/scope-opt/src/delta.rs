@@ -1,0 +1,866 @@
+//! Delta treatment compilation over a shared base memo.
+//!
+//! The steering pipeline's treatment compiles — recommendation's candidate
+//! pricing and flighting's validation compiles — are single-rule-flip
+//! perturbations of a plan's *default* compilation (paper §2.4: the action
+//! space is edit distance 1 from the default configuration). A from-scratch
+//! [`Optimizer::compile`] per treatment redoes the whole budgeted search,
+//! even though almost all of it — exploration, the implementation pass over
+//! every group, costing, extraction — is byte-identical to the default
+//! compile. This is the cost Bao pays to price one query under many hint
+//! sets (Marcus et al. 2020) and the recompilation overhead *Query
+//! Optimization in the Wild* flags as the barrier to what-if steering at
+//! fleet scale.
+//!
+//! [`BaseMemo`] freezes one configuration's full compilation — the explored
+//! [`Memo`] (groups, logical expressions with rule provenance, physical
+//! candidates, per-group [`crate::memo::Best`] tables), the root groups, the
+//! *fired-transform* trace, and the [`Compiled`] result — as a shareable,
+//! immutable artifact. Each treatment is then priced by the cheapest sound
+//! method, chosen from the flip's provenance:
+//!
+//! * **Pruned** — the flip provably cannot change the memo: a disabled
+//!   transform that never fired (it consumed no exploration budget, so the
+//!   treatment's exploration trace is bit-identical), an enabled transform
+//!   with no match anywhere in the final memo (rewrite production is
+//!   monotone in memo growth, so it matches at no earlier state either), or
+//!   a disabled implementation rule absent from the base signature (its
+//!   candidates never won, and removing non-winners cannot displace a
+//!   first-index minimum). The base [`Compiled`] is reused directly — after
+//!   replaying the *instability draws*, which depend on the treatment's
+//!   configuration fingerprint and can still fail the treatment even though
+//!   the plan is unchanged.
+//! * **Delta** — the flip only touches the implementation layer (an
+//!   implementation/parametric rule, or a policy rule): exploration is
+//!   unchanged, so the base memo's groups are reused; only groups whose
+//!   logical operators match the flipped rule's target tag are
+//!   re-implemented (all groups, for a policy flip), their ancestors' `Best`
+//!   entries invalidated through the reverse logical edges, and costing +
+//!   extraction re-run — clean groups are memoized hits.
+//! * **Full** — the flip changes what exploration does (a fired transform
+//!   disabled, or an enabled transform that matches): the budgeted,
+//!   order-dependent search cannot be patched soundly, so the caller
+//!   compiles from scratch. With 18 of 256 rules being transforms, this is
+//!   the rare case.
+//!
+//! All three paths are **byte-identical** to a from-scratch compile of the
+//! treatment configuration — including `RuleInstability` failures, which
+//! replay with the same rule in the same check order
+//! (`tests/delta_equivalence.rs` asserts this exhaustively over seeded
+//! workload days).
+//!
+//! [`DeltaCompiler`] adds the fleet-scale piece: a sharded, FIFO-bounded
+//! cache of `Arc<BaseMemo>`s keyed by `(plan fingerprint, base
+//! configuration)`, so the base memo for a recurring plan is built once and
+//! shared across treatments, stages, and — under sticky literals — days.
+//! [`crate::cache::CachingOptimizer`] routes
+//! [`Compiler::compile_slate`](crate::search::Compiler::compile_slate)
+//! through it, layering the compile-result cache on top (delta results
+//! insert under the same `(fingerprint, RuleBits)` keys, so cached and
+//! delta-compiled runs stay interchangeable byte-for-byte).
+
+use crate::config::{RuleBits, RuleConfig};
+use crate::memo::{GroupId, Memo};
+use crate::registry::{impl_targets, RuleBehavior, TransformKind};
+use crate::rules::apply_transform;
+use crate::search::{CompileError, Compiled, Optimizer};
+use parking_lot::RwLock;
+use rustc_hash::FxHashMap;
+use scope_ir::ids::mix64;
+use scope_ir::logical::LogicalPlan;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Knobs of the delta compiler's base-memo cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeltaConfig {
+    /// Master switch. Disabled, every slate compile goes through the
+    /// ordinary per-treatment path (byte-identical, only slower).
+    pub enabled: bool,
+    /// Maximum retained base memos across all shards (`0` = unbounded). A
+    /// base memo holds a full explored memo (~tens of KB for simulated
+    /// plans), so this bounds the dominant memory cost of delta compilation.
+    pub capacity: usize,
+    /// Lock shards (rounded up to a power of two, clamped to 1..=1024).
+    pub shards: usize,
+}
+
+impl Default for DeltaConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            // Plenty for the live plan population of the simulated
+            // workloads (sticky literals keep ~1 plan per template alive;
+            // fresh literals rotate through FIFO), while bounding worst-case
+            // memory at tens of MB of retained memos.
+            capacity: 512,
+            shards: 8,
+        }
+    }
+}
+
+impl DeltaConfig {
+    /// Delta compilation turned off (slates compile treatment by treatment).
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self {
+            enabled: false,
+            ..Self::default()
+        }
+    }
+
+    /// Parse the `QO_DELTA` / `--delta-compile` switch spellings.
+    pub fn parse_switch(value: &str) -> Result<Self, String> {
+        match value {
+            "on" | "1" | "true" => Ok(Self::default()),
+            "off" | "0" | "false" => Ok(Self::disabled()),
+            other => Err(format!("expected on|off, got `{other}`")),
+        }
+    }
+}
+
+/// Monotonic delta-compiler counters (snapshot semantics, like
+/// [`crate::CacheStats`]): how each priced treatment was resolved, plus
+/// base-memo cache traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeltaStats {
+    /// Treatments resolved by the pruner: provably plan-identical flips that
+    /// reused the base `Compiled` after replaying the instability draws.
+    pub pruned: u64,
+    /// Treatments priced by an incremental pass over the base memo.
+    pub delta: u64,
+    /// Treatments that fell back to a from-scratch compile (exploration-
+    /// affecting flips, or a base compile that itself failed).
+    pub full: u64,
+    /// Base memos built from scratch.
+    pub base_builds: u64,
+    /// Base-memo cache hits.
+    pub base_hits: u64,
+}
+
+impl DeltaStats {
+    /// Total treatments priced through the delta compiler.
+    #[must_use]
+    pub fn treatments(&self) -> u64 {
+        self.pruned + self.delta + self.full
+    }
+
+    /// Counter deltas relative to an earlier snapshot.
+    #[must_use]
+    pub fn since(&self, earlier: &DeltaStats) -> DeltaStats {
+        DeltaStats {
+            pruned: self.pruned.saturating_sub(earlier.pruned),
+            delta: self.delta.saturating_sub(earlier.delta),
+            full: self.full.saturating_sub(earlier.full),
+            base_builds: self.base_builds.saturating_sub(earlier.base_builds),
+            base_hits: self.base_hits.saturating_sub(earlier.base_hits),
+        }
+    }
+}
+
+impl std::ops::Add for DeltaStats {
+    type Output = DeltaStats;
+
+    fn add(self, rhs: DeltaStats) -> DeltaStats {
+        DeltaStats {
+            pruned: self.pruned + rhs.pruned,
+            delta: self.delta + rhs.delta,
+            full: self.full + rhs.full,
+            base_builds: self.base_builds + rhs.base_builds,
+            base_hits: self.base_hits + rhs.base_hits,
+        }
+    }
+}
+
+impl std::iter::Sum for DeltaStats {
+    fn sum<I: Iterator<Item = DeltaStats>>(iter: I) -> DeltaStats {
+        iter.fold(DeltaStats::default(), std::ops::Add::add)
+    }
+}
+
+/// How [`BaseMemo::price`] resolved one treatment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PricedTreatment {
+    /// The flip provably leaves the memo — and therefore the plan, cost,
+    /// and signature — unchanged; the carried result is the base `Compiled`
+    /// (or the treatment-fingerprint instability failure replayed in the
+    /// order a from-scratch compile would raise it).
+    Pruned(Result<Compiled, CompileError>),
+    /// Priced by the incremental implement/cost/extract pass.
+    Delta(Result<Compiled, CompileError>),
+    /// The flip touches exploration; the caller must compile from scratch.
+    NeedsFull,
+}
+
+/// One configuration's compilation, frozen for incremental treatment
+/// pricing. Immutable and `Sync`: slate fan-outs share it behind an `Arc`.
+#[derive(Debug)]
+pub struct BaseMemo {
+    plan_fingerprint: u64,
+    base_bits: RuleBits,
+    template_seed: u64,
+    compiled: Compiled,
+    memo: Memo,
+    roots: Vec<GroupId>,
+    /// Transforms that produced ≥1 rewrite during base exploration (strict
+    /// superset of provenance-visible transforms; see `crate::search`).
+    fired_transforms: RuleBits,
+    /// Reverse logical edges: `parents[g]` lists every group with an
+    /// expression whose children include `g`. Physical expressions mirror
+    /// logical children (memo invariant), so this is the complete
+    /// cost-dependency graph for `Best` invalidation.
+    parents: Vec<Vec<u32>>,
+    /// Lazily memoized "does this transform match anywhere in the (final,
+    /// immutable) memo" answers, keyed by kind: a fixed property of the
+    /// frozen memo, but computing it is a full-memo scan — and every
+    /// enabled-transform treatment of every slate priced against this base
+    /// asks it again.
+    fires: RwLock<FxHashMap<TransformKind, bool>>,
+}
+
+/// Internal classification of a treatment against a base.
+enum Classification {
+    /// Every flip is a provable no-op on the memo.
+    Pruned,
+    /// Re-implement groups whose operator tag is in `tags` (every group when
+    /// `all` — a policy flip changes the implementation context globally).
+    Dirty { tags: Vec<&'static str>, all: bool },
+    /// Exploration-affecting flip: not patchable.
+    Full,
+}
+
+impl BaseMemo {
+    /// Compile `plan` under `base` from scratch and freeze the result.
+    /// Fails iff the base compile fails.
+    pub fn build(
+        optimizer: &Optimizer,
+        plan: &LogicalPlan,
+        base: &RuleConfig,
+    ) -> Result<BaseMemo, CompileError> {
+        let full = optimizer.compile_full(plan, base)?;
+        // Pre-warm the physical fingerprint once so every pruned clone
+        // carries the memo (same reasoning as the compile cache's pre-warm).
+        let _ = full.compiled.physical.fingerprint();
+        let n = full.memo.group_count();
+        let mut parents: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for gi in 0..n as u32 {
+            for lexpr in &full.memo.group(GroupId(gi)).lexprs {
+                for c in &lexpr.children {
+                    let up = &mut parents[c.index()];
+                    if up.last() != Some(&gi) {
+                        up.push(gi);
+                    }
+                }
+            }
+        }
+        Ok(BaseMemo {
+            plan_fingerprint: plan.fingerprint(),
+            base_bits: *base.bits(),
+            template_seed: plan.template_id().0,
+            compiled: full.compiled,
+            memo: full.memo,
+            roots: full.roots,
+            fired_transforms: full.fired_transforms,
+            parents,
+            fires: RwLock::new(FxHashMap::default()),
+        })
+    }
+
+    /// The base configuration's compilation result.
+    #[must_use]
+    pub fn compiled(&self) -> &Compiled {
+        &self.compiled
+    }
+
+    /// Fingerprint of the plan this base memo was built from.
+    #[must_use]
+    pub fn plan_fingerprint(&self) -> u64 {
+        self.plan_fingerprint
+    }
+
+    /// Price one treatment configuration against this base. The result is
+    /// byte-identical to `optimizer.compile(plan, treatment)` for the plan
+    /// this base was built from — including which `RuleInstability` error a
+    /// failing treatment raises — except for [`PricedTreatment::NeedsFull`],
+    /// where the caller must run that from-scratch compile itself.
+    #[must_use]
+    pub fn price(&self, optimizer: &Optimizer, treatment: &RuleConfig) -> PricedTreatment {
+        // Replay the up-front disable-path instability scan in the same
+        // position `Optimizer::compile` runs it: before any search.
+        if let Err(e) = optimizer.disable_path_check(treatment, self.template_seed) {
+            return PricedTreatment::Pruned(Err(e));
+        }
+        match self.classify(optimizer, treatment) {
+            Classification::Full => PricedTreatment::NeedsFull,
+            Classification::Pruned => {
+                let fp = treatment.bits().fingerprint();
+                let replay = optimizer
+                    .plan_instability_check(&self.compiled.signature, self.template_seed, fp)
+                    .map(|()| self.compiled.clone());
+                PricedTreatment::Pruned(replay)
+            }
+            Classification::Dirty { tags, all } => {
+                PricedTreatment::Delta(self.delta_compile(optimizer, treatment, &tags, all))
+            }
+        }
+    }
+
+    /// Decide, per flipped rule, whether the treatment's memo can differ
+    /// from the base memo — and if only the implementation layer can, which
+    /// operator tags must be re-implemented.
+    fn classify(&self, optimizer: &Optimizer, treatment: &RuleConfig) -> Classification {
+        let rules = optimizer.rules();
+        let t_bits = *treatment.bits();
+        let mut tags: Vec<&'static str> = Vec::new();
+        let mut all = false;
+        let mark = |tag: &'static str, tags: &mut Vec<&'static str>| {
+            if !tags.contains(&tag) {
+                tags.push(tag);
+            }
+        };
+        // Rules the treatment disables relative to the base.
+        for id in self.base_bits.difference(&t_bits).iter() {
+            match &rules.rule(id).behavior {
+                RuleBehavior::Transform(_) => {
+                    // A transform that fired consumed budget; removing it
+                    // reroutes the trace. One that never fired is invisible.
+                    if self.fired_transforms.contains(id) {
+                        return Classification::Full;
+                    }
+                }
+                RuleBehavior::Implement(kind) => {
+                    // Candidates that never won cannot displace a winner by
+                    // disappearing (first-index-minimum tie-break); rules in
+                    // the signature require re-implementation.
+                    if self.compiled.signature.contains(id) {
+                        mark(impl_targets(*kind), &mut tags);
+                    }
+                }
+                RuleBehavior::Parametric(spec) => {
+                    if self.compiled.signature.contains(id) {
+                        mark(spec.target, &mut tags);
+                    }
+                }
+                RuleBehavior::Policy(_) => all = true,
+                // Required bits never differ between steering configs; if a
+                // caller hand-built one that does, punt to a full compile.
+                RuleBehavior::Normalization | RuleBehavior::FallbackImpl => {
+                    return Classification::Full;
+                }
+            }
+        }
+        // Rules the treatment enables relative to the base.
+        for id in t_bits.difference(&self.base_bits).iter() {
+            match &rules.rule(id).behavior {
+                RuleBehavior::Transform(kind) => {
+                    // Monotonicity: no match anywhere in the final memo ⇒ no
+                    // match at any prefix state ⇒ the enabled transform
+                    // never fires and never consumes budget.
+                    if self.transform_fires(*kind) {
+                        return Classification::Full;
+                    }
+                }
+                RuleBehavior::Implement(kind) => mark(impl_targets(*kind), &mut tags),
+                RuleBehavior::Parametric(spec) => mark(spec.target, &mut tags),
+                RuleBehavior::Policy(_) => all = true,
+                RuleBehavior::Normalization | RuleBehavior::FallbackImpl => {
+                    return Classification::Full;
+                }
+            }
+        }
+        if all || !tags.is_empty() {
+            Classification::Dirty { tags, all }
+        } else {
+            Classification::Pruned
+        }
+    }
+
+    /// The incremental pass: clone the base memo, rebuild the physical
+    /// candidates of dirty groups under the treatment configuration,
+    /// invalidate `Best` on them and every ancestor, then re-cost and
+    /// re-extract. Clean groups keep their base `Best` entries, which a
+    /// from-scratch compile of the treatment would reproduce bit-for-bit
+    /// (their candidates and their children's costs are untouched).
+    fn delta_compile(
+        &self,
+        optimizer: &Optimizer,
+        treatment: &RuleConfig,
+        tags: &[&'static str],
+        all: bool,
+    ) -> Result<Compiled, CompileError> {
+        let n = self.memo.group_count();
+        // Decide the re-implementation set on the *base* memo, then fork
+        // without cloning the candidate lists about to be rebuilt.
+        let reimplement: Vec<bool> = (0..n as u32)
+            .map(|gi| {
+                all || self
+                    .memo
+                    .group(GroupId(gi))
+                    .lexprs
+                    .iter()
+                    .any(|e| tags.contains(&e.op.tag()))
+            })
+            .collect();
+        let mut memo = self.memo.fork_for_delta(&reimplement);
+        let ctx = optimizer.impl_context(treatment, self.template_seed);
+        let fallback = optimizer.fallback_rule();
+        let mut stale = reimplement;
+        let mut queue: VecDeque<u32> = VecDeque::new();
+        for gi in 0..n as u32 {
+            if stale[gi as usize] {
+                optimizer.implement_group(&mut memo, GroupId(gi), treatment, &ctx, fallback)?;
+                queue.push_back(gi);
+            }
+        }
+        while let Some(gi) = queue.pop_front() {
+            for &p in &self.parents[gi as usize] {
+                if !stale[p as usize] {
+                    stale[p as usize] = true;
+                    queue.push_back(p);
+                }
+            }
+        }
+        for (gi, is_stale) in stale.iter().enumerate() {
+            if *is_stale {
+                memo.group_mut(GroupId(gi as u32)).best = None;
+            }
+        }
+        let mut visiting = vec![false; n];
+        for &root in &self.roots {
+            optimizer.best_cost(&mut memo, root, &mut visiting);
+        }
+        optimizer.extract(
+            &memo,
+            &self.roots,
+            self.template_seed,
+            treatment.bits().fingerprint(),
+        )
+    }
+}
+
+impl BaseMemo {
+    /// Whether `kind` produces a rewrite for any expression of the (final,
+    /// fully explored) memo. Rewrite production is monotone in memo growth
+    /// (groups and expressions are append-only and rules only pattern-match
+    /// child-group expression lists), so "no match at the final state"
+    /// implies "no match at any state of the exploration trace". Memoized
+    /// per kind — the memo is frozen, so the answer never changes; a racing
+    /// duplicate computation produces the identical value.
+    fn transform_fires(&self, kind: TransformKind) -> bool {
+        if let Some(&fires) = self.fires.read().get(&kind) {
+            return fires;
+        }
+        let fires = (0..self.memo.group_count() as u32).any(|gi| {
+            let g = GroupId(gi);
+            (0..self.memo.group(g).lexprs.len())
+                .any(|e| !apply_transform(kind, &self.memo, g, e).is_empty())
+        });
+        self.fires.write().insert(kind, fires);
+        fires
+    }
+}
+
+type BaseKey = (u64, RuleBits);
+
+#[derive(Debug, Default)]
+struct BaseShard {
+    map: FxHashMap<BaseKey, Arc<BaseMemo>>,
+    /// Insertion order, for FIFO eviction once the shard is full.
+    order: VecDeque<BaseKey>,
+}
+
+/// The sharded base-memo cache plus treatment-resolution counters: the
+/// long-lived half of delta compilation. One instance sits inside the
+/// pipeline's `CachingOptimizer`, so recommendation and flighting (and,
+/// under sticky literals, successive days) share each plan's base memo.
+#[derive(Debug)]
+pub struct DeltaCompiler {
+    shards: Box<[RwLock<BaseShard>]>,
+    shard_capacity: usize,
+    pruned: AtomicU64,
+    delta: AtomicU64,
+    full: AtomicU64,
+    base_builds: AtomicU64,
+    base_hits: AtomicU64,
+}
+
+impl DeltaCompiler {
+    #[must_use]
+    pub fn new(config: DeltaConfig) -> Self {
+        let shards = config.shards.clamp(1, 1024).next_power_of_two();
+        let shard_capacity = if config.capacity == 0 {
+            usize::MAX
+        } else {
+            config.capacity.div_ceil(shards).max(1)
+        };
+        Self {
+            shards: (0..shards)
+                .map(|_| RwLock::new(BaseShard::default()))
+                .collect(),
+            shard_capacity,
+            pruned: AtomicU64::new(0),
+            delta: AtomicU64::new(0),
+            full: AtomicU64::new(0),
+            base_builds: AtomicU64::new(0),
+            base_hits: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_for(&self, key: &BaseKey) -> &RwLock<BaseShard> {
+        let h = mix64(key.0, key.1.fingerprint());
+        &self.shards[(h as usize) & (self.shards.len() - 1)]
+    }
+
+    /// The shared base memo for `(plan, base)`: cached, or built from
+    /// scratch and cached. Base compile failures are returned but not
+    /// cached (they are rare — the pipeline's base is the default
+    /// configuration, which view-built plans always compile under).
+    pub fn base_for(
+        &self,
+        optimizer: &Optimizer,
+        plan: &LogicalPlan,
+        base: &RuleConfig,
+    ) -> Result<Arc<BaseMemo>, CompileError> {
+        let key = (plan.fingerprint(), *base.bits());
+        let shard = self.shard_for(&key);
+        if let Some(cached) = shard.read().map.get(&key) {
+            self.base_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(cached.clone());
+        }
+        self.base_builds.fetch_add(1, Ordering::Relaxed);
+        let built = Arc::new(BaseMemo::build(optimizer, plan, base)?);
+        let mut guard = shard.write();
+        // First writer wins on concurrent builds (both built the identical
+        // artifact — compilation is deterministic).
+        if let std::collections::hash_map::Entry::Vacant(slot) = guard.map.entry(key) {
+            slot.insert(built.clone());
+            guard.order.push_back(key);
+            while guard.map.len() > self.shard_capacity {
+                let Some(oldest) = guard.order.pop_front() else {
+                    break;
+                };
+                guard.map.remove(&oldest);
+            }
+        }
+        Ok(built)
+    }
+
+    /// Price one treatment through `base`, resolving a
+    /// [`PricedTreatment::NeedsFull`] with a from-scratch compile, and count
+    /// the resolution.
+    pub(crate) fn price_with(
+        &self,
+        optimizer: &Optimizer,
+        base: &BaseMemo,
+        plan: &LogicalPlan,
+        treatment: &RuleConfig,
+    ) -> Result<Compiled, CompileError> {
+        debug_assert_eq!(
+            base.plan_fingerprint(),
+            plan.fingerprint(),
+            "treatment priced against a base memo of a different plan"
+        );
+        match base.price(optimizer, treatment) {
+            PricedTreatment::Pruned(result) => {
+                self.pruned.fetch_add(1, Ordering::Relaxed);
+                result
+            }
+            PricedTreatment::Delta(result) => {
+                self.delta.fetch_add(1, Ordering::Relaxed);
+                result
+            }
+            PricedTreatment::NeedsFull => {
+                self.full.fetch_add(1, Ordering::Relaxed);
+                optimizer.compile(plan, treatment)
+            }
+        }
+    }
+
+    /// Count a treatment that bypassed delta entirely (base compile failed).
+    pub(crate) fn record_full(&self) {
+        self.full.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Price a whole slate: get-or-build the base memo, then resolve each
+    /// treatment. One result per treatment, in input order, byte-identical
+    /// to from-scratch compiles.
+    pub fn compile_slate(
+        &self,
+        optimizer: &Optimizer,
+        plan: &LogicalPlan,
+        base: &RuleConfig,
+        treatments: &[RuleConfig],
+    ) -> Vec<Result<Compiled, CompileError>> {
+        match self.base_for(optimizer, plan, base) {
+            Ok(base_memo) => treatments
+                .iter()
+                .map(|t| self.price_with(optimizer, &base_memo, plan, t))
+                .collect(),
+            Err(_) => treatments
+                .iter()
+                .map(|t| {
+                    self.record_full();
+                    optimizer.compile(plan, t)
+                })
+                .collect(),
+        }
+    }
+
+    /// Snapshot of the monotonic counters.
+    #[must_use]
+    pub fn stats(&self) -> DeltaStats {
+        DeltaStats {
+            pruned: self.pruned.load(Ordering::Relaxed),
+            delta: self.delta.load(Ordering::Relaxed),
+            full: self.full.load(Ordering::Relaxed),
+            base_builds: self.base_builds.load(Ordering::Relaxed),
+            base_hits: self.base_hits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Live base memos across all shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().map.len()).sum()
+    }
+
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every base memo (counters keep running).
+    pub fn clear(&self) {
+        for shard in self.shards.iter() {
+            let mut guard = shard.write();
+            guard.map.clear();
+            guard.order.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RuleFlip;
+    use crate::registry::RuleCategory;
+    use scope_lang::{bind_script, Catalog};
+
+    const SCRIPT: &str = r#"
+        sales = EXTRACT user:int, item:int, spend:float FROM "store/sales";
+        users = EXTRACT user:int, region:string FROM "store/users";
+        big   = SELECT user, spend FROM sales WHERE spend > 100;
+        j     = SELECT * FROM big AS b JOIN users AS u ON b.user == u.user;
+        agg   = SELECT region, SUM(spend) AS total FROM j GROUP BY region;
+        OUTPUT agg TO "out/by_region";
+        OUTPUT big TO "out/big_sales";
+    "#;
+
+    fn plan() -> LogicalPlan {
+        bind_script(SCRIPT, &Catalog::default()).unwrap()
+    }
+
+    /// Every single-flip treatment over every flippable rule: the delta
+    /// path must be byte-identical to from-scratch compilation, successes
+    /// and failures alike.
+    #[test]
+    fn every_single_flip_matches_from_scratch() {
+        let opt = Optimizer::default();
+        let p = plan();
+        let default = opt.default_config();
+        let base = BaseMemo::build(&opt, &p, &default).unwrap();
+        let mut pruned = 0usize;
+        let mut delta = 0usize;
+        let mut full = 0usize;
+        for rule in opt.rules().flippable() {
+            let treatment = default.with_flip(RuleFlip {
+                rule,
+                enable: !default.enabled(rule),
+            });
+            let scratch = opt.compile(&p, &treatment);
+            let priced = match base.price(&opt, &treatment) {
+                PricedTreatment::Pruned(r) => {
+                    pruned += 1;
+                    r
+                }
+                PricedTreatment::Delta(r) => {
+                    delta += 1;
+                    r
+                }
+                PricedTreatment::NeedsFull => {
+                    full += 1;
+                    opt.compile(&p, &treatment)
+                }
+            };
+            assert_eq!(priced, scratch, "flip of {rule} diverged");
+        }
+        assert!(pruned > 0, "some flips must prune (most rules never fire)");
+        assert!(delta > 0, "some flips must delta (impl-layer flips)");
+        // Transforms are 18 of 256 rules; full fallbacks stay the minority.
+        assert!(
+            full < pruned + delta,
+            "full fallbacks must be the exception: {full} full vs {pruned} pruned + {delta} delta"
+        );
+    }
+
+    #[test]
+    fn base_config_treatment_is_pruned_to_identity() {
+        let opt = Optimizer::default();
+        let p = plan();
+        let default = opt.default_config();
+        let base = BaseMemo::build(&opt, &p, &default).unwrap();
+        match base.price(&opt, &default) {
+            PricedTreatment::Pruned(Ok(c)) => {
+                assert_eq!(c, *base.compiled());
+            }
+            other => panic!("identical treatment must prune, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn policy_flip_takes_the_delta_path_and_matches() {
+        let opt = Optimizer::default();
+        let p = plan();
+        let default = opt.default_config();
+        let base = BaseMemo::build(&opt, &p, &default).unwrap();
+        let treatment = default.with_flip(RuleFlip {
+            rule: crate::registry::RULE_SHUFFLE_ELIMINATION,
+            enable: false,
+        });
+        match base.price(&opt, &treatment) {
+            PricedTreatment::Delta(result) => {
+                assert_eq!(result, opt.compile(&p, &treatment));
+            }
+            other => panic!("policy flip must delta-compile, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_flip_treatments_match_from_scratch() {
+        // The pipeline only deploys single flips, but the API accepts any
+        // configuration; spot-check double flips across layers.
+        let opt = Optimizer::default();
+        let p = plan();
+        let default = opt.default_config();
+        let base = BaseMemo::build(&opt, &p, &default).unwrap();
+        let flippable: Vec<_> = opt.rules().flippable().collect();
+        for pair in flippable.chunks(2).take(40) {
+            let treatment = default.with_flips(
+                &pair
+                    .iter()
+                    .map(|&rule| RuleFlip {
+                        rule,
+                        enable: !default.enabled(rule),
+                    })
+                    .collect::<Vec<_>>(),
+            );
+            let scratch = opt.compile(&p, &treatment);
+            let priced = match base.price(&opt, &treatment) {
+                PricedTreatment::Pruned(r) | PricedTreatment::Delta(r) => r,
+                PricedTreatment::NeedsFull => opt.compile(&p, &treatment),
+            };
+            assert_eq!(priced, scratch, "flips {pair:?} diverged");
+        }
+    }
+
+    #[test]
+    fn delta_compiler_caches_base_memos_and_counts_paths() {
+        let opt = Optimizer::default();
+        let p = plan();
+        let default = opt.default_config();
+        let dc = DeltaCompiler::new(DeltaConfig::default());
+        // Two off-by-default parametric enables: guaranteed delta path.
+        let treatments: Vec<RuleConfig> = opt
+            .rules()
+            .rules()
+            .iter()
+            .filter(|r| {
+                r.category == RuleCategory::OffByDefault
+                    && matches!(r.behavior, RuleBehavior::Parametric(_))
+            })
+            .take(2)
+            .map(|r| {
+                default.with_flip(RuleFlip {
+                    rule: r.id,
+                    enable: true,
+                })
+            })
+            .collect();
+        assert_eq!(treatments.len(), 2);
+        let first = dc.compile_slate(&opt, &p, &default, &treatments);
+        let second = dc.compile_slate(&opt, &p, &default, &treatments);
+        assert_eq!(first, second);
+        for (t, r) in treatments.iter().zip(&first) {
+            assert_eq!(*r, opt.compile(&p, t));
+        }
+        let stats = dc.stats();
+        assert_eq!(stats.base_builds, 1, "one base memo for both slates");
+        assert_eq!(stats.base_hits, 1, "second slate reuses it");
+        assert_eq!(stats.treatments(), 4);
+        assert_eq!(stats.delta, 4, "parametric enables are delta-priced");
+        assert_eq!(dc.len(), 1);
+        dc.clear();
+        assert!(dc.is_empty());
+    }
+
+    #[test]
+    fn base_capacity_evicts_fifo() {
+        let opt = Optimizer::default();
+        let default = opt.default_config();
+        let dc = DeltaCompiler::new(DeltaConfig {
+            enabled: true,
+            capacity: 2,
+            shards: 1,
+        });
+        for literal in ["100", "200", "300"] {
+            let p = bind_script(
+                &SCRIPT.replace("spend > 100", &format!("spend > {literal}")),
+                &Catalog::default(),
+            )
+            .unwrap();
+            dc.base_for(&opt, &p, &default).unwrap();
+        }
+        assert_eq!(dc.len(), 2, "FIFO keeps the two newest base memos");
+        assert_eq!(dc.stats().base_builds, 3);
+    }
+
+    #[test]
+    fn config_defaults_and_switch_parsing() {
+        let c = DeltaConfig::default();
+        assert!(c.enabled && c.capacity > 0 && c.shards > 0);
+        assert!(!DeltaConfig::disabled().enabled);
+        assert_eq!(DeltaConfig::parse_switch("on"), Ok(DeltaConfig::default()));
+        assert_eq!(
+            DeltaConfig::parse_switch("off"),
+            Ok(DeltaConfig::disabled())
+        );
+        assert!(DeltaConfig::parse_switch("bogus").is_err());
+        let json = serde_json::to_string(&c).unwrap();
+        assert_eq!(serde_json::from_str::<DeltaConfig>(&json).unwrap(), c);
+    }
+
+    #[test]
+    fn stats_roll_up() {
+        let a = DeltaStats {
+            pruned: 1,
+            delta: 2,
+            full: 3,
+            base_builds: 1,
+            base_hits: 0,
+        };
+        let b = DeltaStats {
+            pruned: 2,
+            delta: 1,
+            full: 0,
+            base_builds: 0,
+            base_hits: 4,
+        };
+        let s = a + b;
+        assert_eq!(s.treatments(), 9);
+        assert_eq!(s.base_hits, 4);
+        assert_eq!([a, b].into_iter().sum::<DeltaStats>(), s);
+        assert_eq!(s.since(&a), b);
+    }
+}

@@ -19,6 +19,12 @@
 //!   instead of re-searched ([`cache::CompileCache`] /
 //!   [`cache::CachingOptimizer`], both behind the [`search::Compiler`]
 //!   trait);
+//! * **delta treatment compilation** ([`delta`]): a plan's default
+//!   compilation is frozen as a shareable [`delta::BaseMemo`], and each
+//!   rule-flip treatment is priced as an incremental pass over it
+//!   (re-implementing only the groups the flip touches, replaying provable
+//!   no-ops) — byte-identical to from-scratch compiles, and the engine
+//!   behind [`search::Compiler::compile_slate`];
 //! * a cost model that prices plans from *estimated* statistics and
 //!   *claimed* tuning only, reproducing SCOPE's estimated-vs-real divergence
 //!   ([`cost::CostModel`]).
@@ -48,6 +54,7 @@
 pub mod cache;
 pub mod config;
 pub mod cost;
+pub mod delta;
 pub mod hints;
 pub mod impls;
 pub mod memo;
@@ -59,6 +66,7 @@ pub mod span;
 pub use cache::{CacheConfig, CacheStats, CachingOptimizer, CompileCache};
 pub use config::{RuleBits, RuleConfig, RuleFlip, RuleId, RULE_COUNT};
 pub use cost::CostModel;
+pub use delta::{BaseMemo, DeltaCompiler, DeltaConfig, DeltaStats, PricedTreatment};
 pub use hints::{Hint, HintSet};
 pub use registry::{RuleCategory, RuleDef, RuleSet};
 pub use search::{CompileError, Compiled, Compiler, Optimizer, SearchOptions};

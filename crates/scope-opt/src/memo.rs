@@ -5,6 +5,33 @@
 //! expression records the set of rules on the rewrite path that produced it,
 //! so the winning plan's union of provenance bits is exactly "the rules that
 //! directly contributed to the plan".
+//!
+//! # Invariants
+//!
+//! The search (`crate::search`) and the delta compiler (`crate::delta`) both
+//! lean on a small set of structural invariants:
+//!
+//! * **Append-only growth.** Groups and logical expressions are only ever
+//!   added, never removed or reordered, and a [`GroupId`] or expression
+//!   index stays valid for the memo's lifetime. This is what makes rewrite
+//!   production *monotone*: an expression set that yields no rewrites for a
+//!   transform at the final memo state yielded none at any earlier state
+//!   (every earlier state is a prefix), which the delta pruner exploits.
+//! * **Derived metadata is intern-time-final.** A group's [`Schema`],
+//!   [`NodeStats`], and [`Dist`] are computed from its *first* expression
+//!   when the group is interned and never revised — equivalent expressions
+//!   added later share them by the group equivalence contract (rewrites are
+//!   cardinality-preserving on the group's output).
+//! * **Physical children mirror logical children.** Every [`PExpr`] built by
+//!   `crate::impls` copies its logical expression's child-group list
+//!   verbatim, so the logical edges are the complete group-dependency graph
+//!   — the delta compiler derives its invalidation (reverse-edge) closure
+//!   from them alone.
+//! * **[`Best`] is a pure function of `pexprs` + children's `Best`.** Each
+//!   entry caches the first-index minimum over the group's physical
+//!   expressions, priced with its children's best costs; clearing the entry
+//!   and re-running `best_cost` always reproduces it. Delta compilation
+//!   clears exactly the entries whose inputs a rule flip touched.
 
 use crate::config::{RuleBits, RuleId};
 use rustc_hash::FxHashMap;
@@ -52,7 +79,16 @@ pub enum Dist {
 pub struct MExpr {
     pub op: LogicalOp,
     pub children: Vec<GroupId>,
-    /// Rules on the rewrite path that produced this expression.
+    /// Rules on the rewrite path that produced this expression: the parent
+    /// expression's provenance plus the rule that fired, accumulated
+    /// transitively from the original plan's expressions (which carry
+    /// [`RuleBits::empty`]). When this expression is implemented, the
+    /// resulting [`PExpr`] inherits these bits plus the implementing rule —
+    /// and the winning plan's union of them is the *rule signature*
+    /// (paper §2.1). Note the converse does **not** hold: a rule absent from
+    /// every provenance set may still have fired (its rewrites can be
+    /// rejected by dedup or the per-group cap after consuming budget), which
+    /// is why the delta compiler tracks fired transforms separately.
     pub provenance: RuleBits,
 }
 
@@ -100,14 +136,23 @@ pub struct PExpr {
     pub elided_exchange: bool,
 }
 
-/// The winner of a group after costing.
+/// The winner of a group after costing: the **first** index among the
+/// group's `pexprs` achieving the minimum total cost (ties never displace an
+/// earlier winner — the tie-break the delta compiler's soundness argument
+/// relies on), with `cost` covering the whole subtree below it, children's
+/// best costs included.
 #[derive(Debug, Clone, Copy)]
 pub struct Best {
     pub cost: f64,
     pub pexpr: usize,
 }
 
-/// One memo group.
+/// One memo group: a set of logically equivalent expressions (`lexprs`, all
+/// producing the same output relation), their physical implementation
+/// candidates (`pexprs`, rebuilt per rule configuration), and the costing
+/// winner (`best`, `None` until `best_cost` runs or after a delta pass
+/// invalidates it). `schema`/`stats`/`dist` are fixed when the group is
+/// interned (see the module-level invariants).
 #[derive(Debug, Clone)]
 pub struct Group {
     pub schema: Schema,
@@ -125,8 +170,10 @@ pub enum Node {
     Op(LogicalOp, Vec<Node>),
 }
 
-/// The memo.
-#[derive(Debug, Default)]
+/// The memo. `Clone` is what makes a frozen base memo shareable: the delta
+/// compiler (`crate::delta`) clones the base compilation's memo per
+/// treatment and mutates only the cloned `pexprs`/`best` of affected groups.
+#[derive(Debug, Default, Clone)]
 pub struct Memo {
     groups: Vec<Group>,
     /// Dedup index: expression fingerprint -> owning group.
@@ -153,6 +200,39 @@ impl Memo {
     #[must_use]
     pub fn group_count(&self) -> usize {
         self.groups.len()
+    }
+
+    /// Fork for an incremental (delta) pass: clone the groups — with the
+    /// physical candidates of `reimplement`-marked groups left empty, since
+    /// the caller rebuilds them immediately — and skip the dedup index
+    /// entirely (a delta pass never interns new expressions). Cheaper than
+    /// `Clone` by exactly the state a treatment is about to overwrite.
+    #[must_use]
+    pub(crate) fn fork_for_delta(&self, reimplement: &[bool]) -> Memo {
+        debug_assert_eq!(reimplement.len(), self.groups.len());
+        Memo {
+            groups: self
+                .groups
+                .iter()
+                .zip(reimplement)
+                .map(|(group, redo)| {
+                    if *redo {
+                        Group {
+                            schema: group.schema.clone(),
+                            stats: group.stats,
+                            dist: group.dist.clone(),
+                            lexprs: group.lexprs.clone(),
+                            pexprs: Vec::new(),
+                            best: None,
+                        }
+                    } else {
+                        group.clone()
+                    }
+                })
+                .collect(),
+            index: FxHashMap::default(),
+            lexpr_count: self.lexpr_count,
+        }
     }
 
     pub fn group_ids(&self) -> impl Iterator<Item = GroupId> {

@@ -180,6 +180,11 @@ pub const FIRST_PARAMETRIC: u16 = 44;
 pub struct RuleSet {
     rules: Vec<RuleDef>,
     default_config: RuleConfig,
+    /// Implementation + parametric rule ids per logical operator tag, in
+    /// registry order — precomputed because [`RuleSet::impls_for`] sits on
+    /// the implementation pass's innermost loop (once per logical
+    /// expression per compile, and again per dirty group per delta pass).
+    impls_by_tag: rustc_hash::FxHashMap<&'static str, Vec<u16>>,
 }
 
 impl RuleSet {
@@ -525,9 +530,20 @@ impl RuleSet {
             .filter(|r| r.category.default_on())
             .map(|r| r.id)
             .collect();
+        let mut impls_by_tag: rustc_hash::FxHashMap<&'static str, Vec<u16>> =
+            rustc_hash::FxHashMap::default();
+        for r in &rules {
+            let tag = match &r.behavior {
+                RuleBehavior::Implement(kind) => impl_targets(*kind),
+                RuleBehavior::Parametric(spec) => spec.target,
+                _ => continue,
+            };
+            impls_by_tag.entry(tag).or_default().push(r.id.0);
+        }
         Self {
             rules,
             default_config: RuleConfig::from_bits(default_bits),
+            impls_by_tag,
         }
     }
 
@@ -565,17 +581,16 @@ impl RuleSet {
         t
     }
 
-    /// Implementation + parametric rules applicable to a logical tag.
-    #[must_use]
-    pub fn impls_for(&self, logical_tag: &str) -> Vec<&RuleDef> {
-        self.rules
+    /// Implementation + parametric rules applicable to a logical tag, in
+    /// registry order (precomputed at construction — this is the
+    /// implementation pass's innermost lookup).
+    pub fn impls_for(&self, logical_tag: &str) -> impl Iterator<Item = &RuleDef> + '_ {
+        self.impls_by_tag
+            .get(logical_tag)
+            .map(Vec::as_slice)
+            .unwrap_or_default()
             .iter()
-            .filter(|r| match &r.behavior {
-                RuleBehavior::Implement(kind) => impl_targets(*kind) == logical_tag,
-                RuleBehavior::Parametric(spec) => spec.target == logical_tag,
-                _ => false,
-            })
-            .collect()
+            .map(|&raw| &self.rules[raw as usize])
     }
 
     /// Deterministic instability draw for a (rule, template, configuration)
@@ -693,7 +708,7 @@ impl RuleSet {
 }
 
 /// Logical tag each implementation kind applies to.
-fn impl_targets(kind: ImplKind) -> &'static str {
+pub(crate) fn impl_targets(kind: ImplKind) -> &'static str {
     match kind {
         ImplKind::Scan => "Extract",
         ImplKind::Filter => "Filter",
@@ -758,11 +773,7 @@ mod tests {
     #[test]
     fn impls_for_join_include_all_flavors() {
         let rs = RuleSet::standard();
-        let names: Vec<&str> = rs
-            .impls_for("Join")
-            .iter()
-            .map(|r| r.name.as_str())
-            .collect();
+        let names: Vec<&str> = rs.impls_for("Join").map(|r| r.name.as_str()).collect();
         assert!(names.contains(&"HashJoinImpl"));
         assert!(names.contains(&"MergeJoinImpl"));
         assert!(names.contains(&"BroadcastJoinImpl"));

@@ -128,6 +128,44 @@ pub trait Compiler {
     fn rules(&self) -> &RuleSet;
     fn default_config(&self) -> RuleConfig;
     fn compile(&self, plan: &LogicalPlan, config: &RuleConfig) -> Result<Compiled, CompileError>;
+
+    /// Price a *slate* of treatment configurations against one base
+    /// configuration of the same plan — the shape of the pipeline's two
+    /// treatment-compile sites (recommendation's candidate pricing and
+    /// flighting's validation compiles). The default implementation simply
+    /// compiles each treatment from scratch; [`crate::cache::CachingOptimizer`]
+    /// overrides it to reuse the base configuration's explored memo via
+    /// [`crate::delta::DeltaCompiler`], which is byte-identical but skips the
+    /// shared part of the search. One result per treatment, in input order.
+    fn compile_slate(
+        &self,
+        plan: &LogicalPlan,
+        base: &RuleConfig,
+        treatments: &[RuleConfig],
+    ) -> Vec<Result<Compiled, CompileError>> {
+        let _ = base;
+        treatments
+            .iter()
+            .map(|treatment| self.compile(plan, treatment))
+            .collect()
+    }
+}
+
+/// Everything one from-scratch compilation produces: the [`Compiled`] result
+/// plus the artifacts [`crate::delta::BaseMemo`] freezes for incremental
+/// treatment pricing.
+pub(crate) struct FullCompile {
+    pub compiled: Compiled,
+    /// The fully explored, implemented, and costed memo.
+    pub memo: Memo,
+    /// Root group per plan output, in output order.
+    pub roots: Vec<GroupId>,
+    /// Transform rules that produced at least one rewrite during
+    /// exploration. This is a strict superset of the transforms visible in
+    /// memo provenance: a rewrite consumes exploration budget even when the
+    /// materialized expression is rejected by dedup or the per-group cap, so
+    /// only a rule absent from this set is provably trace-invisible.
+    pub fired_transforms: RuleBits,
 }
 
 /// The SCOPE-like optimizer.
@@ -195,12 +233,50 @@ impl Optimizer {
         plan: &LogicalPlan,
         config: &RuleConfig,
     ) -> Result<Compiled, CompileError> {
+        self.compile_full(plan, config).map(|full| full.compiled)
+    }
+
+    /// [`Optimizer::compile`] keeping the explored memo and the exploration
+    /// trace facts ([`FullCompile`]) — what `crate::delta` freezes into a
+    /// [`crate::delta::BaseMemo`].
+    pub(crate) fn compile_full(
+        &self,
+        plan: &LogicalPlan,
+        config: &RuleConfig,
+    ) -> Result<FullCompile, CompileError> {
         plan.validate()
             .map_err(|e| CompileError::Invalid(e.to_string()))?;
         let template_seed = plan.template_id().0;
-        // Disable-path instability: rules turned off relative to the default
-        // configuration can crash compilation for some templates (checked
-        // up-front; the outcome depends only on template + configuration).
+        self.disable_path_check(config, template_seed)?;
+        let mut memo = Memo::new();
+        let roots = memo.copy_in(plan);
+
+        let fired_transforms = self.explore(&mut memo, config);
+        self.implement(&mut memo, config, template_seed)?;
+        let mut visiting = vec![false; memo.group_count()];
+        for &root in &roots {
+            self.best_cost(&mut memo, root, &mut visiting);
+        }
+        let compiled = self.extract(&memo, &roots, template_seed, config.bits().fingerprint())?;
+        Ok(FullCompile {
+            compiled,
+            memo,
+            roots,
+            fired_transforms,
+        })
+    }
+
+    /// Disable-path instability: rules turned off relative to the default
+    /// configuration can crash compilation for some templates (checked
+    /// up-front, before any search; the outcome depends only on template +
+    /// configuration). Shared verbatim with the delta path so a replayed
+    /// treatment fails with exactly the error a from-scratch compile would
+    /// raise — first failing rule in registry order.
+    pub(crate) fn disable_path_check(
+        &self,
+        config: &RuleConfig,
+        template_seed: u64,
+    ) -> Result<(), CompileError> {
         let fingerprint = config.bits().fingerprint();
         for rule in self.rules.rules() {
             if rule.category.default_on()
@@ -213,23 +289,49 @@ impl Optimizer {
                 return Err(CompileError::RuleInstability { rule: rule.id });
             }
         }
-        let mut memo = Memo::new();
-        let roots = memo.copy_in(plan);
+        Ok(())
+    }
 
-        self.explore(&mut memo, config);
-        self.implement(&mut memo, config, template_seed)?;
-        let mut visiting = vec![false; memo.group_count()];
-        for &root in &roots {
-            self.best_cost(&mut memo, root, &mut visiting);
+    /// Extraction-time instability of an assembled signature: the
+    /// experimental-rule check (ascending rule-id order, matching
+    /// `signature.iter()`) followed by the fallback-path check. Shared with
+    /// the delta pruner, which replays these draws under the treatment's
+    /// configuration fingerprint instead of re-extracting.
+    pub(crate) fn plan_instability_check(
+        &self,
+        signature: &RuleBits,
+        template_seed: u64,
+        config_fingerprint: u64,
+    ) -> Result<(), CompileError> {
+        for id in signature.iter() {
+            if self
+                .rules
+                .unstable_for(id, template_seed, config_fingerprint)
+            {
+                return Err(CompileError::RuleInstability { rule: id });
+            }
         }
-        self.extract(&memo, &roots, template_seed, config.bits().fingerprint())
+        if signature.contains(crate::registry::RULE_FALLBACK_EXEC)
+            && self.rules.fallback_unstable_for(template_seed)
+        {
+            return Err(CompileError::RuleInstability {
+                rule: crate::registry::RULE_FALLBACK_EXEC,
+            });
+        }
+        Ok(())
     }
 
     /// Exploration: apply enabled transforms in promise order under the
     /// global budget. New expressions (and expressions of newly created
     /// groups) join the worklist; a second pass catches matches enabled by
     /// late arrivals.
-    fn explore(&self, memo: &mut Memo, config: &RuleConfig) {
+    ///
+    /// Returns the set of transform rules that produced at least one rewrite
+    /// — the "fired" trace fact `crate::delta` uses to decide whether
+    /// disabling a transform can be replayed without re-exploring (a rule
+    /// that never fired consumed no budget, so removing it leaves the trace
+    /// bit-identical).
+    fn explore(&self, memo: &mut Memo, config: &RuleConfig) -> RuleBits {
         let transforms: Vec<(RuleId, crate::registry::TransformKind, RuleBits)> = self
             .rules
             .transforms_by_promise()
@@ -244,6 +346,7 @@ impl Optimizer {
                 (r.id, kind, bit)
             })
             .collect();
+        let mut fired = RuleBits::empty();
         let mut budget = self.opts.max_transform_applications;
         for _pass in 0..self.opts.exploration_passes {
             let mut worklist: VecDeque<(GroupId, usize)> = memo
@@ -252,17 +355,19 @@ impl Optimizer {
                 .collect();
             while let Some((g, e)) = worklist.pop_front() {
                 if budget == 0 {
-                    return;
+                    return fired;
                 }
                 for (rule_id, kind, bit) in &transforms {
                     if budget == 0 {
-                        return;
+                        return fired;
                     }
                     let rewrites = apply_transform(*kind, memo, g, e);
-                    let _ = rule_id;
+                    if !rewrites.is_empty() {
+                        fired.insert(*rule_id);
+                    }
                     for node in rewrites {
                         if budget == 0 {
-                            return;
+                            return fired;
                         }
                         budget -= 1;
                         let provenance = memo.group(g).lexprs[e].provenance.union(bit);
@@ -286,6 +391,67 @@ impl Optimizer {
                 }
             }
         }
+        fired
+    }
+
+    /// The implementation-rule context for a configuration (the policy rules
+    /// it enables). Shared with `crate::delta`, whose re-implementation of
+    /// dirty groups must see exactly the context a from-scratch compile
+    /// would build.
+    pub(crate) fn impl_context(&self, config: &RuleConfig, template_seed: u64) -> ImplContext<'_> {
+        ImplContext {
+            rules: &self.rules,
+            opts: &self.opts,
+            shuffle_elimination: config.enabled(RULE_SHUFFLE_ELIMINATION),
+            compression: config.enabled(RULE_INTERMEDIATE_COMPRESSION),
+            template_seed,
+        }
+    }
+
+    /// The required fallback implementation rule.
+    pub(crate) fn fallback_rule(&self) -> &crate::registry::RuleDef {
+        self.rules
+            .rules()
+            .iter()
+            .find(|r| matches!(r.behavior, RuleBehavior::FallbackImpl))
+            .expect("registry always has the fallback rule")
+    }
+
+    /// Build one group's physical-expression list: the enabled
+    /// implementation/parametric candidates of every logical expression (in
+    /// registry order) plus the required fallback. This is the unit of work
+    /// `crate::delta` redoes per dirty group, so it must stay the exact loop
+    /// body of [`Optimizer::implement`].
+    pub(crate) fn implement_group(
+        &self,
+        memo: &mut Memo,
+        g: GroupId,
+        config: &RuleConfig,
+        ctx: &ImplContext<'_>,
+        fallback: &crate::registry::RuleDef,
+    ) -> Result<(), CompileError> {
+        let n = memo.group(g).lexprs.len();
+        let mut produced = Vec::new();
+        for e in 0..n {
+            let tag = memo.group(g).lexprs[e].op.tag();
+            for rule in self.rules.impls_for(tag) {
+                if !config.enabled(rule.id) {
+                    continue;
+                }
+                if let Some(p) = implement_expr(rule, memo, g, e, ctx) {
+                    produced.push(p);
+                }
+            }
+            if let Some(p) = implement_expr(fallback, memo, g, e, ctx) {
+                produced.push(p);
+            }
+        }
+        if produced.is_empty() {
+            let tag = memo.group(g).lexprs[0].op.tag().to_string();
+            return Err(CompileError::NoImplementation { tag });
+        }
+        memo.group_mut(g).pexprs = produced;
+        Ok(())
     }
 
     /// Implementation: every logical expression gets the enabled
@@ -296,50 +462,20 @@ impl Optimizer {
         config: &RuleConfig,
         template_seed: u64,
     ) -> Result<(), CompileError> {
-        let shuffle_elimination = config.enabled(RULE_SHUFFLE_ELIMINATION);
-        let compression = config.enabled(RULE_INTERMEDIATE_COMPRESSION);
-        let ctx = ImplContext {
-            rules: &self.rules,
-            opts: &self.opts,
-            shuffle_elimination,
-            compression,
-            template_seed,
-        };
-        let fallback = self
-            .rules
-            .rules()
-            .iter()
-            .find(|r| matches!(r.behavior, RuleBehavior::FallbackImpl))
-            .expect("registry always has the fallback rule");
+        let ctx = self.impl_context(config, template_seed);
+        let fallback = self.fallback_rule();
         for g in memo.group_ids().collect::<Vec<_>>() {
-            let n = memo.group(g).lexprs.len();
-            let mut produced = Vec::new();
-            for e in 0..n {
-                let tag = memo.group(g).lexprs[e].op.tag();
-                for rule in self.rules.impls_for(tag) {
-                    if !config.enabled(rule.id) {
-                        continue;
-                    }
-                    if let Some(p) = implement_expr(rule, memo, g, e, &ctx) {
-                        produced.push(p);
-                    }
-                }
-                if let Some(p) = implement_expr(fallback, memo, g, e, &ctx) {
-                    produced.push(p);
-                }
-            }
-            if produced.is_empty() {
-                let tag = memo.group(g).lexprs[0].op.tag().to_string();
-                return Err(CompileError::NoImplementation { tag });
-            }
-            memo.group_mut(g).pexprs = produced;
+            self.implement_group(memo, g, config, &ctx, fallback)?;
         }
         Ok(())
     }
 
     /// Memoized bottom-up best-cost computation. In-progress groups are
     /// treated as infinite cost, which safely breaks any pathological cycle.
-    fn best_cost(&self, memo: &mut Memo, g: GroupId, visiting: &mut Vec<bool>) -> f64 {
+    /// `pub(crate)` so `crate::delta` can re-cost only the groups whose
+    /// [`Best`] entries a treatment invalidated — the memoization makes
+    /// every clean group a cache hit.
+    pub(crate) fn best_cost(&self, memo: &mut Memo, g: GroupId, visiting: &mut Vec<bool>) -> f64 {
         if let Some(b) = memo.group(g).best {
             return b.cost;
         }
@@ -398,8 +534,10 @@ impl Optimizer {
     /// [`PhysicalPlan`] with explicit Exchange / partial-reduction nodes,
     /// accumulate the exact estimated cost of the emitted plan (each shared
     /// group counted once), assemble the rule signature, and run the
-    /// experimental-rule instability check.
-    fn extract(
+    /// experimental-rule instability check. `pub(crate)` for `crate::delta`,
+    /// which re-extracts a re-costed memo under the treatment's
+    /// configuration fingerprint.
+    pub(crate) fn extract(
         &self,
         memo: &Memo,
         roots: &[GroupId],
@@ -453,26 +591,11 @@ impl Optimizer {
             signature.insert(RULE_INTERMEDIATE_COMPRESSION);
         }
 
-        // Experimental-rule instability: if a rule that contributed to the
-        // final plan is unstable for this template, compilation fails.
-        for id in signature.iter() {
-            if self
-                .rules
-                .unstable_for(id, template_seed, config_fingerprint)
-            {
-                return Err(CompileError::RuleInstability { rule: id });
-            }
-        }
-        // Fallback-path instability: disabling a specialized implementation
-        // rule forces the rarely-exercised fallback, which crashes on ~35%
-        // of templates.
-        if signature.contains(crate::registry::RULE_FALLBACK_EXEC)
-            && self.rules.fallback_unstable_for(template_seed)
-        {
-            return Err(CompileError::RuleInstability {
-                rule: crate::registry::RULE_FALLBACK_EXEC,
-            });
-        }
+        // Experimental-rule instability (a contributing rule unstable for
+        // this template) and fallback-path instability (the rarely-exercised
+        // fallback implementation crashing): both depend on the assembled
+        // signature only, so the delta pruner replays this exact check.
+        self.plan_instability_check(&signature, template_seed, config_fingerprint)?;
 
         debug_assert!(plan.validate().is_ok(), "extractor must emit valid plans");
         Ok(Compiled {

@@ -8,7 +8,10 @@
 use scope_ir::display::{explain_logical, explain_physical};
 use scope_ir::stats::DualStats;
 use scope_lang::{bind_script, Catalog, TableInfo};
-use scope_opt::{compute_span, Hint, HintSet, Optimizer, RuleFlip};
+use scope_opt::{
+    compute_span, CacheConfig, CachingOptimizer, DeltaConfig, Hint, HintSet, Optimizer, RuleConfig,
+    RuleFlip,
+};
 use scope_runtime::{CachingExecutor, Cluster, ExecCacheConfig, Executor};
 
 const SCRIPT: &str = r#"
@@ -70,25 +73,55 @@ fn main() {
         println!("  {rule}  {:24} [{}]", def.name, def.category.name());
     }
 
-    // 4. Try each span flip; report the estimated-cost delta.
-    println!("\nsingle-flip recompilations:");
-    let mut best: Option<(RuleFlip, f64)> = None;
-    for rule in span.span.iter() {
-        let flip = RuleFlip {
+    // 4. Price every span flip as ONE treatment slate against the default
+    // configuration's shared base memo. `QO_DELTA=off` disables delta
+    // compilation (on by default) — the results are byte-identical either
+    // way, only throughput differs.
+    let delta = std::env::var("QO_DELTA").map_or_else(
+        |_| DeltaConfig::default(),
+        |value| {
+            DeltaConfig::parse_switch(&value).unwrap_or_else(|e| {
+                eprintln!("bad QO_DELTA: {e}");
+                std::process::exit(2);
+            })
+        },
+    );
+    let steering =
+        CachingOptimizer::new(optimizer.clone(), CacheConfig::default()).with_delta(delta);
+    let flips: Vec<RuleFlip> = span
+        .span
+        .iter()
+        .map(|rule| RuleFlip {
             rule,
             enable: !default.enabled(rule),
-        };
-        match optimizer.compile(&plan, &default.with_flip(flip)) {
+        })
+        .collect();
+    let treatments: Vec<RuleConfig> = flips.iter().map(|f| default.with_flip(*f)).collect();
+    println!(
+        "\nsingle-flip recompilations (one slate, delta {}):",
+        delta.enabled
+    );
+    let mut best: Option<(RuleFlip, f64)> = None;
+    for (flip, result) in flips
+        .iter()
+        .zip(steering.compile_slate(&plan, &default, &treatments))
+    {
+        match result {
             Ok(c) => {
                 let delta = c.est_cost / compiled.est_cost - 1.0;
                 println!("  {flip}: est cost {:+.2}%", delta * 100.0);
                 if delta < best.map_or(0.0, |(_, d)| d) {
-                    best = Some((flip, delta));
+                    best = Some((*flip, delta));
                 }
             }
             Err(e) => println!("  {flip}: {e}"),
         }
     }
+    let dstats = steering.delta_stats();
+    println!(
+        "slate resolution: {} pruned, {} delta, {} full ({} base build)",
+        dstats.pruned, dstats.delta, dstats.full, dstats.base_builds
+    );
 
     // 5. Execute default vs steered on the simulated cluster, through the
     // Executor trait. `QO_EXEC_CACHE=off` disables the execution-result

@@ -1,26 +1,28 @@
 //! Thread-count *and* cache invariance of the staged pipeline: the same
 //! multi-day simulation run serially and at 1, 2, and 8 worker threads,
-//! with the compile-result cache and the execution-result cache on or off,
-//! must produce byte-identical daily reports and byte-identical published
-//! SIS hint files.
+//! with the compile-result cache, the execution-result cache, and delta
+//! slate compilation on or off, must produce byte-identical daily reports
+//! and byte-identical published SIS hint files.
 //!
-//! This is the contract that makes all three knobs safe to deploy:
-//! parallelism and the two caches are purely throughput knobs, never
-//! behavior knobs — compilation and execution are both deterministic, so a
-//! cache hit replays exactly what a recompile (or re-execution) would have
-//! produced, including `RuleInstability` compile failures.
+//! This is the contract that makes all four knobs safe to deploy:
+//! parallelism, the two caches, and delta compilation are purely throughput
+//! knobs, never behavior knobs — compilation and execution are both
+//! deterministic, a cache hit replays exactly what a recompile (or
+//! re-execution) would have produced, and a delta-priced treatment is
+//! byte-identical to a from-scratch compile, including `RuleInstability`
+//! compile failures.
 //!
 //! The fields excluded from the byte comparison are the report's
-//! `compile_cache` and `exec_cache` telemetry: they are *about* the caches
-//! (all-zero with a cache off, and under parallel inserts at capacity the
-//! hit/miss split can depend on eviction order), not steering outputs.
-//! `normalized` zeroes them before formatting; everything else must match
-//! to the byte.
+//! `compile_cache` / `exec_cache` / `delta_compile` telemetry and the
+//! per-stage wall-clock `timings`: they are *about* the machinery (all-zero
+//! with the knob off, eviction-order- or clock-dependent otherwise), not
+//! steering outputs. `normalized` zeroes them before formatting; everything
+//! else must match to the byte.
 
 use qo_advisor::ProductionSim;
 use qo_advisor::{
-    CacheConfig, CacheCounters, DailyReport, ExecCacheConfig, ExecCounters, ParallelismConfig,
-    PipelineConfig,
+    CacheConfig, CacheCounters, DailyReport, DeltaConfig, DeltaStats, ExecCacheConfig,
+    ExecCounters, ParallelismConfig, PipelineConfig, StageTimings,
 };
 use scope_workload::{LiteralPolicy, WorkloadConfig};
 use sis::SisStore;
@@ -67,12 +69,14 @@ fn run_sim_of(
     threads: Option<usize>,
     cache: CacheConfig,
     exec_cache: ExecCacheConfig,
+    delta: DeltaConfig,
     sis_dir: &Path,
 ) -> Vec<DailyReport> {
     let config = PipelineConfig {
         parallelism: ParallelismConfig { threads },
         cache,
         exec_cache,
+        delta,
         ..PipelineConfig::default()
     };
     let mut sim = ProductionSim::with_sis_store(
@@ -90,19 +94,21 @@ fn run_sim_of(
 }
 
 /// [`run_sim_of`] over the standard fresh-literal workload with the
-/// execution cache at its default (on).
+/// execution cache and delta compilation at their defaults (on).
 fn run_sim(threads: Option<usize>, cache: CacheConfig, sis_dir: &Path) -> Vec<DailyReport> {
     run_sim_of(
         workload(),
         threads,
         cache,
         ExecCacheConfig::default(),
+        DeltaConfig::default(),
         sis_dir,
     )
 }
 
-/// Byte-level rendering of the reports with both caches' telemetry zeroed
-/// (observability about the caches, not steering outputs — see module docs).
+/// Byte-level rendering of the reports with the telemetry-only fields
+/// zeroed (observability about the machinery, not steering outputs — see
+/// module docs).
 fn normalized(reports: &[DailyReport]) -> Vec<String> {
     reports
         .iter()
@@ -110,6 +116,8 @@ fn normalized(reports: &[DailyReport]) -> Vec<String> {
             let mut report = report.clone();
             report.compile_cache = CacheCounters::default();
             report.exec_cache = ExecCounters::default();
+            report.delta_compile = DeltaStats::default();
+            report.timings = StageTimings::default();
             format!("{report:?}")
         })
         .collect()
@@ -165,13 +173,14 @@ fn reports_and_hint_files_are_identical_with_cache_on_and_off() {
         TempTree(std::env::temp_dir().join(format!("qo-cache-determinism-{}", std::process::id())));
     let _ = std::fs::remove_dir_all(&base.0);
 
-    // Baseline: the pre-cache pipeline (serial, both caches off).
+    // Baseline: the pre-cache pipeline (serial, both caches and delta off).
     let off_dir = base.0.join("off");
     let off_reports_raw = run_sim_of(
         workload(),
         None,
         CacheConfig::disabled(),
         ExecCacheConfig::disabled(),
+        DeltaConfig::disabled(),
         &off_dir,
     );
     let baseline_reports = normalized(&off_reports_raw);
@@ -228,6 +237,7 @@ fn reports_and_hint_files_are_identical_with_exec_cache_on_and_off() {
             None,
             CacheConfig::disabled(),
             ExecCacheConfig::disabled(),
+            DeltaConfig::disabled(),
             &off_dir,
         ));
         let baseline_files = hint_files(&off_dir);
@@ -243,6 +253,7 @@ fn reports_and_hint_files_are_identical_with_exec_cache_on_and_off() {
                 Some(threads),
                 CacheConfig::disabled(),
                 ExecCacheConfig::default(),
+                DeltaConfig::disabled(),
                 &dir,
             );
             assert!(
@@ -286,6 +297,7 @@ fn sticky_literal_runs_are_identical_with_shared_cache_on_and_off() {
         None,
         CacheConfig::disabled(),
         ExecCacheConfig::disabled(),
+        DeltaConfig::disabled(),
         &off_dir,
     );
     let baseline_reports = normalized(&off_reports);
@@ -302,6 +314,7 @@ fn sticky_literal_runs_are_identical_with_shared_cache_on_and_off() {
             Some(threads),
             CacheConfig::default(),
             ExecCacheConfig::default(),
+            DeltaConfig::default(),
             &dir,
         );
         // Warm days rebind day-0 plans: production view compiles are
@@ -353,6 +366,73 @@ fn sticky_literal_runs_are_identical_with_shared_cache_on_and_off() {
     }
 }
 
+/// Delta slate compilation alone, against the fully uncached baseline,
+/// under fresh *and* sticky literals × 1/2/8 threads: byte-identical
+/// reports and hint files everywhere. (Both result caches stay off on both
+/// sides so this isolates delta compilation — every delta- or prune-priced
+/// treatment must replay exactly what a from-scratch compile would have
+/// produced, `RuleInstability` failures included.)
+#[test]
+fn reports_and_hint_files_are_identical_with_delta_on_and_off() {
+    let base =
+        TempTree(std::env::temp_dir().join(format!("qo-delta-determinism-{}", std::process::id())));
+    let _ = std::fs::remove_dir_all(&base.0);
+
+    for (policy, wl) in [("fresh", workload()), ("sticky", sticky_workload())] {
+        let off_dir = base.0.join(format!("{policy}-off"));
+        let baseline_reports = normalized(&run_sim_of(
+            wl.clone(),
+            None,
+            CacheConfig::disabled(),
+            ExecCacheConfig::disabled(),
+            DeltaConfig::disabled(),
+            &off_dir,
+        ));
+        let baseline_files = hint_files(&off_dir);
+        assert!(
+            !baseline_files.is_empty(),
+            "the {policy} delta-off simulation must publish at least one hint file"
+        );
+
+        for threads in [1usize, 2, 8] {
+            let dir = base.0.join(format!("{policy}-delta-t{threads}"));
+            let raw = run_sim_of(
+                wl.clone(),
+                Some(threads),
+                CacheConfig::disabled(),
+                ExecCacheConfig::disabled(),
+                DeltaConfig::default(),
+                &dir,
+            );
+            assert!(
+                raw.iter().any(|r| r.delta_compile.treatments() > 0),
+                "the delta run must actually price slates, or this test \
+                 compares nothing: {:?}",
+                raw[0].delta_compile
+            );
+            assert!(
+                raw.iter()
+                    .any(|r| r.delta_compile.pruned + r.delta_compile.delta > 0),
+                "some treatments must resolve without a from-scratch \
+                 compile: {:?}",
+                raw[0].delta_compile
+            );
+            assert_eq!(
+                normalized(&raw),
+                baseline_reports,
+                "{policy} daily reports diverged between delta-off serial \
+                 and delta-on at {threads} worker threads"
+            );
+            assert_eq!(
+                hint_files(&dir),
+                baseline_files,
+                "{policy} SIS hint files diverged between delta-off serial \
+                 and delta-on at {threads} worker threads"
+            );
+        }
+    }
+}
+
 #[test]
 fn parallel_config_default_is_serial() {
     assert_eq!(
@@ -374,4 +454,7 @@ fn cache_configs_default_to_enabled() {
     );
     assert!(ExecCacheConfig::default().enabled);
     assert!(!ExecCacheConfig::disabled().enabled);
+    assert_eq!(PipelineConfig::default().delta, DeltaConfig::default());
+    assert!(DeltaConfig::default().enabled);
+    assert!(!DeltaConfig::disabled().enabled);
 }
