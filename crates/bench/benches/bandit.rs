@@ -2,7 +2,7 @@
 //! throughput at the feature sizes the pipeline produces.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use personalizer::{CbConfig, ContextualBandit, FeatureVector};
+use personalizer::{CbConfig, ContextualBandit, FeatureVector, SparseSlate};
 use std::hint::black_box;
 
 fn context(span: usize) -> FeatureVector {
@@ -57,6 +57,30 @@ fn bench_bandit(c: &mut Criterion) {
 
     c.bench_function("joint_featurization", |b| {
         b.iter(|| black_box(ContextualBandit::joint(&ctx, &slate[0]).len()))
+    });
+
+    // Batched slate scoring vs the sequential `rank_slate_11_actions` leg
+    // above: the same decision computed via one pass over the CSR slate
+    // instead of per-action joint featurization (bit-identical by
+    // construction; this pair measures the speedup and the one-off
+    // slate-build cost it must amortize).
+    let sparse = SparseSlate::build(&ctx, &slate, CbConfig::default().dim_bits);
+    c.bench_function("rank_batched_11_actions", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(cb.rank_slate(black_box(&sparse), seed).chosen)
+        })
+    });
+    c.bench_function("sparse_slate_build_11_actions", |b| {
+        b.iter(|| {
+            black_box(SparseSlate::build(
+                black_box(&ctx),
+                black_box(&slate),
+                CbConfig::default().dim_bits,
+            ))
+            .num_actions()
+        })
     });
 }
 

@@ -351,10 +351,62 @@ fn bench_sim_delta_compile(c: &mut Criterion) {
     }
 }
 
+/// The recommend/featurize fast path's report card: one *warm* sticky day
+/// (the steady-state regime — every compile/graph already cached, delta on;
+/// setup advances 3 days first) with the span-feature cache and batched
+/// sparse rank scoring off vs on. With compiles amortized by PRs 2–5, the
+/// warm day is featurization/scoring-bound, and these two knobs attack
+/// exactly that remainder. Outputs are byte-identical in both arms
+/// (`tests/determinism.rs`).
+fn bench_sim_recommend_fastpath(c: &mut Criterion) {
+    let workload = WorkloadConfig {
+        seed: 2022,
+        num_templates: 48,
+        adhoc_per_day: 4,
+        max_instances_per_day: 1,
+        literals: LiteralPolicy::Sticky {
+            redraw_every_days: 0,
+        },
+    };
+    let cases = [("fastpath_off", false), ("fastpath_on", true)];
+    for (name, enabled) in cases {
+        c.bench_function(&format!("sim_warm_day_48_templates_sticky_{name}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut config = PipelineConfig {
+                        feature_cache: if enabled {
+                            qo_advisor::FeatureCacheConfig::default()
+                        } else {
+                            qo_advisor::FeatureCacheConfig::disabled()
+                        },
+                        ..PipelineConfig::default()
+                    };
+                    config.cb.batch_rank = enabled;
+                    let mut sim = ProductionSim::new(workload.clone(), config);
+                    for _ in 0..3 {
+                        sim.advance_day().expect("generated workloads compile");
+                    }
+                    sim
+                },
+                |mut sim| {
+                    black_box(
+                        sim.advance_day()
+                            .expect("generated workloads compile")
+                            .report
+                            .hints_published,
+                    )
+                },
+                BatchSize::PerIteration,
+            )
+        });
+    }
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
     targets = bench_pipeline, bench_pipeline_parallelism, bench_pipeline_compile_cache,
-        bench_sim_advance_day, bench_sim_exec_cache, bench_sim_delta_compile
+        bench_sim_advance_day, bench_sim_exec_cache, bench_sim_delta_compile,
+        bench_sim_recommend_fastpath
 }
 criterion_main!(benches);

@@ -10,8 +10,9 @@
 //! compile-bound stages on `N` worker threads (`0` = all cores); results
 //! are bit-identical to the serial default. `--cache on|off` (or `QO_CACHE`)
 //! toggles the compile-result cache, `--exec-cache on|off` (or
-//! `QO_EXEC_CACHE`) the execution-result cache, and `--delta-compile on|off`
-//! (or `QO_DELTA`) delta treatment compilation — all bit-identical either
+//! `QO_EXEC_CACHE`) the execution-result cache, `--delta-compile on|off`
+//! (or `QO_DELTA`) delta treatment compilation, and `--feature-cache on|off`
+//! (or `QO_FEATURE_CACHE`) the span-feature cache — all bit-identical either
 //! way, only throughput differs (all on by default).
 //!
 //! Each experiment writes its raw series to `results/<name>.csv` and prints
@@ -22,9 +23,9 @@
 
 use flighting::{FlightBudget, FlightRequest, FlightingService};
 use qo_advisor::{
-    aggregate_impact, CacheConfig, DeltaConfig, ExecCacheConfig, HintedComparison,
-    ParallelismConfig, PipelineConfig, ProductionSim, QoAdvisor, RecommendStrategy,
-    ValidationModel, ValidationSample,
+    aggregate_impact, CacheConfig, DeltaConfig, ExecCacheConfig, FeatureCacheConfig,
+    HintedComparison, ParallelismConfig, PipelineConfig, ProductionSim, QoAdvisor,
+    RecommendStrategy, ValidationModel, ValidationSample,
 };
 use qo_bench::corpus::{write_csv, Env};
 use qo_bench::{mean, pearson, percentile, polyfit1};
@@ -70,6 +71,13 @@ fn set_delta(enabled: bool) {
     let _ = DELTA.set(enabled);
 }
 
+/// Span-feature-cache override for every experiment in this run.
+static FEATURE_CACHE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+
+fn set_feature_cache(enabled: bool) {
+    let _ = FEATURE_CACHE.set(enabled);
+}
+
 /// Literal-redraw policy for every simulated workload in this run.
 static LITERALS: std::sync::OnceLock<LiteralPolicy> = std::sync::OnceLock::new();
 
@@ -112,6 +120,11 @@ fn pipeline_config() -> PipelineConfig {
             DeltaConfig::default()
         } else {
             DeltaConfig::disabled()
+        },
+        feature_cache: if *FEATURE_CACHE.get_or_init(|| true) {
+            FeatureCacheConfig::default()
+        } else {
+            FeatureCacheConfig::disabled()
         },
         ..PipelineConfig::default()
     }
@@ -182,6 +195,16 @@ fn main() {
         args.drain(i..=i + 1);
     } else if let Ok(value) = std::env::var("QO_DELTA") {
         set_delta(parse_cache_flag(&value));
+    }
+    if let Some(i) = args.iter().position(|a| a == "--feature-cache") {
+        let enabled = args.get(i + 1).map(String::as_str).unwrap_or_else(|| {
+            eprintln!("--feature-cache requires on|off");
+            std::process::exit(2);
+        });
+        set_feature_cache(parse_cache_flag(enabled));
+        args.drain(i..=i + 1);
+    } else if let Ok(value) = std::env::var("QO_FEATURE_CACHE") {
+        set_feature_cache(parse_cache_flag(&value));
     }
     if let Some(i) = args.iter().position(|a| a == "--literals") {
         let policy = args.get(i + 1).map(String::as_str).unwrap_or_else(|| {

@@ -4,7 +4,7 @@
 //! raw daily pipeline counters instead.
 //!
 //! With `--json [path]` the probe additionally writes a machine-readable
-//! perf record (per-day stage timings + compile/exec-cache and
+//! perf record (per-day stage timings + compile/exec/span-feature-cache and
 //! delta-compilation counters, plus lifetime totals) to
 //! `results/BENCH_probe.json` by default — the cross-PR perf trajectory
 //! artifact described in `PERFORMANCE.md`; CI uploads it on every run.
@@ -24,6 +24,7 @@ fn day_json(out: &DayOutcome, wall_ms: f64) -> String {
     let cc = r.compile_cache.total();
     let ec = r.exec_cache.total();
     let d = &r.delta_compile;
+    let fc = &r.feature_cache;
     let mut s = String::new();
     let _ = write!(
         s,
@@ -36,6 +37,7 @@ fn day_json(out: &DayOutcome, wall_ms: f64) -> String {
          \"graph_hits\":{},\"graph_misses\":{}}},\
          \"delta\":{{\"pruned\":{},\"delta\":{},\"full\":{},\
          \"base_builds\":{},\"base_hits\":{}}},\
+         \"feature_cache\":{{\"hits\":{},\"misses\":{},\"inserts\":{},\"evictions\":{}}},\
          \"steering\":{{\"recurring\":{},\"spanned\":{},\"flighted\":{},\
          \"validated\":{},\"hints_published\":{}}}}}",
         r.day,
@@ -59,6 +61,10 @@ fn day_json(out: &DayOutcome, wall_ms: f64) -> String {
         d.full,
         d.base_builds,
         d.base_hits,
+        fc.hits,
+        fc.misses,
+        fc.inserts,
+        fc.evictions,
         r.recurring_jobs,
         r.jobs_with_span,
         r.flighted,
@@ -119,6 +125,17 @@ fn main() {
             })
         },
     );
+    // `QO_FEATURE_CACHE=off` disables the span-feature cache (on by
+    // default) — the recommend-side twin of `QO_CACHE`.
+    let feature_cache = std::env::var("QO_FEATURE_CACHE").map_or_else(
+        |_| qo_advisor::FeatureCacheConfig::default(),
+        |value| {
+            qo_advisor::FeatureCacheConfig::parse_switch(&value).unwrap_or_else(|e| {
+                eprintln!("bad QO_FEATURE_CACHE: {e}");
+                std::process::exit(2);
+            })
+        },
+    );
     // `QO_LITERALS=sticky` (or `sticky:N` / `mixed:F`) switches the workload
     // into the recurring-script regime; default redraws literals every run.
     let literals =
@@ -133,6 +150,7 @@ fn main() {
         cache,
         exec_cache,
         delta,
+        feature_cache,
         ..PipelineConfig::default()
     };
     let wl = WorkloadConfig {
@@ -255,6 +273,15 @@ fn main() {
     // the JSON record's `lifetime` block carries.
     let exec_lifetime = sim.advisor.exec_stats();
     let delta_lifetime = sim.advisor.delta_stats();
+    let feature_lifetime = sim.advisor.feature_stats();
+    eprintln!(
+        "feature cache lifetime: {} hits / {} lookups ({:.0}%), {} inserts, {} evictions",
+        feature_lifetime.hits,
+        feature_lifetime.lookups(),
+        100.0 * feature_lifetime.hit_rate(),
+        feature_lifetime.inserts,
+        feature_lifetime.evictions
+    );
     let mut sim_rand = ProductionSim::new(
         wl,
         PipelineConfig {
@@ -286,17 +313,19 @@ fn main() {
         let record = format!(
             "{{\"bench\":\"probe\",\"wall_ms\":{:.3},\
              \"config\":{{\"threads\":{},\"cache\":{},\"exec_cache\":{},\
-             \"delta\":{delta_cfg_on},\"literals\":\"{:?}\"}},\
+             \"delta\":{delta_cfg_on},\"feature_cache\":{},\"literals\":\"{:?}\"}},\
              \"lifetime\":{{\
              \"compile_cache\":{{\"hits\":{},\"misses\":{},\"inserts\":{},\"evictions\":{}}},\
              \"exec_cache\":{{\"result_hits\":{},\"graph_hits\":{},\"graph_lookups\":{}}},\
              \"delta\":{{\"pruned\":{},\"delta\":{},\"full\":{},\
-             \"base_builds\":{},\"base_hits\":{}}}}},\
+             \"base_builds\":{},\"base_hits\":{}}},\
+             \"feature_cache\":{{\"hits\":{},\"misses\":{},\"inserts\":{},\"evictions\":{}}}}},\
              \"days\":[{}]}}",
             probe_start.elapsed().as_secs_f64() * 1e3,
             threads.unwrap_or(1),
             config.cache.enabled,
             config.exec_cache.enabled,
+            config.feature_cache.enabled,
             literals,
             lifetime.hits,
             lifetime.misses,
@@ -310,6 +339,10 @@ fn main() {
             delta_lifetime.full,
             delta_lifetime.base_builds,
             delta_lifetime.base_hits,
+            feature_lifetime.hits,
+            feature_lifetime.misses,
+            feature_lifetime.inserts,
+            feature_lifetime.evictions,
             day_records.join(",")
         );
         if let Some(parent) = std::path::Path::new(&path).parent() {

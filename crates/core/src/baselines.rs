@@ -15,6 +15,7 @@ use scope_ir::logical::LogicalPlan;
 use scope_ir::TemplateId;
 use scope_opt::{Optimizer, RuleConfig, RuleFlip, SpanResult};
 use scope_runtime::Executor;
+use std::sync::Arc;
 
 /// Uniform-at-random flip over the span. Deterministic in `seed`.
 #[must_use]
@@ -75,7 +76,7 @@ impl Negi2021 {
         flighting: &mut FlightingService,
         executor: &E,
         template: TemplateId,
-        plan: &LogicalPlan,
+        plan: &Arc<LogicalPlan>,
         job_seed: u64,
         span: &SpanResult,
     ) -> Negi2021Outcome {
@@ -161,7 +162,7 @@ mod tests {
         Optimizer,
         FlightingService,
         TemplateId,
-        LogicalPlan,
+        Arc<LogicalPlan>,
         u64,
         SpanResult,
     ) {

@@ -16,13 +16,15 @@
 //! | `QO_EXEC_CACHE` | `--exec-cache V`   | `on`/`1`/`true`, `off`/`0`/`false`| Execution-result cache ([`scope_runtime::ExecCacheConfig`], on by default) shared across production runs, counterfactual runs, flighting, and days — memoizes stage graphs and whole simulated runs |
 //! | `QO_DELTA`      | `--delta-compile V`| `on`/`1`/`true`, `off`/`0`/`false`| Delta treatment compilation ([`scope_opt::DeltaConfig`], on by default): recommendation and flighting treatment slates are priced as incremental passes over a shared per-plan base memo instead of from-scratch compiles — byte-identical results, only throughput differs |
 //! | `QO_LITERALS`   | `--literals P`     | `fresh`, `sticky`, `sticky:N`, `mixed:F` | Literal-redraw policy ([`scope_workload::LiteralPolicy`]) of recurring templates: fresh per run (default), pinned per N-day epoch (`sticky:0` = forever), or a sticky fraction `F` of templates |
+//! | `QO_FEATURE_CACHE` | `--feature-cache V` | `on`/`1`/`true`, `off`/`0`/`false`| Span-feature cache ([`crate::features::FeatureCache`], on by default): the CB context's C(S,2)+C(S,3) span co-occurrence block is built once per template and memoized keyed on `(template, span fingerprint)` instead of rebuilt per job-day — byte-identical context vectors, only throughput differs |
 //!
 //! `probe` reads the same environment variables; `experiments` also accepts
 //! the flags. Programmatic equivalents: [`PipelineConfig::parallelism`],
 //! [`PipelineConfig::cache`], [`PipelineConfig::exec_cache`],
-//! [`PipelineConfig::delta`], and
+//! [`PipelineConfig::delta`], [`PipelineConfig::feature_cache`], and
 //! [`scope_workload::WorkloadConfig::literals`].
 
+use crate::features::FeatureCacheConfig;
 use flighting::FlightBudget;
 use personalizer::CbConfig;
 use scope_opt::{CacheConfig, DeltaConfig};
@@ -93,6 +95,11 @@ pub struct PipelineConfig {
     /// `tests/determinism.rs`), so — like the two result caches — a pure
     /// throughput knob.
     pub delta: DeltaConfig,
+    /// Span-feature cache over the CB context's span co-occurrence block
+    /// (built per template, memoized across jobs and days). Featurization
+    /// is deterministic, so — like the other caches — a pure throughput
+    /// knob that never changes steering outputs (`tests/determinism.rs`).
+    pub feature_cache: FeatureCacheConfig,
     /// Contextual bandit hyper-parameters.
     pub cb: CbConfig,
     /// Flighting budget per daily batch.
@@ -131,6 +138,7 @@ impl Default for PipelineConfig {
             cache: CacheConfig::default(),
             exec_cache: ExecCacheConfig::default(),
             delta: DeltaConfig::default(),
+            feature_cache: FeatureCacheConfig::default(),
             cb: CbConfig::default(),
             flight_budget: FlightBudget::default(),
             validation_threshold: -0.1,

@@ -8,9 +8,13 @@
 //! * **Actions** = the no-op plus one flip per span rule, featurized by rule
 //!   id and rule category (§4.2).
 
-use personalizer::FeatureVector;
-use scope_opt::{RuleFlip, RuleId, RuleSet, SpanResult};
+use personalizer::{FeatureVector, SparseSlate};
+use scope_ir::ids::mix64;
+use scope_ir::{ShardedCache, TemplateId};
+use scope_opt::{CacheStats, RuleFlip, RuleId, RuleSet, SpanResult};
 use scope_workload::Table1Features;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Build the CB context vector for one job.
 #[must_use]
@@ -23,6 +27,11 @@ pub fn context_features(
 }
 
 /// [`context_features`] with the span block optional (the §6 ablation).
+///
+/// The context is the concatenation [`job_features`] ⧺ [`span_block`], in
+/// that item order — callers that cache the (template-stable) span block
+/// rebuild the identical vector by extending the job block with the cached
+/// one.
 #[must_use]
 pub fn context_features_opt(
     table1: &Table1Features,
@@ -30,8 +39,19 @@ pub fn context_features_opt(
     max_span_for_triples: usize,
     include_span: bool,
 ) -> FeatureVector {
+    let mut fv = job_features(table1);
+    if include_span {
+        fv.extend_from(&span_block(span, max_span_for_triples));
+    }
+    fv
+}
+
+/// The per-instance half of the CB context: Table-1 job features,
+/// log-bucketed (the dynamic ranges of costs and cardinalities span many
+/// decades).
+#[must_use]
+pub fn job_features(table1: &Table1Features) -> FeatureVector {
     let mut fv = FeatureVector::new();
-    // Table-1 numeric features, log-bucketed.
     fv.log_bucket("job", "est_cost", table1.estimated_cost);
     fv.log_bucket("job", "est_cards", table1.estimated_cardinalities);
     fv.log_bucket("job", "bytes_read", table1.bytes_read);
@@ -43,15 +63,22 @@ pub fn context_features_opt(
     fv.log_bucket("job", "avg_row_len", table1.avg_row_length);
     fv.flag("job", &format!("name:{}", table1.normalized_name));
     fv.flag("job", &format!("qtpl:{:x}", table1.query_template));
+    fv
+}
 
-    if !include_span {
-        return fv;
-    }
-    // The complete span as indicators + co-occurrence interactions. The
-    // higher-order indicators are down-weighted: under normalized SGD the
-    // correction is distributed by value², and with C(S,2)+C(S,3) of them
-    // they would otherwise drown the action main effects that our (much
-    // smaller than SCOPE's) event volume can actually estimate.
+/// The template-stable half of the CB context: the complete span as
+/// indicators + co-occurrence interactions. The higher-order indicators are
+/// down-weighted: under normalized SGD the correction is distributed by
+/// value², and with C(S,2)+C(S,3) of them they would otherwise drown the
+/// action main effects that our (much smaller than SCOPE's) event volume can
+/// actually estimate.
+///
+/// Spans are a pure function of the template's plan, so this block is
+/// identical for every instance of a template on every day — which is why
+/// [`FeatureCache`] can memoize it.
+#[must_use]
+pub fn span_block(span: &SpanResult, max_span_for_triples: usize) -> FeatureVector {
+    let mut fv = FeatureVector::new();
     let rules: Vec<String> = span.span.iter().map(|r| r.to_string()).collect();
     for r in &rules {
         fv.flag("span", r);
@@ -71,6 +98,190 @@ pub fn context_features_opt(
         }
     }
     fv
+}
+
+/// Span-feature-cache configuration (the `QO_FEATURE_CACHE` knob).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeatureCacheConfig {
+    /// Disabled = rebuild the span block per job (the pre-cache behavior).
+    pub enabled: bool,
+    /// Maximum cached span blocks across all shards (FIFO per shard beyond
+    /// this; `0` = unbounded). One entry per live template, so this stays
+    /// tiny next to the compile cache.
+    pub capacity: usize,
+    /// Lock shards (clamped to a power of two in `[1, 1024]`).
+    pub shards: usize,
+}
+
+impl Default for FeatureCacheConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            capacity: 1 << 12,
+            shards: 16,
+        }
+    }
+}
+
+impl FeatureCacheConfig {
+    /// A disabled cache (the `--feature-cache off` setting).
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self {
+            enabled: false,
+            ..Self::default()
+        }
+    }
+
+    /// Parse the shared `QO_FEATURE_CACHE` / `--feature-cache` switch
+    /// spellings (`on`/`1`/`true`, `off`/`0`/`false`) into a config, so
+    /// every CLI entry point accepts the identical vocabulary.
+    pub fn parse_switch(value: &str) -> Result<Self, String> {
+        match value {
+            "on" | "1" | "true" => Ok(Self::default()),
+            "off" | "0" | "false" => Ok(Self::disabled()),
+            other => Err(format!("expected on|off, got `{other}`")),
+        }
+    }
+}
+
+/// Shard router for the span-feature cache: the key is already two hashes,
+/// so one `mix64` folds it.
+fn span_key_hash(key: &(u64, u64)) -> u64 {
+    mix64(key.0, key.1)
+}
+
+/// Content fingerprint of a `(context, actions, dim_bits)` slate input: a
+/// `mix64` fold over every hashed feature id and value-bit pattern, with a
+/// boundary sentinel between actions. [`SparseSlate::build`] is a pure
+/// function of exactly these inputs, so equal fingerprints (within one
+/// template — the cache key pairs this with the template id) rebuild the
+/// identical slate.
+fn slate_fingerprint(context: &FeatureVector, actions: &[FeatureVector], dim_bits: u32) -> u64 {
+    let mut h = mix64(0x51A7E, u64::from(dim_bits));
+    for &(key, value) in context.items() {
+        h = mix64(h, key);
+        h = mix64(h, value.to_bits());
+    }
+    for action in actions {
+        h = mix64(h, 0xAC710);
+        for &(key, value) in action.items() {
+            h = mix64(h, key);
+            h = mix64(h, value.to_bits());
+        }
+    }
+    h
+}
+
+/// The span-feature cache: built span blocks ([`span_block`]) keyed by
+/// `(template id, span fingerprint)` in a [`scope_ir::ShardedCache`] (the
+/// workspace-wide lock-sharded FIFO cache). The span fingerprint acts as the
+/// epoch: if a template's span ever changed (e.g. a different rule
+/// universe), the old entry is simply never looked up again.
+///
+/// Construction is deterministic, so a cached block is byte-identical to a
+/// rebuilt one — like every other cache in the workspace this is a
+/// throughput knob, never a behavior knob (asserted in
+/// `tests/determinism.rs`). The C(S,2)+C(S,3) interaction block costs
+/// O(S³) string formatting + hashing per build; warm days previously paid
+/// that per *job*, the cache pays it per *template*.
+#[derive(Debug)]
+pub struct FeatureCache {
+    entries: ShardedCache<(u64, u64), Arc<FeatureVector>>,
+    /// Built rank slates keyed by `(template id, slate fingerprint)` — the
+    /// downstream sibling of `entries`: once the context is assembled, the
+    /// CSR fold of the whole `(context, actions)` slate is itself
+    /// template-stable on warm days (the Table-1 half of the context is
+    /// log-bucketed, so run-to-run noise rarely moves a bucket), and
+    /// fingerprinting the inputs costs ~2% of refolding them.
+    slates: ShardedCache<(u64, u64), Arc<SparseSlate>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+}
+
+impl FeatureCache {
+    #[must_use]
+    pub fn new(config: FeatureCacheConfig) -> Self {
+        Self {
+            entries: ShardedCache::new(config.capacity, config.shards, span_key_hash),
+            slates: ShardedCache::new(config.capacity, config.shards, span_key_hash),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+        }
+    }
+
+    /// The span block for `template`, built via [`span_block`] on miss and
+    /// memoized. Bit-identical to calling [`span_block`] directly.
+    #[must_use]
+    pub fn span_block_for(
+        &self,
+        template: TemplateId,
+        span: &SpanResult,
+        max_span_for_triples: usize,
+    ) -> Arc<FeatureVector> {
+        let key = (template.0, span.span.fingerprint());
+        if let Some(block) = self.entries.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return block;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let block = Arc::new(span_block(span, max_span_for_triples));
+        if self.entries.insert(key, block.clone()) {
+            self.inserts.fetch_add(1, Ordering::Relaxed);
+        }
+        block
+    }
+
+    /// The built rank slate for `(context, actions)` under `template`,
+    /// folded via [`SparseSlate::build`] on miss and memoized by content
+    /// fingerprint. Bit-identical to calling `build` directly: the key
+    /// covers every input of the pure fold, so a hit can only return the
+    /// slate the caller would have built.
+    #[must_use]
+    pub fn slate_for(
+        &self,
+        template: TemplateId,
+        context: &FeatureVector,
+        actions: &[FeatureVector],
+        dim_bits: u32,
+    ) -> Arc<SparseSlate> {
+        let key = (template.0, slate_fingerprint(context, actions, dim_bits));
+        if let Some(slate) = self.slates.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return slate;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let slate = Arc::new(SparseSlate::build(context, actions, dim_bits));
+        if self.slates.insert(key, slate.clone()) {
+            self.inserts.fetch_add(1, Ordering::Relaxed);
+        }
+        slate
+    }
+
+    /// Lifetime counters (same vocabulary as the compile/execution caches),
+    /// summed over the span-block and slate maps.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            evictions: self.entries.evictions() + self.slates.evictions(),
+        }
+    }
+
+    /// Cached span blocks and slates currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len() + self.slates.len()
+    }
+
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty() && self.slates.is_empty()
+    }
 }
 
 /// The action slate for a job: index 0 is the no-op ("changing nothing"),
@@ -188,6 +399,83 @@ mod tests {
         for f in flips.iter().flatten() {
             assert_eq!(f.enable, !default.enabled(f.rule));
         }
+    }
+
+    #[test]
+    fn context_is_job_block_concat_span_block() {
+        let (_, span, t1) = sample_span();
+        let whole = context_features(&t1, &span, 12);
+        let mut split = job_features(&t1);
+        split.extend_from(&span_block(&span, 12));
+        assert_eq!(whole, split, "split halves concatenate bit-identically");
+        // Span off = job block alone.
+        assert_eq!(
+            context_features_opt(&t1, &span, 12, false),
+            job_features(&t1)
+        );
+    }
+
+    #[test]
+    fn feature_cache_returns_identical_blocks_and_counts() {
+        let (_, span, _) = sample_span();
+        let cache = FeatureCache::new(FeatureCacheConfig::default());
+        let t = TemplateId(9);
+        let a = cache.span_block_for(t, &span, 12);
+        let b = cache.span_block_for(t, &span, 12);
+        assert_eq!(*a, span_block(&span, 12), "miss builds the real block");
+        assert_eq!(a, b);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.inserts), (1, 1, 1));
+        assert_eq!(cache.len(), 1);
+        // A different template is a separate entry even with the same span.
+        let _ = cache.span_block_for(TemplateId(10), &span, 12);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn slate_cache_returns_identical_slates_and_keys_by_content() {
+        let (opt, span, t1) = sample_span();
+        let cache = FeatureCache::new(FeatureCacheConfig::default());
+        let t = TemplateId(9);
+        let context = context_features(&t1, &span, 12);
+        let (actions, _) = action_slate(&span, opt.rules());
+        let a = cache.slate_for(t, &context, &actions, 18);
+        let b = cache.slate_for(t, &context, &actions, 18);
+        assert_eq!(
+            *a,
+            SparseSlate::build(&context, &actions, 18),
+            "miss builds the real slate"
+        );
+        assert_eq!(a, b);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.inserts), (1, 1, 1));
+        // Any input change — context item, action set, or dim_bits — is a
+        // different key, so a hit can never cross contents.
+        let mut other_ctx = context.clone();
+        other_ctx.flag("job", "extra");
+        let c = cache.slate_for(t, &other_ctx, &actions, 18);
+        assert_eq!(*c, SparseSlate::build(&other_ctx, &actions, 18));
+        let d = cache.slate_for(t, &context, &actions, 20);
+        assert_eq!(*d, SparseSlate::build(&context, &actions, 20));
+        assert_eq!(cache.stats().misses, 3);
+    }
+
+    #[test]
+    fn feature_cache_evicts_fifo_beyond_capacity() {
+        let (_, span, _) = sample_span();
+        let cache = FeatureCache::new(FeatureCacheConfig {
+            enabled: true,
+            capacity: 2,
+            shards: 1,
+        });
+        for t in 0..3 {
+            let _ = cache.span_block_for(TemplateId(t), &span, 12);
+        }
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        // The evicted entry rebuilds to the same block.
+        let again = cache.span_block_for(TemplateId(0), &span, 12);
+        assert_eq!(*again, span_block(&span, 12));
     }
 
     #[test]

@@ -69,7 +69,10 @@ pub mod validation_model;
 
 pub use baselines::{random_flip, Negi2021, Negi2021Outcome};
 pub use config::{ParallelismConfig, PipelineConfig, RecommendStrategy};
-pub use features::{action_slate, context_features, context_features_opt, reward_from_costs};
+pub use features::{
+    action_slate, context_features, context_features_opt, job_features, reward_from_costs,
+    span_block, FeatureCache, FeatureCacheConfig,
+};
 pub use monitoring::{CacheCounters, ExecCounters, MonitorConfig, RegressionMonitor, StageTimings};
 pub use pipeline::{DailyReport, QoAdvisor, Recommendation};
 pub use scope_opt::{CacheConfig, CacheStats, DeltaConfig, DeltaStats};

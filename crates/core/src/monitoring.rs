@@ -316,7 +316,7 @@ mod tests {
             recurring: true,
             job_seed: 1,
             features: Table1Features::aggregate("job_1", &plan, 1.0, &metrics),
-            plan,
+            plan: std::sync::Arc::new(plan),
             signature: scope_opt::RuleBits::empty(),
             est_cost: 1.0,
             metrics,

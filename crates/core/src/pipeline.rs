@@ -4,6 +4,7 @@
 //! occurrences of each template.
 
 use crate::config::PipelineConfig;
+use crate::features::FeatureCache;
 use crate::monitoring::{CacheCounters, ExecCounters};
 use crate::stages;
 use crate::validation_model::{ValidationModel, ValidationSample};
@@ -28,7 +29,7 @@ pub struct Recommendation {
     pub template: TemplateId,
     pub job_id: JobId,
     pub job_seed: u64,
-    pub plan: LogicalPlan,
+    pub plan: Arc<LogicalPlan>,
     pub flip: RuleFlip,
     pub default_cost: f64,
     pub new_cost: f64,
@@ -88,6 +89,12 @@ pub struct DailyReport {
     /// All-zero when `QO_DELTA=off`; observability only, zeroed in
     /// reproducibility comparisons like the cache counters.
     pub delta_compile: scope_opt::DeltaStats,
+    /// Span-feature-cache telemetry (all consumed by the Recommendation
+    /// stage, so no per-stage breakdown; all-zero when
+    /// `QO_FEATURE_CACHE=off`). Observability only — which lookup hits can
+    /// depend on parallel insert order, so reproducibility comparisons zero
+    /// this field like the other cache counters.
+    pub feature_cache: CacheStats,
     /// Per-stage wall-clock timings of this day (observability only;
     /// zeroed in reproducibility comparisons).
     pub timings: crate::monitoring::StageTimings,
@@ -115,6 +122,11 @@ pub struct QoAdvisor {
     pub(crate) preprod_exec: CachingExecutor,
     pub(crate) flighting: FlightingService,
     pub(crate) personalizer: Personalizer,
+    /// The span-feature cache behind Recommendation's context construction:
+    /// the template-stable span co-occurrence block is built once per
+    /// template and reused across jobs and days. `None` when
+    /// `config.feature_cache` is disabled.
+    pub(crate) feature_cache: Option<FeatureCache>,
     pub(crate) validation: Option<ValidationModel>,
     pub(crate) sis: SisStore,
     pub(crate) config: PipelineConfig,
@@ -153,6 +165,10 @@ impl QoAdvisor {
             preprod_exec,
             flighting,
             personalizer: Personalizer::new(config.cb.clone()),
+            feature_cache: config
+                .feature_cache
+                .enabled
+                .then(|| FeatureCache::new(config.feature_cache)),
             validation: None,
             sis,
             config,
@@ -255,6 +271,16 @@ impl QoAdvisor {
             .unwrap_or_default()
     }
 
+    /// Lifetime span-feature-cache counters (all-zero when the cache is
+    /// off).
+    #[must_use]
+    pub fn feature_stats(&self) -> CacheStats {
+        self.feature_cache
+            .as_ref()
+            .map(FeatureCache::stats)
+            .unwrap_or_default()
+    }
+
     #[must_use]
     pub fn config(&self) -> &PipelineConfig {
         &self.config
@@ -318,9 +344,12 @@ impl QoAdvisor {
         let spanned = stages::feature_gen(self, view, &mut report);
         report.timings.feature_gen_ns = elapsed(t0);
         let s1 = self.optimizer.stats();
+        let f1 = self.feature_stats();
         let t1 = std::time::Instant::now();
         let recommended = stages::recommend(self, &spanned, day, &mut report);
         report.timings.recommend_ns = elapsed(t1);
+        // Recommendation is the only consumer of the span-feature cache.
+        report.feature_cache = self.feature_stats().since(&f1);
         let s2 = self.optimizer.stats();
         let e2 = self.exec_stats();
         let t2 = std::time::Instant::now();

@@ -34,9 +34,9 @@
 //! knobs, never behavior knobs.
 
 use crate::config::{ParallelismConfig, RecommendStrategy};
-use crate::features::{action_slate, context_features_opt, reward_from_costs};
+use crate::features::{action_slate, job_features, reward_from_costs, span_block};
 use crate::pipeline::{DailyReport, QoAdvisor, Recommendation};
-use personalizer::{FeatureVector, RankRequest};
+use personalizer::{FeatureVector, RankRequest, RankResponse, SparseSlate};
 use rayon::prelude::*;
 use rayon::ThreadPool;
 use rustc_hash::{FxHashMap, FxHashSet};
@@ -46,6 +46,7 @@ use scope_ir::TemplateId;
 use scope_opt::{compute_span, CachingOptimizer, CompileError, Hint, RuleFlip, SpanResult};
 use scope_workload::ViewRow;
 use sis::HintFile;
+use std::sync::Arc;
 
 /// Build the worker pool a pipeline configuration asks for, once per
 /// [`QoAdvisor`] (stages run several fan-outs per day; the pool is reused
@@ -217,45 +218,94 @@ pub(crate) fn recommend(
     let default_config = qa.optimizer.default_config();
 
     // Phase 1: context + action slates are pure per-job features — fan out.
+    // The template-stable span block comes from the span-feature cache when
+    // enabled (bit-identical to rebuilding it; see `crate::features`), and
+    // under the batched scorer the (context × action) CSR slate is folded
+    // here too, so the serial rank pass below only gathers weights.
     let optimizer = &qa.optimizer;
     let config = &qa.config;
-    let slates: Vec<(FeatureVector, Vec<FeatureVector>, Vec<Option<RuleFlip>>)> =
-        par_map(qa.pool.as_ref(), jobs, |job| {
-            let context = context_features_opt(
-                &job.row.features,
-                &job.span,
-                config.max_span_for_triples,
-                config.span_features,
-            );
-            let (actions, flips) = action_slate(&job.span, optimizer.rules());
-            (context, actions, flips)
+    let feature_cache = qa.feature_cache.as_ref();
+    let batch = config.strategy == RecommendStrategy::ContextualBandit && config.cb.batch_rank;
+    type JobSlate = (
+        FeatureVector,
+        Vec<FeatureVector>,
+        Vec<Option<RuleFlip>>,
+        Option<Arc<SparseSlate>>,
+    );
+    let slates: Vec<JobSlate> = par_map(qa.pool.as_ref(), jobs, |job| {
+        let mut context = job_features(&job.row.features);
+        if config.span_features {
+            match feature_cache {
+                Some(cache) => context.extend_from(&cache.span_block_for(
+                    job.row.template,
+                    &job.span,
+                    config.max_span_for_triples,
+                )),
+                None => context.extend_from(&span_block(&job.span, config.max_span_for_triples)),
+            }
+        }
+        let (actions, flips) = action_slate(&job.span, optimizer.rules());
+        let sparse = batch.then(|| match feature_cache {
+            Some(cache) => {
+                cache.slate_for(job.row.template, &context, &actions, config.cb.dim_bits)
+            }
+            None => Arc::new(SparseSlate::build(&context, &actions, config.cb.dim_bits)),
         });
+        (context, actions, flips, sparse)
+    });
 
     // Phase 2: serial rank pass, job order. Every rank call happens before
     // any reward, so event ids are sequential regardless of thread count
     // and the whole batch acts on the model as of yesterday.
+    // That ordering also makes the model constant across the whole pass
+    // (rewards apply in phase 4), so each distinct slate is *scored* once
+    // and the scores reused by every rank over it — the training and acting
+    // ranks of the same job, and every job sharing a cached slate. Keying
+    // the memo by slate address is sound because the memo holds the `Arc`:
+    // a key's allocation stays live for the whole pass, so no later slate
+    // can alias it. Decisions stay bit-identical to the sequential
+    // per-action path.
+    let mut score_memo: FxHashMap<usize, (Arc<SparseSlate>, Vec<f64>)> = FxHashMap::default();
+    let rank = |req: &RankRequest, scores: &Option<Vec<f64>>| -> RankResponse {
+        match scores {
+            Some(scores) => qa.personalizer.rank_scored(req, scores),
+            None => qa.personalizer.rank(req),
+        }
+    };
     let mut decisions: Vec<JobDecisions> = Vec::with_capacity(jobs.len());
-    for (job, (context, actions, flips)) in jobs.iter().zip(slates) {
+    for (job, (context, actions, flips, sparse)) in jobs.iter().zip(slates) {
+        let sparse = sparse.as_ref().map(|slate| {
+            score_memo
+                .entry(Arc::as_ptr(slate) as usize)
+                .or_insert_with(|| (Arc::clone(slate), qa.personalizer.scores_slate(slate)))
+                .1
+                .clone()
+        });
         let train = if qa.config.strategy == RecommendStrategy::ContextualBandit {
-            let resp = qa.personalizer.rank(&RankRequest {
-                context: context.clone(),
-                actions: actions.clone(),
-                seed: mix64(job.row.job_id.0, mix64(u64::from(day), 0x7821)),
-                log_uniform: true,
-            });
+            let resp = rank(
+                &RankRequest {
+                    context: context.clone(),
+                    actions: actions.clone(),
+                    seed: mix64(job.row.job_id.0, mix64(u64::from(day), 0x7821)),
+                    log_uniform: true,
+                },
+                &sparse,
+            );
             Some((resp.event_id, flips[resp.decision.chosen]))
         } else {
             None
         };
         let act = match qa.config.strategy {
             RecommendStrategy::ContextualBandit => {
-                // The slate is moved into the acting rank (its last use).
-                let resp = qa.personalizer.rank(&RankRequest {
-                    context,
-                    actions,
-                    seed: mix64(job.row.job_id.0, mix64(u64::from(day), 0xAC7)),
-                    log_uniform: false,
-                });
+                let resp = rank(
+                    &RankRequest {
+                        context,
+                        actions,
+                        seed: mix64(job.row.job_id.0, mix64(u64::from(day), 0xAC7)),
+                        log_uniform: false,
+                    },
+                    &sparse,
+                );
                 match flips[resp.decision.chosen] {
                     None => ActDecision::Noop(Some(resp.event_id)),
                     Some(flip) => ActDecision::Flip(flip, Some(resp.event_id)),

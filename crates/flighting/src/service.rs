@@ -7,12 +7,13 @@ use scope_ir::logical::LogicalPlan;
 use scope_ir::TemplateId;
 use scope_opt::{Compiler, RuleConfig};
 use scope_runtime::{Cluster, Executor};
+use std::sync::Arc;
 
 /// One flighting request: a job and the two configurations to compare.
 #[derive(Debug, Clone)]
 pub struct FlightRequest {
     pub template: TemplateId,
-    pub plan: LogicalPlan,
+    pub plan: Arc<LogicalPlan>,
     pub job_seed: u64,
     pub baseline: RuleConfig,
     pub treatment: RuleConfig,

@@ -9,9 +9,15 @@
 
 use crate::features::FeatureVector;
 use crate::model::LinearModel;
+use crate::slate::SparseSlate;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
+
+/// Down-weight applied to the context×action quadratic block of the joint
+/// representation (see [`ContextualBandit::joint`]). Shared with the batched
+/// [`SparseSlate`] layout so both featurization paths multiply identically.
+pub(crate) const QUADRATIC_SCALE: f64 = 0.5;
 
 /// Bandit hyper-parameters.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -24,6 +30,12 @@ pub struct CbConfig {
     pub dim_bits: u32,
     /// Cap on inverse-propensity weights (variance control).
     pub max_importance: f64,
+    /// Score rank slates through the batched CSR path
+    /// ([`crate::slate::SparseSlate`]) instead of per-action joint
+    /// featurization. Bit-identical decisions either way (asserted by the
+    /// slate property test and the pipeline determinism suite) — purely a
+    /// throughput knob.
+    pub batch_rank: bool,
 }
 
 impl Default for CbConfig {
@@ -33,6 +45,7 @@ impl Default for CbConfig {
             learning_rate: 0.25,
             dim_bits: 20,
             max_importance: 50.0,
+            batch_rank: true,
         }
     }
 }
@@ -86,7 +99,7 @@ impl ContextualBandit {
     #[must_use]
     pub fn joint(context: &FeatureVector, action: &FeatureVector) -> FeatureVector {
         let mut fv = action.clone();
-        fv.extend_from(&context.quadratic_weighted(action, 0.5));
+        fv.extend_from(&context.quadratic_weighted(action, QUADRATIC_SCALE));
         fv
     }
 
@@ -99,41 +112,39 @@ impl ContextualBandit {
             .collect()
     }
 
-    /// Uniform-at-random logging policy (the paper's §4.2 data-gathering
-    /// arm). Deterministic given `seed`.
+    /// Score every action of a prebuilt [`SparseSlate`] — bit-identical to
+    /// [`ContextualBandit::scores`] over the slate's source vectors, without
+    /// re-featurizing or allocating per action.
     #[must_use]
-    pub fn rank_uniform(
-        &self,
-        context: &FeatureVector,
-        actions: &[FeatureVector],
-        seed: u64,
-    ) -> RankDecision {
-        assert!(!actions.is_empty(), "rank needs at least one action");
+    pub fn scores_slate(&self, slate: &SparseSlate) -> Vec<f64> {
+        self.model.score_slate(slate)
+    }
+
+    /// The uniform logging policy's decision over precomputed `scores`.
+    /// Deterministic given `seed`; the seeded RNG draws exactly what
+    /// [`ContextualBandit::rank_uniform`] always drew (one int range).
+    fn decide_uniform(scores: Vec<f64>, seed: u64) -> RankDecision {
+        assert!(!scores.is_empty(), "rank needs at least one action");
         let mut rng = StdRng::seed_from_u64(seed);
-        let chosen = rng.random_range(0..actions.len());
+        let chosen = rng.random_range(0..scores.len());
         RankDecision {
             chosen,
-            probability: 1.0 / actions.len() as f64,
-            scores: self.scores(context, actions),
+            probability: 1.0 / scores.len() as f64,
+            scores,
         }
     }
 
-    /// Epsilon-greedy learned policy. Deterministic given `seed`.
-    #[must_use]
-    pub fn rank(
-        &self,
-        context: &FeatureVector,
-        actions: &[FeatureVector],
-        seed: u64,
-    ) -> RankDecision {
-        assert!(!actions.is_empty(), "rank needs at least one action");
-        let scores = self.scores(context, actions);
+    /// The epsilon-greedy decision over precomputed `scores`, preserving
+    /// [`ContextualBandit::rank`]'s exact draw order: one float range, then
+    /// an int range only on the exploration branch.
+    fn decide_eps_greedy(&self, scores: Vec<f64>, seed: u64) -> RankDecision {
+        assert!(!scores.is_empty(), "rank needs at least one action");
         let greedy = argmax(&scores);
-        let k = actions.len() as f64;
+        let k = scores.len() as f64;
         let eps = self.config.epsilon;
         let mut rng = StdRng::seed_from_u64(seed);
         let chosen = if rng.random_range(0.0..1.0) < eps {
-            rng.random_range(0..actions.len())
+            rng.random_range(0..scores.len())
         } else {
             greedy
         };
@@ -147,6 +158,59 @@ impl ContextualBandit {
             probability,
             scores,
         }
+    }
+
+    /// The uniform logging policy's decision over precomputed scores — the
+    /// tail of [`ContextualBandit::rank_uniform`] once scoring is done.
+    /// Lets callers score a slate once and decide many times (the scores
+    /// only change when the model does, i.e. on reward).
+    #[must_use]
+    pub fn rank_uniform_scored(scores: Vec<f64>, seed: u64) -> RankDecision {
+        Self::decide_uniform(scores, seed)
+    }
+
+    /// The epsilon-greedy decision over precomputed scores — the tail of
+    /// [`ContextualBandit::rank`] once scoring is done.
+    #[must_use]
+    pub fn rank_scored(&self, scores: Vec<f64>, seed: u64) -> RankDecision {
+        self.decide_eps_greedy(scores, seed)
+    }
+
+    /// Uniform-at-random logging policy (the paper's §4.2 data-gathering
+    /// arm). Deterministic given `seed`.
+    #[must_use]
+    pub fn rank_uniform(
+        &self,
+        context: &FeatureVector,
+        actions: &[FeatureVector],
+        seed: u64,
+    ) -> RankDecision {
+        Self::decide_uniform(self.scores(context, actions), seed)
+    }
+
+    /// [`ContextualBandit::rank_uniform`] over a prebuilt slate —
+    /// bit-identical decision, batched scoring.
+    #[must_use]
+    pub fn rank_uniform_slate(&self, slate: &SparseSlate, seed: u64) -> RankDecision {
+        Self::decide_uniform(self.scores_slate(slate), seed)
+    }
+
+    /// Epsilon-greedy learned policy. Deterministic given `seed`.
+    #[must_use]
+    pub fn rank(
+        &self,
+        context: &FeatureVector,
+        actions: &[FeatureVector],
+        seed: u64,
+    ) -> RankDecision {
+        self.decide_eps_greedy(self.scores(context, actions), seed)
+    }
+
+    /// [`ContextualBandit::rank`] over a prebuilt slate — bit-identical
+    /// decision, batched scoring.
+    #[must_use]
+    pub fn rank_slate(&self, slate: &SparseSlate, seed: u64) -> RankDecision {
+        self.decide_eps_greedy(self.scores_slate(slate), seed)
     }
 
     /// Greedy exploitation (used when deploying the final recommendation).
@@ -227,6 +291,7 @@ mod tests {
             learning_rate: 0.3,
             dim_bits: 18,
             max_importance: 50.0,
+            batch_rank: true,
         });
         let actions = vec![action("a0"), action("a1")];
         // Ground truth: action 0 is good in context A, action 1 in context B.

@@ -39,6 +39,17 @@ impl FeatureVector {
     }
 
     /// Add a named numeric feature.
+    ///
+    /// Duplicate keys are **kept as separate items**, not summed: pushing
+    /// `("ns", "x", a)` then `("ns", "x", b)` yields two `(key, value)`
+    /// pairs. A linear model scores them as `w·a + w·b` — mathematically the
+    /// same as one item of value `a + b`, but *not* bit-identical under f64
+    /// (`w*a + w*b ≠ w*(a+b)` in general), and gradient updates touch the
+    /// slot once per item. Every scorer must therefore fold duplicates
+    /// identically: both `LinearModel::score` and the batched
+    /// `LinearModel::score_slate` walk items in push order, one term per
+    /// item (VW resolves collisions the same way — last to hash wins
+    /// nothing; all occurrences contribute).
     pub fn push(&mut self, namespace: &str, name: &str, value: f64) {
         self.items.push((Self::key(namespace, name), value));
     }
@@ -166,6 +177,16 @@ mod tests {
         assert_ne!(bucket_key(150.0), bucket_key(1500.0), "different decade");
         // Non-positive values fall into a sentinel bucket.
         assert_eq!(bucket_key(0.0), bucket_key(-3.0));
+    }
+
+    #[test]
+    fn duplicate_keys_stay_separate_items() {
+        let mut f = FeatureVector::new();
+        f.push("ns", "x", 2.0);
+        f.push("ns", "x", 3.0);
+        assert_eq!(f.len(), 2, "duplicates are not summed");
+        assert_eq!(f.items()[0].0, f.items()[1].0, "same hashed key");
+        assert_eq!((f.items()[0].1, f.items()[1].1), (2.0, 3.0));
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! regression (the IWR reduction used by VW's contextual bandit modes).
 
 use crate::features::FeatureVector;
+use crate::slate::SparseSlate;
 use serde::{Deserialize, Serialize};
 
 /// A linear model over a hashed weight table of `2^dim_bits` entries,
@@ -38,12 +39,42 @@ impl LinearModel {
     }
 
     /// Predicted reward of a (context × action) feature vector.
+    ///
+    /// Items accumulate left-to-right; duplicate keys (see
+    /// [`FeatureVector::push`]) contribute one term each, in their positions
+    /// — the batched [`LinearModel::score_slate`] path folds them the same
+    /// way, which is what keeps the two bit-identical.
     #[must_use]
     pub fn score(&self, fv: &FeatureVector) -> f64 {
         fv.items()
             .iter()
             .map(|&(k, v)| self.weights[self.slot(k)] * v)
             .sum()
+    }
+
+    /// Predicted reward of every action in a prebuilt [`SparseSlate`]: a
+    /// gather-multiply over the slate's flat arrays, one pass for the whole
+    /// slate. The slate's pre-folded slots must match this model's table
+    /// (same `dim_bits`), and each action's items accumulate in the same
+    /// left-to-right order as [`LinearModel::score`] over the sequential
+    /// joint vector, so the scores are bit-identical to the per-action path.
+    #[must_use]
+    pub fn score_slate(&self, slate: &SparseSlate) -> Vec<f64> {
+        assert_eq!(
+            slate.dim_bits(),
+            self.dim_bits,
+            "slate folded for a different dim_bits than this model's table"
+        );
+        (0..slate.num_actions())
+            .map(|i| {
+                let (slots, values) = slate.action(i);
+                slots
+                    .iter()
+                    .zip(values)
+                    .map(|(&s, &v)| self.weights[s as usize] * v)
+                    .sum()
+            })
+            .collect()
     }
 
     /// One normalized-SGD step of squared loss `(w·x − reward)²`, scaled by

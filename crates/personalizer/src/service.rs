@@ -6,6 +6,7 @@
 use crate::bandit::{CbConfig, ContextualBandit, RankDecision};
 use crate::counterfactual::LoggedOutcome;
 use crate::features::FeatureVector;
+use crate::slate::SparseSlate;
 use parking_lot::Mutex;
 use rustc_hash::FxHashMap;
 
@@ -49,6 +50,24 @@ struct Inner {
     next_event: u64,
 }
 
+impl Inner {
+    /// Assign the next event id and log the decision as pending — the
+    /// shared tail of every rank entry point.
+    fn log_decision(inner: &mut Inner, req: &RankRequest, decision: RankDecision) -> RankResponse {
+        let event_id = inner.next_event;
+        inner.next_event += 1;
+        inner.pending.insert(
+            event_id,
+            PendingEvent {
+                context: req.context.clone(),
+                action: req.actions[decision.chosen].clone(),
+                probability: decision.probability,
+            },
+        );
+        RankResponse { event_id, decision }
+    }
+}
+
 impl Personalizer {
     #[must_use]
     pub fn new(config: CbConfig) -> Self {
@@ -72,17 +91,57 @@ impl Personalizer {
         } else {
             inner.bandit.rank(&req.context, &req.actions, req.seed)
         };
-        let event_id = inner.next_event;
-        inner.next_event += 1;
-        inner.pending.insert(
-            event_id,
-            PendingEvent {
-                context: req.context.clone(),
-                action: req.actions[decision.chosen].clone(),
-                probability: decision.probability,
-            },
+        Inner::log_decision(&mut inner, req, decision)
+    }
+
+    /// [`Personalizer::rank`] through a prebuilt [`SparseSlate`] (built once
+    /// per request, e.g. in a parallel featurization fan-out, and shared by
+    /// the training and acting rank calls). The decision — choice,
+    /// propensity, scores, event id — is bit-identical to [`Personalizer::
+    /// rank`] over the request's `context`/`actions`; only the scoring path
+    /// differs. The request still carries the full feature vectors: the
+    /// pending-event log stores them for the eventual reward update.
+    pub fn rank_slate(&self, req: &RankRequest, slate: &SparseSlate) -> RankResponse {
+        debug_assert_eq!(
+            slate.num_actions(),
+            req.actions.len(),
+            "slate laid out for a different action set"
         );
-        RankResponse { event_id, decision }
+        let mut inner = self.inner.lock();
+        let decision = if req.log_uniform {
+            inner.bandit.rank_uniform_slate(slate, req.seed)
+        } else {
+            inner.bandit.rank_slate(slate, req.seed)
+        };
+        Inner::log_decision(&mut inner, req, decision)
+    }
+
+    /// Score a prebuilt slate under the current model, without ranking or
+    /// logging anything. Pair with [`Personalizer::rank_scored`]: the model
+    /// only changes on [`Personalizer::reward`], so in a ranks-then-rewards
+    /// pass one score vector per distinct slate serves every rank over it.
+    pub fn scores_slate(&self, slate: &SparseSlate) -> Vec<f64> {
+        self.inner.lock().bandit.scores_slate(slate)
+    }
+
+    /// [`Personalizer::rank_slate`] with the scoring pass hoisted out:
+    /// decide and log from `scores` previously computed by
+    /// [`Personalizer::scores_slate`]. Bit-identical to `rank_slate` as
+    /// long as no reward landed between scoring and ranking — the caller's
+    /// contract (the pipeline's rank pass rewards only after every rank).
+    pub fn rank_scored(&self, req: &RankRequest, scores: &[f64]) -> RankResponse {
+        debug_assert_eq!(
+            scores.len(),
+            req.actions.len(),
+            "scores computed for a different action set"
+        );
+        let mut inner = self.inner.lock();
+        let decision = if req.log_uniform {
+            ContextualBandit::rank_uniform_scored(scores.to_vec(), req.seed)
+        } else {
+            inner.bandit.rank_scored(scores.to_vec(), req.seed)
+        };
+        Inner::log_decision(&mut inner, req, decision)
     }
 
     /// Reward a previously ranked event; updates the model off-policy and
@@ -176,6 +235,7 @@ mod tests {
             learning_rate: 0.3,
             dim_bits: 16,
             max_importance: 20.0,
+            batch_rank: true,
         });
         // Action 2 always pays.
         for seed in 0..600 {
@@ -186,6 +246,24 @@ mod tests {
         let best = svc.best_action(&fv("ctx"), &[fv("a0"), fv("a1"), fv("a2")]);
         assert_eq!(best.chosen, 2);
         assert!((best.probability - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scored_path_matches_rank_slate_bit_for_bit() {
+        let a = Personalizer::new(CbConfig::default());
+        let b = Personalizer::new(CbConfig::default());
+        for seed in 0..32 {
+            for uniform in [false, true] {
+                let req = request(seed, uniform);
+                let slate = SparseSlate::build(&req.context, &req.actions, 20);
+                let want = a.rank_slate(&req, &slate);
+                let scores = b.scores_slate(&slate);
+                let got = b.rank_scored(&req, &scores);
+                assert_eq!(got.event_id, want.event_id);
+                assert_eq!(got.decision, want.decision);
+            }
+        }
+        assert_eq!(a.pending(), b.pending());
     }
 
     #[test]

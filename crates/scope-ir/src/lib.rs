@@ -11,7 +11,10 @@
 //!   let the optimizer mis-estimate while the runtime simulator stays honest;
 //! * [`logical`] — the logical operator algebra and arena-based plan DAG;
 //! * [`physical`] — physical operators (implementation flavors, exchanges,
-//!   partitioning schemes) and the physical plan DAG.
+//!   partitioning schemes) and the physical plan DAG;
+//! * [`sharded`] — the generic lock-sharded FIFO cache every result cache in
+//!   the workspace builds on, next to the [`counters`] vocabulary they all
+//!   report in.
 //!
 //! The crate is dependency-light by design: every other crate in the
 //! workspace (optimizer, runtime simulator, workload generator, pipeline)
@@ -24,6 +27,7 @@ pub mod ids;
 pub mod logical;
 pub mod physical;
 pub mod schema;
+pub mod sharded;
 pub mod stats;
 
 pub use counters::CacheStats;
@@ -34,4 +38,5 @@ pub use physical::{
     AggMode, Partitioning, PhysicalNode, PhysicalOp, PhysicalPlan, PhysicalTuning, ScanVariant,
 };
 pub use schema::{Column, DataType, Schema};
+pub use sharded::ShardedCache;
 pub use stats::{DualStats, NodeStats};

@@ -9,8 +9,8 @@
 //! plan bytes and the configuration bits — so those pairs are perfect cache
 //! keys: a cached run is byte-identical to an uncached one.
 //!
-//! [`CompileCache`] is N lock-sharded `FxHashMap`s behind
-//! [`parking_lot::RwLock`], keyed by `(plan fingerprint, RuleBits)` and
+//! [`CompileCache`] is a [`scope_ir::ShardedCache`] (the workspace-wide
+//! lock-sharded FIFO cache), keyed by `(plan fingerprint, RuleBits)` and
 //! storing full `Result<Compiled, CompileError>` values — **failures are
 //! cached too**, so a flip known to crash compilation for a template is
 //! replayed instead of recompiled. The plan fingerprint hashes the
@@ -27,12 +27,10 @@ use crate::config::{RuleBits, RuleConfig};
 use crate::delta::{DeltaCompiler, DeltaConfig, DeltaStats};
 use crate::registry::RuleSet;
 use crate::search::{CompileError, Compiled, Compiler, Optimizer};
-use parking_lot::RwLock;
-use rustc_hash::FxHashMap;
 use scope_ir::ids::mix64;
 use scope_ir::logical::LogicalPlan;
+use scope_ir::sharded::ShardedCache;
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Knobs of the compile-result cache.
@@ -82,45 +80,28 @@ pub use scope_ir::counters::CacheStats;
 /// configuration.
 type Key = (u64, RuleBits);
 
-#[derive(Debug, Default)]
-struct Shard {
-    map: FxHashMap<Key, Result<Compiled, CompileError>>,
-    /// Insertion order, for FIFO eviction once the shard is full.
-    order: VecDeque<Key>,
-    /// Evictions performed by *this* shard. Eviction is a per-shard event
-    /// (each shard enforces its own slice of the capacity), so the counter
-    /// lives under the shard lock — a single cache-wide atomic silently
-    /// merged every shard's evictions and made skew invisible: one hot
-    /// shard churning at capacity looked identical to uniform pressure.
-    /// [`CompileCache::stats`] sums these; [`CompileCache::shard_evictions`]
-    /// exposes the attribution.
-    evictions: u64,
-}
-
-/// The sharded compile-result cache. `&CompileCache` is `Sync`: parallel
-/// pipeline fan-outs hit it concurrently, readers sharing each shard lock.
+/// The sharded compile-result cache: a [`ShardedCache`] of full compile
+/// results (per-shard FIFO eviction with per-shard attribution — see
+/// [`CompileCache::shard_evictions`]) plus hit/miss/insert accounting.
+/// `&CompileCache` is `Sync`: parallel pipeline fan-outs hit it
+/// concurrently, readers sharing each shard lock.
 #[derive(Debug)]
 pub struct CompileCache {
-    shards: Box<[RwLock<Shard>]>,
-    /// Per-shard entry cap derived from [`CacheConfig::capacity`].
-    shard_capacity: usize,
+    entries: ShardedCache<Key, Result<Compiled, CompileError>>,
     hits: AtomicU64,
     misses: AtomicU64,
     inserts: AtomicU64,
 }
 
+fn compile_key_hash(key: &Key) -> u64 {
+    mix64(key.0, key.1.fingerprint())
+}
+
 impl CompileCache {
     #[must_use]
     pub fn new(config: CacheConfig) -> Self {
-        let shards = config.shards.clamp(1, 1024).next_power_of_two();
-        let shard_capacity = if config.capacity == 0 {
-            usize::MAX
-        } else {
-            config.capacity.div_ceil(shards).max(1)
-        };
         Self {
-            shards: (0..shards).map(|_| RwLock::new(Shard::default())).collect(),
-            shard_capacity,
+            entries: ShardedCache::new(config.capacity, config.shards, compile_key_hash),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
@@ -134,11 +115,6 @@ impl CompileCache {
     #[must_use]
     pub fn plan_fingerprint(plan: &LogicalPlan) -> u64 {
         plan.fingerprint()
-    }
-
-    fn shard_for(&self, key: &Key) -> &RwLock<Shard> {
-        let h = mix64(key.0, key.1.fingerprint());
-        &self.shards[(h as usize) & (self.shards.len() - 1)]
     }
 
     /// The cached compile entry point: return the stored result for
@@ -170,7 +146,7 @@ impl CompileCache {
         config: &RuleConfig,
     ) -> Option<Result<Compiled, CompileError>> {
         let key = (Self::plan_fingerprint(plan), *config.bits());
-        let found = self.shard_for(&key).read().map.get(&key).cloned();
+        let found = self.entries.get(&key);
         if found.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
         } else {
@@ -199,22 +175,8 @@ impl CompileCache {
             let _ = compiled.physical.fingerprint();
         }
         let key = (Self::plan_fingerprint(plan), *config.bits());
-        let shard = self.shard_for(&key);
-        let mut guard = shard.write();
-        // A concurrent writer may have inserted while we computed; both
-        // hold the identical value (compilation is deterministic), so
-        // first writer wins and the duplicate work is only a perf loss.
-        if let std::collections::hash_map::Entry::Vacant(slot) = guard.map.entry(key) {
-            slot.insert(result.clone());
-            guard.order.push_back(key);
+        if self.entries.insert(key, result.clone()) {
             self.inserts.fetch_add(1, Ordering::Relaxed);
-            while guard.map.len() > self.shard_capacity {
-                let Some(oldest) = guard.order.pop_front() else {
-                    break;
-                };
-                guard.map.remove(&oldest);
-                guard.evictions += 1;
-            }
         }
     }
 
@@ -226,7 +188,7 @@ impl CompileCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             inserts: self.inserts.load(Ordering::Relaxed),
-            evictions: self.shard_evictions().iter().sum(),
+            evictions: self.entries.evictions(),
         }
     }
 
@@ -236,27 +198,23 @@ impl CompileCache {
     /// a single cache-wide atomic.
     #[must_use]
     pub fn shard_evictions(&self) -> Vec<u64> {
-        self.shards.iter().map(|s| s.read().evictions).collect()
+        self.entries.shard_evictions()
     }
 
     /// Live entries across all shards.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.read().map.len()).sum()
+        self.entries.len()
     }
 
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.entries.is_empty()
     }
 
     /// Drop every entry (counters keep running).
     pub fn clear(&self) {
-        for shard in self.shards.iter() {
-            let mut guard = shard.write();
-            guard.map.clear();
-            guard.order.clear();
-        }
+        self.entries.clear();
     }
 }
 

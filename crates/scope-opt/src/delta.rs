@@ -68,6 +68,7 @@ use parking_lot::RwLock;
 use rustc_hash::FxHashMap;
 use scope_ir::ids::mix64;
 use scope_ir::logical::LogicalPlan;
+use scope_ir::sharded::ShardedCache;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -464,21 +465,19 @@ impl BaseMemo {
 
 type BaseKey = (u64, RuleBits);
 
-#[derive(Debug, Default)]
-struct BaseShard {
-    map: FxHashMap<BaseKey, Arc<BaseMemo>>,
-    /// Insertion order, for FIFO eviction once the shard is full.
-    order: VecDeque<BaseKey>,
+fn base_key_hash(key: &BaseKey) -> u64 {
+    mix64(key.0, key.1.fingerprint())
 }
 
 /// The sharded base-memo cache plus treatment-resolution counters: the
 /// long-lived half of delta compilation. One instance sits inside the
 /// pipeline's `CachingOptimizer`, so recommendation and flighting (and,
 /// under sticky literals, successive days) share each plan's base memo.
+/// The memos live in a [`ShardedCache`] (the workspace-wide lock-sharded
+/// FIFO cache), which also gives this cache per-shard eviction attribution.
 #[derive(Debug)]
 pub struct DeltaCompiler {
-    shards: Box<[RwLock<BaseShard>]>,
-    shard_capacity: usize,
+    bases: ShardedCache<BaseKey, Arc<BaseMemo>>,
     pruned: AtomicU64,
     delta: AtomicU64,
     full: AtomicU64,
@@ -489,28 +488,14 @@ pub struct DeltaCompiler {
 impl DeltaCompiler {
     #[must_use]
     pub fn new(config: DeltaConfig) -> Self {
-        let shards = config.shards.clamp(1, 1024).next_power_of_two();
-        let shard_capacity = if config.capacity == 0 {
-            usize::MAX
-        } else {
-            config.capacity.div_ceil(shards).max(1)
-        };
         Self {
-            shards: (0..shards)
-                .map(|_| RwLock::new(BaseShard::default()))
-                .collect(),
-            shard_capacity,
+            bases: ShardedCache::new(config.capacity, config.shards, base_key_hash),
             pruned: AtomicU64::new(0),
             delta: AtomicU64::new(0),
             full: AtomicU64::new(0),
             base_builds: AtomicU64::new(0),
             base_hits: AtomicU64::new(0),
         }
-    }
-
-    fn shard_for(&self, key: &BaseKey) -> &RwLock<BaseShard> {
-        let h = mix64(key.0, key.1.fingerprint());
-        &self.shards[(h as usize) & (self.shards.len() - 1)]
     }
 
     /// The shared base memo for `(plan, base)`: cached, or built from
@@ -524,26 +509,15 @@ impl DeltaCompiler {
         base: &RuleConfig,
     ) -> Result<Arc<BaseMemo>, CompileError> {
         let key = (plan.fingerprint(), *base.bits());
-        let shard = self.shard_for(&key);
-        if let Some(cached) = shard.read().map.get(&key) {
+        if let Some(cached) = self.bases.get(&key) {
             self.base_hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(cached.clone());
+            return Ok(cached);
         }
         self.base_builds.fetch_add(1, Ordering::Relaxed);
         let built = Arc::new(BaseMemo::build(optimizer, plan, base)?);
-        let mut guard = shard.write();
         // First writer wins on concurrent builds (both built the identical
         // artifact — compilation is deterministic).
-        if let std::collections::hash_map::Entry::Vacant(slot) = guard.map.entry(key) {
-            slot.insert(built.clone());
-            guard.order.push_back(key);
-            while guard.map.len() > self.shard_capacity {
-                let Some(oldest) = guard.order.pop_front() else {
-                    break;
-                };
-                guard.map.remove(&oldest);
-            }
-        }
+        self.bases.insert(key, built.clone());
         Ok(built)
     }
 
@@ -623,21 +597,17 @@ impl DeltaCompiler {
     /// Live base memos across all shards.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.read().map.len()).sum()
+        self.bases.len()
     }
 
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.bases.is_empty()
     }
 
     /// Drop every base memo (counters keep running).
     pub fn clear(&self) {
-        for shard in self.shards.iter() {
-            let mut guard = shard.write();
-            guard.map.clear();
-            guard.order.clear();
-        }
+        self.bases.clear();
     }
 }
 

@@ -32,13 +32,11 @@ use crate::cluster::{Cluster, ClusterConfig};
 use crate::executor::{execute, execute_stages, Executor};
 use crate::metrics::ExecutionMetrics;
 use crate::stage::StageGraph;
-use parking_lot::RwLock;
-use rustc_hash::FxHashMap;
 use scope_ir::counters::CacheStats;
 use scope_ir::ids::mix64;
 use scope_ir::physical::PhysicalPlan;
+use scope_ir::sharded::ShardedCache;
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -170,69 +168,44 @@ type ResultKey = (u64, u64, u64, u64);
 /// Graph key: exact plan identity + the hardware-only epoch.
 type GraphKey = (u64, u64);
 
-#[derive(Debug, Default)]
-struct ResultShard {
-    map: FxHashMap<ResultKey, ExecutionMetrics>,
-    /// Insertion order, for FIFO eviction once the shard is full.
-    order: VecDeque<ResultKey>,
+fn result_key_hash(key: &ResultKey) -> u64 {
+    mix64(mix64(key.0, key.1), mix64(key.2, key.3))
 }
 
-#[derive(Debug, Default)]
-struct GraphShard {
-    map: FxHashMap<GraphKey, Arc<StageGraph>>,
-    order: VecDeque<GraphKey>,
+fn graph_key_hash(key: &GraphKey) -> u64 {
+    mix64(key.0, key.1)
 }
 
-/// The sharded execution-result cache. `&ExecutionCache` is `Sync`; one
-/// instance is shared (via `Arc`) by every [`CachingExecutor`] of a
-/// simulation — production and pre-production alike — the way one
-/// `CompileCache` spans every compile of the pipeline.
+/// The sharded execution-result cache: two [`ShardedCache`]s (the
+/// workspace-wide lock-sharded FIFO cache) — one per memo level — plus
+/// hit/miss/insert accounting. `&ExecutionCache` is `Sync`; one instance is
+/// shared (via `Arc`) by every [`CachingExecutor`] of a simulation —
+/// production and pre-production alike — the way one `CompileCache` spans
+/// every compile of the pipeline.
 #[derive(Debug)]
 pub struct ExecutionCache {
-    results: Box<[RwLock<ResultShard>]>,
-    graphs: Box<[RwLock<GraphShard>]>,
-    /// Per-shard entry caps derived from [`ExecCacheConfig`].
-    result_capacity: usize,
-    graph_capacity: usize,
+    results: ShardedCache<ResultKey, ExecutionMetrics>,
+    graphs: ShardedCache<GraphKey, Arc<StageGraph>>,
     r_hits: AtomicU64,
     r_misses: AtomicU64,
     r_inserts: AtomicU64,
-    r_evictions: AtomicU64,
     g_hits: AtomicU64,
     g_misses: AtomicU64,
     g_inserts: AtomicU64,
-    g_evictions: AtomicU64,
-}
-
-fn per_shard(total: usize, shards: usize) -> usize {
-    if total == 0 {
-        usize::MAX
-    } else {
-        total.div_ceil(shards).max(1)
-    }
 }
 
 impl ExecutionCache {
     #[must_use]
     pub fn new(config: ExecCacheConfig) -> Self {
-        let shards = config.shards.clamp(1, 1024).next_power_of_two();
         Self {
-            results: (0..shards)
-                .map(|_| RwLock::new(ResultShard::default()))
-                .collect(),
-            graphs: (0..shards)
-                .map(|_| RwLock::new(GraphShard::default()))
-                .collect(),
-            result_capacity: per_shard(config.capacity, shards),
-            graph_capacity: per_shard(config.graph_capacity, shards),
+            results: ShardedCache::new(config.capacity, config.shards, result_key_hash),
+            graphs: ShardedCache::new(config.graph_capacity, config.shards, graph_key_hash),
             r_hits: AtomicU64::new(0),
             r_misses: AtomicU64::new(0),
             r_inserts: AtomicU64::new(0),
-            r_evictions: AtomicU64::new(0),
             g_hits: AtomicU64::new(0),
             g_misses: AtomicU64::new(0),
             g_inserts: AtomicU64::new(0),
-            g_evictions: AtomicU64::new(0),
         }
     }
 
@@ -241,16 +214,6 @@ impl ExecutionCache {
     #[must_use]
     pub fn shared(config: ExecCacheConfig) -> Option<Arc<Self>> {
         config.enabled.then(|| Arc::new(Self::new(config)))
-    }
-
-    fn result_shard(&self, key: &ResultKey) -> &RwLock<ResultShard> {
-        let h = mix64(mix64(key.0, key.1), mix64(key.2, key.3));
-        &self.results[(h as usize) & (self.results.len() - 1)]
-    }
-
-    fn graph_shard(&self, key: &GraphKey) -> &RwLock<GraphShard> {
-        let h = mix64(key.0, key.1);
-        &self.graphs[(h as usize) & (self.graphs.len() - 1)]
     }
 
     /// The memoized stage graph of `plan` on hardware `config` (epoch
@@ -262,28 +225,17 @@ impl ExecutionCache {
         config: &ClusterConfig,
     ) -> Arc<StageGraph> {
         let key = (plan.fingerprint(), config_epoch);
-        let shard = self.graph_shard(&key);
-        if let Some(graph) = shard.read().map.get(&key) {
+        if let Some(graph) = self.graphs.get(&key) {
             self.g_hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(graph);
+            return graph;
         }
         self.g_misses.fetch_add(1, Ordering::Relaxed);
         // Build outside the lock; concurrent misses on one key build the
         // identical graph (construction is deterministic), first writer
         // wins.
         let graph = Arc::new(StageGraph::build(plan, config));
-        let mut guard = shard.write();
-        if let std::collections::hash_map::Entry::Vacant(slot) = guard.map.entry(key) {
-            slot.insert(Arc::clone(&graph));
-            guard.order.push_back(key);
+        if self.graphs.insert(key, Arc::clone(&graph)) {
             self.g_inserts.fetch_add(1, Ordering::Relaxed);
-            while guard.map.len() > self.graph_capacity {
-                let Some(oldest) = guard.order.pop_front() else {
-                    break;
-                };
-                guard.map.remove(&oldest);
-                self.g_evictions.fetch_add(1, Ordering::Relaxed);
-            }
         }
         graph
     }
@@ -301,31 +253,21 @@ impl ExecutionCache {
         run_seed: u64,
     ) -> ExecutionMetrics {
         let key = (plan.fingerprint(), job_seed, run_seed, cluster_epoch);
-        let shard = self.result_shard(&key);
-        if let Some(cached) = shard.read().map.get(&key) {
+        if let Some(cached) = self.results.get(&key) {
             self.r_hits.fetch_add(1, Ordering::Relaxed);
-            return *cached;
+            return cached;
         }
         self.r_misses.fetch_add(1, Ordering::Relaxed);
         let graph = self.stage_graph(plan, config_epoch, &cluster.config);
         let metrics = execute_stages(&graph, cluster, job_seed, run_seed);
-        let mut guard = shard.write();
-        if let std::collections::hash_map::Entry::Vacant(slot) = guard.map.entry(key) {
-            slot.insert(metrics);
-            guard.order.push_back(key);
+        if self.results.insert(key, metrics) {
             self.r_inserts.fetch_add(1, Ordering::Relaxed);
-            while guard.map.len() > self.result_capacity {
-                let Some(oldest) = guard.order.pop_front() else {
-                    break;
-                };
-                guard.map.remove(&oldest);
-                self.r_evictions.fetch_add(1, Ordering::Relaxed);
-            }
         }
         metrics
     }
 
-    /// Snapshot of the monotonic counters.
+    /// Snapshot of the monotonic counters. Evictions come from the
+    /// per-shard counters inside each [`ShardedCache`].
     #[must_use]
     pub fn stats(&self) -> ExecStats {
         ExecStats {
@@ -333,13 +275,13 @@ impl ExecutionCache {
                 hits: self.r_hits.load(Ordering::Relaxed),
                 misses: self.r_misses.load(Ordering::Relaxed),
                 inserts: self.r_inserts.load(Ordering::Relaxed),
-                evictions: self.r_evictions.load(Ordering::Relaxed),
+                evictions: self.results.evictions(),
             },
             graphs: CacheStats {
                 hits: self.g_hits.load(Ordering::Relaxed),
                 misses: self.g_misses.load(Ordering::Relaxed),
                 inserts: self.g_inserts.load(Ordering::Relaxed),
-                evictions: self.g_evictions.load(Ordering::Relaxed),
+                evictions: self.graphs.evictions(),
             },
         }
     }
@@ -347,32 +289,24 @@ impl ExecutionCache {
     /// Live cached results across all shards.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.results.iter().map(|s| s.read().map.len()).sum()
+        self.results.len()
     }
 
     /// Live memoized stage graphs across all shards.
     #[must_use]
     pub fn graph_len(&self) -> usize {
-        self.graphs.iter().map(|s| s.read().map.len()).sum()
+        self.graphs.len()
     }
 
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.len() == 0 && self.graph_len() == 0
+        self.results.is_empty() && self.graphs.is_empty()
     }
 
     /// Drop every entry (counters keep running).
     pub fn clear(&self) {
-        for shard in self.results.iter() {
-            let mut guard = shard.write();
-            guard.map.clear();
-            guard.order.clear();
-        }
-        for shard in self.graphs.iter() {
-            let mut guard = shard.write();
-            guard.map.clear();
-            guard.order.clear();
-        }
+        self.results.clear();
+        self.graphs.clear();
     }
 }
 

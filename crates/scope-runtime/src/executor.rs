@@ -12,7 +12,7 @@ use crate::metrics::ExecutionMetrics;
 use crate::stage::StageGraph;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use rand_distr::{Distribution, LogNormal};
+use rand_distr::{normal_from_uniforms, normal_uniform_pair, Distribution, LogNormal};
 use scope_ir::ids::{exec_base_seed, exec_stage_seed};
 use scope_ir::physical::PhysicalPlan;
 
@@ -149,13 +149,21 @@ pub fn execute_stages(
 
         // PNhours CPU component: per-vertex noise averages out; sample the
         // mean of `parallelism` lognormals cheaply via sampling each vertex
-        // when small, or the analytic mean when wide.
+        // when small, or the analytic mean when wide. The per-vertex case
+        // drains the uniform stream into one slice first, then transforms
+        // in a tight RNG-free loop — bit-identical to sampling draw by draw
+        // (`tests/legacy_values.rs` pins this against pre-change metrics).
         let vertices = stage.parallelism.max(1) as usize;
         let mean_cpu_mult = if var.cpu_sigma == 0.0 {
             1.0
         } else if vertices <= 64 {
-            (0..vertices)
-                .map(|_| cpu_noise.sample(&mut rng))
+            let mut pairs = [(0.0f64, 0.0f64); 64];
+            for pair in pairs.iter_mut().take(vertices) {
+                *pair = normal_uniform_pair(&mut rng);
+            }
+            pairs[..vertices]
+                .iter()
+                .map(|&(u1, u2)| cpu_noise.from_normal(normal_from_uniforms(u1, u2)))
                 .sum::<f64>()
                 / vertices as f64
         } else {
@@ -172,16 +180,11 @@ pub fn execute_stages(
         // (fewer vertices => fewer waves => lower latency, §2.1/§5.5).
         let per_vertex = (stage_cpu_sec + stage_io_sec) / p;
         let waves = (p / f64::from(cfg.tokens_per_job.max(1))).ceil().max(1.0);
-        let mut worst = 1.0f64;
-        if var.vertex_sigma > 0.0 || var.straggler_prob > 0.0 {
-            for _ in 0..vertices.min(512) {
-                let mut m = vertex_noise.sample(&mut rng);
-                if rng.random::<f64>() < var.straggler_prob {
-                    m *= rng.random_range(var.straggler_slowdown.0..=var.straggler_slowdown.1);
-                }
-                worst = worst.max(m);
-            }
-        }
+        let worst = if var.vertex_sigma > 0.0 || var.straggler_prob > 0.0 {
+            worst_vertex_multiplier(&mut rng, vertices.min(512), &vertex_noise, var)
+        } else {
+            1.0
+        };
         let mut duration = per_vertex * waves * worst + cfg.stage_startup_sec;
 
         // Retry waves re-charge a fraction of the stage.
@@ -216,6 +219,72 @@ pub fn execute_stages(
         cpu_sec: cpu_sec_total,
         io_sec: io_sec_total,
     }
+}
+
+/// The slowest-vertex multiplier of one stage: the max over `n` per-vertex
+/// lognormal draws, each escalated by a straggler slowdown when its coin
+/// hits — restructured from `n` interleaved RNG round-trips into two phases:
+///
+/// 1. **Drain** the uniform stream in the exact sequential draw order —
+///    Box-Muller pair, straggler coin, and (only when the coin hits) the
+///    slowdown draw. The coin compares a raw uniform, so the stream stays
+///    fully predictable without computing a single transcendental.
+/// 2. **Running max with a conservative skip filter.** A non-straggler
+///    vertex's multiplier is `exp(sigma·z)` with `z ≤ √(−2 ln u1)`
+///    (Box-Muller's cosine is at most 1), so once `worst` has grown, the
+///    whole ln/sqrt/cos/exp chain is provably irrelevant for most vertices:
+///    skip when `u1 ≥ exp(−zmax²/2)` where
+///    `zmax = ln(worst·(1−1e-12))/sigma`. The 1e-12 pad lives in multiplier
+///    space, so it dominates every rounding error in the bound (a handful
+///    of ulps) at any sigma — float error can only make the filter *less*
+///    eager, never skip a vertex that would have raised the max.
+///
+/// Max is order-insensitive and skipped draws are provably below it, so the
+/// result is **bit-identical** to sampling draw by draw (asserted against a
+/// sequential reference below and pinned to pre-change metrics in
+/// `tests/legacy_values.rs`); under a heavy-tailed lognormal `worst` grows
+/// within a few draws and the filter then rejects the bulk of a wide
+/// stage's vertices.
+fn worst_vertex_multiplier(
+    rng: &mut StdRng,
+    n: usize,
+    vertex_noise: &LogNormal,
+    var: &crate::cluster::VarianceModel,
+) -> f64 {
+    debug_assert!(n <= 512);
+    let mut u1s = [0.0f64; 512];
+    let mut u2s = [0.0f64; 512];
+    let mut mults = [1.0f64; 512];
+    for i in 0..n {
+        (u1s[i], u2s[i]) = normal_uniform_pair(rng);
+        if rng.random::<f64>() < var.straggler_prob {
+            mults[i] = rng.random_range(var.straggler_slowdown.0..=var.straggler_slowdown.1);
+        }
+    }
+    let sigma = var.vertex_sigma.max(1e-9);
+    let skip_above = |worst: f64| {
+        let padded = worst * (1.0 - 1e-12);
+        if padded <= 1.0 {
+            // r ≥ 0 makes the bound ≥ 1: nothing is skippable yet.
+            // (2.0 exceeds every uniform, which live in [0, 1).)
+            return 2.0;
+        }
+        let zmax = padded.ln() / sigma;
+        (-zmax * zmax / 2.0).exp()
+    };
+    let mut worst = 1.0f64;
+    let mut threshold = skip_above(worst);
+    for i in 0..n {
+        if mults[i] == 1.0 && u1s[i] >= threshold {
+            continue;
+        }
+        let m = vertex_noise.from_normal(normal_from_uniforms(u1s[i], u2s[i])) * mults[i];
+        if m > worst {
+            worst = m;
+            threshold = skip_above(worst);
+        }
+    }
+    worst
 }
 
 #[cfg(test)]
@@ -313,6 +382,64 @@ mod tests {
         let m = execute(&plan, &Cluster::deterministic(), 1, 1);
         assert!((m.pn_hours * 3600.0 - (m.cpu_sec + m.io_sec)).abs() < 1e-6);
         assert!(m.io_sec > 0.0 && m.cpu_sec > 0.0);
+    }
+
+    /// The draw-by-draw loop `worst_vertex_multiplier` replaced, verbatim:
+    /// sample, coin, conditional slowdown, running max — one RNG round-trip
+    /// per vertex.
+    fn worst_vertex_reference(
+        rng: &mut StdRng,
+        n: usize,
+        vertex_noise: &LogNormal,
+        var: &VarianceModel,
+    ) -> f64 {
+        let mut worst = 1.0f64;
+        for _ in 0..n {
+            let mut m = vertex_noise.sample(rng);
+            if rng.random::<f64>() < var.straggler_prob {
+                m *= rng.random_range(var.straggler_slowdown.0..=var.straggler_slowdown.1);
+            }
+            worst = worst.max(m);
+        }
+        worst
+    }
+
+    #[test]
+    fn vectorized_worst_vertex_matches_sequential_reference_bit_for_bit() {
+        // (vertex_sigma, straggler_prob) combos including the degenerate
+        // sigma == 0 regime where only stragglers move the max (the skip
+        // filter's padded bound must stay conservative at sigma -> 1e-9).
+        let combos = [
+            (0.35, 0.02),
+            (0.35, 0.0),
+            (0.0, 0.05),
+            (1.5, 0.3),
+            (0.05, 1.0),
+        ];
+        for &(sigma, prob) in &combos {
+            let var = VarianceModel {
+                vertex_sigma: sigma,
+                straggler_prob: prob,
+                ..VarianceModel::default()
+            };
+            let noise = LogNormal::new(0.0, sigma.max(1e-9)).unwrap();
+            for seed in 0..200 {
+                for n in [1usize, 7, 64, 512] {
+                    let mut vec_rng = StdRng::seed_from_u64(seed);
+                    let mut ref_rng = StdRng::seed_from_u64(seed);
+                    let got = worst_vertex_multiplier(&mut vec_rng, n, &noise, &var);
+                    let want = worst_vertex_reference(&mut ref_rng, n, &noise, &var);
+                    assert_eq!(
+                        got.to_bits(),
+                        want.to_bits(),
+                        "sigma={sigma} prob={prob} seed={seed} n={n}: {got} != {want}"
+                    );
+                    // Both paths must also leave the stream in the same
+                    // place (the retry draw follows from the same rng).
+                    assert_eq!(vec_rng.random::<u64>(), ref_rng.random::<u64>());
+                }
+            }
+        }
     }
 
     #[test]

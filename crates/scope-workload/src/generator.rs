@@ -6,8 +6,9 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use scope_ir::ids::mix64;
 use scope_ir::logical::LogicalPlan;
-use scope_ir::{JobId, TemplateId};
+use scope_ir::{JobId, ShardedCache, TemplateId};
 use scope_lang::bind_script;
+use std::sync::Arc;
 
 /// Workload shape parameters.
 #[derive(Debug, Clone)]
@@ -60,7 +61,9 @@ pub struct RecurringTemplate {
 pub struct JobInstance {
     pub job_id: JobId,
     pub name: String,
-    pub plan: LogicalPlan,
+    /// Shared, not deep-copied: every downstream carrier of the plan (the
+    /// view row, recommendations, flight requests) clones the `Arc`.
+    pub plan: Arc<LogicalPlan>,
     pub template: TemplateId,
     /// Drives the runtime's data-layout-dependent draws.
     pub job_seed: u64,
@@ -68,11 +71,27 @@ pub struct JobInstance {
     pub recurring: bool,
 }
 
+/// Memoized bound plans for *sticky* recurring templates, keyed by
+/// `(template seed, epoch draw day)`. Within an epoch every submission of a
+/// template binds the identical plan (see [`LiteralPolicy::draw_coords`]),
+/// so the generate-script/parse/bind round-trip is a pure function of the
+/// key and the memo clones its result instead of re-deriving it. Fresh
+/// templates and ad-hoc jobs never enter the memo — their coordinates are
+/// unique per submission, so there is nothing to reuse.
+type PlanMemo = ShardedCache<(u64, u32), (Arc<LogicalPlan>, TemplateId)>;
+
+fn plan_memo_hash(key: &(u64, u32)) -> u64 {
+    mix64(key.0, u64::from(key.1))
+}
+
 /// The full synthetic workload.
 #[derive(Debug, Clone)]
 pub struct Workload {
     pub config: WorkloadConfig,
     pub recurring: Vec<RecurringTemplate>,
+    /// Shared across clones: the memo is a pure function of its key, so
+    /// sharing only saves rebinding work.
+    bound: Arc<PlanMemo>,
 }
 
 impl Workload {
@@ -97,7 +116,11 @@ impl Workload {
                 instances_per_day,
             });
         }
-        Self { config, recurring }
+        Self {
+            config,
+            recurring,
+            bound: Arc::new(ShardedCache::new(1 << 12, 4, plan_memo_hash)),
+        }
     }
 
     /// All jobs submitted on `day`, recurring instances first, then ad-hoc
@@ -110,12 +133,26 @@ impl Workload {
                 continue;
             }
             for instance in 0..rt.instances_per_day {
-                let (script, catalog) =
-                    rt.spec
-                        .instantiate_with(self.config.literals, day, instance);
-                let plan = bind_script(&script, &catalog)
-                    .expect("generated scripts always bind; tested per pattern");
-                let template = plan.template_id();
+                let sticky = self.config.literals.is_sticky_template(rt.spec.seed);
+                let (draw_day, _) = self
+                    .config
+                    .literals
+                    .draw_coords(rt.spec.seed, day, instance);
+                let key = (rt.spec.seed, draw_day);
+                let bound = sticky.then(|| self.bound.get(&key)).flatten();
+                let (plan, template) = bound.unwrap_or_else(|| {
+                    let (script, catalog) =
+                        rt.spec
+                            .instantiate_with(self.config.literals, day, instance);
+                    let plan = bind_script(&script, &catalog)
+                        .expect("generated scripts always bind; tested per pattern");
+                    let template = plan.template_id();
+                    let entry = (Arc::new(plan), template);
+                    if sticky {
+                        self.bound.insert(key, entry.clone());
+                    }
+                    entry
+                });
                 let job_seed = mix64(rt.spec.seed, mix64(u64::from(day), u64::from(instance)));
                 jobs.push(JobInstance {
                     job_id: JobId(mix64(job_seed, 0x10b)),
@@ -137,6 +174,7 @@ impl Workload {
             let (script, catalog) = spec.instantiate(day, 0);
             let plan = bind_script(&script, &catalog).expect("generated scripts always bind");
             let template = plan.template_id();
+            let plan = Arc::new(plan);
             let job_seed = mix64(tseed, u64::from(day));
             jobs.push(JobInstance {
                 job_id: JobId(mix64(job_seed, 0x10b)),
@@ -214,6 +252,39 @@ mod tests {
         let w = Workload::new(WorkloadConfig::default());
         let frac = w.recurring_fraction(0);
         assert!(frac > 0.6, "recurring fraction {frac:.2} (paper: >60%)");
+    }
+
+    #[test]
+    fn sticky_plan_memo_is_invisible() {
+        // Two sticky workloads, one of which has its memo warmed by prior
+        // days: every field of every job must still match a cold bind.
+        let config = WorkloadConfig {
+            seed: 7,
+            num_templates: 20,
+            adhoc_per_day: 5,
+            max_instances_per_day: 2,
+            literals: LiteralPolicy::Sticky {
+                redraw_every_days: 3,
+            },
+        };
+        let warmed = Workload::new(config.clone());
+        for day in 0..8 {
+            let _ = warmed.jobs_for_day(day);
+        }
+        let cold = Workload::new(config);
+        for day in [0, 2, 3, 5, 7] {
+            let a = warmed.jobs_for_day(day);
+            let b = cold.jobs_for_day(day);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert_eq!(x.job_id, y.job_id);
+                assert_eq!(x.name, y.name);
+                assert_eq!(x.plan, y.plan);
+                assert_eq!(x.template, y.template);
+                assert_eq!(x.job_seed, y.job_seed);
+                assert_eq!(x.recurring, y.recurring);
+            }
+        }
     }
 
     #[test]

@@ -17,6 +17,7 @@ use scope_opt::{CompileError, Compiler, HintSet, RuleBits};
 use scope_runtime::{ExecutionMetrics, Executor};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// Table 1 job-level features after super-root aggregation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -112,7 +113,8 @@ pub struct ViewRow {
     pub recurring: bool,
     pub job_seed: u64,
     /// The job's logical plan ("a description of the job plan", §4).
-    pub plan: LogicalPlan,
+    /// Shared with the [`JobInstance`] it was built from.
+    pub plan: Arc<LogicalPlan>,
     /// Rule signature of the production compilation.
     pub signature: RuleBits,
     /// Estimated cost of the production compilation.
@@ -346,7 +348,7 @@ mod tests {
             ..WorkloadConfig::default()
         });
         let mut jobs = w.jobs_for_day(0);
-        jobs[0].plan = LogicalPlan::new();
+        jobs[0].plan = Arc::new(LogicalPlan::new());
         jobs[0].name = "broken_job".to_string();
         let err = build_view(
             &jobs,

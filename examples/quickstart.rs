@@ -5,6 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use qo_advisor::{span_block, FeatureCache, FeatureCacheConfig};
 use scope_ir::display::{explain_logical, explain_physical};
 use scope_ir::stats::DualStats;
 use scope_lang::{bind_script, Catalog, TableInfo};
@@ -72,6 +73,37 @@ fn main() {
         let def = optimizer.rules().rule(rule);
         println!("  {rule}  {:24} [{}]", def.name, def.category.name());
     }
+
+    // 3b. The contextual bandit describes this span to its model as a
+    // co-occurrence feature block (pairs + triples of span rules, §3.2/§6).
+    // The block is template-stable, so the daily pipeline memoizes it in a
+    // span-feature cache; `QO_FEATURE_CACHE=off` disables the cache (on by
+    // default) — the features are byte-identical either way.
+    let fc = std::env::var("QO_FEATURE_CACHE").map_or_else(
+        |_| FeatureCacheConfig::default(),
+        |value| {
+            FeatureCacheConfig::parse_switch(&value).unwrap_or_else(|e| {
+                eprintln!("bad QO_FEATURE_CACHE: {e}");
+                std::process::exit(2);
+            })
+        },
+    );
+    let block = match fc.enabled.then(|| FeatureCache::new(fc)) {
+        Some(cache) => {
+            let first = cache.span_block_for(plan.template_id(), &span, 6);
+            // A recurrence of the template hits the cached block.
+            let again = cache.span_block_for(plan.template_id(), &span, 6);
+            assert_eq!(first.items(), again.items());
+            assert_eq!(cache.stats().hits, 1);
+            first
+        }
+        None => std::sync::Arc::new(span_block(&span, 6)),
+    };
+    println!(
+        "\nspan co-occurrence block: {} features (span-feature cache {})",
+        block.len(),
+        if fc.enabled { "on" } else { "off" }
+    );
 
     // 4. Price every span flip as ONE treatment slate against the default
     // configuration's shared base memo. `QO_DELTA=off` disables delta

@@ -21,8 +21,8 @@
 
 use qo_advisor::ProductionSim;
 use qo_advisor::{
-    CacheConfig, CacheCounters, DailyReport, DeltaConfig, DeltaStats, ExecCacheConfig,
-    ExecCounters, ParallelismConfig, PipelineConfig, StageTimings,
+    CacheConfig, CacheCounters, CacheStats, DailyReport, DeltaConfig, DeltaStats, ExecCacheConfig,
+    ExecCounters, FeatureCacheConfig, ParallelismConfig, PipelineConfig, StageTimings,
 };
 use scope_workload::{LiteralPolicy, WorkloadConfig};
 use sis::SisStore;
@@ -62,8 +62,25 @@ impl Drop for TempTree {
     }
 }
 
-/// Run a fresh DAYS-day simulation of `wl` publishing hint files into
-/// `sis_dir`; returns every daily report.
+/// Run a fresh DAYS-day simulation of `wl` under `config` publishing hint
+/// files into `sis_dir`; returns every daily report.
+fn run_sim_with(wl: WorkloadConfig, config: PipelineConfig, sis_dir: &Path) -> Vec<DailyReport> {
+    let mut sim = ProductionSim::with_sis_store(
+        wl,
+        config,
+        SisStore::at_dir(sis_dir).expect("create sis dir"),
+    );
+    (0..DAYS)
+        .map(|_| {
+            sim.advance_day()
+                .expect("generated workloads compile on the default path")
+                .report
+        })
+        .collect()
+}
+
+/// [`run_sim_with`] over the four original throughput knobs (span-feature
+/// cache and batched ranking stay at their on-by-default settings).
 fn run_sim_of(
     wl: WorkloadConfig,
     threads: Option<usize>,
@@ -79,18 +96,7 @@ fn run_sim_of(
         delta,
         ..PipelineConfig::default()
     };
-    let mut sim = ProductionSim::with_sis_store(
-        wl,
-        config,
-        SisStore::at_dir(sis_dir).expect("create sis dir"),
-    );
-    (0..DAYS)
-        .map(|_| {
-            sim.advance_day()
-                .expect("generated workloads compile on the default path")
-                .report
-        })
-        .collect()
+    run_sim_with(wl, config, sis_dir)
 }
 
 /// [`run_sim_of`] over the standard fresh-literal workload with the
@@ -117,6 +123,7 @@ fn normalized(reports: &[DailyReport]) -> Vec<String> {
             report.compile_cache = CacheCounters::default();
             report.exec_cache = ExecCounters::default();
             report.delta_compile = DeltaStats::default();
+            report.feature_cache = CacheStats::default();
             report.timings = StageTimings::default();
             format!("{report:?}")
         })
@@ -433,6 +440,81 @@ fn reports_and_hint_files_are_identical_with_delta_on_and_off() {
     }
 }
 
+/// PR 6's two recommend-path knobs — the span-feature cache and batched
+/// sparse rank scoring — against the both-off baseline, under fresh *and*
+/// sticky literals × 1/2/8 threads: byte-identical reports and hint files
+/// everywhere. A cached span block must equal a rebuilt one and a batched
+/// CSR scoring pass must equal the per-action dot products *to the bit*, or
+/// the bandit's decisions (and with them everything downstream) drift.
+#[test]
+fn reports_and_hint_files_are_identical_with_feature_cache_and_batch_rank_on_and_off() {
+    let base = TempTree(
+        std::env::temp_dir().join(format!("qo-feature-determinism-{}", std::process::id())),
+    );
+    let _ = std::fs::remove_dir_all(&base.0);
+
+    let config_with = |threads: Option<usize>, fc: bool, br: bool| {
+        let mut config = PipelineConfig {
+            parallelism: ParallelismConfig { threads },
+            feature_cache: if fc {
+                FeatureCacheConfig::default()
+            } else {
+                FeatureCacheConfig::disabled()
+            },
+            ..PipelineConfig::default()
+        };
+        config.cb.batch_rank = br;
+        config
+    };
+
+    for (policy, wl) in [("fresh", workload()), ("sticky", sticky_workload())] {
+        // Baseline: the pre-PR-6 recommend path (serial, both knobs off).
+        let off_dir = base.0.join(format!("{policy}-off"));
+        let off_raw = run_sim_with(wl.clone(), config_with(None, false, false), &off_dir);
+        let baseline_reports = normalized(&off_raw);
+        let baseline_files = hint_files(&off_dir);
+        assert!(
+            !baseline_files.is_empty(),
+            "the {policy} both-off simulation must publish at least one hint file"
+        );
+        assert!(
+            off_raw
+                .iter()
+                .all(|r| r.feature_cache == CacheStats::default()),
+            "a disabled span-feature cache must report zero telemetry"
+        );
+
+        for threads in [1usize, 2, 8] {
+            for (fc, br) in [(true, true), (true, false), (false, true)] {
+                let dir = base.0.join(format!("{policy}-fc{fc}-br{br}-t{threads}"));
+                let raw = run_sim_with(wl.clone(), config_with(Some(threads), fc, br), &dir);
+                if fc {
+                    assert!(
+                        raw.iter().any(|r| r.feature_cache.hits > 0),
+                        "the feature-cached run must actually hit, or this \
+                         test compares nothing: {:?}",
+                        raw[0].feature_cache
+                    );
+                }
+                assert_eq!(
+                    normalized(&raw),
+                    baseline_reports,
+                    "{policy} daily reports diverged from the both-off serial \
+                     baseline at feature_cache={fc} batch_rank={br} \
+                     {threads} worker threads"
+                );
+                assert_eq!(
+                    hint_files(&dir),
+                    baseline_files,
+                    "{policy} SIS hint files diverged from the both-off serial \
+                     baseline at feature_cache={fc} batch_rank={br} \
+                     {threads} worker threads"
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn parallel_config_default_is_serial() {
     assert_eq!(
@@ -457,4 +539,14 @@ fn cache_configs_default_to_enabled() {
     assert_eq!(PipelineConfig::default().delta, DeltaConfig::default());
     assert!(DeltaConfig::default().enabled);
     assert!(!DeltaConfig::disabled().enabled);
+    assert_eq!(
+        PipelineConfig::default().feature_cache,
+        FeatureCacheConfig::default()
+    );
+    assert!(FeatureCacheConfig::default().enabled);
+    assert!(!FeatureCacheConfig::disabled().enabled);
+    assert!(
+        PipelineConfig::default().cb.batch_rank,
+        "batched rank scoring is the default path"
+    );
 }
