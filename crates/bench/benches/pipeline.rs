@@ -44,7 +44,13 @@ fn bench_pipeline(c: &mut Criterion) {
                     PipelineConfig::default(),
                 )
             },
-            |mut qa| black_box(qa.run_day(&view, 0).hints_published),
+            |mut qa| {
+                black_box(
+                    qa.run_day(&view, 0)
+                        .expect("pipeline day runs")
+                        .hints_published,
+                )
+            },
             BatchSize::PerIteration,
         )
     });
@@ -91,7 +97,13 @@ fn bench_pipeline_parallelism(c: &mut Criterion) {
         c.bench_function(name, |b| {
             b.iter_batched(
                 || advisor_with(parallelism),
-                |mut qa| black_box(qa.run_day(&view, 0).hints_published),
+                |mut qa| {
+                    black_box(
+                        qa.run_day(&view, 0)
+                            .expect("pipeline day runs")
+                            .hints_published,
+                    )
+                },
                 BatchSize::PerIteration,
             )
         });
@@ -147,7 +159,13 @@ fn bench_pipeline_compile_cache(c: &mut Criterion) {
         c.bench_function(&format!("pipeline_run_day_48_templates_{name}"), |b| {
             b.iter_batched(
                 || advisor_with(cache),
-                |mut qa| black_box(qa.run_day(&views[0], 0).hints_published),
+                |mut qa| {
+                    black_box(
+                        qa.run_day(&views[0], 0)
+                            .expect("pipeline day runs")
+                            .hints_published,
+                    )
+                },
                 BatchSize::PerIteration,
             )
         });
@@ -159,7 +177,10 @@ fn bench_pipeline_compile_cache(c: &mut Criterion) {
                 |mut qa| {
                     let mut published = 0;
                     for (day, view) in views.iter().enumerate() {
-                        published += qa.run_day(view, day as u32).hints_published;
+                        published += qa
+                            .run_day(view, day as u32)
+                            .expect("pipeline day runs")
+                            .hints_published;
                     }
                     black_box(published)
                 },

@@ -571,6 +571,8 @@ fn fig9() {
                 .optimizer
                 .compile(&j.job.plan, &default)
                 .expect("default compiles");
+            // qo-lint: allow(seed-salt) — experiment-local replay stream, never cached or
+            // shared with the steering loop's seed vocabulary
             let run_seed = scope_ir::ids::mix64(u64::from(day), 0xF19);
             let m_base = env
                 .cluster
@@ -714,7 +716,10 @@ fn table3() {
         sim.prod_executor(),
     )
     .expect("generated workloads compile on the default path");
-    let report_cb = sim.advisor.run_day(&view, eval_day);
+    let report_cb = sim
+        .advisor
+        .run_day(&view, eval_day)
+        .expect("pipeline day runs");
 
     let mut random = QoAdvisor::new(
         sim.optimizer().clone(),
@@ -724,7 +729,7 @@ fn table3() {
             ..pipeline_config()
         },
     );
-    let report_rand = random.run_day(&view, eval_day);
+    let report_rand = random.run_day(&view, eval_day).expect("pipeline day runs");
 
     let pct = |n: usize, d: usize| 100.0 * n as f64 / d.max(1) as f64;
     let n_cb = report_cb.jobs_with_span;

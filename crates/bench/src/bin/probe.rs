@@ -154,6 +154,7 @@ fn main() {
         ..PipelineConfig::default()
     };
     let wl = WorkloadConfig {
+        // qo-lint: allow(seed-salt) — top-level probe-workload seed, not a derivation salt
         seed: 2022,
         num_templates: 60,
         adhoc_per_day: 15,

@@ -9,7 +9,7 @@
 //!   id and rule category (§4.2).
 
 use personalizer::{FeatureVector, SparseSlate};
-use scope_ir::ids::mix64;
+use scope_ir::ids::{mix64, SLATE_ACTION_SENTINEL, SLATE_FP_SEED};
 use scope_ir::{ShardedCache, TemplateId};
 use scope_opt::{CacheStats, RuleFlip, RuleId, RuleSet, SpanResult};
 use scope_workload::Table1Features;
@@ -158,13 +158,13 @@ fn span_key_hash(key: &(u64, u64)) -> u64 {
 /// template — the cache key pairs this with the template id) rebuild the
 /// identical slate.
 fn slate_fingerprint(context: &FeatureVector, actions: &[FeatureVector], dim_bits: u32) -> u64 {
-    let mut h = mix64(0x51A7E, u64::from(dim_bits));
+    let mut h = mix64(SLATE_FP_SEED, u64::from(dim_bits));
     for &(key, value) in context.items() {
         h = mix64(h, key);
         h = mix64(h, value.to_bits());
     }
     for action in actions {
-        h = mix64(h, 0xAC710);
+        h = mix64(h, SLATE_ACTION_SENTINEL);
         for &(key, value) in action.items() {
             h = mix64(h, key);
             h = mix64(h, value.to_bits());

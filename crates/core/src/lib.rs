@@ -1,3 +1,7 @@
+// The steering loop returns typed errors instead of panicking (qo-lint
+// rule QL05); tests may unwrap freely. Deeper determinism rules live in
+// `crates/qo-lint`.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 //! **QO-Advisor**: a steered query optimizer pipeline — the Rust
 //! reproduction of *"Deploying a Steered Query Optimizer in Production at
 //! Microsoft"* (SIGMOD 2022).
@@ -74,7 +78,7 @@ pub use features::{
     span_block, FeatureCache, FeatureCacheConfig,
 };
 pub use monitoring::{CacheCounters, ExecCounters, MonitorConfig, RegressionMonitor, StageTimings};
-pub use pipeline::{DailyReport, QoAdvisor, Recommendation};
+pub use pipeline::{DailyReport, PipelineError, QoAdvisor, Recommendation};
 pub use scope_opt::{CacheConfig, CacheStats, DeltaConfig, DeltaStats};
 pub use scope_runtime::{CachingExecutor, ExecCacheConfig, ExecStats, ExecutionCache, Executor};
 pub use scope_workload::ViewBuildError;

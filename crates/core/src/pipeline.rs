@@ -19,9 +19,57 @@ use scope_opt::{
     SpanResult,
 };
 use scope_runtime::{CachingExecutor, Cluster, ExecStats, ExecutionCache};
-use scope_workload::ViewRow;
-use sis::{HintFile, SisStore};
+use scope_workload::{ViewBuildError, ViewRow};
+use sis::{HintFile, SisError, SisStore};
+use std::fmt;
 use std::sync::Arc;
+
+/// A daily-pipeline failure. The steering path returns typed errors instead
+/// of panicking (qo-lint rule QL05): a broken externally-supplied plan, a
+/// rejected SIS publish, or a violated internal invariant all surface here
+/// rather than taking the whole loop down with an `unwrap`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// A production job's *default-path* compile failed while building the
+    /// view (steered compiles fall back instead of erroring).
+    View(ViewBuildError),
+    /// The SIS store rejected a hint-file publish.
+    Publish(SisError),
+    /// An internal pipeline invariant broke — a bug, surfaced as an error.
+    Invariant(&'static str),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::View(e) => write!(f, "view build failed: {e}"),
+            PipelineError::Publish(e) => write!(f, "SIS publish rejected: {e}"),
+            PipelineError::Invariant(what) => write!(f, "pipeline invariant violated: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::View(e) => Some(e),
+            PipelineError::Publish(e) => Some(e),
+            PipelineError::Invariant(_) => None,
+        }
+    }
+}
+
+impl From<ViewBuildError> for PipelineError {
+    fn from(e: ViewBuildError) -> Self {
+        PipelineError::View(e)
+    }
+}
+
+impl From<SisError> for PipelineError {
+    fn from(e: SisError) -> Self {
+        PipelineError::Publish(e)
+    }
+}
 
 /// One candidate produced by the Recommendation task.
 #[derive(Debug, Clone)]
@@ -179,24 +227,27 @@ impl QoAdvisor {
     }
 
     /// Revert a deployed hint (the §8 optimistic-monitoring loop): removes
-    /// the template's entry and publishes a new SIS version. Returns false
-    /// when no hint was live for the template.
-    pub fn revert_hint(&mut self, template: TemplateId) -> bool {
+    /// the template's entry and publishes a new SIS version. Returns
+    /// `Ok(false)` when no hint was live for the template.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Publish`] when the SIS store rejects the
+    /// revert file (never for store-generated versions).
+    pub fn revert_hint(&mut self, template: TemplateId) -> Result<bool, PipelineError> {
         let mut hints = self.sis.snapshot();
         if hints.remove(template).is_none() {
-            return false;
+            return Ok(false);
         }
         let version = self.sis.version() + 1;
-        self.sis
-            .publish(HintFile {
-                version,
-                source_day: u32::MAX,
-                hints: hints.hints(),
-            })
-            .expect("revert file always validates");
+        self.sis.publish(HintFile {
+            version,
+            source_day: u32::MAX,
+            hints: hints.hints(),
+        })?;
         // Allow the pipeline to re-explore the template later.
         self.explored.remove(&template);
-        true
+        Ok(true)
     }
 
     #[must_use]
@@ -328,7 +379,12 @@ impl QoAdvisor {
     /// previous day's model), so per-day numbers differ from the
     /// pre-refactor serial pipeline even at one thread. This is what makes
     /// the recompile fan-out order-free; see `crate::stages`.
-    pub fn run_day(&mut self, view: &[ViewRow], day: u32) -> DailyReport {
+    /// # Errors
+    ///
+    /// Returns a [`PipelineError`] when the SIS store rejects the day's
+    /// hint-file publish or an internal pipeline invariant is violated;
+    /// neither occurs for generated workloads.
+    pub fn run_day(&mut self, view: &[ViewRow], day: u32) -> Result<DailyReport, PipelineError> {
         let mut report = DailyReport {
             day,
             jobs_total: view.len(),
@@ -340,28 +396,30 @@ impl QoAdvisor {
         let elapsed = |t: std::time::Instant| t.elapsed().as_nanos() as u64;
         let d0 = self.optimizer.delta_stats();
         let s0 = self.optimizer.stats();
+        // qo-lint: allow(ambient-entropy) — per-stage wall-clock telemetry only;
+        // `DailyReport.timings` is zeroed before every byte-identity comparison
         let t0 = std::time::Instant::now();
         let spanned = stages::feature_gen(self, view, &mut report);
         report.timings.feature_gen_ns = elapsed(t0);
         let s1 = self.optimizer.stats();
         let f1 = self.feature_stats();
-        let t1 = std::time::Instant::now();
-        let recommended = stages::recommend(self, &spanned, day, &mut report);
+        let t1 = std::time::Instant::now(); // qo-lint: allow(ambient-entropy) — stage telemetry
+        let recommended = stages::recommend(self, &spanned, day, &mut report)?;
         report.timings.recommend_ns = elapsed(t1);
         // Recommendation is the only consumer of the span-feature cache.
         report.feature_cache = self.feature_stats().since(&f1);
         let s2 = self.optimizer.stats();
         let e2 = self.exec_stats();
-        let t2 = std::time::Instant::now();
+        let t2 = std::time::Instant::now(); // qo-lint: allow(ambient-entropy) — stage telemetry
         let flighted = stages::flight(self, recommended, &mut report);
         report.timings.flight_ns = elapsed(t2);
         let s3 = self.optimizer.stats();
         let e3 = self.exec_stats();
-        let t3 = std::time::Instant::now();
+        let t3 = std::time::Instant::now(); // qo-lint: allow(ambient-entropy) — stage telemetry
         let validated = stages::validate(self, &flighted, &mut report);
         report.timings.validate_ns = elapsed(t3);
-        let t4 = std::time::Instant::now();
-        stages::publish(self, validated, day, &mut report);
+        let t4 = std::time::Instant::now(); // qo-lint: allow(ambient-entropy) — stage telemetry
+        stages::publish(self, validated, day, &mut report)?;
         report.timings.publish_ns = elapsed(t4);
         report.compile_cache.feature_gen = s1.since(&s0);
         report.compile_cache.recommend = s2.since(&s1);
@@ -370,7 +428,7 @@ impl QoAdvisor {
         // pipeline (recommendation + flighting) is the only slate compiler.
         report.exec_cache.flight = e3.since(&e2);
         report.delta_compile = self.optimizer.delta_stats().since(&d0);
-        report
+        Ok(report)
     }
 
     /// Gather validation-model training data by flighting random span flips
@@ -458,7 +516,7 @@ mod tests {
     fn run_day_produces_consistent_report() {
         let mut qa = advisor(RecommendStrategy::ContextualBandit);
         let view = day_view(&qa, 5, 0);
-        let report = qa.run_day(&view, 0);
+        let report = qa.run_day(&view, 0).unwrap();
         assert_eq!(report.jobs_total, view.len());
         assert!(report.recurring_jobs > 0);
         assert!(report.jobs_with_span <= report.recurring_jobs);
@@ -475,7 +533,7 @@ mod tests {
     fn table3_counters_partition_recompiles() {
         let mut qa = advisor(RecommendStrategy::UniformRandom);
         let view = day_view(&qa, 5, 0);
-        let report = qa.run_day(&view, 0);
+        let report = qa.run_day(&view, 0).unwrap();
         let total = report.lower_cost
             + report.equal_cost
             + report.higher_cost
@@ -493,7 +551,7 @@ mod tests {
         let mut published = 0;
         for day in 0..4 {
             let view = day_view(&qa, 5, day);
-            let report = qa.run_day(&view, day);
+            let report = qa.run_day(&view, day).unwrap();
             published += report.hints_published;
         }
         assert!(qa.sis().len() <= published.max(1));
@@ -506,7 +564,7 @@ mod tests {
     fn bandit_absorbs_training_events() {
         let mut qa = advisor(RecommendStrategy::ContextualBandit);
         let view = day_view(&qa, 5, 0);
-        let report = qa.run_day(&view, 0);
+        let report = qa.run_day(&view, 0).unwrap();
         // Every spanned job trains the CB at least once (uniform pass).
         assert!(qa.personalizer().events() >= report.jobs_with_span as u64);
     }
@@ -521,7 +579,7 @@ mod tests {
             w_written: 0.0,
         });
         let view = day_view(&qa, 5, 0);
-        let report = qa.run_day(&view, 0);
+        let report = qa.run_day(&view, 0).unwrap();
         assert_eq!(report.validated, 0);
         assert_eq!(report.hints_published, 0);
         assert_eq!(qa.sis().version(), 0, "nothing published");
@@ -545,7 +603,7 @@ mod tests {
 
         let mut qa = advisor(RecommendStrategy::ContextualBandit);
         let view = day_view(&qa, 5, 0);
-        let report = qa.run_day(&view, 0);
+        let report = qa.run_day(&view, 0).unwrap();
         assert!(report.compile_cache.lookups() > 0);
         // The span fixpoint alone repeats the default compile of every
         // spanned template, so a day with spans always hits.
@@ -572,7 +630,7 @@ mod tests {
                 ..PipelineConfig::default()
             },
         );
-        let report_off = off.run_day(&view, 0);
+        let report_off = off.run_day(&view, 0).unwrap();
         assert_eq!(report_off.compile_cache, CacheCounters::default());
         assert_eq!(off.cache_stats(), scope_opt::CacheStats::default());
         let mut normalized = report.clone();
@@ -591,13 +649,13 @@ mod tests {
     fn span_cache_avoids_recomputation_across_days() {
         let mut qa = advisor(RecommendStrategy::ContextualBandit);
         let v0 = day_view(&qa, 5, 0);
-        qa.run_day(&v0, 0);
+        qa.run_day(&v0, 0).unwrap();
         let cached = qa.span_cache.len();
         assert!(cached > 0);
         // Day 1 re-sees daily templates; the cache should not shrink and
         // mostly not grow for them.
         let v1 = day_view(&qa, 5, 1);
-        qa.run_day(&v1, 1);
+        qa.run_day(&v1, 1).unwrap();
         assert!(qa.span_cache.len() >= cached);
     }
 }

@@ -5,7 +5,7 @@
 
 use crate::config::PipelineConfig;
 use crate::monitoring::{MonitorConfig, RegressionMonitor};
-use crate::pipeline::{DailyReport, QoAdvisor};
+use crate::pipeline::{DailyReport, PipelineError, QoAdvisor};
 use crate::validation_model::{ValidationModel, ValidationSample};
 use flighting::FlightingService;
 use scope_ir::ids::production_run_seed;
@@ -206,17 +206,21 @@ impl ProductionSim {
     /// the `view_build` and `counterfactual` stages on top of the
     /// pipeline's own per-stage counters.
     ///
-    /// Errors with a [`ViewBuildError`] when a job's *default-path* compile
-    /// fails while building the view — the one failure the loop has no safe
-    /// fallback for (generated workloads never trigger it; it guards
-    /// externally supplied plans).
-    pub fn advance_day(&mut self) -> Result<DayOutcome, ViewBuildError> {
+    /// Errors with [`PipelineError::View`] when a job's *default-path*
+    /// compile fails while building the view — the one failure the loop has
+    /// no safe fallback for (generated workloads never trigger it; it
+    /// guards externally supplied plans) — and propagates any other typed
+    /// pipeline failure ([`PipelineError::Publish`] /
+    /// [`PipelineError::Invariant`]) from the daily run.
+    pub fn advance_day(&mut self) -> Result<DayOutcome, PipelineError> {
         let day = self.day;
         let jobs = self.workload.jobs_for_day(day);
         let hints = self.advisor.sis().snapshot();
         let s0 = self.advisor.cache_stats();
         let e0 = self.advisor.exec_stats();
         let d0 = self.advisor.delta_stats();
+        // qo-lint: allow(ambient-entropy) — view-build wall-clock telemetry only;
+        // timings are zeroed before every byte-identity comparison
         let t0 = std::time::Instant::now();
         let view = build_view(
             &jobs,
@@ -233,7 +237,7 @@ impl ProductionSim {
         // runs through its execution cache — same results as uncached,
         // shared with the pipeline.
         let default_config = self.advisor.optimizer().default_config();
-        let t1 = std::time::Instant::now();
+        let t1 = std::time::Instant::now(); // qo-lint: allow(ambient-entropy) — telemetry
         let mut comparisons = Vec::new();
         for row in view.iter().filter(|r| r.hint_applied) {
             let Ok(default_compiled) = self.advisor.compile(&row.plan, &default_config) else {
@@ -258,13 +262,13 @@ impl ProductionSim {
         let mut reverted = Vec::new();
         if let Some(monitor) = &mut self.monitor {
             for template in monitor.observe_day(&view) {
-                if self.advisor.revert_hint(template) {
+                if self.advisor.revert_hint(template)? {
                     reverted.push(template);
                 }
             }
         }
 
-        let mut report = self.advisor.run_day(&view, day);
+        let mut report = self.advisor.run_day(&view, day)?;
         report.compile_cache.view_build = s1.since(&s0);
         report.compile_cache.counterfactual = s2.since(&s1);
         report.exec_cache.view_build = e1.since(&e0);
@@ -286,8 +290,8 @@ impl ProductionSim {
     }
 
     /// Run `days` production days, returning all outcomes (or the first
-    /// day's [`ViewBuildError`]).
-    pub fn run(&mut self, days: u32) -> Result<Vec<DayOutcome>, ViewBuildError> {
+    /// day's [`PipelineError`]).
+    pub fn run(&mut self, days: u32) -> Result<Vec<DayOutcome>, PipelineError> {
         (0..days).map(|_| self.advance_day()).collect()
     }
 }

@@ -35,12 +35,12 @@
 
 use crate::config::{ParallelismConfig, RecommendStrategy};
 use crate::features::{action_slate, job_features, reward_from_costs, span_block};
-use crate::pipeline::{DailyReport, QoAdvisor, Recommendation};
+use crate::pipeline::{DailyReport, PipelineError, QoAdvisor, Recommendation};
 use personalizer::{FeatureVector, RankRequest, RankResponse, SparseSlate};
 use rayon::prelude::*;
 use rayon::ThreadPool;
 use rustc_hash::{FxHashMap, FxHashSet};
-use scope_ir::ids::mix64;
+use scope_ir::ids::{mix64, CB_ACT_RANK_SALT, CB_TRAIN_RANK_SALT, UNIFORM_PICK_SALT};
 use scope_ir::logical::LogicalPlan;
 use scope_ir::TemplateId;
 use scope_opt::{compute_span, CachingOptimizer, CompileError, Hint, RuleFlip, SpanResult};
@@ -54,12 +54,10 @@ use std::sync::Arc;
 pub(crate) fn build_pool(par: ParallelismConfig) -> Option<ThreadPool> {
     match par.threads {
         None | Some(1) => None,
-        Some(n) => Some(
-            rayon::ThreadPoolBuilder::new()
-                .num_threads(n)
-                .build()
-                .expect("thread pool construction is infallible"),
-        ),
+        // Pool construction only fails on resource exhaustion; serial
+        // execution is elementwise identical (`par_map` requires pure
+        // closures), so fall back instead of panicking.
+        Some(n) => rayon::ThreadPoolBuilder::new().num_threads(n).build().ok(),
     }
 }
 
@@ -213,7 +211,7 @@ pub(crate) fn recommend(
     input: &FeatureGenOutput<'_>,
     day: u32,
     report: &mut DailyReport,
-) -> RecommendOutput {
+) -> Result<RecommendOutput, PipelineError> {
     let jobs = &input.jobs;
     let default_config = qa.optimizer.default_config();
 
@@ -286,7 +284,7 @@ pub(crate) fn recommend(
                 &RankRequest {
                     context: context.clone(),
                     actions: actions.clone(),
-                    seed: mix64(job.row.job_id.0, mix64(u64::from(day), 0x7821)),
+                    seed: mix64(job.row.job_id.0, mix64(u64::from(day), CB_TRAIN_RANK_SALT)),
                     log_uniform: true,
                 },
                 &sparse,
@@ -301,7 +299,7 @@ pub(crate) fn recommend(
                     &RankRequest {
                         context,
                         actions,
-                        seed: mix64(job.row.job_id.0, mix64(u64::from(day), 0xAC7)),
+                        seed: mix64(job.row.job_id.0, mix64(u64::from(day), CB_ACT_RANK_SALT)),
                         log_uniform: false,
                     },
                     &sparse,
@@ -314,7 +312,7 @@ pub(crate) fn recommend(
             RecommendStrategy::UniformRandom => {
                 // Uniform baseline always flips a span rule (Table 3).
                 let idx = 1
-                    + (mix64(job.row.job_id.0, mix64(u64::from(day), 0x9A9)) as usize
+                    + (mix64(job.row.job_id.0, mix64(u64::from(day), UNIFORM_PICK_SALT)) as usize
                         % job.span.len());
                 match flips[idx] {
                     None => ActDecision::Noop(None),
@@ -408,9 +406,13 @@ pub(crate) fn recommend(
             }
             ActDecision::Flip(flip, event) => {
                 report.total_default_cost += default_cost;
-                let outcome = act_task[i]
-                    .map(|(s, t)| &costs[s][t])
-                    .expect("flip decisions compile");
+                // A `Flip` decision always records the (slate, treatment)
+                // indices of its recompile; a miss is a scheduling bug.
+                let Some(outcome) = act_task[i].map(|(s, t)| &costs[s][t]) else {
+                    return Err(PipelineError::Invariant(
+                        "flip decision without a recompiled treatment",
+                    ));
+                };
                 match outcome {
                     Ok(new_cost) => {
                         let new_cost = *new_cost;
@@ -462,7 +464,7 @@ pub(crate) fn recommend(
             }
         }
     }
-    RecommendOutput { candidates }
+    Ok(RecommendOutput { candidates })
 }
 
 /// Task 3 — Flighting: one representative job per template (picked
@@ -477,6 +479,8 @@ pub(crate) fn flight(
     for cand in input.candidates {
         by_template.entry(cand.template).or_insert(cand);
     }
+    // qo-lint: allow(unordered-iter) — collected then totally ordered by the
+    // (cost_delta, template) sort immediately below
     let mut reps: Vec<Recommendation> = by_template.into_values().collect();
     reps.sort_by(|a, b| {
         a.cost_delta()
@@ -551,7 +555,7 @@ pub(crate) fn publish(
     input: ValidateOutput,
     day: u32,
     report: &mut DailyReport,
-) {
+) -> Result<(), PipelineError> {
     let mut merged = qa.sis.snapshot();
     for h in &input.accepted {
         merged.insert(*h);
@@ -559,13 +563,12 @@ pub(crate) fn publish(
     report.hints_published = input.accepted.len();
     if !input.accepted.is_empty() {
         let version = qa.sis.version() + 1;
-        qa.sis
-            .publish(HintFile {
-                version,
-                source_day: day,
-                hints: merged.hints(),
-            })
-            .expect("pipeline-generated hints always validate");
+        qa.sis.publish(HintFile {
+            version,
+            source_day: day,
+            hints: merged.hints(),
+        })?;
     }
     report.sis_version = qa.sis.version();
+    Ok(())
 }

@@ -124,11 +124,19 @@ impl FlightingService {
                     std::slice::from_ref(&req.treatment),
                 )
                 .pop()
-                .expect("one result per slate treatment")
             {
-                Ok(c) => c,
-                Err(e) => {
+                Some(Ok(c)) => c,
+                Some(Err(e)) => {
                     outcomes.push(FlightOutcome::Failure(format!("treatment: {e}")));
+                    continue;
+                }
+                // The slate contract is one result per treatment; a missing
+                // entry is a compiler bug, reported as a failed flight
+                // rather than a panic in the steering path.
+                None => {
+                    outcomes.push(FlightOutcome::Failure(
+                        "treatment: slate compiler returned no result".to_string(),
+                    ));
                     continue;
                 }
             };

@@ -1,0 +1,14 @@
+// QL01 allowlisted negative: the same iteration patterns, justified — the
+// results are totally ordered before anything observable happens.
+use rustc_hash::FxHashMap;
+
+pub fn sorted_keys(by_template: &FxHashMap<u64, f64>) -> Vec<u64> {
+    // qo-lint: allow(unordered-iter) — collected then sorted immediately below
+    let mut keys: Vec<u64> = by_template.keys().copied().collect();
+    keys.sort_unstable();
+    keys
+}
+
+pub fn count(pending: &FxHashMap<u64, u64>) -> usize {
+    pending.iter().count() // qo-lint: allow(unordered-iter) — order-free reduction
+}

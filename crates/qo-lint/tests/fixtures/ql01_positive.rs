@@ -1,0 +1,19 @@
+// QL01 positive: unordered hash-container iteration in output-affecting
+// code, no allow annotation.
+use rustc_hash::FxHashMap;
+
+pub fn totals(by_template: &FxHashMap<u64, f64>) -> Vec<f64> {
+    let mut out = Vec::new();
+    for (_k, v) in by_template.iter() {
+        out.push(*v);
+    }
+    out
+}
+
+pub fn sum_pending(pending: FxHashMap<u64, u64>) -> u64 {
+    let mut acc = 0;
+    for (_k, v) in &pending {
+        acc += v;
+    }
+    acc
+}

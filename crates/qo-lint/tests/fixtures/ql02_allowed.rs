@@ -1,0 +1,8 @@
+// QL02 allowlisted negative: telemetry that is justified and excluded from
+// byte-identity comparisons.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    // qo-lint: allow(ambient-entropy) — wall-clock telemetry only, zeroed in comparisons
+    let t0 = std::time::Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_nanos() as u64)
+}

@@ -1,0 +1,14 @@
+// QL02 positive: ambient entropy / wall-clock reads outside timing modules.
+pub fn stamp() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+pub fn wall() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+
+pub fn draw() -> u32 {
+    let mut rng = rand::thread_rng();
+    rng.next_u32()
+}

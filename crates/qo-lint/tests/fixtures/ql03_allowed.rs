@@ -1,0 +1,13 @@
+// QL03 allowlisted negative: named constants from the shared vocabulary,
+// plus one justified top-level demo seed.
+use scope_ir::ids::{mix64, RANDOM_FLIP_SALT};
+
+pub fn derive(job: u64, day: u64) -> u64 {
+    mix64(job, day ^ RANDOM_FLIP_SALT)
+}
+
+pub fn demo_seed() -> u64 {
+    // qo-lint: allow(seed-salt) — top-level demo seed, not a derivation salt
+    let seed = 31_337;
+    seed
+}

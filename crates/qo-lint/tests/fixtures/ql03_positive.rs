@@ -1,0 +1,12 @@
+// QL03 positive: raw salts in seed-derivation calls and seed-named
+// bindings initialized from magic literals.
+use scope_ir::ids::mix64;
+
+pub fn derive(job: u64, day: u64) -> u64 {
+    mix64(job, day ^ 0xBEEF)
+}
+
+pub fn default_seed() -> u64 {
+    let run_salt = 0x5eed;
+    run_salt
+}

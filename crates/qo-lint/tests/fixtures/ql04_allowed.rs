@@ -1,0 +1,21 @@
+// QL04 allowlisted negative: the memo-carrying struct either hand-writes
+// its comparisons or justifies the derive.
+use std::sync::atomic::AtomicU64;
+
+pub struct Plan {
+    pub nodes: Vec<u64>,
+    fp_memo: AtomicU64,
+}
+
+impl PartialEq for Plan {
+    fn eq(&self, other: &Self) -> bool {
+        self.nodes == other.nodes // memo deliberately invisible
+    }
+}
+
+// qo-lint: allow(derived-memo-eq) — serde skips the memo via #[serde(skip)]
+#[derive(Debug, serde::Serialize)]
+pub struct Snapshot {
+    pub version: u32,
+    fingerprint_memo: AtomicU64,
+}

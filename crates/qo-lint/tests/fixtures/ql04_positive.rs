@@ -1,0 +1,10 @@
+// QL04 positive: derived equality on a struct carrying an atomic
+// fingerprint memo (the derive would compare the memo and break
+// cached-vs-fresh equivalence).
+use std::sync::atomic::AtomicU64;
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    pub nodes: Vec<u64>,
+    fp_memo: AtomicU64,
+}

@@ -1,0 +1,6 @@
+// QL05 allowlisted negative: an expect whose invariant is a documented API
+// contract, justified in place.
+pub fn one(results: Vec<Result<u64, String>>) -> Result<u64, String> {
+    // qo-lint: allow(unwrap-expect) — slate API contract: exactly one result per treatment
+    results.into_iter().next().expect("one result per treatment")
+}

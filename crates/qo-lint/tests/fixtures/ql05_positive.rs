@@ -1,0 +1,15 @@
+// QL05 positive: unwrap/expect on the steering path (linted under a
+// flighting virtual path). Test code may unwrap freely.
+pub fn run(x: Option<u64>) -> u64 {
+    let v = x.unwrap();
+    let w = x.expect("present");
+    v + w
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(Some(1).unwrap(), 1);
+    }
+}

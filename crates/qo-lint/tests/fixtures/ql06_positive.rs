@@ -1,0 +1,13 @@
+// QL06 positive: float accumulation inside rayon regions — reduction order
+// would depend on thread interleaving.
+use rayon::prelude::*;
+
+pub fn total(xs: &[f64]) -> f64 {
+    xs.par_iter().sum()
+}
+
+pub fn accumulate(xs: &[f64], shared: &std::sync::Mutex<f64>) {
+    xs.par_iter().for_each(|x| {
+        *shared.lock() += x;
+    });
+}

@@ -112,6 +112,77 @@ pub fn hash_value(value: &serde::Value, h: u64) -> u64 {
     }
 }
 
+// ---------------------------------------------------------------------
+// Named salt vocabulary (qo-lint rule QL03).
+//
+// Every raw salt below used to be a magic literal at its call site; the
+// values are unchanged (see `named_salts_match_their_legacy_spellings`),
+// so fingerprints, cache keys, and replayed runs stay byte-identical.
+// New derivation salts belong here, not at call sites — `qo-lint --deny`
+// enforces that.
+// ---------------------------------------------------------------------
+
+/// Salt of the contextual bandit's *training-pass* rank draw (the
+/// logged-propensity stream; `qo_advisor::stages`).
+pub const CB_TRAIN_RANK_SALT: u64 = 0x7821;
+/// Salt of the contextual bandit's *acting-pass* rank draw.
+pub const CB_ACT_RANK_SALT: u64 = 0xAC7;
+/// Salt of the uniform-random baseline's span pick (Table 3 ablation).
+pub const UNIFORM_PICK_SALT: u64 = 0x9A9;
+/// Salt of `qo_advisor::baselines::random_flip`'s uniform rule draw.
+pub const RANDOM_FLIP_SALT: u64 = 0xBA5E;
+/// Tag OR-ed onto the sample ordinal in the exhaustive-search baseline.
+pub const EXHAUSTIVE_SAMPLE_SALT: u64 = 0x4E91_0000;
+/// Initial value of the slate-input content-fingerprint fold
+/// (`qo_advisor::features`, the slate-cache key).
+pub const SLATE_FP_SEED: u64 = 0x51A7E;
+/// Boundary sentinel between actions inside the slate fingerprint fold.
+pub const SLATE_ACTION_SENTINEL: u64 = 0xAC710;
+
+/// Salt of [`crate::LogicalPlan::fingerprint`] (the compile-cache key).
+pub const LOGICAL_FP_SALT: u64 = 0x05ca_1ab1_e0dd_ba11;
+/// Salt of [`crate::PhysicalPlan::fingerprint`] (the execution-cache key).
+pub const PHYSICAL_FP_SALT: u64 = 0x0e8e_c0de_5ca1_ab1e;
+/// Salt of the cluster *hardware* config epoch (stage-graph memo sharing).
+pub const CLUSTER_CONFIG_EPOCH_SALT: u64 = 0xc105_7e40_0000_0001;
+/// Salt of the cluster *variance-model* half of the execution epoch.
+pub const CLUSTER_VARIANCE_EPOCH_SALT: u64 = 0x0e8e_0000_0000_0002;
+
+/// Salt of the per-(template, config) experimental-rule instability draw
+/// (`scope_opt::registry`).
+pub const RULE_INSTABILITY_SALT: u64 = 0xDEAD_0000;
+/// XOR flip separating the two uniform draws behind one tuning-noise
+/// sample.
+pub const TUNING_NOISE_AXIS_FLIP: u64 = 0xFF;
+/// Salt of the fallback-path recompile-failure draw.
+pub const FALLBACK_UNSTABLE_SALT: u64 = 0xFBFB_0001;
+/// Salt of the disable-default-rule recompile-failure draw.
+pub const DISABLE_UNSTABLE_SALT: u64 = 0x0FF0_0000;
+/// Salt of the realized intermediate-compression IO ratio draw.
+pub const COMPRESSION_IO_SALT: u64 = 0xC0DE_0000;
+
+/// Default top-level seed of the synthetic workload
+/// (`scope_workload::WorkloadConfig`).
+pub const DEFAULT_WORKLOAD_SEED: u64 = 0x5c09e;
+/// Tag OR-ed onto the template ordinal when deriving recurring-template
+/// seeds from the workload seed.
+pub const TEMPLATE_INDEX_SALT: u64 = 0x1000_0000;
+/// Salt separating a template's *schedule* draws (period/phase) from its
+/// structure draws.
+pub const TEMPLATE_SCHEDULE_SALT: u64 = 0x5c4ed;
+/// Salt deriving a [`JobId`] from a job seed.
+pub const JOB_ID_SALT: u64 = 0x10b;
+/// Tag OR-ed onto the ad-hoc ordinal when deriving one-off job seeds.
+pub const ADHOC_TEMPLATE_SALT: u64 = 0xAD_0000;
+/// Salt separating template-structure draws from instance-literal draws.
+pub const TEMPLATE_STRUCTURE_SALT: u64 = 0x7e4a_91b5_02fd_11aa;
+/// Salt of the Mixed-literal-policy stickiness draw.
+pub const STICKY_LITERAL_SALT: u64 = 0x51_1C4B_F00D;
+/// Salt of the day-over-day cardinality-drift stream.
+pub const CARDINALITY_DRIFT_SALT: u64 = 0xD81F_7000;
+/// Salt of the second uniform draw inside one drift sample.
+pub const DRIFT_SECOND_DRAW_SALT: u64 = 0x77;
+
 /// Salt of the shared daily production run seed (one cluster-noise draw per
 /// simulated day, shared by the production view build and the counterfactual
 /// default runs so both arms see identical conditions).
@@ -216,6 +287,38 @@ mod tests {
             flight_baseline_run_seed(11, 2),
             flight_treatment_run_seed(11, 2)
         );
+    }
+
+    #[test]
+    fn named_salts_match_their_legacy_spellings() {
+        // Each named salt must keep the exact value of the magic literal it
+        // replaced at its call site, or every fingerprint, cache key, and
+        // replayed run would diverge from pre-refactor outputs.
+        assert_eq!(CB_TRAIN_RANK_SALT, 0x7821);
+        assert_eq!(CB_ACT_RANK_SALT, 0xAC7);
+        assert_eq!(UNIFORM_PICK_SALT, 0x9A9);
+        assert_eq!(RANDOM_FLIP_SALT, 0xBA5E);
+        assert_eq!(EXHAUSTIVE_SAMPLE_SALT, 0x4E91_0000);
+        assert_eq!(SLATE_FP_SEED, 0x51A7E);
+        assert_eq!(SLATE_ACTION_SENTINEL, 0xAC710);
+        assert_eq!(LOGICAL_FP_SALT, 0x05ca_1ab1_e0dd_ba11);
+        assert_eq!(PHYSICAL_FP_SALT, 0x0e8e_c0de_5ca1_ab1e);
+        assert_eq!(CLUSTER_CONFIG_EPOCH_SALT, 0xc105_7e40_0000_0001);
+        assert_eq!(CLUSTER_VARIANCE_EPOCH_SALT, 0x0e8e_0000_0000_0002);
+        assert_eq!(RULE_INSTABILITY_SALT, 0xDEAD_0000);
+        assert_eq!(TUNING_NOISE_AXIS_FLIP, 0xFF);
+        assert_eq!(FALLBACK_UNSTABLE_SALT, 0xFBFB_0001);
+        assert_eq!(DISABLE_UNSTABLE_SALT, 0x0FF0_0000);
+        assert_eq!(COMPRESSION_IO_SALT, 0xC0DE_0000);
+        assert_eq!(DEFAULT_WORKLOAD_SEED, 0x5c09e);
+        assert_eq!(TEMPLATE_INDEX_SALT, 0x1000_0000);
+        assert_eq!(TEMPLATE_SCHEDULE_SALT, 0x5c4ed);
+        assert_eq!(JOB_ID_SALT, 0x10b);
+        assert_eq!(ADHOC_TEMPLATE_SALT, 0xAD_0000);
+        assert_eq!(TEMPLATE_STRUCTURE_SALT, 0x7e4a_91b5_02fd_11aa);
+        assert_eq!(STICKY_LITERAL_SALT, 0x51_1C4B_F00D);
+        assert_eq!(CARDINALITY_DRIFT_SALT, 0xD81F_7000);
+        assert_eq!(DRIFT_SECOND_DRAW_SALT, 0x77);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! is preserved by construction and checked by [`LogicalPlan::validate`].
 
 use crate::expr::{AggExpr, ScalarExpr};
-use crate::ids::{hash_value, stable_hash64, NodeId, TemplateId};
+use crate::ids::{hash_value, stable_hash64, NodeId, TemplateId, LOGICAL_FP_SALT};
 use crate::schema::{Column, DataType, Schema};
 use crate::stats::DualStats;
 use serde::{Deserialize, Serialize};
@@ -640,9 +640,15 @@ impl LogicalPlan {
     pub fn fingerprint(&self) -> u64 {
         let memo = self.fp_memo.load(Ordering::Relaxed);
         if memo != 0 {
+            debug_assert_eq!(
+                memo,
+                hash_value(&self.to_value(), LOGICAL_FP_SALT).max(1),
+                "memoized logical fingerprint diverged from a fresh recompute \
+                 (plan mutated after fingerprinting?)"
+            );
             return memo;
         }
-        let fp = hash_value(&self.to_value(), 0x05ca_1ab1_e0dd_ba11_u64).max(1);
+        let fp = hash_value(&self.to_value(), LOGICAL_FP_SALT).max(1);
         self.fp_memo.store(fp, Ordering::Relaxed);
         fp
     }

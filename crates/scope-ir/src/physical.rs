@@ -8,7 +8,7 @@
 //! optimizer rules use to express alternative physical configurations.
 
 use crate::expr::{AggExpr, ScalarExpr};
-use crate::ids::{hash_value, NodeId};
+use crate::ids::{hash_value, NodeId, PHYSICAL_FP_SALT};
 use crate::logical::{JoinKind, SortKey};
 use crate::stats::NodeStats;
 use serde::{Deserialize, Serialize};
@@ -311,9 +311,15 @@ impl PhysicalPlan {
     pub fn fingerprint(&self) -> u64 {
         let memo = self.fp_memo.load(Ordering::Relaxed);
         if memo != 0 {
+            debug_assert_eq!(
+                memo,
+                hash_value(&self.to_value(), PHYSICAL_FP_SALT).max(1),
+                "memoized physical fingerprint diverged from a fresh recompute \
+                 (plan mutated after fingerprinting?)"
+            );
             return memo;
         }
-        let fp = hash_value(&self.to_value(), 0x0e8e_c0de_5ca1_ab1e_u64).max(1);
+        let fp = hash_value(&self.to_value(), PHYSICAL_FP_SALT).max(1);
         self.fp_memo.store(fp, Ordering::Relaxed);
         fp
     }

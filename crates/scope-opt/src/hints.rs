@@ -73,6 +73,7 @@ impl HintSet {
     pub fn hints(&self) -> Vec<Hint> {
         let mut v: Vec<Hint> = self
             .by_template
+            // qo-lint: allow(unordered-iter) — collected then sorted by template id below
             .iter()
             .map(|(&template, &flip)| Hint { template, flip })
             .collect();

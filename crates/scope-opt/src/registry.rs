@@ -14,7 +14,10 @@
 //! experimental ones) can fail compilation for particular job templates.
 
 use crate::config::{RuleBits, RuleConfig, RuleId, RULE_COUNT};
-use scope_ir::ids::{mix64, stable_hash64};
+use scope_ir::ids::{
+    mix64, stable_hash64, COMPRESSION_IO_SALT, DISABLE_UNSTABLE_SALT, FALLBACK_UNSTABLE_SALT,
+    RULE_INSTABILITY_SALT, TUNING_NOISE_AXIS_FLIP,
+};
 use scope_ir::PhysicalTuning;
 use serde::{Deserialize, Serialize};
 
@@ -611,7 +614,7 @@ impl RuleSet {
         }
         let u = (mix64(
             mix64(template_seed, config_fingerprint),
-            u64::from(id.0) | 0xDEAD_0000,
+            u64::from(id.0) | RULE_INSTABILITY_SALT,
         ) >> 11) as f64
             / (1u64 << 53) as f64;
         u < spec_instability
@@ -630,7 +633,10 @@ impl RuleSet {
             // Log-normal-ish multiplicative noise from two uniform draws.
             let u1 = (mix64(template_seed, mix64(u64::from(id.0), salt)) >> 11) as f64
                 / (1u64 << 53) as f64;
-            let u2 = (mix64(template_seed, mix64(u64::from(id.0), salt ^ 0xFF)) >> 11) as f64
+            let u2 = (mix64(
+                template_seed,
+                mix64(u64::from(id.0), salt ^ TUNING_NOISE_AXIS_FLIP),
+            ) >> 11) as f64
                 / (1u64 << 53) as f64;
             let n = (u1 + u2 - 1.0) * 2.0; // triangular on [-2, 2]
             (sigma * n).exp()
@@ -663,7 +669,7 @@ impl RuleSet {
     /// failures besides experimental-rule instability.
     #[must_use]
     pub fn fallback_unstable_for(&self, template_seed: u64) -> bool {
-        let u = (mix64(template_seed, 0xFBFB_0001) >> 11) as f64 / (1u64 << 53) as f64;
+        let u = (mix64(template_seed, FALLBACK_UNSTABLE_SALT) >> 11) as f64 / (1u64 << 53) as f64;
         u < 0.35
     }
 
@@ -685,7 +691,7 @@ impl RuleSet {
         }
         let u = (mix64(
             mix64(template_seed, config_fingerprint),
-            u64::from(id.0) | 0x0FF0_0000,
+            u64::from(id.0) | DISABLE_UNSTABLE_SALT,
         ) >> 11) as f64
             / (1u64 << 53) as f64;
         u < 0.05
@@ -698,7 +704,7 @@ impl RuleSet {
     pub fn compression_actual_io(&self, template_seed: u64) -> f64 {
         let u = (mix64(
             template_seed,
-            u64::from(RULE_INTERMEDIATE_COMPRESSION.0) | 0xC0DE_0000,
+            u64::from(RULE_INTERMEDIATE_COMPRESSION.0) | COMPRESSION_IO_SALT,
         ) >> 11) as f64
             / (1u64 << 53) as f64;
         // Realized compression between 0.65 (very compressible) and 1.05

@@ -1,6 +1,6 @@
 //! Cluster hardware model and the cloud variance model.
 
-use scope_ir::ids::{hash_value, mix64};
+use scope_ir::ids::{hash_value, mix64, CLUSTER_CONFIG_EPOCH_SALT, CLUSTER_VARIANCE_EPOCH_SALT};
 use serde::{Deserialize, Serialize};
 
 /// Hardware constants of the simulated cluster.
@@ -132,7 +132,7 @@ impl Cluster {
     /// which differ only in noise.
     #[must_use]
     pub fn config_epoch(&self) -> u64 {
-        hash_value(&self.config.to_value(), 0xc105_7e40_0000_0001_u64).max(1)
+        hash_value(&self.config.to_value(), CLUSTER_CONFIG_EPOCH_SALT).max(1)
     }
 
     /// Stable fingerprint of the full execution environment (hardware *and*
@@ -143,7 +143,7 @@ impl Cluster {
     pub fn epoch(&self) -> u64 {
         mix64(
             self.config_epoch(),
-            hash_value(&self.variance.to_value(), 0x0e8e_0000_0000_0002_u64),
+            hash_value(&self.variance.to_value(), CLUSTER_VARIANCE_EPOCH_SALT),
         )
         .max(1)
     }

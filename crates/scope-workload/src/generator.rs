@@ -4,7 +4,10 @@
 use crate::template::{LiteralPolicy, TemplateSpec};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use scope_ir::ids::mix64;
+use scope_ir::ids::{
+    mix64, ADHOC_TEMPLATE_SALT, DEFAULT_WORKLOAD_SEED, JOB_ID_SALT, TEMPLATE_INDEX_SALT,
+    TEMPLATE_SCHEDULE_SALT,
+};
 use scope_ir::logical::LogicalPlan;
 use scope_ir::{JobId, ShardedCache, TemplateId};
 use scope_lang::bind_script;
@@ -35,7 +38,7 @@ pub struct WorkloadConfig {
 impl Default for WorkloadConfig {
     fn default() -> Self {
         Self {
-            seed: 0x5c09e,
+            seed: DEFAULT_WORKLOAD_SEED,
             num_templates: 120,
             adhoc_per_day: 40,
             max_instances_per_day: 3,
@@ -99,9 +102,9 @@ impl Workload {
     pub fn new(config: WorkloadConfig) -> Self {
         let mut recurring = Vec::with_capacity(config.num_templates);
         for i in 0..config.num_templates {
-            let tseed = mix64(config.seed, i as u64 | 0x1000_0000);
+            let tseed = mix64(config.seed, i as u64 | TEMPLATE_INDEX_SALT);
             let spec = TemplateSpec::generate(tseed);
-            let mut rng = StdRng::seed_from_u64(mix64(tseed, 0x5c4ed));
+            let mut rng = StdRng::seed_from_u64(mix64(tseed, TEMPLATE_SCHEDULE_SALT));
             let period_days = if rng.random_range(0.0..1.0) < 0.7 {
                 1
             } else {
@@ -155,7 +158,7 @@ impl Workload {
                 });
                 let job_seed = mix64(rt.spec.seed, mix64(u64::from(day), u64::from(instance)));
                 jobs.push(JobInstance {
-                    job_id: JobId(mix64(job_seed, 0x10b)),
+                    job_id: JobId(mix64(job_seed, JOB_ID_SALT)),
                     name: rt.spec.instance_name(day, instance),
                     plan,
                     template,
@@ -168,7 +171,7 @@ impl Workload {
         for i in 0..self.config.adhoc_per_day {
             let tseed = mix64(
                 self.config.seed,
-                mix64(u64::from(day), i as u64 | 0xAD_0000),
+                mix64(u64::from(day), i as u64 | ADHOC_TEMPLATE_SALT),
             );
             let spec = TemplateSpec::generate(tseed);
             let (script, catalog) = spec.instantiate(day, 0);
@@ -177,7 +180,7 @@ impl Workload {
             let plan = Arc::new(plan);
             let job_seed = mix64(tseed, u64::from(day));
             jobs.push(JobInstance {
-                job_id: JobId(mix64(job_seed, 0x10b)),
+                job_id: JobId(mix64(job_seed, JOB_ID_SALT)),
                 name: spec.instance_name(day, 0),
                 plan,
                 template,

@@ -3,7 +3,10 @@
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use scope_ir::ids::{mix64, stable_hash64};
+use scope_ir::ids::{
+    mix64, stable_hash64, CARDINALITY_DRIFT_SALT, DRIFT_SECOND_DRAW_SALT, STICKY_LITERAL_SALT,
+    TEMPLATE_STRUCTURE_SALT,
+};
 use scope_ir::stats::DualStats;
 use scope_lang::{Catalog, TableInfo};
 use serde::{Deserialize, Serialize};
@@ -130,7 +133,8 @@ impl LiteralPolicy {
             LiteralPolicy::FreshEachRun => false,
             LiteralPolicy::Sticky { .. } => true,
             LiteralPolicy::Mixed { sticky_fraction } => {
-                let u = (mix64(template_seed, STICKY_SALT) >> 11) as f64 / (1u64 << 53) as f64;
+                let u =
+                    (mix64(template_seed, STICKY_LITERAL_SALT) >> 11) as f64 / (1u64 << 53) as f64;
                 u < sticky_fraction
             }
         }
@@ -200,20 +204,16 @@ impl std::str::FromStr for LiteralPolicy {
     }
 }
 
-/// Salt separating the Mixed-policy stickiness draw from every other use of
-/// the template seed.
-const STICKY_SALT: u64 = 0x51_1C4B_F00D;
-
 /// Day-over-day drift of a table's true cardinality: deterministic
 /// log-normal-ish multiplier in roughly [0.5, 2.0].
 #[must_use]
 pub fn cardinality_drift(table_path: &str, day: u32) -> f64 {
     let h = mix64(
         stable_hash64(table_path.as_bytes()),
-        u64::from(day) | 0xD81F_7000,
+        u64::from(day) | CARDINALITY_DRIFT_SALT,
     );
     let u1 = (h >> 11) as f64 / (1u64 << 53) as f64;
-    let u2 = (mix64(h, 0x77) >> 11) as f64 / (1u64 << 53) as f64;
+    let u2 = (mix64(h, DRIFT_SECOND_DRAW_SALT) >> 11) as f64 / (1u64 << 53) as f64;
     let n = (u1 + u2 - 1.0) * 2.0; // triangular in [-2, 2]
     (0.35 * n).exp()
 }
@@ -222,7 +222,7 @@ impl TemplateSpec {
     /// Generate a template from a seed.
     #[must_use]
     pub fn generate(seed: u64) -> TemplateSpec {
-        let mut rng = StdRng::seed_from_u64(mix64(seed, TEMPLATE_SALT));
+        let mut rng = StdRng::seed_from_u64(mix64(seed, TEMPLATE_STRUCTURE_SALT));
         let pattern = Pattern::draw(&mut rng);
         let tag = format!("{seed:010x}");
         let table = |i: usize, rng: &mut StdRng, lo: f64, hi: f64| {
@@ -404,9 +404,6 @@ OUTPUT hot TO "out/{tag}_hot";
         )
     }
 }
-
-/// Salt separating template-structure draws from instance-literal draws.
-const TEMPLATE_SALT: u64 = 0x7e4a_91b5_02fd_11aa;
 
 #[cfg(test)]
 mod tests {

@@ -13,6 +13,7 @@ use scope_workload::{build_view, WorkloadConfig};
 
 fn main() {
     let workload = WorkloadConfig {
+        // qo-lint: allow(seed-salt) — top-level demo seed, not a derivation salt
         seed: 31_337,
         num_templates: 40,
         adhoc_per_day: 8,
@@ -45,7 +46,7 @@ fn main() {
         sim.prod_executor(),
     )
     .expect("generated workloads compile on the default path");
-    let cb_report = sim.advisor.run_day(&view, day);
+    let cb_report = sim.advisor.run_day(&view, day).expect("pipeline day runs");
 
     let mut random = QoAdvisor::new(
         sim.optimizer().clone(),
@@ -55,7 +56,7 @@ fn main() {
             ..PipelineConfig::default()
         },
     );
-    let rd_report = random.run_day(&view, day);
+    let rd_report = random.run_day(&view, day).expect("pipeline day runs");
 
     println!("{:>18} {:>10} {:>10}", "", "Random", "CB");
     let row = |name: &str, a: usize, b: usize| println!("{name:>18} {a:>10} {b:>10}");

@@ -65,11 +65,11 @@ fn revert_hint_removes_sis_entry_and_bumps_version() {
     };
     let version_before = sim.advisor.sis().version();
     let len_before = sim.advisor.sis().len();
-    assert!(sim.advisor.revert_hint(template));
+    assert!(sim.advisor.revert_hint(template).expect("revert publishes"));
     assert_eq!(sim.advisor.sis().len(), len_before - 1);
     assert!(sim.advisor.sis().version() > version_before);
     // Reverting again is a no-op.
-    assert!(!sim.advisor.revert_hint(template));
+    assert!(!sim.advisor.revert_hint(template).expect("revert publishes"));
 }
 
 #[test]
