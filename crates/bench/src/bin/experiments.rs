@@ -13,7 +13,12 @@
 //! `QO_EXEC_CACHE`) the execution-result cache, `--delta-compile on|off`
 //! (or `QO_DELTA`) delta treatment compilation, and `--feature-cache on|off`
 //! (or `QO_FEATURE_CACHE`) the span-feature cache — all bit-identical either
-//! way, only throughput differs (all on by default).
+//! way, only throughput differs (all on by default). `--snapshot-every N`
+//! (or `QO_SNAPSHOT_EVERY`) writes a durable-state snapshot to
+//! `results/snapshots/<experiment>.qosnap` after every `N`-th simulated day
+//! of the closed-loop experiments (0 = never, the default) — outputs are
+//! bit-identical either way; the write cost lands in each day's
+//! `timings.snapshot_ns`.
 //!
 //! Each experiment writes its raw series to `results/<name>.csv` and prints
 //! a summary row comparing the paper's reported shape with the measured one.
@@ -25,7 +30,7 @@ use flighting::{FlightBudget, FlightRequest, FlightingService};
 use qo_advisor::{
     aggregate_impact, CacheConfig, DeltaConfig, ExecCacheConfig, FeatureCacheConfig,
     HintedComparison, ParallelismConfig, PipelineConfig, ProductionSim, QoAdvisor,
-    RecommendStrategy, ValidationModel, ValidationSample,
+    RecommendStrategy, SnapshotPolicy, ValidationModel, ValidationSample,
 };
 use qo_bench::corpus::{write_csv, Env};
 use qo_bench::{mean, pearson, percentile, polyfit1};
@@ -76,6 +81,33 @@ static FEATURE_CACHE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
 
 fn set_feature_cache(enabled: bool) {
     let _ = FEATURE_CACHE.set(enabled);
+}
+
+/// Day-boundary snapshot cadence for the closed-loop experiments
+/// (0 = never).
+static SNAPSHOT_EVERY: std::sync::OnceLock<u32> = std::sync::OnceLock::new();
+
+fn set_snapshot_every(every: u32) {
+    let _ = SNAPSHOT_EVERY.set(every);
+}
+
+/// Install the CLI-selected snapshot policy on a closed-loop simulation,
+/// writing to `results/snapshots/<name>.qosnap`. No-op unless
+/// `--snapshot-every` (or `QO_SNAPSHOT_EVERY`) selected a cadence.
+fn apply_snapshot_policy(sim: &mut ProductionSim, name: &str) {
+    let every = *SNAPSHOT_EVERY.get_or_init(|| 0);
+    if every == 0 {
+        return;
+    }
+    let dir = std::path::Path::new("results").join("snapshots");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("cannot create {}: {e}", dir.display());
+        std::process::exit(2);
+    }
+    sim.set_snapshot_policy(Some(SnapshotPolicy {
+        path: dir.join(format!("{name}.qosnap")),
+        every,
+    }));
 }
 
 /// Literal-redraw policy for every simulated workload in this run.
@@ -205,6 +237,22 @@ fn main() {
         args.drain(i..=i + 1);
     } else if let Ok(value) = std::env::var("QO_FEATURE_CACHE") {
         set_feature_cache(parse_cache_flag(&value));
+    }
+    if let Some(i) = args.iter().position(|a| a == "--snapshot-every") {
+        let every = args
+            .get(i + 1)
+            .and_then(|v| v.parse::<u32>().ok())
+            .unwrap_or_else(|| {
+                eprintln!("--snapshot-every requires an integer argument (0 = never)");
+                std::process::exit(2);
+            });
+        set_snapshot_every(every);
+        args.drain(i..=i + 1);
+    } else if let Ok(value) = std::env::var("QO_SNAPSHOT_EVERY") {
+        set_snapshot_every(value.parse().unwrap_or_else(|_| {
+            eprintln!("QO_SNAPSHOT_EVERY must be an integer, got `{value}`");
+            std::process::exit(2);
+        }));
     }
     if let Some(i) = args.iter().position(|a| a == "--literals") {
         let policy = args.get(i + 1).map(String::as_str).unwrap_or_else(|| {
@@ -636,6 +684,7 @@ fn fig9() {
 fn table2_and_figs() {
     println!("\n=== Table 2 + Figures 10-12: pre-production impact of QO-Advisor ===");
     let mut sim = ProductionSim::new(workload_config(2022, 60, 15, 2), pipeline_config());
+    apply_snapshot_policy(&mut sim, "table2");
     sim.bootstrap_validation_model(5, 24)
         .expect("generated workloads compile on the default path");
     let outcomes = sim
@@ -700,6 +749,7 @@ fn table3() {
     let wl = workload_config(2022, 60, 15, 2);
     // Train the CB through the daily loop.
     let mut sim = ProductionSim::new(wl.clone(), pipeline_config());
+    apply_snapshot_policy(&mut sim, "table3");
     sim.bootstrap_validation_model(3, 16)
         .expect("generated workloads compile on the default path");
     for _ in 0..30 {

@@ -31,7 +31,7 @@ fn day_json(out: &DayOutcome, wall_ms: f64) -> String {
         "{{\"day\":{},\"wall_ms\":{wall_ms:.3},\
          \"timings_ns\":{{\"view_build\":{},\"counterfactual\":{},\
          \"feature_gen\":{},\"recommend\":{},\"flight\":{},\
-         \"validate\":{},\"publish\":{}}},\
+         \"validate\":{},\"publish\":{},\"snapshot\":{}}},\
          \"compile_cache\":{{\"hits\":{},\"misses\":{},\"inserts\":{},\"evictions\":{}}},\
          \"exec_cache\":{{\"result_hits\":{},\"result_misses\":{},\
          \"graph_hits\":{},\"graph_misses\":{}}},\
@@ -48,6 +48,7 @@ fn day_json(out: &DayOutcome, wall_ms: f64) -> String {
         t.flight_ns,
         t.validate_ns,
         t.publish_ns,
+        t.snapshot_ns,
         cc.hits,
         cc.misses,
         cc.inserts,
@@ -136,6 +137,10 @@ fn main() {
             })
         },
     );
+    // `QO_SNAPSHOT=<path>` writes a durable-state snapshot at every day
+    // boundary (see `qo_advisor::snapshot`); the JSON record then carries
+    // the per-day write cost plus a measured restore cost.
+    let snapshot_path = std::env::var("QO_SNAPSHOT").ok();
     // `QO_LITERALS=sticky` (or `sticky:N` / `mixed:F`) switches the workload
     // into the recurring-script regime; default redraws literals every run.
     let literals =
@@ -163,6 +168,12 @@ fn main() {
     };
     let probe_start = Instant::now();
     let mut sim = ProductionSim::new(wl.clone(), config.clone());
+    if let Some(path) = &snapshot_path {
+        if let Some(parent) = std::path::Path::new(path).parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        sim.set_snapshot_policy(Some(qo_advisor::SnapshotPolicy::every_day(path)));
+    }
     let samples = sim
         .bootstrap_validation_model(5, 24)
         .expect("generated workloads compile on the default path");
@@ -173,12 +184,14 @@ fn main() {
     );
     let mut all_cmp = Vec::new();
     let mut day_records: Vec<String> = Vec::new();
-    let advance = |sim: &mut ProductionSim, records: &mut Vec<String>| -> DayOutcome {
+    let mut snapshot_write_ns: u64 = 0;
+    let mut advance = |sim: &mut ProductionSim, records: &mut Vec<String>| -> DayOutcome {
         let t = Instant::now();
         let out = sim
             .advance_day()
             .expect("generated workloads compile on the default path");
         records.push(day_json(&out, t.elapsed().as_secs_f64() * 1e3));
+        snapshot_write_ns += out.report.timings.snapshot_ns;
         out
     };
     for _ in 0..10 {
@@ -284,7 +297,7 @@ fn main() {
         feature_lifetime.evictions
     );
     let mut sim_rand = ProductionSim::new(
-        wl,
+        wl.clone(),
         PipelineConfig {
             strategy: RecommendStrategy::UniformRandom,
             ..config.clone()
@@ -309,6 +322,27 @@ fn main() {
         r.total_chosen_cost
     );
 
+    // Snapshot cost: per-day write time accumulated above, plus one
+    // measured restore into a fresh process image and the on-disk size.
+    let (snapshot_restore_ns, snapshot_bytes) = snapshot_path.as_ref().map_or((0, 0), |path| {
+        let bytes = std::fs::metadata(path).map_or(0, |m| m.len());
+        let mut fresh = ProductionSim::new(wl.clone(), config.clone());
+        let t = Instant::now();
+        fresh
+            .restore(path)
+            .expect("restore the probe's own snapshot");
+        let restore_ns = t.elapsed().as_nanos() as u64;
+        assert_eq!(fresh.day, sim.day, "restored day counter matches");
+        eprintln!(
+            "snapshot: {} bytes, write total {:.2} ms over {} days, restore {:.2} ms",
+            bytes,
+            snapshot_write_ns as f64 / 1e6,
+            day_records.len(),
+            restore_ns as f64 / 1e6,
+        );
+        (restore_ns, bytes)
+    });
+
     if let Some(path) = json_path {
         let delta_cfg_on = config.delta.enabled;
         let record = format!(
@@ -320,7 +354,9 @@ fn main() {
              \"exec_cache\":{{\"result_hits\":{},\"graph_hits\":{},\"graph_lookups\":{}}},\
              \"delta\":{{\"pruned\":{},\"delta\":{},\"full\":{},\
              \"base_builds\":{},\"base_hits\":{}}},\
-             \"feature_cache\":{{\"hits\":{},\"misses\":{},\"inserts\":{},\"evictions\":{}}}}},\
+             \"feature_cache\":{{\"hits\":{},\"misses\":{},\"inserts\":{},\"evictions\":{}}},\
+             \"snapshot\":{{\"enabled\":{},\"write_ns_total\":{},\
+             \"restore_ns\":{},\"bytes\":{}}}}},\
              \"days\":[{}]}}",
             probe_start.elapsed().as_secs_f64() * 1e3,
             threads.unwrap_or(1),
@@ -344,6 +380,10 @@ fn main() {
             feature_lifetime.misses,
             feature_lifetime.inserts,
             feature_lifetime.evictions,
+            snapshot_path.is_some(),
+            snapshot_write_ns,
+            snapshot_restore_ns,
+            snapshot_bytes,
             day_records.join(",")
         );
         if let Some(parent) = std::path::Path::new(&path).parent() {

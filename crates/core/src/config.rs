@@ -17,12 +17,15 @@
 //! | `QO_DELTA`      | `--delta-compile V`| `on`/`1`/`true`, `off`/`0`/`false`| Delta treatment compilation ([`scope_opt::DeltaConfig`], on by default): recommendation and flighting treatment slates are priced as incremental passes over a shared per-plan base memo instead of from-scratch compiles — byte-identical results, only throughput differs |
 //! | `QO_LITERALS`   | `--literals P`     | `fresh`, `sticky`, `sticky:N`, `mixed:F` | Literal-redraw policy ([`scope_workload::LiteralPolicy`]) of recurring templates: fresh per run (default), pinned per N-day epoch (`sticky:0` = forever), or a sticky fraction `F` of templates |
 //! | `QO_FEATURE_CACHE` | `--feature-cache V` | `on`/`1`/`true`, `off`/`0`/`false`| Span-feature cache ([`crate::features::FeatureCache`], on by default): the CB context's C(S,2)+C(S,3) span co-occurrence block is built once per template and memoized keyed on `(template, span fingerprint)` instead of rebuilt per job-day — byte-identical context vectors, only throughput differs |
+//! | `QO_SNAPSHOT_EVERY` | `--snapshot-every N` | integer N days (`0` = never, default) | Durable-state snapshot cadence ([`crate::snapshot::SnapshotPolicy`]): write the full steering state (bandit, SIS, flighting salt, explored set, monitor, warm span cache) to `results/snapshots/<experiment>.qosnap` at every Nth day boundary. Purely operational — steering outputs are bit-identical with snapshots on or off (`tests/snapshot_recovery.rs`); the write cost lands in `DailyReport.timings.snapshot_ns` |
+//! | `QO_SNAPSHOT` | *(probe only)* | file path | `probe` installs an every-day [`crate::snapshot::SnapshotPolicy`] at this path, reports per-day write cost and a timed end-of-run restore in its JSON record, and the `recovery` bin's `--snapshot`/`--resume` flags drive the CI crash-recovery smoke leg against the same format |
 //!
 //! `probe` reads the same environment variables; `experiments` also accepts
 //! the flags. Programmatic equivalents: [`PipelineConfig::parallelism`],
 //! [`PipelineConfig::cache`], [`PipelineConfig::exec_cache`],
-//! [`PipelineConfig::delta`], [`PipelineConfig::feature_cache`], and
-//! [`scope_workload::WorkloadConfig::literals`].
+//! [`PipelineConfig::delta`], [`PipelineConfig::feature_cache`],
+//! [`scope_workload::WorkloadConfig::literals`], and
+//! [`crate::simulation::ProductionSim::set_snapshot_policy`].
 
 use crate::features::FeatureCacheConfig;
 use flighting::FlightBudget;

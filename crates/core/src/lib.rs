@@ -68,6 +68,7 @@ pub mod features;
 pub mod monitoring;
 pub mod pipeline;
 pub mod simulation;
+pub mod snapshot;
 pub(crate) mod stages;
 pub mod validation_model;
 
@@ -81,8 +82,10 @@ pub use monitoring::{CacheCounters, ExecCounters, MonitorConfig, RegressionMonit
 pub use pipeline::{DailyReport, PipelineError, QoAdvisor, Recommendation};
 pub use scope_opt::{CacheConfig, CacheStats, DeltaConfig, DeltaStats};
 pub use scope_runtime::{CachingExecutor, ExecCacheConfig, ExecStats, ExecutionCache, Executor};
+pub use scope_state::{SnapshotError, SteeringSnapshot};
 pub use scope_workload::ViewBuildError;
 pub use simulation::{
     aggregate_impact, AggregateImpact, DayOutcome, HintedComparison, ProductionSim,
 };
+pub use snapshot::SnapshotPolicy;
 pub use validation_model::{ValidationModel, ValidationSample};

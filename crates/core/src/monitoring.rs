@@ -164,6 +164,9 @@ pub struct StageTimings {
     pub validate_ns: u64,
     /// Task 5 — Hint Generation / SIS publish.
     pub publish_ns: u64,
+    /// Durable-state snapshot write at the day boundary (zero unless a
+    /// [`crate::snapshot::SnapshotPolicy`] is installed and fired today).
+    pub snapshot_ns: u64,
 }
 
 impl StageTimings {
@@ -177,6 +180,7 @@ impl StageTimings {
             + self.flight_ns
             + self.validate_ns
             + self.publish_ns
+            + self.snapshot_ns
     }
 }
 
@@ -269,6 +273,51 @@ impl RegressionMonitor {
             }
         }
         reverts
+    }
+
+    /// Export the monitor's durable state (snapshot path; `scope-state`).
+    /// The config is construction-time and not exported — a restored
+    /// process supplies its own.
+    #[must_use]
+    pub fn export_state(&self) -> scope_state::MonitorState {
+        let mut templates: Vec<scope_state::MonitorTemplateState> = self
+            .templates
+            // qo-lint: allow(unordered-iter) — collected and sorted by template below
+            .iter()
+            .map(|(&template, s)| scope_state::MonitorTemplateState {
+                template,
+                baseline_pn: s.baseline_pn,
+                observations: s.observations,
+                consecutive_regressions: s.consecutive_regressions,
+            })
+            .collect();
+        templates.sort_by_key(|t| t.template);
+        scope_state::MonitorState {
+            templates,
+            reverted: self.reverted.clone(),
+        }
+    }
+
+    /// Replace the monitor's per-template baselines and revert log with a
+    /// snapshot's ([`RegressionMonitor::export_state`] round-trip). The
+    /// config is kept as constructed.
+    pub fn restore_state(&mut self, state: &scope_state::MonitorState) {
+        self.templates = state
+            .templates
+            // qo-lint: allow(unordered-iter) — snapshot Vec, sorted at export
+            .iter()
+            .map(|t| {
+                (
+                    t.template,
+                    TemplateState {
+                        baseline_pn: t.baseline_pn,
+                        observations: t.observations,
+                        consecutive_regressions: t.consecutive_regressions,
+                    },
+                )
+            })
+            .collect();
+        self.reverted = state.reverted.clone();
     }
 
     /// Baseline PNhours currently tracked for a template, if any.

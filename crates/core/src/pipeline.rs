@@ -35,6 +35,9 @@ pub enum PipelineError {
     View(ViewBuildError),
     /// The SIS store rejected a hint-file publish.
     Publish(SisError),
+    /// A durable-state snapshot write or restore failed (see
+    /// [`crate::snapshot`]).
+    Snapshot(scope_state::SnapshotError),
     /// An internal pipeline invariant broke — a bug, surfaced as an error.
     Invariant(&'static str),
 }
@@ -44,6 +47,7 @@ impl fmt::Display for PipelineError {
         match self {
             PipelineError::View(e) => write!(f, "view build failed: {e}"),
             PipelineError::Publish(e) => write!(f, "SIS publish rejected: {e}"),
+            PipelineError::Snapshot(e) => write!(f, "snapshot failed: {e}"),
             PipelineError::Invariant(what) => write!(f, "pipeline invariant violated: {what}"),
         }
     }
@@ -54,6 +58,7 @@ impl std::error::Error for PipelineError {
         match self {
             PipelineError::View(e) => Some(e),
             PipelineError::Publish(e) => Some(e),
+            PipelineError::Snapshot(e) => Some(e),
             PipelineError::Invariant(_) => None,
         }
     }
@@ -68,6 +73,12 @@ impl From<ViewBuildError> for PipelineError {
 impl From<SisError> for PipelineError {
     fn from(e: SisError) -> Self {
         PipelineError::Publish(e)
+    }
+}
+
+impl From<scope_state::SnapshotError> for PipelineError {
+    fn from(e: scope_state::SnapshotError) -> Self {
+        PipelineError::Snapshot(e)
     }
 }
 

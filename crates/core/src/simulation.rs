@@ -102,6 +102,9 @@ pub struct ProductionSim {
     /// §8 post-deployment monitor; hints that regress in production are
     /// automatically reverted when enabled.
     pub monitor: Option<RegressionMonitor>,
+    /// Durable-state snapshots at day boundaries (see [`crate::snapshot`]);
+    /// `None` = never snapshot.
+    pub(crate) snapshot_policy: Option<crate::snapshot::SnapshotPolicy>,
 }
 
 impl ProductionSim {
@@ -132,6 +135,7 @@ impl ProductionSim {
             advisor,
             day: 0,
             monitor: None,
+            snapshot_policy: None,
         }
     }
 
@@ -282,6 +286,7 @@ impl ProductionSim {
         report.timings.view_build_ns = view_build_ns;
         report.timings.counterfactual_ns = counterfactual_ns;
         self.day += 1;
+        report.timings.snapshot_ns = self.snapshot_if_due()?;
         Ok(DayOutcome {
             report,
             comparisons,

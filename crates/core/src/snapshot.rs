@@ -1,0 +1,448 @@
+//! Durable steering state: snapshot and crash recovery.
+//!
+//! The paper's pipeline is a *daily offline* loop: all steering state lives
+//! between days, so the natural durability point is the day boundary. This
+//! module composes the per-crate state exports (`personalizer`, `sis`,
+//! `flighting`, the §8 monitor, the advisor's own span cache and explored
+//! set) into one [`SteeringSnapshot`] (`scope-state`'s versioned,
+//! checksummed on-disk format) and applies one back.
+//!
+//! The contract, proven by `tests/snapshot_recovery.rs`: a process killed
+//! at any day boundary and restored from its snapshot produces
+//! **byte-identical** remaining [`crate::DailyReport`]s and SIS hint files
+//! compared to the uninterrupted run. Restore is all-or-nothing — every
+//! failable step runs before any live state mutates, so a corrupt,
+//! truncated, or mismatched snapshot leaves the process exactly as it was
+//! and surfaces a typed [`SnapshotError`].
+
+use crate::pipeline::{PipelineError, QoAdvisor};
+use crate::simulation::ProductionSim;
+use crate::validation_model::ValidationModel;
+use personalizer::Personalizer;
+use rustc_hash::{FxHashMap, FxHashSet};
+use scope_state::{
+    ExploredState, FlightingState, LiteralsId, MetaState, SisState, SnapshotError, SpanCacheEntry,
+    SpanCacheState, SteeringSnapshot, ValidationState, WorkloadIdentity,
+};
+use scope_workload::{LiteralPolicy, WorkloadConfig};
+use std::path::{Path, PathBuf};
+
+/// When to write snapshots during [`ProductionSim::advance_day`]: after
+/// every `every`-th completed day, to `path` (atomically overwritten each
+/// time). `every = 1` snapshots at every day boundary — the crash-recovery
+/// regime of `tests/snapshot_recovery.rs` and the `QO_SNAPSHOT` probe knob.
+#[derive(Debug, Clone)]
+pub struct SnapshotPolicy {
+    pub path: PathBuf,
+    pub every: u32,
+}
+
+impl SnapshotPolicy {
+    /// Snapshot to `path` at every day boundary.
+    #[must_use]
+    pub fn every_day(path: impl Into<PathBuf>) -> Self {
+        Self {
+            path: path.into(),
+            every: 1,
+        }
+    }
+
+    /// Does a snapshot fire once `completed_days` days have finished?
+    #[must_use]
+    pub fn fires_after(&self, completed_days: u32) -> bool {
+        self.every > 0 && completed_days.is_multiple_of(self.every)
+    }
+}
+
+fn literals_id(policy: LiteralPolicy) -> LiteralsId {
+    match policy {
+        LiteralPolicy::FreshEachRun => LiteralsId::Fresh,
+        LiteralPolicy::Sticky { redraw_every_days } => LiteralsId::Sticky { redraw_every_days },
+        LiteralPolicy::Mixed { sticky_fraction } => LiteralsId::Mixed { sticky_fraction },
+    }
+}
+
+fn workload_identity(config: &WorkloadConfig) -> WorkloadIdentity {
+    WorkloadIdentity {
+        seed: config.seed,
+        num_templates: config.num_templates as u64,
+        adhoc_per_day: config.adhoc_per_day as u64,
+        max_instances_per_day: config.max_instances_per_day,
+        literals: literals_id(config.literals),
+    }
+}
+
+impl QoAdvisor {
+    /// Export the advisor's durable state as of completed day `day` (the
+    /// next day the loop will run). Advisor-only snapshots carry no
+    /// workload identity and no monitor section — [`ProductionSim`] adds
+    /// both on top of this.
+    #[must_use]
+    pub fn export_state(&self, day: u32) -> SteeringSnapshot {
+        let mut explored: Vec<_> = self.explored.iter().copied().collect();
+        explored.sort_unstable();
+        let mut entries: Vec<_> = self
+            .span_cache
+            .iter()
+            .map(|(&template, entry)| {
+                (
+                    template,
+                    entry.as_ref().map(|(result, default_cost)| SpanCacheEntry {
+                        result: result.clone(),
+                        default_cost: *default_cost,
+                    }),
+                )
+            })
+            .collect();
+        entries.sort_by_key(|(template, _)| *template);
+        SteeringSnapshot {
+            meta: MetaState {
+                day,
+                workload: None,
+            },
+            sis: SisState {
+                version: self.sis.version(),
+                hints: self.sis.snapshot().hints(),
+            },
+            personalizer: self.personalizer.export_state(),
+            flighting: FlightingState {
+                batch_salt: self.flighting.batch_salt(),
+            },
+            validation: self.validation.map(|m| ValidationState {
+                intercept: m.intercept,
+                w_read: m.w_read,
+                w_written: m.w_written,
+            }),
+            explored: ExploredState {
+                templates: explored,
+            },
+            monitor: None,
+            span_cache: Some(SpanCacheState { entries }),
+        }
+    }
+
+    /// Apply a decoded snapshot to this advisor. All-or-nothing: the two
+    /// failable restores (personalizer table shape, SIS hint validity) run
+    /// against scratch state first, so on error the advisor is untouched.
+    ///
+    /// The warm span-cache section is installed when present and simply
+    /// skipped when absent (it only changes cost, never outputs). The
+    /// compile / execution / feature caches are *not* part of snapshots at
+    /// all — they rebuild deterministically.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Mismatch`] when the snapshot's personalizer table
+    /// shape disagrees with this advisor's configuration or its SIS hints
+    /// fail validation.
+    pub fn import_state(&mut self, snap: &SteeringSnapshot) -> Result<(), SnapshotError> {
+        let scratch = Personalizer::new(self.config.cb.clone());
+        scratch
+            .restore_state(snap.personalizer.clone())
+            .map_err(|e| SnapshotError::Mismatch {
+                what: format!("personalizer: {e}"),
+            })?;
+        self.sis
+            .restore_state(snap.sis.version, snap.sis.hints.clone())
+            .map_err(|e| SnapshotError::Mismatch {
+                what: format!("sis: {e}"),
+            })?;
+        // Infallible from here on.
+        self.personalizer = scratch;
+        self.flighting.restore_batch_salt(snap.flighting.batch_salt);
+        self.validation = snap.validation.map(|v| ValidationModel {
+            intercept: v.intercept,
+            w_read: v.w_read,
+            w_written: v.w_written,
+        });
+        self.explored = snap
+            .explored
+            .templates
+            .iter()
+            .copied()
+            .collect::<FxHashSet<_>>();
+        if let Some(span_cache) = &snap.span_cache {
+            self.span_cache = span_cache
+                .entries
+                .iter()
+                .map(|(template, entry)| {
+                    (
+                        *template,
+                        entry.as_ref().map(|e| (e.result.clone(), e.default_cost)),
+                    )
+                })
+                .collect::<FxHashMap<_, _>>();
+        }
+        Ok(())
+    }
+
+    /// Write this advisor's snapshot (as of completed day `day`) to `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Io`] when the file cannot be written.
+    pub fn snapshot(&self, path: impl AsRef<Path>, day: u32) -> Result<(), SnapshotError> {
+        self.export_state(day).write_to(path)
+    }
+
+    /// Restore this advisor from a snapshot file, returning the day the
+    /// snapshot was taken at (the next day to run).
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapshotError`]: unreadable file, bad magic, unsupported
+    /// version, truncation, checksum mismatch, corruption, or a
+    /// configuration mismatch. On error the advisor is unchanged.
+    pub fn restore(&mut self, path: impl AsRef<Path>) -> Result<u32, SnapshotError> {
+        let snap = SteeringSnapshot::read_from(path)?;
+        self.import_state(&snap)?;
+        Ok(snap.meta.day)
+    }
+}
+
+impl ProductionSim {
+    /// Export the whole closed loop's durable state: the advisor's plus the
+    /// day counter, the workload identity, and the §8 monitor when enabled.
+    #[must_use]
+    pub fn export_state(&self) -> SteeringSnapshot {
+        let mut snap = self.advisor.export_state(self.day);
+        snap.meta.workload = Some(workload_identity(&self.workload.config));
+        snap.monitor = self.monitor.as_ref().map(|m| m.export_state());
+        snap
+    }
+
+    /// Apply a decoded snapshot to this simulation. Beyond
+    /// [`QoAdvisor::import_state`], the snapshot must have been taken from
+    /// a loop with the *same workload configuration* (the workload is a
+    /// pure function of configuration and day, so identity plus the day
+    /// counter is exactly "resume the same run") and the same monitor
+    /// setting. All-or-nothing like the advisor restore.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Mismatch`] on workload-identity or monitor-presence
+    /// disagreement, or any advisor-level mismatch. On error the simulation
+    /// is unchanged.
+    pub fn import_state(&mut self, snap: &SteeringSnapshot) -> Result<(), SnapshotError> {
+        let ours = workload_identity(&self.workload.config);
+        match snap.meta.workload {
+            Some(theirs) if theirs == ours => {}
+            Some(theirs) => {
+                return Err(SnapshotError::Mismatch {
+                    what: format!(
+                        "workload identity differs: snapshot {theirs:?}, process {ours:?}"
+                    ),
+                })
+            }
+            None => {
+                return Err(SnapshotError::Mismatch {
+                    what: "snapshot carries no workload identity (advisor-only snapshot \
+                           restored into a production simulation)"
+                        .to_string(),
+                })
+            }
+        }
+        match (&self.monitor, &snap.monitor) {
+            (Some(_), Some(_)) | (None, None) => {}
+            (Some(_), None) => {
+                return Err(SnapshotError::Mismatch {
+                    what: "monitoring enabled but snapshot has no monitor state".to_string(),
+                })
+            }
+            (None, Some(_)) => {
+                return Err(SnapshotError::Mismatch {
+                    what: "snapshot has monitor state but monitoring is disabled".to_string(),
+                })
+            }
+        }
+        self.advisor.import_state(snap)?;
+        if let (Some(monitor), Some(state)) = (&mut self.monitor, &snap.monitor) {
+            monitor.restore_state(state);
+        }
+        self.day = snap.meta.day;
+        Ok(())
+    }
+
+    /// Write the loop's snapshot to `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Io`] when the file cannot be written.
+    pub fn snapshot(&self, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
+        self.export_state().write_to(path)
+    }
+
+    /// Restore the loop from a snapshot file; the next
+    /// [`ProductionSim::advance_day`] continues from the snapshotted day.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapshotError`]; on error the simulation is unchanged.
+    pub fn restore(&mut self, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
+        let snap = SteeringSnapshot::read_from(path)?;
+        self.import_state(&snap)
+    }
+
+    /// Install (or clear) a snapshot policy:
+    /// [`ProductionSim::advance_day`] then writes a snapshot at matching
+    /// day boundaries and records the cost in
+    /// [`crate::StageTimings::snapshot_ns`].
+    pub fn set_snapshot_policy(&mut self, policy: Option<SnapshotPolicy>) {
+        self.snapshot_policy = policy;
+    }
+
+    /// Builder form of [`ProductionSim::set_snapshot_policy`].
+    #[must_use]
+    pub fn with_snapshot_policy(mut self, policy: SnapshotPolicy) -> Self {
+        self.snapshot_policy = Some(policy);
+        self
+    }
+
+    /// The installed snapshot policy, if any.
+    #[must_use]
+    pub fn snapshot_policy(&self) -> Option<&SnapshotPolicy> {
+        self.snapshot_policy.as_ref()
+    }
+
+    /// The day-boundary hook called by [`ProductionSim::advance_day`] after
+    /// the day counter advances. Returns the wall-clock nanoseconds spent
+    /// writing (zero when no snapshot fired).
+    pub(crate) fn snapshot_if_due(&self) -> Result<u64, PipelineError> {
+        let Some(policy) = &self.snapshot_policy else {
+            return Ok(0);
+        };
+        if !policy.fires_after(self.day) {
+            return Ok(0);
+        }
+        // qo-lint: allow(ambient-entropy) — snapshot-cost wall-clock telemetry
+        // only; timings are zeroed before every byte-identity comparison
+        let t = std::time::Instant::now();
+        self.snapshot(&policy.path)?;
+        Ok(t.elapsed().as_nanos() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PipelineConfig;
+    use crate::monitoring::MonitorConfig;
+    use scope_state::FORMAT_VERSION;
+
+    fn small_sim() -> ProductionSim {
+        ProductionSim::new(
+            WorkloadConfig {
+                seed: 41,
+                num_templates: 12,
+                adhoc_per_day: 3,
+                max_instances_per_day: 1,
+                ..WorkloadConfig::default()
+            },
+            PipelineConfig::default(),
+        )
+    }
+
+    #[test]
+    fn export_import_is_a_fixpoint() {
+        let mut sim = small_sim();
+        sim.bootstrap_validation_model(2, 8).unwrap();
+        sim.run(2).unwrap();
+        let snap = sim.export_state();
+        let mut fresh = small_sim();
+        fresh.import_state(&snap).unwrap();
+        assert_eq!(fresh.day, sim.day);
+        assert_eq!(fresh.export_state(), snap);
+    }
+
+    #[test]
+    fn restore_rejects_different_workload() {
+        let mut sim = small_sim();
+        sim.run(1).unwrap();
+        let snap = sim.export_state();
+        let mut other = ProductionSim::new(
+            WorkloadConfig {
+                seed: 42,
+                num_templates: 12,
+                adhoc_per_day: 3,
+                max_instances_per_day: 1,
+                ..WorkloadConfig::default()
+            },
+            PipelineConfig::default(),
+        );
+        let before = other.export_state();
+        let err = other.import_state(&snap).unwrap_err();
+        assert!(matches!(err, SnapshotError::Mismatch { .. }), "{err:?}");
+        assert_eq!(
+            other.export_state(),
+            before,
+            "failed restore mutates nothing"
+        );
+    }
+
+    #[test]
+    fn restore_rejects_monitor_presence_mismatch() {
+        let mut monitored = small_sim().with_monitoring(MonitorConfig::default());
+        monitored.run(1).unwrap();
+        let snap = monitored.export_state();
+        let mut plain = small_sim();
+        assert!(matches!(
+            plain.import_state(&snap).unwrap_err(),
+            SnapshotError::Mismatch { .. }
+        ));
+        // And the other direction.
+        let mut plain2 = small_sim();
+        plain2.run(1).unwrap();
+        let snap2 = plain2.export_state();
+        let mut monitored2 = small_sim().with_monitoring(MonitorConfig::default());
+        assert!(matches!(
+            monitored2.import_state(&snap2).unwrap_err(),
+            SnapshotError::Mismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn advisor_only_snapshot_rejected_by_sim_restore() {
+        let sim = small_sim();
+        let snap = sim.advisor.export_state(0);
+        assert!(snap.meta.workload.is_none());
+        let mut other = small_sim();
+        assert!(matches!(
+            other.import_state(&snap).unwrap_err(),
+            SnapshotError::Mismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn snapshot_file_round_trips_through_disk() {
+        let dir = std::env::temp_dir().join(format!(
+            "qo-snapshot-test-{}-{FORMAT_VERSION}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.qosnap");
+        let mut sim = small_sim();
+        sim.run(2).unwrap();
+        sim.snapshot(&path).unwrap();
+        let mut fresh = small_sim();
+        fresh.restore(&path).unwrap();
+        assert_eq!(fresh.export_state(), sim.export_state());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn policy_fires_on_multiples_only() {
+        let p = SnapshotPolicy {
+            path: PathBuf::from("x"),
+            every: 3,
+        };
+        assert!(!p.fires_after(1));
+        assert!(!p.fires_after(2));
+        assert!(p.fires_after(3));
+        assert!(p.fires_after(6));
+        let off = SnapshotPolicy {
+            path: PathBuf::from("x"),
+            every: 0,
+        };
+        assert!(!off.fires_after(3));
+    }
+}

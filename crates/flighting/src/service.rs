@@ -55,6 +55,20 @@ impl FlightingService {
         &self.budget
     }
 
+    /// The current batch salt — the service's only cross-day RNG position
+    /// (incremented once per [`FlightingService::flight_batch`]), exported
+    /// into snapshots so a restored process draws the same preflight and
+    /// flight noise the uninterrupted one would have.
+    #[must_use]
+    pub fn batch_salt(&self) -> u64 {
+        self.batch_salt
+    }
+
+    /// Restore the batch salt from a snapshot (`scope-state`).
+    pub fn restore_batch_salt(&mut self, batch_salt: u64) {
+        self.batch_salt = batch_salt;
+    }
+
     /// Probability-8% deterministic "inputs expired" failures and
     /// probability-7% unsupported job classes, drawn per (job, batch).
     fn preflight_outcome(&self, job_seed: u64) -> Option<FlightOutcome> {

@@ -85,6 +85,19 @@ impl ContextualBandit {
         &self.config
     }
 
+    /// Rebuild a bandit from snapshot parts (`scope-state` restore): the
+    /// live configuration plus a restored model and event counter. The
+    /// caller has already checked `model.dim_bits()` against
+    /// `config.dim_bits`.
+    #[must_use]
+    pub fn from_parts(config: CbConfig, model: LinearModel, events: u64) -> Self {
+        Self {
+            model,
+            config,
+            events,
+        }
+    }
+
     #[must_use]
     pub fn model(&self) -> &LinearModel {
         &self.model

@@ -21,6 +21,15 @@ impl FeatureVector {
         &self.items
     }
 
+    /// Rebuild a vector from raw `(hashed id, value)` items — the
+    /// snapshot-restore path (`scope-state`). Items are stored verbatim:
+    /// order and duplicates matter to the scoring paths, so no
+    /// normalization happens here.
+    #[must_use]
+    pub fn from_items(items: Vec<(u64, f64)>) -> Self {
+        Self { items }
+    }
+
     #[must_use]
     pub fn len(&self) -> usize {
         self.items.len()

@@ -30,5 +30,5 @@ pub use bandit::{CbConfig, ContextualBandit, RankDecision};
 pub use counterfactual::{ips_estimate, snips_estimate, LoggedOutcome};
 pub use features::FeatureVector;
 pub use model::LinearModel;
-pub use service::{Personalizer, RankRequest, RankResponse};
+pub use service::{PendingEventState, Personalizer, PersonalizerState, RankRequest, RankResponse};
 pub use slate::SparseSlate;

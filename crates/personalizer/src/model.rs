@@ -33,6 +33,34 @@ impl LinearModel {
         }
     }
 
+    /// The raw weight table (snapshot export; diagnostics).
+    #[must_use]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The hashed-table size exponent this model was built with.
+    #[must_use]
+    pub fn dim_bits(&self) -> u32 {
+        self.dim_bits
+    }
+
+    /// Rebuild a model from snapshot parts. Returns `None` (instead of
+    /// panicking like [`LinearModel::new`]) when `dim_bits` is out of range
+    /// or the weight table does not match `2^dim_bits` — restore paths must
+    /// fail typed, never panic.
+    #[must_use]
+    pub fn from_parts(dim_bits: u32, weights: Vec<f64>, updates: u64) -> Option<Self> {
+        if !(8..=26).contains(&dim_bits) || weights.len() != 1usize << dim_bits {
+            return None;
+        }
+        Some(Self {
+            weights,
+            dim_bits,
+            updates,
+        })
+    }
+
     #[inline]
     fn slot(&self, key: u64) -> usize {
         (key & ((1u64 << self.dim_bits) - 1)) as usize

@@ -6,6 +6,7 @@
 use crate::bandit::{CbConfig, ContextualBandit, RankDecision};
 use crate::counterfactual::LoggedOutcome;
 use crate::features::FeatureVector;
+use crate::model::LinearModel;
 use crate::slate::SparseSlate;
 use parking_lot::Mutex;
 use rustc_hash::FxHashMap;
@@ -33,6 +34,35 @@ struct PendingEvent {
     context: FeatureVector,
     action: FeatureVector,
     probability: f64,
+}
+
+/// One not-yet-rewarded rank decision, in snapshot form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PendingEventState {
+    pub event_id: u64,
+    pub context: FeatureVector,
+    pub action: FeatureVector,
+    pub probability: f64,
+}
+
+/// The full durable state of a [`Personalizer`], as exported for (and
+/// restored from) a `scope-state` snapshot. Everything the rank/reward
+/// loop's future behavior depends on is here: the model weight table and
+/// its counters, the event-id allocator, the pending decisions, and the
+/// counterfactual history. `pending` is sorted by event id so the export
+/// itself is deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PersonalizerState {
+    pub dim_bits: u32,
+    pub weights: Vec<f64>,
+    /// Model updates absorbed ([`crate::model::LinearModel::updates`]).
+    pub updates: u64,
+    /// Rewarded events absorbed ([`ContextualBandit::events`]).
+    pub events: u64,
+    /// Next event id the allocator will hand out.
+    pub next_event: u64,
+    pub pending: Vec<PendingEventState>,
+    pub history: Vec<LoggedOutcome>,
 }
 
 /// The decision service. Interior mutability lets rank/reward interleave
@@ -181,6 +211,79 @@ impl Personalizer {
     pub fn history(&self) -> Vec<LoggedOutcome> {
         self.inner.lock().history.clone()
     }
+
+    /// Export the full durable state for a snapshot. Deterministic: the
+    /// pending map is sorted by event id before leaving the lock.
+    #[must_use]
+    pub fn export_state(&self) -> PersonalizerState {
+        let inner = self.inner.lock();
+        let model = inner.bandit.model();
+        let mut pending: Vec<PendingEventState> = inner
+            .pending
+            // qo-lint: allow(unordered-iter) — collected and sorted by event id below
+            .iter()
+            .map(|(&event_id, ev)| PendingEventState {
+                event_id,
+                context: ev.context.clone(),
+                action: ev.action.clone(),
+                probability: ev.probability,
+            })
+            .collect();
+        pending.sort_by_key(|p| p.event_id);
+        PersonalizerState {
+            dim_bits: model.dim_bits(),
+            weights: model.weights().to_vec(),
+            updates: model.updates,
+            events: inner.bandit.events,
+            next_event: inner.next_event,
+            pending,
+            history: inner.history.clone(),
+        }
+    }
+
+    /// Replace the live state with a snapshot export. The bandit keeps its
+    /// construction-time [`CbConfig`]; the snapshot must have been taken
+    /// under the same hashed-table size, and a malformed weight table is an
+    /// error (restore never panics and never partially applies).
+    pub fn restore_state(&self, state: PersonalizerState) -> Result<(), String> {
+        let mut inner = self.inner.lock();
+        let config = inner.bandit.config().clone();
+        if config.dim_bits != state.dim_bits {
+            return Err(format!(
+                "snapshot bandit table uses dim_bits {} but this process is configured with {}",
+                state.dim_bits, config.dim_bits
+            ));
+        }
+        let Some(model) = LinearModel::from_parts(state.dim_bits, state.weights, state.updates)
+        else {
+            return Err(format!(
+                "snapshot weight table does not match 2^{} entries",
+                state.dim_bits
+            ));
+        };
+        let mut pending = FxHashMap::default();
+        // qo-lint: allow(unordered-iter) — snapshot Vec, sorted at export
+        for p in state.pending {
+            if pending
+                .insert(
+                    p.event_id,
+                    PendingEvent {
+                        context: p.context,
+                        action: p.action,
+                        probability: p.probability,
+                    },
+                )
+                .is_some()
+            {
+                return Err(format!("duplicate pending event id {}", p.event_id));
+            }
+        }
+        inner.bandit = ContextualBandit::from_parts(config, model, state.events);
+        inner.pending = pending;
+        inner.history = state.history;
+        inner.next_event = state.next_event;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -264,6 +367,58 @@ mod tests {
             }
         }
         assert_eq!(a.pending(), b.pending());
+    }
+
+    #[test]
+    fn exported_state_restores_into_an_identical_service() {
+        let svc = Personalizer::new(CbConfig::default());
+        for seed in 0..40 {
+            let resp = svc.rank(&request(seed, seed % 2 == 0));
+            if seed % 3 != 0 {
+                // Leave some events pending so the export carries them.
+                svc.reward(
+                    resp.event_id,
+                    if resp.decision.chosen == 1 { 1.0 } else { -0.5 },
+                );
+            }
+        }
+        let state = svc.export_state();
+        assert!(!state.pending.is_empty(), "some events must stay pending");
+        assert!(state.events > 0);
+
+        let fresh = Personalizer::new(CbConfig::default());
+        fresh.restore_state(state.clone()).unwrap();
+        assert_eq!(
+            fresh.export_state(),
+            state,
+            "export/restore/export fixpoint"
+        );
+        // Future decisions are bit-identical between original and restoree.
+        for seed in 100..120 {
+            let a = svc.rank(&request(seed, false));
+            let b = fresh.rank(&request(seed, false));
+            assert_eq!(a.event_id, b.event_id);
+            assert_eq!(a.decision, b.decision);
+            svc.reward(a.event_id, 0.25);
+            fresh.reward(b.event_id, 0.25);
+        }
+        assert_eq!(svc.export_state(), fresh.export_state());
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_table_sizes() {
+        let svc = Personalizer::new(CbConfig::default());
+        let mut state = svc.export_state();
+        state.weights.pop();
+        assert!(svc.restore_state(state).is_err(), "short weight table");
+        let other = Personalizer::new(CbConfig {
+            dim_bits: 12,
+            ..CbConfig::default()
+        });
+        assert!(
+            other.restore_state(svc.export_state()).is_err(),
+            "dim_bits mismatch between snapshot and live config"
+        );
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //! | QL02 | `ambient-entropy`| `thread_rng`, `from_entropy`, `SystemTime`, `Instant::now` in steering code — all RNG must flow from the named seed helpers in `scope_ir::ids` |
 //! | QL03 | `seed-salt`      | raw seed-salt integer literals outside `scope_ir::ids` (the centralized seed vocabulary) |
 //! | QL04 | `derived-memo-eq`| deriving `PartialEq`/`Eq`/`Hash`/`Serialize`/`Deserialize` on a struct carrying an atomic fingerprint memo (the memo must stay invisible to equality/serde) |
-//! | QL05 | `unwrap-expect`  | `.unwrap()`/`.expect(` in the staged pipeline, `ProductionSim`, and flighting paths — typed errors only |
+//! | QL05 | `unwrap-expect`  | `.unwrap()`/`.expect(` in the staged pipeline, `ProductionSim`, flighting, and snapshot/restore (`scope-state`) paths — typed errors only |
 //! | QL06 | `par-accumulate` | accumulation (`+=`, `.sum()`, `.reduce()`, `.fold()`, `.for_each()`) inside rayon regions — reduces go through the serial deterministic reduce helpers |
 //!
 //! QL00 (`allow-syntax`) reports malformed allow annotations themselves.
@@ -132,7 +132,10 @@ pub fn rule_by_key(key: &str) -> Option<&'static RuleInfo> {
 /// * QL03: `scope-ir/src/ids.rs` IS the seed vocabulary;
 /// * QL05: scoped *to* the five staged pipeline functions
 ///   (`core/src/stages.rs`), the pipeline driver (`core/src/pipeline.rs`),
-///   `ProductionSim` (`core/src/simulation.rs`), and the flighting crate.
+///   `ProductionSim` (`core/src/simulation.rs`), the snapshot/restore path
+///   (`core/src/snapshot.rs` and the whole `scope-state` crate — a corrupt
+///   snapshot must surface as a typed `SnapshotError`, never a panic), and
+///   the flighting crate.
 #[must_use]
 pub fn rule_applies(rule_id: &str, path: &str) -> bool {
     let in_scanned_tree = (path.starts_with("crates/") && path.contains("/src/"))
@@ -154,7 +157,9 @@ pub fn rule_applies(rule_id: &str, path: &str) -> bool {
                 "crates/core/src/stages.rs"
                     | "crates/core/src/pipeline.rs"
                     | "crates/core/src/simulation.rs"
+                    | "crates/core/src/snapshot.rs"
             ) || path.starts_with("crates/flighting/src/")
+                || path.starts_with("crates/scope-state/src/")
         }
         _ => true,
     }
@@ -650,6 +655,8 @@ let b = 2; // qo-lint: allow(seed-salt) — trailing covers its own line
         assert!(rule_applies("QL02", "crates/core/src/pipeline.rs"));
         assert!(!rule_applies("QL03", "crates/scope-ir/src/ids.rs"));
         assert!(rule_applies("QL05", "crates/flighting/src/service.rs"));
+        assert!(rule_applies("QL05", "crates/scope-state/src/frame.rs"));
+        assert!(rule_applies("QL05", "crates/core/src/snapshot.rs"));
         assert!(!rule_applies("QL05", "crates/personalizer/src/bandit.rs"));
         assert!(!rule_applies("QL01", "crates/core/tests/whatever.rs"));
     }

@@ -80,6 +80,18 @@ impl RuleBits {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 
+    /// The raw bit words (snapshot serialization; `scope-state`).
+    #[must_use]
+    pub fn words(&self) -> [u64; RULE_COUNT / 64] {
+        self.words
+    }
+
+    /// Rebuild from raw bit words ([`RuleBits::words`] round-trip).
+    #[must_use]
+    pub fn from_words(words: [u64; RULE_COUNT / 64]) -> Self {
+        Self { words }
+    }
+
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.words.iter().all(|&w| w == 0)

@@ -58,6 +58,20 @@ impl HintSet {
         self.by_template.is_empty()
     }
 
+    /// The installed hints as a list sorted by template id — the canonical
+    /// export order for snapshots and diffs (the backing map is unordered).
+    #[must_use]
+    pub fn hints(&self) -> Vec<Hint> {
+        let mut hints: Vec<Hint> = self
+            .by_template
+            // qo-lint: allow(unordered-iter) — collected and sorted by template below
+            .iter()
+            .map(|(&template, &flip)| Hint { template, flip })
+            .collect();
+        hints.sort_by_key(|h| h.template);
+        hints
+    }
+
     /// The effective configuration for a job: default plus the matching
     /// hint's flip, if any.
     #[must_use]
@@ -66,19 +80,6 @@ impl HintSet {
             Some(flip) => default.with_flip(flip),
             None => *default,
         }
-    }
-
-    /// Iterate over all hints (ordered by template id for determinism).
-    #[must_use]
-    pub fn hints(&self) -> Vec<Hint> {
-        let mut v: Vec<Hint> = self
-            .by_template
-            // qo-lint: allow(unordered-iter) — collected then sorted by template id below
-            .iter()
-            .map(|(&template, &flip)| Hint { template, flip })
-            .collect();
-        v.sort_by_key(|h| h.template);
-        v
     }
 }
 

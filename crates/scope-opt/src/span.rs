@@ -16,7 +16,7 @@ use crate::search::{CompileError, Compiler};
 use scope_ir::logical::LogicalPlan;
 
 /// Result of the span fixpoint.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpanResult {
     /// Flippable rules that can affect this job's plan.
     pub span: RuleBits,

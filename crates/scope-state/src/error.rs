@@ -1,0 +1,56 @@
+//! The typed failure modes of snapshot restore.
+
+use std::fmt;
+
+/// Why a snapshot could not be written or restored. Restore never panics
+/// and never partially applies: decoding the whole snapshot happens before
+/// any live state is touched, so every variant leaves the process exactly
+/// as it was.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// Filesystem trouble reading or writing the snapshot file.
+    Io(String),
+    /// The file does not start with the snapshot magic — not a snapshot.
+    BadMagic,
+    /// The format version is one this build cannot read.
+    UnsupportedVersion { found: u32, supported: u32 },
+    /// The byte stream ended inside the named structure.
+    Truncated { what: &'static str },
+    /// A section's payload does not match its stored checksum.
+    ChecksumMismatch { section: u16 },
+    /// Structurally invalid content (bad enum tag, trailing bytes,
+    /// duplicate or missing section, out-of-range field).
+    Corrupt { what: String },
+    /// The snapshot was taken under a different configuration than the
+    /// process restoring it (workload identity, bandit table size, …).
+    Mismatch { what: String },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(m) => write!(f, "snapshot io error: {m}"),
+            SnapshotError::BadMagic => write!(f, "not a snapshot file (bad magic)"),
+            SnapshotError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "snapshot format version {found} unsupported (this build reads {supported})"
+            ),
+            SnapshotError::Truncated { what } => write!(f, "snapshot truncated inside {what}"),
+            SnapshotError::ChecksumMismatch { section } => {
+                write!(f, "checksum mismatch in snapshot section {section}")
+            }
+            SnapshotError::Corrupt { what } => write!(f, "corrupt snapshot: {what}"),
+            SnapshotError::Mismatch { what } => {
+                write!(f, "snapshot/configuration mismatch: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e.to_string())
+    }
+}

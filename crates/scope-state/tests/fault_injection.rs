@@ -1,0 +1,235 @@
+//! Fault injection against the on-disk snapshot format: every corruption —
+//! truncation at any byte (section boundaries included), a flipped checksum
+//! or payload byte, a bumped format version, mangled magic, a dropped
+//! authoritative section, a bad enum tag — must surface as the matching
+//! typed [`SnapshotError`] variant. Never a panic, never an `Ok` over
+//! corrupt bytes, never a silent partial load.
+
+mod common;
+
+use common::sample_snapshot;
+use scope_state::frame::section;
+use scope_state::{
+    FrameReader, FrameWriter, SnapshotError, SteeringSnapshot, FORMAT_VERSION, MAGIC,
+};
+use std::ops::Range;
+
+/// Byte range of each section (header through checksum) by walking the
+/// container layout: magic (8) | version (4) | count (4) | sections.
+fn section_spans(bytes: &[u8]) -> Vec<(u16, Range<usize>)> {
+    let count = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+    let mut spans = Vec::new();
+    let mut off = 16;
+    for _ in 0..count {
+        let id = u16::from_le_bytes(bytes[off..off + 2].try_into().unwrap());
+        let len = u64::from_le_bytes(bytes[off + 4..off + 12].try_into().unwrap()) as usize;
+        let end = off + 12 + len + 8; // header + payload + checksum
+        spans.push((id, off..end));
+        off = end;
+    }
+    assert_eq!(off, bytes.len(), "walker disagrees with the writer");
+    spans
+}
+
+#[test]
+fn truncation_at_every_byte_is_a_typed_error() {
+    let bytes = sample_snapshot().to_bytes();
+    for cut in 0..bytes.len() {
+        let err = SteeringSnapshot::from_bytes(&bytes[..cut])
+            .expect_err("a proper prefix must never decode");
+        assert!(
+            matches!(
+                err,
+                SnapshotError::Truncated { .. } | SnapshotError::ChecksumMismatch { .. }
+            ),
+            "cut at byte {cut}/{}: unexpected {err:?}",
+            bytes.len()
+        );
+    }
+}
+
+#[test]
+fn truncation_at_each_section_boundary_names_the_header() {
+    let bytes = sample_snapshot().to_bytes();
+    // Cutting exactly where a promised section should begin fails while
+    // reading that section's header.
+    for (id, span) in section_spans(&bytes) {
+        assert_eq!(
+            SteeringSnapshot::from_bytes(&bytes[..span.start]).unwrap_err(),
+            SnapshotError::Truncated {
+                what: "section header"
+            },
+            "cut before section {id}"
+        );
+    }
+}
+
+#[test]
+fn flipping_any_checksum_byte_blames_that_section() {
+    let bytes = sample_snapshot().to_bytes();
+    for (id, span) in section_spans(&bytes) {
+        for checksum_byte in span.end - 8..span.end {
+            let mut bad = bytes.clone();
+            bad[checksum_byte] ^= 0x01;
+            assert_eq!(
+                SteeringSnapshot::from_bytes(&bad).unwrap_err(),
+                SnapshotError::ChecksumMismatch { section: id },
+                "flipped checksum byte {checksum_byte} of section {id}"
+            );
+        }
+    }
+}
+
+#[test]
+fn flipping_any_payload_byte_is_caught_by_the_checksum() {
+    let bytes = sample_snapshot().to_bytes();
+    for (id, span) in section_spans(&bytes) {
+        let payload = span.start + 12..span.end - 8;
+        // Every payload byte, so no field of any component codec escapes
+        // checksum coverage.
+        for byte in payload {
+            let mut bad = bytes.clone();
+            bad[byte] ^= 0xFF;
+            assert_eq!(
+                SteeringSnapshot::from_bytes(&bad).unwrap_err(),
+                SnapshotError::ChecksumMismatch { section: id },
+                "flipped payload byte {byte} of section {id}"
+            );
+        }
+    }
+}
+
+#[test]
+fn bumped_format_version_is_unsupported() {
+    let mut bytes = sample_snapshot().to_bytes();
+    bytes[8..12].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+    assert_eq!(
+        SteeringSnapshot::from_bytes(&bytes).unwrap_err(),
+        SnapshotError::UnsupportedVersion {
+            found: FORMAT_VERSION + 1,
+            supported: FORMAT_VERSION
+        }
+    );
+}
+
+#[test]
+fn mangled_magic_is_bad_magic() {
+    let bytes = sample_snapshot().to_bytes();
+    for byte in 0..MAGIC.len() {
+        let mut bad = bytes.clone();
+        bad[byte] ^= 0x20;
+        assert_eq!(
+            SteeringSnapshot::from_bytes(&bad).unwrap_err(),
+            SnapshotError::BadMagic,
+            "magic byte {byte}"
+        );
+    }
+}
+
+/// The `\r\n` tail of the magic is a text-mode canary (the PNG trick): a
+/// snapshot that went through CRLF→LF newline translation must fail at the
+/// magic check instead of decoding shifted garbage.
+#[test]
+fn newline_translated_snapshot_fails_the_magic_canary() {
+    let bytes = sample_snapshot().to_bytes();
+    let mut translated = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'\r' && bytes.get(i + 1) == Some(&b'\n') {
+            translated.push(b'\n');
+            i += 2;
+        } else {
+            translated.push(bytes[i]);
+            i += 1;
+        }
+    }
+    assert_ne!(translated, bytes, "the magic alone guarantees one CRLF");
+    assert_eq!(
+        SteeringSnapshot::from_bytes(&translated).unwrap_err(),
+        SnapshotError::BadMagic
+    );
+}
+
+#[test]
+fn dropping_any_authoritative_section_is_corrupt() {
+    let snap = sample_snapshot();
+    let bytes = snap.to_bytes();
+    let parsed = FrameReader::from_bytes(&bytes).unwrap();
+    for dropped in [
+        section::META,
+        section::SIS,
+        section::PERSONALIZER,
+        section::FLIGHTING,
+        section::EXPLORED,
+    ] {
+        let mut w = FrameWriter::new();
+        for s in parsed.sections().iter().filter(|s| s.id != dropped) {
+            if s.is_warm() {
+                w.push_warm(s.id, s.payload.clone());
+            } else {
+                w.push(s.id, s.payload.clone());
+            }
+        }
+        let err = SteeringSnapshot::from_bytes(&w.to_bytes()).unwrap_err();
+        assert!(
+            matches!(err, SnapshotError::Corrupt { .. }),
+            "dropped section {dropped}: unexpected {err:?}"
+        );
+    }
+    // Dropping the *warm* span cache is not an error: the cache is
+    // deterministically rebuildable, so the snapshot restores without it.
+    let mut w = FrameWriter::new();
+    for s in parsed
+        .sections()
+        .iter()
+        .filter(|s| s.id != section::SPAN_CACHE)
+    {
+        w.push(s.id, s.payload.clone());
+    }
+    let decoded = SteeringSnapshot::from_bytes(&w.to_bytes()).unwrap();
+    assert_eq!(decoded.span_cache, None);
+    assert_eq!(decoded.sis, snap.sis);
+}
+
+#[test]
+fn bad_enum_tag_inside_a_section_is_corrupt() {
+    // Hand-craft a meta payload with an unknown literal-policy tag; the
+    // frame is intact (checksum recomputed by the writer), so the error
+    // comes from the component codec, typed — not a panic.
+    let snap = sample_snapshot();
+    let parsed = FrameReader::from_bytes(&snap.to_bytes()).unwrap();
+    let mut meta = Vec::new();
+    meta.extend_from_slice(&7u32.to_le_bytes()); // day
+    meta.push(1); // workload present
+    meta.extend_from_slice(&99u64.to_le_bytes()); // seed
+    meta.extend_from_slice(&24u64.to_le_bytes()); // num_templates
+    meta.extend_from_slice(&3u64.to_le_bytes()); // adhoc_per_day
+    meta.extend_from_slice(&1u32.to_le_bytes()); // max_instances_per_day
+    meta.push(99); // unknown literal-policy tag
+    let mut w = FrameWriter::new();
+    w.push(section::META, meta);
+    for s in parsed.sections().iter().filter(|s| s.id != section::META) {
+        if s.is_warm() {
+            w.push_warm(s.id, s.payload.clone());
+        } else {
+            w.push(s.id, s.payload.clone());
+        }
+    }
+    let err = SteeringSnapshot::from_bytes(&w.to_bytes()).unwrap_err();
+    assert!(
+        matches!(&err, SnapshotError::Corrupt { what } if what.contains("literal-policy tag")),
+        "unexpected {err:?}"
+    );
+}
+
+#[test]
+fn missing_file_is_a_typed_io_error() {
+    let path = std::env::temp_dir().join(format!(
+        "qo-snapshot-does-not-exist-{}.qosnap",
+        std::process::id()
+    ));
+    let err = SteeringSnapshot::read_from(&path).unwrap_err();
+    assert!(matches!(err, SnapshotError::Io(_)), "unexpected {err:?}");
+    let err = FrameReader::read_from(&path).unwrap_err();
+    assert!(matches!(err, SnapshotError::Io(_)), "unexpected {err:?}");
+}

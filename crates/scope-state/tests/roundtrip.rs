@@ -1,0 +1,356 @@
+//! Property round-trips for every component codec: arbitrary component
+//! state spliced into a full snapshot must survive `to_bytes` →
+//! `from_bytes` exactly. Floats are compared with `PartialEq` here (the
+//! strategies draw finite values); bit-exactness for the funny values
+//! (NaN, ±0, infinities) is pinned by a dedicated test at the bottom.
+
+mod common;
+
+use common::sample_snapshot;
+use personalizer::{FeatureVector, LoggedOutcome, PendingEventState, PersonalizerState};
+use proptest::prelude::*;
+use scope_ir::TemplateId;
+use scope_opt::{Hint, RuleBits, RuleFlip, RuleId, SpanResult, RULE_COUNT};
+use scope_state::{
+    ExploredState, FlightingState, LiteralsId, MetaState, MonitorState, MonitorTemplateState,
+    SisState, SpanCacheEntry, SpanCacheState, SteeringSnapshot, ValidationState, WorkloadIdentity,
+};
+
+// ---------------------------------------------------------------------------
+// Strategies.
+
+fn finite_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![Just(0.0), Just(1.0), Just(-1.5), -1.0e12..1.0e12, -1.0..1.0]
+}
+
+fn option_of<T: Clone + std::fmt::Debug + 'static>(
+    s: impl Strategy<Value = T> + 'static,
+) -> impl Strategy<Value = Option<T>> {
+    prop_oneof![Just(None), s.prop_map(Some)]
+}
+
+fn literals_id() -> impl Strategy<Value = LiteralsId> {
+    prop_oneof![
+        Just(LiteralsId::Fresh),
+        (0u32..365).prop_map(|redraw_every_days| LiteralsId::Sticky { redraw_every_days }),
+        (0.0..1.0).prop_map(|sticky_fraction| LiteralsId::Mixed { sticky_fraction }),
+    ]
+}
+
+fn workload_identity() -> impl Strategy<Value = WorkloadIdentity> {
+    (
+        any::<u64>(),
+        0u64..10_000,
+        0u64..10_000,
+        0u32..10_000,
+        literals_id(),
+    )
+        .prop_map(
+            |(seed, num_templates, adhoc_per_day, max_instances_per_day, literals)| {
+                WorkloadIdentity {
+                    seed,
+                    num_templates,
+                    adhoc_per_day,
+                    max_instances_per_day,
+                    literals,
+                }
+            },
+        )
+}
+
+fn meta_state() -> impl Strategy<Value = MetaState> {
+    (0u32..100_000, option_of(workload_identity()))
+        .prop_map(|(day, workload)| MetaState { day, workload })
+}
+
+fn hint() -> impl Strategy<Value = Hint> {
+    (any::<u64>(), 0u16..RULE_COUNT as u16, any::<bool>()).prop_map(|(template, rule, enable)| {
+        Hint {
+            template: TemplateId(template),
+            flip: RuleFlip {
+                rule: RuleId(rule),
+                enable,
+            },
+        }
+    })
+}
+
+fn sis_state() -> impl Strategy<Value = SisState> {
+    (0u32..1_000_000, prop::collection::vec(hint(), 0..8))
+        .prop_map(|(version, hints)| SisState { version, hints })
+}
+
+fn feature_vector() -> impl Strategy<Value = FeatureVector> {
+    prop::collection::vec((any::<u64>(), finite_f64()), 0..6).prop_map(FeatureVector::from_items)
+}
+
+fn pending_event() -> impl Strategy<Value = PendingEventState> {
+    (any::<u64>(), feature_vector(), feature_vector(), 0.0..1.0).prop_map(
+        |(event_id, context, action, probability)| PendingEventState {
+            event_id,
+            context,
+            action,
+            probability,
+        },
+    )
+}
+
+fn logged_outcome() -> impl Strategy<Value = LoggedOutcome> {
+    (any::<bool>(), 0.0..1.0, finite_f64()).prop_map(
+        |(target_agrees, logged_probability, reward)| LoggedOutcome {
+            target_agrees,
+            logged_probability,
+            reward,
+        },
+    )
+}
+
+fn personalizer_state() -> impl Strategy<Value = PersonalizerState> {
+    (
+        (0u32..10, prop::collection::vec(finite_f64(), 0..64)),
+        (any::<u64>(), any::<u64>(), any::<u64>()),
+        prop::collection::vec(pending_event(), 0..4),
+        prop::collection::vec(logged_outcome(), 0..4),
+    )
+        .prop_map(
+            |((dim_bits, weights), (updates, events, next_event), pending, history)| {
+                PersonalizerState {
+                    dim_bits,
+                    weights,
+                    updates,
+                    events,
+                    next_event,
+                    pending,
+                    history,
+                }
+            },
+        )
+}
+
+fn validation_state() -> impl Strategy<Value = ValidationState> {
+    (finite_f64(), finite_f64(), finite_f64()).prop_map(|(intercept, w_read, w_written)| {
+        ValidationState {
+            intercept,
+            w_read,
+            w_written,
+        }
+    })
+}
+
+fn explored_state() -> impl Strategy<Value = ExploredState> {
+    prop::collection::vec(any::<u64>(), 0..16).prop_map(|ids| ExploredState {
+        templates: ids.into_iter().map(TemplateId).collect(),
+    })
+}
+
+fn monitor_template() -> impl Strategy<Value = MonitorTemplateState> {
+    (any::<u64>(), finite_f64(), 0u32..1000, 0u32..10).prop_map(
+        |(template, baseline_pn, observations, consecutive_regressions)| MonitorTemplateState {
+            template: TemplateId(template),
+            baseline_pn,
+            observations,
+            consecutive_regressions,
+        },
+    )
+}
+
+fn monitor_state() -> impl Strategy<Value = MonitorState> {
+    (
+        prop::collection::vec(monitor_template(), 0..8),
+        prop::collection::vec(any::<u64>(), 0..8),
+    )
+        .prop_map(|(templates, reverted)| MonitorState {
+            templates,
+            reverted: reverted.into_iter().map(TemplateId).collect(),
+        })
+}
+
+fn rule_bits() -> impl Strategy<Value = RuleBits> {
+    prop::collection::vec(any::<u64>(), (RULE_COUNT / 64)..(RULE_COUNT / 64 + 1)).prop_map(
+        |words| {
+            let words: [u64; RULE_COUNT / 64] = words.try_into().expect("exact word count");
+            RuleBits::from_words(words)
+        },
+    )
+}
+
+fn span_cache_entry() -> impl Strategy<Value = SpanCacheEntry> {
+    (
+        rule_bits(),
+        rule_bits(),
+        0u64..100,
+        any::<bool>(),
+        finite_f64(),
+    )
+        .prop_map(
+            |(span, default_signature, iterations, stopped_on_failure, default_cost)| {
+                SpanCacheEntry {
+                    result: SpanResult {
+                        span,
+                        default_signature,
+                        iterations: iterations as usize,
+                        stopped_on_failure,
+                    },
+                    default_cost,
+                }
+            },
+        )
+}
+
+fn span_cache_state() -> impl Strategy<Value = SpanCacheState> {
+    prop::collection::vec((any::<u64>(), option_of(span_cache_entry())), 0..6).prop_map(|entries| {
+        SpanCacheState {
+            entries: entries
+                .into_iter()
+                .map(|(t, e)| (TemplateId(t), e))
+                .collect(),
+        }
+    })
+}
+
+fn snapshot() -> impl Strategy<Value = SteeringSnapshot> {
+    (
+        (meta_state(), sis_state(), personalizer_state()),
+        (
+            any::<u64>(),
+            option_of(validation_state()),
+            explored_state(),
+        ),
+        (option_of(monitor_state()), option_of(span_cache_state())),
+    )
+        .prop_map(
+            |(
+                (meta, sis, personalizer),
+                (batch_salt, validation, explored),
+                (monitor, span_cache),
+            )| SteeringSnapshot {
+                meta,
+                sis,
+                personalizer,
+                flighting: FlightingState { batch_salt },
+                validation,
+                explored,
+                monitor,
+                span_cache,
+            },
+        )
+}
+
+// ---------------------------------------------------------------------------
+// One property per component codec: splice arbitrary state into the fixed
+// fixture, round-trip the whole snapshot, require exact equality.
+
+fn round_trips(snap: &SteeringSnapshot) -> Result<(), String> {
+    let decoded = SteeringSnapshot::from_bytes(&snap.to_bytes())
+        .map_err(|e| format!("decode failed: {e}"))?;
+    if &decoded != snap {
+        return Err(format!(
+            "round-trip drift:\n got {decoded:?}\nwant {snap:?}"
+        ));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn meta_codec_round_trips(meta in meta_state()) {
+        let mut snap = sample_snapshot();
+        snap.meta = meta;
+        prop_assert_eq!(round_trips(&snap), Ok(()));
+    }
+
+    #[test]
+    fn sis_codec_round_trips(sis in sis_state()) {
+        let mut snap = sample_snapshot();
+        snap.sis = sis;
+        prop_assert_eq!(round_trips(&snap), Ok(()));
+    }
+
+    #[test]
+    fn personalizer_codec_round_trips(state in personalizer_state()) {
+        let mut snap = sample_snapshot();
+        snap.personalizer = state;
+        prop_assert_eq!(round_trips(&snap), Ok(()));
+    }
+
+    #[test]
+    fn flighting_codec_round_trips(batch_salt in any::<u64>()) {
+        let mut snap = sample_snapshot();
+        snap.flighting = FlightingState { batch_salt };
+        prop_assert_eq!(round_trips(&snap), Ok(()));
+    }
+
+    #[test]
+    fn validation_codec_round_trips(validation in option_of(validation_state())) {
+        let mut snap = sample_snapshot();
+        snap.validation = validation;
+        prop_assert_eq!(round_trips(&snap), Ok(()));
+    }
+
+    #[test]
+    fn explored_codec_round_trips(explored in explored_state()) {
+        let mut snap = sample_snapshot();
+        snap.explored = explored;
+        prop_assert_eq!(round_trips(&snap), Ok(()));
+    }
+
+    #[test]
+    fn monitor_codec_round_trips(monitor in option_of(monitor_state())) {
+        let mut snap = sample_snapshot();
+        snap.monitor = monitor;
+        prop_assert_eq!(round_trips(&snap), Ok(()));
+    }
+
+    #[test]
+    fn span_cache_codec_round_trips(span_cache in option_of(span_cache_state())) {
+        let mut snap = sample_snapshot();
+        snap.span_cache = span_cache;
+        prop_assert_eq!(round_trips(&snap), Ok(()));
+    }
+
+    #[test]
+    fn whole_snapshot_round_trips(snap in snapshot()) {
+        prop_assert_eq!(round_trips(&snap), Ok(()));
+    }
+
+    // Serialization is a pure function of the snapshot: encoding twice
+    // yields identical bytes (the golden-fixture test depends on this).
+    #[test]
+    fn encoding_is_deterministic(snap in snapshot()) {
+        prop_assert_eq!(snap.to_bytes(), snap.to_bytes());
+    }
+}
+
+/// `f64` fields travel as IEEE-754 bit patterns, so the values `PartialEq`
+/// cannot vouch for (NaN) or distinguish (±0) still round-trip bit-exactly.
+#[test]
+fn nan_negative_zero_and_infinities_round_trip_bit_exactly() {
+    let mut snap = sample_snapshot();
+    snap.validation = Some(ValidationState {
+        intercept: f64::NAN,
+        w_read: -0.0,
+        w_written: f64::NEG_INFINITY,
+    });
+    snap.personalizer.weights = vec![f64::INFINITY, f64::MIN_POSITIVE, -0.0];
+    let decoded = SteeringSnapshot::from_bytes(&snap.to_bytes()).unwrap();
+    let v = decoded.validation.unwrap();
+    assert_eq!(v.intercept.to_bits(), f64::NAN.to_bits());
+    assert_eq!(v.w_read.to_bits(), (-0.0f64).to_bits());
+    assert_eq!(v.w_written.to_bits(), f64::NEG_INFINITY.to_bits());
+    let bits: Vec<u64> = decoded
+        .personalizer
+        .weights
+        .iter()
+        .map(|w| w.to_bits())
+        .collect();
+    assert_eq!(
+        bits,
+        vec![
+            f64::INFINITY.to_bits(),
+            f64::MIN_POSITIVE.to_bits(),
+            (-0.0f64).to_bits()
+        ]
+    );
+}

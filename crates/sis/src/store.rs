@@ -174,6 +174,26 @@ impl SisStore {
         Ok(Some(version))
     }
 
+    /// Install snapshot-restored state directly: set the live version and
+    /// hints without writing a hint file (the files from before the
+    /// snapshot are already on disk) and without the monotonic-version
+    /// check (a fresh store restores from version 0 to wherever the
+    /// snapshot was). Validation still applies — a corrupt snapshot must
+    /// not install. Future [`SisStore::publish`]es continue the version
+    /// sequence from the restored point.
+    pub fn restore_state(&self, version: u32, hints: Vec<Hint>) -> Result<(), SisError> {
+        let file = HintFile {
+            version,
+            source_day: 0,
+            hints,
+        };
+        Self::validate(&file)?;
+        let mut state = self.state.write();
+        state.version = version;
+        state.hints = HintSet::from_hints(file.hints);
+        Ok(())
+    }
+
     /// Current installed version (0 = nothing installed).
     pub fn version(&self) -> u32 {
         self.state.read().version
