@@ -207,6 +207,23 @@ impl Default for MonitorConfig {
     }
 }
 
+impl MonitorConfig {
+    /// Stable fingerprint of the monitor's knobs — every field changes
+    /// revert decisions, so all of them are part of the snapshot identity
+    /// checked by `ProductionSim::import_state`.
+    pub(crate) fn fingerprint(&self) -> u64 {
+        let mut bytes = Vec::with_capacity(24);
+        for knob in [
+            self.regression_margin.to_bits(),
+            u64::from(self.revert_after),
+            self.baseline_alpha.to_bits(),
+        ] {
+            bytes.extend_from_slice(&knob.to_le_bytes());
+        }
+        scope_ir::ids::stable_hash64(&bytes)
+    }
+}
+
 #[derive(Debug, Clone, Copy, Default)]
 struct TemplateState {
     /// EMA of unhinted per-instance PNhours.
@@ -275,9 +292,15 @@ impl RegressionMonitor {
         reverts
     }
 
+    /// The snapshot-identity fingerprint of this monitor's configuration.
+    pub(crate) fn config_fingerprint(&self) -> u64 {
+        self.config.fingerprint()
+    }
+
     /// Export the monitor's durable state (snapshot path; `scope-state`).
-    /// The config is construction-time and not exported — a restored
-    /// process supplies its own.
+    /// The config itself is construction-time and not exported — only its
+    /// fingerprint travels, so a restore under different monitor tuning is
+    /// a typed mismatch instead of a silent divergence.
     #[must_use]
     pub fn export_state(&self) -> scope_state::MonitorState {
         let mut templates: Vec<scope_state::MonitorTemplateState> = self
@@ -293,6 +316,7 @@ impl RegressionMonitor {
             .collect();
         templates.sort_by_key(|t| t.template);
         scope_state::MonitorState {
+            config_fingerprint: self.config.fingerprint(),
             templates,
             reverted: self.reverted.clone(),
         }

@@ -15,11 +15,13 @@
 //! truncated, or mismatched snapshot leaves the process exactly as it was
 //! and surfaces a typed [`SnapshotError`].
 
+use crate::config::{PipelineConfig, RecommendStrategy};
 use crate::pipeline::{PipelineError, QoAdvisor};
 use crate::simulation::ProductionSim;
 use crate::validation_model::ValidationModel;
 use personalizer::Personalizer;
 use rustc_hash::{FxHashMap, FxHashSet};
+use scope_ir::ids::stable_hash64;
 use scope_state::{
     ExploredState, FlightingState, LiteralsId, MetaState, SisState, SnapshotError, SpanCacheEntry,
     SpanCacheState, SteeringSnapshot, ValidationState, WorkloadIdentity,
@@ -62,6 +64,45 @@ fn literals_id(policy: LiteralPolicy) -> LiteralsId {
     }
 }
 
+/// Stable fingerprint of every *output-affecting* pipeline knob, carried in
+/// the snapshot's META section and checked on restore: a snapshot resumed
+/// under different tuning (bandit hyper-parameters, flight budget,
+/// validation threshold, …) would silently diverge from the uninterrupted
+/// run, so a disagreement is a typed [`SnapshotError::Mismatch`].
+///
+/// Throughput-only knobs are deliberately **excluded** — `parallelism`, the
+/// compile/exec/feature caches, delta compilation, and the bandit's
+/// `batch_rank` scoring path never change steering outputs
+/// (`tests/determinism.rs` proves it), so a snapshot legally restores
+/// across them (`tests/snapshot_recovery.rs` exercises exactly that cross).
+fn pipeline_fingerprint(config: &PipelineConfig) -> u64 {
+    let mut bytes = Vec::with_capacity(128);
+    bytes.push(match config.strategy {
+        RecommendStrategy::ContextualBandit => 0u8,
+        RecommendStrategy::UniformRandom => 1,
+    });
+    for knob in [
+        config.cb.epsilon.to_bits(),
+        config.cb.learning_rate.to_bits(),
+        u64::from(config.cb.dim_bits),
+        config.cb.max_importance.to_bits(),
+        config.flight_budget.max_job_seconds.to_bits(),
+        config.flight_budget.total_seconds.to_bits(),
+        config.flight_budget.queue_size as u64,
+        config.validation_threshold.to_bits(),
+        config.reward_clip.to_bits(),
+        config.span_max_iterations as u64,
+        u64::from(config.est_cost_gate),
+        config.max_flights_per_day as u64,
+        config.max_span_for_triples as u64,
+        u64::from(config.skip_explored),
+        u64::from(config.span_features),
+    ] {
+        bytes.extend_from_slice(&knob.to_le_bytes());
+    }
+    stable_hash64(&bytes)
+}
+
 fn workload_identity(config: &WorkloadConfig) -> WorkloadIdentity {
     WorkloadIdentity {
         seed: config.seed,
@@ -98,6 +139,7 @@ impl QoAdvisor {
         SteeringSnapshot {
             meta: MetaState {
                 day,
+                config_fingerprint: pipeline_fingerprint(&self.config),
                 workload: None,
             },
             sis: SisState {
@@ -121,21 +163,40 @@ impl QoAdvisor {
         }
     }
 
-    /// Apply a decoded snapshot to this advisor. All-or-nothing: the two
-    /// failable restores (personalizer table shape, SIS hint validity) run
-    /// against scratch state first, so on error the advisor is untouched.
+    /// Apply a decoded snapshot to this advisor — the restart path, so the
+    /// target is a freshly constructed process image (in particular the SIS
+    /// store must be pristine: restoring into a store that has already
+    /// published would rewind its monotonic version sequence). All fallible
+    /// checks run before any live state mutates, so on error the advisor is
+    /// untouched.
     ///
-    /// The warm span-cache section is installed when present and simply
-    /// skipped when absent (it only changes cost, never outputs). The
-    /// compile / execution / feature caches are *not* part of snapshots at
-    /// all — they rebuild deterministically.
+    /// The warm span-cache section is installed when present and **cleared**
+    /// when absent: a dropped warm section resets, rather than retains,
+    /// whatever this advisor had cached, so stale entries keyed by another
+    /// run's `TemplateId`s can never leak into a restored process. Either
+    /// way only cost changes, never outputs. The compile / execution /
+    /// feature caches are *not* part of snapshots at all — they rebuild
+    /// deterministically.
     ///
     /// # Errors
     ///
-    /// [`SnapshotError::Mismatch`] when the snapshot's personalizer table
-    /// shape disagrees with this advisor's configuration or its SIS hints
-    /// fail validation.
+    /// [`SnapshotError::Mismatch`] when the snapshot's pipeline-config
+    /// fingerprint or personalizer table shape disagrees with this
+    /// advisor's configuration, its SIS hints fail validation, or this
+    /// advisor's SIS store is not pristine.
     pub fn import_state(&mut self, snap: &SteeringSnapshot) -> Result<(), SnapshotError> {
+        let ours = pipeline_fingerprint(&self.config);
+        if snap.meta.config_fingerprint != ours {
+            return Err(SnapshotError::Mismatch {
+                what: format!(
+                    "pipeline configuration differs: snapshot fingerprint \
+                     {:#018x}, process {ours:#018x} (an output-affecting knob \
+                     — bandit hyper-parameters, flight budget, validation \
+                     threshold, … — changed between snapshot and restore)",
+                    snap.meta.config_fingerprint
+                ),
+            });
+        }
         let scratch = Personalizer::new(self.config.cb.clone());
         scratch
             .restore_state(snap.personalizer.clone())
@@ -172,6 +233,11 @@ impl QoAdvisor {
                     )
                 })
                 .collect::<FxHashMap<_, _>>();
+        } else {
+            // A snapshot without the warm section resets the cache: entries
+            // from before the restore belong to a run this snapshot knows
+            // nothing about.
+            self.span_cache.clear();
         }
         Ok(())
     }
@@ -216,13 +282,15 @@ impl ProductionSim {
     /// a loop with the *same workload configuration* (the workload is a
     /// pure function of configuration and day, so identity plus the day
     /// counter is exactly "resume the same run") and the same monitor
-    /// setting. All-or-nothing like the advisor restore.
+    /// setting — presence *and* tuning, via the monitor-config fingerprint.
+    /// All-or-nothing like the advisor restore.
     ///
     /// # Errors
     ///
-    /// [`SnapshotError::Mismatch`] on workload-identity or monitor-presence
-    /// disagreement, or any advisor-level mismatch. On error the simulation
-    /// is unchanged.
+    /// [`SnapshotError::Mismatch`] on workload-identity, monitor-presence,
+    /// or monitor-tuning disagreement, or any advisor-level mismatch
+    /// (pipeline-config fingerprint included). On error the simulation is
+    /// unchanged.
     pub fn import_state(&mut self, snap: &SteeringSnapshot) -> Result<(), SnapshotError> {
         let ours = workload_identity(&self.workload.config);
         match snap.meta.workload {
@@ -243,7 +311,21 @@ impl ProductionSim {
             }
         }
         match (&self.monitor, &snap.monitor) {
-            (Some(_), Some(_)) | (None, None) => {}
+            (Some(monitor), Some(state)) => {
+                let ours = monitor.config_fingerprint();
+                if state.config_fingerprint != ours {
+                    return Err(SnapshotError::Mismatch {
+                        what: format!(
+                            "monitor configuration differs: snapshot fingerprint \
+                             {:#018x}, process {ours:#018x} (margin, revert \
+                             threshold, or EMA factor changed between snapshot \
+                             and restore)",
+                            state.config_fingerprint
+                        ),
+                    });
+                }
+            }
+            (None, None) => {}
             (Some(_), None) => {
                 return Err(SnapshotError::Mismatch {
                     what: "monitoring enabled but snapshot has no monitor state".to_string(),
@@ -398,6 +480,146 @@ mod tests {
             monitored2.import_state(&snap2).unwrap_err(),
             SnapshotError::Mismatch { .. }
         ));
+    }
+
+    #[test]
+    fn restore_rejects_different_pipeline_tuning() {
+        let mut sim = small_sim();
+        sim.run(1).unwrap();
+        let snap = sim.export_state();
+        for tweaked in [
+            PipelineConfig {
+                cb: personalizer::CbConfig {
+                    epsilon: 0.2,
+                    ..personalizer::CbConfig::default()
+                },
+                ..PipelineConfig::default()
+            },
+            PipelineConfig {
+                validation_threshold: -0.2,
+                ..PipelineConfig::default()
+            },
+        ] {
+            let mut other = ProductionSim::new(
+                WorkloadConfig {
+                    seed: 41,
+                    num_templates: 12,
+                    adhoc_per_day: 3,
+                    max_instances_per_day: 1,
+                    ..WorkloadConfig::default()
+                },
+                tweaked,
+            );
+            let before = other.export_state();
+            let err = other.import_state(&snap).unwrap_err();
+            assert!(matches!(err, SnapshotError::Mismatch { .. }), "{err:?}");
+            assert_eq!(
+                other.export_state(),
+                before,
+                "failed restore mutates nothing"
+            );
+        }
+    }
+
+    #[test]
+    fn throughput_knobs_are_not_part_of_the_snapshot_identity() {
+        // The determinism contract says threads/caches never change
+        // outputs, so a snapshot must restore across them (the recovery
+        // harness relies on it; this pins the fingerprint's exclusions).
+        let serial_cached = PipelineConfig::default();
+        let threaded_uncached = PipelineConfig {
+            parallelism: crate::config::ParallelismConfig::with_threads(8),
+            cache: scope_opt::CacheConfig::disabled(),
+            exec_cache: scope_runtime::ExecCacheConfig::disabled(),
+            delta: scope_opt::DeltaConfig::disabled(),
+            feature_cache: crate::features::FeatureCacheConfig::disabled(),
+            cb: personalizer::CbConfig {
+                batch_rank: false,
+                ..personalizer::CbConfig::default()
+            },
+            ..PipelineConfig::default()
+        };
+        assert_eq!(
+            pipeline_fingerprint(&serial_cached),
+            pipeline_fingerprint(&threaded_uncached)
+        );
+
+        let mut sim = ProductionSim::new(
+            WorkloadConfig {
+                seed: 41,
+                num_templates: 12,
+                adhoc_per_day: 3,
+                max_instances_per_day: 1,
+                ..WorkloadConfig::default()
+            },
+            serial_cached,
+        );
+        sim.run(1).unwrap();
+        let snap = sim.export_state();
+        let mut other = ProductionSim::new(
+            WorkloadConfig {
+                seed: 41,
+                num_templates: 12,
+                adhoc_per_day: 3,
+                max_instances_per_day: 1,
+                ..WorkloadConfig::default()
+            },
+            threaded_uncached,
+        );
+        other.import_state(&snap).unwrap();
+        assert_eq!(other.day, sim.day);
+    }
+
+    #[test]
+    fn restore_rejects_different_monitor_tuning() {
+        let mut monitored = small_sim().with_monitoring(MonitorConfig::default());
+        monitored.run(1).unwrap();
+        let snap = monitored.export_state();
+        let mut retuned = small_sim().with_monitoring(MonitorConfig {
+            regression_margin: 0.20,
+            ..MonitorConfig::default()
+        });
+        let err = retuned.import_state(&snap).unwrap_err();
+        assert!(matches!(err, SnapshotError::Mismatch { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn dropped_warm_span_cache_resets_the_restored_cache() {
+        // A restore whose snapshot carries no warm section must clear, not
+        // retain, whatever the target advisor had cached: stale entries
+        // keyed by another run's TemplateIds would survive otherwise.
+        let mut sim = small_sim();
+        sim.advisor
+            .span_cache
+            .insert(scope_ir::TemplateId(123), None);
+        let mut snap = small_sim().export_state();
+        snap.span_cache = None;
+        sim.import_state(&snap).unwrap();
+        assert!(sim.advisor.span_cache.is_empty());
+    }
+
+    #[test]
+    fn restore_into_a_used_sis_store_is_rejected() {
+        // Restore targets a fresh process image; a store that has already
+        // published must not be rewound (its hint-file history on disk is
+        // append-only).
+        let mut sim = small_sim();
+        let snap = sim.export_state();
+        sim.advisor
+            .sis
+            .publish(sis::HintFile {
+                version: 1,
+                source_day: 0,
+                hints: vec![],
+            })
+            .unwrap();
+        let err = sim.import_state(&snap).unwrap_err();
+        assert!(matches!(err, SnapshotError::Mismatch { .. }), "{err:?}");
+        assert_eq!(
+            sim.advisor.sis.version(),
+            1,
+            "failed restore mutates nothing"
+        );
     }
 
     #[test]

@@ -244,7 +244,12 @@ impl Personalizer {
     /// Replace the live state with a snapshot export. The bandit keeps its
     /// construction-time [`CbConfig`]; the snapshot must have been taken
     /// under the same hashed-table size, and a malformed weight table is an
-    /// error (restore never panics and never partially applies).
+    /// error (restore never panics and never partially applies). Only
+    /// `dim_bits` is checked *here* — it is the one knob that makes the
+    /// state structurally uninterpretable. The remaining `CbConfig` fields
+    /// (epsilon, learning rate, …) are covered by the pipeline-config
+    /// fingerprint in the snapshot's META section, checked before this
+    /// method is ever reached on the steering-loop restore path.
     pub fn restore_state(&self, state: PersonalizerState) -> Result<(), String> {
         let mut inner = self.inner.lock();
         let config = inner.bandit.config().clone();

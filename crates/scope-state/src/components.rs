@@ -17,7 +17,7 @@
 
 use crate::codec::{Reader, Writer};
 use crate::error::SnapshotError;
-use crate::frame::{section, FrameReader, FrameWriter};
+use crate::frame::{atomic_write, section, FrameReader, FrameWriter};
 use personalizer::{FeatureVector, LoggedOutcome, PendingEventState, PersonalizerState};
 use scope_ir::TemplateId;
 use scope_opt::{Hint, RuleBits, RuleFlip, RuleId, SpanResult, RULE_COUNT};
@@ -45,11 +45,19 @@ pub struct WorkloadIdentity {
     pub literals: LiteralsId,
 }
 
-/// Day counter + workload identity.
+/// Day counter + configuration identity + workload identity.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MetaState {
     /// The next day the loop will run (days `0..day` are complete).
     pub day: u32,
+    /// Stable fingerprint of the *output-affecting* pipeline knobs the
+    /// snapshot was taken under (bandit hyper-parameters, flight budget,
+    /// validation threshold, …; computed by `qo-advisor`). Restoring under
+    /// different tuning would silently diverge from the uninterrupted run,
+    /// so a fingerprint disagreement is a typed mismatch. Throughput-only
+    /// knobs (threads, caches) are deliberately excluded — they never
+    /// change outputs, so restoring across them is legal.
+    pub config_fingerprint: u64,
     /// `None` for advisor-only snapshots (no workload attached).
     pub workload: Option<WorkloadIdentity>,
 }
@@ -95,6 +103,11 @@ pub struct MonitorTemplateState {
 /// the revert log in observation order.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct MonitorState {
+    /// Stable fingerprint of the `MonitorConfig` the baselines were built
+    /// under (margin, revert threshold, EMA factor — every field changes
+    /// revert decisions). Checked on restore like the pipeline fingerprint
+    /// in [`MetaState`].
+    pub config_fingerprint: u64,
     pub templates: Vec<MonitorTemplateState>,
     pub reverted: Vec<TemplateId>,
 }
@@ -151,6 +164,7 @@ fn decode_rule_bits(r: &mut Reader<'_>) -> Result<RuleBits, SnapshotError> {
 pub(crate) fn encode_meta(state: &MetaState) -> Vec<u8> {
     let mut w = Writer::new();
     w.put_u32(state.day);
+    w.put_u64(state.config_fingerprint);
     w.put_bool(state.workload.is_some());
     if let Some(wl) = &state.workload {
         w.put_u64(wl.seed);
@@ -175,6 +189,7 @@ pub(crate) fn encode_meta(state: &MetaState) -> Vec<u8> {
 pub(crate) fn decode_meta(bytes: &[u8]) -> Result<MetaState, SnapshotError> {
     let mut r = Reader::new(bytes, "meta section");
     let day = r.take_u32()?;
+    let config_fingerprint = r.take_u64()?;
     let workload = if r.take_bool()? {
         let seed = r.take_u64()?;
         let num_templates = r.take_u64()?;
@@ -205,7 +220,11 @@ pub(crate) fn decode_meta(bytes: &[u8]) -> Result<MetaState, SnapshotError> {
         None
     };
     r.finish()?;
-    Ok(MetaState { day, workload })
+    Ok(MetaState {
+        day,
+        config_fingerprint,
+        workload,
+    })
 }
 
 pub(crate) fn encode_sis(state: &SisState) -> Vec<u8> {
@@ -388,6 +407,7 @@ pub(crate) fn decode_explored(bytes: &[u8]) -> Result<ExploredState, SnapshotErr
 
 pub(crate) fn encode_monitor(state: &MonitorState) -> Vec<u8> {
     let mut w = Writer::new();
+    w.put_u64(state.config_fingerprint);
     w.put_len(state.templates.len());
     for t in &state.templates {
         w.put_u64(t.template.0);
@@ -404,6 +424,7 @@ pub(crate) fn encode_monitor(state: &MonitorState) -> Vec<u8> {
 
 pub(crate) fn decode_monitor(bytes: &[u8]) -> Result<MonitorState, SnapshotError> {
     let mut r = Reader::new(bytes, "monitor section");
+    let config_fingerprint = r.take_u64()?;
     let n = r.take_len()?;
     let mut templates = Vec::with_capacity(n);
     for _ in 0..n {
@@ -425,6 +446,7 @@ pub(crate) fn decode_monitor(bytes: &[u8]) -> Result<MonitorState, SnapshotError
     }
     r.finish()?;
     Ok(MonitorState {
+        config_fingerprint,
         templates,
         reverted,
     })
@@ -560,9 +582,11 @@ impl SteeringSnapshot {
         })
     }
 
+    /// Write the snapshot to `path` atomically (temp file + rename): a
+    /// crash mid-write leaves any previous snapshot at `path` intact, so
+    /// there is always a complete snapshot to restore from.
     pub fn write_to(&self, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
-        std::fs::write(path, self.to_bytes())?;
-        Ok(())
+        atomic_write(path.as_ref(), &self.to_bytes())
     }
 
     pub fn read_from(path: impl AsRef<Path>) -> Result<Self, SnapshotError> {
@@ -587,6 +611,7 @@ mod tests {
         SteeringSnapshot {
             meta: MetaState {
                 day: 7,
+                config_fingerprint: 0x5EED_F00D_CAFE_0001,
                 workload: Some(WorkloadIdentity {
                     seed: 99,
                     num_templates: 24,
@@ -644,6 +669,7 @@ mod tests {
                 templates: vec![TemplateId(11), TemplateId(42)],
             },
             monitor: Some(MonitorState {
+                config_fingerprint: 0x5EED_F00D_CAFE_0002,
                 templates: vec![MonitorTemplateState {
                     template: TemplateId(11),
                     baseline_pn: 12.5,

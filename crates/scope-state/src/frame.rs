@@ -13,7 +13,11 @@ pub const MAGIC: [u8; 8] = *b"QOSNAP\r\n";
 
 /// Current format version. Bumping it invalidates the pinned golden
 /// fixture (`tests/golden.rs`), which must be re-blessed deliberately.
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// v2: `META` gained the pipeline-config fingerprint and `MONITOR` the
+/// monitor-config fingerprint, so a snapshot restored under different
+/// tuning is a typed mismatch instead of a silent divergence.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Section flag: the payload is a warm cache — deterministically
 /// rebuildable, safe to drop on restore, and skipped (not an error) when a
@@ -115,10 +119,42 @@ impl FrameWriter {
         out
     }
 
+    /// Write the framed bytes to `path` atomically (temp sibling + fsync
+    /// + rename): a crash mid-write leaves any previous snapshot at
+    /// `path` intact.
     pub fn write_to(&self, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
-        std::fs::write(path, self.to_bytes())?;
-        Ok(())
+        atomic_write(path.as_ref(), &self.to_bytes())
     }
+}
+
+/// Atomically replace `path` with `bytes`: the bytes land in a sibling
+/// `<name>.tmp` file which is flushed to disk and then renamed over the
+/// target. A crash anywhere in the window leaves either the previous
+/// complete snapshot or the new one — never the truncated hybrid that
+/// writing straight onto the live path would risk.
+pub(crate) fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), SnapshotError> {
+    let tmp = {
+        let mut name = path
+            .file_name()
+            .map(std::ffi::OsStr::to_os_string)
+            .unwrap_or_default();
+        name.push(".tmp");
+        path.with_file_name(name)
+    };
+    let result = (|| {
+        use std::io::Write as _;
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        // Push the bytes through the OS cache before publishing the name,
+        // so the rename never exposes data the kernel has not accepted.
+        file.sync_all()?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
 }
 
 /// Parses and checksum-verifies the byte stream back into sections. All
@@ -275,6 +311,54 @@ mod tests {
                 "cut at {cut}: unexpected {err:?}"
             );
         }
+    }
+
+    #[test]
+    fn write_to_replaces_the_previous_snapshot_and_leaves_no_temp_file() {
+        let dir = std::env::temp_dir().join(format!("qo-frame-atomic-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.qosnap");
+
+        let mut w1 = FrameWriter::new();
+        w1.push(section::META, vec![1]);
+        w1.write_to(&path).unwrap();
+        let mut w2 = FrameWriter::new();
+        w2.push(section::META, vec![2, 3]);
+        w2.write_to(&path).unwrap();
+
+        assert_eq!(std::fs::read(&path).unwrap(), w2.to_bytes());
+        assert!(
+            !dir.join("state.qosnap.tmp").exists(),
+            "the temp file must be renamed away, not left behind"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_write_keeps_the_previous_snapshot_intact() {
+        let dir = std::env::temp_dir().join(format!("qo-frame-atomic-fail-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.qosnap");
+
+        let mut good = FrameWriter::new();
+        good.push(section::META, vec![1, 2, 3]);
+        good.write_to(&path).unwrap();
+
+        // Block the temp-file slot with a directory: the write must fail
+        // with a typed Io error while the live snapshot stays readable.
+        std::fs::create_dir(dir.join("state.qosnap.tmp")).unwrap();
+        let mut next = FrameWriter::new();
+        next.push(section::META, vec![9]);
+        assert!(matches!(
+            next.write_to(&path).unwrap_err(),
+            SnapshotError::Io(_)
+        ));
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            good.to_bytes(),
+            "a failed write must never touch the previous snapshot"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

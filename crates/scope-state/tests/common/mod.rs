@@ -22,6 +22,7 @@ pub fn sample_snapshot() -> SteeringSnapshot {
     SteeringSnapshot {
         meta: MetaState {
             day: 7,
+            config_fingerprint: 0x5EED_F00D_CAFE_0001,
             workload: Some(WorkloadIdentity {
                 seed: 99,
                 num_templates: 24,
@@ -79,6 +80,7 @@ pub fn sample_snapshot() -> SteeringSnapshot {
             templates: vec![TemplateId(11), TemplateId(42)],
         },
         monitor: Some(MonitorState {
+            config_fingerprint: 0x5EED_F00D_CAFE_0002,
             templates: vec![MonitorTemplateState {
                 template: TemplateId(11),
                 baseline_pn: 12.5,

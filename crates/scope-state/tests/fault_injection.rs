@@ -200,6 +200,7 @@ fn bad_enum_tag_inside_a_section_is_corrupt() {
     let parsed = FrameReader::from_bytes(&snap.to_bytes()).unwrap();
     let mut meta = Vec::new();
     meta.extend_from_slice(&7u32.to_le_bytes()); // day
+    meta.extend_from_slice(&1u64.to_le_bytes()); // config fingerprint
     meta.push(1); // workload present
     meta.extend_from_slice(&99u64.to_le_bytes()); // seed
     meta.extend_from_slice(&24u64.to_le_bytes()); // num_templates

@@ -63,6 +63,7 @@ fn golden_fixture_is_byte_stable() {
 fn format_constants_are_pinned() {
     // Bumping either constant is a breaking format change: the golden
     // fixture must be renamed and re-blessed in the same commit.
-    assert_eq!(FORMAT_VERSION, 1);
+    // v2: config fingerprints added to the META and MONITOR sections.
+    assert_eq!(FORMAT_VERSION, 2);
     assert_eq!(MAGIC, *b"QOSNAP\r\n");
 }

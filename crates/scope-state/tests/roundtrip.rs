@@ -59,8 +59,13 @@ fn workload_identity() -> impl Strategy<Value = WorkloadIdentity> {
 }
 
 fn meta_state() -> impl Strategy<Value = MetaState> {
-    (0u32..100_000, option_of(workload_identity()))
-        .prop_map(|(day, workload)| MetaState { day, workload })
+    (0u32..100_000, any::<u64>(), option_of(workload_identity())).prop_map(
+        |(day, config_fingerprint, workload)| MetaState {
+            day,
+            config_fingerprint,
+            workload,
+        },
+    )
 }
 
 fn hint() -> impl Strategy<Value = Hint> {
@@ -156,10 +161,12 @@ fn monitor_template() -> impl Strategy<Value = MonitorTemplateState> {
 
 fn monitor_state() -> impl Strategy<Value = MonitorState> {
     (
+        any::<u64>(),
         prop::collection::vec(monitor_template(), 0..8),
         prop::collection::vec(any::<u64>(), 0..8),
     )
-        .prop_map(|(templates, reverted)| MonitorState {
+        .prop_map(|(config_fingerprint, templates, reverted)| MonitorState {
+            config_fingerprint,
             templates,
             reverted: reverted.into_iter().map(TemplateId).collect(),
         })

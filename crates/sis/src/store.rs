@@ -26,6 +26,10 @@ pub enum SisError {
     DuplicateTemplate { template: TemplateId },
     /// Version must increase monotonically.
     StaleVersion { proposed: u32, current: u32 },
+    /// Snapshot restore attempted on a store that already has a version
+    /// installed; rewinding a live store would let future publishes re-issue
+    /// version numbers whose hint files already exist on disk.
+    NotPristine { current: u32 },
     /// Filesystem/serialization problems.
     Io(String),
 }
@@ -40,6 +44,11 @@ impl fmt::Display for SisError {
             SisError::StaleVersion { proposed, current } => {
                 write!(f, "version {proposed} is not newer than {current}")
             }
+            SisError::NotPristine { current } => write!(
+                f,
+                "cannot restore a snapshot into a live store at version {current}: \
+                 restore is only valid on a fresh store"
+            ),
             SisError::Io(m) => write!(f, "io error: {m}"),
         }
     }
@@ -176,11 +185,15 @@ impl SisStore {
 
     /// Install snapshot-restored state directly: set the live version and
     /// hints without writing a hint file (the files from before the
-    /// snapshot are already on disk) and without the monotonic-version
-    /// check (a fresh store restores from version 0 to wherever the
-    /// snapshot was). Validation still applies — a corrupt snapshot must
-    /// not install. Future [`SisStore::publish`]es continue the version
-    /// sequence from the restored point.
+    /// snapshot are already on disk). Only a **pristine** store — version 0,
+    /// nothing ever published or reloaded — may restore: rewinding a live
+    /// store would bypass the monotonic-version contract and let future
+    /// publishes re-issue version numbers whose hint files already exist on
+    /// disk with different content ([`SisError::NotPristine`] otherwise).
+    /// Validation still applies — a corrupt snapshot must not install — and
+    /// a version-0 snapshot that claims hints is rejected for the same
+    /// reason [`SisStore::publish`] rejects version 0. Future publishes
+    /// continue the version sequence from the restored point.
     pub fn restore_state(&self, version: u32, hints: Vec<Hint>) -> Result<(), SisError> {
         let file = HintFile {
             version,
@@ -188,7 +201,18 @@ impl SisStore {
             hints,
         };
         Self::validate(&file)?;
+        if version == 0 && !file.hints.is_empty() {
+            return Err(SisError::StaleVersion {
+                proposed: 0,
+                current: 0,
+            });
+        }
         let mut state = self.state.write();
+        if state.version != 0 {
+            return Err(SisError::NotPristine {
+                current: state.version,
+            });
+        }
         state.version = version;
         state.hints = HintSet::from_hints(file.hints);
         Ok(())
@@ -377,6 +401,55 @@ mod tests {
         assert_eq!(store.reload_latest().unwrap(), None);
         assert_eq!(store.version(), 5);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restore_requires_a_pristine_store() {
+        // A fresh store restores to wherever the snapshot was...
+        let store = SisStore::in_memory();
+        store.restore_state(5, vec![hint(1, 21, true)]).unwrap();
+        assert_eq!(store.version(), 5);
+        assert_eq!(store.len(), 1);
+        // ...and publishes continue the version sequence from there.
+        store
+            .publish(HintFile {
+                version: 6,
+                source_day: 0,
+                hints: vec![],
+            })
+            .unwrap();
+
+        // A live store must never restore: rewinding the version would let
+        // future publishes re-issue hint-file names that already exist.
+        let err = store.restore_state(2, vec![]).unwrap_err();
+        assert_eq!(err, SisError::NotPristine { current: 6 });
+        assert_eq!(store.version(), 6, "failed restore must not install");
+
+        // Same for a forward restore — only fresh stores restore at all.
+        assert_eq!(
+            store.restore_state(9, vec![]).unwrap_err(),
+            SisError::NotPristine { current: 6 }
+        );
+    }
+
+    #[test]
+    fn restore_rejects_version_zero_with_hints() {
+        // Mirrors `version_zero_is_rejected_even_into_an_empty_store`: a
+        // snapshot claiming installed hints at the "nothing installed"
+        // sentinel version is invalid, not installable.
+        let store = SisStore::in_memory();
+        let err = store.restore_state(0, vec![hint(1, 21, true)]).unwrap_err();
+        assert_eq!(
+            err,
+            SisError::StaleVersion {
+                proposed: 0,
+                current: 0
+            }
+        );
+        assert!(store.is_empty());
+        // An empty version-0 snapshot (fresh-run state) is a valid no-op.
+        store.restore_state(0, vec![]).unwrap();
+        assert_eq!(store.version(), 0);
     }
 
     #[test]
