@@ -1,0 +1,264 @@
+//! Fleet serving probe: N tenants' steering loops over one process-wide
+//! shared-cache layer, streamed through the bounded-queue worker pool
+//! (`qo_advisor::fleet`).
+//!
+//! Reports the serving numbers the fleet story is about — jobs/sec and the
+//! per-job steering-latency distribution (p50/p95/p99) — and then reruns the
+//! same fleet with **isolated per-tenant caches** to measure the
+//! cross-tenant cache-hit uplift: how much better the compile + span-feature
+//! hit rate gets when overlapping tenants share entries instead of each
+//! warming a private cache. Writes the machine-readable record to
+//! `results/BENCH_fleet.json` by default (`--json [path]` overrides) — the
+//! cross-PR perf trajectory artifact described in `PERFORMANCE.md`; CI
+//! uploads it on every run.
+//!
+//! Knobs: `--tenants N` / `QO_TENANTS` (default 64), `--days N` (default 4),
+//! `--workers N` / `QO_FLEET_WORKERS` (default 0 = all cores). Flags win
+//! over environment variables.
+use qo_advisor::fleet::{overlapping_workloads, Fleet, FleetConfig, StreamConfig};
+use qo_advisor::{CacheStats, PipelineConfig};
+use scope_workload::WorkloadConfig;
+use std::fmt::Write as _;
+
+fn parse_or_exit<T: std::str::FromStr>(value: &str, what: &str) -> T {
+    value.parse().unwrap_or_else(|_| {
+        eprintln!("{what} must be an integer, got `{value}`");
+        std::process::exit(2);
+    })
+}
+
+fn env_knob(name: &str) -> Option<usize> {
+    std::env::var(name).ok().map(|v| parse_or_exit(&v, name))
+}
+
+fn cache_json(label: &str, s: &CacheStats) -> String {
+    format!(
+        "\"{label}\":{{\"hits\":{},\"misses\":{},\"inserts\":{},\"evictions\":{}}}",
+        s.hits, s.misses, s.inserts, s.evictions
+    )
+}
+
+struct FleetRun {
+    jobs: u64,
+    wall_ms: f64,
+    jobs_per_sec: f64,
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+    max_us: f64,
+    compile: CacheStats,
+    feature: CacheStats,
+    exec_results: CacheStats,
+    exec_graphs: CacheStats,
+    hints_published: usize,
+    day_lines: Vec<String>,
+}
+
+impl FleetRun {
+    /// Lifetime compile + span-feature hit rate — the steering layer's two
+    /// compile-bound caches, where cross-tenant sharing pays.
+    fn steer_hit_rate(&self) -> f64 {
+        let hits = self.compile.hits + self.feature.hits;
+        let lookups = self.compile.lookups() + self.feature.lookups();
+        if lookups == 0 {
+            0.0
+        } else {
+            hits as f64 / lookups as f64
+        }
+    }
+
+    fn json(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"jobs\":{},\"wall_ms\":{:.3},\"jobs_per_sec\":{:.1},\
+             \"steering_latency_us\":{{\"p50\":{:.1},\"p95\":{:.1},\
+             \"p99\":{:.1},\"max\":{:.1}}},\
+             {},{},{},{},\
+             \"steer_hit_rate\":{:.4},\"hints_published\":{},\
+             \"days\":[{}]}}",
+            self.jobs,
+            self.wall_ms,
+            self.jobs_per_sec,
+            self.p50_us,
+            self.p95_us,
+            self.p99_us,
+            self.max_us,
+            cache_json("compile_cache", &self.compile),
+            cache_json("feature_cache", &self.feature),
+            cache_json("exec_results", &self.exec_results),
+            cache_json("exec_graphs", &self.exec_graphs),
+            self.steer_hit_rate(),
+            self.hints_published,
+            self.day_lines.join(","),
+        );
+        s
+    }
+}
+
+fn run_fleet(workloads: &[WorkloadConfig], config: &FleetConfig, days: u32) -> FleetRun {
+    let mut fleet = Fleet::new(workloads.to_vec(), config);
+    let mut day_lines = Vec::new();
+    let mut hints_published = 0usize;
+    for _ in 0..days {
+        let day = fleet
+            .advance_day()
+            .expect("generated workloads compile on the default path");
+        hints_published += day
+            .outcomes
+            .iter()
+            .map(|o| o.report.hints_published)
+            .sum::<usize>();
+        day_lines.push(format!(
+            "{{\"jobs\":{},\"wall_ms\":{:.3},\"p50_us\":{:.1},\"p99_us\":{:.1}}}",
+            day.jobs,
+            day.wall_ns as f64 / 1e6,
+            day.steering_latency.p50() as f64 / 1e3,
+            day.steering_latency.p99() as f64 / 1e3,
+        ));
+    }
+    let exec = fleet.exec_stats();
+    let m = fleet.metrics();
+    FleetRun {
+        jobs: m.jobs,
+        wall_ms: m.wall_ns as f64 / 1e6,
+        jobs_per_sec: m.jobs_per_sec(),
+        p50_us: m.steering_latency.p50() as f64 / 1e3,
+        p95_us: m.steering_latency.p95() as f64 / 1e3,
+        p99_us: m.steering_latency.p99() as f64 / 1e3,
+        max_us: m.steering_latency.max() as f64 / 1e3,
+        compile: fleet.compile_stats(),
+        feature: fleet.feature_stats(),
+        exec_results: exec.results,
+        exec_graphs: exec.graphs,
+        hints_published,
+        day_lines,
+    }
+}
+
+fn main() {
+    let mut tenants = env_knob("QO_TENANTS").unwrap_or(64);
+    let mut workers = env_knob("QO_FLEET_WORKERS").unwrap_or(0);
+    let mut days: u32 = 4;
+    let mut json_path = "results/BENCH_fleet.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{what} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--tenants" => tenants = parse_or_exit(&value("--tenants"), "--tenants"),
+            "--days" => days = parse_or_exit(&value("--days"), "--days"),
+            "--workers" => workers = parse_or_exit(&value("--workers"), "--workers"),
+            "--json" => json_path = value("--json"),
+            other => {
+                eprintln!(
+                    "unknown argument `{other}` (expected --tenants N, --days N, \
+                     --workers N, --json PATH)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    if tenants == 0 {
+        eprintln!("--tenants must be >= 1");
+        std::process::exit(2);
+    }
+
+    // The probe workload: probe-shaped templates under the default fresh
+    // literal policy (every instance a new exact plan — the hardest case for
+    // within-tenant caching, which makes the *cross-tenant* sharing signal
+    // cleanest: isolated tenants mostly miss, shared tenants hit each
+    // other's entries). Overlapping tenants model the paper's fleet economics
+    // — the same recurring templates run across many customers.
+    let wl = WorkloadConfig {
+        // qo-lint: allow(seed-salt) — top-level probe-workload seed, not a derivation salt
+        seed: 2022,
+        num_templates: 60,
+        adhoc_per_day: 15,
+        max_instances_per_day: 2,
+        ..WorkloadConfig::default()
+    };
+    let pipeline = PipelineConfig {
+        // 2^16 hashed CB weights per tenant keeps a 64-tenant fleet's bandit
+        // state ~32 MB (the default 2^20 would be ~0.5 GB).
+        cb: personalizer::CbConfig {
+            dim_bits: 16,
+            ..personalizer::CbConfig::default()
+        },
+        ..PipelineConfig::default()
+    };
+    let workloads = overlapping_workloads(tenants, &wl);
+    let stream = StreamConfig {
+        workers,
+        ..StreamConfig::default()
+    };
+
+    eprintln!("fleet probe: {tenants} tenants x {days} days, workers={workers} (0=auto)");
+    let shared = run_fleet(
+        &workloads,
+        &FleetConfig {
+            pipeline: pipeline.clone(),
+            stream,
+            isolated_caches: false,
+        },
+        days,
+    );
+    eprintln!(
+        "shared-cache fleet: {} jobs in {:.0} ms = {:.0} jobs/sec; steering \
+         latency p50 {:.0} us, p95 {:.0} us, p99 {:.0} us; steer hit rate {:.3}",
+        shared.jobs,
+        shared.wall_ms,
+        shared.jobs_per_sec,
+        shared.p50_us,
+        shared.p95_us,
+        shared.p99_us,
+        shared.steer_hit_rate(),
+    );
+    let isolated = run_fleet(
+        &workloads,
+        &FleetConfig {
+            pipeline,
+            stream,
+            isolated_caches: true,
+        },
+        days,
+    );
+    eprintln!(
+        "isolated-cache fleet: {} jobs in {:.0} ms = {:.0} jobs/sec; steer hit rate {:.3}",
+        isolated.jobs,
+        isolated.wall_ms,
+        isolated.jobs_per_sec,
+        isolated.steer_hit_rate(),
+    );
+    let uplift = if isolated.steer_hit_rate() > 0.0 {
+        shared.steer_hit_rate() / isolated.steer_hit_rate()
+    } else {
+        f64::INFINITY
+    };
+    eprintln!("cross-tenant cache-hit uplift: {uplift:.2}x (shared / isolated hit rate)");
+    if uplift < 1.2 && tenants > 1 {
+        eprintln!("WARNING: uplift below the 1.2x fleet-serving bar");
+    }
+
+    let record = format!(
+        "{{\"bench\":\"fleet\",\"tenants\":{tenants},\"days\":{days},\
+         \"workers\":{workers},\
+         \"shared\":{},\"isolated\":{},\"cross_tenant_hit_uplift\":{uplift:.4}}}\n",
+        shared.json(),
+        isolated.json(),
+    );
+    if let Some(parent) = std::path::Path::new(&json_path).parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    match std::fs::write(&json_path, &record) {
+        Ok(()) => eprintln!("perf record -> {json_path}"),
+        Err(e) => {
+            eprintln!("failed to write {json_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

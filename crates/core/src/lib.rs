@@ -65,6 +65,7 @@
 pub mod baselines;
 pub mod config;
 pub mod features;
+pub mod fleet;
 pub mod monitoring;
 pub mod pipeline;
 pub mod simulation;
@@ -78,8 +79,12 @@ pub use features::{
     action_slate, context_features, context_features_opt, job_features, reward_from_costs,
     span_block, FeatureCache, FeatureCacheConfig,
 };
+pub use fleet::{
+    disjoint_workloads, overlapping_workloads, Fleet, FleetConfig, FleetDayOutcome, FleetMetrics,
+    StreamConfig, Tenant,
+};
 pub use monitoring::{CacheCounters, ExecCounters, MonitorConfig, RegressionMonitor, StageTimings};
-pub use pipeline::{DailyReport, PipelineError, QoAdvisor, Recommendation};
+pub use pipeline::{DailyReport, PipelineError, QoAdvisor, Recommendation, SharedCaches};
 pub use scope_opt::{CacheConfig, CacheStats, DeltaConfig, DeltaStats};
 pub use scope_runtime::{CachingExecutor, ExecCacheConfig, ExecStats, ExecutionCache, Executor};
 pub use scope_state::{SnapshotError, SteeringSnapshot};

@@ -167,6 +167,12 @@ pub struct StageTimings {
     /// Durable-state snapshot write at the day boundary (zero unless a
     /// [`crate::snapshot::SnapshotPolicy`] is installed and fired today).
     pub snapshot_ns: u64,
+    /// Durable-state snapshot *restore* that brought the sim to this day
+    /// (zero unless this day resumed from
+    /// [`crate::ProductionSim::restore`]). A restore happens between days,
+    /// so the day resuming from it carries the cost — the read-side mirror
+    /// of `snapshot_ns`.
+    pub restore_ns: u64,
 }
 
 impl StageTimings {
@@ -181,6 +187,7 @@ impl StageTimings {
             + self.validate_ns
             + self.publish_ns
             + self.snapshot_ns
+            + self.restore_ns
     }
 }
 

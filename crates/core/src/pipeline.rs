@@ -15,8 +15,8 @@ use scope_ir::ids::mix64;
 use scope_ir::logical::LogicalPlan;
 use scope_ir::{JobId, TemplateId};
 use scope_opt::{
-    CacheStats, CachingOptimizer, CompileError, Compiled, Optimizer, RuleConfig, RuleFlip,
-    SpanResult,
+    CacheStats, CachingOptimizer, CompileCache, CompileError, Compiled, DeltaCompiler, Optimizer,
+    RuleConfig, RuleFlip, SpanResult,
 };
 use scope_runtime::{CachingExecutor, Cluster, ExecStats, ExecutionCache};
 use scope_workload::{ViewBuildError, ViewRow};
@@ -79,6 +79,92 @@ impl From<SisError> for PipelineError {
 impl From<scope_state::SnapshotError> for PipelineError {
     fn from(e: scope_state::SnapshotError) -> Self {
         PipelineError::Snapshot(e)
+    }
+}
+
+/// The process-wide result caches a fleet of advisors can share.
+///
+/// Every key in every one of these caches is *tenant-invariant*: the compile
+/// cache and the delta base memo key on the exact serialized-plan fingerprint
+/// (literals and statistics included) plus the full rule-configuration bits;
+/// the execution cache keys on the physical-plan fingerprint plus the exact
+/// `(job_seed, run_seed, cluster epoch)`; the feature cache keys on the
+/// content-derived template id plus span/slate fingerprints. None of them
+/// embeds a tenant, workload, or store identity — so a hit returns exactly
+/// what a tenant-local compute would have produced, whichever tenant paid
+/// for the miss. That is what makes cross-tenant sharing a pure throughput
+/// knob (see `crate::fleet` and the determinism tests pinning it).
+#[derive(Clone, Default)]
+pub struct SharedCaches {
+    /// Compile-result cache (`None` = disabled for every holder).
+    pub compile: Option<Arc<CompileCache>>,
+    /// Delta-compilation base-memo cache.
+    pub delta: Option<Arc<DeltaCompiler>>,
+    /// Execution-result cache.
+    pub exec: Option<Arc<ExecutionCache>>,
+    /// Span-feature cache.
+    pub feature: Option<Arc<FeatureCache>>,
+}
+
+impl SharedCaches {
+    /// One set of caches sized per `config` — the same construction
+    /// [`QoAdvisor::with_sis_store`] performs privately, hoisted out so N
+    /// advisors can point at one instance.
+    #[must_use]
+    pub fn from_config(config: &PipelineConfig) -> Self {
+        Self {
+            compile: config
+                .cache
+                .enabled
+                .then(|| Arc::new(CompileCache::new(config.cache))),
+            delta: config
+                .delta
+                .enabled
+                .then(|| Arc::new(DeltaCompiler::new(config.delta))),
+            exec: ExecutionCache::shared(config.exec_cache),
+            feature: config
+                .feature_cache
+                .enabled
+                .then(|| Arc::new(FeatureCache::new(config.feature_cache))),
+        }
+    }
+
+    /// Lifetime compile-cache counters (all-zero when disabled).
+    #[must_use]
+    pub fn compile_stats(&self) -> CacheStats {
+        self.compile
+            .as_deref()
+            .map(CompileCache::stats)
+            .unwrap_or_default()
+    }
+
+    /// Lifetime execution-cache counters (all-zero when disabled).
+    #[must_use]
+    pub fn exec_stats(&self) -> ExecStats {
+        self.exec
+            .as_deref()
+            .map(ExecutionCache::stats)
+            .unwrap_or_default()
+    }
+
+    /// Lifetime span-feature-cache counters (all-zero when disabled).
+    #[must_use]
+    pub fn feature_stats(&self) -> CacheStats {
+        self.feature
+            .as_deref()
+            .map(FeatureCache::stats)
+            .unwrap_or_default()
+    }
+}
+
+impl fmt::Debug for SharedCaches {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SharedCaches")
+            .field("compile", &self.compile.is_some())
+            .field("delta", &self.delta.is_some())
+            .field("exec", &self.exec.is_some())
+            .field("feature", &self.feature.is_some())
+            .finish()
     }
 }
 
@@ -184,8 +270,10 @@ pub struct QoAdvisor {
     /// The span-feature cache behind Recommendation's context construction:
     /// the template-stable span co-occurrence block is built once per
     /// template and reused across jobs and days. `None` when
-    /// `config.feature_cache` is disabled.
-    pub(crate) feature_cache: Option<FeatureCache>,
+    /// `config.feature_cache` is disabled. Behind an `Arc` so a fleet of
+    /// advisors can share one process-wide cache (the keys are
+    /// tenant-invariant: content-derived template ids × span fingerprints).
+    pub(crate) feature_cache: Option<Arc<FeatureCache>>,
     pub(crate) validation: Option<ValidationModel>,
     pub(crate) sis: SisStore,
     pub(crate) config: PipelineConfig,
@@ -208,6 +296,7 @@ impl QoAdvisor {
 
     /// Like [`QoAdvisor::new`] but publishing into an explicit SIS store
     /// (e.g. a disk-backed one, so published hint files can be inspected).
+    /// Builds private caches per `config` — the single-tenant path.
     #[must_use]
     pub fn with_sis_store(
         optimizer: Optimizer,
@@ -215,19 +304,39 @@ impl QoAdvisor {
         config: PipelineConfig,
         sis: SisStore,
     ) -> Self {
+        let caches = SharedCaches::from_config(&config);
+        Self::with_shared_caches(optimizer, flighting, config, sis, &caches)
+    }
+
+    /// Like [`QoAdvisor::with_sis_store`] but pointing every cache layer at
+    /// caches owned elsewhere — the fleet path, where N advisors share one
+    /// process-wide [`SharedCaches`]. Caches are throughput knobs, never
+    /// behavior knobs (the PR 1 contract), and the shared keys are
+    /// tenant-invariant (see [`SharedCaches`]), so an advisor built this way
+    /// produces byte-identical reports and hint files to one built with
+    /// private caches — or none at all.
+    #[must_use]
+    pub fn with_shared_caches(
+        optimizer: Optimizer,
+        flighting: FlightingService,
+        config: PipelineConfig,
+        sis: SisStore,
+        caches: &SharedCaches,
+    ) -> Self {
         let pool = stages::build_pool(config.parallelism);
-        let exec_cache = ExecutionCache::shared(config.exec_cache);
+        let exec_cache = caches.exec.clone();
         let preprod_exec = CachingExecutor::new(flighting.cluster().clone(), exec_cache.clone());
         Self {
-            optimizer: CachingOptimizer::new(optimizer, config.cache).with_delta(config.delta),
+            optimizer: CachingOptimizer::with_shared_caches(
+                optimizer,
+                caches.compile.clone(),
+                caches.delta.clone(),
+            ),
             exec_cache,
             preprod_exec,
             flighting,
             personalizer: Personalizer::new(config.cb.clone()),
-            feature_cache: config
-                .feature_cache
-                .enabled
-                .then(|| FeatureCache::new(config.feature_cache)),
+            feature_cache: caches.feature.clone(),
             validation: None,
             sis,
             config,
@@ -338,7 +447,7 @@ impl QoAdvisor {
     #[must_use]
     pub fn feature_stats(&self) -> CacheStats {
         self.feature_cache
-            .as_ref()
+            .as_deref()
             .map(FeatureCache::stats)
             .unwrap_or_default()
     }

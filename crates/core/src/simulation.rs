@@ -5,14 +5,14 @@
 
 use crate::config::PipelineConfig;
 use crate::monitoring::{MonitorConfig, RegressionMonitor};
-use crate::pipeline::{DailyReport, PipelineError, QoAdvisor};
+use crate::pipeline::{DailyReport, PipelineError, QoAdvisor, SharedCaches};
 use crate::validation_model::{ValidationModel, ValidationSample};
 use flighting::FlightingService;
 use scope_ir::ids::production_run_seed;
 use scope_ir::{JobId, TemplateId};
 use scope_opt::Optimizer;
 use scope_runtime::{CachingExecutor, Cluster, ExecutionMetrics, Executor};
-use scope_workload::{build_view, ViewBuildError, Workload, WorkloadConfig};
+use scope_workload::{build_view, ViewBuildError, ViewRow, Workload, WorkloadConfig};
 
 /// Default-vs-steered measurement of one hinted production job (both runs
 /// share the run seed, isolating the plan effect under identical cluster
@@ -105,6 +105,12 @@ pub struct ProductionSim {
     /// Durable-state snapshots at day boundaries (see [`crate::snapshot`]);
     /// `None` = never snapshot.
     pub(crate) snapshot_policy: Option<crate::snapshot::SnapshotPolicy>,
+    /// Wall-clock cost of a [`ProductionSim::restore`] awaiting attribution:
+    /// billed into the *next* day's `report.timings.restore_ns` (a restore
+    /// happens between days, so the day that resumes from it carries its
+    /// cost — mirroring how `snapshot_ns` bills the write at the boundary
+    /// that produced it).
+    pub(crate) pending_restore_ns: u64,
 }
 
 impl ProductionSim {
@@ -117,17 +123,34 @@ impl ProductionSim {
 
     /// Like [`ProductionSim::new`] but publishing hints into an explicit SIS
     /// store (e.g. a disk-backed one, so published hint files can be
-    /// inspected).
+    /// inspected). Builds private caches per the pipeline config.
     #[must_use]
     pub fn with_sis_store(
         workload: WorkloadConfig,
         pipeline: PipelineConfig,
         sis: sis::SisStore,
     ) -> Self {
+        let caches = SharedCaches::from_config(&pipeline);
+        Self::with_shared_caches(workload, pipeline, sis, &caches)
+    }
+
+    /// Like [`ProductionSim::with_sis_store`] but layering the advisor over
+    /// caches owned elsewhere — the fleet path (`crate::fleet`), where every
+    /// tenant's simulation shares one process-wide [`SharedCaches`]. The
+    /// shared keys are tenant-invariant (see [`SharedCaches`]), so this sim's
+    /// reports and published hints are byte-identical to a privately-cached
+    /// one's.
+    #[must_use]
+    pub fn with_shared_caches(
+        workload: WorkloadConfig,
+        pipeline: PipelineConfig,
+        sis: sis::SisStore,
+        caches: &SharedCaches,
+    ) -> Self {
         let optimizer = Optimizer::default();
         let flighting =
             FlightingService::new(Cluster::preproduction(), pipeline.flight_budget.clone());
-        let advisor = QoAdvisor::with_sis_store(optimizer, flighting, pipeline, sis);
+        let advisor = QoAdvisor::with_shared_caches(optimizer, flighting, pipeline, sis, caches);
         let prod_exec = advisor.executor_for(Cluster::default());
         Self {
             workload: Workload::new(workload),
@@ -136,6 +159,7 @@ impl ProductionSim {
             day: 0,
             monitor: None,
             snapshot_policy: None,
+            pending_restore_ns: 0,
         }
     }
 
@@ -217,8 +241,7 @@ impl ProductionSim {
     /// pipeline failure ([`PipelineError::Publish`] /
     /// [`PipelineError::Invariant`]) from the daily run.
     pub fn advance_day(&mut self) -> Result<DayOutcome, PipelineError> {
-        let day = self.day;
-        let jobs = self.workload.jobs_for_day(day);
+        let jobs = self.workload.jobs_for_day(self.day);
         let hints = self.advisor.sis().snapshot();
         let s0 = self.advisor.cache_stats();
         let e0 = self.advisor.exec_stats();
@@ -235,6 +258,44 @@ impl ProductionSim {
         let view_build_ns = t0.elapsed().as_nanos() as u64;
         let s1 = self.advisor.cache_stats();
         let e1 = self.advisor.exec_stats();
+
+        let mut outcome = self.finish_day(view)?;
+        outcome.report.compile_cache.view_build = s1.since(&s0);
+        outcome.report.exec_cache.view_build = e1.since(&e0);
+        outcome.report.timings.view_build_ns = view_build_ns;
+        // Widen finish_day's delta snapshot to the whole simulated day:
+        // default-configuration compile misses during view building route
+        // through the delta compiler's base builder (that is where most
+        // `base_builds` land under fresh literals), and they belong to this
+        // day's traffic.
+        outcome.report.delta_compile = self.advisor.delta_stats().since(&d0);
+        Ok(outcome)
+    }
+
+    /// Complete the current day from a prebuilt production view:
+    /// counterfactual default runs, §8 monitoring, the five pipeline stages,
+    /// the day increment, and any due snapshot.
+    /// [`ProductionSim::advance_day`] is exactly [`build_view`] followed by
+    /// this; the fleet's streaming pipeline (`crate::fleet`) builds views on
+    /// a shared worker pool and feeds them here — the per-tenant *serial
+    /// reduce* that keeps rank/reward application in job order and thereby
+    /// preserves the determinism contract per tenant.
+    ///
+    /// `view` must be what [`build_view`] would have produced for this sim's
+    /// current day — same jobs, same hint snapshot, same row order. The
+    /// per-row computation is pure (see `scope_workload::build_view_row`),
+    /// so a view assembled by any scheduling of workers, reordered back to
+    /// job order, satisfies this byte-for-byte.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any typed pipeline failure from the daily run, exactly as
+    /// [`ProductionSim::advance_day`] does.
+    pub fn finish_day(&mut self, view: Vec<ViewRow>) -> Result<DayOutcome, PipelineError> {
+        let day = self.day;
+        let s1 = self.advisor.cache_stats();
+        let e1 = self.advisor.exec_stats();
+        let d1 = self.advisor.delta_stats();
 
         // Counterfactual default runs for hinted jobs (same run seed). The
         // compiles go through the advisor's compile-result cache and the
@@ -273,18 +334,13 @@ impl ProductionSim {
         }
 
         let mut report = self.advisor.run_day(&view, day)?;
-        report.compile_cache.view_build = s1.since(&s0);
         report.compile_cache.counterfactual = s2.since(&s1);
-        report.exec_cache.view_build = e1.since(&e0);
         report.exec_cache.counterfactual = e2.since(&e1);
-        // Widen run_day's own delta snapshot to the whole simulated day:
-        // default-configuration compile misses during view building /
-        // counterfactuals route through the delta compiler's base builder
-        // (that is where most `base_builds` land under fresh literals), and
-        // they belong to this day's traffic.
-        report.delta_compile = self.advisor.delta_stats().since(&d0);
-        report.timings.view_build_ns = view_build_ns;
+        report.delta_compile = self.advisor.delta_stats().since(&d1);
         report.timings.counterfactual_ns = counterfactual_ns;
+        // A restore that brought this sim to the current day bills its wall
+        // cost to the day that resumes from it.
+        report.timings.restore_ns = std::mem::take(&mut self.pending_restore_ns);
         self.day += 1;
         report.timings.snapshot_ns = self.snapshot_if_due()?;
         Ok(DayOutcome {

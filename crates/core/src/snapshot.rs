@@ -357,12 +357,24 @@ impl ProductionSim {
     /// Restore the loop from a snapshot file; the next
     /// [`ProductionSim::advance_day`] continues from the snapshotted day.
     ///
+    /// The wall-clock cost of the read + decode + import is billed into the
+    /// *next* day's [`crate::StageTimings::restore_ns`] — the read-side
+    /// mirror of how `snapshot_ns` bills the write at the boundary that
+    /// produced it, so a resumed run's per-day timings account for the
+    /// recovery cost instead of losing it to ad-hoc caller measurement.
+    ///
     /// # Errors
     ///
-    /// Any [`SnapshotError`]; on error the simulation is unchanged.
+    /// Any [`SnapshotError`]; on error the simulation is unchanged (and
+    /// nothing is billed).
     pub fn restore(&mut self, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
+        // qo-lint: allow(ambient-entropy) — restore-cost wall-clock telemetry
+        // only; timings are zeroed before every byte-identity comparison
+        let t = std::time::Instant::now();
         let snap = SteeringSnapshot::read_from(path)?;
-        self.import_state(&snap)
+        self.import_state(&snap)?;
+        self.pending_restore_ns = t.elapsed().as_nanos() as u64;
+        Ok(())
     }
 
     /// Install (or clear) a snapshot policy:

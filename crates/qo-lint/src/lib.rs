@@ -132,7 +132,8 @@ pub fn rule_by_key(key: &str) -> Option<&'static RuleInfo> {
 /// * QL03: `scope-ir/src/ids.rs` IS the seed vocabulary;
 /// * QL05: scoped *to* the five staged pipeline functions
 ///   (`core/src/stages.rs`), the pipeline driver (`core/src/pipeline.rs`),
-///   `ProductionSim` (`core/src/simulation.rs`), the snapshot/restore path
+///   `ProductionSim` (`core/src/simulation.rs`), the multi-tenant fleet
+///   service (`core/src/fleet.rs`), the snapshot/restore path
 ///   (`core/src/snapshot.rs` and the whole `scope-state` crate — a corrupt
 ///   snapshot must surface as a typed `SnapshotError`, never a panic), and
 ///   the flighting crate.
@@ -157,6 +158,7 @@ pub fn rule_applies(rule_id: &str, path: &str) -> bool {
                 "crates/core/src/stages.rs"
                     | "crates/core/src/pipeline.rs"
                     | "crates/core/src/simulation.rs"
+                    | "crates/core/src/fleet.rs"
                     | "crates/core/src/snapshot.rs"
             ) || path.starts_with("crates/flighting/src/")
                 || path.starts_with("crates/scope-state/src/")
@@ -657,6 +659,7 @@ let b = 2; // qo-lint: allow(seed-salt) — trailing covers its own line
         assert!(rule_applies("QL05", "crates/flighting/src/service.rs"));
         assert!(rule_applies("QL05", "crates/scope-state/src/frame.rs"));
         assert!(rule_applies("QL05", "crates/core/src/snapshot.rs"));
+        assert!(rule_applies("QL05", "crates/core/src/fleet.rs"));
         assert!(!rule_applies("QL05", "crates/personalizer/src/bandit.rs"));
         assert!(!rule_applies("QL01", "crates/core/tests/whatever.rs"));
     }

@@ -182,6 +182,9 @@ pub const STICKY_LITERAL_SALT: u64 = 0x51_1C4B_F00D;
 pub const CARDINALITY_DRIFT_SALT: u64 = 0xD81F_7000;
 /// Salt of the second uniform draw inside one drift sample.
 pub const DRIFT_SECOND_DRAW_SALT: u64 = 0x77;
+/// Salt deriving a tenant's private workload seed from a fleet base seed
+/// (see [`tenant_workload_seed`]).
+pub const TENANT_WORKLOAD_SALT: u64 = 0x7E4A_0017;
 
 /// Salt of the shared daily production run seed (one cluster-noise draw per
 /// simulated day, shared by the production view build and the counterfactual
@@ -245,6 +248,15 @@ pub fn exec_base_seed(job_seed: u64, run_seed: u64) -> u64 {
 #[must_use]
 pub fn exec_stage_seed(base_seed: u64, stage_ordinal: u64) -> u64 {
     mix64(base_seed, stage_ordinal | EXEC_STAGE_SALT)
+}
+
+/// The workload seed of fleet tenant `tenant` derived from a fleet-wide
+/// `base_seed`: a disjoint seed stream per tenant, so a fleet of
+/// *non*-overlapping tenants draws unrelated templates, schedules, and
+/// literals (overlapping fleets simply reuse `base_seed` verbatim instead).
+#[must_use]
+pub fn tenant_workload_seed(base_seed: u64, tenant: u32) -> u64 {
+    mix64(base_seed, u64::from(tenant) ^ TENANT_WORKLOAD_SALT)
 }
 
 #[cfg(test)]
@@ -319,6 +331,20 @@ mod tests {
         assert_eq!(STICKY_LITERAL_SALT, 0x51_1C4B_F00D);
         assert_eq!(CARDINALITY_DRIFT_SALT, 0xD81F_7000);
         assert_eq!(DRIFT_SECOND_DRAW_SALT, 0x77);
+        assert_eq!(TENANT_WORKLOAD_SALT, 0x7E4A_0017);
+    }
+
+    #[test]
+    fn tenant_workload_seeds_are_disjoint_and_stable() {
+        let base = DEFAULT_WORKLOAD_SEED;
+        let seeds: Vec<u64> = (0..64).map(|t| tenant_workload_seed(base, t)).collect();
+        for (i, a) in seeds.iter().enumerate() {
+            assert_ne!(*a, base, "tenant {i} must not alias the base seed");
+            for (j, b) in seeds.iter().enumerate().skip(i + 1) {
+                assert_ne!(a, b, "tenants {i} and {j} must draw disjoint streams");
+            }
+        }
+        assert_eq!(tenant_workload_seed(base, 7), tenant_workload_seed(base, 7));
     }
 
     #[test]

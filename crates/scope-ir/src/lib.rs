@@ -30,7 +30,7 @@ pub mod schema;
 pub mod sharded;
 pub mod stats;
 
-pub use counters::CacheStats;
+pub use counters::{CacheStats, LatencyHistogram};
 pub use expr::{AggExpr, AggFunc, BinOp, ScalarExpr, Value};
 pub use ids::{JobId, NodeId, TemplateId};
 pub use logical::{JoinKind, LogicalNode, LogicalOp, LogicalPlan, SortKey, TableRef};

@@ -32,6 +32,7 @@ use scope_ir::logical::LogicalPlan;
 use scope_ir::sharded::ShardedCache;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Knobs of the compile-result cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -224,13 +225,19 @@ impl CompileCache {
 /// compile-result cache and one shared base-memo cache across span
 /// computation, recommendation scoring, validation recompiles — and across
 /// days.
+///
+/// The caches sit behind `Arc`s so several `CachingOptimizer`s can share one
+/// process-wide cache (fleet mode: N tenants, one compile cache). Sharing is
+/// sound because the keys are tenant-invariant — the exact serialized-plan
+/// fingerprint plus the full `RuleBits` — so a hit returns exactly what a
+/// local compile would have produced, whichever tenant inserted it.
 #[derive(Debug)]
 pub struct CachingOptimizer {
     inner: Optimizer,
-    cache: Option<CompileCache>,
+    cache: Option<Arc<CompileCache>>,
     /// Delta treatment compilation for [`CachingOptimizer::compile_slate`]
     /// (`None` = slates compile treatment by treatment).
-    delta: Option<DeltaCompiler>,
+    delta: Option<Arc<DeltaCompiler>>,
 }
 
 impl CachingOptimizer {
@@ -239,7 +246,7 @@ impl CachingOptimizer {
     #[must_use]
     pub fn new(inner: Optimizer, config: CacheConfig) -> Self {
         Self {
-            cache: config.enabled.then(|| CompileCache::new(config)),
+            cache: config.enabled.then(|| Arc::new(CompileCache::new(config))),
             inner,
             delta: None,
         }
@@ -248,8 +255,37 @@ impl CachingOptimizer {
     /// Enable (or explicitly disable) delta slate compilation per `config`.
     #[must_use]
     pub fn with_delta(mut self, config: DeltaConfig) -> Self {
-        self.delta = config.enabled.then(|| DeltaCompiler::new(config));
+        self.delta = config.enabled.then(|| Arc::new(DeltaCompiler::new(config)));
         self
+    }
+
+    /// Wrap `inner` around caches owned elsewhere (fleet mode: every
+    /// tenant's optimizer points at the same process-wide [`CompileCache`]
+    /// and [`DeltaCompiler`]). `None` disables the respective layer, exactly
+    /// like the config-driven constructors.
+    #[must_use]
+    pub fn with_shared_caches(
+        inner: Optimizer,
+        cache: Option<Arc<CompileCache>>,
+        delta: Option<Arc<DeltaCompiler>>,
+    ) -> Self {
+        Self {
+            inner,
+            cache,
+            delta,
+        }
+    }
+
+    /// Handle to the compile cache for sharing with another optimizer.
+    #[must_use]
+    pub fn shared_cache(&self) -> Option<Arc<CompileCache>> {
+        self.cache.clone()
+    }
+
+    /// Handle to the delta compiler for sharing with another optimizer.
+    #[must_use]
+    pub fn shared_delta(&self) -> Option<Arc<DeltaCompiler>> {
+        self.delta.clone()
     }
 
     /// A pass-through wrapper (every compile goes straight to the inner
@@ -270,14 +306,14 @@ impl CachingOptimizer {
 
     #[must_use]
     pub fn cache(&self) -> Option<&CompileCache> {
-        self.cache.as_ref()
+        self.cache.as_deref()
     }
 
     /// Counter snapshot; all-zero when the cache is disabled.
     #[must_use]
     pub fn stats(&self) -> CacheStats {
         self.cache
-            .as_ref()
+            .as_deref()
             .map(CompileCache::stats)
             .unwrap_or_default()
     }
@@ -328,14 +364,14 @@ impl CachingOptimizer {
     /// enabled.
     #[must_use]
     pub fn delta_compiler(&self) -> Option<&DeltaCompiler> {
-        self.delta.as_ref()
+        self.delta.as_deref()
     }
 
     /// Delta-compiler counter snapshot; all-zero when delta is disabled.
     #[must_use]
     pub fn delta_stats(&self) -> DeltaStats {
         self.delta
-            .as_ref()
+            .as_deref()
             .map(DeltaCompiler::stats)
             .unwrap_or_default()
     }

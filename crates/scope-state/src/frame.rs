@@ -119,9 +119,9 @@ impl FrameWriter {
         out
     }
 
-    /// Write the framed bytes to `path` atomically (temp sibling + fsync
-    /// + rename): a crash mid-write leaves any previous snapshot at
-    /// `path` intact.
+    /// Write the framed bytes to `path` atomically (temp sibling, fsync,
+    /// rename): a crash mid-write leaves any previous snapshot at `path`
+    /// intact.
     pub fn write_to(&self, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
         atomic_write(path.as_ref(), &self.to_bytes())
     }

@@ -34,4 +34,4 @@ pub mod view;
 pub use generator::{JobInstance, Workload, WorkloadConfig};
 pub use naming::normalize_job_name;
 pub use template::{LiteralPolicy, TemplateSpec, TemplateStats};
-pub use view::{build_view, Table1Features, ViewBuildError, ViewRow};
+pub use view::{build_view, build_view_row, Table1Features, ViewBuildError, ViewRow};

@@ -178,24 +178,42 @@ pub fn build_view<C: Compiler, E: Executor>(
 ) -> Result<Vec<ViewRow>, ViewBuildError> {
     let default = optimizer.default_config();
     jobs.iter()
-        .map(|job| {
-            let hinted = hints.lookup(job.template).is_some();
-            let config = hints.config_for(job.template, &default);
-            let (compiled, hint_applied) = match optimizer.compile(&job.plan, &config) {
-                Ok(c) => (c, hinted),
-                Err(CompileError::RuleInstability { .. }) if hinted => {
-                    match optimizer.compile(&job.plan, &default) {
-                        Ok(c) => (c, false),
-                        Err(error) => {
-                            return Err(ViewBuildError {
-                                job_id: job.job_id,
-                                job_name: job.name.clone(),
-                                template: job.template,
-                                error,
-                            })
-                        }
-                    }
-                }
+        .map(|job| build_view_row(job, optimizer, hints, &default, executor))
+        .collect()
+}
+
+/// Build the view row of a single job — [`build_view`]'s per-job body,
+/// callable on its own.
+///
+/// This function is *pure* given its inputs: the row depends only on the
+/// job, the hint set, the default configuration, and the (deterministic)
+/// compiler and executor — never on other jobs or on call order. That is
+/// what lets a fleet's streaming worker pool (`qo_advisor`'s fleet module)
+/// build rows for many tenants' jobs in whatever order workers pull them
+/// from the arrival queue, reorder each tenant's rows back to job order, and
+/// obtain byte-for-byte the view a serial [`build_view`] would have built.
+///
+/// `default` must be `optimizer.default_config()`; it is a parameter only so
+/// per-job callers don't recompute it.
+///
+/// # Errors
+///
+/// [`ViewBuildError`] when the job's *default-path* compile fails — exactly
+/// the [`build_view`] contract.
+pub fn build_view_row<C: Compiler, E: Executor>(
+    job: &JobInstance,
+    optimizer: &C,
+    hints: &HintSet,
+    default: &scope_opt::RuleConfig,
+    executor: &E,
+) -> Result<ViewRow, ViewBuildError> {
+    let hinted = hints.lookup(job.template).is_some();
+    let config = hints.config_for(job.template, default);
+    let (compiled, hint_applied) = match optimizer.compile(&job.plan, &config) {
+        Ok(c) => (c, hinted),
+        Err(CompileError::RuleInstability { .. }) if hinted => {
+            match optimizer.compile(&job.plan, default) {
+                Ok(c) => (c, false),
                 Err(error) => {
                     return Err(ViewBuildError {
                         job_id: job.job_id,
@@ -204,26 +222,33 @@ pub fn build_view<C: Compiler, E: Executor>(
                         error,
                     })
                 }
-            };
-            let run_seed = production_run_seed(job.day);
-            let metrics = executor.execute(&compiled.physical, job.job_seed, run_seed);
-            let features =
-                Table1Features::aggregate(&job.name, &job.plan, compiled.est_cost, &metrics);
-            Ok(ViewRow {
+            }
+        }
+        Err(error) => {
+            return Err(ViewBuildError {
                 job_id: job.job_id,
-                day: job.day,
+                job_name: job.name.clone(),
                 template: job.template,
-                recurring: job.recurring,
-                job_seed: job.job_seed,
-                plan: job.plan.clone(),
-                signature: compiled.signature,
-                est_cost: compiled.est_cost,
-                metrics,
-                features,
-                hint_applied,
+                error,
             })
-        })
-        .collect()
+        }
+    };
+    let run_seed = production_run_seed(job.day);
+    let metrics = executor.execute(&compiled.physical, job.job_seed, run_seed);
+    let features = Table1Features::aggregate(&job.name, &job.plan, compiled.est_cost, &metrics);
+    Ok(ViewRow {
+        job_id: job.job_id,
+        day: job.day,
+        template: job.template,
+        recurring: job.recurring,
+        job_seed: job.job_seed,
+        plan: job.plan.clone(),
+        signature: compiled.signature,
+        est_cost: compiled.est_cost,
+        metrics,
+        features,
+        hint_applied,
+    })
 }
 
 #[cfg(test)]
