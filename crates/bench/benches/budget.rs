@@ -1,0 +1,70 @@
+//! Criterion microbenches for the anytime task-queue engine
+//! (`scope_opt::tasks`): budgeted compilation across the budget sweep the
+//! `budget` bin measures regret for, plus the recursive reference engine
+//! and the unlimited task-queue point — the pair whose byte-equality
+//! `tests/budget_equivalence.rs` proves, benched here so a throughput gap
+//! between the engines shows up in CI's criterion history.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scope_lang::{bind_script, Catalog};
+use scope_opt::{CompileBudget, Optimizer};
+use std::hint::black_box;
+
+const JOIN_AGG: &str = r#"
+    fact = EXTRACT k:int, m:int, v:float FROM "store/fact";
+    d1   = EXTRACT k:int, g:int FROM "store/d1";
+    d2   = EXTRACT m:int, region:string FROM "store/d2";
+    flt  = SELECT k, m, v FROM fact WHERE v > 100;
+    j1   = SELECT * FROM flt AS f JOIN d1 ON f.k == d1.k;
+    j2   = SELECT * FROM j1 JOIN d2 ON j1.m == d2.m;
+    rpt  = SELECT g, SUM(v) AS total FROM j2 GROUP BY g;
+    OUTPUT rpt TO "out/cube";
+"#;
+
+fn bench_budget(c: &mut Criterion) {
+    let plan = bind_script(JOIN_AGG, &Catalog::default()).unwrap();
+    let optimizer = Optimizer::default();
+    let default = optimizer.default_config();
+
+    c.bench_function("compile_recursive_reference", |b| {
+        b.iter(|| {
+            black_box(
+                optimizer
+                    .compile_recursive(black_box(&plan), &default)
+                    .unwrap()
+                    .est_cost,
+            )
+        })
+    });
+
+    c.bench_function("compile_taskqueue_unlimited", |b| {
+        b.iter(|| {
+            black_box(
+                optimizer
+                    .compile_budgeted(black_box(&plan), &default, CompileBudget::unlimited())
+                    .unwrap()
+                    .objective,
+            )
+        })
+    });
+
+    for tasks in [16u64, 64, 256, 1024] {
+        c.bench_function(&format!("compile_budgeted_{tasks}_tasks"), |b| {
+            b.iter(|| {
+                black_box(
+                    optimizer
+                        .compile_budgeted(black_box(&plan), &default, CompileBudget::tasks(tasks))
+                        .unwrap()
+                        .objective,
+                )
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_budget
+}
+criterion_main!(benches);

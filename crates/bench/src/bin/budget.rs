@@ -1,0 +1,240 @@
+//! Anytime-optimization budget sweep: compiles a seeded workload day under
+//! a ladder of [`CompileBudget`]s and reports the **tasks-vs-cost-regret
+//! curve** — how much plan quality (the anytime objective: summed
+//! root-group best costs) each budget point gives up against the unlimited
+//! compile, and what fraction of compiles the budget truncates. This is the
+//! load-shedding calibration artifact for PERFORMANCE.md's PR-10 chapter:
+//! pick the knee of the curve, not a guess, when setting
+//! `QO_COMPILE_BUDGET` / `StreamConfig::compile_budget`.
+//!
+//! Writes the machine-readable record to `results/BENCH_budget.json` by
+//! default (`--json [path]` overrides); CI uploads it on every run.
+//!
+//! Knobs: `--templates N` (default 24), `--adhoc N` (default 4), `--json
+//! PATH`.
+use scope_lang::{bind_script, Catalog};
+use scope_opt::{CompileBudget, Optimizer};
+use scope_workload::{Workload, WorkloadConfig};
+use std::fmt::Write as _;
+
+/// Transform-heavy pipelines (stacked filters over projections, deep join
+/// chains) where exploration genuinely improves the objective — the seeded
+/// workload's generated plans are largely normalization-clean, so without
+/// these the regret column of the sweep is identically zero and the curve
+/// says nothing about where truncation starts costing plan quality.
+const DEEP_SCRIPTS: &[&str] = &[
+    r#"
+        t  = EXTRACT a:int, b:float FROM "store/t";
+        f1 = SELECT a, b FROM t WHERE b > 1;
+        f2 = SELECT a, b FROM f1 WHERE a < 10;
+        f3 = SELECT a, b FROM f2 WHERE b < 100;
+        OUTPUT f3 TO "out/f";
+    "#,
+    r#"
+        fact = EXTRACT k:int, m:int, v:float FROM "store/fact";
+        d1   = EXTRACT k:int, g:int FROM "store/d1";
+        p    = SELECT k, m, v FROM fact;
+        f1   = SELECT k, m, v FROM p WHERE v > 100;
+        f2   = SELECT k, m, v FROM f1 WHERE k < 50;
+        j    = SELECT * FROM f2 AS f JOIN d1 ON f.k == d1.k;
+        rpt  = SELECT g, SUM(v) AS total FROM j GROUP BY g;
+        OUTPUT rpt TO "out/cube";
+    "#,
+    r#"
+        s  = EXTRACT u:int, x:float, y:float FROM "store/s";
+        p1 = SELECT u, x, y FROM s;
+        p2 = SELECT u, x, y FROM p1;
+        f1 = SELECT u, x, y FROM p2 WHERE x > 0;
+        f2 = SELECT u, x, y FROM f1 WHERE y > 0;
+        f3 = SELECT u, x, y FROM f2 WHERE u > 10;
+        OUTPUT f3 TO "out/deep";
+    "#,
+];
+
+/// The sweep ladder: powers of two through the observed task range of the
+/// workload's cascades, then the unlimited reference point.
+const SWEEP: &[u64] = &[8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096];
+
+struct SweepPoint {
+    budget: Option<u64>,
+    mean_regret: f64,
+    max_regret: f64,
+    truncated: usize,
+    mean_tasks: f64,
+    wall_ms: f64,
+}
+
+impl SweepPoint {
+    fn json(&self, jobs: usize) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"budget\":{},\"mean_regret\":{:.6},\"max_regret\":{:.6},\
+             \"truncated_frac\":{:.4},\"mean_tasks\":{:.1},\"wall_ms\":{:.3}}}",
+            self.budget.map_or(0, |b| b),
+            self.mean_regret,
+            self.max_regret,
+            self.truncated as f64 / jobs as f64,
+            self.mean_tasks,
+            self.wall_ms,
+        );
+        s
+    }
+}
+
+fn main() {
+    let mut templates = 24usize;
+    let mut adhoc = 4usize;
+    let mut json_path = "results/BENCH_budget.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{what} needs a value");
+                std::process::exit(2);
+            })
+        };
+        let parse = |v: String, what: &str| -> u64 {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("{what} must be an integer, got `{v}`");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--templates" => templates = parse(value("--templates"), "--templates") as usize,
+            "--adhoc" => adhoc = parse(value("--adhoc"), "--adhoc") as usize,
+            "--json" => json_path = value("--json"),
+            other => {
+                eprintln!(
+                    "unknown argument `{other}` (expected --templates N, \
+                     --adhoc N, --json PATH)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let optimizer = Optimizer::default();
+    let default = optimizer.default_config();
+    let workload = Workload::new(WorkloadConfig {
+        // qo-lint: allow(seed-salt) — top-level probe-workload seed
+        seed: 2022,
+        num_templates: templates,
+        adhoc_per_day: adhoc,
+        max_instances_per_day: 1,
+        ..WorkloadConfig::default()
+    });
+    let mut plans: Vec<std::sync::Arc<scope_ir::LogicalPlan>> = workload
+        .jobs_for_day(0)
+        .into_iter()
+        .map(|job| job.plan)
+        .collect();
+    let workload_jobs = plans.len();
+    for script in DEEP_SCRIPTS {
+        plans.push(std::sync::Arc::new(
+            bind_script(script, &Catalog::default()).expect("deep scripts bind"),
+        ));
+    }
+    let jobs = plans;
+
+    // Unlimited reference: the floor objective per job, and the cascade
+    // sizes the sweep ladder is judged against.
+    let reference: Vec<(f64, u64)> = jobs
+        .iter()
+        .map(|plan| {
+            let full = optimizer
+                .compile_budgeted(plan, &default, CompileBudget::unlimited())
+                .expect("generated workloads compile on the default path");
+            (full.objective, full.tasks_executed)
+        })
+        .collect();
+    let mean_full_tasks =
+        reference.iter().map(|(_, t)| *t).sum::<u64>() as f64 / reference.len() as f64;
+    eprintln!(
+        "budget sweep: {} jobs ({} workload + {} transform-heavy), mean \
+         unlimited cascade {:.0} tasks",
+        jobs.len(),
+        workload_jobs,
+        DEEP_SCRIPTS.len(),
+        mean_full_tasks
+    );
+
+    let mut points: Vec<SweepPoint> = Vec::new();
+    for &budget in SWEEP.iter() {
+        let t0 = std::time::Instant::now();
+        let mut regrets: Vec<f64> = Vec::with_capacity(jobs.len());
+        let mut truncated = 0usize;
+        let mut tasks_total = 0u64;
+        for (plan, (full_objective, _)) in jobs.iter().zip(&reference) {
+            let b = optimizer
+                .compile_budgeted(plan, &default, CompileBudget::tasks(budget))
+                .expect("budgeted compiles share the default path's success");
+            if b.outcome.is_truncated() {
+                truncated += 1;
+            }
+            tasks_total += b.tasks_executed;
+            // Relative cost regret of the anytime plan vs the full search;
+            // monotonicity guarantees this is >= 0 (up to f64 rounding).
+            regrets.push(b.objective / full_objective - 1.0);
+        }
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let point = SweepPoint {
+            budget: Some(budget),
+            mean_regret: regrets.iter().sum::<f64>() / regrets.len() as f64,
+            max_regret: regrets.iter().copied().fold(0.0, f64::max),
+            truncated,
+            mean_tasks: tasks_total as f64 / jobs.len() as f64,
+            wall_ms,
+        };
+        eprintln!(
+            "  budget {budget:>5}: mean regret {:+.3}%, max {:+.3}%, \
+             {}/{} truncated, mean {:.0} tasks, {:.1} ms",
+            point.mean_regret * 1e2,
+            point.max_regret * 1e2,
+            truncated,
+            jobs.len(),
+            point.mean_tasks,
+            wall_ms,
+        );
+        points.push(point);
+    }
+    // The unlimited endpoint: zero regret by construction, timed for the
+    // throughput column.
+    let t0 = std::time::Instant::now();
+    for plan in &jobs {
+        let _ = optimizer
+            .compile_budgeted(plan, &default, CompileBudget::unlimited())
+            .expect("generated workloads compile on the default path");
+    }
+    points.push(SweepPoint {
+        budget: None,
+        mean_regret: 0.0,
+        max_regret: 0.0,
+        truncated: 0,
+        mean_tasks: mean_full_tasks,
+        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+    });
+
+    let record = format!(
+        "{{\"bench\":\"budget\",\"jobs\":{},\"workload_jobs\":{workload_jobs},\
+         \"deep_jobs\":{},\"templates\":{templates},\
+         \"mean_full_tasks\":{mean_full_tasks:.1},\"sweep\":[{}]}}\n",
+        jobs.len(),
+        DEEP_SCRIPTS.len(),
+        points
+            .iter()
+            .map(|p| p.json(jobs.len()))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    if let Some(parent) = std::path::Path::new(&json_path).parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    match std::fs::write(&json_path, &record) {
+        Ok(()) => eprintln!("perf record -> {json_path}"),
+        Err(e) => {
+            eprintln!("failed to write {json_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

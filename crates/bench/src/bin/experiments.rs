@@ -18,7 +18,11 @@
 //! `results/snapshots/<experiment>.qosnap` after every `N`-th simulated day
 //! of the closed-loop experiments (0 = never, the default) — outputs are
 //! bit-identical either way; the write cost lands in each day's
-//! `timings.snapshot_ns`.
+//! `timings.snapshot_ns`. `--compile-budget N` (or `QO_COMPILE_BUDGET`)
+//! caps every counterfactual recompile at `N` optimizer tasks (0 =
+//! unlimited, the default): the anytime engine sheds exploration past the
+//! budget and extracts the best plan found so far — hint files and steering
+//! reports are budget-invariant; only the measurement path degrades.
 //!
 //! Each experiment writes its raw series to `results/<name>.csv` and prints
 //! a summary row comparing the paper's reported shape with the measured one.
@@ -81,6 +85,23 @@ static FEATURE_CACHE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
 
 fn set_feature_cache(enabled: bool) {
     let _ = FEATURE_CACHE.set(enabled);
+}
+
+/// Anytime compile budget for the measurement-path (counterfactual)
+/// compiles of every closed-loop experiment in this run.
+static COMPILE_BUDGET: std::sync::OnceLock<qo_advisor::CompileBudget> = std::sync::OnceLock::new();
+
+fn set_compile_budget(budget: qo_advisor::CompileBudget) {
+    let _ = COMPILE_BUDGET.set(budget);
+}
+
+/// Parse via the shared [`qo_advisor::CompileBudget`] parser (same spellings
+/// as `QO_COMPILE_BUDGET` everywhere).
+fn parse_budget_flag(value: &str) -> qo_advisor::CompileBudget {
+    qo_advisor::CompileBudget::parse(value).unwrap_or_else(|e| {
+        eprintln!("bad compile budget: {e}");
+        std::process::exit(2);
+    })
 }
 
 /// Day-boundary snapshot cadence for the closed-loop experiments
@@ -158,6 +179,7 @@ fn pipeline_config() -> PipelineConfig {
         } else {
             FeatureCacheConfig::disabled()
         },
+        compile_budget: *COMPILE_BUDGET.get_or_init(qo_advisor::CompileBudget::unlimited),
         ..PipelineConfig::default()
     }
 }
@@ -237,6 +259,16 @@ fn main() {
         args.drain(i..=i + 1);
     } else if let Ok(value) = std::env::var("QO_FEATURE_CACHE") {
         set_feature_cache(parse_cache_flag(&value));
+    }
+    if let Some(i) = args.iter().position(|a| a == "--compile-budget") {
+        let value = args.get(i + 1).map(String::as_str).unwrap_or_else(|| {
+            eprintln!("--compile-budget requires a task count (0 = unlimited)");
+            std::process::exit(2);
+        });
+        set_compile_budget(parse_budget_flag(value));
+        args.drain(i..=i + 1);
+    } else if let Ok(value) = std::env::var("QO_COMPILE_BUDGET") {
+        set_compile_budget(parse_budget_flag(&value));
     }
     if let Some(i) = args.iter().position(|a| a == "--snapshot-every") {
         let every = args

@@ -13,10 +13,13 @@
 //! uploads it on every run.
 //!
 //! Knobs: `--tenants N` / `QO_TENANTS` (default 64), `--days N` (default 4),
-//! `--workers N` / `QO_FLEET_WORKERS` (default 0 = all cores). Flags win
-//! over environment variables.
+//! `--workers N` / `QO_FLEET_WORKERS` (default 0 = all cores), and
+//! `--budget N` / `QO_COMPILE_BUDGET` (default unlimited) — the per-job
+//! stream compile budget ([`StreamConfig::compile_budget`]): under load, a
+//! finite budget sheds view-build compile work deterministically and the
+//! probe reports the shed totals. Flags win over environment variables.
 use qo_advisor::fleet::{overlapping_workloads, Fleet, FleetConfig, StreamConfig};
-use qo_advisor::{CacheStats, PipelineConfig};
+use qo_advisor::{CacheStats, CompileBudget, PipelineConfig};
 use scope_workload::WorkloadConfig;
 use std::fmt::Write as _;
 
@@ -51,6 +54,7 @@ struct FleetRun {
     exec_results: CacheStats,
     exec_graphs: CacheStats,
     hints_published: usize,
+    shed: u64,
     day_lines: Vec<String>,
 }
 
@@ -75,7 +79,7 @@ impl FleetRun {
              \"steering_latency_us\":{{\"p50\":{:.1},\"p95\":{:.1},\
              \"p99\":{:.1},\"max\":{:.1}}},\
              {},{},{},{},\
-             \"steer_hit_rate\":{:.4},\"hints_published\":{},\
+             \"steer_hit_rate\":{:.4},\"hints_published\":{},\"shed\":{},\
              \"days\":[{}]}}",
             self.jobs,
             self.wall_ms,
@@ -90,6 +94,7 @@ impl FleetRun {
             cache_json("exec_graphs", &self.exec_graphs),
             self.steer_hit_rate(),
             self.hints_published,
+            self.shed,
             self.day_lines.join(","),
         );
         s
@@ -110,11 +115,12 @@ fn run_fleet(workloads: &[WorkloadConfig], config: &FleetConfig, days: u32) -> F
             .map(|o| o.report.hints_published)
             .sum::<usize>();
         day_lines.push(format!(
-            "{{\"jobs\":{},\"wall_ms\":{:.3},\"p50_us\":{:.1},\"p99_us\":{:.1}}}",
+            "{{\"jobs\":{},\"wall_ms\":{:.3},\"p50_us\":{:.1},\"p99_us\":{:.1},\"shed\":{}}}",
             day.jobs,
             day.wall_ns as f64 / 1e6,
             day.steering_latency.p50() as f64 / 1e3,
             day.steering_latency.p99() as f64 / 1e3,
+            day.shed,
         ));
     }
     let exec = fleet.exec_stats();
@@ -132,13 +138,25 @@ fn run_fleet(workloads: &[WorkloadConfig], config: &FleetConfig, days: u32) -> F
         exec_results: exec.results,
         exec_graphs: exec.graphs,
         hints_published,
+        shed: m.shed,
         day_lines,
     }
+}
+
+fn parse_budget_or_exit(value: &str, what: &str) -> CompileBudget {
+    CompileBudget::parse(value).unwrap_or_else(|e| {
+        eprintln!("{what}: {e}");
+        std::process::exit(2);
+    })
 }
 
 fn main() {
     let mut tenants = env_knob("QO_TENANTS").unwrap_or(64);
     let mut workers = env_knob("QO_FLEET_WORKERS").unwrap_or(0);
+    let mut budget = std::env::var("QO_COMPILE_BUDGET").map_or_else(
+        |_| CompileBudget::unlimited(),
+        |v| parse_budget_or_exit(&v, "QO_COMPILE_BUDGET"),
+    );
     let mut days: u32 = 4;
     let mut json_path = "results/BENCH_fleet.json".to_string();
     let mut args = std::env::args().skip(1);
@@ -153,11 +171,12 @@ fn main() {
             "--tenants" => tenants = parse_or_exit(&value("--tenants"), "--tenants"),
             "--days" => days = parse_or_exit(&value("--days"), "--days"),
             "--workers" => workers = parse_or_exit(&value("--workers"), "--workers"),
+            "--budget" => budget = parse_budget_or_exit(&value("--budget"), "--budget"),
             "--json" => json_path = value("--json"),
             other => {
                 eprintln!(
                     "unknown argument `{other}` (expected --tenants N, --days N, \
-                     --workers N, --json PATH)"
+                     --workers N, --budget N, --json PATH)"
                 );
                 std::process::exit(2);
             }
@@ -194,10 +213,15 @@ fn main() {
     let workloads = overlapping_workloads(tenants, &wl);
     let stream = StreamConfig {
         workers,
+        compile_budget: budget,
         ..StreamConfig::default()
     };
 
-    eprintln!("fleet probe: {tenants} tenants x {days} days, workers={workers} (0=auto)");
+    eprintln!(
+        "fleet probe: {tenants} tenants x {days} days, workers={workers} (0=auto), \
+         budget={:?}",
+        budget.max_tasks
+    );
     let shared = run_fleet(
         &workloads,
         &FleetConfig {
@@ -244,10 +268,17 @@ fn main() {
         eprintln!("WARNING: uplift below the 1.2x fleet-serving bar");
     }
 
+    if !budget.is_unlimited() {
+        eprintln!(
+            "stream budget shed {} of {} view-build compiles (shared fleet)",
+            shared.shed, shared.jobs
+        );
+    }
     let record = format!(
         "{{\"bench\":\"fleet\",\"tenants\":{tenants},\"days\":{days},\
-         \"workers\":{workers},\
+         \"workers\":{workers},\"compile_budget\":{},\
          \"shared\":{},\"isolated\":{},\"cross_tenant_hit_uplift\":{uplift:.4}}}\n",
+        budget.max_tasks.map_or(0, |n| n),
         shared.json(),
         isolated.json(),
     );

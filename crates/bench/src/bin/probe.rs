@@ -38,6 +38,7 @@ fn day_json(out: &DayOutcome, wall_ms: f64) -> String {
          \"delta\":{{\"pruned\":{},\"delta\":{},\"full\":{},\
          \"base_builds\":{},\"base_hits\":{}}},\
          \"feature_cache\":{{\"hits\":{},\"misses\":{},\"inserts\":{},\"evictions\":{}}},\
+         \"budget\":{{\"complete\":{},\"truncated\":{}}},\
          \"steering\":{{\"recurring\":{},\"spanned\":{},\"flighted\":{},\
          \"validated\":{},\"hints_published\":{}}}}}",
         r.day,
@@ -66,6 +67,8 @@ fn day_json(out: &DayOutcome, wall_ms: f64) -> String {
         fc.misses,
         fc.inserts,
         fc.evictions,
+        r.compile_budget.complete,
+        r.compile_budget.truncated,
         r.recurring_jobs,
         r.jobs_with_span,
         r.flighted,
@@ -137,6 +140,18 @@ fn main() {
             })
         },
     );
+    // `QO_COMPILE_BUDGET=N` caps every counterfactual recompile at N
+    // optimizer tasks (0/unset = unlimited): the anytime engine sheds
+    // exploration past the budget; hints are budget-invariant.
+    let compile_budget = std::env::var("QO_COMPILE_BUDGET").map_or_else(
+        |_| qo_advisor::CompileBudget::unlimited(),
+        |value| {
+            qo_advisor::CompileBudget::parse(&value).unwrap_or_else(|e| {
+                eprintln!("bad QO_COMPILE_BUDGET: {e}");
+                std::process::exit(2);
+            })
+        },
+    );
     // `QO_SNAPSHOT=<path>` writes a durable-state snapshot at every day
     // boundary (see `qo_advisor::snapshot`); the JSON record then carries
     // the per-day write cost plus a measured restore cost.
@@ -156,6 +171,7 @@ fn main() {
         exec_cache,
         delta,
         feature_cache,
+        compile_budget,
         ..PipelineConfig::default()
     };
     let wl = WorkloadConfig {
@@ -288,6 +304,7 @@ fn main() {
     let exec_lifetime = sim.advisor.exec_stats();
     let delta_lifetime = sim.advisor.delta_stats();
     let feature_lifetime = sim.advisor.feature_stats();
+    let budget_lifetime = sim.advisor.budget_stats();
     eprintln!(
         "feature cache lifetime: {} hits / {} lookups ({:.0}%), {} inserts, {} evictions",
         feature_lifetime.hits,
@@ -355,6 +372,7 @@ fn main() {
              \"delta\":{{\"pruned\":{},\"delta\":{},\"full\":{},\
              \"base_builds\":{},\"base_hits\":{}}},\
              \"feature_cache\":{{\"hits\":{},\"misses\":{},\"inserts\":{},\"evictions\":{}}},\
+             \"budget\":{{\"complete\":{},\"truncated\":{}}},\
              \"snapshot\":{{\"enabled\":{},\"write_ns_total\":{},\
              \"restore_ns\":{},\"bytes\":{}}}}},\
              \"days\":[{}]}}",
@@ -380,6 +398,8 @@ fn main() {
             feature_lifetime.misses,
             feature_lifetime.inserts,
             feature_lifetime.evictions,
+            budget_lifetime.complete,
+            budget_lifetime.truncated,
             snapshot_path.is_some(),
             snapshot_write_ns,
             snapshot_restore_ns,

@@ -19,6 +19,7 @@
 //! | `QO_FEATURE_CACHE` | `--feature-cache V` | `on`/`1`/`true`, `off`/`0`/`false`| Span-feature cache ([`crate::features::FeatureCache`], on by default): the CB context's C(S,2)+C(S,3) span co-occurrence block is built once per template and memoized keyed on `(template, span fingerprint)` instead of rebuilt per job-day — byte-identical context vectors, only throughput differs |
 //! | `QO_SNAPSHOT_EVERY` | `--snapshot-every N` | integer N days (`0` = never, default) | Durable-state snapshot cadence ([`crate::snapshot::SnapshotPolicy`]): write the full steering state (bandit, SIS, flighting salt, explored set, monitor, warm span cache) to `results/snapshots/<experiment>.qosnap` at every Nth day boundary. Purely operational — steering outputs are bit-identical with snapshots on or off (`tests/snapshot_recovery.rs`); the write cost lands in `DailyReport.timings.snapshot_ns` |
 //! | `QO_SNAPSHOT` | *(probe only)* | file path | `probe` installs an every-day [`crate::snapshot::SnapshotPolicy`] at this path, reports per-day write cost and a timed end-of-run restore in its JSON record, and the `recovery` bin's `--snapshot`/`--resume` flags drive the CI crash-recovery smoke leg against the same format |
+//! | `QO_COMPILE_BUDGET` | `--compile-budget N` | integer N tasks (`0`/`unlimited`/`off` = unlimited, default) | Anytime compile budget ([`scope_opt::CompileBudget`]) for the loop's *measurement-path* compiles — the counterfactual default recompiles of hinted jobs. At N tasks the optimizer's task-queue cascade stops exploring after N tasks and extracts the best plan from the partial memo (`scope_opt::tasks`). Steering-path compiles (view build, span fixpoint, recommendation, flighting) always run to completion, so hint files and reports are budget-invariant; shed tallies land in `DailyReport.compile_budget`. Finite-budget compiles bypass the compile cache and delta compiler (truncated results are not cacheable under unbudgeted keys), so shed decisions are a pure function of `(plan, config, budget)` — deterministic at any thread count |
 //! | `QO_TENANTS` | `fleet --tenants N` | integer ≥ 1 (fleet probe default 64) | Tenant count for the multi-tenant fleet probe (`crates/bench/src/bin/fleet.rs`): N per-tenant steering loops ([`crate::fleet::Fleet`]) over one process-wide [`crate::pipeline::SharedCaches`]. A serving-scale knob, not a behavior knob — each tenant's outputs are byte-identical to running it alone (`tests/fleet_determinism.rs`) |
 //! | `QO_FLEET_WORKERS` | `fleet --workers N` | integer (`0` = all cores) | Worker threads of the fleet's streaming job pipeline ([`crate::fleet::StreamConfig`]): workers pull job arrivals off the bounded queue and build view rows; per-tenant reduces stay serial. Pure throughput knob |
 //!
@@ -32,7 +33,7 @@
 use crate::features::FeatureCacheConfig;
 use flighting::FlightBudget;
 use personalizer::CbConfig;
-use scope_opt::{CacheConfig, DeltaConfig};
+use scope_opt::{CacheConfig, CompileBudget, DeltaConfig};
 use scope_runtime::ExecCacheConfig;
 use serde::{Deserialize, Serialize};
 
@@ -105,6 +106,15 @@ pub struct PipelineConfig {
     /// is deterministic, so — like the other caches — a pure throughput
     /// knob that never changes steering outputs (`tests/determinism.rs`).
     pub feature_cache: FeatureCacheConfig,
+    /// Anytime compile budget for the loop's measurement-path compiles (the
+    /// counterfactual default recompiles of hinted jobs). Unlimited by
+    /// default; at a finite task budget the optimizer's task-queue cascade
+    /// sheds exploration past the budget and extracts the best plan found so
+    /// far from the partial memo ([`scope_opt::tasks`]). Steering-path
+    /// compiles always run unlimited, so hint files and reports never depend
+    /// on this knob; shed tallies surface in
+    /// [`crate::pipeline::DailyReport::compile_budget`].
+    pub compile_budget: CompileBudget,
     /// Contextual bandit hyper-parameters.
     pub cb: CbConfig,
     /// Flighting budget per daily batch.
@@ -144,6 +154,7 @@ impl Default for PipelineConfig {
             exec_cache: ExecCacheConfig::default(),
             delta: DeltaConfig::default(),
             feature_cache: FeatureCacheConfig::default(),
+            compile_budget: CompileBudget::unlimited(),
             cb: CbConfig::default(),
             flight_budget: FlightBudget::default(),
             validation_threshold: -0.1,

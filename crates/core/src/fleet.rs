@@ -41,6 +41,21 @@
 //! day's and the fleet's lifetime distribution (p50/p95/p99), next to a
 //! jobs/sec throughput counter ([`FleetMetrics`]).
 //!
+//! # Load shedding
+//!
+//! [`StreamConfig::compile_budget`] bounds the compile work each job may
+//! spend: with a finite task budget, workers compile through a
+//! [`BudgetedCompiler`] whose task-queue cascade stops exploring at the
+//! budget and extracts the best plan found so far from the partial memo
+//! (`scope_opt::tasks`) — the job still ships, on a possibly-worse plan.
+//! Shed decisions are *static*, a pure function of `(plan, config, budget)`
+//! — never of queue depth, worker count, or scheduling — so a saturated
+//! queue degrades latency, not determinism. Truncation tallies surface per
+//! tenant in `DailyReport.compile_budget`, per day in
+//! [`FleetDayOutcome::shed`], and fleet-lifetime in [`FleetMetrics::shed`];
+//! shed jobs still stamp the steering-latency histogram (their cheaper
+//! compiles are exactly the latency relief the budget buys).
+//!
 //! # Determinism contract, per tenant
 //!
 //! A tenant inside a fleet — any worker count, any queue capacity, shared or
@@ -50,7 +65,9 @@
 //! make this hold: `build_view_row` is pure per job (so arrival interleaving
 //! cannot change any row), and everything stateful is applied in
 //! [`ProductionSim::finish_day`]'s per-tenant serial reduce in job order.
-//! `tests/fleet_determinism.rs` pins the contract.
+//! A finite stream budget keeps the contract at any worker count (sheds are
+//! per-job-pure); it changes outputs only relative to a *differently
+//! budgeted* run. `tests/fleet_determinism.rs` pins the contract.
 
 use crate::config::PipelineConfig;
 use crate::monitoring::MonitorConfig;
@@ -59,7 +76,10 @@ use crate::simulation::{DayOutcome, ProductionSim};
 use crate::snapshot::SnapshotPolicy;
 use scope_ir::ids::tenant_workload_seed;
 use scope_ir::LatencyHistogram;
-use scope_opt::{CacheStats, CachingOptimizer, HintSet, RuleConfig};
+use scope_opt::{
+    BudgetCounters, BudgetStats, BudgetedCompiler, CacheStats, CachingOptimizer, CompileBudget,
+    HintSet, RuleConfig,
+};
 use scope_runtime::{CachingExecutor, ExecStats};
 use scope_workload::{build_view_row, JobInstance, ViewBuildError, ViewRow, WorkloadConfig};
 use sis::{SisError, SisStore};
@@ -76,6 +96,20 @@ pub struct StreamConfig {
     /// Bounded capacity of the job-arrival queue. A full queue blocks the
     /// producer (backpressure); arrivals are never dropped.
     pub queue_capacity: usize,
+    /// Per-job anytime compile budget the workers apply to view-build
+    /// compiles — the fleet's load-shedding knob. Unlimited (the default)
+    /// keeps the streaming pipeline a pure throughput knob; a finite task
+    /// budget trades plan quality for bounded per-job compile work: each
+    /// worker compiles through a [`BudgetedCompiler`], which sheds
+    /// exploration past the budget and extracts the best plan found so far
+    /// from the partial memo. Shedding is *static and deterministic* — a
+    /// budgeted compile is a pure function of `(plan, config, budget)`,
+    /// never of queue depth or worker scheduling — so per-tenant outputs
+    /// remain byte-identical at any worker count; only which plans ship
+    /// changes with the budget itself. Shed tallies land per tenant in
+    /// [`crate::pipeline::DailyReport::compile_budget`] and fleet-wide in
+    /// [`FleetMetrics::shed`].
+    pub compile_budget: CompileBudget,
 }
 
 impl Default for StreamConfig {
@@ -83,6 +117,7 @@ impl Default for StreamConfig {
         Self {
             workers: 0,
             queue_capacity: 256,
+            compile_budget: CompileBudget::unlimited(),
         }
     }
 }
@@ -130,6 +165,12 @@ pub struct FleetMetrics {
     pub steering_latency: LatencyHistogram,
     /// Jobs served over the fleet's lifetime.
     pub jobs: u64,
+    /// Finite-budget compiles truncated by the anytime budget over the
+    /// fleet's lifetime (view-build sheds under the stream budget plus each
+    /// tenant's counterfactual sheds) — the load-shedding counter. Always 0
+    /// on unlimited budgets; equals the sum of per-tenant
+    /// `DailyReport.compile_budget.truncated` otherwise.
+    pub shed: u64,
     /// Wall-clock nanoseconds spent inside [`Fleet::advance_day`].
     pub wall_ns: u64,
 }
@@ -154,6 +195,9 @@ pub struct FleetDayOutcome {
     pub outcomes: Vec<DayOutcome>,
     /// Jobs served this day across the fleet.
     pub jobs: u64,
+    /// Compiles truncated by the anytime budget this day across the fleet
+    /// (the day's shed decisions; 0 on unlimited budgets).
+    pub shed: u64,
     /// This day's steering-latency distribution (merged across workers).
     pub steering_latency: LatencyHistogram,
     /// Wall-clock nanoseconds of the whole fleet day (stream + reduce).
@@ -186,6 +230,11 @@ struct TenantCtx<'a> {
     executor: &'a CachingExecutor,
     hints: HintSet,
     default: RuleConfig,
+    /// The tenant advisor's shed counters: workers record every
+    /// finite-budget view-build compile here, so per-tenant `DailyReport`
+    /// attribution and the fleet-wide [`FleetMetrics::shed`] total reconcile
+    /// against one tally.
+    counters: &'a BudgetCounters,
 }
 
 impl Fleet {
@@ -343,23 +392,42 @@ impl Fleet {
         // qo-lint: allow(ambient-entropy) — fleet throughput telemetry only;
         // per-tenant outputs are compared with timings zeroed
         let t_day = std::time::Instant::now();
+        let budget0: Vec<BudgetStats> = self
+            .tenants
+            .iter()
+            .map(|t| t.sim.advisor.budget_stats())
+            .collect();
         let (views, view_ns, steering_latency, jobs) = self.stream_views()?;
         let mut outcomes = self.reduce_days(views)?;
-        for (outcome, ns) in outcomes.iter_mut().zip(view_ns) {
+        let mut shed = 0u64;
+        for ((tenant, (outcome, ns)), b0) in self
+            .tenants
+            .iter()
+            .zip(outcomes.iter_mut().zip(view_ns))
+            .zip(budget0)
+        {
             // Attribute each tenant's summed per-job build time as its
             // view-build wall clock (the streaming analogue of
             // `advance_day`'s serial measurement; per-stage *cache* counters
             // stay zero for view_build here because shared-cache traffic
             // cannot be attributed to one tenant).
             outcome.report.timings.view_build_ns = ns;
+            // Widen the reduce's shed attribution to the whole fleet day:
+            // worker-side view-build sheds happen before `finish_day`'s
+            // snapshot, and they belong to this tenant's day. Per-tenant
+            // counters make this deterministic at any worker count.
+            outcome.report.compile_budget = tenant.sim.advisor.budget_stats().since(&b0);
+            shed += outcome.report.compile_budget.truncated;
         }
         let wall_ns = t_day.elapsed().as_nanos() as u64;
         self.metrics.steering_latency.merge(&steering_latency);
         self.metrics.jobs += jobs;
+        self.metrics.shed += shed;
         self.metrics.wall_ns += wall_ns;
         Ok(FleetDayOutcome {
             outcomes,
             jobs,
+            shed,
             steering_latency,
             wall_ns,
         })
@@ -390,6 +458,7 @@ impl Fleet {
                 executor: t.sim.prod_executor(),
                 hints: t.sim.advisor.sis().snapshot(),
                 default: t.sim.advisor.optimizer().default_config(),
+                counters: t.sim.advisor.budget_counters(),
             })
             .collect();
         let jobs_per_tenant: Vec<Vec<JobInstance>> = self
@@ -405,6 +474,7 @@ impl Fleet {
         let jobs_ref = &jobs_per_tenant;
         let contexts_ref = &contexts;
         let rx_ref = &rx;
+        let budget = self.stream.compile_budget;
 
         type WorkerRows = Vec<(usize, usize, u64, Result<ViewRow, ViewBuildError>)>;
         let worker_outputs: Result<Vec<(WorkerRows, LatencyHistogram)>, PipelineError> =
@@ -453,13 +523,29 @@ impl Fleet {
                                 // qo-lint: allow(ambient-entropy) — the per-job
                                 // steering-latency clock; telemetry only
                                 let t = std::time::Instant::now();
-                                let row = build_view_row(
-                                    &a.job,
-                                    ctx.optimizer,
-                                    &ctx.hints,
-                                    &ctx.default,
-                                    ctx.executor,
-                                );
+                                // Load shedding: a finite stream budget routes
+                                // the job's compiles through a budgeted view
+                                // of the tenant's optimizer (still a pure
+                                // per-job function — see `StreamConfig`).
+                                let row = if budget.is_unlimited() {
+                                    build_view_row(
+                                        &a.job,
+                                        ctx.optimizer,
+                                        &ctx.hints,
+                                        &ctx.default,
+                                        ctx.executor,
+                                    )
+                                } else {
+                                    let shedding =
+                                        BudgetedCompiler::new(ctx.optimizer, budget, ctx.counters);
+                                    build_view_row(
+                                        &a.job,
+                                        &shedding,
+                                        &ctx.hints,
+                                        &ctx.default,
+                                        ctx.executor,
+                                    )
+                                };
                                 let ns = t.elapsed().as_nanos() as u64;
                                 hist.record(ns);
                                 rows.push((a.tenant, a.index, ns, row));
@@ -686,6 +772,7 @@ mod tests {
                     stream: StreamConfig {
                         workers,
                         queue_capacity: queue,
+                        ..StreamConfig::default()
                     },
                     ..FleetConfig::default()
                 },

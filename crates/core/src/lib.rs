@@ -85,7 +85,10 @@ pub use fleet::{
 };
 pub use monitoring::{CacheCounters, ExecCounters, MonitorConfig, RegressionMonitor, StageTimings};
 pub use pipeline::{DailyReport, PipelineError, QoAdvisor, Recommendation, SharedCaches};
-pub use scope_opt::{CacheConfig, CacheStats, DeltaConfig, DeltaStats};
+pub use scope_opt::{
+    BudgetCounters, BudgetOutcome, BudgetStats, CacheConfig, CacheStats, CompileBudget,
+    DeltaConfig, DeltaStats,
+};
 pub use scope_runtime::{CachingExecutor, ExecCacheConfig, ExecStats, ExecutionCache, Executor};
 pub use scope_state::{SnapshotError, SteeringSnapshot};
 pub use scope_workload::ViewBuildError;

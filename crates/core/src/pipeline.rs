@@ -15,8 +15,8 @@ use scope_ir::ids::mix64;
 use scope_ir::logical::LogicalPlan;
 use scope_ir::{JobId, TemplateId};
 use scope_opt::{
-    CacheStats, CachingOptimizer, CompileCache, CompileError, Compiled, DeltaCompiler, Optimizer,
-    RuleConfig, RuleFlip, SpanResult,
+    BudgetCounters, BudgetStats, CacheStats, CachingOptimizer, CompileCache, CompileError,
+    Compiled, DeltaCompiler, Optimizer, RuleConfig, RuleFlip, SpanResult,
 };
 use scope_runtime::{CachingExecutor, Cluster, ExecStats, ExecutionCache};
 use scope_workload::{ViewBuildError, ViewRow};
@@ -240,6 +240,15 @@ pub struct DailyReport {
     /// depend on parallel insert order, so reproducibility comparisons zero
     /// this field like the other cache counters.
     pub feature_cache: CacheStats,
+    /// Anytime-budget shed tallies of this day's *finite-budget* compiles
+    /// (the counterfactual recompiles under
+    /// [`crate::config::PipelineConfig::compile_budget`], plus a fleet's
+    /// per-job view-build compiles under its stream budget). All-zero on the
+    /// default unlimited budget. Unlike the cache counters this field is
+    /// **deterministic** — a finite-budget compile is a pure function of
+    /// `(plan, config, budget)`, never of thread count or cache state — so
+    /// reproducibility comparisons do NOT zero it.
+    pub compile_budget: BudgetStats,
     /// Per-stage wall-clock timings of this day (observability only;
     /// zeroed in reproducibility comparisons).
     pub timings: crate::monitoring::StageTimings,
@@ -274,6 +283,13 @@ pub struct QoAdvisor {
     /// advisors can share one process-wide cache (the keys are
     /// tenant-invariant: content-derived template ids × span fingerprints).
     pub(crate) feature_cache: Option<Arc<FeatureCache>>,
+    /// Shed tallies of every finite-budget compile issued on this advisor's
+    /// behalf: the simulator's counterfactual recompiles
+    /// ([`crate::ProductionSim::finish_day`]) and, in a fleet, the workers'
+    /// per-job view-build compiles. Unlimited compiles are never recorded,
+    /// so the counters stay all-zero — and the field invisible — on default
+    /// configurations.
+    pub(crate) budget_counters: BudgetCounters,
     pub(crate) validation: Option<ValidationModel>,
     pub(crate) sis: SisStore,
     pub(crate) config: PipelineConfig,
@@ -337,6 +353,7 @@ impl QoAdvisor {
             flighting,
             personalizer: Personalizer::new(config.cb.clone()),
             feature_cache: caches.feature.clone(),
+            budget_counters: BudgetCounters::default(),
             validation: None,
             sis,
             config,
@@ -401,6 +418,44 @@ impl QoAdvisor {
         config: &RuleConfig,
     ) -> Result<Compiled, CompileError> {
         self.optimizer.compile(plan, config)
+    }
+
+    /// Compile under the pipeline's anytime budget
+    /// ([`PipelineConfig::compile_budget`]), recording the shed outcome in
+    /// this advisor's budget counters. On the default unlimited budget this
+    /// is exactly [`QoAdvisor::compile`]; at a finite budget the compile
+    /// bypasses the cache and delta compiler (truncated results are not
+    /// cacheable under unbudgeted keys) and may return a best-effort plan
+    /// extracted from a partially explored memo. The measurement path — the
+    /// simulator's counterfactual recompiles — routes through here; the
+    /// steering path never does, so hints stay budget-invariant.
+    pub fn compile_shedding(
+        &self,
+        plan: &LogicalPlan,
+        config: &RuleConfig,
+    ) -> Result<Compiled, CompileError> {
+        self.optimizer.compile_shedding(
+            plan,
+            config,
+            self.config.compile_budget,
+            &self.budget_counters,
+        )
+    }
+
+    /// The shared shed counters behind [`QoAdvisor::compile_shedding`] (a
+    /// fleet's view-build workers record their per-job budgeted compiles
+    /// here too, so one advisor's tallies cover every finite-budget compile
+    /// issued on its behalf).
+    #[must_use]
+    pub fn budget_counters(&self) -> &BudgetCounters {
+        &self.budget_counters
+    }
+
+    /// Lifetime anytime-budget shed tallies (all-zero while every compile
+    /// runs unlimited).
+    #[must_use]
+    pub fn budget_stats(&self) -> BudgetStats {
+        self.budget_counters.stats()
     }
 
     /// Lifetime compile-cache counters (all-zero when the cache is off).

@@ -296,16 +296,21 @@ impl ProductionSim {
         let s1 = self.advisor.cache_stats();
         let e1 = self.advisor.exec_stats();
         let d1 = self.advisor.delta_stats();
+        let b1 = self.advisor.budget_stats();
 
         // Counterfactual default runs for hinted jobs (same run seed). The
         // compiles go through the advisor's compile-result cache and the
         // runs through its execution cache — same results as uncached,
-        // shared with the pipeline.
+        // shared with the pipeline. Under a finite `compile_budget` these
+        // are the loop's sheddable compiles: measurement-only work that may
+        // return a best-effort plan from a partially explored memo without
+        // touching what the pipeline recommends or publishes.
         let default_config = self.advisor.optimizer().default_config();
         let t1 = std::time::Instant::now(); // qo-lint: allow(ambient-entropy) — telemetry
         let mut comparisons = Vec::new();
         for row in view.iter().filter(|r| r.hint_applied) {
-            let Ok(default_compiled) = self.advisor.compile(&row.plan, &default_config) else {
+            let Ok(default_compiled) = self.advisor.compile_shedding(&row.plan, &default_config)
+            else {
                 continue;
             };
             let run_seed = production_run_seed(day);
@@ -337,6 +342,7 @@ impl ProductionSim {
         report.compile_cache.counterfactual = s2.since(&s1);
         report.exec_cache.counterfactual = e2.since(&e1);
         report.delta_compile = self.advisor.delta_stats().since(&d1);
+        report.compile_budget = self.advisor.budget_stats().since(&b1);
         report.timings.counterfactual_ns = counterfactual_ns;
         // A restore that brought this sim to the current day bills its wall
         // cost to the day that resumes from it.

@@ -97,6 +97,10 @@ fn pipeline_fingerprint(config: &PipelineConfig) -> u64 {
         config.max_span_for_triples as u64,
         u64::from(config.skip_explored),
         u64::from(config.span_features),
+        // The anytime budget is output-affecting: it changes which plan the
+        // counterfactual measurement path extracts (never the hints).
+        u64::from(config.compile_budget.is_unlimited()),
+        config.compile_budget.max_tasks.unwrap_or(0),
     ] {
         bytes.extend_from_slice(&knob.to_le_bytes());
     }

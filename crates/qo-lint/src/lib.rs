@@ -135,8 +135,10 @@ pub fn rule_by_key(key: &str) -> Option<&'static RuleInfo> {
 ///   `ProductionSim` (`core/src/simulation.rs`), the multi-tenant fleet
 ///   service (`core/src/fleet.rs`), the snapshot/restore path
 ///   (`core/src/snapshot.rs` and the whole `scope-state` crate — a corrupt
-///   snapshot must surface as a typed `SnapshotError`, never a panic), and
-///   the flighting crate.
+///   snapshot must surface as a typed `SnapshotError`, never a panic), the
+///   task-queue compile engine (`scope-opt/src/tasks.rs` — every compile,
+///   budgeted or not, runs through it, so it must fail as a typed
+///   `CompileError`), and the flighting crate.
 #[must_use]
 pub fn rule_applies(rule_id: &str, path: &str) -> bool {
     let in_scanned_tree = (path.starts_with("crates/") && path.contains("/src/"))
@@ -160,6 +162,7 @@ pub fn rule_applies(rule_id: &str, path: &str) -> bool {
                     | "crates/core/src/simulation.rs"
                     | "crates/core/src/fleet.rs"
                     | "crates/core/src/snapshot.rs"
+                    | "crates/scope-opt/src/tasks.rs"
             ) || path.starts_with("crates/flighting/src/")
                 || path.starts_with("crates/scope-state/src/")
         }
@@ -660,6 +663,8 @@ let b = 2; // qo-lint: allow(seed-salt) — trailing covers its own line
         assert!(rule_applies("QL05", "crates/scope-state/src/frame.rs"));
         assert!(rule_applies("QL05", "crates/core/src/snapshot.rs"));
         assert!(rule_applies("QL05", "crates/core/src/fleet.rs"));
+        assert!(rule_applies("QL05", "crates/scope-opt/src/tasks.rs"));
+        assert!(!rule_applies("QL05", "crates/scope-opt/src/search.rs"));
         assert!(!rule_applies("QL05", "crates/personalizer/src/bandit.rs"));
         assert!(!rule_applies("QL01", "crates/core/tests/whatever.rs"));
     }

@@ -27,6 +27,7 @@ use crate::config::{RuleBits, RuleConfig};
 use crate::delta::{DeltaCompiler, DeltaConfig, DeltaStats};
 use crate::registry::RuleSet;
 use crate::search::{CompileError, Compiled, Compiler, Optimizer};
+use crate::tasks::{BudgetCounters, CompileBudget};
 use scope_ir::ids::mix64;
 use scope_ir::logical::LogicalPlan;
 use scope_ir::sharded::ShardedCache;
@@ -360,6 +361,35 @@ impl CachingOptimizer {
         }
     }
 
+    /// Compile under a [`CompileBudget`], recording the outcome of every
+    /// *finite*-budget compile in `counters` — the pipeline's load-shedding
+    /// entry point.
+    ///
+    /// Budget/cache-key soundness (see `crate::tasks`): the compile cache
+    /// and the delta compiler are keyed on `(plan, config)` only, so their
+    /// results are valid solely for budget-independent compiles. An
+    /// unlimited budget routes through them unchanged (and is never
+    /// counted — it cannot shed). A finite budget bypasses both and runs
+    /// the task engine from scratch: truncated results are never cached,
+    /// never served from cache, and never priced against a base memo frozen
+    /// at a different truncation point. The finite path is a pure function
+    /// of `(plan, config, budget)`, so shed decisions stay deterministic
+    /// across thread counts and cache states.
+    pub fn compile_shedding(
+        &self,
+        plan: &LogicalPlan,
+        config: &RuleConfig,
+        budget: CompileBudget,
+        counters: &BudgetCounters,
+    ) -> Result<Compiled, CompileError> {
+        if budget.is_unlimited() {
+            return self.compile(plan, config);
+        }
+        let result = self.inner.compile_budgeted(plan, config, budget);
+        counters.record(&result);
+        result.map(|b| b.compiled)
+    }
+
     /// The delta compiler behind [`CachingOptimizer::compile_slate`], when
     /// enabled.
     #[must_use]
@@ -448,6 +478,75 @@ impl Compiler for CachingOptimizer {
         treatments: &[RuleConfig],
     ) -> Vec<Result<Compiled, CompileError>> {
         CachingOptimizer::compile_slate(self, plan, base, treatments)
+    }
+}
+
+/// A [`Compiler`] view over a [`CachingOptimizer`] with a fixed
+/// [`CompileBudget`]: the pipeline's generic compile sites (span fixpoint,
+/// view building, recommendation slates, flighting) work unchanged, while
+/// every finite-budget compile routes through
+/// [`CachingOptimizer::compile_shedding`] — task engine from scratch,
+/// cache/delta bypassed, outcome recorded in the shared [`BudgetCounters`].
+/// At unlimited budget this is a zero-cost passthrough, byte-identical to
+/// handing out the `CachingOptimizer` itself.
+#[derive(Debug, Clone, Copy)]
+pub struct BudgetedCompiler<'a> {
+    inner: &'a CachingOptimizer,
+    budget: CompileBudget,
+    counters: &'a BudgetCounters,
+}
+
+impl<'a> BudgetedCompiler<'a> {
+    #[must_use]
+    pub fn new(
+        inner: &'a CachingOptimizer,
+        budget: CompileBudget,
+        counters: &'a BudgetCounters,
+    ) -> Self {
+        Self {
+            inner,
+            budget,
+            counters,
+        }
+    }
+
+    /// The fixed budget every compile through this view runs under.
+    #[must_use]
+    pub fn budget(&self) -> CompileBudget {
+        self.budget
+    }
+}
+
+impl Compiler for BudgetedCompiler<'_> {
+    fn rules(&self) -> &RuleSet {
+        self.inner.rules()
+    }
+
+    fn default_config(&self) -> RuleConfig {
+        self.inner.default_config()
+    }
+
+    fn compile(&self, plan: &LogicalPlan, config: &RuleConfig) -> Result<Compiled, CompileError> {
+        self.inner
+            .compile_shedding(plan, config, self.budget, self.counters)
+    }
+
+    fn compile_slate(
+        &self,
+        plan: &LogicalPlan,
+        base: &RuleConfig,
+        treatments: &[RuleConfig],
+    ) -> Vec<Result<Compiled, CompileError>> {
+        if self.budget.is_unlimited() {
+            return self.inner.compile_slate(plan, base, treatments);
+        }
+        // Budgeted slates bypass delta: a base memo frozen at one truncation
+        // point cannot soundly replay another (see `crate::tasks`). Each
+        // treatment runs the engine under the same per-compile budget.
+        treatments
+            .iter()
+            .map(|treatment| self.compile(plan, treatment))
+            .collect()
     }
 }
 

@@ -39,9 +39,12 @@
 //!   extraction re-run — clean groups are memoized hits.
 //! * **Full** — the flip changes what exploration does (a fired transform
 //!   disabled, or an enabled transform that matches): the budgeted,
-//!   order-dependent search cannot be patched soundly, so the caller
-//!   compiles from scratch. With 18 of 256 rules being transforms, this is
-//!   the rare case.
+//!   order-dependent search cannot be patched soundly, so the whole cascade
+//!   is replayed through the task-queue engine's replay entry (skipping
+//!   re-validation and the already-replayed disable-path check — exactly
+//!   the checks a from-scratch compile would redo and pass). With 18 of 256
+//!   rules being transforms, this is the rare case; the replayed task
+//!   counts land in [`DeltaStats::replay_tasks`].
 //!
 //! All three paths are **byte-identical** to a from-scratch compile of the
 //! treatment configuration — including `RuleInstability` failures, which
@@ -64,6 +67,7 @@ use crate::memo::{GroupId, Memo};
 use crate::registry::{impl_targets, RuleBehavior, TransformKind};
 use crate::rules::apply_transform;
 use crate::search::{CompileError, Compiled, Optimizer};
+use crate::tasks::TaskEngine;
 use parking_lot::RwLock;
 use rustc_hash::FxHashMap;
 use scope_ir::ids::mix64;
@@ -139,6 +143,11 @@ pub struct DeltaStats {
     pub base_builds: u64,
     /// Base-memo cache hits.
     pub base_hits: u64,
+    /// Task-queue tasks executed by replays through this compiler: the
+    /// ImplementGroup tasks of delta passes (dirty groups only) plus the
+    /// full cascade of NeedsFull fallbacks. The task-count pin test uses
+    /// this to prove delta replays redo *only* the invalidated work.
+    pub replay_tasks: u64,
 }
 
 impl DeltaStats {
@@ -157,6 +166,7 @@ impl DeltaStats {
             full: self.full.saturating_sub(earlier.full),
             base_builds: self.base_builds.saturating_sub(earlier.base_builds),
             base_hits: self.base_hits.saturating_sub(earlier.base_hits),
+            replay_tasks: self.replay_tasks.saturating_sub(earlier.replay_tasks),
         }
     }
 }
@@ -171,6 +181,7 @@ impl std::ops::Add for DeltaStats {
             full: self.full + rhs.full,
             base_builds: self.base_builds + rhs.base_builds,
             base_hits: self.base_hits + rhs.base_hits,
+            replay_tasks: self.replay_tasks + rhs.replay_tasks,
         }
     }
 }
@@ -288,22 +299,35 @@ impl BaseMemo {
     /// where the caller must run that from-scratch compile itself.
     #[must_use]
     pub fn price(&self, optimizer: &Optimizer, treatment: &RuleConfig) -> PricedTreatment {
+        self.price_counted(optimizer, treatment).0
+    }
+
+    /// [`BaseMemo::price`] plus the number of task-queue tasks the pricing
+    /// replayed (the ImplementGroup tasks of a delta pass; zero for pruned
+    /// or needs-full resolutions). [`DeltaCompiler`] accounts these in
+    /// [`DeltaStats::replay_tasks`].
+    pub(crate) fn price_counted(
+        &self,
+        optimizer: &Optimizer,
+        treatment: &RuleConfig,
+    ) -> (PricedTreatment, u64) {
         // Replay the up-front disable-path instability scan in the same
         // position `Optimizer::compile` runs it: before any search.
         if let Err(e) = optimizer.disable_path_check(treatment, self.template_seed) {
-            return PricedTreatment::Pruned(Err(e));
+            return (PricedTreatment::Pruned(Err(e)), 0);
         }
         match self.classify(optimizer, treatment) {
-            Classification::Full => PricedTreatment::NeedsFull,
+            Classification::Full => (PricedTreatment::NeedsFull, 0),
             Classification::Pruned => {
                 let fp = treatment.bits().fingerprint();
                 let replay = optimizer
                     .plan_instability_check(&self.compiled.signature, self.template_seed, fp)
                     .map(|()| self.compiled.clone());
-                PricedTreatment::Pruned(replay)
+                (PricedTreatment::Pruned(replay), 0)
             }
             Classification::Dirty { tags, all } => {
-                PricedTreatment::Delta(self.delta_compile(optimizer, treatment, &tags, all))
+                let (tasks, result) = self.delta_compile(optimizer, treatment, &tags, all);
+                (PricedTreatment::Delta(result), tasks)
             }
         }
     }
@@ -379,18 +403,20 @@ impl BaseMemo {
     }
 
     /// The incremental pass: clone the base memo, rebuild the physical
-    /// candidates of dirty groups under the treatment configuration,
+    /// candidates of dirty groups under the treatment configuration — as a
+    /// [`TaskEngine`] replay of exactly those groups' ImplementGroup tasks —
     /// invalidate `Best` on them and every ancestor, then re-cost and
     /// re-extract. Clean groups keep their base `Best` entries, which a
     /// from-scratch compile of the treatment would reproduce bit-for-bit
-    /// (their candidates and their children's costs are untouched).
+    /// (their candidates and their children's costs are untouched). Returns
+    /// the replayed task count alongside the result.
     fn delta_compile(
         &self,
         optimizer: &Optimizer,
         treatment: &RuleConfig,
         tags: &[&'static str],
         all: bool,
-    ) -> Result<Compiled, CompileError> {
+    ) -> (u64, Result<Compiled, CompileError>) {
         let n = self.memo.group_count();
         // Decide the re-implementation set on the *base* memo, then fork
         // without cloning the candidate lists about to be rebuilt.
@@ -405,16 +431,14 @@ impl BaseMemo {
             })
             .collect();
         let mut memo = self.memo.fork_for_delta(&reimplement);
-        let ctx = optimizer.impl_context(treatment, self.template_seed);
-        let fallback = optimizer.fallback_rule();
-        let mut stale = reimplement;
-        let mut queue: VecDeque<u32> = VecDeque::new();
-        for gi in 0..n as u32 {
-            if stale[gi as usize] {
-                optimizer.implement_group(&mut memo, GroupId(gi), treatment, &ctx, fallback)?;
-                queue.push_back(gi);
-            }
+        let mut engine = TaskEngine::new(optimizer);
+        if let Err(e) =
+            engine.replay_implement(&mut memo, &reimplement, treatment, self.template_seed)
+        {
+            return (engine.tasks_executed, Err(e));
         }
+        let mut stale = reimplement;
+        let mut queue: VecDeque<u32> = (0..n as u32).filter(|&gi| stale[gi as usize]).collect();
         while let Some(gi) = queue.pop_front() {
             for &p in &self.parents[gi as usize] {
                 if !stale[p as usize] {
@@ -432,12 +456,13 @@ impl BaseMemo {
         for &root in &self.roots {
             optimizer.best_cost(&mut memo, root, &mut visiting);
         }
-        optimizer.extract(
+        let result = optimizer.extract(
             &memo,
             &self.roots,
             self.template_seed,
             treatment.bits().fingerprint(),
-        )
+        );
+        (engine.tasks_executed, result)
     }
 }
 
@@ -483,6 +508,7 @@ pub struct DeltaCompiler {
     full: AtomicU64,
     base_builds: AtomicU64,
     base_hits: AtomicU64,
+    replay_tasks: AtomicU64,
 }
 
 impl DeltaCompiler {
@@ -495,6 +521,7 @@ impl DeltaCompiler {
             full: AtomicU64::new(0),
             base_builds: AtomicU64::new(0),
             base_hits: AtomicU64::new(0),
+            replay_tasks: AtomicU64::new(0),
         }
     }
 
@@ -522,8 +549,11 @@ impl DeltaCompiler {
     }
 
     /// Price one treatment through `base`, resolving a
-    /// [`PricedTreatment::NeedsFull`] with a from-scratch compile, and count
-    /// the resolution.
+    /// [`PricedTreatment::NeedsFull`] with a task-queue replay of the full
+    /// cascade (the plan was already validated at base-build time and
+    /// `price` re-ran the disable-path check, so the replay entry skips
+    /// both — byte-identical to a from-scratch compile), and count the
+    /// resolution plus the replayed tasks.
     pub(crate) fn price_with(
         &self,
         optimizer: &Optimizer,
@@ -536,7 +566,9 @@ impl DeltaCompiler {
             plan.fingerprint(),
             "treatment priced against a base memo of a different plan"
         );
-        match base.price(optimizer, treatment) {
+        let (priced, tasks) = base.price_counted(optimizer, treatment);
+        self.replay_tasks.fetch_add(tasks, Ordering::Relaxed);
+        match priced {
             PricedTreatment::Pruned(result) => {
                 self.pruned.fetch_add(1, Ordering::Relaxed);
                 result
@@ -547,7 +579,9 @@ impl DeltaCompiler {
             }
             PricedTreatment::NeedsFull => {
                 self.full.fetch_add(1, Ordering::Relaxed);
-                optimizer.compile(plan, treatment)
+                let (tasks, result) = optimizer.compile_replay(plan, treatment);
+                self.replay_tasks.fetch_add(tasks, Ordering::Relaxed);
+                result
             }
         }
     }
@@ -591,6 +625,7 @@ impl DeltaCompiler {
             full: self.full.load(Ordering::Relaxed),
             base_builds: self.base_builds.load(Ordering::Relaxed),
             base_hits: self.base_hits.load(Ordering::Relaxed),
+            replay_tasks: self.replay_tasks.load(Ordering::Relaxed),
         }
     }
 
@@ -811,6 +846,71 @@ mod tests {
         assert_eq!(serde_json::from_str::<DeltaConfig>(&json).unwrap(), c);
     }
 
+    /// Satellite pin: delta replays redo only the invalidated work, and the
+    /// full-fallback path replays exactly the task cascade a from-scratch
+    /// compile would run — no extra passes, no double exploration.
+    #[test]
+    fn replay_task_counts_pin_delta_and_full_paths() {
+        let opt = Optimizer::default();
+        let p = plan();
+        let default = opt.default_config();
+        let dc = DeltaCompiler::new(DeltaConfig::default());
+        let base = dc.base_for(&opt, &p, &default).unwrap();
+
+        let mut dirty_flip = None;
+        let mut full_flip = None;
+        for rule in opt.rules().flippable() {
+            let treatment = default.with_flip(RuleFlip {
+                rule,
+                enable: !default.enabled(rule),
+            });
+            match base.price(&opt, &treatment) {
+                PricedTreatment::Delta(_) if dirty_flip.is_none() => dirty_flip = Some(treatment),
+                PricedTreatment::NeedsFull if full_flip.is_none() => full_flip = Some(treatment),
+                _ => {}
+            }
+            if dirty_flip.is_some() && full_flip.is_some() {
+                break;
+            }
+        }
+        let dirty_flip = dirty_flip.expect("some impl-layer flip takes the delta path");
+        let full_flip = full_flip.expect("some fired-transform flip needs a full replay");
+
+        // Dirty replay: strictly fewer tasks than the whole cascade.
+        let direct_dirty = opt
+            .compile_budgeted(&p, &dirty_flip, crate::tasks::CompileBudget::unlimited())
+            .map(|b| b.tasks_executed)
+            .unwrap_or(u64::MAX);
+        let before = dc.stats().replay_tasks;
+        let priced = dc.price_with(&opt, &base, &p, &dirty_flip);
+        let dirty_tasks = dc.stats().replay_tasks - before;
+        assert_eq!(priced, opt.compile(&p, &dirty_flip));
+        assert!(dirty_tasks > 0, "delta pass must replay some groups");
+        assert!(
+            dirty_tasks < direct_dirty,
+            "delta replay ({dirty_tasks} tasks) must redo less than a \
+             from-scratch cascade ({direct_dirty} tasks)"
+        );
+
+        // Full fallback: exactly the tasks of a direct engine run.
+        let direct_full = opt
+            .compile_budgeted(&p, &full_flip, crate::tasks::CompileBudget::unlimited())
+            .map(|b| b.tasks_executed)
+            .ok();
+        let before = dc.stats().replay_tasks;
+        let priced = dc.price_with(&opt, &base, &p, &full_flip);
+        let full_tasks = dc.stats().replay_tasks - before;
+        assert_eq!(priced, opt.compile(&p, &full_flip));
+        if let Some(direct_full) = direct_full {
+            assert_eq!(
+                full_tasks, direct_full,
+                "full fallback must replay exactly the direct cascade"
+            );
+        } else {
+            assert!(full_tasks > 0, "failed replays still ran the cascade");
+        }
+    }
+
     #[test]
     fn stats_roll_up() {
         let a = DeltaStats {
@@ -819,6 +919,7 @@ mod tests {
             full: 3,
             base_builds: 1,
             base_hits: 0,
+            replay_tasks: 10,
         };
         let b = DeltaStats {
             pruned: 2,
@@ -826,6 +927,7 @@ mod tests {
             full: 0,
             base_builds: 0,
             base_hits: 4,
+            replay_tasks: 5,
         };
         let s = a + b;
         assert_eq!(s.treatments(), 9);

@@ -19,6 +19,13 @@
 //!   instead of re-searched ([`cache::CompileCache`] /
 //!   [`cache::CachingOptimizer`], both behind the [`search::Compiler`]
 //!   trait);
+//! * an **anytime task-queue engine** ([`tasks`]): exploration runs as an
+//!   explicit ExploreGroup/ExploreExpr/ApplyRule/ImplementGroup cascade
+//!   under a [`tasks::CompileBudget`], so every compile is interruptible —
+//!   at budget exhaustion the best plan so far is extracted from the
+//!   partial memo and tagged [`tasks::BudgetOutcome::Truncated`]; at
+//!   unlimited budget the cascade is byte-identical to the recursive
+//!   reference engine ([`search::Optimizer::compile_recursive`]);
 //! * **delta treatment compilation** ([`delta`]): a plan's default
 //!   compilation is frozen as a shareable [`delta::BaseMemo`], and each
 //!   rule-flip treatment is priced as an incremental pass over it
@@ -62,8 +69,9 @@ pub mod registry;
 pub mod rules;
 pub mod search;
 pub mod span;
+pub mod tasks;
 
-pub use cache::{CacheConfig, CacheStats, CachingOptimizer, CompileCache};
+pub use cache::{BudgetedCompiler, CacheConfig, CacheStats, CachingOptimizer, CompileCache};
 pub use config::{RuleBits, RuleConfig, RuleFlip, RuleId, RULE_COUNT};
 pub use cost::CostModel;
 pub use delta::{BaseMemo, DeltaCompiler, DeltaConfig, DeltaStats, PricedTreatment};
@@ -71,3 +79,4 @@ pub use hints::{Hint, HintSet};
 pub use registry::{RuleCategory, RuleDef, RuleSet};
 pub use search::{CompileError, Compiled, Compiler, Optimizer, SearchOptions};
 pub use span::{compute_span, SpanResult};
+pub use tasks::{BudgetCounters, BudgetOutcome, BudgetStats, BudgetedCompile, CompileBudget};

@@ -19,6 +19,7 @@ use crate::registry::{
     RULE_SCRIPT_STITCH, RULE_SHUFFLE_ELIMINATION, RULE_STATS_ANNOTATE,
 };
 use crate::rules::apply_transform;
+use crate::tasks::{BudgetedCompile, CompileBudget, TaskEngine};
 use rustc_hash::FxHashMap;
 use scope_ir::logical::LogicalPlan;
 use scope_ir::physical::{PhysicalNode, PhysicalOp, PhysicalPlan, PhysicalTuning};
@@ -238,7 +239,9 @@ impl Optimizer {
 
     /// [`Optimizer::compile`] keeping the explored memo and the exploration
     /// trace facts ([`FullCompile`]) — what `crate::delta` freezes into a
-    /// [`crate::delta::BaseMemo`].
+    /// [`crate::delta::BaseMemo`]. Runs the task-queue engine
+    /// (`crate::tasks`) at unlimited budget, which is byte-identical to the
+    /// recursive reference engine.
     pub(crate) fn compile_full(
         &self,
         plan: &LogicalPlan,
@@ -250,20 +253,99 @@ impl Optimizer {
         self.disable_path_check(config, template_seed)?;
         let mut memo = Memo::new();
         let roots = memo.copy_in(plan);
+        let mut engine = TaskEngine::new(self);
+        let run = engine.run(
+            &mut memo,
+            &roots,
+            config,
+            template_seed,
+            CompileBudget::unlimited(),
+        )?;
+        Ok(FullCompile {
+            compiled: run.compiled,
+            memo,
+            roots,
+            fired_transforms: run.fired_transforms,
+        })
+    }
 
-        let fired_transforms = self.explore(&mut memo, config);
+    /// Compile under a [`CompileBudget`]: the task-queue engine explores
+    /// until the budget trips, then extracts the best plan the partial memo
+    /// supports (see `crate::tasks` for the anytime contract). Unlimited
+    /// budgets are byte-identical to [`Optimizer::compile`].
+    pub fn compile_budgeted(
+        &self,
+        plan: &LogicalPlan,
+        config: &RuleConfig,
+        budget: CompileBudget,
+    ) -> Result<BudgetedCompile, CompileError> {
+        plan.validate()
+            .map_err(|e| CompileError::Invalid(e.to_string()))?;
+        let template_seed = plan.template_id().0;
+        self.disable_path_check(config, template_seed)?;
+        let mut memo = Memo::new();
+        let roots = memo.copy_in(plan);
+        let mut engine = TaskEngine::new(self);
+        let run = engine.run(&mut memo, &roots, config, template_seed, budget)?;
+        Ok(BudgetedCompile {
+            compiled: run.compiled,
+            outcome: run.outcome,
+            tasks_executed: engine.tasks_executed,
+            objective: run.objective,
+        })
+    }
+
+    /// Task-queue replay of one from-scratch compile, skipping plan
+    /// validation and the disable-path check — the `crate::delta`
+    /// full-fallback entry, whose caller already validated the identical
+    /// plan at base-build time and ran the disable-path check in `price`.
+    /// Returns the engine's task count alongside the result so the delta
+    /// layer can account replayed work.
+    pub(crate) fn compile_replay(
+        &self,
+        plan: &LogicalPlan,
+        config: &RuleConfig,
+    ) -> (u64, Result<Compiled, CompileError>) {
+        let template_seed = plan.template_id().0;
+        let mut memo = Memo::new();
+        let roots = memo.copy_in(plan);
+        let mut engine = TaskEngine::new(self);
+        let result = engine
+            .run(
+                &mut memo,
+                &roots,
+                config,
+                template_seed,
+                CompileBudget::unlimited(),
+            )
+            .map(|run| run.compiled);
+        (engine.tasks_executed, result)
+    }
+
+    /// The original recursive-descent engine, kept as the differential
+    /// reference for the task-queue engine: `tests/budget_equivalence.rs`
+    /// asserts this stays byte-identical to [`Optimizer::compile`] (which
+    /// now runs `crate::tasks` at unlimited budget) for every template and
+    /// treatment.
+    pub fn compile_recursive(
+        &self,
+        plan: &LogicalPlan,
+        config: &RuleConfig,
+    ) -> Result<Compiled, CompileError> {
+        plan.validate()
+            .map_err(|e| CompileError::Invalid(e.to_string()))?;
+        let template_seed = plan.template_id().0;
+        self.disable_path_check(config, template_seed)?;
+        let mut memo = Memo::new();
+        let roots = memo.copy_in(plan);
+
+        self.explore(&mut memo, config);
         self.implement(&mut memo, config, template_seed)?;
         let mut visiting = vec![false; memo.group_count()];
         for &root in &roots {
             self.best_cost(&mut memo, root, &mut visiting);
         }
-        let compiled = self.extract(&memo, &roots, template_seed, config.bits().fingerprint())?;
-        Ok(FullCompile {
-            compiled,
-            memo,
-            roots,
-            fired_transforms,
-        })
+        self.extract(&memo, &roots, template_seed, config.bits().fingerprint())
     }
 
     /// Disable-path instability: rules turned off relative to the default
@@ -321,10 +403,13 @@ impl Optimizer {
         Ok(())
     }
 
-    /// Exploration: apply enabled transforms in promise order under the
-    /// global budget. New expressions (and expressions of newly created
-    /// groups) join the worklist; a second pass catches matches enabled by
-    /// late arrivals.
+    /// Recursive-descent exploration: apply enabled transforms in promise
+    /// order under the global budget. New expressions (and expressions of
+    /// newly created groups) join the worklist; a second pass catches
+    /// matches enabled by late arrivals. This is now the *reference*
+    /// engine: production compiles run the byte-identical task-queue
+    /// cascade in `crate::tasks`, and `tests/budget_equivalence.rs` holds
+    /// the two together.
     ///
     /// Returns the set of transform rules that produced at least one rewrite
     /// — the "fired" trace fact `crate::delta` uses to decide whether
@@ -747,6 +832,80 @@ mod tests {
 
     fn plan() -> scope_ir::LogicalPlan {
         bind_script(SCRIPT, &Catalog::default()).unwrap()
+    }
+
+    /// The fired-transform trace — the exploration fact `crate::delta`
+    /// prices flips against — must agree between the task-queue engine
+    /// (what `compile_full` records into every `BaseMemo`) and the
+    /// recursive reference engine's own exploration.
+    /// The fired-transform trace — the exploration fact `crate::delta`
+    /// prices flips against — must agree between the task-queue engine
+    /// (what `compile_full` records into every `BaseMemo`) and the
+    /// recursive reference engine's own exploration.
+    #[test]
+    fn dbg_fired_trace() {
+        let opt = Optimizer::default();
+        let config = opt.default_config();
+        let big = r#"
+        t  = EXTRACT a:int, b:float FROM "store/t";
+        f1 = SELECT a, b FROM t WHERE b > 1;
+        f2 = SELECT a, b FROM f1 WHERE a < 10;
+        f3 = SELECT a, b FROM f2 WHERE b < 100;
+        OUTPUT f3 TO "out/f";
+    "#;
+        let p = bind_script(big, &Catalog::default()).unwrap();
+        let via_tasks = opt.compile_full(&p, &config).unwrap();
+        eprintln!(
+            "tasks fired: {:?}",
+            via_tasks.fired_transforms.iter().collect::<Vec<_>>()
+        );
+        let mut memo = Memo::new();
+        memo.copy_in(&p);
+        let transforms: Vec<_> = opt
+            .rules
+            .transforms_by_promise()
+            .into_iter()
+            .filter(|r| config.enabled(r.id))
+            .map(|r| r.id)
+            .collect();
+        eprintln!("enabled transforms: {:?}", transforms);
+        eprintln!(
+            "opts passes={} max_apps={}",
+            opt.opts.exploration_passes, opt.opts.max_transform_applications
+        );
+        let recursive_fired = opt.explore(&mut memo, &config);
+        eprintln!(
+            "recursive fired: {:?}",
+            recursive_fired.iter().collect::<Vec<_>>()
+        );
+        let rec = opt.compile_recursive(&p, &config).unwrap();
+        eprintln!("rec sig: {:?}", rec.signature.iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn task_engine_fired_trace_matches_recursive_explore() {
+        // Stacked filters over a projection: a shape where the filter
+        // transforms (merge / push-through-project) genuinely fire, so the
+        // equality below is not vacuously empty-vs-empty.
+        let script = r#"
+            t  = EXTRACT a:int, b:float FROM "store/t";
+            f1 = SELECT a, b FROM t WHERE b > 1;
+            f2 = SELECT a, b FROM f1 WHERE a < 10;
+            f3 = SELECT a, b FROM f2 WHERE b < 100;
+            OUTPUT f3 TO "out/f";
+        "#;
+        let p = bind_script(script, &Catalog::default()).unwrap();
+        let opt = Optimizer::default();
+        let config = opt.default_config();
+        let via_tasks = opt.compile_full(&p, &config).unwrap();
+        assert!(
+            !via_tasks.fired_transforms.is_empty(),
+            "some transform must fire for this shape"
+        );
+        let mut memo = Memo::new();
+        memo.copy_in(&p);
+        let recursive_fired = opt.explore(&mut memo, &config);
+        assert_eq!(via_tasks.fired_transforms, recursive_fired);
     }
 
     #[test]

@@ -1,0 +1,114 @@
+//! Property tests for the anytime-optimization contract of the task-queue
+//! engine (`scope_opt::tasks`), over random stack-machine plans:
+//!
+//! * **Monotonicity** — a larger [`CompileBudget`] can only improve the
+//!   anytime objective (the sum of root-group best costs): truncation drops
+//!   the tail of a deterministic task sequence, so a smaller budget's memo
+//!   is a prefix of a larger one's. The unlimited point equals the
+//!   recursive reference engine byte-for-byte.
+//! * **Anytime validity** — extraction at *every* task-count prefix of the
+//!   cascade yields a valid executable plan: it validates, preserves the
+//!   output count, and never leaves a group unimplemented (the mandatory
+//!   implement/cost/extract epilogue plus the fallback rule guarantee a
+//!   physical candidate everywhere). Small cascades are swept exhaustively;
+//!   large ones are strided (the exhaustive every-prefix sweep of a fixed
+//!   multi-output script lives in `scope_opt::tasks`' unit tests).
+
+mod plan_builder;
+
+use plan_builder::{build, step};
+use proptest::prelude::*;
+use scope_opt::{BudgetOutcome, CompileBudget, Optimizer};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn objective_is_monotone_in_the_budget(
+        steps in prop::collection::vec(step(), 1..16),
+        b1 in 0u64..400,
+        extra in 0u64..400,
+    ) {
+        let plan = build(&steps);
+        let opt = Optimizer::default();
+        let config = opt.default_config();
+        let b2 = b1 + extra;
+        let lo = opt
+            .compile_budgeted(&plan, &config, CompileBudget::tasks(b1))
+            .unwrap();
+        let hi = opt
+            .compile_budgeted(&plan, &config, CompileBudget::tasks(b2))
+            .unwrap();
+        let full = opt
+            .compile_budgeted(&plan, &config, CompileBudget::unlimited())
+            .unwrap();
+        prop_assert!(
+            hi.objective <= lo.objective,
+            "objective regressed as the budget grew {b1} -> {b2}: {} > {}",
+            hi.objective,
+            lo.objective
+        );
+        prop_assert!(
+            full.objective <= hi.objective,
+            "the unlimited objective must be the floor: {} > {}",
+            full.objective,
+            hi.objective
+        );
+        prop_assert_eq!(full.outcome, BudgetOutcome::Complete);
+        let recursive = opt.compile_recursive(&plan, &config).unwrap();
+        prop_assert_eq!(
+            full.compiled.est_cost.to_bits(),
+            recursive.est_cost.to_bits()
+        );
+        prop_assert_eq!(full.compiled, recursive);
+    }
+
+    #[test]
+    fn every_budget_prefix_extracts_a_valid_plan(
+        steps in prop::collection::vec(step(), 1..10),
+    ) {
+        let plan = build(&steps);
+        let opt = Optimizer::default();
+        let config = opt.default_config();
+        let full = opt
+            .compile_budgeted(&plan, &config, CompileBudget::unlimited())
+            .unwrap();
+        // Exhaustive below 64 tasks; strided above (still hitting both
+        // endpoints), keeping the sweep bounded on join-heavy cascades.
+        let stride = (full.tasks_executed / 64).max(1);
+        let mut last_objective = f64::INFINITY;
+        let mut b = 0u64;
+        loop {
+            let anytime = opt
+                .compile_budgeted(&plan, &config, CompileBudget::tasks(b))
+                .unwrap();
+            prop_assert!(
+                anytime.compiled.physical.validate().is_ok(),
+                "anytime plan at budget {b} failed validation"
+            );
+            prop_assert_eq!(
+                anytime.compiled.physical.outputs().len(),
+                plan.outputs().len()
+            );
+            prop_assert!(
+                anytime.objective.is_finite() && anytime.objective >= 0.0,
+                "every group must hold a physical candidate at budget {b}: \
+                 objective {}",
+                anytime.objective
+            );
+            prop_assert!(
+                anytime.objective <= last_objective,
+                "objective regressed at budget {b}: {} > {}",
+                anytime.objective,
+                last_objective
+            );
+            last_objective = anytime.objective;
+            if b >= full.tasks_executed {
+                prop_assert_eq!(anytime.outcome, BudgetOutcome::Complete);
+                prop_assert_eq!(anytime.compiled, full.compiled.clone());
+                break;
+            }
+            b = (b + stride).min(full.tasks_executed);
+        }
+    }
+}

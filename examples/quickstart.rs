@@ -10,8 +10,8 @@ use scope_ir::display::{explain_logical, explain_physical};
 use scope_ir::stats::DualStats;
 use scope_lang::{bind_script, Catalog, TableInfo};
 use scope_opt::{
-    compute_span, CacheConfig, CachingOptimizer, DeltaConfig, Hint, HintSet, Optimizer, RuleConfig,
-    RuleFlip,
+    compute_span, CacheConfig, CachingOptimizer, CompileBudget, DeltaConfig, Hint, HintSet,
+    Optimizer, RuleConfig, RuleFlip,
 };
 use scope_runtime::{CachingExecutor, Cluster, ExecCacheConfig, Executor};
 
@@ -64,6 +64,38 @@ fn main() {
             .iter()
             .map(|r| optimizer.rules().rule(r).name.clone())
             .collect::<Vec<_>>()
+    );
+
+    // 2b. Anytime compilation: `QO_COMPILE_BUDGET=N` caps the task-queue
+    // cascade at N exploration tasks and extracts the best plan from the
+    // partial memo (unlimited by default). At unlimited budget the result
+    // is byte-identical to `compile`; at a finite budget the compile may be
+    // truncated but still yields a valid executable plan.
+    let budget = std::env::var("QO_COMPILE_BUDGET").map_or_else(
+        |_| CompileBudget::unlimited(),
+        |value| {
+            CompileBudget::parse(&value).unwrap_or_else(|e| {
+                eprintln!("bad QO_COMPILE_BUDGET: {e}");
+                std::process::exit(2);
+            })
+        },
+    );
+    let budgeted = optimizer
+        .compile_budgeted(&plan, &default, budget)
+        .expect("budgeted compile shares the default path's success");
+    budgeted.compiled.physical.validate().expect("anytime plan");
+    if budget.is_unlimited() {
+        assert_eq!(budgeted.compiled.physical, compiled.physical);
+    }
+    println!(
+        "anytime compile: {} tasks, objective {:.3e}{}",
+        budgeted.tasks_executed,
+        budgeted.objective,
+        if budgeted.outcome.is_truncated() {
+            " (truncated by budget)"
+        } else {
+            " (complete)"
+        }
     );
 
     // 3. Compute the job span: every rule whose flip can change this plan.
